@@ -1,0 +1,85 @@
+//! A name-based catalog of the built-in algorithms, used by RAC configuration files and the
+//! simulation setup to instantiate static RACs from strings.
+
+use crate::disjoint::HeuristicDisjointness;
+use crate::score::{DelayOptimization, KShortestPaths, ShortestPath, ShortestWidest, WidestPath};
+use crate::RoutingAlgorithm;
+use irec_types::{IrecError, Result};
+use std::sync::Arc;
+
+/// Default per-egress selection budget used when instantiating catalog algorithms
+/// (20 registered paths per RAC, origin and interface group — the paper's setting).
+pub const DEFAULT_BUDGET: usize = 20;
+
+/// The names of all built-in static algorithms, in the order the paper's evaluation lists
+/// them.
+pub const BUILTIN_NAMES: &[&str] = &["1SP", "5SP", "HD", "DO", "legacy-scion", "widest", "shortest-widest"];
+
+/// Instantiates a built-in algorithm by name.
+///
+/// Recognized names (case-insensitive): `1SP`, `5SP`, `kSP` for any integer k, `HD`, `DO`,
+/// `DON`, `DOB`, `legacy-scion`, `widest`, `shortest-widest`. (`DON`/`DOB` share the DO
+/// implementation; the extended-path behaviour is a RAC configuration flag, not an algorithm
+/// property.)
+pub fn by_name(name: &str) -> Result<Arc<dyn RoutingAlgorithm>> {
+    let lower = name.to_ascii_lowercase();
+    let alg: Arc<dyn RoutingAlgorithm> = match lower.as_str() {
+        "1sp" => Arc::new(ShortestPath::new()),
+        "5sp" => Arc::new(KShortestPaths::five()),
+        "hd" => Arc::new(HeuristicDisjointness::new(DEFAULT_BUDGET)),
+        "do" | "don" | "dob" => Arc::new(DelayOptimization::new(DEFAULT_BUDGET)),
+        "legacy-scion" | "legacy" => Arc::new(KShortestPaths::legacy_scion()),
+        "widest" => Arc::new(WidestPath::new(DEFAULT_BUDGET)),
+        "shortest-widest" => Arc::new(ShortestWidest::new(DEFAULT_BUDGET)),
+        _ => {
+            // kSP for arbitrary k.
+            if let Some(k) = lower.strip_suffix("sp").and_then(|p| p.parse::<usize>().ok()) {
+                if k == 0 {
+                    return Err(IrecError::config("0SP is not a valid algorithm"));
+                }
+                Arc::new(KShortestPaths::new(k))
+            } else {
+                return Err(IrecError::config(format!("unknown algorithm '{name}'")));
+            }
+        }
+    };
+    Ok(alg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtin_names_resolve() {
+        for name in BUILTIN_NAMES {
+            let alg = by_name(name).unwrap();
+            assert!(!alg.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_case_insensitive() {
+        assert_eq!(by_name("hd").unwrap().name(), "HD");
+        assert_eq!(by_name("Do").unwrap().name(), "DO");
+    }
+
+    #[test]
+    fn don_and_dob_resolve_to_delay_optimization() {
+        assert_eq!(by_name("DON").unwrap().name(), "DO");
+        assert_eq!(by_name("DOB").unwrap().name(), "DO");
+    }
+
+    #[test]
+    fn ksp_parses_arbitrary_k() {
+        assert_eq!(by_name("3SP").unwrap().name(), "3SP");
+        assert_eq!(by_name("12sp").unwrap().name(), "12SP");
+    }
+
+    #[test]
+    fn unknown_and_invalid_names_rejected() {
+        assert!(by_name("frobnicate").is_err());
+        assert!(by_name("0SP").is_err());
+        assert!(by_name("").is_err());
+    }
+}

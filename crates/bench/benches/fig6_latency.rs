@@ -1,0 +1,53 @@
+//! Criterion benchmark behind Fig. 6: per-sub-task PCB processing latency of an on-demand
+//! IREC RAC versus the legacy control service, for varying candidate-set sizes |Φ|.
+//!
+//! The `fig6` binary prints the full table across |Φ| = 1…4096; this bench gives
+//! statistically robust numbers for a representative subset of sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use irec_bench::workload::{
+    candidate_set, legacy_selection_latency, on_demand_rac, rac_processing_latency,
+    tag_candidates, workload_local_as,
+};
+use std::time::Duration;
+
+const SIZES: [usize; 4] = [16, 64, 256, 1024];
+
+fn bench_irec_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_irec_rac");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for phi in SIZES {
+        let local_as = workload_local_as();
+        let (mut rac, _, store) = on_demand_rac();
+        let tagged = tag_candidates(&candidate_set(phi, 7), &store);
+        group.throughput(Throughput::Elements(phi as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, _| {
+            b.iter(|| {
+                rac_processing_latency(&mut rac, tagged.clone(), &local_as)
+                    .expect("processing succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_legacy_control_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_legacy_control_service");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for phi in SIZES {
+        let local_as = workload_local_as();
+        let candidates = candidate_set(phi, 7);
+        group.throughput(Throughput::Elements(phi as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, _| {
+            b.iter(|| legacy_selection_latency(&candidates, &local_as));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig6, bench_irec_pipeline, bench_legacy_control_service);
+criterion_main!(fig6);

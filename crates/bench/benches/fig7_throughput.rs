@@ -1,0 +1,75 @@
+//! Criterion benchmark behind Fig. 7: PCB processing throughput of parallel RACs.
+//!
+//! The `fig7` binary scans the full (#RACs × |Φ|) grid with wall-clock windows; this bench
+//! measures the throughput-critical kernel (one RAC repeatedly re-processing a candidate
+//! set) and its scaling to a small number of parallel RAC threads, with Criterion's
+//! statistical machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use irec_bench::workload::{
+    candidate_set, on_demand_rac, rac_processing_latency, tag_candidates, workload_local_as,
+};
+use std::time::Duration;
+
+fn bench_parallel_racs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_parallel_racs");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let phi = 256usize;
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&n| n <= max_threads)
+        .collect();
+
+    for racs in thread_counts {
+        group.throughput(Throughput::Elements((phi * racs) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(racs), &racs, |b, &racs| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(racs);
+                    for worker in 0..racs {
+                        handles.push(scope.spawn(move || {
+                            let local_as = workload_local_as();
+                            let (mut rac, _, store) = on_demand_rac();
+                            let tagged = tag_candidates(&candidate_set(phi, worker as u64), &store);
+                            rac_processing_latency(&mut rac, tagged, &local_as)
+                                .expect("processing succeeds")
+                        }));
+                    }
+                    for h in handles {
+                        h.join().expect("worker thread");
+                    }
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_phi_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_phi_scaling_single_rac");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for phi in [16usize, 64, 256, 1024] {
+        let local_as = workload_local_as();
+        let (mut rac, _, store) = on_demand_rac();
+        let tagged = tag_candidates(&candidate_set(phi, 3), &store);
+        group.throughput(Throughput::Elements(phi as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, _| {
+            b.iter(|| {
+                rac_processing_latency(&mut rac, tagged.clone(), &local_as)
+                    .expect("processing succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig7, bench_parallel_racs, bench_phi_scaling);
+criterion_main!(fig7);

@@ -1,0 +1,129 @@
+//! A tiny `--key value` argument parser shared by the figure binaries (no external
+//! dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed benchmark arguments with defaults suitable for a laptop-scale run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Number of ASes of the generated topology (`--ases`, default 60; the paper uses 500).
+    pub ases: usize,
+    /// Number of beaconing rounds to simulate (`--rounds`, default 8).
+    pub rounds: usize,
+    /// PRNG seed (`--seed`, default 7).
+    pub seed: u64,
+    /// Number of (origin, target) AS pairs sampled for the PD workflow (`--pd-pairs`,
+    /// default 10).
+    pub pd_pairs: usize,
+    /// Repetitions per measurement point for the micro-benchmarks (`--reps`, default 5).
+    pub reps: usize,
+    /// Maximum number of parallel RACs for the throughput scan (`--max-racs`,
+    /// default = available parallelism capped at 16).
+    pub max_racs: usize,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        BenchArgs {
+            ases: 60,
+            rounds: 8,
+            seed: 7,
+            pd_pairs: 10,
+            reps: 5,
+            max_racs: cores.min(16),
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `--key value` pairs from an iterator of arguments (unknown keys are ignored so
+    /// binaries stay forward compatible).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut map: HashMap<String, String> = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if let Some(value) = iter.peek() {
+                    if !value.starts_with("--") {
+                        map.insert(key.to_string(), value.clone());
+                        iter.next();
+                        continue;
+                    }
+                }
+                map.insert(key.to_string(), String::from("true"));
+            }
+        }
+        let mut parsed = BenchArgs::default();
+        let get = |map: &HashMap<String, String>, key: &str| -> Option<usize> {
+            map.get(key).and_then(|v| v.parse().ok())
+        };
+        if let Some(v) = get(&map, "ases") {
+            parsed.ases = v.max(5);
+        }
+        if let Some(v) = get(&map, "rounds") {
+            parsed.rounds = v.max(1);
+        }
+        if let Some(v) = map.get("seed").and_then(|v| v.parse().ok()) {
+            parsed.seed = v;
+        }
+        if let Some(v) = get(&map, "pd-pairs") {
+            parsed.pd_pairs = v;
+        }
+        if let Some(v) = get(&map, "reps") {
+            parsed.reps = v.max(1);
+        }
+        if let Some(v) = get(&map, "max-racs") {
+            parsed.max_racs = v.clamp(1, 64);
+        }
+        parsed
+    }
+
+    /// Parses the current process arguments (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> BenchArgs {
+        BenchArgs::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_arguments() {
+        let a = parse(&[]);
+        assert_eq!(a.ases, 60);
+        assert_eq!(a.rounds, 8);
+        assert!(a.max_racs >= 1);
+    }
+
+    #[test]
+    fn parses_known_keys() {
+        let a = parse(&["--ases", "120", "--rounds", "12", "--seed", "99", "--pd-pairs", "3", "--reps", "2", "--max-racs", "4"]);
+        assert_eq!(a.ases, 120);
+        assert_eq!(a.rounds, 12);
+        assert_eq!(a.seed, 99);
+        assert_eq!(a.pd_pairs, 3);
+        assert_eq!(a.reps, 2);
+        assert_eq!(a.max_racs, 4);
+    }
+
+    #[test]
+    fn ignores_unknown_keys_and_clamps() {
+        let a = parse(&["--bogus", "x", "--ases", "1", "--max-racs", "1000"]);
+        assert_eq!(a.ases, 5);
+        assert_eq!(a.max_racs, 64);
+    }
+
+    #[test]
+    fn flag_without_value_is_tolerated() {
+        let a = parse(&["--verbose", "--rounds", "3"]);
+        assert_eq!(a.rounds, 3);
+    }
+}

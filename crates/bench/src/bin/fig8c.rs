@@ -1,0 +1,41 @@
+//! Regenerates **Fig. 8c** of the paper: the CDF of PCBs sent per interface per beaconing
+//! period, for 1SP, 5SP, HD, PD, DON, DOB2000 and DOB300.
+//!
+//! ```text
+//! cargo run -p irec-bench --bin fig8c --release -- [--ases 60] [--rounds 8]
+//! ```
+//!
+//! The counts are per egress interface and per 10-simulated-minute period (non-zero cells,
+//! matching the paper's log-scale x-axis). Expected shape: the push-based algorithms
+//! (1SP/5SP/DON/DOB) have uniform per-interface overhead — 5SP above 1SP, the DOB variants
+//! growing with the number of interface groups — while HD and PD send far fewer beacons in
+//! most periods, with occasional PD spikes from per-pair pull rounds.
+
+use irec_bench::campaign::{print_cdf, print_summary, Fig8Campaign};
+use irec_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    eprintln!(
+        "# Fig. 8c — building topology with {} ASes (seed {}), {} rounds",
+        args.ases, args.seed, args.rounds
+    );
+    let campaign = Fig8Campaign::new(args);
+    let data = campaign.run().expect("campaign run succeeds");
+    let (ases, links) = data.topology_size;
+    println!("# Fig. 8c — PCBs per interface per period");
+    println!("# topology: {ases} ASes, {links} inter-domain links");
+    println!("# columns: series, PCBs per interface per period, CDF fraction");
+
+    let mut summaries = Vec::new();
+    for series in ["1SP", "5SP", "HD", "PD", "DON", "DOB2000", "DOB300"] {
+        let cdf = data.overhead_cdf(series);
+        print_cdf(series, &cdf);
+        summaries.push((series, cdf));
+    }
+    println!("#\n# summary (PCBs per interface per period):");
+    for (series, cdf) in &summaries {
+        print!("# ");
+        print_summary(series, cdf);
+    }
+}

@@ -1,0 +1,323 @@
+//! The ingress and egress beacon databases.
+//!
+//! The paper's implementation uses SQLite for both; what the architecture needs from them is
+//! (i) an indexed store of received PCBs queryable per `(origin AS, interface group, target)`
+//! with expiry-based eviction (the ingress DB), and (ii) a memory-cheap dedup structure
+//! remembering which PCB (by hash) has already been propagated on which egress interface
+//! (the egress DB — "the egress database does not store the actual PCBs, but only their
+//! hashes").
+
+use irec_pcb::{Pcb, PcbId};
+use irec_types::{AsId, IfId, InterfaceGroupId, SimTime};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A received beacon as stored in the ingress database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredBeacon {
+    /// The beacon itself.
+    pub pcb: Pcb,
+    /// The local interface it arrived on.
+    pub ingress: IfId,
+    /// When it was received.
+    pub received_at: SimTime,
+}
+
+/// The key the ingress DB groups candidates by: the parameters a RAC requests PCBs for
+/// (§V-C: "the PCBs provided as input are specific for an origin AS, as well as interface
+/// group and target AS").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BatchKey {
+    /// Origin AS of the beacons.
+    pub origin: AsId,
+    /// Interface group (the default group when the origin does not use groups).
+    pub group: InterfaceGroupId,
+    /// Target AS for pull-based beacons, `None` for conventional ones.
+    pub target: Option<AsId>,
+}
+
+/// The ingress database: received beacons indexed for RAC consumption.
+#[derive(Debug, Default)]
+pub struct IngressDb {
+    by_key: BTreeMap<BatchKey, Vec<StoredBeacon>>,
+    seen: HashSet<PcbId>,
+}
+
+impl IngressDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a received beacon. Returns `false` when an identical beacon (same digest) is
+    /// already stored (duplicate suppression).
+    pub fn insert(&mut self, pcb: Pcb, ingress: IfId, received_at: SimTime) -> bool {
+        let id = pcb.digest();
+        if !self.seen.insert(id) {
+            return false;
+        }
+        let key = BatchKey {
+            origin: pcb.origin,
+            group: pcb.extensions.interface_group.unwrap_or(InterfaceGroupId::DEFAULT),
+            target: pcb.extensions.target,
+        };
+        self.by_key.entry(key).or_default().push(StoredBeacon {
+            pcb,
+            ingress,
+            received_at,
+        });
+        true
+    }
+
+    /// All batch keys currently present.
+    pub fn batch_keys(&self) -> Vec<BatchKey> {
+        self.by_key.keys().copied().collect()
+    }
+
+    /// The stored beacons for one batch key (unexpired at `now`).
+    pub fn beacons_for(&self, key: &BatchKey, now: SimTime) -> Vec<StoredBeacon> {
+        self.by_key
+            .get(key)
+            .map(|v| v.iter().filter(|b| !b.pcb.is_expired(now)).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// The stored beacons for one origin across all its interface groups, merged into one
+    /// list — what a RAC with `use_interface_groups` disabled processes.
+    pub fn beacons_for_origin(&self, origin: AsId, target: Option<AsId>, now: SimTime) -> Vec<StoredBeacon> {
+        self.by_key
+            .iter()
+            .filter(|(k, _)| k.origin == origin && k.target == target)
+            .flat_map(|(_, v)| v.iter())
+            .filter(|b| !b.pcb.is_expired(now))
+            .cloned()
+            .collect()
+    }
+
+    /// Total number of stored beacons (including expired ones not yet evicted).
+    pub fn len(&self) -> usize {
+        self.by_key.values().map(Vec::len).sum()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes beacons that are expired at `now` (or expire within `grace`), mirroring the
+    /// paper's "periodically removes (soon-to-be) expired PCBs". Returns how many were
+    /// evicted.
+    pub fn evict_expired(&mut self, now: SimTime, grace: irec_types::SimDuration) -> usize {
+        let horizon = now + grace;
+        let mut evicted = 0;
+        self.by_key.retain(|_, beacons| {
+            beacons.retain(|b| {
+                let keep = !b.pcb.is_expired(horizon);
+                if !keep {
+                    evicted += 1;
+                    self.seen.remove(&b.pcb.digest());
+                }
+                keep
+            });
+            !beacons.is_empty()
+        });
+        evicted
+    }
+}
+
+/// The egress database: remembers, per PCB hash, the egress interfaces the beacon has already
+/// been propagated on, so duplicate selections by multiple RACs are propagated only once per
+/// interface.
+#[derive(Debug, Default)]
+pub struct EgressDb {
+    propagated: HashMap<PcbId, HashSet<IfId>>,
+    expiry: BTreeMap<SimTime, Vec<PcbId>>,
+}
+
+impl EgressDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `pcb` is about to be propagated on `egress_ifs`. Returns the subset of
+    /// interfaces that are *new* for this PCB (the ones propagation should actually happen
+    /// on); interfaces already recorded are filtered out.
+    pub fn filter_new_egresses(&mut self, pcb: &Pcb, egress_ifs: &[IfId]) -> Vec<IfId> {
+        let id = pcb.digest();
+        let entry = self.propagated.entry(id).or_insert_with(|| {
+            self.expiry.entry(pcb.expires_at).or_default().push(id);
+            HashSet::new()
+        });
+        egress_ifs
+            .iter()
+            .copied()
+            .filter(|ifid| entry.insert(*ifid))
+            .collect()
+    }
+
+    /// Whether the PCB has already been recorded for the given egress interface.
+    pub fn contains(&self, pcb: &Pcb, egress: IfId) -> bool {
+        self.propagated
+            .get(&pcb.digest())
+            .map(|s| s.contains(&egress))
+            .unwrap_or(false)
+    }
+
+    /// Number of PCB hashes tracked.
+    pub fn len(&self) -> usize {
+        self.propagated.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.propagated.is_empty()
+    }
+
+    /// Evicts entries whose beacons expired at or before `now`. Returns how many hashes were
+    /// removed.
+    pub fn evict_expired(&mut self, now: SimTime) -> usize {
+        let mut removed = 0;
+        let still_valid = self.expiry.split_off(&SimTime::from_micros(now.as_micros() + 1));
+        for (_, ids) in std::mem::replace(&mut self.expiry, still_valid) {
+            for id in ids {
+                if self.propagated.remove(&id).is_some() {
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irec_crypto::{KeyRegistry, Signer};
+    use irec_pcb::{PcbExtensions, StaticInfo};
+    use irec_types::{Bandwidth, Latency, SimDuration};
+
+    fn pcb(origin: u64, seq: u64, extensions: PcbExtensions, validity_h: u64) -> Pcb {
+        let registry = KeyRegistry::with_ases(3, 64);
+        let signer = Signer::new(AsId(origin), registry);
+        let mut pcb = Pcb::originate(
+            AsId(origin),
+            seq,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(validity_h),
+            extensions,
+        );
+        pcb.extend(
+            IfId::NONE,
+            IfId(1),
+            StaticInfo::origin(Latency::from_millis(5), Bandwidth::from_mbps(100), None),
+            &signer,
+        )
+        .unwrap();
+        pcb
+    }
+
+    #[test]
+    fn ingress_insert_and_query() {
+        let mut db = IngressDb::new();
+        assert!(db.is_empty());
+        assert!(db.insert(pcb(1, 0, PcbExtensions::none(), 6), IfId(4), SimTime::ZERO));
+        assert!(db.insert(pcb(1, 1, PcbExtensions::none(), 6), IfId(4), SimTime::ZERO));
+        assert!(db.insert(pcb(2, 0, PcbExtensions::none(), 6), IfId(5), SimTime::ZERO));
+        assert_eq!(db.len(), 3);
+        let keys = db.batch_keys();
+        assert_eq!(keys.len(), 2);
+        let key1 = BatchKey { origin: AsId(1), group: InterfaceGroupId::DEFAULT, target: None };
+        assert_eq!(db.beacons_for(&key1, SimTime::ZERO).len(), 2);
+    }
+
+    #[test]
+    fn ingress_duplicate_suppression() {
+        let mut db = IngressDb::new();
+        let p = pcb(1, 0, PcbExtensions::none(), 6);
+        assert!(db.insert(p.clone(), IfId(4), SimTime::ZERO));
+        assert!(!db.insert(p, IfId(4), SimTime::ZERO));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn ingress_groups_and_targets_separate_batches() {
+        let mut db = IngressDb::new();
+        db.insert(pcb(1, 0, PcbExtensions::none(), 6), IfId(1), SimTime::ZERO);
+        db.insert(
+            pcb(1, 1, PcbExtensions::none().with_interface_group(InterfaceGroupId(2)), 6),
+            IfId(1),
+            SimTime::ZERO,
+        );
+        db.insert(
+            pcb(1, 2, PcbExtensions::none().with_target(AsId(9)), 6),
+            IfId(1),
+            SimTime::ZERO,
+        );
+        assert_eq!(db.batch_keys().len(), 3);
+        // Merged view across groups for a RAC without interface-group processing.
+        assert_eq!(db.beacons_for_origin(AsId(1), None, SimTime::ZERO).len(), 2);
+        assert_eq!(db.beacons_for_origin(AsId(1), Some(AsId(9)), SimTime::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn ingress_expiry_filtering_and_eviction() {
+        let mut db = IngressDb::new();
+        db.insert(pcb(1, 0, PcbExtensions::none(), 1), IfId(1), SimTime::ZERO);
+        db.insert(pcb(1, 1, PcbExtensions::none(), 10), IfId(1), SimTime::ZERO);
+        let key = BatchKey { origin: AsId(1), group: InterfaceGroupId::DEFAULT, target: None };
+        let later = SimTime::ZERO + SimDuration::from_hours(2);
+        assert_eq!(db.beacons_for(&key, later).len(), 1);
+        let evicted = db.evict_expired(later, SimDuration::ZERO);
+        assert_eq!(evicted, 1);
+        assert_eq!(db.len(), 1);
+        // The evicted digest can be inserted again (e.g. a re-originated beacon).
+        assert!(db.insert(pcb(1, 0, PcbExtensions::none(), 1), IfId(1), SimTime::ZERO));
+    }
+
+    #[test]
+    fn ingress_soon_to_expire_grace_eviction() {
+        let mut db = IngressDb::new();
+        db.insert(pcb(1, 0, PcbExtensions::none(), 2), IfId(1), SimTime::ZERO);
+        // At t=1h the beacon is still valid, but with a 2h grace window it is "soon to be
+        // expired" and gets evicted.
+        let t = SimTime::ZERO + SimDuration::from_hours(1);
+        assert_eq!(db.evict_expired(t, SimDuration::from_hours(2)), 1);
+    }
+
+    #[test]
+    fn egress_dedup_per_interface() {
+        let mut db = EgressDb::new();
+        let p = pcb(1, 0, PcbExtensions::none(), 6);
+        let first = db.filter_new_egresses(&p, &[IfId(1), IfId(2)]);
+        assert_eq!(first, vec![IfId(1), IfId(2)]);
+        // A second RAC selects the same PCB for if2 and if3: only if3 is new.
+        let second = db.filter_new_egresses(&p, &[IfId(2), IfId(3)]);
+        assert_eq!(second, vec![IfId(3)]);
+        assert!(db.contains(&p, IfId(1)));
+        assert!(!db.contains(&p, IfId(9)));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn egress_eviction_by_expiry() {
+        let mut db = EgressDb::new();
+        let short = pcb(1, 0, PcbExtensions::none(), 1);
+        let long = pcb(1, 1, PcbExtensions::none(), 10);
+        db.filter_new_egresses(&short, &[IfId(1)]);
+        db.filter_new_egresses(&long, &[IfId(1)]);
+        assert_eq!(db.len(), 2);
+        let removed = db.evict_expired(SimTime::ZERO + SimDuration::from_hours(2));
+        assert_eq!(removed, 1);
+        assert_eq!(db.len(), 1);
+        // After eviction the short beacon would be propagated again if re-selected.
+        assert!(!db.contains(&short, IfId(1)));
+    }
+
+    #[test]
+    fn egress_empty_interface_list() {
+        let mut db = EgressDb::new();
+        let p = pcb(1, 0, PcbExtensions::none(), 6);
+        assert!(db.filter_new_egresses(&p, &[]).is_empty());
+        assert_eq!(db.len(), 1); // the hash is tracked even with no interfaces yet
+    }
+}

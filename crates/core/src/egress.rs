@@ -1,0 +1,535 @@
+//! The egress gateway (§V-D): PCB origination, deduplication, extension with the local hop
+//! entry, propagation to neighbors, pull-based returns, and path registration.
+
+use crate::beacon_db::EgressDb;
+use crate::config::PropagationPolicy;
+use crate::messages::{PcbMessage, PullReturn};
+use crate::path_service::{PathService, RegisteredPath};
+use crate::rac::RacOutput;
+use irec_crypto::Signer;
+use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
+use irec_topology::Topology;
+use irec_types::{AsId, IfId, InterfaceGroupId, Result, SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// What an AS originates each beaconing round: for every interface group, the member
+/// interfaces to send fresh beacons on, plus the extensions to attach (the same `extensions`
+/// are attached to every beacon of this spec, with the group id filled in per group).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OriginationSpec {
+    /// Member interfaces per interface group. A single default group containing every
+    /// interface reproduces legacy SCION origination.
+    pub groups: BTreeMap<InterfaceGroupId, Vec<IfId>>,
+    /// Extensions to attach (target for pull-based routing, algorithm for on-demand routing).
+    /// The interface-group extension is set automatically per group.
+    pub extensions: PcbExtensions,
+    /// Whether to include the interface-group extension (origins that do not opt into
+    /// flexible granularity leave it out entirely).
+    pub tag_groups: bool,
+}
+
+impl OriginationSpec {
+    /// A legacy-style spec: one default group with the given interfaces and no extensions.
+    pub fn plain(interfaces: Vec<IfId>) -> Self {
+        let mut groups = BTreeMap::new();
+        groups.insert(InterfaceGroupId::DEFAULT, interfaces);
+        OriginationSpec {
+            groups,
+            extensions: PcbExtensions::none(),
+            tag_groups: false,
+        }
+    }
+
+    /// A grouped spec originating per interface group (flexible granularity, §IV-D).
+    pub fn grouped(groups: BTreeMap<InterfaceGroupId, Vec<IfId>>) -> Self {
+        OriginationSpec {
+            groups,
+            extensions: PcbExtensions::none(),
+            tag_groups: true,
+        }
+    }
+
+    /// Builder-style: attach extensions (target and/or algorithm) to every originated beacon.
+    #[must_use]
+    pub fn with_extensions(mut self, extensions: PcbExtensions) -> Self {
+        self.extensions = extensions;
+        self
+    }
+}
+
+/// Counters kept by the egress gateway; the per-interface send counts feed the Fig. 8c
+/// overhead metric.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EgressStats {
+    /// PCBs sent per egress interface (cumulative).
+    pub sent_per_interface: BTreeMap<IfId, u64>,
+    /// Pull-based beacons returned to their origins.
+    pub pull_returns: u64,
+    /// Paths registered at the path service.
+    pub registered: u64,
+}
+
+impl EgressStats {
+    /// Total PCBs sent.
+    pub fn total_sent(&self) -> u64 {
+        self.sent_per_interface.values().sum()
+    }
+}
+
+/// The egress gateway of one AS.
+pub struct EgressGateway {
+    local_as: AsId,
+    topology: Arc<Topology>,
+    signer: Signer,
+    policy: PropagationPolicy,
+    db: EgressDb,
+    path_service: PathService,
+    stats: EgressStats,
+    sequence: u64,
+}
+
+impl EgressGateway {
+    /// Creates an egress gateway.
+    pub fn new(
+        local_as: AsId,
+        topology: Arc<Topology>,
+        signer: Signer,
+        policy: PropagationPolicy,
+    ) -> Self {
+        EgressGateway {
+            local_as,
+            topology,
+            signer,
+            policy,
+            db: EgressDb::new(),
+            path_service: PathService::new(),
+            stats: EgressStats::default(),
+            sequence: 0,
+        }
+    }
+
+    /// The local path service.
+    pub fn path_service(&self) -> &PathService {
+        &self.path_service
+    }
+
+    /// Mutable access to the local path service (for pull-return registration by the node).
+    pub fn path_service_mut(&mut self) -> &mut PathService {
+        &mut self.path_service
+    }
+
+    /// The gateway counters.
+    pub fn stats(&self) -> &EgressStats {
+        &self.stats
+    }
+
+    /// Resets the per-interface send counters (called by the simulator at period boundaries
+    /// so overhead can be accounted per period).
+    pub fn take_sent_counters(&mut self) -> BTreeMap<IfId, u64> {
+        std::mem::take(&mut self.stats.sent_per_interface)
+    }
+
+    /// Evicts expired entries from the egress dedup database.
+    pub fn evict_expired(&mut self, now: SimTime) -> usize {
+        self.db.evict_expired(now)
+    }
+
+    /// Originates fresh beacons according to `spec` ("PCB Initialization", §V-D): one beacon
+    /// per member interface per group, carrying all metadata the AS shares plus the
+    /// requested extensions, signed by the origin.
+    pub fn originate(
+        &mut self,
+        spec: &OriginationSpec,
+        now: SimTime,
+        validity: SimDuration,
+    ) -> Result<Vec<PcbMessage>> {
+        let mut messages = Vec::new();
+        for (group, interfaces) in &spec.groups {
+            for &egress in interfaces {
+                let link = self.topology.link_at(self.local_as, egress)?;
+                let interface = self.topology.interface(self.local_as, egress)?;
+                let mut extensions = spec.extensions;
+                if spec.tag_groups {
+                    extensions.interface_group = Some(*group);
+                }
+                let mut pcb = Pcb::originate(
+                    self.local_as,
+                    self.sequence,
+                    now,
+                    now + validity,
+                    extensions,
+                );
+                self.sequence += 1;
+                let info = StaticInfo::origin(
+                    link.metrics.latency,
+                    link.metrics.bandwidth,
+                    Some(interface.location),
+                );
+                pcb.extend(IfId::NONE, egress, info, &self.signer)?;
+                let neighbor = self.topology.neighbor_of(self.local_as, egress)?;
+                *self.stats.sent_per_interface.entry(egress).or_default() += 1;
+                messages.push(PcbMessage {
+                    from_as: self.local_as,
+                    from_if: egress,
+                    to_as: neighbor.asn,
+                    to_if: neighbor.interface,
+                    pcb,
+                });
+            }
+        }
+        Ok(messages)
+    }
+
+    /// Processes the selections of all RACs for this round ("PCB Propagation", §V-D):
+    /// registers the selected paths, returns pull-based beacons whose target is the local AS,
+    /// and propagates the rest (deduplicated per egress interface, extended with the local
+    /// signed hop entry, filtered by the export policy).
+    pub fn process_outputs(
+        &mut self,
+        outputs: Vec<RacOutput>,
+        now: SimTime,
+    ) -> Result<(Vec<PcbMessage>, Vec<PullReturn>)> {
+        let mut messages = Vec::new();
+        let mut returns = Vec::new();
+
+        for output in outputs {
+            // Path registration happens for every selection — these are the paths endpoints
+            // can use, whether or not the beacon is propagated further.
+            self.register_path(&output, now);
+
+            let beacon = &output.beacon;
+            // Pull-based beacon reaching its target: return it to the origin instead of
+            // propagating it further.
+            if beacon.pcb.extensions.target == Some(self.local_as) {
+                self.stats.pull_returns += 1;
+                returns.push(PullReturn {
+                    from_as: self.local_as,
+                    to_as: beacon.pcb.origin,
+                    target_ingress: beacon.ingress,
+                    pcb: beacon.pcb.clone(),
+                });
+                continue;
+            }
+
+            // Export-policy and dedup filtering.
+            let allowed: Vec<IfId> = output
+                .egress_ifs
+                .iter()
+                .copied()
+                .filter(|&egress| self.export_allowed(beacon.ingress, egress))
+                .collect();
+            let new_egresses = self.db.filter_new_egresses(&beacon.pcb, &allowed);
+
+            for egress in new_egresses {
+                match self.extend_and_send(beacon, egress, now) {
+                    Ok(message) => messages.push(message),
+                    Err(_) => {
+                        // A single unpropagatable (e.g. topology-inconsistent) selection must
+                        // not abort the whole round.
+                        continue;
+                    }
+                }
+            }
+        }
+        Ok((messages, returns))
+    }
+
+    fn register_path(&mut self, output: &RacOutput, now: SimTime) {
+        let pcb = &output.beacon.pcb;
+        let Some(destination_interface) = pcb.origin_interface() else {
+            return;
+        };
+        self.stats.registered += 1;
+        self.path_service.register(RegisteredPath {
+            pcb_id: pcb.digest(),
+            destination: pcb.origin,
+            destination_interface,
+            local_interface: output.beacon.ingress,
+            algorithm: output.rac_name.clone(),
+            group: output.group,
+            metrics: pcb.path_metrics(),
+            links: pcb.link_keys(),
+            registered_at: now,
+        });
+    }
+
+    /// Gao–Rexford export rules (or "all" for policy-free example topologies).
+    fn export_allowed(&self, ingress: IfId, egress: IfId) -> bool {
+        if ingress == egress {
+            return false;
+        }
+        match self.policy {
+            PropagationPolicy::All => true,
+            PropagationPolicy::ValleyFree => {
+                let Ok(in_link) = self.topology.link_at(self.local_as, ingress) else {
+                    return false;
+                };
+                let Ok(out_link) = self.topology.link_at(self.local_as, egress) else {
+                    return false;
+                };
+                let from_customer = in_link
+                    .relationship_from(self.local_as)
+                    .map(|r| r.neighbor_is_customer())
+                    .unwrap_or(false);
+                if from_customer {
+                    // Routes learned from customers are exported to everyone.
+                    true
+                } else {
+                    // Routes learned from providers/peers are exported to customers only.
+                    out_link
+                        .relationship_from(self.local_as)
+                        .map(|r| r.neighbor_is_customer())
+                        .unwrap_or(false)
+                }
+            }
+        }
+    }
+
+    fn extend_and_send(
+        &mut self,
+        beacon: &crate::beacon_db::StoredBeacon,
+        egress: IfId,
+        _now: SimTime,
+    ) -> Result<PcbMessage> {
+        let link = self.topology.link_at(self.local_as, egress)?;
+        let interface = self.topology.interface(self.local_as, egress)?;
+        let node = self.topology.as_node(self.local_as)?;
+        let intra = node.intra_latency(beacon.ingress, egress).unwrap_or_default();
+
+        let mut pcb = beacon.pcb.clone();
+        let info = StaticInfo {
+            link_latency: link.metrics.latency,
+            link_bandwidth: link.metrics.bandwidth,
+            intra_latency: intra,
+            egress_location: Some(interface.location),
+        };
+        pcb.extend(beacon.ingress, egress, info, &self.signer)?;
+        let neighbor = self.topology.neighbor_of(self.local_as, egress)?;
+        *self.stats.sent_per_interface.entry(egress).or_default() += 1;
+        Ok(PcbMessage {
+            from_as: self.local_as,
+            from_if: egress,
+            to_as: neighbor.asn,
+            to_if: neighbor.interface,
+            pcb,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beacon_db::StoredBeacon;
+    use irec_crypto::{KeyRegistry, Verifier};
+    use irec_topology::{Tier, TopologyBuilder};
+    use irec_types::{Bandwidth, Latency};
+
+    /// AS 2 in the middle: AS1 --(peer)-- AS2 --(peer)-- AS3, AS2 --(provider->customer)-- AS4.
+    fn topology() -> Arc<Topology> {
+        let t = TopologyBuilder::new()
+            .with_as(1, Tier::Tier2)
+            .with_as(2, Tier::Tier2)
+            .with_as(3, Tier::Tier2)
+            .with_as(4, Tier::Tier3)
+            .link(1, 2, Latency::from_millis(10), Bandwidth::from_mbps(100))
+            .link(2, 3, Latency::from_millis(10), Bandwidth::from_mbps(100))
+            .provider_link(2, 4, Latency::from_millis(5), Bandwidth::from_mbps(50))
+            .build();
+        Arc::new(t)
+    }
+
+    fn gateway(policy: PropagationPolicy) -> (EgressGateway, KeyRegistry, Arc<Topology>) {
+        let topo = topology();
+        let registry = KeyRegistry::with_ases(1, 16);
+        let signer = Signer::new(AsId(2), registry.clone());
+        (
+            EgressGateway::new(AsId(2), Arc::clone(&topo), signer, policy),
+            registry,
+            topo,
+        )
+    }
+
+    fn received_beacon(registry: &KeyRegistry, origin: u64, via_egress: u32, local_ingress: u32) -> StoredBeacon {
+        let signer = Signer::new(AsId(origin), registry.clone());
+        let mut pcb = Pcb::originate(
+            AsId(origin),
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(6),
+            PcbExtensions::none(),
+        );
+        pcb.extend(
+            IfId::NONE,
+            IfId(via_egress),
+            StaticInfo::origin(Latency::from_millis(10), Bandwidth::from_mbps(100), None),
+            &signer,
+        )
+        .unwrap();
+        StoredBeacon {
+            pcb,
+            ingress: IfId(local_ingress),
+            received_at: SimTime::ZERO,
+        }
+    }
+
+    fn output(name: &str, beacon: StoredBeacon, egress_ifs: Vec<IfId>) -> RacOutput {
+        RacOutput {
+            rac_name: name.to_string(),
+            origin: beacon.pcb.origin,
+            group: InterfaceGroupId::DEFAULT,
+            beacon,
+            egress_ifs,
+        }
+    }
+
+    #[test]
+    fn origination_creates_signed_beacons_per_interface() {
+        let (mut gw, registry, topo) = gateway(PropagationPolicy::All);
+        // AS2's interfaces: if1 (to AS1), if2 (to AS3), if3 (to AS4).
+        let spec = OriginationSpec::plain(topo.as_node(AsId(2)).unwrap().interfaces.keys().copied().collect());
+        let messages = gw.originate(&spec, SimTime::ZERO, SimDuration::from_hours(6)).unwrap();
+        assert_eq!(messages.len(), 3);
+        let verifier = Verifier::new(registry);
+        for m in &messages {
+            assert_eq!(m.from_as, AsId(2));
+            assert_eq!(m.pcb.origin, AsId(2));
+            assert_eq!(m.pcb.len(), 1);
+            m.pcb.verify(&verifier).unwrap();
+            // Each beacon goes to the neighbor on the other end of the egress link.
+            let neighbor = topo.neighbor_of(AsId(2), m.from_if).unwrap();
+            assert_eq!(m.to_as, neighbor.asn);
+        }
+        assert_eq!(gw.stats().total_sent(), 3);
+    }
+
+    #[test]
+    fn grouped_origination_tags_groups() {
+        let (mut gw, _, _) = gateway(PropagationPolicy::All);
+        let mut groups = BTreeMap::new();
+        groups.insert(InterfaceGroupId(1), vec![IfId(1)]);
+        groups.insert(InterfaceGroupId(2), vec![IfId(2), IfId(3)]);
+        let spec = OriginationSpec::grouped(groups);
+        let messages = gw.originate(&spec, SimTime::ZERO, SimDuration::from_hours(1)).unwrap();
+        assert_eq!(messages.len(), 3);
+        for m in &messages {
+            let group = m.pcb.extensions.interface_group.unwrap();
+            if m.from_if == IfId(1) {
+                assert_eq!(group, InterfaceGroupId(1));
+            } else {
+                assert_eq!(group, InterfaceGroupId(2));
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_extends_signs_and_addresses_messages() {
+        let (mut gw, registry, topo) = gateway(PropagationPolicy::All);
+        let beacon = received_beacon(&registry, 1, 1, 1); // arrived on if1 (from AS1)
+        let outputs = vec![output("1SP", beacon, vec![IfId(2), IfId(3)])];
+        let (messages, returns) = gw.process_outputs(outputs, SimTime::ZERO).unwrap();
+        assert!(returns.is_empty());
+        assert_eq!(messages.len(), 2);
+        let verifier = Verifier::new(registry);
+        for m in &messages {
+            assert_eq!(m.pcb.len(), 2);
+            assert_eq!(m.pcb.last_as(), AsId(2));
+            m.pcb.verify(&verifier).unwrap();
+            let neighbor = topo.neighbor_of(AsId(2), m.from_if).unwrap();
+            assert_eq!((m.to_as, m.to_if), (neighbor.asn, neighbor.interface));
+        }
+        // The path was registered and tagged.
+        assert_eq!(gw.path_service().len(), 1);
+        assert_eq!(gw.path_service().paths_to(AsId(1))[0].algorithm, "1SP");
+    }
+
+    #[test]
+    fn egress_dedup_prevents_duplicate_propagation() {
+        let (mut gw, registry, _) = gateway(PropagationPolicy::All);
+        let beacon = received_beacon(&registry, 1, 1, 1);
+        // Two RACs select the same beacon; the second selection adds only the new interface.
+        let outputs = vec![
+            output("1SP", beacon.clone(), vec![IfId(2)]),
+            output("DO", beacon, vec![IfId(2), IfId(3)]),
+        ];
+        let (messages, _) = gw.process_outputs(outputs, SimTime::ZERO).unwrap();
+        assert_eq!(messages.len(), 2);
+        let sent_ifs: Vec<IfId> = messages.iter().map(|m| m.from_if).collect();
+        assert!(sent_ifs.contains(&IfId(2)) && sent_ifs.contains(&IfId(3)));
+        // Both RACs registered their selection.
+        assert_eq!(gw.path_service().len(), 2);
+    }
+
+    #[test]
+    fn never_propagates_back_on_the_ingress_interface() {
+        let (mut gw, registry, _) = gateway(PropagationPolicy::All);
+        let beacon = received_beacon(&registry, 1, 1, 1);
+        let outputs = vec![output("1SP", beacon, vec![IfId(1)])];
+        let (messages, _) = gw.process_outputs(outputs, SimTime::ZERO).unwrap();
+        assert!(messages.is_empty());
+    }
+
+    #[test]
+    fn valley_free_policy_restricts_exports() {
+        // Beacon arrives from AS1, a *peer* of AS2: it may only be exported to customers
+        // (AS4 on if3), not to the other peer AS3 (if2).
+        let (mut gw, registry, _) = gateway(PropagationPolicy::ValleyFree);
+        let beacon = received_beacon(&registry, 1, 1, 1);
+        let outputs = vec![output("1SP", beacon, vec![IfId(2), IfId(3)])];
+        let (messages, _) = gw.process_outputs(outputs, SimTime::ZERO).unwrap();
+        assert_eq!(messages.len(), 1);
+        assert_eq!(messages[0].from_if, IfId(3));
+        assert_eq!(messages[0].to_as, AsId(4));
+    }
+
+    #[test]
+    fn valley_free_customer_routes_export_everywhere() {
+        // Beacon arrives from AS4, a *customer* of AS2 (on if3): exported to both peers.
+        let (mut gw, registry, _) = gateway(PropagationPolicy::ValleyFree);
+        let beacon = received_beacon(&registry, 4, 1, 3);
+        let outputs = vec![output("1SP", beacon, vec![IfId(1), IfId(2)])];
+        let (messages, _) = gw.process_outputs(outputs, SimTime::ZERO).unwrap();
+        assert_eq!(messages.len(), 2);
+    }
+
+    #[test]
+    fn pull_based_beacon_at_target_is_returned_not_propagated() {
+        let (mut gw, registry, _) = gateway(PropagationPolicy::All);
+        let signer = Signer::new(AsId(1), registry.clone());
+        let mut pcb = Pcb::originate(
+            AsId(1),
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(6),
+            PcbExtensions::none().with_target(AsId(2)),
+        );
+        pcb.extend(
+            IfId::NONE,
+            IfId(1),
+            StaticInfo::origin(Latency::from_millis(10), Bandwidth::from_mbps(100), None),
+            &signer,
+        )
+        .unwrap();
+        let beacon = StoredBeacon { pcb, ingress: IfId(1), received_at: SimTime::ZERO };
+        let outputs = vec![output("od", beacon, vec![IfId(2), IfId(3)])];
+        let (messages, returns) = gw.process_outputs(outputs, SimTime::ZERO).unwrap();
+        assert!(messages.is_empty());
+        assert_eq!(returns.len(), 1);
+        assert_eq!(returns[0].to_as, AsId(1));
+        assert_eq!(returns[0].from_as, AsId(2));
+        assert_eq!(gw.stats().pull_returns, 1);
+    }
+
+    #[test]
+    fn sent_counters_can_be_drained_per_period() {
+        let (mut gw, registry, topo) = gateway(PropagationPolicy::All);
+        let spec = OriginationSpec::plain(topo.as_node(AsId(2)).unwrap().interfaces.keys().copied().collect());
+        gw.originate(&spec, SimTime::ZERO, SimDuration::from_hours(1)).unwrap();
+        let beacon = received_beacon(&registry, 1, 1, 1);
+        gw.process_outputs(vec![output("1SP", beacon, vec![IfId(2)])], SimTime::ZERO).unwrap();
+        let counters = gw.take_sent_counters();
+        assert_eq!(counters.values().sum::<u64>(), 4);
+        // Drained: the next period starts from zero.
+        assert_eq!(gw.stats().total_sent(), 0);
+    }
+}

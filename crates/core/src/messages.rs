@@ -1,0 +1,70 @@
+//! Control-plane messages exchanged between ASes.
+
+use irec_pcb::Pcb;
+use irec_types::{AsId, IfId};
+
+/// A PCB propagated from one AS's egress gateway to a neighbor's ingress gateway.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcbMessage {
+    /// Sending AS.
+    pub from_as: AsId,
+    /// Egress interface at the sender.
+    pub from_if: IfId,
+    /// Receiving AS.
+    pub to_as: AsId,
+    /// Ingress interface at the receiver (the far end of the sender's egress link).
+    pub to_if: IfId,
+    /// The beacon (already extended and signed by the sender).
+    pub pcb: Pcb,
+}
+
+/// A pull-based beacon returned by the target AS to the beacon's origin AS (§IV-B: "the
+/// target AS ... sends them back to their origin AS").
+///
+/// The return travels as a regular control-plane message over an already known path; the
+/// simulator models it as a direct delivery after a delay proportional to the beacon's own
+/// path latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PullReturn {
+    /// The target AS returning the beacon.
+    pub from_as: AsId,
+    /// The origin AS the beacon is returned to.
+    pub to_as: AsId,
+    /// The ingress interface at the target on which the beacon arrived (completes the path).
+    pub target_ingress: IfId,
+    /// The beacon being returned.
+    pub pcb: Pcb,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irec_pcb::PcbExtensions;
+    use irec_types::{SimDuration, SimTime};
+
+    #[test]
+    fn message_construction() {
+        let pcb = Pcb::originate(
+            AsId(1),
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(1),
+            PcbExtensions::none(),
+        );
+        let msg = PcbMessage {
+            from_as: AsId(1),
+            from_if: IfId(2),
+            to_as: AsId(3),
+            to_if: IfId(4),
+            pcb: pcb.clone(),
+        };
+        assert_eq!(msg.pcb.origin, AsId(1));
+        let ret = PullReturn {
+            from_as: AsId(3),
+            to_as: AsId(1),
+            target_ingress: IfId(4),
+            pcb,
+        };
+        assert_eq!(ret.to_as, AsId(1));
+    }
+}

@@ -1,0 +1,436 @@
+//! The per-AS IREC node: ingress gateway + RACs + egress gateway + path service, driven in
+//! rounds by the simulator.
+
+use crate::config::{NodeConfig, RacKind};
+use crate::egress::{EgressGateway, OriginationSpec};
+use crate::ingress::IngressGateway;
+use crate::messages::{PcbMessage, PullReturn};
+use crate::path_service::{PathService, RegisteredPath};
+use crate::rac::{AlgorithmFetcher, Rac, RacTiming, SharedAlgorithmStore};
+use irec_crypto::{KeyRegistry, Signer, Verifier};
+use irec_irvm::Program;
+use irec_pcb::AlgorithmRef;
+use irec_topology::{InterfaceGroups, Topology};
+use irec_types::{AlgorithmId, AsId, IfId, Result, SimTime};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Everything one beaconing round of a node produces, for the simulator to deliver and
+/// account.
+#[derive(Debug, Default)]
+pub struct RoundOutput {
+    /// PCBs to deliver to neighboring ASes.
+    pub messages: Vec<PcbMessage>,
+    /// Pull-based beacons to return to their origin ASes.
+    pub pull_returns: Vec<PullReturn>,
+    /// PCBs sent per local egress interface during this round (Fig. 8c accounting).
+    pub sent_per_interface: BTreeMap<IfId, u64>,
+    /// Accumulated RAC processing timings of the round.
+    pub timing: RacTiming,
+}
+
+/// The control plane of a single AS.
+pub struct IrecNode {
+    asn: AsId,
+    config: NodeConfig,
+    topology: Arc<Topology>,
+    ingress: IngressGateway,
+    egress: EgressGateway,
+    racs: Vec<Rac>,
+    /// Interface groups this AS originates with (flexible granularity, §IV-D).
+    interface_groups: Option<InterfaceGroups>,
+    /// Additional origination specs (pull-based / on-demand requests), beyond the periodic
+    /// plain origination. Each entry is originated every round until removed.
+    extra_originations: Vec<OriginationSpec>,
+    /// The store this node publishes its own on-demand algorithm modules to.
+    algorithm_store: SharedAlgorithmStore,
+    round: u64,
+}
+
+impl IrecNode {
+    /// Creates a node for `asn` with the given configuration.
+    ///
+    /// `registry` is the shared control-plane PKI; `store` the shared on-demand algorithm
+    /// store (publish/fetch).
+    pub fn new(
+        asn: AsId,
+        config: NodeConfig,
+        topology: Arc<Topology>,
+        registry: KeyRegistry,
+        store: SharedAlgorithmStore,
+    ) -> Result<Self> {
+        let signer = Signer::new(asn, registry.clone());
+        let verifier = Verifier::new(registry);
+        let mut racs = Vec::with_capacity(config.racs.len());
+        for rac_config in &config.racs {
+            let mut rac = match &rac_config.kind {
+                RacKind::Static { .. } => Rac::new_static(rac_config.clone())?,
+                RacKind::OnDemand => Rac::new_on_demand(
+                    rac_config.clone(),
+                    Arc::new(store.clone()) as Arc<dyn AlgorithmFetcher>,
+                )?,
+            };
+            if !config.irec_enabled {
+                rac.set_ignore_extensions(true);
+            }
+            racs.push(rac);
+        }
+        let ingress = IngressGateway::new(asn, verifier);
+        let egress = EgressGateway::new(asn, Arc::clone(&topology), signer, config.policy);
+        Ok(IrecNode {
+            asn,
+            config,
+            topology,
+            ingress,
+            egress,
+            racs,
+            interface_groups: None,
+            extra_originations: Vec::new(),
+            algorithm_store: store,
+            round: 0,
+        })
+    }
+
+    /// The AS this node belongs to.
+    pub fn asn(&self) -> AsId {
+        self.asn
+    }
+
+    /// The node configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// The node's path service (registered paths available to endpoints).
+    pub fn path_service(&self) -> &PathService {
+        self.egress.path_service()
+    }
+
+    /// The ingress gateway (exposed for tests and the simulator's bootstrap).
+    pub fn ingress(&self) -> &IngressGateway {
+        &self.ingress
+    }
+
+    /// Number of beaconing rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Configures the interface groups this AS originates with. `None` (the default) means
+    /// plain origination without group tags.
+    pub fn set_interface_groups(&mut self, groups: Option<InterfaceGroups>) {
+        self.interface_groups = groups;
+    }
+
+    /// Publishes an on-demand algorithm module under this AS's identity and returns the
+    /// reference to embed in originated PCBs.
+    pub fn publish_algorithm(&self, id: AlgorithmId, program: &Program) -> AlgorithmRef {
+        self.algorithm_store
+            .publish(self.asn, id, program.to_module_bytes())
+    }
+
+    /// Adds an extra origination spec (e.g. a pull-based/on-demand request towards a target).
+    /// It is originated every round until [`IrecNode::clear_extra_originations`] is called.
+    pub fn add_origination(&mut self, spec: OriginationSpec) {
+        self.extra_originations.push(spec);
+    }
+
+    /// Removes all extra origination specs.
+    pub fn clear_extra_originations(&mut self) {
+        self.extra_originations.clear();
+    }
+
+    /// Handles a PCB received from a neighbor. Verification/policy failures are reported but
+    /// are not fatal to the node.
+    pub fn handle_message(&mut self, message: PcbMessage, now: SimTime) -> Result<()> {
+        self.ingress.receive(message.pcb, message.to_if, now)
+    }
+
+    /// Handles a pull-based beacon returned by its target (§IV-B): the completed path is
+    /// registered at the local path service, tagged as pull-based.
+    pub fn handle_pull_return(&mut self, ret: PullReturn, now: SimTime) {
+        let pcb = &ret.pcb;
+        let Some(origin_interface) = pcb.origin_interface() else {
+            return;
+        };
+        // The returned beacon describes a path from this AS (the beacon origin) to the
+        // target; register it with the target as the destination.
+        self.egress.path_service_mut().register(RegisteredPath {
+            pcb_id: pcb.digest(),
+            destination: ret.from_as,
+            destination_interface: ret.target_ingress,
+            local_interface: origin_interface,
+            algorithm: "PD".to_string(),
+            group: pcb
+                .extensions
+                .interface_group
+                .unwrap_or(irec_types::InterfaceGroupId::DEFAULT),
+            metrics: pcb.path_metrics(),
+            links: pcb.link_keys(),
+            registered_at: now,
+        });
+    }
+
+    /// Runs one beaconing round: originate fresh beacons, run every RAC over the ingress
+    /// database, and process the selections through the egress gateway.
+    pub fn beaconing_round(&mut self, now: SimTime) -> Result<RoundOutput> {
+        self.round += 1;
+        let mut output = RoundOutput::default();
+
+        // 1. Origination (periodic, §V-D "PCB Initialization").
+        let all_interfaces: Vec<IfId> = self
+            .topology
+            .as_node(self.asn)?
+            .interfaces
+            .keys()
+            .copied()
+            .collect();
+        let base_spec = match (&self.interface_groups, self.config.irec_enabled) {
+            (Some(groups), true) => {
+                let mut by_group = BTreeMap::new();
+                for gid in groups.group_ids() {
+                    by_group.insert(gid, groups.members(gid).to_vec());
+                }
+                OriginationSpec::grouped(by_group)
+            }
+            _ => OriginationSpec::plain(all_interfaces.clone()),
+        };
+        output
+            .messages
+            .extend(self.egress.originate(&base_spec, now, self.config.beacon_validity)?);
+        if self.config.irec_enabled {
+            let extra = self.extra_originations.clone();
+            for spec in &extra {
+                output
+                    .messages
+                    .extend(self.egress.originate(spec, now, self.config.beacon_validity)?);
+            }
+        }
+
+        // 2. RAC processing (§V-C).
+        let local_as = self.topology.as_node(self.asn)?;
+        let mut all_outputs = Vec::new();
+        for rac in &mut self.racs {
+            let (outputs, timing) = rac.process(self.ingress.db(), local_as, &all_interfaces, now)?;
+            output.timing.accumulate(&timing);
+            all_outputs.extend(outputs);
+        }
+
+        // 3. Egress processing (§V-D).
+        let (messages, returns) = self.egress.process_outputs(all_outputs, now)?;
+        output.messages.extend(messages);
+        output.pull_returns = returns;
+
+        // 4. Housekeeping: expiry eviction and per-round counters.
+        self.ingress
+            .db_mut()
+            .evict_expired(now, irec_types::SimDuration::ZERO);
+        self.egress.evict_expired(now);
+        output.sent_per_interface = self.egress.take_sent_counters();
+        Ok(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PropagationPolicy;
+    use irec_pcb::PcbExtensions;
+    use irec_topology::builder::figure1_topology;
+    use irec_types::SimDuration;
+
+    fn setup(asn: u64, config: NodeConfig) -> (IrecNode, Arc<Topology>, KeyRegistry, SharedAlgorithmStore) {
+        let topology = Arc::new(figure1_topology());
+        let registry = KeyRegistry::with_ases(1, 16);
+        let store = SharedAlgorithmStore::new();
+        let node = IrecNode::new(
+            AsId(asn),
+            config.with_policy(PropagationPolicy::All),
+            Arc::clone(&topology),
+            registry.clone(),
+            store.clone(),
+        )
+        .unwrap();
+        (node, topology, registry, store)
+    }
+
+    #[test]
+    fn first_round_originates_on_every_interface() {
+        let (mut node, topology, _, _) = setup(3, NodeConfig::default());
+        let out = node.beaconing_round(SimTime::ZERO).unwrap();
+        let degree = topology.as_node(AsId(3)).unwrap().degree();
+        assert_eq!(out.messages.len(), degree);
+        assert_eq!(out.sent_per_interface.values().sum::<u64>() as usize, degree);
+        assert_eq!(node.rounds(), 1);
+    }
+
+    #[test]
+    fn received_beacons_are_selected_propagated_and_registered() {
+        // Node 1 (Src) receives a beacon from node 3 (Dst) via AS2 and must propagate it to Y
+        // (AS4) while registering the path.
+        let (mut dst, _, _, _) = setup(3, NodeConfig::default());
+        let (mut src, _, _, _) = setup(1, NodeConfig::default());
+
+        let dst_out = dst.beaconing_round(SimTime::ZERO).unwrap();
+        // Find the message addressed to AS1 (link Src-X is AS1-AS2; Dst's neighbors are 2,4,5;
+        // so route via AS2 requires one more hop — instead deliver the one addressed to AS2's
+        // ingress... For this unit test simply deliver any message addressed to AS4 or AS2 to
+        // the source as if it had traversed the network).
+        let msg_to_src = dst_out
+            .messages
+            .iter()
+            .find(|m| m.to_as == AsId(2) || m.to_as == AsId(4))
+            .cloned()
+            .unwrap();
+        // Re-address the delivery to the source's interface 1 for the purpose of this test.
+        let delivered = PcbMessage {
+            to_as: AsId(1),
+            to_if: IfId(1),
+            ..msg_to_src
+        };
+        src.handle_message(delivered, SimTime::ZERO).unwrap();
+        assert_eq!(src.ingress().db().len(), 1);
+
+        let out = src.beaconing_round(SimTime::from_micros(1)).unwrap();
+        // The source registered a path towards AS3.
+        assert!(!src.path_service().paths_to(AsId(3)).is_empty());
+        // And propagated the beacon on its other interface.
+        assert!(out
+            .messages
+            .iter()
+            .any(|m| m.pcb.origin == AsId(3) && m.pcb.len() == 2));
+    }
+
+    #[test]
+    fn pull_return_registers_a_pd_path() {
+        let (mut node, _, registry, _) = setup(1, NodeConfig::default());
+        // Build a pull-based beacon originated by AS1 that reached its target AS3.
+        let signer = Signer::new(AsId(1), registry.clone());
+        let mut pcb = irec_pcb::Pcb::originate(
+            AsId(1),
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(6),
+            PcbExtensions::none().with_target(AsId(3)),
+        );
+        pcb.extend(
+            IfId::NONE,
+            IfId(1),
+            irec_pcb::StaticInfo::origin(
+                irec_types::Latency::from_millis(10),
+                irec_types::Bandwidth::from_mbps(100),
+                None,
+            ),
+            &signer,
+        )
+        .unwrap();
+        node.handle_pull_return(
+            PullReturn {
+                from_as: AsId(3),
+                to_as: AsId(1),
+                target_ingress: IfId(2),
+                pcb,
+            },
+            SimTime::ZERO,
+        );
+        let paths = node.path_service().paths_to(AsId(3));
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].algorithm, "PD");
+    }
+
+    #[test]
+    fn extra_origination_carries_extensions() {
+        let (mut node, _, _, _) = setup(1, NodeConfig::default());
+        let program = irec_irvm::programs::lowest_latency(5);
+        let reference = node.publish_algorithm(AlgorithmId(1), &program);
+        node.add_origination(
+            OriginationSpec::plain(vec![IfId(1)]).with_extensions(
+                PcbExtensions::none()
+                    .with_target(AsId(3))
+                    .with_algorithm(reference),
+            ),
+        );
+        let out = node.beaconing_round(SimTime::ZERO).unwrap();
+        let tagged: Vec<_> = out
+            .messages
+            .iter()
+            .filter(|m| m.pcb.extensions.target == Some(AsId(3)))
+            .collect();
+        assert_eq!(tagged.len(), 1);
+        assert!(tagged[0].pcb.extensions.algorithm.is_some());
+        node.clear_extra_originations();
+        let out2 = node.beaconing_round(SimTime::from_micros(1)).unwrap();
+        assert!(out2
+            .messages
+            .iter()
+            .all(|m| m.pcb.extensions.target.is_none()));
+    }
+
+    #[test]
+    fn grouped_origination_uses_configured_groups() {
+        let (mut node, topology, _, _) = setup(3, NodeConfig::default());
+        let as_node = topology.as_node(AsId(3)).unwrap();
+        node.set_interface_groups(Some(InterfaceGroups::per_interface(as_node)));
+        let out = node.beaconing_round(SimTime::ZERO).unwrap();
+        // Dst has 3 interfaces => 3 groups => every beacon carries a distinct group tag.
+        let groups: std::collections::HashSet<_> = out
+            .messages
+            .iter()
+            .filter_map(|m| m.pcb.extensions.interface_group)
+            .collect();
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn legacy_node_ignores_extensions_but_stays_interoperable() {
+        let (mut legacy, _, registry, _) = setup(2, NodeConfig::legacy());
+        // A pull-based, on-demand beacon arrives at the legacy node.
+        let signer = Signer::new(AsId(3), registry.clone());
+        let mut pcb = irec_pcb::Pcb::originate(
+            AsId(3),
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(6),
+            PcbExtensions::none().with_target(AsId(1)),
+        );
+        pcb.extend(
+            IfId::NONE,
+            IfId(1),
+            irec_pcb::StaticInfo::origin(
+                irec_types::Latency::from_millis(10),
+                irec_types::Bandwidth::from_mbps(100),
+                None,
+            ),
+            &signer,
+        )
+        .unwrap();
+        legacy
+            .handle_message(
+                PcbMessage {
+                    from_as: AsId(3),
+                    from_if: IfId(1),
+                    to_as: AsId(2),
+                    to_if: IfId(2),
+                    pcb,
+                },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let out = legacy.beaconing_round(SimTime::from_micros(1)).unwrap();
+        // The legacy node processes and propagates the beacon like any other (no crash, no
+        // special handling), preserving connectivity.
+        assert!(out
+            .messages
+            .iter()
+            .any(|m| m.pcb.origin == AsId(3) && m.pcb.len() == 2));
+    }
+
+    #[test]
+    fn paper_simulation_config_runs_all_five_racs() {
+        let (mut node, _, _, _) = setup(1, NodeConfig::paper_simulation(false));
+        let out = node.beaconing_round(SimTime::ZERO).unwrap();
+        // With an empty ingress DB only origination happens, but all RACs ran without error.
+        assert!(out.timing.candidates == 0);
+        assert!(!out.messages.is_empty());
+    }
+}

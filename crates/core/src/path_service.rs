@@ -1,0 +1,213 @@
+//! The path service: where the egress gateway registers discovered paths so that endpoints
+//! can query them (§III "Endpoint Path Selection", §V-D "Path Registration").
+
+use irec_pcb::PcbId;
+use irec_types::{AsId, IfId, InterfaceGroupId, PathMetrics, SimTime};
+use std::collections::BTreeMap;
+
+/// A path registered at the local path service, tagged with the criteria (RAC) it was
+/// optimized for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisteredPath {
+    /// Identity of the underlying beacon.
+    pub pcb_id: PcbId,
+    /// The destination AS this path leads to (the beacon's origin).
+    pub destination: AsId,
+    /// The beacon interface at the destination (the first hop's egress interface).
+    pub destination_interface: IfId,
+    /// The local interface the beacon arrived on.
+    pub local_interface: IfId,
+    /// The RAC / algorithm that selected the path (the "set of criteria" tag).
+    pub algorithm: String,
+    /// The origin interface group of the beacon.
+    pub group: InterfaceGroupId,
+    /// Accumulated path metrics.
+    pub metrics: PathMetrics,
+    /// Traversed inter-domain links, identified by `(AS, egress interface)`.
+    pub links: Vec<(AsId, IfId)>,
+    /// When the path was (last) registered.
+    pub registered_at: SimTime,
+}
+
+/// Key limiting registrations: the paper caps registered paths "per RAC, origin AS, and
+/// interface group" (20 in the evaluation).
+type RegistrationKey = (String, AsId, InterfaceGroupId);
+
+/// The path service of one AS.
+#[derive(Debug, Default)]
+pub struct PathService {
+    limit_per_key: usize,
+    paths: BTreeMap<RegistrationKey, Vec<RegisteredPath>>,
+}
+
+impl PathService {
+    /// Creates a path service with the paper's default limit of 20 paths per
+    /// (RAC, destination, interface group).
+    pub fn new() -> Self {
+        Self::with_limit(20)
+    }
+
+    /// Creates a path service with a custom per-key limit.
+    pub fn with_limit(limit_per_key: usize) -> Self {
+        PathService {
+            limit_per_key: limit_per_key.max(1),
+            paths: BTreeMap::new(),
+        }
+    }
+
+    /// Registers (or refreshes) a path. When the per-key limit is reached, the stalest
+    /// registration is evicted — paths that keep being selected stay registered, paths that
+    /// stop being selected age out.
+    ///
+    /// Re-originated beacons describing the same inter-domain path (identical link sequence)
+    /// refresh the existing registration instead of creating a duplicate, mirroring how
+    /// SCION path segments are refreshed rather than multiplied.
+    pub fn register(&mut self, path: RegisteredPath) {
+        let key = (path.algorithm.clone(), path.destination, path.group);
+        let entry = self.paths.entry(key).or_default();
+        if let Some(existing) = entry
+            .iter_mut()
+            .find(|p| p.pcb_id == path.pcb_id || p.links == path.links)
+        {
+            // Refresh: update the registration time and metrics (the beacon may carry fresher
+            // metadata after re-origination).
+            existing.pcb_id = path.pcb_id;
+            existing.registered_at = path.registered_at;
+            existing.metrics = path.metrics;
+            return;
+        }
+        if entry.len() >= self.limit_per_key {
+            // Evict the stalest registration.
+            if let Some((idx, _)) = entry
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.registered_at)
+            {
+                entry.remove(idx);
+            }
+        }
+        entry.push(path);
+    }
+
+    /// All paths towards `destination`, across all RACs and groups.
+    pub fn paths_to(&self, destination: AsId) -> Vec<&RegisteredPath> {
+        self.paths
+            .iter()
+            .filter(|((_, dst, _), _)| *dst == destination)
+            .flat_map(|(_, v)| v.iter())
+            .collect()
+    }
+
+    /// All paths towards `destination` registered by a specific RAC.
+    pub fn paths_to_by(&self, destination: AsId, algorithm: &str) -> Vec<&RegisteredPath> {
+        self.paths
+            .iter()
+            .filter(|((alg, dst, _), _)| *dst == destination && alg == algorithm)
+            .flat_map(|(_, v)| v.iter())
+            .collect()
+    }
+
+    /// Every registered path.
+    pub fn all(&self) -> Vec<&RegisteredPath> {
+        self.paths.values().flat_map(|v| v.iter()).collect()
+    }
+
+    /// Total number of registered paths.
+    pub fn len(&self) -> usize {
+        self.paths.values().map(Vec::len).sum()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The distinct destination ASes reachable through registered paths.
+    pub fn destinations(&self) -> Vec<AsId> {
+        let mut v: Vec<AsId> = self.paths.keys().map(|(_, dst, _)| *dst).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irec_crypto::Digest;
+    use irec_types::{Bandwidth, Latency};
+
+    fn path(dst: u64, alg: &str, id_byte: u8, at_s: u64) -> RegisteredPath {
+        let mut digest = [0u8; 32];
+        digest[0] = id_byte;
+        RegisteredPath {
+            pcb_id: PcbId(Digest(digest)),
+            destination: AsId(dst),
+            destination_interface: IfId(1),
+            local_interface: IfId(2),
+            algorithm: alg.to_string(),
+            group: InterfaceGroupId::DEFAULT,
+            metrics: PathMetrics {
+                latency: Latency::from_millis(10),
+                bandwidth: Bandwidth::from_mbps(100),
+                hops: 2,
+            },
+            links: vec![(AsId(dst), IfId(id_byte as u32))],
+            registered_at: SimTime::from_micros(at_s * 1_000_000),
+        }
+    }
+
+    #[test]
+    fn register_and_query() {
+        let mut ps = PathService::new();
+        ps.register(path(1, "1SP", 1, 0));
+        ps.register(path(1, "DO", 2, 0));
+        ps.register(path(2, "1SP", 3, 0));
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.paths_to(AsId(1)).len(), 2);
+        assert_eq!(ps.paths_to_by(AsId(1), "DO").len(), 1);
+        assert_eq!(ps.destinations(), vec![AsId(1), AsId(2)]);
+        assert!(!ps.is_empty());
+    }
+
+    #[test]
+    fn re_registration_refreshes_instead_of_duplicating() {
+        let mut ps = PathService::new();
+        ps.register(path(1, "1SP", 1, 0));
+        ps.register(path(1, "1SP", 1, 5));
+        assert_eq!(ps.len(), 1);
+        assert_eq!(
+            ps.paths_to(AsId(1))[0].registered_at,
+            SimTime::from_micros(5_000_000)
+        );
+    }
+
+    #[test]
+    fn limit_evicts_stalest() {
+        let mut ps = PathService::with_limit(2);
+        ps.register(path(1, "HD", 1, 0));
+        ps.register(path(1, "HD", 2, 10));
+        ps.register(path(1, "HD", 3, 20));
+        assert_eq!(ps.len(), 2);
+        let ids: Vec<u8> = ps.paths_to(AsId(1)).iter().map(|p| p.pcb_id.0 .0[0]).collect();
+        assert!(!ids.contains(&1), "stalest registration must be evicted");
+        assert!(ids.contains(&2) && ids.contains(&3));
+    }
+
+    #[test]
+    fn limits_apply_per_key_not_globally() {
+        let mut ps = PathService::with_limit(1);
+        ps.register(path(1, "1SP", 1, 0));
+        ps.register(path(1, "DO", 2, 0));
+        ps.register(path(2, "1SP", 3, 0));
+        assert_eq!(ps.len(), 3);
+    }
+
+    #[test]
+    fn empty_service() {
+        let ps = PathService::new();
+        assert!(ps.is_empty());
+        assert!(ps.paths_to(AsId(1)).is_empty());
+        assert!(ps.destinations().is_empty());
+    }
+}

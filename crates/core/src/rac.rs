@@ -1,0 +1,748 @@
+//! Routing algorithm containers (RACs), §V-C of the paper.
+//!
+//! A RAC periodically requests candidate PCBs from the ingress gateway, provides them —
+//! together with intra-AS topology information — to its routing algorithm, executes the
+//! algorithm, and hands the selected PCBs (with the egress interfaces they were optimized
+//! for) to the egress gateway.
+//!
+//! Two kinds exist, sharing one implementation (as in the paper): **static** RACs always run
+//! the operator-configured algorithm, **on-demand** RACs run the algorithm referenced in the
+//! PCBs they process, fetched from the origin AS, verified against the hash pinned in the
+//! signed PCB, cached, and executed inside the IRVM sandbox with strict limits.
+//!
+//! The per-batch processing pipeline deliberately mirrors the cost structure measured in the
+//! paper's Fig. 6: **setup** (instantiating the sandboxed algorithm), **marshal** (the
+//! serialization boundary between gateway and RAC — gRPC/Protobuf in the paper, the
+//! `irec-wire` codec here), and **execute** (running the algorithm over the candidate set).
+
+use crate::beacon_db::{BatchKey, IngressDb, StoredBeacon};
+use crate::config::{RacConfig, RacKind};
+use irec_algorithms::{
+    catalog, ondemand::IrvmAlgorithm, AlgorithmContext, Candidate, CandidateBatch,
+    RoutingAlgorithm,
+};
+use irec_pcb::AlgorithmRef;
+use irec_topology::AsNode;
+use irec_types::{AlgorithmId, AsId, IfId, InterfaceGroupId, IrecError, Result, SimTime};
+use irec_wire::{Decode, Encode, WireReader, WireWriter};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maximum size of a fetched on-demand algorithm executable ("The RAC only allows
+/// executables up to a certain size limit").
+pub const MAX_EXECUTABLE_BYTES: usize = 64 * 1024;
+
+/// Where on-demand RACs fetch algorithm executables from.
+///
+/// In the real system the RAC contacts the origin AS over a path contained in the PCB itself;
+/// in this reproduction the fetch is a lookup against the store the origin AS published its
+/// module to. The hash check against the PCB's (signed) Algorithm extension is what provides
+/// integrity either way.
+pub trait AlgorithmFetcher: Send + Sync {
+    /// Fetches the executable bytes for `reference` from `origin`.
+    fn fetch(&self, origin: AsId, reference: &AlgorithmRef) -> Result<Vec<u8>>;
+}
+
+/// A shared in-memory algorithm store: origin ASes publish their on-demand algorithm modules
+/// here, on-demand RACs fetch from it.
+#[derive(Debug, Clone, Default)]
+pub struct SharedAlgorithmStore {
+    inner: Arc<RwLock<HashMap<(AsId, AlgorithmId), Vec<u8>>>>,
+}
+
+impl SharedAlgorithmStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes an algorithm module on behalf of `origin` and returns the reference to embed
+    /// in PCBs.
+    pub fn publish(&self, origin: AsId, id: AlgorithmId, module_bytes: Vec<u8>) -> AlgorithmRef {
+        let reference = AlgorithmRef::new(id, irec_crypto::sha256(&module_bytes));
+        self.inner.write().insert((origin, id), module_bytes);
+        reference
+    }
+
+    /// Number of published modules.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl AlgorithmFetcher for SharedAlgorithmStore {
+    fn fetch(&self, origin: AsId, reference: &AlgorithmRef) -> Result<Vec<u8>> {
+        self.inner
+            .read()
+            .get(&(origin, reference.id))
+            .cloned()
+            .ok_or_else(|| {
+                IrecError::not_found(format!(
+                    "algorithm {} not published by {origin}",
+                    reference.id
+                ))
+            })
+    }
+}
+
+/// One selected beacon produced by a RAC: the stored beacon, the egress interfaces it was
+/// optimized for, and bookkeeping for registration.
+#[derive(Debug, Clone)]
+pub struct RacOutput {
+    /// The RAC that produced this selection (used to tag registered paths).
+    pub rac_name: String,
+    /// The batch the beacon came from.
+    pub origin: AsId,
+    /// Interface group of the batch.
+    pub group: InterfaceGroupId,
+    /// The selected beacon.
+    pub beacon: StoredBeacon,
+    /// Egress interfaces the beacon was optimized for.
+    pub egress_ifs: Vec<IfId>,
+}
+
+/// Wall-clock timing of one RAC processing run, broken down into the paper's Fig. 6
+/// sub-tasks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RacTiming {
+    /// Sandbox/algorithm instantiation ("WASM setup").
+    pub setup: Duration,
+    /// Candidate-set marshalling across the gateway↔RAC boundary ("gRPC calls").
+    pub marshal: Duration,
+    /// Algorithm execution over the candidate set ("WASM module execution").
+    pub execute: Duration,
+    /// Number of candidate PCBs processed.
+    pub candidates: usize,
+}
+
+impl RacTiming {
+    /// Total processing time.
+    pub fn total(&self) -> Duration {
+        self.setup + self.marshal + self.execute
+    }
+
+    /// Accumulates another timing record.
+    pub fn accumulate(&mut self, other: &RacTiming) {
+        self.setup += other.setup;
+        self.marshal += other.marshal;
+        self.execute += other.execute;
+        self.candidates += other.candidates;
+    }
+}
+
+/// Wire envelope used to marshal a candidate set across the gateway↔RAC boundary (the
+/// gRPC/Protobuf substitute measured as the "marshal" component).
+struct CandidateEnvelope {
+    beacons: Vec<(irec_pcb::Pcb, IfId)>,
+}
+
+impl Encode for CandidateEnvelope {
+    fn encode(&self, writer: &mut WireWriter) {
+        writer.put_varint(self.beacons.len() as u64);
+        for (pcb, ingress) in &self.beacons {
+            pcb.encode(writer);
+            writer.put_u32v(ingress.value());
+        }
+    }
+}
+
+impl Decode for CandidateEnvelope {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self> {
+        let n = reader.get_varint()? as usize;
+        if n > 1_000_000 {
+            return Err(IrecError::decode("implausible candidate count"));
+        }
+        let mut beacons = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let pcb = irec_pcb::Pcb::decode(reader)?;
+            let ingress = IfId(reader.get_u32v()?);
+            beacons.push((pcb, ingress));
+        }
+        Ok(CandidateEnvelope { beacons })
+    }
+}
+
+/// A routing algorithm container.
+pub struct Rac {
+    config: RacConfig,
+    /// The algorithm of a static RAC.
+    static_algorithm: Option<Arc<dyn RoutingAlgorithm>>,
+    /// Fetcher for on-demand executables.
+    fetcher: Option<Arc<dyn AlgorithmFetcher>>,
+    /// Cache of instantiated on-demand algorithms, keyed by (origin, algorithm id); the
+    /// paper: "by caching the executable, the RAC only needs to do this once for all PCBs
+    /// with the same origin AS and algorithm ID".
+    cache: HashMap<(AsId, AlgorithmId), Arc<IrvmAlgorithm>>,
+    /// When true, IREC extensions are ignored and every beacon is treated as plain (the
+    /// behaviour of a legacy control service, used by the backward-compatibility setup).
+    ignore_extensions: bool,
+}
+
+impl Rac {
+    /// Creates a static RAC, resolving the configured algorithm through the catalog.
+    pub fn new_static(config: RacConfig) -> Result<Self> {
+        let RacKind::Static { algorithm } = &config.kind else {
+            return Err(IrecError::config("new_static requires a static RacConfig"));
+        };
+        let alg = catalog::by_name(algorithm)?;
+        Ok(Rac {
+            config,
+            static_algorithm: Some(alg),
+            fetcher: None,
+            cache: HashMap::new(),
+            ignore_extensions: false,
+        })
+    }
+
+    /// Creates a static RAC with a caller-provided algorithm implementation.
+    pub fn with_algorithm(config: RacConfig, algorithm: Arc<dyn RoutingAlgorithm>) -> Self {
+        Rac {
+            config,
+            static_algorithm: Some(algorithm),
+            fetcher: None,
+            cache: HashMap::new(),
+            ignore_extensions: false,
+        }
+    }
+
+    /// Creates an on-demand RAC fetching executables through `fetcher`.
+    pub fn new_on_demand(config: RacConfig, fetcher: Arc<dyn AlgorithmFetcher>) -> Result<Self> {
+        if config.kind != RacKind::OnDemand {
+            return Err(IrecError::config("new_on_demand requires an on-demand RacConfig"));
+        }
+        Ok(Rac {
+            config,
+            static_algorithm: None,
+            fetcher: Some(fetcher),
+            cache: HashMap::new(),
+            ignore_extensions: false,
+        })
+    }
+
+    /// The RAC configuration.
+    pub fn config(&self) -> &RacConfig {
+        &self.config
+    }
+
+    /// The RAC's display name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Number of cached on-demand algorithm instantiations.
+    pub fn cached_algorithms(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Makes the RAC ignore IREC extensions (legacy control-service behaviour).
+    pub fn set_ignore_extensions(&mut self, ignore: bool) {
+        self.ignore_extensions = ignore;
+    }
+
+    /// Whether this RAC is an on-demand RAC.
+    pub fn is_on_demand(&self) -> bool {
+        self.config.kind == RacKind::OnDemand
+    }
+
+    /// One periodic processing run: pull every relevant candidate batch from the ingress
+    /// database, run the algorithm, and return the selected beacons plus accumulated timing.
+    pub fn process(
+        &mut self,
+        db: &IngressDb,
+        local_as: &AsNode,
+        egress_ifs: &[IfId],
+        now: SimTime,
+    ) -> Result<(Vec<RacOutput>, RacTiming)> {
+        let mut outputs = Vec::new();
+        let mut timing = RacTiming::default();
+
+        // Which batches does this RAC care about?
+        let keys = self.relevant_batch_keys(db);
+        for key in keys {
+            let beacons = if self.config.use_interface_groups || self.ignore_extensions {
+                db.beacons_for(&key, now)
+            } else {
+                // Interface groups disabled: merge all groups of the origin. The group-merged
+                // batch is processed once (when we encounter the default group key or, if the
+                // origin never uses the default group, the numerically first group).
+                db.beacons_for_origin(key.origin, key.target, now)
+            };
+            if beacons.is_empty() {
+                continue;
+            }
+            let (mut batch_outputs, batch_timing) =
+                self.process_candidates(&key, beacons, local_as, egress_ifs)?;
+            outputs.append(&mut batch_outputs);
+            timing.accumulate(&batch_timing);
+        }
+        Ok((outputs, timing))
+    }
+
+    /// The batch keys this RAC processes, honouring its pull-based / interface-group /
+    /// on-demand configuration.
+    fn relevant_batch_keys(&self, db: &IngressDb) -> Vec<BatchKey> {
+        let mut keys: Vec<BatchKey> = db
+            .batch_keys()
+            .into_iter()
+            .filter(|k| self.config.process_pull_based || k.target.is_none() || self.ignore_extensions)
+            .collect();
+        if !self.config.use_interface_groups && !self.ignore_extensions {
+            // Collapse groups: keep one representative key per (origin, target).
+            keys.sort();
+            keys.dedup_by_key(|k| (k.origin, k.target));
+            for k in &mut keys {
+                k.group = InterfaceGroupId::DEFAULT;
+            }
+        }
+        keys
+    }
+
+    /// Processes one already-materialized candidate set. Exposed publicly because the Fig. 6
+    /// and Fig. 7 benchmarks drive a RAC directly with synthetic candidate sets of a given
+    /// size |Φ|.
+    pub fn process_candidates(
+        &mut self,
+        key: &BatchKey,
+        beacons: Vec<StoredBeacon>,
+        local_as: &AsNode,
+        egress_ifs: &[IfId],
+    ) -> Result<(Vec<RacOutput>, RacTiming)> {
+        let mut timing = RacTiming {
+            candidates: beacons.len(),
+            ..RacTiming::default()
+        };
+
+        // -- Marshal: the candidate set crosses the gateway -> RAC process boundary. --
+        let marshal_start = std::time::Instant::now();
+        let envelope = CandidateEnvelope {
+            beacons: beacons.iter().map(|b| (b.pcb.clone(), b.ingress)).collect(),
+        };
+        let wire_bytes = irec_wire::to_bytes(&envelope);
+        let received: CandidateEnvelope = irec_wire::from_bytes(&wire_bytes)?;
+        timing.marshal = marshal_start.elapsed();
+
+        let received_at: Vec<SimTime> = beacons.iter().map(|b| b.received_at).collect();
+        let candidates: Vec<Candidate> = received
+            .beacons
+            .into_iter()
+            .map(|(pcb, ingress)| Candidate::new(pcb, ingress))
+            .collect();
+
+        // -- Setup: instantiate the algorithm (sandbox creation for on-demand RACs). --
+        let setup_start = std::time::Instant::now();
+        let algorithm: Arc<dyn RoutingAlgorithm> = match &self.config.kind {
+            RacKind::Static { .. } => {
+                let alg = self
+                    .static_algorithm
+                    .as_ref()
+                    .ok_or_else(|| IrecError::internal("static RAC without an algorithm"))?;
+                Arc::clone(alg)
+            }
+            RacKind::OnDemand => {
+                // All candidates of an on-demand batch carry the same origin; the algorithm
+                // reference must be present and identical (the ingress DB already groups by
+                // origin, and an origin uses one algorithm per PCB).
+                let Some(reference) = candidates
+                    .iter()
+                    .find_map(|c| c.pcb.extensions.algorithm)
+                else {
+                    // Nothing to do for plain beacons — an on-demand RAC only runs algorithms
+                    // shipped in PCBs.
+                    return Ok((Vec::new(), timing));
+                };
+                self.instantiate_on_demand(key.origin, &reference)? as Arc<dyn RoutingAlgorithm>
+            }
+        };
+        timing.setup = setup_start.elapsed();
+
+        // For on-demand batches, restrict the candidates to the ones actually carrying the
+        // algorithm (mixed batches can only occur when extensions are ignored).
+        let filtered: Vec<(usize, Candidate)> = candidates
+            .into_iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                self.ignore_extensions
+                    || !self.is_on_demand()
+                    || c.pcb.extensions.algorithm.is_some()
+            })
+            .collect();
+        if filtered.is_empty() {
+            return Ok((Vec::new(), timing));
+        }
+        let index_map: Vec<usize> = filtered.iter().map(|(i, _)| *i).collect();
+        let batch = CandidateBatch {
+            origin: key.origin,
+            group: key.group,
+            target: key.target,
+            candidates: filtered.into_iter().map(|(_, c)| c).collect(),
+        };
+
+        // -- Execute: run the algorithm over the candidate set. --
+        let ctx = AlgorithmContext::new(local_as, egress_ifs.to_vec(), self.config.max_selected)
+            .with_extended_paths(self.config.extend_paths);
+        let execute_start = std::time::Instant::now();
+        let selection = algorithm.select(&batch, &ctx)?;
+        timing.execute = execute_start.elapsed();
+
+        // Invert the per-egress selection into per-beacon egress lists.
+        let mut per_candidate: HashMap<usize, Vec<IfId>> = HashMap::new();
+        for (egress, selected) in &selection.per_egress {
+            for &local_idx in selected {
+                per_candidate.entry(local_idx).or_default().push(*egress);
+            }
+        }
+
+        let mut outputs = Vec::with_capacity(per_candidate.len());
+        let mut indices: Vec<usize> = per_candidate.keys().copied().collect();
+        indices.sort_unstable();
+        for local_idx in indices {
+            let egress_ifs = per_candidate.remove(&local_idx).expect("key exists");
+            let original_idx = index_map[local_idx];
+            let candidate = &batch.candidates[local_idx];
+            outputs.push(RacOutput {
+                rac_name: self.config.name.clone(),
+                origin: key.origin,
+                group: key.group,
+                beacon: StoredBeacon {
+                    pcb: candidate.pcb.clone(),
+                    ingress: candidate.ingress,
+                    received_at: received_at.get(original_idx).copied().unwrap_or(SimTime::ZERO),
+                },
+                egress_ifs,
+            });
+        }
+        Ok((outputs, timing))
+    }
+
+    /// Fetch → size check → hash verify → validate → cache an on-demand algorithm.
+    fn instantiate_on_demand(
+        &mut self,
+        origin: AsId,
+        reference: &AlgorithmRef,
+    ) -> Result<Arc<IrvmAlgorithm>> {
+        if let Some(cached) = self.cache.get(&(origin, reference.id)) {
+            return Ok(Arc::clone(cached));
+        }
+        let fetcher = self
+            .fetcher
+            .as_ref()
+            .ok_or_else(|| IrecError::config("on-demand RAC has no algorithm fetcher"))?;
+        let bytes = fetcher.fetch(origin, reference)?;
+        if bytes.len() > MAX_EXECUTABLE_BYTES {
+            return Err(IrecError::resource_limit(format!(
+                "fetched executable is {} bytes, limit is {MAX_EXECUTABLE_BYTES}",
+                bytes.len()
+            )));
+        }
+        if !reference.matches(&bytes) {
+            return Err(IrecError::verification(
+                "fetched executable does not match the hash pinned in the PCB",
+            ));
+        }
+        let algorithm = Arc::new(IrvmAlgorithm::from_module_bytes(
+            &bytes,
+            irec_irvm::ExecutionLimits::ON_DEMAND_RAC,
+        )?);
+        self.cache.insert((origin, reference.id), Arc::clone(&algorithm));
+        Ok(algorithm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irec_crypto::{KeyRegistry, Signer};
+    use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
+    use irec_topology::{Interface, Tier};
+    use irec_types::{Bandwidth, GeoCoord, Latency, LinkId, SimDuration};
+
+    fn registry() -> KeyRegistry {
+        KeyRegistry::with_ases(11, 128)
+    }
+
+    fn local_as() -> AsNode {
+        let mut node = AsNode::new(AsId(50), Tier::Tier2);
+        for i in 1..=3u32 {
+            node.interfaces.insert(
+                IfId(i),
+                Interface {
+                    id: IfId(i),
+                    owner: node.id,
+                    location: GeoCoord::new(47.0 + i as f64, 8.0),
+                    link: LinkId(i as u64),
+                },
+            );
+        }
+        node
+    }
+
+    fn beacon(
+        reg: &KeyRegistry,
+        origin: u64,
+        hops: &[(u64, u64)],
+        extensions: PcbExtensions,
+    ) -> Pcb {
+        let mut pcb = Pcb::originate(
+            AsId(origin),
+            rand_seq(origin, hops),
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(6),
+            extensions,
+        );
+        for (i, (lat, bw)) in hops.iter().enumerate() {
+            let asn = if i == 0 { AsId(origin) } else { AsId(origin + i as u64 * 10) };
+            let info = StaticInfo {
+                link_latency: Latency::from_millis(*lat),
+                link_bandwidth: Bandwidth::from_mbps(*bw),
+                intra_latency: Latency::ZERO,
+                egress_location: None,
+            };
+            let ingress = if i == 0 { IfId::NONE } else { IfId(1) };
+            pcb.extend(ingress, IfId(2), info, &Signer::new(asn, reg.clone())).unwrap();
+        }
+        pcb
+    }
+
+    fn rand_seq(origin: u64, hops: &[(u64, u64)]) -> u64 {
+        origin
+            .wrapping_mul(31)
+            .wrapping_add(hops.iter().map(|(a, b)| a * 7 + b).sum::<u64>())
+    }
+
+    fn ingress_db_with(beacons: Vec<(Pcb, u32)>) -> IngressDb {
+        let mut db = IngressDb::new();
+        for (pcb, ingress) in beacons {
+            db.insert(pcb, IfId(ingress), SimTime::ZERO);
+        }
+        db
+    }
+
+    #[test]
+    fn static_rac_selects_per_egress() {
+        let reg = registry();
+        let db = ingress_db_with(vec![
+            (beacon(&reg, 1, &[(10, 10), (10, 10)], PcbExtensions::none()), 1),
+            (beacon(&reg, 1, &[(5, 100)], PcbExtensions::none()), 2),
+        ]);
+        let mut rac = Rac::new_static(RacConfig::static_rac("1SP", "1SP")).unwrap();
+        let node = local_as();
+        let (outputs, timing) = rac
+            .process(&db, &node, &[IfId(1), IfId(2), IfId(3)], SimTime::ZERO)
+            .unwrap();
+        // 1SP picks, per egress interface, the shortest eligible beacon. The 1-hop beacon
+        // arrived on if2, so it wins on if1 and if3; on if2 only the 2-hop beacon is
+        // eligible (a beacon never goes back out of its ingress interface).
+        assert_eq!(outputs.len(), 2);
+        let short = outputs
+            .iter()
+            .find(|o| o.beacon.pcb.path_metrics().hops == 1)
+            .unwrap();
+        assert_eq!(short.egress_ifs, vec![IfId(1), IfId(3)]);
+        let long = outputs
+            .iter()
+            .find(|o| o.beacon.pcb.path_metrics().hops == 2)
+            .unwrap();
+        assert_eq!(long.egress_ifs, vec![IfId(2)]);
+        assert_eq!(short.rac_name, "1SP");
+        assert!(timing.candidates >= 2);
+        assert!(timing.total() >= timing.execute);
+    }
+
+    #[test]
+    fn static_rac_skips_pull_based_batches_unless_enabled() {
+        let reg = registry();
+        let pull = beacon(&reg, 1, &[(10, 10)], PcbExtensions::none().with_target(AsId(50)));
+        let db = ingress_db_with(vec![(pull, 1)]);
+        let node = local_as();
+
+        let mut plain = Rac::new_static(RacConfig::static_rac("1SP", "1SP")).unwrap();
+        let (outputs, _) = plain.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap();
+        assert!(outputs.is_empty());
+
+        let mut pull_enabled =
+            Rac::new_static(RacConfig::static_rac("1SP", "1SP").with_pull_based(true)).unwrap();
+        let (outputs, _) = pull_enabled.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap();
+        assert_eq!(outputs.len(), 1);
+    }
+
+    #[test]
+    fn interface_groups_split_or_merge_batches() {
+        let reg = registry();
+        let g1 = beacon(
+            &reg,
+            1,
+            &[(10, 10)],
+            PcbExtensions::none().with_interface_group(InterfaceGroupId(1)),
+        );
+        let g2 = beacon(
+            &reg,
+            1,
+            &[(20, 10)],
+            PcbExtensions::none().with_interface_group(InterfaceGroupId(2)),
+        );
+        let db = ingress_db_with(vec![(g1, 1), (g2, 1)]);
+        let node = local_as();
+
+        // Group-aware RAC: one selection per group => both beacons selected by 1SP.
+        let mut grouped = Rac::new_static(
+            RacConfig::static_rac("1SP", "1SP").with_interface_groups(true),
+        )
+        .unwrap();
+        let (outputs, _) = grouped.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap();
+        assert_eq!(outputs.len(), 2);
+
+        // Group-oblivious RAC: groups merged, 1SP keeps only the single shortest beacon.
+        let mut merged = Rac::new_static(RacConfig::static_rac("1SP", "1SP")).unwrap();
+        let (outputs, _) = merged.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap();
+        assert_eq!(outputs.len(), 1);
+    }
+
+    #[test]
+    fn on_demand_rac_fetches_verifies_caches_and_runs() {
+        let reg = registry();
+        let store = SharedAlgorithmStore::new();
+        let program = irec_irvm::programs::widest_path(5);
+        let reference = store.publish(AsId(1), AlgorithmId(7), program.to_module_bytes());
+
+        let thin = beacon(
+            &reg,
+            1,
+            &[(10, 10)],
+            PcbExtensions::none().with_algorithm(reference),
+        );
+        let wide = beacon(
+            &reg,
+            1,
+            &[(10, 1000)],
+            PcbExtensions::none().with_algorithm(reference),
+        );
+        let plain = beacon(&reg, 1, &[(1, 1)], PcbExtensions::none());
+        let db = ingress_db_with(vec![(thin, 1), (wide, 1), (plain, 1)]);
+        let node = local_as();
+
+        let mut rac = Rac::new_on_demand(
+            RacConfig::on_demand_rac("od"),
+            Arc::new(store.clone()),
+        )
+        .unwrap();
+        let (outputs, timing) = rac.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap();
+        // Both algorithm-carrying beacons are selectable; the widest ranks first, and the
+        // plain beacon is never processed by the on-demand RAC.
+        assert_eq!(outputs.len(), 2);
+        assert!(outputs
+            .iter()
+            .all(|o| o.beacon.pcb.extensions.algorithm.is_some()));
+        assert_eq!(rac.cached_algorithms(), 1);
+        assert!(timing.setup > Duration::ZERO);
+
+        // Second run hits the cache (still exactly one cached instantiation).
+        let (_, _) = rac.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap();
+        assert_eq!(rac.cached_algorithms(), 1);
+    }
+
+    #[test]
+    fn on_demand_rejects_hash_mismatch() {
+        let reg = registry();
+        let store = SharedAlgorithmStore::new();
+        let program = irec_irvm::programs::lowest_latency(5);
+        // Publish one module but reference a different hash in the PCB.
+        store.publish(AsId(1), AlgorithmId(7), program.to_module_bytes());
+        let bogus_ref = AlgorithmRef::new(AlgorithmId(7), irec_crypto::sha256(b"something else"));
+        let pcb = beacon(&reg, 1, &[(10, 10)], PcbExtensions::none().with_algorithm(bogus_ref));
+        let db = ingress_db_with(vec![(pcb, 1)]);
+        let node = local_as();
+        let mut rac =
+            Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store)).unwrap();
+        let err = rac.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap_err();
+        assert_eq!(err.category(), "verification");
+        assert_eq!(rac.cached_algorithms(), 0);
+    }
+
+    #[test]
+    fn on_demand_rejects_oversized_executable() {
+        struct HugeFetcher;
+        impl AlgorithmFetcher for HugeFetcher {
+            fn fetch(&self, _origin: AsId, _r: &AlgorithmRef) -> Result<Vec<u8>> {
+                Ok(vec![0u8; MAX_EXECUTABLE_BYTES + 1])
+            }
+        }
+        let reg = registry();
+        let reference = AlgorithmRef::new(AlgorithmId(1), irec_crypto::sha256(b"x"));
+        let pcb = beacon(&reg, 1, &[(10, 10)], PcbExtensions::none().with_algorithm(reference));
+        let db = ingress_db_with(vec![(pcb, 1)]);
+        let node = local_as();
+        let mut rac =
+            Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(HugeFetcher)).unwrap();
+        let err = rac.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap_err();
+        assert_eq!(err.category(), "resource-limit");
+    }
+
+    #[test]
+    fn on_demand_rejects_unknown_algorithm() {
+        let reg = registry();
+        let store = SharedAlgorithmStore::new();
+        let reference = AlgorithmRef::new(AlgorithmId(99), irec_crypto::sha256(b"y"));
+        let pcb = beacon(&reg, 1, &[(10, 10)], PcbExtensions::none().with_algorithm(reference));
+        let db = ingress_db_with(vec![(pcb, 1)]);
+        let node = local_as();
+        let mut rac =
+            Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store)).unwrap();
+        let err = rac.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap_err();
+        assert_eq!(err.category(), "not-found");
+    }
+
+    #[test]
+    fn config_kind_mismatch_is_rejected() {
+        assert!(Rac::new_static(RacConfig::on_demand_rac("od")).is_err());
+        let store: Arc<dyn AlgorithmFetcher> = Arc::new(SharedAlgorithmStore::new());
+        assert!(Rac::new_on_demand(RacConfig::static_rac("x", "1SP"), store).is_err());
+        assert!(Rac::new_static(RacConfig::static_rac("x", "no-such-algorithm")).is_err());
+    }
+
+    #[test]
+    fn process_candidates_reports_timing_components() {
+        let reg = registry();
+        let beacons: Vec<StoredBeacon> = (0..32)
+            .map(|i| StoredBeacon {
+                pcb: beacon(&reg, 1, &[(10 + i, 100)], PcbExtensions::none()),
+                ingress: IfId(1),
+                received_at: SimTime::ZERO,
+            })
+            .collect();
+        let mut rac = Rac::new_static(RacConfig::static_rac("legacy", "legacy-scion")).unwrap();
+        let node = local_as();
+        let key = BatchKey {
+            origin: AsId(1),
+            group: InterfaceGroupId::DEFAULT,
+            target: None,
+        };
+        let (outputs, timing) = rac
+            .process_candidates(&key, beacons, &node, &[IfId(2), IfId(3)])
+            .unwrap();
+        assert_eq!(timing.candidates, 32);
+        assert!(timing.marshal > Duration::ZERO);
+        assert!(!outputs.is_empty());
+        // legacy-scion keeps at most 20 per egress.
+        assert!(outputs.len() <= 32);
+    }
+
+    #[test]
+    fn shared_store_publish_and_fetch() {
+        let store = SharedAlgorithmStore::new();
+        assert!(store.is_empty());
+        let module = irec_irvm::programs::lowest_latency(3).to_module_bytes();
+        let reference = store.publish(AsId(4), AlgorithmId(2), module.clone());
+        assert_eq!(store.len(), 1);
+        let fetched = store.fetch(AsId(4), &reference).unwrap();
+        assert_eq!(fetched, module);
+        assert!(reference.matches(&fetched));
+        assert!(store.fetch(AsId(5), &reference).is_err());
+    }
+}

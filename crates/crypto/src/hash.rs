@@ -1,0 +1,350 @@
+//! SHA-256 (FIPS 180-4), implemented from scratch.
+//!
+//! Used for (i) hashing on-demand algorithm code so its identity can be pinned inside signed
+//! PCBs, (ii) deduplicating PCBs in the egress database (the paper stores "only their
+//! hashes" to reduce memory), and (iii) as the compression function of HMAC-SHA-256.
+
+use core::fmt;
+
+/// Length of a SHA-256 digest in bytes.
+pub const DIGEST_LEN: usize = 32;
+
+/// A SHA-256 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; DIGEST_LEN]);
+
+impl Digest {
+    /// The all-zero digest; useful as a placeholder in tests.
+    pub const ZERO: Digest = Digest([0u8; DIGEST_LEN]);
+
+    /// Returns the digest bytes.
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Returns the first 8 bytes of the digest as a big-endian u64 (a convenient short id).
+    pub fn short(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("digest has at least 8 bytes"))
+    }
+
+    /// Hex representation of the digest.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(DIGEST_LEN * 2);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses a digest from a 64-character hex string.
+    pub fn from_hex(hex: &str) -> Option<Digest> {
+        if hex.len() != DIGEST_LEN * 2 {
+            return None;
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", &self.to_hex()[..16])
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// SHA-256 round constants (first 32 bits of the fractional parts of the cube roots of the
+/// first 64 primes).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+/// Initial hash values (first 32 bits of the fractional parts of the square roots of the
+/// first 8 primes).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+    0x5be0cd19,
+];
+
+/// An incremental SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Bytes buffered until a full 64-byte block is available.
+    buffer: [u8; 64],
+    buffer_len: usize,
+    /// Total message length in bytes.
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a new hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Feeds `data` into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut input = data;
+
+        // Fill the partial buffer first.
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+
+        // Process full blocks directly from the input.
+        while input.len() >= 64 {
+            let (block, rest) = input.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            input = rest;
+        }
+
+        // Buffer the tail.
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffer_len = input.len();
+        }
+    }
+
+    /// Finalizes the hash and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        let pad_len = if self.buffer_len < 56 {
+            56 - self.buffer_len
+        } else {
+            120 - self.buffer_len
+        };
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        self.update_no_len(&pad[..pad_len + 8]);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    /// Like `update` but without counting towards the message length (used for padding).
+    fn update_no_len(&mut self, data: &[u8]) {
+        let saved = self.total_len;
+        self.update(data);
+        self.total_len = saved;
+    }
+
+    /// The SHA-256 compression function over one 64-byte block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("chunk is 4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256 of `data`.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // FIPS 180-4 / NIST test vectors.
+    #[test]
+    fn empty_string_vector() {
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn long_vector_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256(&data).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn quick_brown_fox() {
+        assert_eq!(
+            sha256(b"The quick brown fox jumps over the lazy dog").to_hex(),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let oneshot = sha256(&data);
+        let mut h = Sha256::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = sha256(b"roundtrip");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest::from_hex("xyz"), None);
+        assert_eq!(Digest::from_hex(&"g".repeat(64)), None);
+    }
+
+    #[test]
+    fn short_id_is_prefix() {
+        let d = sha256(b"short");
+        let expected = u64::from_be_bytes(d.0[..8].try_into().unwrap());
+        assert_eq!(d.short(), expected);
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(sha256(b"a"), sha256(b"b"));
+        assert_ne!(sha256(b""), sha256(b"\0"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_incremental_matches_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                            split in 0usize..2048) {
+            let oneshot = sha256(&data);
+            let split = split.min(data.len());
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), oneshot);
+        }
+
+        #[test]
+        fn prop_digest_hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let d = sha256(&data);
+            prop_assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        }
+
+        #[test]
+        fn prop_length_extension_padding_boundaries(len in 0usize..200) {
+            // Exercise lengths around the 55/56/64-byte padding boundaries.
+            let data = vec![0xAAu8; len];
+            let d1 = sha256(&data);
+            let mut h = Sha256::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            prop_assert_eq!(h.finalize(), d1);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1), built on the from-scratch SHA-256.
+
+use crate::hash::{Digest, Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// An incremental HMAC-SHA-256 computation.
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Key XORed with `OPAD`, kept for the outer hash.
+    outer_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a new MAC instance keyed with `key`.
+    ///
+    /// Keys longer than the block size are first hashed, per RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let hashed = crate::hash::sha256(key);
+            key_block[..DIGEST_LEN].copy_from_slice(hashed.as_bytes());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut inner_key = [0u8; BLOCK_LEN];
+        let mut outer_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            inner_key[i] = key_block[i] ^ IPAD;
+            outer_key[i] = key_block[i] ^ OPAD;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&inner_key);
+        HmacSha256 { inner, outer_key }
+    }
+
+    /// Feeds message data into the MAC.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finalizes the MAC and returns the tag.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA-256 of `data` under `key`.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> Digest {
+    let mut mac = HmacSha256::new(key);
+    mac.update(data);
+    mac.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let data = b"Hi There";
+        assert_eq!(
+            hmac_sha256(&key, data).to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let key = b"Jefe";
+        let data = b"what do ya want for nothing?";
+        assert_eq!(
+            hmac_sha256(key, data).to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hmac_sha256(&key, &data).to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_4() {
+        let key: Vec<u8> = (1..=25u8).collect();
+        let data = [0xcdu8; 50];
+        assert_eq!(
+            hmac_sha256(&key, &data).to_hex(),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let data = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            hmac_sha256(&key, data).to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_and_data() {
+        let key = [0xaau8; 131];
+        let data: &[u8] = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        assert_eq!(
+            hmac_sha256(&key, data).to_hex(),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let key = b"secret key";
+        let data = b"a somewhat longer message split into pieces";
+        let oneshot = hmac_sha256(key, data);
+        let mut mac = HmacSha256::new(key);
+        mac.update(&data[..10]);
+        mac.update(&data[10..]);
+        assert_eq!(mac.finalize(), oneshot);
+    }
+
+    #[test]
+    fn different_keys_give_different_tags() {
+        let data = b"message";
+        assert_ne!(hmac_sha256(b"key-a", data), hmac_sha256(b"key-b", data));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_incremental_matches_oneshot(key in proptest::collection::vec(any::<u8>(), 0..128),
+                                            data in proptest::collection::vec(any::<u8>(), 0..512),
+                                            split in 0usize..512) {
+            let oneshot = hmac_sha256(&key, &data);
+            let split = split.min(data.len());
+            let mut mac = HmacSha256::new(&key);
+            mac.update(&data[..split]);
+            mac.update(&data[split..]);
+            prop_assert_eq!(mac.finalize(), oneshot);
+        }
+
+        #[test]
+        fn prop_tag_depends_on_message(key in proptest::collection::vec(any::<u8>(), 1..64),
+                                       data in proptest::collection::vec(any::<u8>(), 1..256),
+                                       flip in 0usize..256) {
+            let flip = flip % data.len();
+            let mut tampered = data.clone();
+            tampered[flip] ^= 0x01;
+            prop_assert_ne!(hmac_sha256(&key, &data), hmac_sha256(&key, &tampered));
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! A tiny assembly language for IRVM programs.
+//!
+//! The paper argues that on-demand algorithms should be writable "in familiar languages" and
+//! compiled to a portable module format. The text form below plays that role for tests,
+//! examples and benches: one instruction per line, `;` comments, labels ending in `:`,
+//! and a small header for metadata and the avoid-links data section.
+//!
+//! ```text
+//! ; highest-bandwidth path with latency <= 30 ms
+//! .name   bounded-widest
+//! .select 20
+//!
+//! push_metric latency
+//! push        30000
+//! gt
+//! jz          ok
+//! reject
+//! ok:
+//! push_metric bandwidth
+//! neg
+//! accept
+//! ```
+
+use crate::bytecode::{Instruction, Program, ProgramMeta};
+use irec_types::{AsId, IfId, IrecError, MetricKind, Result};
+use std::collections::HashMap;
+
+/// Assembles a text program into a validated [`Program`].
+pub fn assemble(source: &str) -> Result<Program> {
+    let mut name = String::from("unnamed");
+    let mut max_selected: u32 = 20;
+    let mut avoid_links: Vec<(AsId, IfId)> = Vec::new();
+
+    // First pass: strip comments, collect directives, labels and raw instruction lines.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut instr_index: u32 = 0;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            let directive = parts.next().unwrap_or("");
+            match directive {
+                "name" => {
+                    name = parts
+                        .next()
+                        .ok_or_else(|| err(lineno, ".name needs an argument"))?
+                        .to_string();
+                }
+                "select" => {
+                    max_selected = parts
+                        .next()
+                        .ok_or_else(|| err(lineno, ".select needs an argument"))?
+                        .parse()
+                        .map_err(|_| err(lineno, "invalid .select value"))?;
+                }
+                "avoid" => {
+                    let asn: u64 = parts
+                        .next()
+                        .ok_or_else(|| err(lineno, ".avoid needs <as> <if>"))?
+                        .parse()
+                        .map_err(|_| err(lineno, "invalid AS in .avoid"))?;
+                    let ifid: u32 = parts
+                        .next()
+                        .ok_or_else(|| err(lineno, ".avoid needs <as> <if>"))?
+                        .parse()
+                        .map_err(|_| err(lineno, "invalid interface in .avoid"))?;
+                    avoid_links.push((AsId(asn), IfId(ifid)));
+                }
+                other => return Err(err(lineno, &format!("unknown directive .{other}"))),
+            }
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || labels.insert(label.to_string(), instr_index).is_some() {
+                return Err(err(lineno, &format!("invalid or duplicate label '{label}'")));
+            }
+            continue;
+        }
+        lines.push((lineno, line.to_string()));
+        instr_index += 1;
+    }
+
+    // Second pass: parse instructions, resolving label operands.
+    let mut code = Vec::with_capacity(lines.len());
+    for (lineno, line) in &lines {
+        code.push(parse_instruction(*lineno, line, &labels)?);
+    }
+
+    let program = Program {
+        meta: ProgramMeta { name, max_selected },
+        avoid_links,
+        code,
+    };
+    program.validate()?;
+    Ok(program)
+}
+
+fn err(lineno: usize, msg: &str) -> IrecError {
+    IrecError::decode(format!("asm line {}: {msg}", lineno + 1))
+}
+
+fn parse_metric(lineno: usize, token: &str) -> Result<MetricKind> {
+    match token {
+        "latency" => Ok(MetricKind::Latency),
+        "bandwidth" => Ok(MetricKind::Bandwidth),
+        "hops" | "hop_count" => Ok(MetricKind::HopCount),
+        "links" | "link_count" => Ok(MetricKind::LinkCount),
+        other => Err(err(lineno, &format!("unknown metric '{other}'"))),
+    }
+}
+
+fn parse_target(lineno: usize, token: &str, labels: &HashMap<String, u32>) -> Result<u32> {
+    if let Some(&target) = labels.get(token) {
+        return Ok(target);
+    }
+    token
+        .parse()
+        .map_err(|_| err(lineno, &format!("unknown label or invalid target '{token}'")))
+}
+
+fn parse_instruction(
+    lineno: usize,
+    line: &str,
+    labels: &HashMap<String, u32>,
+) -> Result<Instruction> {
+    let mut parts = line.split_whitespace();
+    let mnemonic = parts.next().expect("non-empty line");
+    let operand = parts.next();
+    if parts.next().is_some() {
+        return Err(err(lineno, "too many operands"));
+    }
+    fn need<'a>(lineno: usize, op: Option<&'a str>) -> Result<&'a str> {
+        op.ok_or_else(|| err(lineno, "missing operand"))
+    }
+
+    let instr = match mnemonic {
+        "push" => Instruction::Push(
+            need(lineno, operand)?
+                .parse()
+                .map_err(|_| err(lineno, "invalid integer constant"))?,
+        ),
+        "push_metric" => Instruction::PushMetric(parse_metric(lineno, need(lineno, operand)?)?),
+        "push_avoid_hit" => Instruction::PushAvoidHit,
+        "push_index" => Instruction::PushIndex,
+        "dup" => Instruction::Dup,
+        "swap" => Instruction::Swap,
+        "drop" => Instruction::Drop,
+        "add" => Instruction::Add,
+        "sub" => Instruction::Sub,
+        "mul" => Instruction::Mul,
+        "div" => Instruction::Div,
+        "neg" => Instruction::Neg,
+        "min" => Instruction::Min,
+        "max" => Instruction::Max,
+        "lt" => Instruction::Lt,
+        "le" => Instruction::Le,
+        "gt" => Instruction::Gt,
+        "ge" => Instruction::Ge,
+        "eq" => Instruction::Eq,
+        "ne" => Instruction::Ne,
+        "and" => Instruction::And,
+        "or" => Instruction::Or,
+        "not" => Instruction::Not,
+        "jmp" | "jump" => Instruction::Jump(parse_target(lineno, need(lineno, operand)?, labels)?),
+        "jz" | "jump_if_zero" => {
+            Instruction::JumpIfZero(parse_target(lineno, need(lineno, operand)?, labels)?)
+        }
+        "reject" => Instruction::Reject,
+        "accept" => Instruction::Accept,
+        other => return Err(err(lineno, &format!("unknown mnemonic '{other}'"))),
+    };
+
+    // Operand-less mnemonics must not carry an operand.
+    match instr {
+        Instruction::Push(_)
+        | Instruction::PushMetric(_)
+        | Instruction::Jump(_)
+        | Instruction::JumpIfZero(_) => {}
+        _ if operand.is_some() => return Err(err(lineno, "unexpected operand")),
+        _ => {}
+    }
+    Ok(instr)
+}
+
+/// Disassembles a program into the text form accepted by [`assemble`].
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".name {}\n", program.meta.name));
+    out.push_str(&format!(".select {}\n", program.meta.max_selected));
+    for (asn, ifid) in &program.avoid_links {
+        out.push_str(&format!(".avoid {} {}\n", asn.value(), ifid.value()));
+    }
+    out.push('\n');
+    for instr in &program.code {
+        let line = match instr {
+            Instruction::Push(v) => format!("push {v}"),
+            Instruction::PushMetric(MetricKind::Latency) => "push_metric latency".to_string(),
+            Instruction::PushMetric(MetricKind::Bandwidth) => "push_metric bandwidth".to_string(),
+            Instruction::PushMetric(MetricKind::HopCount) => "push_metric hops".to_string(),
+            Instruction::PushMetric(MetricKind::LinkCount) => "push_metric links".to_string(),
+            Instruction::PushAvoidHit => "push_avoid_hit".to_string(),
+            Instruction::PushIndex => "push_index".to_string(),
+            Instruction::Dup => "dup".to_string(),
+            Instruction::Swap => "swap".to_string(),
+            Instruction::Drop => "drop".to_string(),
+            Instruction::Add => "add".to_string(),
+            Instruction::Sub => "sub".to_string(),
+            Instruction::Mul => "mul".to_string(),
+            Instruction::Div => "div".to_string(),
+            Instruction::Neg => "neg".to_string(),
+            Instruction::Min => "min".to_string(),
+            Instruction::Max => "max".to_string(),
+            Instruction::Lt => "lt".to_string(),
+            Instruction::Le => "le".to_string(),
+            Instruction::Gt => "gt".to_string(),
+            Instruction::Ge => "ge".to_string(),
+            Instruction::Eq => "eq".to_string(),
+            Instruction::Ne => "ne".to_string(),
+            Instruction::And => "and".to_string(),
+            Instruction::Or => "or".to_string(),
+            Instruction::Not => "not".to_string(),
+            Instruction::Jump(t) => format!("jmp {t}"),
+            Instruction::JumpIfZero(t) => format!("jz {t}"),
+            Instruction::Reject => "reject".to_string(),
+            Instruction::Accept => "accept".to_string(),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{CandidateView, ExecutionLimits, Interpreter, Verdict};
+    use irec_types::{Bandwidth, Latency, PathMetrics};
+
+    fn candidate(latency_ms: u64, bw_mbps: u64, hops: u32) -> CandidateView {
+        CandidateView::new(
+            0,
+            PathMetrics {
+                latency: Latency::from_millis(latency_ms),
+                bandwidth: Bandwidth::from_mbps(bw_mbps),
+                hops,
+            },
+            vec![(AsId(1), IfId(1))],
+        )
+    }
+
+    #[test]
+    fn assemble_simple_program() {
+        let p = assemble(
+            "; lowest latency\n.name latency\n.select 5\npush_metric latency\naccept\n",
+        )
+        .unwrap();
+        assert_eq!(p.meta.name, "latency");
+        assert_eq!(p.meta.max_selected, 5);
+        assert_eq!(p.code.len(), 2);
+    }
+
+    #[test]
+    fn assemble_with_labels_and_run() {
+        let source = r"
+            .name bounded-widest
+            .select 20
+            push_metric latency
+            push 30000          ; 30 ms in microseconds
+            gt
+            jz ok
+            reject
+            ok:
+            push_metric bandwidth
+            neg
+            accept
+        ";
+        let p = assemble(source).unwrap();
+        let interp = Interpreter::new(p, ExecutionLimits::default()).unwrap();
+        // 20 ms path: accepted, score = -bandwidth.
+        let (v, _) = interp.evaluate(&candidate(20, 100, 2)).unwrap();
+        assert_eq!(v, Verdict::Accepted(-100_000));
+        // 40 ms path: rejected.
+        let (v, _) = interp.evaluate(&candidate(40, 1000, 4)).unwrap();
+        assert_eq!(v, Verdict::Rejected);
+    }
+
+    #[test]
+    fn assemble_avoid_directive() {
+        let p = assemble(
+            ".name avoid\n.avoid 5 7\n.avoid 6 1\npush_avoid_hit\njz ok\nreject\nok:\npush 0\naccept\n",
+        )
+        .unwrap();
+        assert_eq!(p.avoid_links, vec![(AsId(5), IfId(7)), (AsId(6), IfId(1))]);
+    }
+
+    #[test]
+    fn numeric_jump_targets_accepted() {
+        let p = assemble(".name n\npush 1\njz 3\npush 2\naccept\n").unwrap();
+        assert_eq!(p.code[1], Instruction::JumpIfZero(3));
+    }
+
+    #[test]
+    fn errors_are_reported_with_line_numbers() {
+        let err = assemble("push_metric latency\nbogus_instruction\naccept\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = assemble("push\naccept\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = assemble("jmp nowhere\naccept\n").unwrap_err();
+        assert!(err.to_string().contains("nowhere"), "{err}");
+        let err = assemble(".bogus 1\naccept\n").unwrap_err();
+        assert!(err.to_string().contains("directive"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        assert!(assemble("a:\npush 1\na:\naccept\n").is_err());
+    }
+
+    #[test]
+    fn unknown_metric_rejected() {
+        assert!(assemble("push_metric jitter\naccept\n").is_err());
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(assemble("; only a comment\n").is_err());
+    }
+
+    #[test]
+    fn too_many_operands_rejected() {
+        assert!(assemble("push 1 2\naccept\n").is_err());
+        assert!(assemble("add 1\naccept\n").is_err());
+    }
+
+    #[test]
+    fn disassemble_assemble_roundtrip() {
+        let source = r"
+            .name roundtrip
+            .select 7
+            .avoid 9 3
+            push_metric latency
+            push 10
+            add
+            dup
+            push 100
+            lt
+            jz end
+            neg
+            end:
+            accept
+        ";
+        let p1 = assemble(source).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn all_mnemonics_disassemble_and_reassemble() {
+        use crate::bytecode::Instruction as I;
+        let p = Program {
+            meta: ProgramMeta { name: "all".into(), max_selected: 3 },
+            avoid_links: vec![(AsId(1), IfId(2))],
+            code: vec![
+                I::Push(-5), I::PushMetric(MetricKind::Latency), I::PushMetric(MetricKind::Bandwidth),
+                I::PushMetric(MetricKind::HopCount), I::PushMetric(MetricKind::LinkCount),
+                I::PushAvoidHit, I::PushIndex, I::Dup, I::Swap, I::Drop, I::Add, I::Sub, I::Mul,
+                I::Div, I::Neg, I::Min, I::Max, I::Lt, I::Le, I::Gt, I::Ge, I::Eq, I::Ne, I::And,
+                I::Or, I::Not, I::Jump(27), I::JumpIfZero(27), I::Reject, I::Accept,
+            ],
+        };
+        let text = disassemble(&p);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p, p2);
+    }
+}

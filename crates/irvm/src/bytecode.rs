@@ -1,0 +1,475 @@
+//! IRVM bytecode: instructions, programs and static validation.
+
+use irec_types::{AsId, IfId, IrecError, MetricKind, Result};
+use irec_wire::{Decode, Encode, WireReader, WireWriter};
+
+/// Maximum number of instructions a program may contain.
+///
+/// The paper's RACs "only allow executables up to a certain size limit"; this is that limit
+/// for the code section.
+pub const MAX_CODE_LEN: usize = 4096;
+
+/// Maximum number of entries in the avoid-links data section.
+pub const MAX_AVOID_LINKS: usize = 4096;
+
+/// Maximum operand-stack depth during execution.
+pub const MAX_STACK_DEPTH: usize = 256;
+
+/// One IRVM instruction.
+///
+/// The machine is a stack machine over signed 64-bit integers. Metric push instructions read
+/// from the host-provided [`crate::exec::CandidateView`]; all arithmetic is checked and
+/// overflow terminates execution with an error (a sandbox never panics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// Push a constant.
+    Push(i64),
+    /// Push the candidate's extended-path metric (latency in µs, bandwidth in kbit/s, or a
+    /// count, depending on the metric kind).
+    PushMetric(MetricKind),
+    /// Push 1 if the candidate path traverses any link in the program's avoid list, else 0.
+    PushAvoidHit,
+    /// Push the zero-based index of the candidate in the batch (useful for tie-breaking).
+    PushIndex,
+    /// Duplicate the top of the stack.
+    Dup,
+    /// Swap the two topmost values.
+    Swap,
+    /// Discard the top of the stack.
+    Drop,
+    /// Checked addition.
+    Add,
+    /// Checked subtraction.
+    Sub,
+    /// Checked multiplication.
+    Mul,
+    /// Checked division (division by zero is an execution error).
+    Div,
+    /// Checked negation.
+    Neg,
+    /// Minimum of the two topmost values.
+    Min,
+    /// Maximum of the two topmost values.
+    Max,
+    /// Push 1 if `a < b` else 0 (`a` pushed before `b`).
+    Lt,
+    /// Push 1 if `a <= b` else 0.
+    Le,
+    /// Push 1 if `a > b` else 0.
+    Gt,
+    /// Push 1 if `a >= b` else 0.
+    Ge,
+    /// Push 1 if `a == b` else 0.
+    Eq,
+    /// Push 1 if `a != b` else 0.
+    Ne,
+    /// Logical AND of two 0/1 values (non-zero counts as true).
+    And,
+    /// Logical OR.
+    Or,
+    /// Logical NOT.
+    Not,
+    /// Unconditional jump to the absolute instruction index.
+    Jump(u32),
+    /// Pop a value; jump to the absolute instruction index if it is zero.
+    JumpIfZero(u32),
+    /// Terminate: the candidate is rejected (not selectable by this algorithm).
+    Reject,
+    /// Terminate: the candidate is accepted with the score on top of the stack
+    /// (lower scores are better).
+    Accept,
+}
+
+impl Instruction {
+    /// Wire opcode of the instruction.
+    fn opcode(&self) -> u8 {
+        match self {
+            Instruction::Push(_) => 1,
+            Instruction::PushMetric(_) => 2,
+            Instruction::PushAvoidHit => 3,
+            Instruction::PushIndex => 4,
+            Instruction::Dup => 5,
+            Instruction::Swap => 6,
+            Instruction::Drop => 7,
+            Instruction::Add => 8,
+            Instruction::Sub => 9,
+            Instruction::Mul => 10,
+            Instruction::Div => 11,
+            Instruction::Neg => 12,
+            Instruction::Min => 13,
+            Instruction::Max => 14,
+            Instruction::Lt => 15,
+            Instruction::Le => 16,
+            Instruction::Gt => 17,
+            Instruction::Ge => 18,
+            Instruction::Eq => 19,
+            Instruction::Ne => 20,
+            Instruction::And => 21,
+            Instruction::Or => 22,
+            Instruction::Not => 23,
+            Instruction::Jump(_) => 24,
+            Instruction::JumpIfZero(_) => 25,
+            Instruction::Reject => 26,
+            Instruction::Accept => 27,
+        }
+    }
+}
+
+impl Encode for Instruction {
+    fn encode(&self, writer: &mut WireWriter) {
+        writer.put_u8(self.opcode());
+        match self {
+            Instruction::Push(v) => {
+                // zigzag-encode signed constants
+                writer.put_varint(zigzag_encode(*v));
+            }
+            Instruction::PushMetric(kind) => writer.put_u8(kind.tag()),
+            Instruction::Jump(target) | Instruction::JumpIfZero(target) => {
+                writer.put_u32v(*target)
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Decode for Instruction {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self> {
+        let opcode = reader.get_u8()?;
+        Ok(match opcode {
+            1 => Instruction::Push(zigzag_decode(reader.get_varint()?)),
+            2 => {
+                let tag = reader.get_u8()?;
+                let kind = MetricKind::from_tag(tag)
+                    .ok_or_else(|| IrecError::decode(format!("unknown metric tag {tag}")))?;
+                Instruction::PushMetric(kind)
+            }
+            3 => Instruction::PushAvoidHit,
+            4 => Instruction::PushIndex,
+            5 => Instruction::Dup,
+            6 => Instruction::Swap,
+            7 => Instruction::Drop,
+            8 => Instruction::Add,
+            9 => Instruction::Sub,
+            10 => Instruction::Mul,
+            11 => Instruction::Div,
+            12 => Instruction::Neg,
+            13 => Instruction::Min,
+            14 => Instruction::Max,
+            15 => Instruction::Lt,
+            16 => Instruction::Le,
+            17 => Instruction::Gt,
+            18 => Instruction::Ge,
+            19 => Instruction::Eq,
+            20 => Instruction::Ne,
+            21 => Instruction::And,
+            22 => Instruction::Or,
+            23 => Instruction::Not,
+            24 => Instruction::Jump(reader.get_u32v()?),
+            25 => Instruction::JumpIfZero(reader.get_u32v()?),
+            26 => Instruction::Reject,
+            27 => Instruction::Accept,
+            other => return Err(IrecError::decode(format!("unknown opcode {other}"))),
+        })
+    }
+}
+
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Program metadata: a human-readable name and the per-egress selection budget the algorithm
+/// requests (the RAC clamps it to its own configured maximum).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramMeta {
+    /// Human-readable algorithm name (for logs, path tagging and the Fig. 8 series labels).
+    pub name: String,
+    /// How many PCBs per (origin, interface group, egress interface) the algorithm wants to
+    /// select. The paper's evaluation uses 20.
+    pub max_selected: u32,
+}
+
+impl Encode for ProgramMeta {
+    fn encode(&self, writer: &mut WireWriter) {
+        writer.put_string(&self.name);
+        writer.put_u32v(self.max_selected);
+    }
+}
+
+impl Decode for ProgramMeta {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self> {
+        let name = reader.get_string()?;
+        if name.len() > 256 {
+            return Err(IrecError::decode("program name too long"));
+        }
+        Ok(ProgramMeta {
+            name,
+            max_selected: reader.get_u32v()?,
+        })
+    }
+}
+
+/// A complete IRVM program: metadata, the avoid-links data section, and the code section.
+///
+/// The encoded form of a `Program` is exactly the "executable" the paper's on-demand RACs
+/// fetch from origin ASes and verify by hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Program metadata.
+    pub meta: ProgramMeta,
+    /// Links (identified by `(AS, egress interface)` of the crossing hop entry) that this
+    /// algorithm wants to avoid; queried with [`Instruction::PushAvoidHit`]. Used by the
+    /// pull-based disjointness algorithm (§VIII-B).
+    pub avoid_links: Vec<(AsId, IfId)>,
+    /// Instruction sequence.
+    pub code: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates a program with no avoid list.
+    pub fn new(name: impl Into<String>, max_selected: u32, code: Vec<Instruction>) -> Self {
+        Program {
+            meta: ProgramMeta {
+                name: name.into(),
+                max_selected,
+            },
+            avoid_links: Vec::new(),
+            code,
+        }
+    }
+
+    /// Serializes the program to its canonical byte form (what gets hashed and fetched).
+    pub fn to_module_bytes(&self) -> Vec<u8> {
+        self.encode_to_vec()
+    }
+
+    /// Parses and validates a program from its canonical byte form.
+    pub fn from_module_bytes(bytes: &[u8]) -> Result<Self> {
+        let program: Program = irec_wire::from_bytes(bytes)?;
+        program.validate()?;
+        Ok(program)
+    }
+
+    /// The SHA-256 digest of the canonical byte form; this is what PCB `Algorithm`
+    /// extensions pin.
+    pub fn code_hash(&self) -> irec_crypto::Digest {
+        irec_crypto::sha256(&self.to_module_bytes())
+    }
+
+    /// Statically validates the program: non-empty bounded code, in-range jump targets,
+    /// bounded data section.
+    pub fn validate(&self) -> Result<()> {
+        if self.code.is_empty() {
+            return Err(IrecError::policy("program has no code"));
+        }
+        if self.code.len() > MAX_CODE_LEN {
+            return Err(IrecError::policy(format!(
+                "program has {} instructions, limit is {MAX_CODE_LEN}",
+                self.code.len()
+            )));
+        }
+        if self.avoid_links.len() > MAX_AVOID_LINKS {
+            return Err(IrecError::policy(format!(
+                "avoid list has {} entries, limit is {MAX_AVOID_LINKS}",
+                self.avoid_links.len()
+            )));
+        }
+        if self.meta.max_selected == 0 {
+            return Err(IrecError::policy("max_selected must be at least 1"));
+        }
+        for (i, instr) in self.code.iter().enumerate() {
+            if let Instruction::Jump(t) | Instruction::JumpIfZero(t) = instr {
+                if *t as usize >= self.code.len() {
+                    return Err(IrecError::policy(format!(
+                        "instruction {i} jumps to out-of-range target {t}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Encode for Program {
+    fn encode(&self, writer: &mut WireWriter) {
+        self.meta.encode(writer);
+        writer.put_varint(self.avoid_links.len() as u64);
+        for (asn, ifid) in &self.avoid_links {
+            writer.put_varint(asn.value());
+            writer.put_u32v(ifid.value());
+        }
+        writer.put_varint(self.code.len() as u64);
+        for instr in &self.code {
+            instr.encode(writer);
+        }
+    }
+}
+
+impl Decode for Program {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self> {
+        let meta = ProgramMeta::decode(reader)?;
+        let n_avoid = reader.get_varint()? as usize;
+        if n_avoid > MAX_AVOID_LINKS {
+            return Err(IrecError::decode("avoid list too large"));
+        }
+        let mut avoid_links = Vec::with_capacity(n_avoid);
+        for _ in 0..n_avoid {
+            let asn = AsId(reader.get_varint()?);
+            let ifid = IfId(reader.get_u32v()?);
+            avoid_links.push((asn, ifid));
+        }
+        let n_code = reader.get_varint()? as usize;
+        if n_code > MAX_CODE_LEN {
+            return Err(IrecError::decode("code section too large"));
+        }
+        let mut code = Vec::with_capacity(n_code);
+        for _ in 0..n_code {
+            code.push(Instruction::decode(reader)?);
+        }
+        Ok(Program {
+            meta,
+            avoid_links,
+            code,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn simple_program() -> Program {
+        Program::new(
+            "lowest-latency",
+            20,
+            vec![
+                Instruction::PushMetric(MetricKind::Latency),
+                Instruction::Accept,
+            ],
+        )
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let mut p = simple_program();
+        p.avoid_links.push((AsId(3), IfId(7)));
+        let bytes = p.to_module_bytes();
+        let decoded = Program::from_module_bytes(&bytes).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn code_hash_is_stable_and_content_sensitive() {
+        let p = simple_program();
+        assert_eq!(p.code_hash(), p.code_hash());
+        let mut q = p.clone();
+        q.code.insert(0, Instruction::Push(1));
+        q.code.insert(1, Instruction::Drop);
+        assert_ne!(p.code_hash(), q.code_hash());
+    }
+
+    #[test]
+    fn validation_rejects_empty_code() {
+        let p = Program::new("empty", 20, vec![]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_jump() {
+        let p = Program::new("bad-jump", 20, vec![Instruction::Jump(5), Instruction::Accept]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_oversized_code() {
+        let p = Program::new(
+            "huge",
+            20,
+            vec![Instruction::Push(0); MAX_CODE_LEN + 1],
+        );
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_selection_budget() {
+        let p = Program::new("zero", 0, vec![Instruction::Accept]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn from_module_bytes_validates() {
+        let bad = Program::new("bad", 20, vec![Instruction::Jump(99), Instruction::Accept]);
+        // Encode without validating, decode must reject.
+        let bytes = bad.to_module_bytes();
+        assert!(Program::from_module_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn garbage_bytes_rejected() {
+        assert!(Program::from_module_bytes(&[0xff; 32]).is_err());
+        assert!(Program::from_module_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 1234, -1234, i64::MAX, i64::MIN] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn every_instruction_roundtrips() {
+        let all = vec![
+            Instruction::Push(-42),
+            Instruction::PushMetric(MetricKind::Latency),
+            Instruction::PushMetric(MetricKind::Bandwidth),
+            Instruction::PushMetric(MetricKind::HopCount),
+            Instruction::PushAvoidHit,
+            Instruction::PushIndex,
+            Instruction::Dup,
+            Instruction::Swap,
+            Instruction::Drop,
+            Instruction::Add,
+            Instruction::Sub,
+            Instruction::Mul,
+            Instruction::Div,
+            Instruction::Neg,
+            Instruction::Min,
+            Instruction::Max,
+            Instruction::Lt,
+            Instruction::Le,
+            Instruction::Gt,
+            Instruction::Ge,
+            Instruction::Eq,
+            Instruction::Ne,
+            Instruction::And,
+            Instruction::Or,
+            Instruction::Not,
+            Instruction::Jump(0),
+            Instruction::JumpIfZero(1),
+            Instruction::Reject,
+            Instruction::Accept,
+        ];
+        let p = Program::new("all", 1, all.clone());
+        let decoded = Program::from_module_bytes(&p.to_module_bytes()).unwrap();
+        assert_eq!(decoded.code, all);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_push_constant_roundtrip(v in any::<i64>()) {
+            let p = Program::new("c", 1, vec![Instruction::Push(v), Instruction::Accept]);
+            let decoded = Program::from_module_bytes(&p.to_module_bytes()).unwrap();
+            prop_assert_eq!(decoded.code[0], Instruction::Push(v));
+        }
+
+        #[test]
+        fn prop_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Program::from_module_bytes(&data);
+        }
+    }
+}

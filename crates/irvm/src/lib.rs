@@ -1,0 +1,40 @@
+//! # irec-irvm
+//!
+//! **IRVM** — the IREC routing-algorithm virtual machine.
+//!
+//! In the paper, routing algorithms (both static and on-demand) are compiled to WebAssembly
+//! and executed by the RAC inside a Wasmtime sandbox with strict runtime and memory limits;
+//! on-demand algorithms are additionally fetched from the origin AS and verified against the
+//! code hash pinned in the (signed) PCB. This crate provides the equivalent substrate,
+//! implemented from scratch:
+//!
+//! * a compact **bytecode** format ([`Program`], [`Instruction`]) that can be shipped as an
+//!   opaque byte string inside the control plane, hashed, cached and verified,
+//! * a **validator** rejecting malformed programs before execution (out-of-range jumps,
+//!   oversized code/data sections),
+//! * a deterministic, **fuel-metered interpreter** ([`Interpreter`]) with bounded stack and
+//!   output sizes — the sandbox: a hostile or buggy algorithm can neither run forever nor
+//!   exhaust memory, it simply gets an [`irec_types::IrecError::ResourceLimit`] error,
+//! * a **host interface** ([`CandidateView`]) exposing per-candidate extended path metrics
+//!   (latency, bandwidth, hop count) and traversed-link membership queries,
+//! * a tiny **assembly language** ([`asm`]) so that algorithm authors (tests, examples,
+//!   benches) can write criteria programs in text form, and
+//! * [`programs`] — ready-made builders for the criteria used throughout the paper
+//!   (lowest latency, widest path, shortest-widest, latency-bounded widest, link avoidance
+//!   for pull-based disjointness).
+//!
+//! The execution model mirrors how the paper's RAC calls its algorithm: for every candidate
+//! PCB and every egress interface, the algorithm produces either *reject* or a *score*; the
+//! RAC keeps, per egress interface, the `max_selected` best-scoring candidates. Scores are
+//! "lower is better".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod bytecode;
+pub mod exec;
+pub mod programs;
+
+pub use bytecode::{Instruction, Program, ProgramMeta, MAX_CODE_LEN, MAX_STACK_DEPTH};
+pub use exec::{CandidateView, ExecutionLimits, ExecutionStats, Interpreter, Verdict};

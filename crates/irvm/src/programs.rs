@@ -1,0 +1,236 @@
+//! Ready-made IRVM criteria programs.
+//!
+//! These cover the elementary optimality criteria of the paper's "beta" standardization tier
+//! (latency, bandwidth, hop count), the composed criteria used in the running examples
+//! (shortest-widest, latency-bounded widest), and the link-avoidance program that the
+//! pull-based disjointness (PD) algorithm ships via on-demand routing in §VIII-B.
+
+use crate::bytecode::{Instruction, Program, ProgramMeta};
+use irec_types::{AsId, IfId, Latency, MetricKind};
+
+/// Default per-egress selection budget (the paper registers at most 20 paths per RAC,
+/// origin AS and interface group).
+pub const DEFAULT_MAX_SELECTED: u32 = 20;
+
+/// Score = path latency (µs). Selects the lowest-latency candidates.
+pub fn lowest_latency(max_selected: u32) -> Program {
+    Program::new(
+        "lowest-latency",
+        max_selected,
+        vec![
+            Instruction::PushMetric(MetricKind::Latency),
+            Instruction::Accept,
+        ],
+    )
+}
+
+/// Score = AS-hop count. Selects the shortest candidates (the legacy SCION criterion).
+pub fn shortest_path(max_selected: u32) -> Program {
+    Program::new(
+        "shortest-path",
+        max_selected,
+        vec![
+            Instruction::PushMetric(MetricKind::HopCount),
+            Instruction::Accept,
+        ],
+    )
+}
+
+/// Score = −bandwidth (kbit/s). Selects the highest-bandwidth candidates.
+pub fn widest_path(max_selected: u32) -> Program {
+    Program::new(
+        "widest-path",
+        max_selected,
+        vec![
+            Instruction::PushMetric(MetricKind::Bandwidth),
+            Instruction::Neg,
+            Instruction::Accept,
+        ],
+    )
+}
+
+/// Shortest-widest: lexicographically prefer higher bandwidth, then lower latency — the
+/// on-demand example of the paper's Fig. 2c.
+///
+/// Encoded as a composite score `-bandwidth_kbps * 2^20 + min(latency_us, 2^20 - 1)`; since
+/// latency is clamped below the scale factor, bandwidth strictly dominates and latency only
+/// breaks ties.
+pub fn shortest_widest(max_selected: u32) -> Program {
+    const SCALE: i64 = 1 << 20;
+    Program::new(
+        "shortest-widest",
+        max_selected,
+        vec![
+            Instruction::PushMetric(MetricKind::Bandwidth),
+            Instruction::Neg,
+            Instruction::Push(SCALE),
+            Instruction::Mul,
+            Instruction::PushMetric(MetricKind::Latency),
+            Instruction::Push(SCALE - 1),
+            Instruction::Min,
+            Instruction::Add,
+            Instruction::Accept,
+        ],
+    )
+}
+
+/// Highest-bandwidth path subject to a latency bound — the live-video criterion of the
+/// paper's Example #2 (Fig. 1, dashed arrow).
+pub fn bounded_latency_widest(bound: Latency, max_selected: u32) -> Program {
+    Program::new(
+        format!("widest-under-{}ms", bound.as_millis()),
+        max_selected,
+        vec![
+            // if latency > bound: reject
+            Instruction::PushMetric(MetricKind::Latency),
+            Instruction::Push(bound.as_micros() as i64),
+            Instruction::Gt,
+            Instruction::JumpIfZero(5),
+            Instruction::Reject,
+            // else: score = -bandwidth
+            Instruction::PushMetric(MetricKind::Bandwidth),
+            Instruction::Neg,
+            Instruction::Accept,
+        ],
+    )
+}
+
+/// The pull-based disjointness building block: reject any candidate that traverses a link in
+/// `avoid`, otherwise score by latency. The PD algorithm originates on-demand PCBs carrying
+/// this program with the avoid list set to the links of the paths discovered so far
+/// (§VIII-B).
+pub fn avoid_links(avoid: Vec<(AsId, IfId)>, max_selected: u32) -> Program {
+    Program {
+        meta: ProgramMeta {
+            name: "avoid-links".to_string(),
+            max_selected,
+        },
+        avoid_links: avoid,
+        code: vec![
+            Instruction::PushAvoidHit,
+            Instruction::JumpIfZero(3),
+            Instruction::Reject,
+            Instruction::PushMetric(MetricKind::Latency),
+            Instruction::Accept,
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{CandidateView, ExecutionLimits, Interpreter, Verdict};
+    use irec_types::{Bandwidth, PathMetrics};
+
+    fn candidate(index: u64, latency_ms: u64, bw_mbps: u64, hops: u32, links: Vec<(AsId, IfId)>) -> CandidateView {
+        CandidateView::new(
+            index,
+            PathMetrics {
+                latency: Latency::from_millis(latency_ms),
+                bandwidth: Bandwidth::from_mbps(bw_mbps),
+                hops,
+            },
+            links,
+        )
+    }
+
+    /// The three candidate paths of the paper's Fig. 1 between Src and Dst:
+    /// short/thin (20 ms, 10 Mbps), medium (30 ms, 100 Mbps), long/wide (40 ms, 1 Gbps).
+    fn figure1_candidates() -> Vec<CandidateView> {
+        vec![
+            candidate(0, 20, 10, 2, vec![(AsId(1), IfId(1)), (AsId(2), IfId(2))]),
+            candidate(1, 30, 100, 3, vec![(AsId(1), IfId(2)), (AsId(4), IfId(3))]),
+            candidate(2, 40, 1000, 3, vec![(AsId(1), IfId(2)), (AsId(4), IfId(2)), (AsId(5), IfId(2))]),
+        ]
+    }
+
+    fn select(program: Program, candidates: &[CandidateView]) -> Vec<usize> {
+        Interpreter::new(program, ExecutionLimits::default())
+            .unwrap()
+            .select_best(candidates)
+    }
+
+    #[test]
+    fn lowest_latency_picks_the_voip_path() {
+        let selected = select(lowest_latency(1), &figure1_candidates());
+        assert_eq!(selected, vec![0]);
+    }
+
+    #[test]
+    fn widest_path_picks_the_file_transfer_path() {
+        let selected = select(widest_path(1), &figure1_candidates());
+        assert_eq!(selected, vec![2]);
+    }
+
+    #[test]
+    fn bounded_latency_widest_picks_the_live_video_path() {
+        // Highest bandwidth with latency <= 30 ms is the medium path — Example #2.
+        let selected = select(bounded_latency_widest(Latency::from_millis(30), 1), &figure1_candidates());
+        assert_eq!(selected, vec![1]);
+    }
+
+    #[test]
+    fn bounded_latency_rejects_everything_when_bound_too_tight() {
+        let selected = select(bounded_latency_widest(Latency::from_millis(5), 20), &figure1_candidates());
+        assert!(selected.is_empty());
+    }
+
+    #[test]
+    fn shortest_path_prefers_fewest_hops() {
+        let selected = select(shortest_path(1), &figure1_candidates());
+        assert_eq!(selected, vec![0]);
+    }
+
+    #[test]
+    fn shortest_widest_breaks_bandwidth_ties_by_latency() {
+        let candidates = vec![
+            candidate(0, 50, 100, 3, vec![]),
+            candidate(1, 20, 100, 2, vec![]), // same bandwidth, lower latency
+            candidate(2, 10, 40, 1, vec![]),  // lower bandwidth
+        ];
+        let selected = select(shortest_widest(2), &candidates);
+        assert_eq!(selected, vec![1, 0]);
+    }
+
+    #[test]
+    fn avoid_links_rejects_overlapping_paths() {
+        let avoid = vec![(AsId(1), IfId(1))];
+        let selected = select(avoid_links(avoid, 20), &figure1_candidates());
+        // Candidate 0 uses (AS1, if1) and must be rejected; 1 and 2 remain, ordered by latency.
+        assert_eq!(selected, vec![1, 2]);
+    }
+
+    #[test]
+    fn avoid_links_with_empty_list_accepts_all() {
+        let selected = select(avoid_links(vec![], 20), &figure1_candidates());
+        assert_eq!(selected.len(), 3);
+    }
+
+    #[test]
+    fn all_builders_produce_valid_programs() {
+        for p in [
+            lowest_latency(20),
+            shortest_path(20),
+            widest_path(20),
+            shortest_widest(20),
+            bounded_latency_widest(Latency::from_millis(30), 20),
+            avoid_links(vec![(AsId(1), IfId(1))], 20),
+        ] {
+            assert!(p.validate().is_ok(), "{} failed validation", p.meta.name);
+            // Each must also round-trip through module bytes (they get shipped on the wire).
+            let decoded = Program::from_module_bytes(&p.to_module_bytes()).unwrap();
+            assert_eq!(decoded, p);
+        }
+    }
+
+    #[test]
+    fn scores_are_deterministic() {
+        let p = shortest_widest(20);
+        let interp = Interpreter::new(p, ExecutionLimits::default()).unwrap();
+        let c = candidate(0, 17, 250, 4, vec![]);
+        let (v1, _) = interp.evaluate(&c).unwrap();
+        let (v2, _) = interp.evaluate(&c).unwrap();
+        assert_eq!(v1, v2);
+        assert!(matches!(v1, Verdict::Accepted(_)));
+    }
+}

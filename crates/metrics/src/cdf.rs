@@ -1,0 +1,186 @@
+//! Cumulative distribution functions — every Fig. 8 plot in the paper is a CDF.
+
+/// An empirical CDF over a set of sample values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    /// The samples, sorted ascending.
+    samples: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples. Non-finite values are dropped.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| v.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+        Cdf { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the CDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The fraction of samples that are ≤ `x` (the CDF value at `x`).
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let count = self.samples.partition_point(|v| *v <= x);
+        count as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), by the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+
+    /// The median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// The minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.first().copied()
+    }
+
+    /// The maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.last().copied()
+    }
+
+    /// Renders the CDF as `(value, cumulative fraction)` points, one per sample (suitable for
+    /// plotting or printing a figure series).
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.samples.len() as f64;
+        self.samples
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Renders the CDF evaluated at `steps + 1` evenly spaced probe values between `lo` and
+    /// `hi`, as `(probe, fraction ≤ probe)` rows — the format the fig8 binaries print.
+    pub fn sampled_points(&self, lo: f64, hi: f64, steps: usize) -> Vec<(f64, f64)> {
+        let steps = steps.max(1);
+        (0..=steps)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / steps as f64;
+                (x, self.fraction_at(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_statistics() {
+        let cdf = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.min(), Some(1.0));
+        assert_eq!(cdf.max(), Some(4.0));
+        assert_eq!(cdf.mean(), Some(2.5));
+        assert_eq!(cdf.median(), Some(2.0));
+        assert_eq!(cdf.quantile(0.25), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(4.0));
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn fraction_at_boundaries() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.fraction_at(0.5), 0.0);
+        assert_eq!(cdf.fraction_at(1.0), 0.25);
+        assert_eq!(cdf.fraction_at(2.5), 0.5);
+        assert_eq!(cdf.fraction_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn empty_cdf_is_well_behaved() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.mean(), None);
+        assert!(cdf.points().is_empty());
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let cdf = Cdf::new(vec![1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let cdf = Cdf::new(vec![5.0, 1.0, 3.0, 3.0, 2.0]);
+        let pts = cdf.points();
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn sampled_points_cover_the_range() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0]);
+        let pts = cdf.sampled_points(0.0, 4.0, 4);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], (0.0, 0.0));
+        assert_eq!(pts[4], (4.0, 1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fraction_at_is_monotone(mut samples in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                                        probes in proptest::collection::vec(-1e6f64..1e6, 2..10)) {
+            samples.retain(|v| v.is_finite());
+            let cdf = Cdf::new(samples);
+            let mut sorted_probes = probes.clone();
+            sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let fractions: Vec<f64> = sorted_probes.iter().map(|&p| cdf.fraction_at(p)).collect();
+            for w in fractions.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+
+        #[test]
+        fn prop_quantile_within_sample_range(samples in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                                             q in 0.0f64..1.0) {
+            let cdf = Cdf::new(samples);
+            let v = cdf.quantile(q).unwrap();
+            prop_assert!(v >= cdf.min().unwrap() && v <= cdf.max().unwrap());
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Minimum propagation delay between PoP pairs (Fig. 8a).
+//!
+//! The paper defines a PoP of an AS as a geolocation with at least one inter-domain link and
+//! evaluates, per algorithm, the minimum propagation delay between every pair of PoPs of
+//! different ASes. When no registered path ends exactly at the desired PoPs, the intra-domain
+//! great-circle delay between the path's end PoPs and the desired PoPs is added.
+
+use crate::paths::RegisteredPath;
+use irec_topology::{PointOfPresence, Topology};
+use irec_types::{AsId, IfId, Latency};
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifies a PoP: AS plus PoP index within that AS.
+pub type PopRef = (AsId, usize);
+
+/// The minimum delay found per (holder PoP, origin PoP) pair, in microseconds.
+pub type PopPairDelays = BTreeMap<(PopRef, PopRef), u64>;
+
+/// Computes, for one algorithm's registered paths, the minimum delay between every PoP pair
+/// `(holder PoP, origin PoP)` for which at least one registered path between the two ASes
+/// exists.
+///
+/// `pops` must be the per-AS PoP clustering of `topology` (see
+/// [`irec_topology::pop::points_of_presence`]).
+pub fn pop_pair_delays(
+    topology: &Topology,
+    pops: &BTreeMap<AsId, Vec<PointOfPresence>>,
+    paths: &[RegisteredPath],
+) -> PopPairDelays {
+    // Index: interface -> PoP index, per AS.
+    let mut if_to_pop: HashMap<(AsId, IfId), usize> = HashMap::new();
+    for (asn, as_pops) in pops {
+        for pop in as_pops {
+            for ifid in &pop.interfaces {
+                if_to_pop.insert((*asn, *ifid), pop.index);
+            }
+        }
+    }
+
+    let mut out: PopPairDelays = BTreeMap::new();
+    for path in paths {
+        let Some(holder_pops) = pops.get(&path.holder) else { continue };
+        let Some(origin_pops) = pops.get(&path.origin) else { continue };
+        let Some(&holder_end) = if_to_pop.get(&(path.holder, path.holder_interface)) else { continue };
+        let Some(&origin_end) = if_to_pop.get(&(path.origin, path.origin_interface)) else { continue };
+        // Interface locations of the path endpoints (for the intra-AS correction).
+        let holder_end_loc = holder_pops[holder_end].location;
+        let origin_end_loc = origin_pops[origin_end].location;
+
+        for hp in holder_pops {
+            for op in origin_pops {
+                let holder_extra = hp.location.propagation_delay(&holder_end_loc);
+                let origin_extra = op.location.propagation_delay(&origin_end_loc);
+                let total = path.metrics.latency + holder_extra + origin_extra;
+                let key = ((path.holder, hp.index), (path.origin, op.index));
+                out.entry(key)
+                    .and_modify(|best| *best = (*best).min(total.as_micros()))
+                    .or_insert(total.as_micros());
+            }
+        }
+    }
+    let _ = topology; // Topology is part of the API for callers that precompute PoPs lazily.
+    out
+}
+
+/// Computes the per-PoP-pair delay of `series` relative to `baseline` (Fig. 8a plots the
+/// delay of every algorithm relative to 1SP).
+///
+/// PoP pairs missing from `series` but present in `baseline` are reported as
+/// `f64::INFINITY`-free "greater than one" sentinels: the paper's "greater-than-one tails
+/// correspond to PoP pairs for which 1SP finds an inter-domain path while other algorithms do
+/// not". We encode them with the provided `missing_ratio` (e.g. 1.5) so they land in the tail
+/// of the CDF without distorting it.
+pub fn relative_to_baseline(
+    series: &PopPairDelays,
+    baseline: &PopPairDelays,
+    missing_ratio: f64,
+) -> Vec<f64> {
+    let mut ratios = Vec::with_capacity(baseline.len());
+    for (pair, &base_us) in baseline {
+        if base_us == 0 {
+            continue;
+        }
+        match series.get(pair) {
+            Some(&us) => ratios.push(us as f64 / base_us as f64),
+            None => ratios.push(missing_ratio),
+        }
+    }
+    ratios
+}
+
+/// Convenience: minimum delay per (holder AS, origin AS) pair, ignoring PoPs. Used by tests
+/// and by the quickstart example.
+pub fn as_pair_delays(paths: &[RegisteredPath]) -> BTreeMap<(AsId, AsId), Latency> {
+    let mut out = BTreeMap::new();
+    for path in paths {
+        out.entry((path.holder, path.origin))
+            .and_modify(|best: &mut Latency| {
+                if path.metrics.latency < *best {
+                    *best = path.metrics.latency;
+                }
+            })
+            .or_insert(path.metrics.latency);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irec_topology::pop::points_of_presence;
+    use irec_topology::{AsNode, Relationship, Tier};
+    use irec_types::{Bandwidth, GeoCoord, InterfaceGroupId, PathMetrics};
+
+    /// Topology: AS1 with PoPs in Zurich and New York, AS2 with a PoP in Frankfurt,
+    /// connected Zurich<->Frankfurt and NewYork<->Frankfurt.
+    fn topo() -> Topology {
+        let mut t = Topology::new();
+        t.add_as(AsNode::new(AsId(1), Tier::Tier2)).unwrap();
+        t.add_as(AsNode::new(AsId(2), Tier::Tier2)).unwrap();
+        t.add_link(
+            AsId(1), IfId(1), GeoCoord::new(47.37, 8.54),
+            AsId(2), IfId(1), GeoCoord::new(50.11, 8.68),
+            Bandwidth::from_gbps(10), Relationship::PeerToPeer,
+        ).unwrap();
+        t.add_link(
+            AsId(1), IfId(2), GeoCoord::new(40.71, -74.0),
+            AsId(2), IfId(2), GeoCoord::new(50.11, 8.68),
+            Bandwidth::from_gbps(10), Relationship::PeerToPeer,
+        ).unwrap();
+        t
+    }
+
+    fn path(holder: u64, holder_if: u32, origin: u64, origin_if: u32, latency_ms: u64) -> RegisteredPath {
+        RegisteredPath {
+            holder: AsId(holder),
+            origin: AsId(origin),
+            algorithm: "test".into(),
+            group: InterfaceGroupId::DEFAULT,
+            origin_interface: IfId(origin_if),
+            holder_interface: IfId(holder_if),
+            metrics: PathMetrics {
+                latency: Latency::from_millis(latency_ms),
+                bandwidth: Bandwidth::from_gbps(1),
+                hops: 1,
+            },
+            links: vec![(AsId(origin), IfId(origin_if))],
+        }
+    }
+
+    #[test]
+    fn pop_pair_delay_prefers_direct_paths_and_adds_corrections() {
+        let t = topo();
+        let pops = points_of_presence(&t, 50.0);
+        assert_eq!(pops[&AsId(1)].len(), 2);
+        assert_eq!(pops[&AsId(2)].len(), 1);
+
+        // One registered path at AS1 towards AS2 ending at the Zurich interface (if1).
+        let paths = vec![path(1, 1, 2, 1, 2)];
+        let delays = pop_pair_delays(&t, &pops, &paths);
+
+        // Zurich PoP of AS1 (index of the PoP containing if1) -> direct, no correction.
+        let zurich_pop = pops[&AsId(1)].iter().find(|p| p.interfaces.contains(&IfId(1))).unwrap().index;
+        let ny_pop = pops[&AsId(1)].iter().find(|p| p.interfaces.contains(&IfId(2))).unwrap().index;
+        let frankfurt_pop = pops[&AsId(2)][0].index;
+
+        let direct = delays[&((AsId(1), zurich_pop), (AsId(2), frankfurt_pop))];
+        let corrected = delays[&((AsId(1), ny_pop), (AsId(2), frankfurt_pop))];
+        assert_eq!(direct, Latency::from_millis(2).as_micros());
+        // The New York PoP has no direct path end, so the Zurich->NY great-circle delay
+        // (~31 ms) is added.
+        assert!(corrected > direct + Latency::from_millis(25).as_micros());
+    }
+
+    #[test]
+    fn multiple_paths_take_the_minimum() {
+        let t = topo();
+        let pops = points_of_presence(&t, 50.0);
+        let paths = vec![path(1, 1, 2, 1, 30), path(1, 1, 2, 1, 10)];
+        let delays = pop_pair_delays(&t, &pops, &paths);
+        let zurich_pop = pops[&AsId(1)].iter().find(|p| p.interfaces.contains(&IfId(1))).unwrap().index;
+        let frankfurt_pop = pops[&AsId(2)][0].index;
+        assert_eq!(
+            delays[&((AsId(1), zurich_pop), (AsId(2), frankfurt_pop))],
+            Latency::from_millis(10).as_micros()
+        );
+    }
+
+    #[test]
+    fn unknown_interfaces_are_skipped() {
+        let t = topo();
+        let pops = points_of_presence(&t, 50.0);
+        let paths = vec![path(1, 99, 2, 1, 10)];
+        let delays = pop_pair_delays(&t, &pops, &paths);
+        assert!(delays.is_empty());
+    }
+
+    #[test]
+    fn relative_to_baseline_ratios() {
+        let mut baseline = PopPairDelays::new();
+        let mut series = PopPairDelays::new();
+        let a = ((AsId(1), 0), (AsId(2), 0));
+        let b = ((AsId(1), 1), (AsId(2), 0));
+        baseline.insert(a, 10_000);
+        baseline.insert(b, 20_000);
+        series.insert(a, 5_000);
+        // b missing in the series -> sentinel ratio.
+        let ratios = relative_to_baseline(&series, &baseline, 1.5);
+        assert_eq!(ratios, vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn as_pair_delays_take_minimum() {
+        let paths = vec![path(1, 1, 2, 1, 30), path(1, 2, 2, 2, 12)];
+        let delays = as_pair_delays(&paths);
+        assert_eq!(delays[&(AsId(1), AsId(2))], Latency::from_millis(12));
+    }
+}

@@ -1,0 +1,24 @@
+//! # irec-metrics
+//!
+//! The evaluation metrics of the paper's §VIII-C, computed over the paths that the control
+//! plane registered at the path services:
+//!
+//! * [`delay`] — minimum propagation delay between PoP pairs, absolute and relative to a
+//!   baseline algorithm (Fig. 8a),
+//! * [`tlf`] — tolerable link failures: the minimum number of inter-domain links whose
+//!   removal disconnects all registered paths between an AS pair, computed as a max-flow /
+//!   min-cut over the union of the paths' links (Fig. 8b),
+//! * [`overhead`] — PCBs sent per interface per beaconing period (Fig. 8c),
+//! * [`cdf`] — the cumulative-distribution helper used to print every Fig. 8 series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod delay;
+pub mod overhead;
+pub mod paths;
+pub mod tlf;
+
+pub use cdf::Cdf;
+pub use paths::RegisteredPath;

@@ -1,0 +1,114 @@
+//! Control-plane message overhead: PCBs sent per interface per beaconing period (Fig. 8c).
+
+use irec_types::{AsId, IfId};
+use std::collections::BTreeMap;
+
+/// Counts PCB transmissions per (AS, egress interface, beaconing period).
+///
+/// The simulator increments the counter on every PCB an egress gateway sends; the Fig. 8c
+/// series is the distribution of these counts over all interfaces and periods (including the
+/// zero counts of interfaces that stayed silent in a period, which is what gives HD and PD
+/// their "low overhead during most periods" shape).
+#[derive(Debug, Clone, Default)]
+pub struct OverheadCounter {
+    counts: BTreeMap<(AsId, IfId, u64), u64>,
+    /// All interfaces ever observed, so silent periods can be filled with zeros.
+    interfaces: std::collections::BTreeSet<(AsId, IfId)>,
+    max_period: u64,
+}
+
+impl OverheadCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an interface so that its silent periods are counted as zero.
+    pub fn register_interface(&mut self, asn: AsId, interface: IfId) {
+        self.interfaces.insert((asn, interface));
+    }
+
+    /// Records `count` PCBs sent on `(asn, interface)` during `period`.
+    pub fn record(&mut self, asn: AsId, interface: IfId, period: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.interfaces.insert((asn, interface));
+        self.max_period = self.max_period.max(period);
+        *self.counts.entry((asn, interface, period)).or_default() += count;
+    }
+
+    /// Total number of PCBs recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct (interface, period) cells with at least one transmission.
+    pub fn active_cells(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The per-interface-per-period samples, including zeros for silent periods of registered
+    /// interfaces. This is the Fig. 8c distribution.
+    pub fn samples(&self) -> Vec<u64> {
+        let periods = self.max_period + 1;
+        let mut out = Vec::with_capacity(self.interfaces.len() * periods as usize);
+        for &(asn, interface) in &self.interfaces {
+            for period in 0..periods {
+                out.push(*self.counts.get(&(asn, interface, period)).unwrap_or(&0));
+            }
+        }
+        out
+    }
+
+    /// The non-zero per-interface-per-period samples only (useful for log-scale plots, which
+    /// is how the paper draws Fig. 8c).
+    pub fn nonzero_samples(&self) -> Vec<u64> {
+        self.counts.values().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut c = OverheadCounter::new();
+        c.record(AsId(1), IfId(1), 0, 5);
+        c.record(AsId(1), IfId(1), 0, 3);
+        c.record(AsId(1), IfId(2), 1, 7);
+        assert_eq!(c.total(), 15);
+        assert_eq!(c.active_cells(), 2);
+    }
+
+    #[test]
+    fn zero_counts_are_ignored_on_record() {
+        let mut c = OverheadCounter::new();
+        c.record(AsId(1), IfId(1), 0, 0);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.active_cells(), 0);
+    }
+
+    #[test]
+    fn samples_include_silent_periods() {
+        let mut c = OverheadCounter::new();
+        c.register_interface(AsId(1), IfId(1));
+        c.register_interface(AsId(1), IfId(2));
+        c.record(AsId(1), IfId(1), 0, 4);
+        c.record(AsId(1), IfId(1), 2, 6);
+        // Interfaces: 2, periods: 3 => 6 samples; if2 is silent in all of them.
+        let samples = c.samples();
+        assert_eq!(samples.len(), 6);
+        assert_eq!(samples.iter().sum::<u64>(), 10);
+        assert_eq!(samples.iter().filter(|&&s| s == 0).count(), 4);
+        assert_eq!(c.nonzero_samples().len(), 2);
+    }
+
+    #[test]
+    fn empty_counter_has_no_samples() {
+        let c = OverheadCounter::new();
+        assert!(c.samples().is_empty());
+        assert_eq!(c.total(), 0);
+    }
+}

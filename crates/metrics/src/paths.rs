@@ -1,0 +1,62 @@
+//! The registered-path record: what the egress gateway registers at the path service and
+//! what all evaluation metrics are computed from.
+//!
+//! The paper bases its evaluation "on the registered paths only, i.e., the ones available to
+//! endpoints" (§VIII-B); this type is that record, tagged with the algorithm that produced it
+//! (the egress gateway "tags the PCBs with the set of criteria they were optimized for").
+
+use irec_types::{AsId, IfId, InterfaceGroupId, PathMetrics};
+
+/// One inter-domain path registered at an AS's path service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisteredPath {
+    /// The AS holding (and registering) the path — the future traffic source side.
+    pub holder: AsId,
+    /// The origin AS of the underlying beacon — the future traffic destination side.
+    pub origin: AsId,
+    /// Name of the algorithm (RAC) that selected the path, e.g. `1SP`, `HD`, `DO`.
+    pub algorithm: String,
+    /// Interface group the beacon was originated for.
+    pub group: InterfaceGroupId,
+    /// The beacon interface at the origin AS (the first hop's egress interface).
+    pub origin_interface: IfId,
+    /// The local interface at the holder on which the beacon arrived.
+    pub holder_interface: IfId,
+    /// Accumulated path metrics from the origin interface to the holder interface.
+    pub metrics: PathMetrics,
+    /// The traversed inter-domain links, identified by `(AS, egress interface)`.
+    pub links: Vec<(AsId, IfId)>,
+}
+
+impl RegisteredPath {
+    /// Number of AS-level hops.
+    pub fn hops(&self) -> u32 {
+        self.metrics.hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irec_types::{Bandwidth, Latency};
+
+    #[test]
+    fn registered_path_accessors() {
+        let p = RegisteredPath {
+            holder: AsId(1),
+            origin: AsId(2),
+            algorithm: "1SP".into(),
+            group: InterfaceGroupId::DEFAULT,
+            origin_interface: IfId(3),
+            holder_interface: IfId(4),
+            metrics: PathMetrics {
+                latency: Latency::from_millis(20),
+                bandwidth: Bandwidth::from_mbps(100),
+                hops: 2,
+            },
+            links: vec![(AsId(2), IfId(3)), (AsId(5), IfId(1))],
+        };
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.links.len(), 2);
+    }
+}

@@ -1,0 +1,500 @@
+//! The path-construction beacon itself.
+
+use crate::extensions::PcbExtensions;
+use crate::hop::{AsEntry, HopInfo, StaticInfo};
+use irec_crypto::{Digest, Signer, Verifier};
+use irec_types::{AsId, IfId, IrecError, IsdId, PathMetrics, Result, SimTime};
+use irec_wire::{Decode, Encode, WireReader, WireWriter};
+use std::collections::HashSet;
+
+/// Identifier of a PCB: the SHA-256 digest of its canonical wire encoding.
+///
+/// The egress database deduplicates on this id (the paper stores "only their hashes" there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PcbId(pub Digest);
+
+impl PcbId {
+    /// A short (64-bit) form of the id, convenient for logs and maps in tests.
+    pub fn short(&self) -> u64 {
+        self.0.short()
+    }
+}
+
+/// A path-construction beacon.
+///
+/// The beacon starts empty at the origin AS (only header + extensions) and grows by one
+/// signed [`AsEntry`] per traversed AS. An AS holding a PCB with entries
+/// `E1 (origin), …, Ek` knows a path from the origin's beacon interface to its own ingress
+/// interface (the far end of `Ek`'s egress link).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pcb {
+    /// Isolation domain of the origin AS.
+    pub origin_isd: IsdId,
+    /// The AS that originated the beacon.
+    pub origin: AsId,
+    /// Origin-assigned sequence number, distinguishing beacons originated in the same round.
+    pub sequence: u64,
+    /// Origination time.
+    pub created_at: SimTime,
+    /// Expiry time; expired beacons are dropped by ingress/egress databases.
+    pub expires_at: SimTime,
+    /// IREC extensions (target, algorithm, interface group).
+    pub extensions: PcbExtensions,
+    /// One signed entry per traversed AS, in propagation order (origin first).
+    pub entries: Vec<AsEntry>,
+}
+
+impl Pcb {
+    /// Creates a beacon at the origin AS with no AS entries yet.
+    pub fn originate(
+        origin: AsId,
+        sequence: u64,
+        created_at: SimTime,
+        expires_at: SimTime,
+        extensions: PcbExtensions,
+    ) -> Self {
+        Pcb {
+            origin_isd: IsdId(1),
+            origin,
+            sequence,
+            created_at,
+            expires_at,
+            extensions,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of AS entries (equals the number of traversed inter-domain links).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the beacon has no AS entries yet (it has not left the origin).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The AS that appended the last entry (the AS "closest" to the holder), or the origin if
+    /// no entry exists yet.
+    pub fn last_as(&self) -> AsId {
+        self.entries.last().map(|e| e.hop.asn).unwrap_or(self.origin)
+    }
+
+    /// The egress interface of the last entry (the interface over which the beacon was sent
+    /// to its current holder).
+    pub fn last_egress(&self) -> Option<IfId> {
+        self.entries.last().map(|e| e.hop.egress)
+    }
+
+    /// The beacon interface at the origin: the egress interface of the first entry.
+    pub fn origin_interface(&self) -> Option<IfId> {
+        self.entries.first().map(|e| e.hop.egress)
+    }
+
+    /// All on-path AS ids in propagation order (origin first).
+    pub fn hop_asns(&self) -> Vec<AsId> {
+        self.entries.iter().map(|e| e.hop.asn).collect()
+    }
+
+    /// Whether `asn` already appears on the path (loop check).
+    pub fn contains_as(&self, asn: AsId) -> bool {
+        self.entries.iter().any(|e| e.hop.asn == asn)
+    }
+
+    /// Whether any AS appears more than once (a malformed/looping beacon).
+    pub fn has_loop(&self) -> bool {
+        let mut seen = HashSet::with_capacity(self.entries.len());
+        self.entries.iter().any(|e| !seen.insert(e.hop.asn))
+    }
+
+    /// Whether the beacon is expired at `now`.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        now.is_at_or_after(self.expires_at)
+    }
+
+    /// The accumulated performance metrics of the path described by this beacon, from the
+    /// origin's beacon interface to the ingress interface of the beacon's current holder.
+    pub fn path_metrics(&self) -> PathMetrics {
+        let mut metrics = PathMetrics::EMPTY;
+        for entry in &self.entries {
+            metrics = metrics.extend_intra(irec_types::LinkMetrics::new(
+                entry.static_info.intra_latency,
+                irec_types::Bandwidth::MAX,
+            ));
+            metrics = metrics.extend(irec_types::LinkMetrics::new(
+                entry.static_info.link_latency,
+                entry.static_info.link_bandwidth,
+            ));
+        }
+        metrics
+    }
+
+    /// Identifies every inter-domain link on the path by `(AS, egress interface)` of the
+    /// entry that crossed it. Because an interface attaches exactly one link, this uniquely
+    /// identifies links and is the basis of the disjointness metrics (TLF) and of the
+    /// pull-based disjointness algorithm's link-avoidance sets.
+    pub fn link_keys(&self) -> Vec<(AsId, IfId)> {
+        self.entries.iter().map(|e| (e.hop.asn, e.hop.egress)).collect()
+    }
+
+    /// Canonical encoding of the beacon header (everything the origin signs besides its own
+    /// hop entry: origin, sequence, validity, extensions).
+    pub fn header_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(64);
+        w.put_varint(self.origin_isd.0 as u64);
+        w.put_varint(self.origin.value());
+        w.put_varint(self.sequence);
+        w.put_varint(self.created_at.as_micros());
+        w.put_varint(self.expires_at.as_micros());
+        self.extensions.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Canonical encoding of the header plus the first `n` entries; entry `n` signs this
+    /// prefix together with its own hop/static-info content.
+    fn prefix_bytes(&self, n: usize) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(64 + n * 96);
+        w.put_raw(&self.header_bytes());
+        for entry in &self.entries[..n] {
+            entry.encode(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Appends a signed AS entry: the AS `signer.asn()` propagates the beacon from ingress
+    /// interface `ingress` out of egress interface `egress`, sharing `static_info`.
+    ///
+    /// Fails if the AS is already on the path (which would create a loop).
+    pub fn extend(
+        &mut self,
+        ingress: IfId,
+        egress: IfId,
+        static_info: StaticInfo,
+        signer: &Signer,
+    ) -> Result<()> {
+        let asn = signer.asn();
+        if self.contains_as(asn) {
+            return Err(IrecError::policy(format!(
+                "extending PCB through {asn} would create a loop"
+            )));
+        }
+        if self.is_empty() {
+            // The first entry must come from the origin AS itself, with no ingress.
+            if asn != self.origin {
+                return Err(IrecError::policy(format!(
+                    "first entry must be appended by the origin {} (got {asn})",
+                    self.origin
+                )));
+            }
+            if !ingress.is_none() {
+                return Err(IrecError::policy("origin entry must not have an ingress interface"));
+            }
+        } else if ingress.is_none() {
+            return Err(IrecError::policy("transit entry requires an ingress interface"));
+        }
+        if egress.is_none() {
+            return Err(IrecError::policy("an entry requires an egress interface"));
+        }
+
+        let hop = HopInfo {
+            asn,
+            ingress,
+            egress,
+        };
+        let prefix = self.prefix_bytes(self.entries.len());
+        let payload = AsEntry::signed_payload(&prefix, &hop, &static_info);
+        let signature = signer.sign(&payload);
+        self.entries.push(AsEntry {
+            hop,
+            static_info,
+            signature,
+        });
+        Ok(())
+    }
+
+    /// Verifies every entry's signature and basic well-formedness (origin entry first, no
+    /// loops, monotone structure). This is what the ingress gateway runs on received PCBs.
+    pub fn verify(&self, verifier: &Verifier) -> Result<()> {
+        if self.has_loop() {
+            return Err(IrecError::policy("beacon path contains a loop"));
+        }
+        if self.expires_at <= self.created_at {
+            return Err(IrecError::policy("beacon expires before it was created"));
+        }
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i == 0 {
+                if entry.hop.asn != self.origin || !entry.hop.is_origin() {
+                    return Err(IrecError::verification("first entry is not a valid origin entry"));
+                }
+            } else if entry.hop.is_origin() {
+                return Err(IrecError::verification(format!(
+                    "transit entry {i} is missing an ingress interface"
+                )));
+            }
+            let prefix = self.prefix_bytes(i);
+            let payload = AsEntry::signed_payload(&prefix, &entry.hop, &entry.static_info);
+            verifier.verify_from(entry.hop.asn, &payload, &entry.signature)?;
+        }
+        Ok(())
+    }
+
+    /// The content digest of the beacon (hash of its canonical wire encoding).
+    pub fn digest(&self) -> PcbId {
+        PcbId(irec_crypto::sha256(&self.encode_to_vec()))
+    }
+}
+
+impl Encode for Pcb {
+    fn encode(&self, writer: &mut WireWriter) {
+        writer.put_raw(&self.header_bytes());
+        writer.put_varint(self.entries.len() as u64);
+        for entry in &self.entries {
+            entry.encode(writer);
+        }
+    }
+}
+
+impl Decode for Pcb {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self> {
+        let origin_isd = IsdId(
+            u16::try_from(reader.get_varint()?)
+                .map_err(|_| IrecError::decode("ISD id out of range"))?,
+        );
+        let origin = AsId(reader.get_varint()?);
+        let sequence = reader.get_varint()?;
+        let created_at = SimTime::from_micros(reader.get_varint()?);
+        let expires_at = SimTime::from_micros(reader.get_varint()?);
+        let extensions = PcbExtensions::decode(reader)?;
+        let count = reader.get_varint()? as usize;
+        if count > 1024 {
+            return Err(IrecError::decode(format!("implausible entry count {count}")));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(AsEntry::decode(reader)?);
+        }
+        Ok(Pcb {
+            origin_isd,
+            origin,
+            sequence,
+            created_at,
+            expires_at,
+            extensions,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irec_crypto::{KeyRegistry, Signer, Verifier};
+    use irec_types::{Bandwidth, Latency, SimDuration};
+    use irec_wire::{from_bytes, to_bytes};
+
+    fn registry() -> KeyRegistry {
+        KeyRegistry::with_ases(1, 32)
+    }
+
+    fn static_info(link_ms: u64, bw_mbps: u64, intra_ms: u64) -> StaticInfo {
+        StaticInfo {
+            link_latency: Latency::from_millis(link_ms),
+            link_bandwidth: Bandwidth::from_mbps(bw_mbps),
+            intra_latency: Latency::from_millis(intra_ms),
+            egress_location: None,
+        }
+    }
+
+    /// Builds a 3-AS beacon: AS1 (origin) -> AS2 -> AS3 (holder not yet appended).
+    fn sample_pcb(reg: &KeyRegistry) -> Pcb {
+        let mut pcb = Pcb::originate(
+            AsId(1),
+            7,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(6),
+            PcbExtensions::none(),
+        );
+        let s1 = Signer::new(AsId(1), reg.clone());
+        let s2 = Signer::new(AsId(2), reg.clone());
+        pcb.extend(IfId::NONE, IfId(1), static_info(10, 100, 0), &s1).unwrap();
+        pcb.extend(IfId(4), IfId(5), static_info(5, 40, 2), &s2).unwrap();
+        pcb
+    }
+
+    #[test]
+    fn originate_and_extend() {
+        let reg = registry();
+        let pcb = sample_pcb(&reg);
+        assert_eq!(pcb.len(), 2);
+        assert_eq!(pcb.hop_asns(), vec![AsId(1), AsId(2)]);
+        assert_eq!(pcb.last_as(), AsId(2));
+        assert_eq!(pcb.last_egress(), Some(IfId(5)));
+        assert_eq!(pcb.origin_interface(), Some(IfId(1)));
+        assert!(!pcb.is_empty());
+    }
+
+    #[test]
+    fn path_metrics_accumulate() {
+        let reg = registry();
+        let pcb = sample_pcb(&reg);
+        let m = pcb.path_metrics();
+        // 10ms + (2ms intra + 5ms link) = 17ms, bottleneck 40 Mbps, 2 hops.
+        assert_eq!(m.latency, Latency::from_millis(17));
+        assert_eq!(m.bandwidth, Bandwidth::from_mbps(40));
+        assert_eq!(m.hops, 2);
+    }
+
+    #[test]
+    fn verify_accepts_valid_beacon() {
+        let reg = registry();
+        let pcb = sample_pcb(&reg);
+        let verifier = Verifier::new(reg);
+        assert!(pcb.verify(&verifier).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_tampered_static_info() {
+        let reg = registry();
+        let mut pcb = sample_pcb(&reg);
+        pcb.entries[1].static_info.link_latency = Latency::from_millis(1);
+        let verifier = Verifier::new(reg);
+        assert!(pcb.verify(&verifier).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_tampered_extensions() {
+        let reg = registry();
+        let mut pcb = sample_pcb(&reg);
+        pcb.extensions = PcbExtensions::none().with_target(AsId(9));
+        let verifier = Verifier::new(reg);
+        assert!(pcb.verify(&verifier).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_reordered_entries() {
+        let reg = registry();
+        let mut pcb = sample_pcb(&reg);
+        pcb.entries.swap(0, 1);
+        let verifier = Verifier::new(reg);
+        assert!(pcb.verify(&verifier).is_err());
+    }
+
+    #[test]
+    fn loop_prevention_on_extend() {
+        let reg = registry();
+        let mut pcb = sample_pcb(&reg);
+        let s1 = Signer::new(AsId(1), reg);
+        let err = pcb.extend(IfId(9), IfId(10), StaticInfo::empty(), &s1);
+        assert!(err.is_err());
+        assert_eq!(err.unwrap_err().category(), "policy");
+    }
+
+    #[test]
+    fn first_entry_must_be_origin() {
+        let reg = registry();
+        let mut pcb = Pcb::originate(
+            AsId(1),
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(1),
+            PcbExtensions::none(),
+        );
+        let s2 = Signer::new(AsId(2), reg.clone());
+        assert!(pcb.extend(IfId::NONE, IfId(1), StaticInfo::empty(), &s2).is_err());
+        // Origin with an ingress interface is also invalid.
+        let s1 = Signer::new(AsId(1), reg.clone());
+        assert!(pcb.extend(IfId(3), IfId(1), StaticInfo::empty(), &s1).is_err());
+        // Missing egress is invalid.
+        assert!(pcb.extend(IfId::NONE, IfId::NONE, StaticInfo::empty(), &s1).is_err());
+        // Correct origin entry works.
+        assert!(pcb.extend(IfId::NONE, IfId(1), StaticInfo::empty(), &s1).is_ok());
+        // Transit entry without ingress is invalid.
+        assert!(pcb.extend(IfId::NONE, IfId(1), StaticInfo::empty(), &s2).is_err());
+    }
+
+    #[test]
+    fn expiry_check() {
+        let reg = registry();
+        let pcb = sample_pcb(&reg);
+        assert!(!pcb.is_expired(SimTime::ZERO + SimDuration::from_hours(1)));
+        assert!(pcb.is_expired(SimTime::ZERO + SimDuration::from_hours(7)));
+    }
+
+    #[test]
+    fn verify_rejects_invalid_validity_window() {
+        let reg = registry();
+        let mut pcb = sample_pcb(&reg);
+        pcb.expires_at = SimTime::ZERO;
+        let verifier = Verifier::new(reg);
+        assert!(pcb.verify(&verifier).is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_everything() {
+        let reg = registry();
+        let mut pcb = sample_pcb(&reg);
+        pcb.extensions = PcbExtensions::none()
+            .with_target(AsId(30))
+            .with_interface_group(irec_types::InterfaceGroupId(2));
+        let decoded: Pcb = from_bytes(&to_bytes(&pcb)).unwrap();
+        assert_eq!(decoded, pcb);
+        assert_eq!(decoded.digest(), pcb.digest());
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let reg = registry();
+        let pcb = sample_pcb(&reg);
+        let mut other = pcb.clone();
+        other.sequence += 1;
+        assert_ne!(pcb.digest(), other.digest());
+        assert_ne!(pcb.digest().short(), other.digest().short());
+    }
+
+    #[test]
+    fn link_keys_identify_traversed_links() {
+        let reg = registry();
+        let pcb = sample_pcb(&reg);
+        assert_eq!(pcb.link_keys(), vec![(AsId(1), IfId(1)), (AsId(2), IfId(5))]);
+    }
+
+    #[test]
+    fn decode_rejects_absurd_entry_count() {
+        let reg = registry();
+        let pcb = sample_pcb(&reg);
+        let mut bytes = Vec::new();
+        // header
+        bytes.extend_from_slice(&pcb.header_bytes());
+        // entry count: huge
+        let mut w = irec_wire::WireWriter::new();
+        w.put_varint(1_000_000);
+        bytes.extend_from_slice(w.as_slice());
+        assert!(from_bytes::<Pcb>(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_pcb_decoding_fails_gracefully() {
+        let reg = registry();
+        let pcb = sample_pcb(&reg);
+        let bytes = to_bytes(&pcb);
+        for cut in [1usize, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_bytes::<Pcb>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_beacon_metrics_are_identity() {
+        let pcb = Pcb::originate(
+            AsId(1),
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(1),
+            PcbExtensions::none(),
+        );
+        assert!(pcb.is_empty());
+        assert_eq!(pcb.path_metrics(), PathMetrics::EMPTY);
+        assert_eq!(pcb.last_as(), AsId(1));
+        assert_eq!(pcb.last_egress(), None);
+        assert_eq!(pcb.origin_interface(), None);
+    }
+}

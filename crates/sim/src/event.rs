@@ -1,0 +1,171 @@
+//! The discrete-event queue driving the simulation.
+
+use irec_core::{PcbMessage, PullReturn};
+use irec_types::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled for a point in simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A PCB arriving at a neighbor's ingress gateway.
+    DeliverPcb(PcbMessage),
+    /// A pull-based beacon returned to its origin AS.
+    DeliverPullReturn(PullReturn),
+}
+
+/// Internal heap entry; the sequence number makes ordering total and FIFO for equal times,
+/// which keeps the simulation deterministic.
+#[derive(Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` for time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the next pending event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the next event if it is scheduled at or before `until`.
+    pub fn pop_until(&mut self, until: SimTime) -> Option<(SimTime, Event)> {
+        if self.next_time()? <= until {
+            let s = self.heap.pop().expect("peeked element exists");
+            Some((s.at, s.event))
+        } else {
+            None
+        }
+    }
+
+    /// Pops the next event regardless of time.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irec_pcb::{Pcb, PcbExtensions};
+    use irec_types::{AsId, IfId, SimDuration};
+
+    fn event(origin: u64) -> Event {
+        Event::DeliverPcb(PcbMessage {
+            from_as: AsId(origin),
+            from_if: IfId(1),
+            to_as: AsId(2),
+            to_if: IfId(1),
+            pcb: Pcb::originate(
+                AsId(origin),
+                0,
+                SimTime::ZERO,
+                SimTime::ZERO + SimDuration::from_hours(1),
+                PcbExtensions::none(),
+            ),
+        })
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), event(3));
+        q.schedule(SimTime::from_micros(10), event(1));
+        q.schedule(SimTime::from_micros(20), event(2));
+        assert_eq!(q.len(), 3);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::DeliverPcb(m) => m.from_as.value(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(SimTime::from_micros(100), event(i));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::DeliverPcb(m) => m.from_as.value(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), event(1));
+        q.schedule(SimTime::from_micros(50), event(2));
+        assert!(q.pop_until(SimTime::from_micros(20)).is_some());
+        assert!(q.pop_until(SimTime::from_micros(20)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_time(), Some(SimTime::from_micros(50)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+        assert!(q.pop().is_none());
+        assert!(q.pop_until(SimTime::MAX).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! # irec-sim
+//!
+//! The discrete-event control-plane simulator — this reproduction's substitute for the
+//! ns-3-based SCION simulator the paper uses for its large-scale evaluation (§VIII).
+//!
+//! The simulator drives one [`irec_core::IrecNode`] per AS of an [`irec_topology::Topology`]:
+//!
+//! * every AS runs a **beaconing round** periodically (every 10 simulated minutes in the
+//!   paper's setup): it originates fresh PCBs, runs all its RACs over the ingress database,
+//!   and hands the selections to the egress gateway;
+//! * the resulting PCB messages are delivered to the neighboring ASes through a discrete
+//!   [`event::EventQueue`], delayed by the propagation latency of the traversed link (plus a
+//!   small processing delay);
+//! * pull-based beacons reaching their target are returned to the origin AS as
+//!   [`irec_core::PullReturn`] events, delayed by the latency of the discovered path;
+//! * per-interface, per-period send counters feed the Fig. 8c overhead metric, and the
+//!   registered paths of every node feed the Fig. 8a/8b metrics.
+//!
+//! [`pd::PdWorkflow`] implements the iterative pull-based disjointness (PD) workflow of
+//! §VIII-B on top of the simulator: seed with HD paths, then repeatedly originate on-demand +
+//! pull-based beacons that avoid all links discovered so far, adding one new disjoint path
+//! per iteration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod pd;
+pub mod simulation;
+
+pub use event::{Event, EventQueue};
+pub use pd::{PdResult, PdWorkflow};
+pub use simulation::{Simulation, SimulationConfig};

@@ -1,0 +1,391 @@
+//! The simulation driver: periodic beaconing over a topology with event-based message
+//! delivery.
+
+use crate::event::{Event, EventQueue};
+use irec_core::{IrecNode, NodeConfig, SharedAlgorithmStore};
+use irec_crypto::KeyRegistry;
+use irec_metrics::overhead::OverheadCounter;
+use irec_metrics::RegisteredPath;
+use irec_topology::{GroupingConfig, InterfaceGroups, Topology};
+use irec_types::{AsId, IrecError, Result, SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimulationConfig {
+    /// Interval between beaconing rounds (the paper uses 10 simulated minutes).
+    pub beacon_interval: SimDuration,
+    /// Fixed per-message processing delay added on top of link propagation.
+    pub processing_delay: SimDuration,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            beacon_interval: SimDuration::from_minutes(10),
+            processing_delay: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// The discrete-event simulation of an IREC deployment.
+pub struct Simulation {
+    topology: Arc<Topology>,
+    config: SimulationConfig,
+    nodes: BTreeMap<AsId, IrecNode>,
+    queue: EventQueue,
+    clock: SimTime,
+    round: u64,
+    overhead: OverheadCounter,
+    overhead_pull: OverheadCounter,
+    delivered_messages: u64,
+    dropped_messages: u64,
+}
+
+impl Simulation {
+    /// Builds a simulation with one node per AS, configured by `node_config`.
+    pub fn new(
+        topology: Arc<Topology>,
+        config: SimulationConfig,
+        node_config: impl Fn(AsId) -> NodeConfig,
+    ) -> Result<Self> {
+        let registry = KeyRegistry::with_ases(42, topology.num_ases() as u64 + 1);
+        // Make sure every AS id present in the topology has a key (ids may be sparse).
+        for asn in topology.as_ids() {
+            registry.register(asn);
+        }
+        let store = SharedAlgorithmStore::new();
+        let mut nodes = BTreeMap::new();
+        let mut overhead = OverheadCounter::new();
+        for asn in topology.as_ids() {
+            let node = IrecNode::new(
+                asn,
+                node_config(asn),
+                Arc::clone(&topology),
+                registry.clone(),
+                store.clone(),
+            )?;
+            for ifid in topology.as_node(asn)?.interfaces.keys() {
+                overhead.register_interface(asn, *ifid);
+            }
+            nodes.insert(asn, node);
+        }
+        Ok(Simulation {
+            topology,
+            config,
+            nodes,
+            queue: EventQueue::new(),
+            clock: SimTime::ZERO,
+            round: 0,
+            overhead,
+            overhead_pull: OverheadCounter::new(),
+            delivered_messages: 0,
+            dropped_messages: 0,
+        })
+    }
+
+    /// The simulated topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of completed beaconing rounds.
+    pub fn rounds_run(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of control-plane messages delivered so far.
+    pub fn delivered_messages(&self) -> u64 {
+        self.delivered_messages
+    }
+
+    /// Number of messages dropped (rejected by the receiving ingress gateway).
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, asn: AsId) -> Result<&IrecNode> {
+        self.nodes
+            .get(&asn)
+            .ok_or_else(|| IrecError::not_found(format!("no node for {asn}")))
+    }
+
+    /// Mutable access to a node (used by the PD workflow to add originations).
+    pub fn node_mut(&mut self, asn: AsId) -> Result<&mut IrecNode> {
+        self.nodes
+            .get_mut(&asn)
+            .ok_or_else(|| IrecError::not_found(format!("no node for {asn}")))
+    }
+
+    /// Configures geographic interface groups (§IV-D) for every AS, as used by the DOB
+    /// configurations of the paper's evaluation.
+    pub fn set_geographic_interface_groups(&mut self, grouping: GroupingConfig) -> Result<()> {
+        for (asn, node) in self.nodes.iter_mut() {
+            let as_node = self.topology.as_node(*asn)?;
+            node.set_interface_groups(Some(InterfaceGroups::by_geography(as_node, grouping)));
+        }
+        Ok(())
+    }
+
+    /// Removes interface-group origination from every AS (plain origination).
+    pub fn clear_interface_groups(&mut self) {
+        for node in self.nodes.values_mut() {
+            node.set_interface_groups(None);
+        }
+    }
+
+    /// The overall per-interface-per-period PCB overhead counter (Fig. 8c).
+    pub fn overhead(&self) -> &OverheadCounter {
+        &self.overhead
+    }
+
+    /// Overhead restricted to pull-based beacons (the PD series of Fig. 8c).
+    pub fn overhead_pull(&self) -> &OverheadCounter {
+        &self.overhead_pull
+    }
+
+    /// Runs `n` beaconing rounds.
+    pub fn run_rounds(&mut self, n: usize) -> Result<()> {
+        for _ in 0..n {
+            self.run_single_round()?;
+        }
+        // Deliver whatever is still in flight so the final round's beacons are visible in the
+        // receivers' databases (and path services at the next query).
+        self.deliver_until(SimTime::MAX);
+        Ok(())
+    }
+
+    fn run_single_round(&mut self) -> Result<()> {
+        let now = SimTime::from_micros(self.round * self.config.beacon_interval.as_micros());
+        self.clock = now;
+        // Deliver everything that arrived before this round started.
+        self.deliver_until(now);
+
+        let as_ids: Vec<AsId> = self.nodes.keys().copied().collect();
+        for asn in as_ids {
+            let output = {
+                let node = self.nodes.get_mut(&asn).expect("node exists");
+                node.beaconing_round(now)?
+            };
+            // Account overhead per interface for this period.
+            for message in &output.messages {
+                self.overhead
+                    .record(message.from_as, message.from_if, self.round, 1);
+                if message.pcb.extensions.target.is_some() {
+                    self.overhead_pull
+                        .record(message.from_as, message.from_if, self.round, 1);
+                }
+            }
+            // Schedule deliveries.
+            for message in output.messages {
+                let delay = self
+                    .topology
+                    .link_at(message.from_as, message.from_if)
+                    .map(|l| l.metrics.latency)
+                    .unwrap_or_default();
+                let at = now
+                    + SimDuration::from_micros(delay.as_micros())
+                    + self.config.processing_delay;
+                self.queue.schedule(at, Event::DeliverPcb(message));
+            }
+            for ret in output.pull_returns {
+                // The return travels over the discovered path itself.
+                let delay = ret.pcb.path_metrics().latency;
+                let at = now
+                    + SimDuration::from_micros(delay.as_micros())
+                    + self.config.processing_delay;
+                self.queue.schedule(at, Event::DeliverPullReturn(ret));
+            }
+        }
+        self.round += 1;
+        Ok(())
+    }
+
+    fn deliver_until(&mut self, until: SimTime) {
+        while let Some((at, event)) = self.queue.pop_until(until) {
+            match event {
+                Event::DeliverPcb(message) => {
+                    if let Some(node) = self.nodes.get_mut(&message.to_as) {
+                        match node.handle_message(message, at) {
+                            Ok(()) => self.delivered_messages += 1,
+                            Err(_) => self.dropped_messages += 1,
+                        }
+                    }
+                }
+                Event::DeliverPullReturn(ret) => {
+                    if let Some(node) = self.nodes.get_mut(&ret.to_as) {
+                        node.handle_pull_return(ret, at);
+                        self.delivered_messages += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// All registered paths across every node, converted to the evaluation record type.
+    pub fn registered_paths(&self) -> Vec<RegisteredPath> {
+        let mut out = Vec::new();
+        for (asn, node) in &self.nodes {
+            for p in node.path_service().all() {
+                out.push(RegisteredPath {
+                    holder: *asn,
+                    origin: p.destination,
+                    algorithm: p.algorithm.clone(),
+                    group: p.group,
+                    origin_interface: p.destination_interface,
+                    holder_interface: p.local_interface,
+                    metrics: p.metrics,
+                    links: p.links.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Registered paths selected by a specific algorithm (RAC name).
+    pub fn registered_paths_by(&self, algorithm: &str) -> Vec<RegisteredPath> {
+        self.registered_paths()
+            .into_iter()
+            .filter(|p| p.algorithm == algorithm)
+            .collect()
+    }
+
+    /// Fraction of ordered AS pairs `(a, b)` for which `a` has at least one registered path
+    /// towards `b`. A value of 1.0 means full control-plane connectivity.
+    pub fn connectivity(&self) -> f64 {
+        let n = self.nodes.len();
+        if n < 2 {
+            return 1.0;
+        }
+        let mut reachable = 0usize;
+        for (asn, node) in &self.nodes {
+            let destinations = node.path_service().destinations();
+            reachable += destinations.iter().filter(|d| *d != asn).count();
+        }
+        reachable as f64 / (n * (n - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irec_core::{PropagationPolicy, RacConfig};
+    use irec_topology::builder::{figure1, figure1_topology};
+    use irec_topology::{GeneratorConfig, TopologyGenerator};
+
+    fn figure1_sim(racs: Vec<RacConfig>) -> Simulation {
+        let topology = Arc::new(figure1_topology());
+        Simulation::new(topology, SimulationConfig::default(), move |_| {
+            NodeConfig::default()
+                .with_policy(PropagationPolicy::All)
+                .with_racs(racs.clone())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn beacons_reach_every_as_after_enough_rounds() {
+        let mut sim = figure1_sim(vec![RacConfig::static_rac("5SP", "5SP")]);
+        sim.run_rounds(6).unwrap();
+        assert_eq!(sim.rounds_run(), 6);
+        assert!(sim.delivered_messages() > 0);
+        // Every AS should know at least one path to every other AS.
+        assert!(
+            (sim.connectivity() - 1.0).abs() < f64::EPSILON,
+            "connectivity {}",
+            sim.connectivity()
+        );
+    }
+
+    #[test]
+    fn shortest_path_rac_finds_the_two_hop_path() {
+        let mut sim = figure1_sim(vec![RacConfig::static_rac("1SP", "1SP")]);
+        sim.run_rounds(6).unwrap();
+        let src = sim.node(figure1::SRC).unwrap();
+        let paths = src.path_service().paths_to(figure1::DST);
+        assert!(!paths.is_empty());
+        let best_hops = paths.iter().map(|p| p.metrics.hops).min().unwrap();
+        assert_eq!(best_hops, 2, "Src-X-Dst is two hops");
+    }
+
+    #[test]
+    fn widest_rac_finds_the_high_bandwidth_detour() {
+        let mut sim = figure1_sim(vec![
+            RacConfig::static_rac("1SP", "1SP"),
+            RacConfig::static_rac("widest", "widest"),
+        ]);
+        sim.run_rounds(6).unwrap();
+        let src = sim.node(figure1::SRC).unwrap();
+        let widest = src.path_service().paths_to_by(figure1::DST, "widest");
+        assert!(!widest.is_empty());
+        let best_bw = widest.iter().map(|p| p.metrics.bandwidth).max().unwrap();
+        // The Src-Y-Z-Dst detour is gigabit; the bottleneck ends up being the Src-Y link.
+        assert!(best_bw >= irec_types::Bandwidth::from_mbps(100));
+        // The widest RAC never does worse on bandwidth than the shortest-path RAC.
+        let sp = src.path_service().paths_to_by(figure1::DST, "1SP");
+        let sp_bw = sp.iter().map(|p| p.metrics.bandwidth).max().unwrap();
+        assert!(best_bw >= sp_bw);
+    }
+
+    #[test]
+    fn overhead_counters_accumulate_per_period() {
+        let mut sim = figure1_sim(vec![RacConfig::static_rac("5SP", "5SP")]);
+        sim.run_rounds(3).unwrap();
+        assert!(sim.overhead().total() > 0);
+        // No pull-based beacons in this setup.
+        assert_eq!(sim.overhead_pull().total(), 0);
+        // Samples include silent interface-periods.
+        assert!(sim.overhead().samples().len() >= sim.overhead().active_cells());
+    }
+
+    #[test]
+    fn generated_topology_converges_with_valley_free_policy() {
+        let topology = Arc::new(TopologyGenerator::new(GeneratorConfig::tiny(3)).generate());
+        let mut sim = Simulation::new(topology, SimulationConfig::default(), |_| {
+            NodeConfig::default().with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
+        })
+        .unwrap();
+        sim.run_rounds(8).unwrap();
+        // Valley-free propagation on a tiered topology still reaches most AS pairs.
+        assert!(
+            sim.connectivity() > 0.8,
+            "connectivity only {}",
+            sim.connectivity()
+        );
+    }
+
+    #[test]
+    fn registered_paths_conversion_is_consistent() {
+        let mut sim = figure1_sim(vec![RacConfig::static_rac("1SP", "1SP")]);
+        sim.run_rounds(5).unwrap();
+        let paths = sim.registered_paths();
+        assert!(!paths.is_empty());
+        for p in &paths {
+            assert_ne!(p.holder, p.origin);
+            assert_eq!(p.links.len() as u32, p.metrics.hops);
+            assert_eq!(p.algorithm, "1SP");
+        }
+        assert_eq!(sim.registered_paths_by("1SP").len(), paths.len());
+        assert!(sim.registered_paths_by("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn interface_groups_can_be_enabled_globally() {
+        let mut sim = figure1_sim(vec![
+            RacConfig::static_rac("DOB", "DO")
+                .with_extended_paths(true)
+                .with_interface_groups(true),
+        ]);
+        sim.set_geographic_interface_groups(GroupingConfig::KM_300).unwrap();
+        sim.run_rounds(5).unwrap();
+        assert!(sim.connectivity() > 0.9);
+        sim.clear_interface_groups();
+    }
+}

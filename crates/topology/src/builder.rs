@@ -1,0 +1,274 @@
+//! A fluent builder for hand-constructed topologies, used by tests, examples and the
+//! reproductions of the paper's running examples (Fig. 1–4).
+
+use crate::model::{AsNode, Relationship, Tier, Topology};
+use irec_types::{AsId, Bandwidth, GeoCoord, IfId, Latency, Result};
+use std::collections::HashMap;
+
+/// Fluent topology builder.
+///
+/// Interface ids are assigned automatically (per AS, starting at 1) unless specified; link
+/// latencies can be given explicitly (as in the paper's figures, where every link adds a
+/// round 10 ms) or derived from endpoint locations.
+#[derive(Debug)]
+pub struct TopologyBuilder {
+    topology: Topology,
+    next_ifid: HashMap<AsId, u32>,
+    default_location: GeoCoord,
+}
+
+impl Default for TopologyBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TopologyBuilder {
+            topology: Topology::new(),
+            next_ifid: HashMap::new(),
+            default_location: GeoCoord::new(0.0, 0.0),
+        }
+    }
+
+    /// Adds an AS with the given tier.
+    pub fn with_as(mut self, asn: u64, tier: Tier) -> Self {
+        self.topology
+            .add_as(AsNode::new(AsId(asn), tier))
+            .expect("builder: duplicate AS");
+        self
+    }
+
+    /// Adds several ASes at once, all tier-2.
+    pub fn with_ases(mut self, asns: impl IntoIterator<Item = u64>) -> Self {
+        for asn in asns {
+            self.topology
+                .add_as(AsNode::new(AsId(asn), Tier::Tier2))
+                .expect("builder: duplicate AS");
+        }
+        self
+    }
+
+    fn alloc_if(&mut self, asn: AsId) -> IfId {
+        let next = self.next_ifid.entry(asn).or_insert(1);
+        let id = IfId(*next);
+        *next += 1;
+        id
+    }
+
+    /// Adds a symmetric peering link with an explicit latency and bandwidth.
+    pub fn link(
+        mut self,
+        a: u64,
+        b: u64,
+        latency: Latency,
+        bandwidth: Bandwidth,
+    ) -> Self {
+        self.add_link_internal(a, b, latency, bandwidth, Relationship::PeerToPeer, None, None)
+            .expect("builder: link failed");
+        self
+    }
+
+    /// Adds a provider → customer link (`a` is the provider).
+    pub fn provider_link(
+        mut self,
+        provider: u64,
+        customer: u64,
+        latency: Latency,
+        bandwidth: Bandwidth,
+    ) -> Self {
+        self.add_link_internal(
+            provider,
+            customer,
+            latency,
+            bandwidth,
+            Relationship::ProviderToCustomer,
+            None,
+            None,
+        )
+        .expect("builder: link failed");
+        self
+    }
+
+    /// Adds a peering link with explicit endpoint locations (latency derived from geography).
+    pub fn geo_link(
+        mut self,
+        a: u64,
+        loc_a: GeoCoord,
+        b: u64,
+        loc_b: GeoCoord,
+        bandwidth: Bandwidth,
+    ) -> Self {
+        let if_a = self.alloc_if(AsId(a));
+        let if_b = self.alloc_if(AsId(b));
+        self.topology
+            .add_link(AsId(a), if_a, loc_a, AsId(b), if_b, loc_b, bandwidth, Relationship::PeerToPeer)
+            .expect("builder: geo link failed");
+        self
+    }
+
+    fn add_link_internal(
+        &mut self,
+        a: u64,
+        b: u64,
+        latency: Latency,
+        bandwidth: Bandwidth,
+        relationship: Relationship,
+        loc_a: Option<GeoCoord>,
+        loc_b: Option<GeoCoord>,
+    ) -> Result<()> {
+        let if_a = self.alloc_if(AsId(a));
+        let if_b = self.alloc_if(AsId(b));
+        self.topology.add_link_with_latency(
+            AsId(a),
+            if_a,
+            loc_a.unwrap_or(self.default_location),
+            AsId(b),
+            if_b,
+            loc_b.unwrap_or(self.default_location),
+            bandwidth,
+            latency,
+            relationship,
+        )?;
+        Ok(())
+    }
+
+    /// Finalizes the topology.
+    pub fn build(self) -> Topology {
+        let t = self.topology;
+        t.validate().expect("builder produced an invalid topology");
+        t
+    }
+}
+
+/// The example topology of the paper's Fig. 1.
+///
+/// Five ASes: a source `Src`, a destination `Dst`, an intermediate `X` on the direct path,
+/// and `Y`, `Z` on a longer detour. Every link adds 10 ms of latency; bandwidths are chosen
+/// such that
+///
+/// * the 3-hop path `Src → X → Dst` is the shortest/lowest-latency path (low bandwidth),
+/// * the 4-hop path `Src → Y → Z → Dst` is the highest-bandwidth path (40 ms),
+/// * the 3-hop path `Src → Y → Dst` is the highest-bandwidth path with latency ≤ 30 ms.
+///
+/// AS numbering: Src = 1, X = 2, Dst = 3, Y = 4, Z = 5.
+pub fn figure1_topology() -> Topology {
+    let ten_ms = Latency::from_millis(10);
+    let mut topology = TopologyBuilder::new()
+        .with_as(1, Tier::Tier2) // Src
+        .with_as(2, Tier::Tier2) // X
+        .with_as(3, Tier::Tier2) // Dst
+        .with_as(4, Tier::Tier2) // Y
+        .with_as(5, Tier::Tier2) // Z
+        // Shortest path: Src - X - Dst, thin links (low bandwidth).
+        .link(1, 2, ten_ms, Bandwidth::from_mbps(10))
+        .link(2, 3, ten_ms, Bandwidth::from_mbps(10))
+        // Medium path: Src - Y - Dst, medium bandwidth.
+        .link(1, 4, ten_ms, Bandwidth::from_mbps(100))
+        .link(4, 3, ten_ms, Bandwidth::from_mbps(100))
+        // Widest path: Src - Y - Z - Dst, thick links.
+        .link(4, 5, ten_ms, Bandwidth::from_gbps(1))
+        .link(5, 3, ten_ms, Bandwidth::from_gbps(1))
+        .build();
+    // The figure abstracts AS-internal networks away: every link contributes exactly 10 ms,
+    // so the three highlighted paths come out at the paper's round 20/30/40 ms numbers.
+    for node in topology.ases.values_mut() {
+        node.local_crossing_latency = Latency::ZERO;
+    }
+    topology
+}
+
+/// The AS ids used by [`figure1_topology`], for readability in tests and examples.
+pub mod figure1 {
+    use irec_types::AsId;
+    /// The source AS of the paper's Fig. 1.
+    pub const SRC: AsId = AsId(1);
+    /// The intermediate AS on the short path.
+    pub const X: AsId = AsId(2);
+    /// The destination AS.
+    pub const DST: AsId = AsId(3);
+    /// The first AS of the detour.
+    pub const Y: AsId = AsId(4);
+    /// The second AS of the detour.
+    pub const Z: AsId = AsId(5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_valid_topology() {
+        let t = TopologyBuilder::new()
+            .with_ases([1, 2, 3])
+            .link(1, 2, Latency::from_millis(5), Bandwidth::from_mbps(100))
+            .link(2, 3, Latency::from_millis(5), Bandwidth::from_mbps(100))
+            .build();
+        assert_eq!(t.num_ases(), 3);
+        assert_eq!(t.num_links(), 2);
+        assert!(t.validate().is_ok());
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn interface_ids_allocated_per_as() {
+        let t = TopologyBuilder::new()
+            .with_ases([1, 2, 3])
+            .link(1, 2, Latency::from_millis(5), Bandwidth::from_mbps(10))
+            .link(1, 3, Latency::from_millis(5), Bandwidth::from_mbps(10))
+            .build();
+        let as1 = t.as_node(AsId(1)).unwrap();
+        assert_eq!(as1.degree(), 2);
+        assert!(as1.interfaces.contains_key(&IfId(1)));
+        assert!(as1.interfaces.contains_key(&IfId(2)));
+        let as2 = t.as_node(AsId(2)).unwrap();
+        assert!(as2.interfaces.contains_key(&IfId(1)));
+    }
+
+    #[test]
+    fn provider_link_sets_relationship() {
+        let t = TopologyBuilder::new()
+            .with_ases([1, 2])
+            .provider_link(1, 2, Latency::from_millis(1), Bandwidth::from_gbps(1))
+            .build();
+        let link = t.link(irec_types::LinkId(0)).unwrap();
+        assert_eq!(link.relationship_from(AsId(1)), Some(Relationship::ProviderToCustomer));
+        assert_eq!(link.relationship_from(AsId(2)), Some(Relationship::CustomerToProvider));
+    }
+
+    #[test]
+    fn geo_link_derives_latency() {
+        let t = TopologyBuilder::new()
+            .with_ases([1, 2])
+            .geo_link(
+                1,
+                GeoCoord::new(47.37, 8.54),
+                2,
+                GeoCoord::new(40.71, -74.0),
+                Bandwidth::from_gbps(1),
+            )
+            .build();
+        let link = t.link(irec_types::LinkId(0)).unwrap();
+        assert!(link.metrics.latency > Latency::from_millis(25));
+    }
+
+    #[test]
+    fn figure1_has_expected_shape() {
+        let t = figure1_topology();
+        assert_eq!(t.num_ases(), 5);
+        assert_eq!(t.num_links(), 6);
+        assert!(t.is_connected());
+        // Src has three neighbors? No: Src connects to X and Y only.
+        assert_eq!(t.neighbors(figure1::SRC), vec![figure1::X, figure1::Y]);
+        assert_eq!(
+            t.neighbors(figure1::DST),
+            vec![figure1::X, figure1::Y, figure1::Z]
+        );
+        // Every link has 10 ms latency.
+        for link in t.links.values() {
+            assert_eq!(link.metrics.latency, Latency::from_millis(10));
+        }
+    }
+}

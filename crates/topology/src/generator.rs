@@ -1,0 +1,426 @@
+//! Synthetic Internet-like topology generator (the CAIDA geo-rel substitute).
+//!
+//! The paper's simulation topology is the 500 highest-degree ASes of the CAIDA geo-rel
+//! dataset with >100 000 geolocated inter-domain links. What the evaluation actually depends
+//! on is:
+//!
+//! 1. a tiered, power-law-like AS hierarchy with valley-free business relationships,
+//! 2. ASes with multiple, geographically spread points of presence,
+//! 3. many *parallel* inter-AS links at different locations (this is what creates the path
+//!    diversity that multi-criteria optimization exploits and what makes per-interface-group
+//!    optimization matter),
+//! 4. per-link propagation delays derived from great-circle distances, and
+//! 5. heterogeneous link capacities.
+//!
+//! [`TopologyGenerator`] produces topologies with exactly these properties, deterministically
+//! from a seed.
+
+use crate::model::{AsNode, Relationship, Tier, Topology};
+use irec_types::{AsId, Bandwidth, GeoCoord, IfId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A world city used as a PoP location. The list approximates the geographic spread of
+/// Internet exchange points.
+const CITIES: &[(&str, f64, f64)] = &[
+    ("Zurich", 47.38, 8.54),
+    ("Frankfurt", 50.11, 8.68),
+    ("Amsterdam", 52.37, 4.90),
+    ("London", 51.51, -0.13),
+    ("Paris", 48.86, 2.35),
+    ("Madrid", 40.42, -3.70),
+    ("Milan", 45.46, 9.19),
+    ("Stockholm", 59.33, 18.07),
+    ("Warsaw", 52.23, 21.01),
+    ("Vienna", 48.21, 16.37),
+    ("Moscow", 55.76, 37.62),
+    ("Istanbul", 41.01, 28.98),
+    ("New York", 40.71, -74.01),
+    ("Ashburn", 39.04, -77.49),
+    ("Chicago", 41.88, -87.63),
+    ("Dallas", 32.78, -96.80),
+    ("Miami", 25.76, -80.19),
+    ("Los Angeles", 34.05, -118.24),
+    ("San Jose", 37.34, -121.89),
+    ("Seattle", 47.61, -122.33),
+    ("Toronto", 43.65, -79.38),
+    ("Mexico City", 19.43, -99.13),
+    ("Sao Paulo", -23.55, -46.63),
+    ("Buenos Aires", -34.60, -58.38),
+    ("Santiago", -33.45, -70.67),
+    ("Bogota", 4.71, -74.07),
+    ("Johannesburg", -26.20, 28.05),
+    ("Lagos", 6.52, 3.38),
+    ("Nairobi", -1.29, 36.82),
+    ("Cairo", 30.04, 31.24),
+    ("Dubai", 25.20, 55.27),
+    ("Mumbai", 19.08, 72.88),
+    ("Chennai", 13.08, 80.27),
+    ("Singapore", 1.35, 103.82),
+    ("Jakarta", -6.21, 106.85),
+    ("Hong Kong", 22.32, 114.17),
+    ("Tokyo", 35.68, 139.65),
+    ("Osaka", 34.69, 135.50),
+    ("Seoul", 37.57, 126.98),
+    ("Taipei", 25.03, 121.57),
+    ("Sydney", -33.87, 151.21),
+    ("Melbourne", -37.81, 144.96),
+    ("Auckland", -36.85, 174.76),
+    ("Honolulu", 21.31, -157.86),
+];
+
+/// Parameters of the synthetic topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Total number of ASes.
+    pub num_ases: usize,
+    /// PRNG seed; the same config always produces the same topology.
+    pub seed: u64,
+    /// Fraction of ASes in tier 1 (global core).
+    pub tier1_fraction: f64,
+    /// Fraction of ASes in tier 2 (transit); the rest are tier-3 stubs.
+    pub tier2_fraction: f64,
+    /// Number of PoP locations per tier-1 AS (min, max).
+    pub tier1_pops: (usize, usize),
+    /// Number of PoP locations per tier-2 AS (min, max).
+    pub tier2_pops: (usize, usize),
+    /// Number of PoP locations per tier-3 AS (min, max).
+    pub tier3_pops: (usize, usize),
+    /// Number of provider links per tier-2 AS (min, max).
+    pub tier2_providers: (usize, usize),
+    /// Number of provider links per tier-3 AS (min, max).
+    pub tier3_providers: (usize, usize),
+    /// Number of lateral peering links per tier-2 AS (min, max).
+    pub tier2_peers: (usize, usize),
+    /// How many parallel links (at distinct PoP pairs) each logical adjacency gets (min, max).
+    pub parallel_links: (usize, usize),
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            num_ases: 100,
+            seed: 7,
+            tier1_fraction: 0.06,
+            tier2_fraction: 0.44,
+            tier1_pops: (6, 12),
+            tier2_pops: (2, 6),
+            tier3_pops: (1, 3),
+            tier2_providers: (2, 4),
+            tier3_providers: (1, 3),
+            tier2_peers: (1, 4),
+            parallel_links: (1, 3),
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A small topology suitable for unit tests (fast, still connected and multi-tier).
+    pub fn tiny(seed: u64) -> Self {
+        GeneratorConfig {
+            num_ases: 20,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The paper-scale configuration: 500 ASes with dense parallel links.
+    pub fn paper_scale(seed: u64) -> Self {
+        GeneratorConfig {
+            num_ases: 500,
+            seed,
+            tier1_fraction: 0.04,
+            tier2_fraction: 0.40,
+            tier1_pops: (10, 20),
+            tier2_pops: (3, 8),
+            tier3_pops: (1, 4),
+            tier2_providers: (2, 5),
+            tier3_providers: (1, 3),
+            tier2_peers: (2, 6),
+            parallel_links: (2, 5),
+            ..Default::default()
+        }
+    }
+}
+
+/// Deterministic synthetic topology generator.
+#[derive(Debug)]
+pub struct TopologyGenerator {
+    config: GeneratorConfig,
+}
+
+impl TopologyGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: GeneratorConfig) -> Self {
+        TopologyGenerator { config }
+    }
+
+    /// Generates the topology.
+    pub fn generate(&self) -> Topology {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut topology = Topology::new();
+
+        let num_t1 = ((cfg.num_ases as f64 * cfg.tier1_fraction).round() as usize).max(2);
+        let num_t2 = ((cfg.num_ases as f64 * cfg.tier2_fraction).round() as usize)
+            .max(2)
+            .min(cfg.num_ases.saturating_sub(num_t1));
+        let num_t3 = cfg.num_ases.saturating_sub(num_t1 + num_t2);
+
+        // Assign tiers and PoP locations.
+        let mut pops: HashMap<AsId, Vec<GeoCoord>> = HashMap::new();
+        let mut next_if: HashMap<AsId, u32> = HashMap::new();
+        let mut tier_of: HashMap<AsId, Tier> = HashMap::new();
+
+        let add_as = |topology: &mut Topology,
+                          rng: &mut StdRng,
+                          id: u64,
+                          tier: Tier,
+                          pop_range: (usize, usize),
+                          pops: &mut HashMap<AsId, Vec<GeoCoord>>,
+                          tier_of: &mut HashMap<AsId, Tier>| {
+            let asn = AsId(id);
+            topology.add_as(AsNode::new(asn, tier)).expect("unique AS id");
+            let n_pops = rng.gen_range(pop_range.0..=pop_range.1).min(CITIES.len());
+            let mut cities: Vec<usize> = (0..CITIES.len()).collect();
+            cities.shuffle(rng);
+            let locations = cities[..n_pops]
+                .iter()
+                .map(|&ci| {
+                    let (_, lat, lon) = CITIES[ci];
+                    // Jitter within the metro area so interfaces of different ASes in the
+                    // same city are not exactly co-located.
+                    GeoCoord::new(lat + rng.gen_range(-0.2..0.2), lon + rng.gen_range(-0.2..0.2))
+                })
+                .collect();
+            pops.insert(asn, locations);
+            tier_of.insert(asn, tier);
+        };
+
+        let mut id = 0u64;
+        let mut tier1 = Vec::new();
+        for _ in 0..num_t1 {
+            add_as(&mut topology, &mut rng, id, Tier::Tier1, cfg.tier1_pops, &mut pops, &mut tier_of);
+            tier1.push(AsId(id));
+            id += 1;
+        }
+        let mut tier2 = Vec::new();
+        for _ in 0..num_t2 {
+            add_as(&mut topology, &mut rng, id, Tier::Tier2, cfg.tier2_pops, &mut pops, &mut tier_of);
+            tier2.push(AsId(id));
+            id += 1;
+        }
+        let mut tier3 = Vec::new();
+        for _ in 0..num_t3 {
+            add_as(&mut topology, &mut rng, id, Tier::Tier3, cfg.tier3_pops, &mut pops, &mut tier_of);
+            tier3.push(AsId(id));
+            id += 1;
+        }
+
+        let connect = |topology: &mut Topology,
+                           rng: &mut StdRng,
+                           a: AsId,
+                           b: AsId,
+                           rel: Relationship,
+                           pops: &HashMap<AsId, Vec<GeoCoord>>,
+                           next_if: &mut HashMap<AsId, u32>| {
+            let n_parallel = rng.gen_range(cfg.parallel_links.0..=cfg.parallel_links.1).max(1);
+            let pops_a = &pops[&a];
+            let pops_b = &pops[&b];
+            for _ in 0..n_parallel {
+                let loc_a = pops_a[rng.gen_range(0..pops_a.len())];
+                let loc_b = pops_b[rng.gen_range(0..pops_b.len())];
+                let bandwidth = link_bandwidth(rng, rel);
+                let ifa = {
+                    let e = next_if.entry(a).or_insert(1);
+                    let v = IfId(*e);
+                    *e += 1;
+                    v
+                };
+                let ifb = {
+                    let e = next_if.entry(b).or_insert(1);
+                    let v = IfId(*e);
+                    *e += 1;
+                    v
+                };
+                topology
+                    .add_link(a, ifa, loc_a, b, ifb, loc_b, bandwidth, rel)
+                    .expect("generator produced a conflicting link");
+            }
+        };
+
+        // Tier-1 full mesh (the transit-free core).
+        for i in 0..tier1.len() {
+            for j in (i + 1)..tier1.len() {
+                connect(&mut topology, &mut rng, tier1[i], tier1[j], Relationship::Core, &pops, &mut next_if);
+            }
+        }
+
+        // Tier-2: providers among tier-1 (preferential to low ids ~ high degree), peers among tier-2.
+        for &asn in &tier2 {
+            let n_prov = rng.gen_range(cfg.tier2_providers.0..=cfg.tier2_providers.1).max(1);
+            let mut providers = tier1.clone();
+            providers.shuffle(&mut rng);
+            for &p in providers.iter().take(n_prov) {
+                connect(&mut topology, &mut rng, p, asn, Relationship::ProviderToCustomer, &pops, &mut next_if);
+            }
+        }
+        for (idx, &asn) in tier2.iter().enumerate() {
+            let n_peers = rng.gen_range(cfg.tier2_peers.0..=cfg.tier2_peers.1);
+            for _ in 0..n_peers {
+                if tier2.len() < 2 {
+                    break;
+                }
+                let other = tier2[rng.gen_range(0..tier2.len())];
+                if other != asn && idx < tier2.len() {
+                    connect(&mut topology, &mut rng, asn, other, Relationship::PeerToPeer, &pops, &mut next_if);
+                }
+            }
+        }
+
+        // Tier-3 stubs: providers among tier-2 (or tier-1 as a fallback).
+        for &asn in &tier3 {
+            let n_prov = rng.gen_range(cfg.tier3_providers.0..=cfg.tier3_providers.1).max(1);
+            let pool = if tier2.is_empty() { &tier1 } else { &tier2 };
+            let mut providers = pool.clone();
+            providers.shuffle(&mut rng);
+            for &p in providers.iter().take(n_prov) {
+                connect(&mut topology, &mut rng, p, asn, Relationship::ProviderToCustomer, &pops, &mut next_if);
+            }
+        }
+
+        topology
+    }
+}
+
+/// Draws a link capacity appropriate for the relationship (core links are fatter).
+fn link_bandwidth(rng: &mut StdRng, rel: Relationship) -> Bandwidth {
+    match rel {
+        Relationship::Core => Bandwidth::from_gbps(rng.gen_range(100..=800)),
+        Relationship::PeerToPeer => Bandwidth::from_gbps(rng.gen_range(10..=200)),
+        Relationship::ProviderToCustomer | Relationship::CustomerToProvider => {
+            Bandwidth::from_gbps(rng.gen_range(1..=100))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Tier;
+
+    #[test]
+    fn generates_requested_size() {
+        let t = TopologyGenerator::new(GeneratorConfig::tiny(1)).generate();
+        assert_eq!(t.num_ases(), 20);
+        assert!(t.num_links() > 20);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn generated_topology_is_connected() {
+        for seed in [1, 2, 3] {
+            let t = TopologyGenerator::new(GeneratorConfig::tiny(seed)).generate();
+            assert!(t.is_connected(), "seed {seed} produced a disconnected topology");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = TopologyGenerator::new(GeneratorConfig::tiny(42)).generate();
+        let b = TopologyGenerator::new(GeneratorConfig::tiny(42)).generate();
+        assert_eq!(a.num_links(), b.num_links());
+        assert_eq!(a.as_ids(), b.as_ids());
+        for (la, lb) in a.links.values().zip(b.links.values()) {
+            assert_eq!(la, lb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TopologyGenerator::new(GeneratorConfig::tiny(1)).generate();
+        let b = TopologyGenerator::new(GeneratorConfig::tiny(2)).generate();
+        // Extremely unlikely to coincide exactly.
+        let same = a.num_links() == b.num_links()
+            && a.links.values().zip(b.links.values()).all(|(x, y)| x == y);
+        assert!(!same);
+    }
+
+    #[test]
+    fn has_all_three_tiers_and_core_mesh() {
+        let t = TopologyGenerator::new(GeneratorConfig::default()).generate();
+        let tiers: Vec<Tier> = t.ases.values().map(|n| n.tier).collect();
+        assert!(tiers.contains(&Tier::Tier1));
+        assert!(tiers.contains(&Tier::Tier2));
+        assert!(tiers.contains(&Tier::Tier3));
+        // Tier-1 ASes form a clique.
+        let t1: Vec<AsId> = t
+            .ases
+            .values()
+            .filter(|n| n.tier == Tier::Tier1)
+            .map(|n| n.id)
+            .collect();
+        for &a in &t1 {
+            let neigh = t.neighbors(a);
+            for &b in &t1 {
+                if a != b {
+                    assert!(neigh.contains(&b), "{a} not connected to {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stub_ases_have_providers() {
+        let t = TopologyGenerator::new(GeneratorConfig::default()).generate();
+        for node in t.ases.values().filter(|n| n.tier == Tier::Tier3) {
+            let has_provider = t.links_of(node.id).iter().any(|lid| {
+                t.link(*lid)
+                    .unwrap()
+                    .relationship_from(node.id)
+                    .map(|r| r.neighbor_is_provider())
+                    .unwrap_or(false)
+            });
+            assert!(has_provider, "{} has no provider", node.id);
+        }
+    }
+
+    #[test]
+    fn link_latencies_and_bandwidths_are_plausible() {
+        let t = TopologyGenerator::new(GeneratorConfig::default()).generate();
+        for link in t.links.values() {
+            // Great-circle delay between any two cities is below ~110 ms one-way.
+            assert!(link.metrics.latency.as_millis() <= 120);
+            assert!(link.metrics.bandwidth >= Bandwidth::from_gbps(1));
+        }
+    }
+
+    #[test]
+    fn parallel_links_exist_between_some_as_pairs() {
+        let cfg = GeneratorConfig {
+            parallel_links: (2, 3),
+            ..GeneratorConfig::tiny(5)
+        };
+        let t = TopologyGenerator::new(cfg).generate();
+        let mut pair_counts: std::collections::HashMap<(AsId, AsId), usize> = Default::default();
+        for link in t.links.values() {
+            let key = if link.a.asn < link.b.asn {
+                (link.a.asn, link.b.asn)
+            } else {
+                (link.b.asn, link.a.asn)
+            };
+            *pair_counts.entry(key).or_default() += 1;
+        }
+        assert!(pair_counts.values().any(|&c| c >= 2));
+    }
+
+    #[test]
+    fn paper_scale_config_is_larger() {
+        let cfg = GeneratorConfig::paper_scale(1);
+        assert_eq!(cfg.num_ases, 500);
+        assert!(cfg.parallel_links.1 >= 2);
+    }
+}

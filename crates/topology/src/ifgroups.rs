@@ -1,0 +1,312 @@
+//! Interface groups (§IV-D of the paper): flexible optimization granularity.
+//!
+//! Origin ASes create interface groups, assign each border interface to a group, and encode
+//! the group id in the PCBs they originate from the member interfaces. Downstream ASes then
+//! optimize per `(origin AS, interface group)` instead of per origin AS (too coarse) or per
+//! interface (too expensive).
+//!
+//! The paper's evaluation defines groups "based on the routers' geographic locations" with a
+//! maximum distance between any two member interfaces of 300 km (DOB300) or 2000 km
+//! (DOB2000). [`InterfaceGroups::by_geography`] implements exactly that: greedy clustering
+//! with a hard diameter bound.
+
+use crate::model::{AsNode, Topology};
+use irec_types::{AsId, IfId, InterfaceGroupId, IrecError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of interface-group construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupingConfig {
+    /// Maximum great-circle distance in km between any two interfaces of the same group.
+    pub max_diameter_km: f64,
+}
+
+impl GroupingConfig {
+    /// The 300 km configuration of the paper (DOB300).
+    pub const KM_300: GroupingConfig = GroupingConfig { max_diameter_km: 300.0 };
+    /// The 2000 km configuration of the paper (DOB2000).
+    pub const KM_2000: GroupingConfig = GroupingConfig { max_diameter_km: 2000.0 };
+}
+
+/// The interface-group assignment of a single AS.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InterfaceGroups {
+    /// Group membership: group id -> member interfaces.
+    groups: BTreeMap<InterfaceGroupId, Vec<IfId>>,
+    /// Reverse index: interface -> group.
+    assignment: BTreeMap<IfId, InterfaceGroupId>,
+}
+
+impl InterfaceGroups {
+    /// The trivial grouping: all interfaces in the single default group.
+    ///
+    /// This is what an AS that does not opt into flexible granularity uses; optimization then
+    /// happens per origin AS, exactly like legacy SCION.
+    pub fn single_group(node: &AsNode) -> Self {
+        let mut groups = InterfaceGroups::default();
+        for ifid in node.interfaces.keys() {
+            groups.assign(*ifid, InterfaceGroupId::DEFAULT);
+        }
+        groups
+    }
+
+    /// One group per interface: the finest (and most expensive) granularity.
+    pub fn per_interface(node: &AsNode) -> Self {
+        let mut groups = InterfaceGroups::default();
+        for (i, ifid) in node.interfaces.keys().enumerate() {
+            groups.assign(*ifid, InterfaceGroupId(i as u32));
+        }
+        groups
+    }
+
+    /// Geographic clustering with a hard diameter bound (greedy first-fit).
+    ///
+    /// Interfaces are scanned in id order; each is placed into the first existing group where
+    /// its distance to *every* member stays within the bound, otherwise a new group is
+    /// created. The result therefore always satisfies the diameter invariant.
+    pub fn by_geography(node: &AsNode, config: GroupingConfig) -> Self {
+        let mut groups = InterfaceGroups::default();
+        let mut next_group: u32 = 0;
+        for (ifid, intf) in &node.interfaces {
+            let mut chosen: Option<InterfaceGroupId> = None;
+            'search: for (gid, members) in &groups.groups {
+                for member in members {
+                    let other = &node.interfaces[member];
+                    if intf.location.distance_km(&other.location) > config.max_diameter_km {
+                        continue 'search;
+                    }
+                }
+                chosen = Some(*gid);
+                break;
+            }
+            let gid = chosen.unwrap_or_else(|| {
+                let gid = InterfaceGroupId(next_group);
+                next_group += 1;
+                gid
+            });
+            groups.assign(*ifid, gid);
+            next_group = next_group.max(gid.value() + 1);
+        }
+        groups
+    }
+
+    /// Assigns (or re-assigns) an interface to a group.
+    pub fn assign(&mut self, interface: IfId, group: InterfaceGroupId) {
+        if let Some(old) = self.assignment.insert(interface, group) {
+            if let Some(members) = self.groups.get_mut(&old) {
+                members.retain(|m| *m != interface);
+                if members.is_empty() {
+                    self.groups.remove(&old);
+                }
+            }
+        }
+        self.groups.entry(group).or_default().push(interface);
+    }
+
+    /// The group of an interface, if assigned.
+    pub fn group_of(&self, interface: IfId) -> Option<InterfaceGroupId> {
+        self.assignment.get(&interface).copied()
+    }
+
+    /// The member interfaces of a group.
+    pub fn members(&self, group: InterfaceGroupId) -> &[IfId] {
+        self.groups.get(&group).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All group ids, ascending.
+    pub fn group_ids(&self) -> Vec<InterfaceGroupId> {
+        self.groups.keys().copied().collect()
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of assigned interfaces.
+    pub fn num_interfaces(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Checks the diameter invariant against the interface locations in `node`.
+    pub fn validate_diameter(&self, node: &AsNode, config: GroupingConfig) -> Result<()> {
+        for (gid, members) in &self.groups {
+            for (i, a) in members.iter().enumerate() {
+                for b in &members[i + 1..] {
+                    let la = node
+                        .interfaces
+                        .get(a)
+                        .ok_or_else(|| IrecError::not_found(format!("interface {a} missing")))?
+                        .location;
+                    let lb = node
+                        .interfaces
+                        .get(b)
+                        .ok_or_else(|| IrecError::not_found(format!("interface {b} missing")))?
+                        .location;
+                    if la.distance_km(&lb) > config.max_diameter_km {
+                        return Err(IrecError::config(format!(
+                            "group {gid} violates diameter bound between {a} and {b}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds geographic interface groups for every AS in the topology.
+pub fn groups_for_topology(
+    topology: &Topology,
+    config: GroupingConfig,
+) -> BTreeMap<AsId, InterfaceGroups> {
+    topology
+        .ases
+        .iter()
+        .map(|(asn, node)| (*asn, InterfaceGroups::by_geography(node, config)))
+        .collect()
+}
+
+/// Builds the trivial single-group assignment for every AS (legacy granularity).
+pub fn single_groups_for_topology(topology: &Topology) -> BTreeMap<AsId, InterfaceGroups> {
+    topology
+        .ases
+        .iter()
+        .map(|(asn, node)| (*asn, InterfaceGroups::single_group(node)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AsNode, Relationship, Tier};
+    use irec_types::{Bandwidth, GeoCoord};
+
+    /// AS 1 with four interfaces: two in Zurich, one in Frankfurt (~300 km), one in New York.
+    fn spread_topology() -> Topology {
+        let mut t = Topology::new();
+        t.add_as(AsNode::new(AsId(1), Tier::Tier1)).unwrap();
+        for peer in 2..=5u64 {
+            t.add_as(AsNode::new(AsId(peer), Tier::Tier3)).unwrap();
+        }
+        let locs = [
+            GeoCoord::new(47.37, 8.54),   // Zurich
+            GeoCoord::new(47.39, 8.51),   // Zurich
+            GeoCoord::new(50.11, 8.68),   // Frankfurt (~304 km from Zurich)
+            GeoCoord::new(40.71, -74.00), // New York
+        ];
+        for (i, loc) in locs.iter().enumerate() {
+            t.add_link(
+                AsId(1),
+                IfId(i as u32 + 1),
+                *loc,
+                AsId(i as u64 + 2),
+                IfId(1),
+                GeoCoord::new(loc.lat + 0.1, loc.lon + 0.1),
+                Bandwidth::from_gbps(10),
+                Relationship::ProviderToCustomer,
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn single_group_covers_all_interfaces() {
+        let t = spread_topology();
+        let node = t.as_node(AsId(1)).unwrap();
+        let g = InterfaceGroups::single_group(node);
+        assert_eq!(g.num_groups(), 1);
+        assert_eq!(g.num_interfaces(), 4);
+        assert_eq!(g.members(InterfaceGroupId::DEFAULT).len(), 4);
+    }
+
+    #[test]
+    fn per_interface_gives_one_group_each() {
+        let t = spread_topology();
+        let node = t.as_node(AsId(1)).unwrap();
+        let g = InterfaceGroups::per_interface(node);
+        assert_eq!(g.num_groups(), 4);
+        for gid in g.group_ids() {
+            assert_eq!(g.members(gid).len(), 1);
+        }
+    }
+
+    #[test]
+    fn geographic_grouping_300km() {
+        let t = spread_topology();
+        let node = t.as_node(AsId(1)).unwrap();
+        let g = InterfaceGroups::by_geography(node, GroupingConfig::KM_300);
+        // Zurich pair together; Frankfurt may or may not join them (304 km > 300 km, so it
+        // must not); New York separate.
+        assert_eq!(g.num_groups(), 3, "groups: {:?}", g);
+        assert!(g.validate_diameter(node, GroupingConfig::KM_300).is_ok());
+        assert_eq!(g.group_of(IfId(1)), g.group_of(IfId(2)));
+        assert_ne!(g.group_of(IfId(1)), g.group_of(IfId(3)));
+        assert_ne!(g.group_of(IfId(1)), g.group_of(IfId(4)));
+    }
+
+    #[test]
+    fn geographic_grouping_2000km() {
+        let t = spread_topology();
+        let node = t.as_node(AsId(1)).unwrap();
+        let g = InterfaceGroups::by_geography(node, GroupingConfig::KM_2000);
+        // Zurich + Frankfurt merge; New York stays separate.
+        assert_eq!(g.num_groups(), 2);
+        assert!(g.validate_diameter(node, GroupingConfig::KM_2000).is_ok());
+    }
+
+    #[test]
+    fn coarser_config_never_more_groups() {
+        let t = spread_topology();
+        let node = t.as_node(AsId(1)).unwrap();
+        let fine = InterfaceGroups::by_geography(node, GroupingConfig::KM_300);
+        let coarse = InterfaceGroups::by_geography(node, GroupingConfig::KM_2000);
+        assert!(coarse.num_groups() <= fine.num_groups());
+    }
+
+    #[test]
+    fn reassignment_moves_interface() {
+        let t = spread_topology();
+        let node = t.as_node(AsId(1)).unwrap();
+        let mut g = InterfaceGroups::single_group(node);
+        g.assign(IfId(4), InterfaceGroupId(7));
+        assert_eq!(g.group_of(IfId(4)), Some(InterfaceGroupId(7)));
+        assert_eq!(g.members(InterfaceGroupId::DEFAULT).len(), 3);
+        assert_eq!(g.num_groups(), 2);
+        // Moving the last member of a group removes the group.
+        g.assign(IfId(4), InterfaceGroupId::DEFAULT);
+        assert_eq!(g.num_groups(), 1);
+    }
+
+    #[test]
+    fn validate_diameter_detects_violations() {
+        let t = spread_topology();
+        let node = t.as_node(AsId(1)).unwrap();
+        let mut g = InterfaceGroups::default();
+        g.assign(IfId(1), InterfaceGroupId(0)); // Zurich
+        g.assign(IfId(4), InterfaceGroupId(0)); // New York
+        assert!(g.validate_diameter(node, GroupingConfig::KM_300).is_err());
+    }
+
+    #[test]
+    fn topology_wide_helpers() {
+        let t = spread_topology();
+        let per_as = groups_for_topology(&t, GroupingConfig::KM_300);
+        assert_eq!(per_as.len(), t.num_ases());
+        let single = single_groups_for_topology(&t);
+        for (asn, g) in &single {
+            assert_eq!(g.num_groups(), if t.as_node(*asn).unwrap().degree() > 0 { 1 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn unknown_interface_has_no_group() {
+        let t = spread_topology();
+        let node = t.as_node(AsId(1)).unwrap();
+        let g = InterfaceGroups::single_group(node);
+        assert_eq!(g.group_of(IfId(99)), None);
+        assert!(g.members(InterfaceGroupId(42)).is_empty());
+    }
+}

@@ -1,0 +1,662 @@
+//! The AS-level topology model.
+
+use irec_types::{
+    AsId, Bandwidth, GeoCoord, IfId, IrecError, Latency, LinkId, LinkMetrics, Result,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Business relationship of a link, from the perspective of the link's `a` endpoint.
+///
+/// The simulator uses Gao–Rexford export rules when propagating PCBs: routes learned from
+/// providers or peers are only exported to customers; routes learned from customers are
+/// exported to everyone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// `a` is the customer, `b` the provider.
+    CustomerToProvider,
+    /// `a` is the provider, `b` the customer.
+    ProviderToCustomer,
+    /// Settlement-free peering.
+    PeerToPeer,
+    /// Core (tier-1 mesh) link; treated like peering for export policy.
+    Core,
+}
+
+impl Relationship {
+    /// The same relationship seen from the other end of the link.
+    pub fn reversed(self) -> Relationship {
+        match self {
+            Relationship::CustomerToProvider => Relationship::ProviderToCustomer,
+            Relationship::ProviderToCustomer => Relationship::CustomerToProvider,
+            Relationship::PeerToPeer => Relationship::PeerToPeer,
+            Relationship::Core => Relationship::Core,
+        }
+    }
+
+    /// Whether, seen from this side, the neighbor is a customer.
+    pub fn neighbor_is_customer(self) -> bool {
+        matches!(self, Relationship::ProviderToCustomer)
+    }
+
+    /// Whether, seen from this side, the neighbor is a provider.
+    pub fn neighbor_is_provider(self) -> bool {
+        matches!(self, Relationship::CustomerToProvider)
+    }
+}
+
+/// Tier of an AS in the synthetic hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Global transit-free core AS.
+    Tier1,
+    /// Regional/national transit AS.
+    Tier2,
+    /// Stub / edge AS.
+    Tier3,
+}
+
+/// One endpoint of an inter-domain link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkEnd {
+    /// The AS owning this endpoint.
+    pub asn: AsId,
+    /// The border interface at this endpoint.
+    pub interface: IfId,
+}
+
+impl LinkEnd {
+    /// Creates a link end.
+    pub const fn new(asn: AsId, interface: IfId) -> Self {
+        Self { asn, interface }
+    }
+}
+
+/// A border interface of an AS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interface {
+    /// Interface identifier, unique within its AS.
+    pub id: IfId,
+    /// Owning AS.
+    pub owner: AsId,
+    /// Geographic location of the border router hosting this interface.
+    pub location: GeoCoord,
+    /// The inter-domain link attached to this interface.
+    pub link: LinkId,
+}
+
+/// An inter-domain link between two AS border interfaces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Link identifier.
+    pub id: LinkId,
+    /// First endpoint.
+    pub a: LinkEnd,
+    /// Second endpoint.
+    pub b: LinkEnd,
+    /// Link performance metrics (propagation latency, capacity).
+    pub metrics: LinkMetrics,
+    /// Business relationship from the perspective of endpoint `a`.
+    pub relationship: Relationship,
+}
+
+impl Link {
+    /// Returns the endpoint belonging to `asn`, if any.
+    pub fn end_of(&self, asn: AsId) -> Option<LinkEnd> {
+        if self.a.asn == asn {
+            Some(self.a)
+        } else if self.b.asn == asn {
+            Some(self.b)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the endpoint *not* belonging to `asn`, if `asn` is on the link.
+    pub fn other_end(&self, asn: AsId) -> Option<LinkEnd> {
+        if self.a.asn == asn {
+            Some(self.b)
+        } else if self.b.asn == asn {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// The relationship seen from `asn`'s side of the link.
+    pub fn relationship_from(&self, asn: AsId) -> Option<Relationship> {
+        if self.a.asn == asn {
+            Some(self.relationship)
+        } else if self.b.asn == asn {
+            Some(self.relationship.reversed())
+        } else {
+            None
+        }
+    }
+}
+
+/// An autonomous system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsNode {
+    /// AS identifier.
+    pub id: AsId,
+    /// Hierarchy tier (used by the generator and by default policies).
+    pub tier: Tier,
+    /// Border interfaces of this AS, keyed by interface id.
+    pub interfaces: BTreeMap<IfId, Interface>,
+    /// Latency added when crossing this AS between two *co-located* interfaces
+    /// (switching/queueing inside one PoP).
+    pub local_crossing_latency: Latency,
+}
+
+impl AsNode {
+    /// Creates an AS node with no interfaces yet.
+    pub fn new(id: AsId, tier: Tier) -> Self {
+        AsNode {
+            id,
+            tier,
+            interfaces: BTreeMap::new(),
+            local_crossing_latency: Latency::from_micros(200),
+        }
+    }
+
+    /// Number of border interfaces (equals the number of attached inter-domain links).
+    pub fn degree(&self) -> usize {
+        self.interfaces.len()
+    }
+
+    /// Intra-AS crossing latency between two of this AS's interfaces.
+    ///
+    /// The crossing latency is the great-circle fibre delay between the interface locations
+    /// plus a fixed local switching latency. This is the quantity used by optimization on
+    /// extended paths (§IV-E of the paper): without it, an on-path AS cannot tell that two
+    /// received paths ending at different ingress interfaces have different costs towards a
+    /// given egress interface.
+    pub fn intra_latency(&self, from: IfId, to: IfId) -> Result<Latency> {
+        if from == to {
+            return Ok(Latency::ZERO);
+        }
+        let a = self
+            .interfaces
+            .get(&from)
+            .ok_or_else(|| IrecError::not_found(format!("{} has no interface {from}", self.id)))?;
+        let b = self
+            .interfaces
+            .get(&to)
+            .ok_or_else(|| IrecError::not_found(format!("{} has no interface {to}", self.id)))?;
+        Ok(a.location.propagation_delay(&b.location) + self.local_crossing_latency)
+    }
+
+    /// Intra-AS crossing metrics between two interfaces (latency as above; the internal
+    /// network is assumed not to be the bandwidth bottleneck).
+    pub fn intra_metrics(&self, from: IfId, to: IfId) -> Result<LinkMetrics> {
+        Ok(LinkMetrics::new(self.intra_latency(from, to)?, Bandwidth::MAX))
+    }
+}
+
+/// The complete AS-level topology.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    /// All ASes, keyed by id.
+    pub ases: BTreeMap<AsId, AsNode>,
+    /// All inter-domain links, keyed by id.
+    pub links: BTreeMap<LinkId, Link>,
+    /// Adjacency index: for each AS, the ids of its attached links.
+    #[serde(skip)]
+    adjacency: HashMap<AsId, Vec<LinkId>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Number of ASes.
+    pub fn num_ases(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// Number of inter-domain links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All AS ids in ascending order.
+    pub fn as_ids(&self) -> Vec<AsId> {
+        self.ases.keys().copied().collect()
+    }
+
+    /// Looks up an AS.
+    pub fn as_node(&self, asn: AsId) -> Result<&AsNode> {
+        self.ases
+            .get(&asn)
+            .ok_or_else(|| IrecError::not_found(format!("unknown {asn}")))
+    }
+
+    /// Looks up a link.
+    pub fn link(&self, id: LinkId) -> Result<&Link> {
+        self.links
+            .get(&id)
+            .ok_or_else(|| IrecError::not_found(format!("unknown {id}")))
+    }
+
+    /// Looks up an interface of an AS.
+    pub fn interface(&self, asn: AsId, interface: IfId) -> Result<&Interface> {
+        self.as_node(asn)?
+            .interfaces
+            .get(&interface)
+            .ok_or_else(|| IrecError::not_found(format!("{asn} has no interface {interface}")))
+    }
+
+    /// The link attached to the given interface of an AS.
+    pub fn link_at(&self, asn: AsId, interface: IfId) -> Result<&Link> {
+        let intf = self.interface(asn, interface)?;
+        self.link(intf.link)
+    }
+
+    /// The remote end `(AS, interface)` reached by leaving `asn` through `interface`.
+    pub fn neighbor_of(&self, asn: AsId, interface: IfId) -> Result<LinkEnd> {
+        let link = self.link_at(asn, interface)?;
+        link.other_end(asn)
+            .ok_or_else(|| IrecError::internal(format!("link {} not attached to {asn}", link.id)))
+    }
+
+    /// Ids of all links attached to `asn`.
+    pub fn links_of(&self, asn: AsId) -> Vec<LinkId> {
+        self.adjacency.get(&asn).cloned().unwrap_or_default()
+    }
+
+    /// All neighbor ASes of `asn` (deduplicated, order unspecified).
+    pub fn neighbors(&self, asn: AsId) -> Vec<AsId> {
+        let mut out: Vec<AsId> = self
+            .links_of(asn)
+            .into_iter()
+            .filter_map(|lid| self.links.get(&lid))
+            .filter_map(|l| l.other_end(asn))
+            .map(|e| e.asn)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Adds an AS. Errors if it already exists.
+    pub fn add_as(&mut self, node: AsNode) -> Result<()> {
+        if self.ases.contains_key(&node.id) {
+            return Err(IrecError::config(format!("{} already exists", node.id)));
+        }
+        self.adjacency.entry(node.id).or_default();
+        self.ases.insert(node.id, node);
+        Ok(())
+    }
+
+    /// Adds a link between two existing ASes, creating the border interfaces at both ends.
+    ///
+    /// Returns the link id. `if_a`/`if_b` must be unused interface ids at the respective AS.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_link(
+        &mut self,
+        a: AsId,
+        if_a: IfId,
+        loc_a: GeoCoord,
+        b: AsId,
+        if_b: IfId,
+        loc_b: GeoCoord,
+        bandwidth: Bandwidth,
+        relationship: Relationship,
+    ) -> Result<LinkId> {
+        if a == b {
+            return Err(IrecError::config("self-links are not allowed"));
+        }
+        if !self.ases.contains_key(&a) || !self.ases.contains_key(&b) {
+            return Err(IrecError::not_found("both link ends must be existing ASes"));
+        }
+        if self.ases[&a].interfaces.contains_key(&if_a) {
+            return Err(IrecError::config(format!("{a} already has interface {if_a}")));
+        }
+        if self.ases[&b].interfaces.contains_key(&if_b) {
+            return Err(IrecError::config(format!("{b} already has interface {if_b}")));
+        }
+        if if_a.is_none() || if_b.is_none() {
+            return Err(IrecError::config("interface id 0 is reserved"));
+        }
+
+        let id = LinkId(self.links.len() as u64);
+        let latency = loc_a.propagation_delay(&loc_b);
+        let link = Link {
+            id,
+            a: LinkEnd::new(a, if_a),
+            b: LinkEnd::new(b, if_b),
+            metrics: LinkMetrics::new(latency, bandwidth),
+            relationship,
+        };
+
+        self.ases.get_mut(&a).expect("checked above").interfaces.insert(
+            if_a,
+            Interface {
+                id: if_a,
+                owner: a,
+                location: loc_a,
+                link: id,
+            },
+        );
+        self.ases.get_mut(&b).expect("checked above").interfaces.insert(
+            if_b,
+            Interface {
+                id: if_b,
+                owner: b,
+                location: loc_b,
+                link: id,
+            },
+        );
+        self.adjacency.entry(a).or_default().push(id);
+        self.adjacency.entry(b).or_default().push(id);
+        self.links.insert(id, link);
+        Ok(id)
+    }
+
+    /// Adds a link with an explicit latency override instead of the geo-derived one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_link_with_latency(
+        &mut self,
+        a: AsId,
+        if_a: IfId,
+        loc_a: GeoCoord,
+        b: AsId,
+        if_b: IfId,
+        loc_b: GeoCoord,
+        bandwidth: Bandwidth,
+        latency: Latency,
+        relationship: Relationship,
+    ) -> Result<LinkId> {
+        let id = self.add_link(a, if_a, loc_a, b, if_b, loc_b, bandwidth, relationship)?;
+        self.links
+            .get_mut(&id)
+            .expect("link just inserted")
+            .metrics
+            .latency = latency;
+        Ok(id)
+    }
+
+    /// Rebuilds the adjacency index (needed after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.adjacency.clear();
+        for asn in self.ases.keys() {
+            self.adjacency.entry(*asn).or_default();
+        }
+        for (id, link) in &self.links {
+            self.adjacency.entry(link.a.asn).or_default().push(*id);
+            self.adjacency.entry(link.b.asn).or_default().push(*id);
+        }
+    }
+
+    /// Validates structural invariants: every interface references an existing link that is
+    /// attached to its owner, and every link's interfaces exist.
+    pub fn validate(&self) -> Result<()> {
+        for (asn, node) in &self.ases {
+            if node.id != *asn {
+                return Err(IrecError::internal("AS map key does not match node id"));
+            }
+            for (ifid, intf) in &node.interfaces {
+                if intf.id != *ifid || intf.owner != *asn {
+                    return Err(IrecError::internal("interface key/owner mismatch"));
+                }
+                let link = self.link(intf.link)?;
+                if link.end_of(*asn).map(|e| e.interface) != Some(*ifid) {
+                    return Err(IrecError::internal(format!(
+                        "interface {asn}/{ifid} references link {} which is not attached to it",
+                        intf.link
+                    )));
+                }
+            }
+        }
+        for (lid, link) in &self.links {
+            if link.id != *lid {
+                return Err(IrecError::internal("link map key does not match link id"));
+            }
+            self.interface(link.a.asn, link.a.interface)?;
+            self.interface(link.b.asn, link.b.interface)?;
+            if link.a.asn == link.b.asn {
+                return Err(IrecError::internal("self-link detected"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the AS-level graph is connected (ignoring relationships).
+    pub fn is_connected(&self) -> bool {
+        let Some(&start) = self.ases.keys().next() else {
+            return true;
+        };
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![start];
+        visited.insert(start);
+        while let Some(asn) = stack.pop() {
+            for n in self.neighbors(asn) {
+                if visited.insert(n) {
+                    stack.push(n);
+                }
+            }
+        }
+        visited.len() == self.ases.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord(lat: f64, lon: f64) -> GeoCoord {
+        GeoCoord::new(lat, lon)
+    }
+
+    fn two_as_topology() -> Topology {
+        let mut t = Topology::new();
+        t.add_as(AsNode::new(AsId(1), Tier::Tier1)).unwrap();
+        t.add_as(AsNode::new(AsId(2), Tier::Tier2)).unwrap();
+        t.add_link(
+            AsId(1),
+            IfId(1),
+            coord(47.0, 8.0),
+            AsId(2),
+            IfId(1),
+            coord(48.0, 9.0),
+            Bandwidth::from_gbps(10),
+            Relationship::ProviderToCustomer,
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn add_as_and_link() {
+        let t = two_as_topology();
+        assert_eq!(t.num_ases(), 2);
+        assert_eq!(t.num_links(), 1);
+        assert!(t.validate().is_ok());
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn duplicate_as_rejected() {
+        let mut t = Topology::new();
+        t.add_as(AsNode::new(AsId(1), Tier::Tier3)).unwrap();
+        assert!(t.add_as(AsNode::new(AsId(1), Tier::Tier3)).is_err());
+    }
+
+    #[test]
+    fn self_link_rejected() {
+        let mut t = Topology::new();
+        t.add_as(AsNode::new(AsId(1), Tier::Tier3)).unwrap();
+        let err = t.add_link(
+            AsId(1),
+            IfId(1),
+            coord(0.0, 0.0),
+            AsId(1),
+            IfId(2),
+            coord(0.0, 0.0),
+            Bandwidth::from_mbps(1),
+            Relationship::PeerToPeer,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn reserved_interface_zero_rejected() {
+        let mut t = Topology::new();
+        t.add_as(AsNode::new(AsId(1), Tier::Tier3)).unwrap();
+        t.add_as(AsNode::new(AsId(2), Tier::Tier3)).unwrap();
+        assert!(t
+            .add_link(
+                AsId(1),
+                IfId(0),
+                coord(0.0, 0.0),
+                AsId(2),
+                IfId(1),
+                coord(0.0, 0.0),
+                Bandwidth::from_mbps(1),
+                Relationship::PeerToPeer,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn duplicate_interface_rejected() {
+        let mut t = two_as_topology();
+        let err = t.add_link(
+            AsId(1),
+            IfId(1),
+            coord(0.0, 0.0),
+            AsId(2),
+            IfId(2),
+            coord(0.0, 0.0),
+            Bandwidth::from_mbps(1),
+            Relationship::PeerToPeer,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn neighbor_lookup() {
+        let t = two_as_topology();
+        let n = t.neighbor_of(AsId(1), IfId(1)).unwrap();
+        assert_eq!(n.asn, AsId(2));
+        assert_eq!(n.interface, IfId(1));
+        assert_eq!(t.neighbors(AsId(1)), vec![AsId(2)]);
+    }
+
+    #[test]
+    fn relationship_perspective() {
+        let t = two_as_topology();
+        let link = t.link(LinkId(0)).unwrap();
+        assert_eq!(
+            link.relationship_from(AsId(1)),
+            Some(Relationship::ProviderToCustomer)
+        );
+        assert_eq!(
+            link.relationship_from(AsId(2)),
+            Some(Relationship::CustomerToProvider)
+        );
+        assert_eq!(link.relationship_from(AsId(3)), None);
+        assert!(Relationship::ProviderToCustomer.neighbor_is_customer());
+        assert!(Relationship::CustomerToProvider.neighbor_is_provider());
+        assert_eq!(Relationship::PeerToPeer.reversed(), Relationship::PeerToPeer);
+        assert_eq!(Relationship::Core.reversed(), Relationship::Core);
+    }
+
+    #[test]
+    fn link_latency_derived_from_geo() {
+        let t = two_as_topology();
+        let link = t.link(LinkId(0)).unwrap();
+        // Zurich-ish to Munich-ish is on the order of 100-200 km => sub-millisecond to ~1ms.
+        assert!(link.metrics.latency > Latency::ZERO);
+        assert!(link.metrics.latency < Latency::from_millis(5));
+    }
+
+    #[test]
+    fn explicit_latency_override() {
+        let mut t = Topology::new();
+        t.add_as(AsNode::new(AsId(1), Tier::Tier1)).unwrap();
+        t.add_as(AsNode::new(AsId(2), Tier::Tier1)).unwrap();
+        t.add_link_with_latency(
+            AsId(1),
+            IfId(1),
+            coord(0.0, 0.0),
+            AsId(2),
+            IfId(1),
+            coord(0.0, 0.0),
+            Bandwidth::from_gbps(1),
+            Latency::from_millis(10),
+            Relationship::Core,
+        )
+        .unwrap();
+        assert_eq!(
+            t.link(LinkId(0)).unwrap().metrics.latency,
+            Latency::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn intra_as_latency() {
+        let mut t = Topology::new();
+        t.add_as(AsNode::new(AsId(1), Tier::Tier1)).unwrap();
+        t.add_as(AsNode::new(AsId(2), Tier::Tier2)).unwrap();
+        t.add_as(AsNode::new(AsId(3), Tier::Tier2)).unwrap();
+        // AS1 has two interfaces far apart (Zurich and New York).
+        t.add_link(
+            AsId(1),
+            IfId(1),
+            coord(47.37, 8.54),
+            AsId(2),
+            IfId(1),
+            coord(47.5, 8.6),
+            Bandwidth::from_gbps(1),
+            Relationship::ProviderToCustomer,
+        )
+        .unwrap();
+        t.add_link(
+            AsId(1),
+            IfId(2),
+            coord(40.71, -74.0),
+            AsId(3),
+            IfId(1),
+            coord(40.8, -74.1),
+            Bandwidth::from_gbps(1),
+            Relationship::ProviderToCustomer,
+        )
+        .unwrap();
+        let node = t.as_node(AsId(1)).unwrap();
+        let cross = node.intra_latency(IfId(1), IfId(2)).unwrap();
+        // ~6300 km at 200 km/ms => > 30 ms.
+        assert!(cross > Latency::from_millis(25), "cross = {cross}");
+        assert_eq!(node.intra_latency(IfId(1), IfId(1)).unwrap(), Latency::ZERO);
+        assert!(node.intra_latency(IfId(1), IfId(9)).is_err());
+        let metrics = node.intra_metrics(IfId(1), IfId(2)).unwrap();
+        assert_eq!(metrics.bandwidth, Bandwidth::MAX);
+    }
+
+    #[test]
+    fn rebuild_index_restores_adjacency() {
+        let mut t = two_as_topology();
+        t.adjacency.clear();
+        assert!(t.links_of(AsId(1)).is_empty());
+        t.rebuild_index();
+        assert_eq!(t.links_of(AsId(1)).len(), 1);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn disconnected_topology_detected() {
+        let mut t = two_as_topology();
+        t.add_as(AsNode::new(AsId(99), Tier::Tier3)).unwrap();
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn empty_topology_is_connected_and_valid() {
+        let t = Topology::new();
+        assert!(t.is_connected());
+        assert!(t.validate().is_ok());
+    }
+}

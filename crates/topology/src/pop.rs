@@ -1,0 +1,156 @@
+//! Points of presence (PoPs).
+//!
+//! The paper defines a PoP of an AS as "a geolocation where it has at least one inter-domain
+//! link" and evaluates the minimum propagation delay between PoP pairs of different ASes
+//! (Fig. 8a). This module derives the PoPs of each AS from the interface locations in a
+//! [`Topology`] by clustering interfaces that are geographically close.
+
+use crate::model::Topology;
+use irec_types::{AsId, GeoCoord, IfId};
+use std::collections::BTreeMap;
+
+/// A point of presence: a geographic cluster of an AS's border interfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOfPresence {
+    /// Owning AS.
+    pub asn: AsId,
+    /// Index of this PoP within the AS (dense, starting at 0).
+    pub index: usize,
+    /// Representative location (centroid of the member interfaces).
+    pub location: GeoCoord,
+    /// Interfaces located at this PoP.
+    pub interfaces: Vec<IfId>,
+}
+
+/// Derives the PoPs of every AS by greedy clustering of interface locations.
+///
+/// Two interfaces belong to the same PoP when they are within `radius_km` of the PoP's
+/// first (seed) interface. The default radius of 50 km treats a metro area as one PoP.
+pub fn points_of_presence(topology: &Topology, radius_km: f64) -> BTreeMap<AsId, Vec<PointOfPresence>> {
+    let mut out = BTreeMap::new();
+    for (asn, node) in &topology.ases {
+        let mut pops: Vec<PointOfPresence> = Vec::new();
+        for (ifid, intf) in &node.interfaces {
+            let mut assigned = false;
+            for pop in pops.iter_mut() {
+                let seed_loc = pop.location;
+                if seed_loc.distance_km(&intf.location) <= radius_km {
+                    pop.interfaces.push(*ifid);
+                    assigned = true;
+                    break;
+                }
+            }
+            if !assigned {
+                pops.push(PointOfPresence {
+                    asn: *asn,
+                    index: pops.len(),
+                    location: intf.location,
+                    interfaces: vec![*ifid],
+                });
+            }
+        }
+        // Recompute centroids now that membership is known.
+        for pop in pops.iter_mut() {
+            let n = pop.interfaces.len() as f64;
+            let (mut lat, mut lon) = (0.0, 0.0);
+            for ifid in &pop.interfaces {
+                let loc = node.interfaces[ifid].location;
+                lat += loc.lat;
+                lon += loc.lon;
+            }
+            pop.location = GeoCoord::new(lat / n, lon / n);
+        }
+        out.insert(*asn, pops);
+    }
+    out
+}
+
+/// Default PoP clustering radius in kilometres (one metro area).
+pub const DEFAULT_POP_RADIUS_KM: f64 = 50.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AsNode, Relationship, Tier};
+    use irec_types::Bandwidth;
+
+    fn topo_with_spread_as() -> Topology {
+        let mut t = Topology::new();
+        t.add_as(AsNode::new(AsId(1), Tier::Tier1)).unwrap();
+        t.add_as(AsNode::new(AsId(2), Tier::Tier2)).unwrap();
+        t.add_as(AsNode::new(AsId(3), Tier::Tier2)).unwrap();
+        t.add_as(AsNode::new(AsId(4), Tier::Tier2)).unwrap();
+        // AS1 interfaces: two in Zurich (same PoP), one in New York.
+        t.add_link(
+            AsId(1), IfId(1), GeoCoord::new(47.37, 8.54),
+            AsId(2), IfId(1), GeoCoord::new(47.40, 8.60),
+            Bandwidth::from_gbps(10), Relationship::ProviderToCustomer,
+        ).unwrap();
+        t.add_link(
+            AsId(1), IfId(2), GeoCoord::new(47.39, 8.50),
+            AsId(3), IfId(1), GeoCoord::new(47.45, 8.70),
+            Bandwidth::from_gbps(10), Relationship::ProviderToCustomer,
+        ).unwrap();
+        t.add_link(
+            AsId(1), IfId(3), GeoCoord::new(40.71, -74.00),
+            AsId(4), IfId(1), GeoCoord::new(40.75, -73.95),
+            Bandwidth::from_gbps(10), Relationship::ProviderToCustomer,
+        ).unwrap();
+        t
+    }
+
+    #[test]
+    fn clusters_interfaces_by_location() {
+        let t = topo_with_spread_as();
+        let pops = points_of_presence(&t, DEFAULT_POP_RADIUS_KM);
+        let as1 = &pops[&AsId(1)];
+        assert_eq!(as1.len(), 2, "Zurich and New York PoPs expected");
+        let zurich = as1.iter().find(|p| p.interfaces.len() == 2).unwrap();
+        assert!(zurich.location.lat > 45.0);
+        let nyc = as1.iter().find(|p| p.interfaces.len() == 1).unwrap();
+        assert!(nyc.location.lon < -70.0);
+    }
+
+    #[test]
+    fn every_interface_belongs_to_exactly_one_pop() {
+        let t = topo_with_spread_as();
+        let pops = points_of_presence(&t, DEFAULT_POP_RADIUS_KM);
+        for (asn, node) in &t.ases {
+            let pop_ifaces: Vec<IfId> = pops[asn]
+                .iter()
+                .flat_map(|p| p.interfaces.iter().copied())
+                .collect();
+            assert_eq!(pop_ifaces.len(), node.interfaces.len());
+            let mut sorted = pop_ifaces.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), pop_ifaces.len(), "no duplicates");
+        }
+    }
+
+    #[test]
+    fn tiny_radius_gives_one_pop_per_interface() {
+        let t = topo_with_spread_as();
+        let pops = points_of_presence(&t, 0.001);
+        assert_eq!(pops[&AsId(1)].len(), 3);
+    }
+
+    #[test]
+    fn huge_radius_gives_single_pop() {
+        let t = topo_with_spread_as();
+        let pops = points_of_presence(&t, 50_000.0);
+        assert_eq!(pops[&AsId(1)].len(), 1);
+        assert_eq!(pops[&AsId(1)][0].interfaces.len(), 3);
+    }
+
+    #[test]
+    fn pop_indices_are_dense() {
+        let t = topo_with_spread_as();
+        let pops = points_of_presence(&t, DEFAULT_POP_RADIUS_KM);
+        for (_, as_pops) in pops.iter() {
+            for (i, pop) in as_pops.iter().enumerate() {
+                assert_eq!(pop.index, i);
+            }
+        }
+    }
+}

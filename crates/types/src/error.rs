@@ -1,0 +1,138 @@
+//! The shared error type of the IREC workspace.
+
+use core::fmt;
+
+/// Convenience alias for results using [`IrecError`].
+pub type Result<T> = core::result::Result<T, IrecError>;
+
+/// Errors that can occur across the IREC crates.
+///
+/// The variants correspond to the failure classes the paper's architecture has to handle:
+/// malformed or unverifiable routing messages, policy rejections, resource-limit violations
+/// in the sandboxed algorithm runtime, and missing state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrecError {
+    /// A wire message could not be decoded.
+    Decode(String),
+    /// A wire message could not be encoded (e.g. a field exceeding its width).
+    Encode(String),
+    /// A signature or hash verification failed.
+    Verification(String),
+    /// A PCB or algorithm violated a local policy (loop, expired, unknown origin, ...).
+    Policy(String),
+    /// A sandboxed algorithm exceeded its resource budget (fuel, memory, output size).
+    ResourceLimit(String),
+    /// A routing algorithm failed during execution.
+    Algorithm(String),
+    /// Requested state does not exist (unknown AS, interface, beacon, segment, ...).
+    NotFound(String),
+    /// A component was configured inconsistently.
+    Config(String),
+    /// An internal invariant was violated; indicates a bug.
+    Internal(String),
+}
+
+impl IrecError {
+    /// Creates a decode error.
+    pub fn decode(msg: impl Into<String>) -> Self {
+        IrecError::Decode(msg.into())
+    }
+    /// Creates an encode error.
+    pub fn encode(msg: impl Into<String>) -> Self {
+        IrecError::Encode(msg.into())
+    }
+    /// Creates a verification error.
+    pub fn verification(msg: impl Into<String>) -> Self {
+        IrecError::Verification(msg.into())
+    }
+    /// Creates a policy error.
+    pub fn policy(msg: impl Into<String>) -> Self {
+        IrecError::Policy(msg.into())
+    }
+    /// Creates a resource-limit error.
+    pub fn resource_limit(msg: impl Into<String>) -> Self {
+        IrecError::ResourceLimit(msg.into())
+    }
+    /// Creates an algorithm-execution error.
+    pub fn algorithm(msg: impl Into<String>) -> Self {
+        IrecError::Algorithm(msg.into())
+    }
+    /// Creates a not-found error.
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        IrecError::NotFound(msg.into())
+    }
+    /// Creates a configuration error.
+    pub fn config(msg: impl Into<String>) -> Self {
+        IrecError::Config(msg.into())
+    }
+    /// Creates an internal error.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        IrecError::Internal(msg.into())
+    }
+
+    /// A short category label for the error, useful for counters and logs.
+    pub fn category(&self) -> &'static str {
+        match self {
+            IrecError::Decode(_) => "decode",
+            IrecError::Encode(_) => "encode",
+            IrecError::Verification(_) => "verification",
+            IrecError::Policy(_) => "policy",
+            IrecError::ResourceLimit(_) => "resource-limit",
+            IrecError::Algorithm(_) => "algorithm",
+            IrecError::NotFound(_) => "not-found",
+            IrecError::Config(_) => "config",
+            IrecError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for IrecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            IrecError::Decode(m)
+            | IrecError::Encode(m)
+            | IrecError::Verification(m)
+            | IrecError::Policy(m)
+            | IrecError::ResourceLimit(m)
+            | IrecError::Algorithm(m)
+            | IrecError::NotFound(m)
+            | IrecError::Config(m)
+            | IrecError::Internal(m) => m,
+        };
+        write!(f, "{}: {}", self.category(), msg)
+    }
+}
+
+impl std::error::Error for IrecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_variants() {
+        assert_eq!(IrecError::decode("x").category(), "decode");
+        assert_eq!(IrecError::encode("x").category(), "encode");
+        assert_eq!(IrecError::verification("x").category(), "verification");
+        assert_eq!(IrecError::policy("x").category(), "policy");
+        assert_eq!(IrecError::resource_limit("x").category(), "resource-limit");
+        assert_eq!(IrecError::algorithm("x").category(), "algorithm");
+        assert_eq!(IrecError::not_found("x").category(), "not-found");
+        assert_eq!(IrecError::config("x").category(), "config");
+        assert_eq!(IrecError::internal("x").category(), "internal");
+    }
+
+    #[test]
+    fn display_contains_category_and_message() {
+        let e = IrecError::policy("beacon contains a loop");
+        let s = e.to_string();
+        assert!(s.contains("policy"));
+        assert!(s.contains("beacon contains a loop"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(IrecError::not_found("segment"));
+        assert!(e.to_string().contains("segment"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Identifier types for ASes, interfaces, interface groups, links and algorithms.
+//!
+//! All identifiers are small `Copy` newtypes over integers so they can be used as map keys,
+//! put into wire messages, and generated densely by the topology generator.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an isolation domain (ISD), SCION's trust/routing grouping of ASes.
+///
+/// The IREC paper operates within a single routing plane, but PCBs in SCION carry the ISD of
+/// the origin; we keep the notion so that the PCB format stays faithful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IsdId(pub u16);
+
+impl fmt::Display for IsdId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of an autonomous system within the simulated Internet.
+///
+/// The topology generator assigns dense identifiers `0..n`. The value is 48-bit in SCION
+/// (`u64` here for simplicity).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct AsId(pub u64);
+
+impl AsId {
+    /// Returns the raw numeric value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u64> for AsId {
+    fn from(v: u64) -> Self {
+        AsId(v)
+    }
+}
+
+/// Fully qualified AS identifier: ISD + AS number, as used in SCION addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IsdAsId {
+    /// Isolation domain.
+    pub isd: IsdId,
+    /// AS number within the ISD.
+    pub asn: AsId,
+}
+
+impl IsdAsId {
+    /// Creates a fully qualified identifier.
+    pub const fn new(isd: IsdId, asn: AsId) -> Self {
+        Self { isd, asn }
+    }
+
+    /// Convenience constructor placing the AS in the default ISD `1`.
+    pub const fn in_default_isd(asn: AsId) -> Self {
+        Self {
+            isd: IsdId(1),
+            asn,
+        }
+    }
+}
+
+impl fmt::Display for IsdAsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.isd, self.asn)
+    }
+}
+
+/// Identifier of an AS border interface.
+///
+/// In SCION, PCB hop entries specify the ingress and egress *interfaces* of each on-path AS.
+/// Interface `0` is reserved to mean "none" (used for the origin hop's ingress and the final
+/// hop's egress).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct IfId(pub u32);
+
+impl IfId {
+    /// The reserved "no interface" value used by origin/terminal hop entries.
+    pub const NONE: IfId = IfId(0);
+
+    /// Whether this is the reserved "no interface" value.
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for IfId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "if{}", self.0)
+    }
+}
+
+impl From<u32> for IfId {
+    fn from(v: u32) -> Self {
+        IfId(v)
+    }
+}
+
+/// Identifier of an interface group (§IV-D of the paper).
+///
+/// Origin ASes partition (or more generally, cover) their interfaces with groups and
+/// originate PCBs per group; downstream ASes optimize per `(origin AS, interface group)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct InterfaceGroupId(pub u32);
+
+impl InterfaceGroupId {
+    /// The default group used when an origin AS does not configure interface groups.
+    pub const DEFAULT: InterfaceGroupId = InterfaceGroupId(0);
+
+    /// Returns the raw numeric value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for InterfaceGroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grp{}", self.0)
+    }
+}
+
+/// Identifier of an inter-domain link in the topology.
+///
+/// A link connects `(as_a, if_a)` to `(as_b, if_b)`; the topology crate assigns ids densely.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LinkId(pub u64);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// Identifier of a routing algorithm, used by the on-demand routing mechanism (§IV-C).
+///
+/// An on-demand PCB carries `(AlgorithmId, code hash)`. The id is only a hint for caching;
+/// integrity comes from the hash, which is covered by the origin AS signature.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct AlgorithmId(pub u64);
+
+impl fmt::Display for AlgorithmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alg{}", self.0)
+    }
+}
+
+/// Identifier of a path segment registered at a path service.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SegmentId(pub u64);
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AsId(7).to_string(), "AS7");
+        assert_eq!(IfId(3).to_string(), "if3");
+        assert_eq!(InterfaceGroupId(2).to_string(), "grp2");
+        assert_eq!(IsdAsId::new(IsdId(1), AsId(42)).to_string(), "1-AS42");
+        assert_eq!(LinkId(9).to_string(), "link9");
+        assert_eq!(AlgorithmId(5).to_string(), "alg5");
+        assert_eq!(SegmentId(11).to_string(), "seg11");
+    }
+
+    #[test]
+    fn ifid_none_semantics() {
+        assert!(IfId::NONE.is_none());
+        assert!(!IfId(1).is_none());
+        assert_eq!(IfId::NONE.value(), 0);
+    }
+
+    #[test]
+    fn ids_are_usable_as_map_keys() {
+        let mut set = HashSet::new();
+        set.insert(AsId(1));
+        set.insert(AsId(2));
+        set.insert(AsId(1));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn isd_as_ordering_is_lexicographic() {
+        let a = IsdAsId::new(IsdId(1), AsId(10));
+        let b = IsdAsId::new(IsdId(1), AsId(11));
+        let c = IsdAsId::new(IsdId(2), AsId(0));
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        let asid: AsId = 99u64.into();
+        assert_eq!(asid, AsId(99));
+        let ifid: IfId = 7u32.into();
+        assert_eq!(ifid, IfId(7));
+    }
+
+    #[test]
+    fn default_interface_group_is_zero() {
+        assert_eq!(InterfaceGroupId::DEFAULT.value(), 0);
+        assert_eq!(InterfaceGroupId::default(), InterfaceGroupId::DEFAULT);
+    }
+}

@@ -1,0 +1,31 @@
+//! # irec-types
+//!
+//! Core identifier, metric, time and error types shared by every crate in the IREC
+//! reproduction.
+//!
+//! The paper (Inter-Domain Routing with Extensible Criteria) builds on a SCION-like
+//! path-aware network. This crate defines the vocabulary used throughout the workspace:
+//!
+//! * [`AsId`] / [`IsdAsId`] — autonomous-system identifiers,
+//! * [`IfId`] — AS interface identifiers (the granularity at which PCBs specify hops),
+//! * [`InterfaceGroupId`] — the flexible optimization granularity of §IV-D of the paper,
+//! * [`Latency`], [`Bandwidth`], [`GeoCoord`] — the elementary performance metrics carried
+//!   in static-info extensions,
+//! * [`SimTime`] / [`SimDuration`] — the simulated clock used by the discrete-event
+//!   simulator,
+//! * [`IrecError`] — the shared error type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod geo;
+pub mod ids;
+pub mod metrics;
+pub mod time;
+
+pub use error::{IrecError, Result};
+pub use geo::GeoCoord;
+pub use ids::{AlgorithmId, AsId, IfId, InterfaceGroupId, IsdAsId, IsdId, LinkId, SegmentId};
+pub use metrics::{Bandwidth, Latency, LinkMetrics, MetricKind, MetricValue, PathMetrics};
+pub use time::{SimDuration, SimTime};

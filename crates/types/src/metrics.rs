@@ -1,0 +1,408 @@
+//! Performance-metric types carried in PCB static-info extensions and used by routing
+//! algorithms as optimization criteria.
+//!
+//! The paper's "beta features" tier (§VI) standardizes elementary metrics such as latency and
+//! bandwidth, how they are computed along a path (addition for latency, min for bandwidth),
+//! and how they are encoded in PCBs. This module provides exactly those semantics:
+//!
+//! * [`Latency`] — microsecond-granularity propagation delay, extended by *addition*,
+//! * [`Bandwidth`] — kbit/s capacity, extended by *minimum* (bottleneck),
+//! * [`PathMetrics`] — the accumulated metrics of a (partial) path,
+//! * [`LinkMetrics`] — the metrics of a single hop / intra-AS crossing.
+
+use core::fmt;
+use core::ops::Add;
+use serde::{Deserialize, Serialize};
+
+/// Propagation latency with microsecond granularity.
+///
+/// Latency is an *additive* metric: the latency of a path is the sum of its hop latencies
+/// (plus intra-AS crossing latencies when optimizing on extended paths, §IV-E).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Latency(pub u64);
+
+impl Latency {
+    /// Zero latency.
+    pub const ZERO: Latency = Latency(0);
+    /// The maximum representable latency, used as "unreachable".
+    pub const MAX: Latency = Latency(u64::MAX);
+
+    /// Creates a latency from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Latency(ms.saturating_mul(1000))
+    }
+
+    /// Creates a latency from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Latency(us)
+    }
+
+    /// Latency in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Latency in (truncated) whole milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Latency in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating addition, the path-extension operation for latency.
+    pub const fn saturating_add(self, other: Latency) -> Latency {
+        Latency(self.0.saturating_add(other.0))
+    }
+}
+
+impl Add for Latency {
+    type Output = Latency;
+    fn add(self, rhs: Latency) -> Latency {
+        self.saturating_add(rhs)
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// Link or path bandwidth in kbit/s.
+///
+/// Bandwidth is a *bottleneck* metric: the bandwidth of a path is the minimum of its hop
+/// bandwidths.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bandwidth(pub u64);
+
+impl Bandwidth {
+    /// Zero bandwidth (an unusable path).
+    pub const ZERO: Bandwidth = Bandwidth(0);
+    /// "Infinite" bandwidth, the identity of the `min` extension operation.
+    pub const MAX: Bandwidth = Bandwidth(u64::MAX);
+
+    /// Creates a bandwidth from Mbit/s.
+    pub const fn from_mbps(mbps: u64) -> Self {
+        Bandwidth(mbps.saturating_mul(1000))
+    }
+
+    /// Creates a bandwidth from Gbit/s.
+    pub const fn from_gbps(gbps: u64) -> Self {
+        Bandwidth(gbps.saturating_mul(1_000_000))
+    }
+
+    /// Bandwidth in kbit/s.
+    pub const fn as_kbps(self) -> u64 {
+        self.0
+    }
+
+    /// Bandwidth in (truncated) Mbit/s.
+    pub const fn as_mbps(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// The bottleneck (min) of two bandwidths — the path-extension operation.
+    pub fn bottleneck(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}Gbps", self.0 as f64 / 1_000_000.0)
+        } else if self.0 >= 1000 {
+            write!(f, "{:.1}Mbps", self.0 as f64 / 1000.0)
+        } else {
+            write!(f, "{}kbps", self.0)
+        }
+    }
+}
+
+/// The kind of an elementary metric, used by the wire format and the IRVM host interface to
+/// refer to metric slots generically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum MetricKind {
+    /// Propagation latency (additive).
+    Latency = 1,
+    /// Bottleneck bandwidth (min).
+    Bandwidth = 2,
+    /// AS-hop count (additive, each hop contributes 1).
+    HopCount = 3,
+    /// Number of distinct inter-domain links (used by disjointness heuristics).
+    LinkCount = 4,
+}
+
+impl MetricKind {
+    /// All metric kinds, in wire order.
+    pub const ALL: [MetricKind; 4] = [
+        MetricKind::Latency,
+        MetricKind::Bandwidth,
+        MetricKind::HopCount,
+        MetricKind::LinkCount,
+    ];
+
+    /// Decodes a metric kind from its wire tag.
+    pub fn from_tag(tag: u8) -> Option<MetricKind> {
+        match tag {
+            1 => Some(MetricKind::Latency),
+            2 => Some(MetricKind::Bandwidth),
+            3 => Some(MetricKind::HopCount),
+            4 => Some(MetricKind::LinkCount),
+            _ => None,
+        }
+    }
+
+    /// Encodes this metric kind as its wire tag.
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+}
+
+/// A dynamically typed metric value, as exposed to on-demand algorithms through the IRVM
+/// host interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A latency value.
+    Latency(Latency),
+    /// A bandwidth value.
+    Bandwidth(Bandwidth),
+    /// A counter value (hop count, link count, ...).
+    Count(u64),
+}
+
+impl MetricValue {
+    /// Returns the value as a raw u64 in its native unit (µs, kbit/s, or count).
+    pub fn raw(self) -> u64 {
+        match self {
+            MetricValue::Latency(l) => l.as_micros(),
+            MetricValue::Bandwidth(b) => b.as_kbps(),
+            MetricValue::Count(c) => c,
+        }
+    }
+}
+
+/// Metrics of a single hop: one inter-domain link crossing plus (optionally) the intra-AS
+/// crossing towards the egress interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkMetrics {
+    /// Propagation latency of the crossing.
+    pub latency: Latency,
+    /// Capacity of the crossing.
+    pub bandwidth: Bandwidth,
+}
+
+impl LinkMetrics {
+    /// Creates link metrics.
+    pub const fn new(latency: Latency, bandwidth: Bandwidth) -> Self {
+        Self { latency, bandwidth }
+    }
+
+    /// A zero-cost crossing (used for origin hops).
+    pub const ZERO: LinkMetrics = LinkMetrics {
+        latency: Latency::ZERO,
+        bandwidth: Bandwidth::MAX,
+    };
+}
+
+impl Default for LinkMetrics {
+    fn default() -> Self {
+        LinkMetrics::ZERO
+    }
+}
+
+/// Accumulated performance metrics of a (partial) inter-domain path.
+///
+/// `PathMetrics` implements the extension semantics of the paper's beta-tier metrics:
+/// latency extends by addition, bandwidth by bottleneck-min, hop count by increment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathMetrics {
+    /// Total propagation latency along the path.
+    pub latency: Latency,
+    /// Bottleneck bandwidth along the path.
+    pub bandwidth: Bandwidth,
+    /// Number of AS-level hops (number of inter-domain links traversed).
+    pub hops: u32,
+}
+
+impl PathMetrics {
+    /// The metrics of an empty path (identity of extension).
+    pub const EMPTY: PathMetrics = PathMetrics {
+        latency: Latency::ZERO,
+        bandwidth: Bandwidth::MAX,
+        hops: 0,
+    };
+
+    /// Extends the path metrics with one hop crossing.
+    #[must_use]
+    pub fn extend(self, hop: LinkMetrics) -> PathMetrics {
+        PathMetrics {
+            latency: self.latency + hop.latency,
+            bandwidth: self.bandwidth.bottleneck(hop.bandwidth),
+            hops: self.hops.saturating_add(1),
+        }
+    }
+
+    /// Extends the path metrics with an intra-AS crossing, which adds latency and can lower
+    /// the bottleneck, but does not increase the AS-hop count.
+    #[must_use]
+    pub fn extend_intra(self, crossing: LinkMetrics) -> PathMetrics {
+        PathMetrics {
+            latency: self.latency + crossing.latency,
+            bandwidth: self.bandwidth.bottleneck(crossing.bandwidth),
+            hops: self.hops,
+        }
+    }
+
+    /// Returns the value of the requested elementary metric.
+    pub fn value(&self, kind: MetricKind) -> MetricValue {
+        match kind {
+            MetricKind::Latency => MetricValue::Latency(self.latency),
+            MetricKind::Bandwidth => MetricValue::Bandwidth(self.bandwidth),
+            MetricKind::HopCount => MetricValue::Count(self.hops as u64),
+            MetricKind::LinkCount => MetricValue::Count(self.hops as u64),
+        }
+    }
+}
+
+impl Default for PathMetrics {
+    fn default() -> Self {
+        PathMetrics::EMPTY
+    }
+}
+
+impl fmt::Display for PathMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} hops, {}, {}]",
+            self.hops, self.latency, self.bandwidth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_conversions() {
+        assert_eq!(Latency::from_millis(10).as_micros(), 10_000);
+        assert_eq!(Latency::from_micros(1500).as_millis(), 1);
+        assert!((Latency::from_micros(1500).as_millis_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_addition_saturates() {
+        let a = Latency::MAX;
+        let b = Latency::from_millis(1);
+        assert_eq!(a + b, Latency::MAX);
+    }
+
+    #[test]
+    fn latency_display() {
+        assert_eq!(Latency::from_micros(500).to_string(), "500us");
+        assert_eq!(Latency::from_millis(10).to_string(), "10.000ms");
+    }
+
+    #[test]
+    fn bandwidth_conversions_and_bottleneck() {
+        assert_eq!(Bandwidth::from_mbps(100).as_kbps(), 100_000);
+        assert_eq!(Bandwidth::from_gbps(2).as_mbps(), 2_000_000 / 1000);
+        let a = Bandwidth::from_mbps(100);
+        let b = Bandwidth::from_mbps(40);
+        assert_eq!(a.bottleneck(b), b);
+        assert_eq!(b.bottleneck(a), b);
+        assert_eq!(a.bottleneck(Bandwidth::MAX), a);
+    }
+
+    #[test]
+    fn bandwidth_display() {
+        assert_eq!(Bandwidth(500).to_string(), "500kbps");
+        assert_eq!(Bandwidth::from_mbps(100).to_string(), "100.0Mbps");
+        assert_eq!(Bandwidth::from_gbps(2).to_string(), "2.00Gbps");
+    }
+
+    #[test]
+    fn metric_kind_roundtrip() {
+        for kind in MetricKind::ALL {
+            assert_eq!(MetricKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(MetricKind::from_tag(0), None);
+        assert_eq!(MetricKind::from_tag(200), None);
+    }
+
+    #[test]
+    fn path_metric_extension_semantics() {
+        let m = PathMetrics::EMPTY
+            .extend(LinkMetrics::new(
+                Latency::from_millis(10),
+                Bandwidth::from_mbps(100),
+            ))
+            .extend(LinkMetrics::new(
+                Latency::from_millis(5),
+                Bandwidth::from_mbps(40),
+            ));
+        assert_eq!(m.latency, Latency::from_millis(15));
+        assert_eq!(m.bandwidth, Bandwidth::from_mbps(40));
+        assert_eq!(m.hops, 2);
+    }
+
+    #[test]
+    fn intra_as_extension_does_not_count_a_hop() {
+        let m = PathMetrics::EMPTY
+            .extend(LinkMetrics::new(
+                Latency::from_millis(10),
+                Bandwidth::from_mbps(100),
+            ))
+            .extend_intra(LinkMetrics::new(
+                Latency::from_millis(3),
+                Bandwidth::from_mbps(50),
+            ));
+        assert_eq!(m.hops, 1);
+        assert_eq!(m.latency, Latency::from_millis(13));
+        assert_eq!(m.bandwidth, Bandwidth::from_mbps(50));
+    }
+
+    #[test]
+    fn empty_path_is_extension_identity() {
+        let hop = LinkMetrics::new(Latency::from_millis(7), Bandwidth::from_mbps(10));
+        let m = PathMetrics::EMPTY.extend(hop);
+        assert_eq!(m.latency, hop.latency);
+        assert_eq!(m.bandwidth, hop.bandwidth);
+        assert_eq!(m.hops, 1);
+    }
+
+    #[test]
+    fn metric_value_raw() {
+        assert_eq!(MetricValue::Latency(Latency::from_millis(1)).raw(), 1000);
+        assert_eq!(MetricValue::Bandwidth(Bandwidth::from_mbps(1)).raw(), 1000);
+        assert_eq!(MetricValue::Count(5).raw(), 5);
+    }
+
+    #[test]
+    fn path_metrics_value_accessor() {
+        let m = PathMetrics {
+            latency: Latency::from_millis(20),
+            bandwidth: Bandwidth::from_mbps(50),
+            hops: 3,
+        };
+        assert_eq!(
+            m.value(MetricKind::Latency),
+            MetricValue::Latency(Latency::from_millis(20))
+        );
+        assert_eq!(m.value(MetricKind::HopCount), MetricValue::Count(3));
+    }
+}

@@ -1,0 +1,203 @@
+//! Simulated time.
+//!
+//! The large-scale evaluation of the paper runs in a discrete-event simulator where RACs
+//! "optimize and propagate PCBs periodically every ten simulated minutes" and PCBs carry
+//! validity times. [`SimTime`] is a monotone microsecond counter since simulation start;
+//! [`SimDuration`] is a difference of two such instants.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+use serde::{Deserialize, Serialize};
+
+/// A duration of simulated time with microsecond granularity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms.saturating_mul(1_000))
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s.saturating_mul(1_000_000))
+    }
+
+    /// Creates a duration from minutes.
+    pub const fn from_minutes(m: u64) -> Self {
+        SimDuration(m.saturating_mul(60_000_000))
+    }
+
+    /// Creates a duration from hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h.saturating_mul(3_600_000_000))
+    }
+
+    /// Duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Duration in (truncated) seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Saturating multiplication by an integer factor.
+    pub const fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.0 as f64 / 1_000_000.0)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// An instant of simulated time, measured in microseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The end of time; used as "never expires".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from microseconds since simulation start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub const fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Whether this instant is at or after `other`.
+    pub const fn is_at_or_after(self, other: SimTime) -> bool {
+        self.0 >= other.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", SimDuration(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(SimDuration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimDuration::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimDuration::from_minutes(10).as_secs(), 600);
+        assert_eq!(SimDuration::from_hours(1).as_secs(), 3_600);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(5);
+        assert_eq!(t.as_micros(), 5_000_000);
+        let later = t + SimDuration::from_millis(500);
+        assert_eq!(later.duration_since(t), SimDuration::from_millis(500));
+        assert_eq!(later - t, SimDuration::from_millis(500));
+        // Saturating in the "wrong" direction.
+        assert_eq!(t.duration_since(later), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn add_assign_advances_clock() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_minutes(10);
+        t += SimDuration::from_minutes(10);
+        assert_eq!(t.as_micros(), SimDuration::from_minutes(20).as_micros());
+    }
+
+    #[test]
+    fn ordering_and_is_at_or_after() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(20);
+        assert!(a < b);
+        assert!(b.is_at_or_after(a));
+        assert!(b.is_at_or_after(b));
+        assert!(!a.is_at_or_after(b));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_micros(5).to_string(), "5us");
+        assert_eq!(SimDuration::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(SimDuration::from_secs(3).to_string(), "3.000s");
+        assert_eq!(SimTime::from_micros(1_000_000).to_string(), "t=1.000s");
+    }
+
+    #[test]
+    fn saturating_mul() {
+        assert_eq!(
+            SimDuration::from_secs(2).saturating_mul(3),
+            SimDuration::from_secs(6)
+        );
+        assert_eq!(SimDuration(u64::MAX).saturating_mul(2), SimDuration(u64::MAX));
+    }
+}

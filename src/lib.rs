@@ -1,0 +1,24 @@
+//! Root package of the IREC reproduction workspace.
+//!
+//! This crate intentionally contains no code of its own — it exists to host the runnable
+//! examples under `examples/` and the cross-crate integration tests under `tests/`. The
+//! actual library lives in the `crates/` workspace members:
+//!
+//! * [`irec_core`] — the paper's intra-AS architecture (gateways, RACs, path service),
+//! * [`irec_algorithms`] — the routing algorithms (1SP, 5SP, HD, DO, shortest-widest, PD),
+//! * [`irec_irvm`] — the sandboxed on-demand algorithm VM,
+//! * [`irec_pcb`] / [`irec_wire`] / [`irec_crypto`] — beacons, wire codec, signatures,
+//! * [`irec_topology`] — the synthetic Internet topology substrate,
+//! * [`irec_sim`] — the discrete-event control-plane simulator,
+//! * [`irec_metrics`] — the evaluation metrics (delay, TLF, overhead, CDFs).
+
+pub use irec_algorithms;
+pub use irec_core;
+pub use irec_crypto;
+pub use irec_irvm;
+pub use irec_metrics;
+pub use irec_pcb;
+pub use irec_sim;
+pub use irec_topology;
+pub use irec_types;
+pub use irec_wire;

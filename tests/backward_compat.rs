@@ -1,0 +1,101 @@
+//! Backward-compatibility integration test (§VII-B of the paper): IREC ASes can be deployed
+//! incrementally next to legacy ASes, "with no interruptions in connectivity".
+//!
+//! Half of the ASes in a generated topology run the full IREC stack (multiple RACs, IREC
+//! extensions), the other half run a legacy control service (single shortest-path selection,
+//! IREC extensions ignored). Connectivity must still be established in both directions, and
+//! IREC-originated beacons carrying extensions must traverse legacy ASes unharmed.
+
+use irec_core::{NodeConfig, OriginationSpec, PropagationPolicy, RacConfig};
+use irec_pcb::PcbExtensions;
+use irec_sim::{Simulation, SimulationConfig};
+use irec_topology::builder::figure1_topology;
+use irec_topology::{GeneratorConfig, TopologyGenerator};
+use irec_types::{AlgorithmId, AsId, IfId};
+use std::sync::Arc;
+
+#[test]
+fn mixed_irec_and_legacy_deployment_preserves_connectivity() {
+    let topology = Arc::new(TopologyGenerator::new(GeneratorConfig::tiny(11)).generate());
+    let mut sim = Simulation::new(Arc::clone(&topology), SimulationConfig::default(), |asn| {
+        if asn.value() % 2 == 0 {
+            NodeConfig::paper_simulation(false)
+        } else {
+            NodeConfig::legacy()
+        }
+    })
+    .expect("simulation setup");
+    sim.run_rounds(8).expect("rounds");
+
+    // Connectivity across the mixed deployment stays high (valley-free policies mean a few
+    // stub-to-stub pairs can legitimately lack paths on tiny topologies).
+    assert!(
+        sim.connectivity() > 0.8,
+        "mixed deployment connectivity dropped to {:.2}",
+        sim.connectivity()
+    );
+
+    // Legacy ASes still learned paths to IREC ASes and vice versa.
+    let legacy_as = topology.as_ids().into_iter().find(|a| a.value() % 2 == 1).unwrap();
+    let irec_as = topology.as_ids().into_iter().find(|a| a.value() % 2 == 0).unwrap();
+    let legacy_node = sim.node(legacy_as).unwrap();
+    let irec_node = sim.node(irec_as).unwrap();
+    assert!(
+        !legacy_node.path_service().destinations().is_empty(),
+        "legacy AS learned no paths"
+    );
+    assert!(
+        !irec_node.path_service().destinations().is_empty(),
+        "IREC AS learned no paths"
+    );
+}
+
+#[test]
+fn extension_carrying_beacons_traverse_legacy_ases() {
+    // Fig. 1 topology where the middle ASes (X=2, Y=4, Z=5) are legacy-only: the
+    // extension-carrying beacons originated by Dst must still reach Src through them.
+    let topology = Arc::new(figure1_topology());
+    let mut sim = Simulation::new(Arc::clone(&topology), SimulationConfig::default(), |asn| {
+        let base = if matches!(asn, AsId(2) | AsId(4) | AsId(5)) {
+            NodeConfig::legacy()
+        } else {
+            NodeConfig::default().with_racs(vec![
+                RacConfig::static_rac("1SP", "1SP"),
+                RacConfig::on_demand_rac("on-demand"),
+            ])
+        };
+        base.with_policy(PropagationPolicy::All)
+    })
+    .expect("simulation setup");
+
+    // Dst (AS3) originates on-demand beacons.
+    let program = irec_irvm::programs::lowest_latency(5);
+    let reference = sim
+        .node(AsId(3))
+        .unwrap()
+        .publish_algorithm(AlgorithmId(1), &program);
+    let dst_interfaces: Vec<IfId> = topology
+        .as_node(AsId(3))
+        .unwrap()
+        .interfaces
+        .keys()
+        .copied()
+        .collect();
+    sim.node_mut(AsId(3)).unwrap().add_origination(
+        OriginationSpec::plain(dst_interfaces)
+            .with_extensions(PcbExtensions::none().with_algorithm(reference)),
+    );
+    sim.run_rounds(8).expect("rounds");
+
+    // The source (an IREC AS) received extension-carrying beacons relayed through legacy
+    // transit ASes and its on-demand RAC processed them.
+    let src = sim.node(AsId(1)).unwrap();
+    let on_demand_paths = src.path_service().paths_to_by(AsId(3), "on-demand");
+    assert!(
+        !on_demand_paths.is_empty(),
+        "on-demand beacons must survive traversal of legacy ASes"
+    );
+    // And the legacy ASes themselves still have ordinary connectivity.
+    let legacy = sim.node(AsId(2)).unwrap();
+    assert!(!legacy.path_service().paths_to(AsId(3)).is_empty());
+}

@@ -1,0 +1,185 @@
+//! Failure-injection integration tests: the control plane must stay healthy when it receives
+//! corrupted beacons, hash-mismatched on-demand algorithms, or hostile (non-terminating)
+//! algorithm code.
+
+use irec_core::beacon_db::BatchKey;
+use irec_core::{
+    IngressGateway, NodeConfig, OriginationSpec, PropagationPolicy, Rac, RacConfig,
+    SharedAlgorithmStore,
+};
+use irec_crypto::{KeyRegistry, Signer, Verifier};
+use irec_irvm::{Instruction, Program};
+use irec_pcb::{AlgorithmRef, Pcb, PcbExtensions, StaticInfo};
+use irec_sim::{Simulation, SimulationConfig};
+use irec_topology::builder::{figure1, figure1_topology};
+use irec_topology::{AsNode, Tier};
+use irec_types::{
+    AlgorithmId, AsId, Bandwidth, IfId, InterfaceGroupId, Latency, SimDuration, SimTime,
+};
+use std::sync::Arc;
+
+fn beacon(registry: &KeyRegistry, origin: u64, extensions: PcbExtensions) -> Pcb {
+    let signer = Signer::new(AsId(origin), registry.clone());
+    let mut pcb = Pcb::originate(
+        AsId(origin),
+        0,
+        SimTime::ZERO,
+        SimTime::ZERO + SimDuration::from_hours(6),
+        extensions,
+    );
+    pcb.extend(
+        IfId::NONE,
+        IfId(1),
+        StaticInfo::origin(Latency::from_millis(10), Bandwidth::from_mbps(100), None),
+        &signer,
+    )
+    .unwrap();
+    pcb
+}
+
+fn local_as() -> AsNode {
+    let mut node = AsNode::new(AsId(99), Tier::Tier2);
+    node.interfaces.insert(
+        IfId(1),
+        irec_topology::Interface {
+            id: IfId(1),
+            owner: node.id,
+            location: irec_types::GeoCoord::new(0.0, 0.0),
+            link: irec_types::LinkId(0),
+        },
+    );
+    node
+}
+
+/// Corrupted (bit-flipped) beacons are rejected at the ingress gateway and never reach the
+/// ingress database, while valid beacons keep flowing.
+#[test]
+fn corrupted_beacons_are_dropped_without_poisoning_the_database() {
+    let registry = KeyRegistry::with_ases(3, 16);
+    let mut gateway = IngressGateway::new(AsId(99), Verifier::new(registry.clone()));
+
+    let good = beacon(&registry, 1, PcbExtensions::none());
+    let mut corrupted = beacon(&registry, 2, PcbExtensions::none());
+    corrupted.entries[0].static_info.link_bandwidth = Bandwidth::from_gbps(100_000);
+
+    gateway.receive(good, IfId(1), SimTime::ZERO).unwrap();
+    assert!(gateway.receive(corrupted, IfId(1), SimTime::ZERO).is_err());
+    assert_eq!(gateway.stats().accepted, 1);
+    assert_eq!(gateway.stats().rejected, 1);
+    assert_eq!(gateway.db().len(), 1);
+}
+
+/// An on-demand algorithm whose fetched code does not match the hash pinned in the signed
+/// PCB is refused; a subsequent legitimate algorithm still runs.
+#[test]
+fn hash_mismatched_on_demand_algorithm_is_refused_then_recovery_works() {
+    let registry = KeyRegistry::with_ases(3, 16);
+    let store = SharedAlgorithmStore::new();
+    let node = local_as();
+
+    // The "attacker" publishes module A but pins the hash of module B in the beacon.
+    let module_a = irec_irvm::programs::lowest_latency(5).to_module_bytes();
+    store.publish(AsId(1), AlgorithmId(1), module_a);
+    let bogus = AlgorithmRef::new(AlgorithmId(1), irec_crypto::sha256(b"not the module"));
+    let bad_beacon = beacon(&registry, 1, PcbExtensions::none().with_algorithm(bogus));
+
+    let mut rac = Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store.clone())).unwrap();
+    let key = BatchKey {
+        origin: AsId(1),
+        group: InterfaceGroupId::DEFAULT,
+        target: None,
+    };
+    let stored = irec_core::StoredBeacon {
+        pcb: bad_beacon,
+        ingress: IfId(1),
+        received_at: SimTime::ZERO,
+    };
+    let err = rac
+        .process_candidates(&key, vec![stored], &node, &[IfId(1)])
+        .unwrap_err();
+    assert_eq!(err.category(), "verification");
+    assert_eq!(rac.cached_algorithms(), 0);
+
+    // A correctly referenced algorithm from another origin still works afterwards.
+    let good_ref = store.publish(
+        AsId(2),
+        AlgorithmId(2),
+        irec_irvm::programs::lowest_latency(5).to_module_bytes(),
+    );
+    let good_beacon = beacon(&registry, 2, PcbExtensions::none().with_algorithm(good_ref));
+    let key2 = BatchKey {
+        origin: AsId(2),
+        group: InterfaceGroupId::DEFAULT,
+        target: None,
+    };
+    let stored = irec_core::StoredBeacon {
+        pcb: good_beacon,
+        ingress: IfId(2),
+        received_at: SimTime::ZERO,
+    };
+    let (outputs, _) = rac
+        .process_candidates(&key2, vec![stored], &node, &[IfId(1)])
+        .unwrap();
+    assert_eq!(outputs.len(), 1);
+    assert_eq!(rac.cached_algorithms(), 1);
+}
+
+/// A hostile on-demand algorithm (infinite loop) is contained by the IRVM fuel limit: the
+/// control plane as a whole keeps running and other criteria keep discovering paths.
+#[test]
+fn non_terminating_on_demand_algorithm_is_sandboxed_and_does_not_break_beaconing() {
+    let topology = Arc::new(figure1_topology());
+    let mut sim = Simulation::new(Arc::clone(&topology), SimulationConfig::default(), |_| {
+        NodeConfig::default()
+            .with_policy(PropagationPolicy::All)
+            .with_racs(vec![
+                RacConfig::static_rac("1SP", "1SP"),
+                RacConfig::on_demand_rac("on-demand"),
+            ])
+    })
+    .unwrap();
+
+    // The destination ships a non-terminating algorithm. Program validation cannot reject it
+    // (it is syntactically fine); the sandbox must contain it at run time.
+    let hostile = Program::new("spin-forever", 20, vec![Instruction::Jump(0)]);
+    let reference = sim
+        .node(figure1::DST)
+        .unwrap()
+        .publish_algorithm(AlgorithmId(66), &hostile);
+    let dst_interfaces: Vec<IfId> = topology
+        .as_node(figure1::DST)
+        .unwrap()
+        .interfaces
+        .keys()
+        .copied()
+        .collect();
+    sim.node_mut(figure1::DST).unwrap().add_origination(
+        OriginationSpec::plain(dst_interfaces)
+            .with_extensions(PcbExtensions::none().with_algorithm(reference)),
+    );
+
+    sim.run_rounds(6).expect("rounds survive the hostile algorithm");
+
+    // The hostile algorithm selected nothing (every candidate evaluation hits the fuel
+    // limit and is treated as rejected), but ordinary criteria are unaffected.
+    let src = sim.node(figure1::SRC).unwrap();
+    assert!(src.path_service().paths_to_by(figure1::DST, "on-demand").is_empty());
+    assert!(!src.path_service().paths_to_by(figure1::DST, "1SP").is_empty());
+    assert!((sim.connectivity() - 1.0).abs() < f64::EPSILON);
+}
+
+/// Expired beacons are evicted from the databases and do not linger in path computation.
+#[test]
+fn expired_beacons_are_evicted_from_the_control_plane() {
+    let registry = KeyRegistry::with_ases(3, 16);
+    let mut gateway = IngressGateway::new(AsId(99), Verifier::new(registry.clone()));
+    // Valid for 6 hours.
+    let pcb = beacon(&registry, 1, PcbExtensions::none());
+    gateway.receive(pcb, IfId(1), SimTime::ZERO).unwrap();
+    assert_eq!(gateway.db().len(), 1);
+    // After 7 simulated hours the eviction pass removes it.
+    let later = SimTime::ZERO + SimDuration::from_hours(7);
+    let evicted = gateway.db_mut().evict_expired(later, SimDuration::ZERO);
+    assert_eq!(evicted, 1);
+    assert_eq!(gateway.db().len(), 0);
+}

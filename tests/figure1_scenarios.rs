@@ -1,0 +1,154 @@
+//! Integration tests reproducing the paper's running examples (Fig. 1, Examples #1 and #2,
+//! and the shortest-widest on-demand scenario of Fig. 2c) end to end across the crates:
+//! topology → beaconing simulation → RACs → path service → endpoint selection.
+
+use irec_core::{NodeConfig, OriginationSpec, PropagationPolicy, RacConfig};
+use irec_pcb::PcbExtensions;
+use irec_sim::{Simulation, SimulationConfig};
+use irec_topology::builder::{figure1, figure1_topology};
+use irec_types::{AlgorithmId, Bandwidth, IfId, Latency};
+use std::sync::Arc;
+
+fn figure1_simulation(racs: Vec<RacConfig>) -> Simulation {
+    let topology = Arc::new(figure1_topology());
+    Simulation::new(topology, SimulationConfig::default(), move |_| {
+        NodeConfig::default()
+            .with_policy(PropagationPolicy::All)
+            .with_racs(racs.clone())
+    })
+    .expect("simulation setup")
+}
+
+/// Example #1: the VoIP application gets the 20 ms path, the file-transfer application gets a
+/// path at least an order of magnitude wider than the shortest path's 10 Mbps.
+#[test]
+fn example1_voip_and_file_transfer_get_different_optimal_paths() {
+    let mut sim = figure1_simulation(vec![
+        RacConfig::static_rac("DO", "DO"),
+        RacConfig::static_rac("widest", "widest"),
+    ]);
+    sim.run_rounds(6).expect("rounds");
+
+    let src = sim.node(figure1::SRC).expect("source node");
+    let voip = src
+        .path_service()
+        .paths_to_by(figure1::DST, "DO")
+        .into_iter()
+        .min_by_key(|p| p.metrics.latency)
+        .expect("delay-optimized path");
+    // The lowest-latency Src->Dst path is 2 links x 10 ms = 20 ms.
+    assert_eq!(voip.metrics.latency, Latency::from_millis(20));
+
+    let bulk = src
+        .path_service()
+        .paths_to_by(figure1::DST, "widest")
+        .into_iter()
+        .max_by_key(|p| p.metrics.bandwidth)
+        .expect("bandwidth-optimized path");
+    assert!(bulk.metrics.bandwidth >= Bandwidth::from_mbps(100));
+    // The two applications end up on different paths.
+    assert!(bulk.metrics.bandwidth > voip.metrics.bandwidth || bulk.links != voip.links);
+}
+
+/// Example #2: only an on-demand algorithm (widest path subject to a 30 ms bound) discovers
+/// the live-video path; it is the 30 ms / 100 Mbps path via Y, not the 20 ms thin path and
+/// not the 40 ms wide path.
+#[test]
+fn example2_live_video_needs_the_on_demand_bounded_criterion() {
+    let mut sim = figure1_simulation(vec![
+        RacConfig::static_rac("DO", "DO"),
+        RacConfig::static_rac("widest", "widest"),
+        RacConfig::on_demand_rac("on-demand"),
+    ]);
+    sim.run_rounds(4).expect("warm-up");
+
+    let bound = Latency::from_millis(30);
+    let program = irec_irvm::programs::bounded_latency_widest(bound, 5);
+    let reference = sim
+        .node(figure1::DST)
+        .unwrap()
+        .publish_algorithm(AlgorithmId(7), &program);
+    let dst_interfaces: Vec<IfId> = sim
+        .topology()
+        .as_node(figure1::DST)
+        .unwrap()
+        .interfaces
+        .keys()
+        .copied()
+        .collect();
+    sim.node_mut(figure1::DST).unwrap().add_origination(
+        OriginationSpec::plain(dst_interfaces)
+            .with_extensions(PcbExtensions::none().with_algorithm(reference)),
+    );
+    sim.run_rounds(6).expect("on-demand rounds");
+
+    let src = sim.node(figure1::SRC).unwrap();
+    let live: Vec<_> = src
+        .path_service()
+        .paths_to_by(figure1::DST, "on-demand")
+        .into_iter()
+        .filter(|p| p.metrics.latency <= bound)
+        .collect();
+    assert!(!live.is_empty(), "the on-demand criterion must discover a bounded-latency path");
+    let best = live.iter().max_by_key(|p| p.metrics.bandwidth).unwrap();
+    assert_eq!(best.metrics.latency, Latency::from_millis(30));
+    assert!(best.metrics.bandwidth >= Bandwidth::from_mbps(100));
+}
+
+/// Fig. 2c: the shortest-widest on-demand algorithm selects the lowest-latency path among
+/// the highest-bandwidth ones.
+#[test]
+fn shortest_widest_on_demand_algorithm_runs_across_the_network() {
+    let mut sim = figure1_simulation(vec![RacConfig::on_demand_rac("on-demand")]);
+
+    let program = irec_irvm::programs::shortest_widest(5);
+    let reference = sim
+        .node(figure1::DST)
+        .unwrap()
+        .publish_algorithm(AlgorithmId(9), &program);
+    let dst_interfaces: Vec<IfId> = sim
+        .topology()
+        .as_node(figure1::DST)
+        .unwrap()
+        .interfaces
+        .keys()
+        .copied()
+        .collect();
+    sim.node_mut(figure1::DST).unwrap().add_origination(
+        OriginationSpec::plain(dst_interfaces)
+            .with_extensions(PcbExtensions::none().with_algorithm(reference)),
+    );
+    sim.run_rounds(8).expect("rounds");
+
+    let src = sim.node(figure1::SRC).unwrap();
+    let paths = src.path_service().paths_to_by(figure1::DST, "on-demand");
+    assert!(!paths.is_empty(), "shortest-widest must discover paths at the source");
+    // Among the discovered paths, the best by (bandwidth desc, latency asc) is the
+    // 100 Mbps / 30 ms path via Y (the Src-Y link caps the gigabit detour at 100 Mbps).
+    let best = paths
+        .iter()
+        .max_by_key(|p| (p.metrics.bandwidth, std::cmp::Reverse(p.metrics.latency)))
+        .unwrap();
+    assert!(best.metrics.bandwidth >= Bandwidth::from_mbps(100));
+}
+
+/// The three highlighted paths of Fig. 1 all exist in the control plane when the three
+/// corresponding criteria run in parallel.
+#[test]
+fn all_three_figure1_paths_are_discoverable_in_parallel() {
+    let mut sim = figure1_simulation(vec![
+        RacConfig::static_rac("1SP", "1SP"),
+        RacConfig::static_rac("DO", "DO"),
+        RacConfig::static_rac("widest", "widest"),
+        RacConfig::static_rac("HD", "HD"),
+    ]);
+    sim.run_rounds(6).expect("rounds");
+    let src = sim.node(figure1::SRC).unwrap();
+    let all = src.path_service().paths_to(figure1::DST);
+    let latencies: Vec<u64> = all.iter().map(|p| p.metrics.latency.as_millis()).collect();
+    assert!(latencies.contains(&20), "shortest 20 ms path missing: {latencies:?}");
+    assert!(latencies.contains(&30), "30 ms detour missing: {latencies:?}");
+    // The wide 40 ms detour via Y and Z appears once bandwidth-aware selection runs.
+    let has_wide_detour = all.iter().any(|p| p.metrics.hops == 3);
+    assert!(has_wide_detour, "3-hop detour missing");
+}

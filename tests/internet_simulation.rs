@@ -1,0 +1,128 @@
+//! Cross-crate integration tests on the generated Internet-like topology: the paper's
+//! simulation setup (§VIII-B) at reduced scale, checking the qualitative claims that the
+//! Fig. 8 benches quantify.
+
+use irec_core::NodeConfig;
+use irec_metrics::delay::as_pair_delays;
+use irec_metrics::tlf::tlf_per_as_pair;
+use irec_sim::{Simulation, SimulationConfig};
+use irec_topology::{GeneratorConfig, TopologyGenerator};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn paper_sim(seed: u64, ases: usize) -> Simulation {
+    let mut config = GeneratorConfig::tiny(seed);
+    config.num_ases = ases;
+    let topology = Arc::new(TopologyGenerator::new(config).generate());
+    Simulation::new(topology, SimulationConfig::default(), |_| {
+        NodeConfig::paper_simulation(false)
+    })
+    .expect("simulation setup")
+}
+
+#[test]
+fn paper_rac_set_reaches_high_connectivity() {
+    let mut sim = paper_sim(21, 20);
+    sim.run_rounds(8).expect("rounds");
+    assert!(
+        sim.connectivity() > 0.85,
+        "connectivity {:.2} too low",
+        sim.connectivity()
+    );
+    // Every algorithm registered paths somewhere.
+    for algorithm in ["1SP", "5SP", "HD", "DON"] {
+        assert!(
+            !sim.registered_paths_by(algorithm).is_empty(),
+            "{algorithm} registered no paths"
+        );
+    }
+}
+
+#[test]
+fn multipath_algorithms_beat_single_path_on_disjointness() {
+    let mut sim = paper_sim(22, 20);
+    sim.run_rounds(8).expect("rounds");
+
+    let tlf_1sp = tlf_per_as_pair(&sim.registered_paths_by("1SP"));
+    let tlf_hd = tlf_per_as_pair(&sim.registered_paths_by("HD"));
+    assert!(!tlf_1sp.is_empty() && !tlf_hd.is_empty());
+
+    let avg = |m: &BTreeMap<_, usize>| m.values().sum::<usize>() as f64 / m.len() as f64;
+    let avg_1sp = avg(&tlf_1sp);
+    let avg_hd = avg(&tlf_hd);
+    assert!(
+        avg_hd >= avg_1sp,
+        "HD average TLF {avg_hd:.2} should be at least 1SP's {avg_1sp:.2}"
+    );
+    // 1SP registers a single path per (origin, interface-group) pair, so its typical TLF
+    // stays near 1.
+    assert!(avg_1sp < 3.0, "1SP average TLF unexpectedly high: {avg_1sp:.2}");
+}
+
+#[test]
+fn delay_optimization_never_loses_to_shortest_path_on_reachable_pairs() {
+    let mut sim = paper_sim(23, 20);
+    sim.run_rounds(8).expect("rounds");
+
+    let d_1sp = as_pair_delays(&sim.registered_paths_by("1SP"));
+    let d_don = as_pair_delays(&sim.registered_paths_by("DON"));
+    assert!(!d_1sp.is_empty() && !d_don.is_empty());
+
+    // On AS pairs both algorithms connect, DON's best delay is at most 1SP's (both pick from
+    // the same beacon pool; DON optimizes the delay explicitly).
+    let mut compared = 0usize;
+    let mut don_better_or_equal = 0usize;
+    for (pair, sp_delay) in &d_1sp {
+        if let Some(don_delay) = d_don.get(pair) {
+            compared += 1;
+            if don_delay <= sp_delay {
+                don_better_or_equal += 1;
+            }
+        }
+    }
+    assert!(compared > 0, "no comparable AS pairs");
+    let fraction = don_better_or_equal as f64 / compared as f64;
+    assert!(
+        fraction > 0.9,
+        "DON should match or beat 1SP on delay for most pairs, got {fraction:.2}"
+    );
+}
+
+#[test]
+fn registered_paths_respect_structural_invariants() {
+    let mut sim = paper_sim(24, 16);
+    sim.run_rounds(6).expect("rounds");
+    let topology = Arc::clone(sim.topology());
+
+    for path in sim.registered_paths() {
+        // A registered path never starts and ends at the same AS.
+        assert_ne!(path.holder, path.origin);
+        // Hop count equals the number of traversed links.
+        assert_eq!(path.links.len() as u32, path.metrics.hops);
+        // Every traversed link references an interface that exists in the topology and is
+        // owned by the AS recorded in the link key.
+        for (asn, ifid) in &path.links {
+            let interface = topology
+                .interface(*asn, *ifid)
+                .expect("link key references an existing interface");
+            assert_eq!(interface.owner, *asn);
+        }
+        // No AS appears twice among the link keys (loop freedom of registered paths).
+        let mut seen = std::collections::HashSet::new();
+        for (asn, _) in &path.links {
+            assert!(seen.insert(*asn), "AS {asn} appears twice on a registered path");
+        }
+        // The paper's limit: at most 20 paths per (RAC, origin, interface group) —
+        // checked globally per holder below.
+    }
+
+    // Per-key registration limit of 20.
+    let mut per_key: BTreeMap<(irec_types::AsId, String, irec_types::AsId, irec_types::InterfaceGroupId), usize> =
+        BTreeMap::new();
+    for path in sim.registered_paths() {
+        *per_key
+            .entry((path.holder, path.algorithm.clone(), path.origin, path.group))
+            .or_default() += 1;
+    }
+    assert!(per_key.values().all(|&count| count <= 20));
+}
