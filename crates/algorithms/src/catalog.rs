@@ -13,7 +13,15 @@ pub const DEFAULT_BUDGET: usize = 20;
 
 /// The names of all built-in static algorithms, in the order the paper's evaluation lists
 /// them.
-pub const BUILTIN_NAMES: &[&str] = &["1SP", "5SP", "HD", "DO", "legacy-scion", "widest", "shortest-widest"];
+pub const BUILTIN_NAMES: &[&str] = &[
+    "1SP",
+    "5SP",
+    "HD",
+    "DO",
+    "legacy-scion",
+    "widest",
+    "shortest-widest",
+];
 
 /// Instantiates a built-in algorithm by name.
 ///
@@ -33,7 +41,10 @@ pub fn by_name(name: &str) -> Result<Arc<dyn RoutingAlgorithm>> {
         "shortest-widest" => Arc::new(ShortestWidest::new(DEFAULT_BUDGET)),
         _ => {
             // kSP for arbitrary k.
-            if let Some(k) = lower.strip_suffix("sp").and_then(|p| p.parse::<usize>().ok()) {
+            if let Some(k) = lower
+                .strip_suffix("sp")
+                .and_then(|p| p.parse::<usize>().ok())
+            {
                 if k == 0 {
                     return Err(IrecError::config("0SP is not a valid algorithm"));
                 }

@@ -6,6 +6,12 @@ use irec_irvm::Program;
 use irec_types::{AsId, IfId, Result};
 use std::collections::HashSet;
 
+/// Inter-domain links of one candidate, keyed by (AS, egress interface).
+type LinkSet = HashSet<(AsId, IfId)>;
+
+/// Candidate index with its link set and hop count, as ranked by HD.
+type RankedCandidate = (usize, LinkSet, u32);
+
 /// **HD — heuristic disjointness** (Krähenbühl et al., as used in §VIII-B of the paper).
 ///
 /// Greedy selection maximizing inter-domain link disjointness: starting from the shortest
@@ -29,13 +35,13 @@ impl HeuristicDisjointness {
     ) -> Vec<usize> {
         let budget = self.k.min(ctx.max_selected);
         // Eligible candidates with their link sets.
-        let eligible: Vec<(usize, HashSet<(AsId, IfId)>, u32)> = batch
+        let eligible: Vec<RankedCandidate> = batch
             .candidates
             .iter()
             .enumerate()
             .filter(|(_, c)| c.ingress != egress && !c.pcb.contains_as(ctx.local_as.id))
             .map(|(i, c)| {
-                let links: HashSet<(AsId, IfId)> = c.pcb.link_keys().into_iter().collect();
+                let links: LinkSet = c.pcb.link_keys().into_iter().collect();
                 (i, links, c.pcb.path_metrics().hops)
             })
             .collect();
@@ -44,8 +50,8 @@ impl HeuristicDisjointness {
         }
 
         let mut selected: Vec<usize> = Vec::new();
-        let mut used_links: HashSet<(AsId, IfId)> = HashSet::new();
-        let mut remaining: Vec<&(usize, HashSet<(AsId, IfId)>, u32)> = eligible.iter().collect();
+        let mut used_links: LinkSet = HashSet::new();
+        let mut remaining: Vec<&RankedCandidate> = eligible.iter().collect();
 
         while selected.len() < budget && !remaining.is_empty() {
             // Pick the candidate with the fewest shared links, then fewest hops, then index.
@@ -70,7 +76,11 @@ impl RoutingAlgorithm for HeuristicDisjointness {
         "HD"
     }
 
-    fn select(&self, batch: &CandidateBatch, ctx: &AlgorithmContext<'_>) -> Result<SelectionResult> {
+    fn select(
+        &self,
+        batch: &CandidateBatch,
+        ctx: &AlgorithmContext<'_>,
+    ) -> Result<SelectionResult> {
         let mut result = SelectionResult::empty();
         for &egress in &ctx.egress_interfaces {
             result.insert(egress, self.select_for_egress(batch, ctx, egress));
@@ -102,7 +112,11 @@ impl RoutingAlgorithm for AvoidLinksAlgorithm {
         "avoid-links"
     }
 
-    fn select(&self, batch: &CandidateBatch, ctx: &AlgorithmContext<'_>) -> Result<SelectionResult> {
+    fn select(
+        &self,
+        batch: &CandidateBatch,
+        ctx: &AlgorithmContext<'_>,
+    ) -> Result<SelectionResult> {
         let mut result = SelectionResult::empty();
         for &egress in &ctx.egress_interfaces {
             let mut scored: Vec<(u64, usize)> = batch
@@ -110,9 +124,7 @@ impl RoutingAlgorithm for AvoidLinksAlgorithm {
                 .iter()
                 .enumerate()
                 .filter(|(_, c)| c.ingress != egress && !c.pcb.contains_as(ctx.local_as.id))
-                .filter(|(_, c)| {
-                    !c.pcb.link_keys().iter().any(|l| self.avoid.contains(l))
-                })
+                .filter(|(_, c)| !c.pcb.link_keys().iter().any(|l| self.avoid.contains(l)))
                 .map(|(i, c)| (ctx.metrics_at_egress(c, egress).latency.as_micros(), i))
                 .collect();
             scored.sort();
@@ -133,7 +145,10 @@ impl RoutingAlgorithm for AvoidLinksAlgorithm {
 /// the origin AS wants a new path to the target that avoids every link of the paths it has
 /// already discovered, so it originates on-demand, pull-based PCBs carrying this program
 /// (§VIII-B of the paper).
-pub fn pd_round_program(avoid: impl IntoIterator<Item = (AsId, IfId)>, max_selected: u32) -> Program {
+pub fn pd_round_program(
+    avoid: impl IntoIterator<Item = (AsId, IfId)>,
+    max_selected: u32,
+) -> Program {
     irec_irvm::programs::avoid_links(avoid.into_iter().collect(), max_selected)
 }
 
@@ -164,8 +179,13 @@ mod tests {
                 intra_latency: Latency::ZERO,
                 egress_location: None,
             };
-            let ingress_if = if i == 0 { irec_types::IfId::NONE } else { irec_types::IfId(1) };
-            pcb.extend(ingress_if, irec_types::IfId(*egress), info, &signer).unwrap();
+            let ingress_if = if i == 0 {
+                irec_types::IfId::NONE
+            } else {
+                irec_types::IfId(1)
+            };
+            pcb.extend(ingress_if, irec_types::IfId(*egress), info, &signer)
+                .unwrap();
         }
         Candidate::new(pcb, irec_types::IfId(ingress))
     }
@@ -189,7 +209,9 @@ mod tests {
                 candidate_with_links(1, &[(1, 9), (3, 1), (4, 1)], 1),
             ],
         );
-        let r = HeuristicDisjointness::new(2).select(&b, &ctx(&node)).unwrap();
+        let r = HeuristicDisjointness::new(2)
+            .select(&b, &ctx(&node))
+            .unwrap();
         // First pick: shortest (candidate 0). Second pick: the disjoint candidate 2, despite
         // candidate 1 being shorter.
         assert_eq!(r.per_egress[&IfId(3)], vec![0, 2]);
@@ -205,7 +227,9 @@ mod tests {
                 .map(|i| candidate_with_links(1, &[(1, i + 1), (2, i + 1)], 1))
                 .collect(),
         );
-        let r = HeuristicDisjointness::new(4).select(&b, &ctx(&node)).unwrap();
+        let r = HeuristicDisjointness::new(4)
+            .select(&b, &ctx(&node))
+            .unwrap();
         assert_eq!(r.per_egress[&IfId(3)].len(), 4);
         let mut tight = ctx(&node);
         tight.max_selected = 2;
@@ -223,7 +247,9 @@ mod tests {
             InterfaceGroupId::DEFAULT,
             vec![own_as_loop, from_egress],
         );
-        let r = HeuristicDisjointness::new(5).select(&b, &ctx(&node)).unwrap();
+        let r = HeuristicDisjointness::new(5)
+            .select(&b, &ctx(&node))
+            .unwrap();
         assert!(r.per_egress[&IfId(3)].is_empty());
     }
 
@@ -231,7 +257,9 @@ mod tests {
     fn hd_empty_batch() {
         let node = local_as();
         let b = CandidateBatch::new(AsId(1), InterfaceGroupId::DEFAULT, vec![]);
-        let r = HeuristicDisjointness::new(5).select(&b, &ctx(&node)).unwrap();
+        let r = HeuristicDisjointness::new(5)
+            .select(&b, &ctx(&node))
+            .unwrap();
         assert!(r.per_egress[&IfId(3)].is_empty());
     }
 
@@ -258,10 +286,7 @@ mod tests {
         let b = CandidateBatch::new(
             AsId(1),
             InterfaceGroupId::DEFAULT,
-            vec![
-                candidate(1, &[(30, 100)], 1),
-                candidate(1, &[(10, 100)], 1),
-            ],
+            vec![candidate(1, &[(30, 100)], 1), candidate(1, &[(10, 100)], 1)],
         );
         let alg = AvoidLinksAlgorithm::new([], 20);
         let r = alg.select(&b, &ctx(&node)).unwrap();
@@ -276,7 +301,9 @@ mod tests {
         let program = pd_round_program(avoid.clone(), 20);
         assert_eq!(program.avoid_links, avoid);
         assert!(program.validate().is_ok());
-        let interp = irec_irvm::Interpreter::new(program, irec_irvm::ExecutionLimits::ON_DEMAND_RAC).unwrap();
+        let interp =
+            irec_irvm::Interpreter::new(program, irec_irvm::ExecutionLimits::ON_DEMAND_RAC)
+                .unwrap();
 
         let overlapping = candidate_with_links(1, &[(1, 1), (2, 1)], 1);
         let disjoint = candidate_with_links(1, &[(1, 2), (3, 1)], 1);

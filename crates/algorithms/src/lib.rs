@@ -191,7 +191,8 @@ pub trait RoutingAlgorithm: Send + Sync {
 
     /// Selects, for every egress interface in the context, the optimal candidates of the
     /// batch (indices into `batch.candidates`, best first, at most `ctx.max_selected` each).
-    fn select(&self, batch: &CandidateBatch, ctx: &AlgorithmContext<'_>) -> Result<SelectionResult>;
+    fn select(&self, batch: &CandidateBatch, ctx: &AlgorithmContext<'_>)
+        -> Result<SelectionResult>;
 }
 
 #[cfg(test)]
@@ -215,7 +216,11 @@ pub(crate) mod testutil {
             PcbExtensions::none(),
         );
         for (i, (lat, bw)) in hops.iter().enumerate() {
-            let asn = if i == 0 { AsId(origin) } else { AsId(origin + i as u64 * 100) };
+            let asn = if i == 0 {
+                AsId(origin)
+            } else {
+                AsId(origin + i as u64 * 100)
+            };
             let signer = Signer::new(asn, registry.clone());
             let info = StaticInfo {
                 link_latency: Latency::from_millis(*lat),
@@ -232,7 +237,10 @@ pub(crate) mod testutil {
     /// A local AS with three interfaces at distinct locations, for extended-path tests.
     pub fn local_as() -> AsNode {
         let mut node = AsNode::new(AsId(500), Tier::Tier2);
-        for (i, (lat, lon)) in [(47.37, 8.54), (48.86, 2.35), (40.71, -74.0)].iter().enumerate() {
+        for (i, (lat, lon)) in [(47.37, 8.54), (48.86, 2.35), (40.71, -74.0)]
+            .iter()
+            .enumerate()
+        {
             let ifid = IfId(i as u32 + 1);
             node.interfaces.insert(
                 ifid,

@@ -71,7 +71,11 @@ impl RoutingAlgorithm for IrvmAlgorithm {
         &self.name
     }
 
-    fn select(&self, batch: &CandidateBatch, ctx: &AlgorithmContext<'_>) -> Result<SelectionResult> {
+    fn select(
+        &self,
+        batch: &CandidateBatch,
+        ctx: &AlgorithmContext<'_>,
+    ) -> Result<SelectionResult> {
         let budget = (self.interpreter.program().meta.max_selected as usize).min(ctx.max_selected);
         let mut result = SelectionResult::empty();
         for &egress in &ctx.egress_interfaces {
@@ -101,8 +105,8 @@ mod tests {
             AsId(1),
             InterfaceGroupId::DEFAULT,
             vec![
-                candidate(1, &[(10, 10), (10, 10)], 1),                 // 20 ms, 10 Mbps
-                candidate(1, &[(10, 100), (10, 100), (10, 100)], 1),    // 30 ms, 100 Mbps
+                candidate(1, &[(10, 10), (10, 10)], 1), // 20 ms, 10 Mbps
+                candidate(1, &[(10, 100), (10, 100), (10, 100)], 1), // 30 ms, 100 Mbps
                 candidate(1, &[(10, 1000), (10, 1000), (20, 1000)], 2), // 40 ms, 1 Gbps
             ],
         )
@@ -112,7 +116,8 @@ mod tests {
     fn irvm_widest_matches_expectation() {
         let node = local_as();
         let ctx = AlgorithmContext::new(&node, vec![IfId(3)], 20);
-        let alg = IrvmAlgorithm::new(programs::widest_path(1), ExecutionLimits::ON_DEMAND_RAC).unwrap();
+        let alg =
+            IrvmAlgorithm::new(programs::widest_path(1), ExecutionLimits::ON_DEMAND_RAC).unwrap();
         let r = alg.select(&batch(), &ctx).unwrap();
         assert_eq!(r.per_egress[&IfId(3)], vec![2]);
         assert_eq!(alg.name(), "widest-path");
@@ -155,7 +160,8 @@ mod tests {
         let node = local_as();
         let mut ctx = AlgorithmContext::new(&node, vec![IfId(3)], 20);
         ctx.max_selected = 1;
-        let alg = IrvmAlgorithm::new(programs::lowest_latency(20), ExecutionLimits::ON_DEMAND_RAC).unwrap();
+        let alg = IrvmAlgorithm::new(programs::lowest_latency(20), ExecutionLimits::ON_DEMAND_RAC)
+            .unwrap();
         let r = alg.select(&batch(), &ctx).unwrap();
         assert_eq!(r.per_egress[&IfId(3)].len(), 1);
     }
@@ -164,7 +170,8 @@ mod tests {
     fn ingress_egress_filtering_applies() {
         let node = local_as();
         let ctx = AlgorithmContext::new(&node, vec![IfId(1)], 20);
-        let alg = IrvmAlgorithm::new(programs::lowest_latency(20), ExecutionLimits::ON_DEMAND_RAC).unwrap();
+        let alg = IrvmAlgorithm::new(programs::lowest_latency(20), ExecutionLimits::ON_DEMAND_RAC)
+            .unwrap();
         let r = alg.select(&batch(), &ctx).unwrap();
         // Candidates 0 and 1 arrived on if1 and must not be re-propagated there.
         assert_eq!(r.per_egress[&IfId(1)], vec![2]);

@@ -77,7 +77,11 @@ impl<F: ScoreFn> RoutingAlgorithm for ScoredAlgorithm<F> {
         &self.name
     }
 
-    fn select(&self, batch: &CandidateBatch, ctx: &AlgorithmContext<'_>) -> Result<SelectionResult> {
+    fn select(
+        &self,
+        batch: &CandidateBatch,
+        ctx: &AlgorithmContext<'_>,
+    ) -> Result<SelectionResult> {
         let mut result = SelectionResult::empty();
         for &egress in &ctx.egress_interfaces {
             result.insert(egress, self.select_for_egress(batch, ctx, egress));
@@ -113,7 +117,11 @@ impl RoutingAlgorithm for ShortestPath {
     fn name(&self) -> &str {
         self.inner.name()
     }
-    fn select(&self, batch: &CandidateBatch, ctx: &AlgorithmContext<'_>) -> Result<SelectionResult> {
+    fn select(
+        &self,
+        batch: &CandidateBatch,
+        ctx: &AlgorithmContext<'_>,
+    ) -> Result<SelectionResult> {
         self.inner.select(batch, ctx)
     }
 }
@@ -153,7 +161,11 @@ impl RoutingAlgorithm for KShortestPaths {
     fn name(&self) -> &str {
         self.inner.name()
     }
-    fn select(&self, batch: &CandidateBatch, ctx: &AlgorithmContext<'_>) -> Result<SelectionResult> {
+    fn select(
+        &self,
+        batch: &CandidateBatch,
+        ctx: &AlgorithmContext<'_>,
+    ) -> Result<SelectionResult> {
         self.inner.select(batch, ctx)
     }
 }
@@ -186,7 +198,11 @@ impl RoutingAlgorithm for DelayOptimization {
     fn name(&self) -> &str {
         self.inner.name()
     }
-    fn select(&self, batch: &CandidateBatch, ctx: &AlgorithmContext<'_>) -> Result<SelectionResult> {
+    fn select(
+        &self,
+        batch: &CandidateBatch,
+        ctx: &AlgorithmContext<'_>,
+    ) -> Result<SelectionResult> {
         self.inner.select(batch, ctx)
     }
 }
@@ -212,7 +228,11 @@ impl RoutingAlgorithm for WidestPath {
     fn name(&self) -> &str {
         self.inner.name()
     }
-    fn select(&self, batch: &CandidateBatch, ctx: &AlgorithmContext<'_>) -> Result<SelectionResult> {
+    fn select(
+        &self,
+        batch: &CandidateBatch,
+        ctx: &AlgorithmContext<'_>,
+    ) -> Result<SelectionResult> {
         self.inner.select(batch, ctx)
     }
 }
@@ -227,12 +247,16 @@ impl ShortestWidest {
     /// Creates the shortest-widest algorithm with the given per-egress budget.
     pub fn new(k: usize) -> Self {
         ShortestWidest {
-            inner: ScoredAlgorithm::new("shortest-widest", Some(k), |m: &PathMetrics, _: &Candidate| {
-                // Bandwidth dominates; latency, clamped below the scale factor, breaks ties.
-                const SCALE: i128 = 1 << 40;
-                -(m.bandwidth.as_kbps() as i128) * SCALE
-                    + (m.latency.as_micros() as i128).min(SCALE - 1)
-            }),
+            inner: ScoredAlgorithm::new(
+                "shortest-widest",
+                Some(k),
+                |m: &PathMetrics, _: &Candidate| {
+                    // Bandwidth dominates; latency, clamped below the scale factor, breaks ties.
+                    const SCALE: i128 = 1 << 40;
+                    -(m.bandwidth.as_kbps() as i128) * SCALE
+                        + (m.latency.as_micros() as i128).min(SCALE - 1)
+                },
+            ),
         }
     }
 }
@@ -241,7 +265,11 @@ impl RoutingAlgorithm for ShortestWidest {
     fn name(&self) -> &str {
         self.inner.name()
     }
-    fn select(&self, batch: &CandidateBatch, ctx: &AlgorithmContext<'_>) -> Result<SelectionResult> {
+    fn select(
+        &self,
+        batch: &CandidateBatch,
+        ctx: &AlgorithmContext<'_>,
+    ) -> Result<SelectionResult> {
         self.inner.select(batch, ctx)
     }
 }
@@ -282,9 +310,13 @@ mod tests {
     #[test]
     fn ksp_selects_k_paths_in_hop_order() {
         let node = local_as();
-        let r = KShortestPaths::new(2).select(&batch(), &ctx(&node)).unwrap();
+        let r = KShortestPaths::new(2)
+            .select(&batch(), &ctx(&node))
+            .unwrap();
         assert_eq!(r.per_egress[&IfId(3)], vec![0, 1]);
-        let r5 = KShortestPaths::five().select(&batch(), &ctx(&node)).unwrap();
+        let r5 = KShortestPaths::five()
+            .select(&batch(), &ctx(&node))
+            .unwrap();
         assert_eq!(r5.per_egress[&IfId(3)].len(), 3); // only 3 candidates exist
     }
 
@@ -300,7 +332,9 @@ mod tests {
     #[test]
     fn delay_optimization_prefers_low_latency() {
         let node = local_as();
-        let r = DelayOptimization::new(2).select(&batch(), &ctx(&node)).unwrap();
+        let r = DelayOptimization::new(2)
+            .select(&batch(), &ctx(&node))
+            .unwrap();
         assert_eq!(r.per_egress[&IfId(3)], vec![0, 1]);
     }
 
@@ -351,11 +385,7 @@ mod tests {
         let node = local_as(); // if1 Zurich, if2 Paris, if3 New York
         let c_zurich = candidate(1, &[(10, 100)], 1);
         let c_paris = candidate(2, &[(10, 100)], 2);
-        let b = CandidateBatch::new(
-            AsId(1),
-            InterfaceGroupId::DEFAULT,
-            vec![c_zurich, c_paris],
-        );
+        let b = CandidateBatch::new(AsId(1), InterfaceGroupId::DEFAULT, vec![c_zurich, c_paris]);
         // Without extension (DON): tie, candidate 0 wins by index.
         let don = AlgorithmContext::new(&node, vec![IfId(3)], 20);
         let r_don = DelayOptimization::new(1).select(&b, &don).unwrap();

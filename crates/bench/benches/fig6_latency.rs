@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use irec_bench::workload::{
-    candidate_set, legacy_selection_latency, on_demand_rac, rac_processing_latency,
-    tag_candidates, workload_local_as,
+    candidate_set, legacy_selection_latency, on_demand_rac, rac_processing_latency, tag_candidates,
+    workload_local_as,
 };
 use std::time::Duration;
 

@@ -105,7 +105,20 @@ mod tests {
 
     #[test]
     fn parses_known_keys() {
-        let a = parse(&["--ases", "120", "--rounds", "12", "--seed", "99", "--pd-pairs", "3", "--reps", "2", "--max-racs", "4"]);
+        let a = parse(&[
+            "--ases",
+            "120",
+            "--rounds",
+            "12",
+            "--seed",
+            "99",
+            "--pd-pairs",
+            "3",
+            "--reps",
+            "2",
+            "--max-racs",
+            "4",
+        ]);
         assert_eq!(a.ases, 120);
         assert_eq!(a.rounds, 12);
         assert_eq!(a.seed, 99);

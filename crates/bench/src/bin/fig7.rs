@@ -65,7 +65,10 @@ fn measure_point(phi: usize, racs: usize, seed: u64) -> String {
                 processed
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker thread")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .sum()
     });
     fmt_pcbs_per_sec(total, start.elapsed())
 }

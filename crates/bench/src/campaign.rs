@@ -8,7 +8,9 @@ use irec_metrics::tlf::tlf_per_as_pair;
 use irec_metrics::{Cdf, RegisteredPath};
 use irec_sim::{PdWorkflow, Simulation, SimulationConfig};
 use irec_topology::pop::{points_of_presence, DEFAULT_POP_RADIUS_KM};
-use irec_topology::{GeneratorConfig, GroupingConfig, PointOfPresence, Topology, TopologyGenerator};
+use irec_topology::{
+    GeneratorConfig, GroupingConfig, PointOfPresence, Topology, TopologyGenerator,
+};
 use irec_types::{AsId, Result};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -46,7 +48,11 @@ impl Fig8Data {
     pub fn relative_delay_cdf(&self, topology: &Topology, series: &str, missing_ratio: f64) -> Cdf {
         let baseline = self.pop_delays(topology, "1SP");
         let series_delays = self.pop_delays(topology, series);
-        Cdf::new(relative_to_baseline(&series_delays, &baseline, missing_ratio))
+        Cdf::new(relative_to_baseline(
+            &series_delays,
+            &baseline,
+            missing_ratio,
+        ))
     }
 
     /// The Fig. 8b CDF of tolerable link failures for a push-based series.
@@ -96,9 +102,11 @@ pub struct Fig8Campaign {
 impl Fig8Campaign {
     /// Creates the campaign for the given arguments (topology size, rounds, seed, PD pairs).
     pub fn new(args: BenchArgs) -> Self {
-        let mut config = GeneratorConfig::default();
-        config.num_ases = args.ases;
-        config.seed = args.seed;
+        let config = GeneratorConfig {
+            num_ases: args.ases,
+            seed: args.seed,
+            ..Default::default()
+        };
         let topology = Arc::new(TopologyGenerator::new(config).generate());
         Fig8Campaign { args, topology }
     }
@@ -197,7 +205,8 @@ impl Fig8Campaign {
         }
 
         let pd_overhead = self.run_pd(&mut data)?;
-        data.overhead_by_series.insert("PD".to_string(), pd_overhead);
+        data.overhead_by_series
+            .insert("PD".to_string(), pd_overhead);
         Ok(data)
     }
 }

@@ -98,12 +98,7 @@ pub fn candidate_set(phi: usize, seed: u64) -> Vec<StoredBeacon> {
 /// so extended-path optimization has something to chew on.
 pub fn workload_local_as() -> AsNode {
     let mut node = AsNode::new(WORKLOAD_LOCAL_AS, Tier::Tier2);
-    let locations = [
-        (47.37, 8.54),
-        (50.11, 8.68),
-        (40.71, -74.0),
-        (1.35, 103.82),
-    ];
+    let locations = [(47.37, 8.54), (50.11, 8.68), (40.71, -74.0), (1.35, 103.82)];
     for (i, (lat, lon)) in locations.iter().enumerate() {
         let ifid = IfId(i as u32 + 1);
         node.interfaces.insert(
@@ -123,7 +118,11 @@ pub fn workload_local_as() -> AsNode {
 /// SCION selection (20 shortest paths), shipped as an IRVM module and fetched/verified like
 /// any on-demand algorithm — "our RAC implementation, configured as an on-demand RAC (i.e.,
 /// the one with higher overhead)".
-pub fn on_demand_rac() -> (Rac, Vec<StoredBeacon> /* template tagging */, SharedAlgorithmStore) {
+pub fn on_demand_rac() -> (
+    Rac,
+    Vec<StoredBeacon>, /* template tagging */
+    SharedAlgorithmStore,
+) {
     let store = SharedAlgorithmStore::new();
     let program = irec_irvm::programs::shortest_path(20);
     let reference = store.publish(WORKLOAD_ORIGIN, AlgorithmId(1), program.to_module_bytes());
@@ -141,7 +140,10 @@ pub fn on_demand_rac() -> (Rac, Vec<StoredBeacon> /* template tagging */, Shared
 /// Tags a candidate set with the on-demand algorithm reference so an on-demand RAC processes
 /// it (origins embed the reference when originating). Signatures are recomputed because the
 /// extension is part of the signed header.
-pub fn tag_candidates(candidates: &[StoredBeacon], store: &SharedAlgorithmStore) -> Vec<StoredBeacon> {
+pub fn tag_candidates(
+    candidates: &[StoredBeacon],
+    store: &SharedAlgorithmStore,
+) -> Vec<StoredBeacon> {
     let registry = KeyRegistry::with_ases(7, 64);
     let program = irec_irvm::programs::shortest_path(20);
     let reference = store.publish(WORKLOAD_ORIGIN, AlgorithmId(1), program.to_module_bytes());
@@ -157,8 +159,13 @@ pub fn tag_candidates(candidates: &[StoredBeacon], store: &SharedAlgorithmStore)
             );
             for entry in &stored.pcb.entries {
                 let signer = Signer::new(entry.hop.asn, registry.clone());
-                pcb.extend(entry.hop.ingress, entry.hop.egress, entry.static_info, &signer)
-                    .expect("re-tagging preserves validity");
+                pcb.extend(
+                    entry.hop.ingress,
+                    entry.hop.egress,
+                    entry.static_info,
+                    &signer,
+                )
+                .expect("re-tagging preserves validity");
             }
             StoredBeacon {
                 pcb,
@@ -201,7 +208,9 @@ pub fn legacy_selection_latency(candidates: &[StoredBeacon], local_as: &AsNode) 
     let egress: Vec<IfId> = local_as.interfaces.keys().copied().collect();
     let ctx = AlgorithmContext::new(local_as, egress, 20);
     let start = std::time::Instant::now();
-    let _ = algorithm.select(&batch, &ctx).expect("legacy selection succeeds");
+    let _ = algorithm
+        .select(&batch, &ctx)
+        .expect("legacy selection succeeds");
     start.elapsed()
 }
 

@@ -57,7 +57,10 @@ impl IngressDb {
         }
         let key = BatchKey {
             origin: pcb.origin,
-            group: pcb.extensions.interface_group.unwrap_or(InterfaceGroupId::DEFAULT),
+            group: pcb
+                .extensions
+                .interface_group
+                .unwrap_or(InterfaceGroupId::DEFAULT),
             target: pcb.extensions.target,
         };
         self.by_key.entry(key).or_default().push(StoredBeacon {
@@ -77,13 +80,23 @@ impl IngressDb {
     pub fn beacons_for(&self, key: &BatchKey, now: SimTime) -> Vec<StoredBeacon> {
         self.by_key
             .get(key)
-            .map(|v| v.iter().filter(|b| !b.pcb.is_expired(now)).cloned().collect())
+            .map(|v| {
+                v.iter()
+                    .filter(|b| !b.pcb.is_expired(now))
+                    .cloned()
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
     /// The stored beacons for one origin across all its interface groups, merged into one
     /// list — what a RAC with `use_interface_groups` disabled processes.
-    pub fn beacons_for_origin(&self, origin: AsId, target: Option<AsId>, now: SimTime) -> Vec<StoredBeacon> {
+    pub fn beacons_for_origin(
+        &self,
+        origin: AsId,
+        target: Option<AsId>,
+        now: SimTime,
+    ) -> Vec<StoredBeacon> {
         self.by_key
             .iter()
             .filter(|(k, _)| k.origin == origin && k.target == target)
@@ -177,7 +190,9 @@ impl EgressDb {
     /// removed.
     pub fn evict_expired(&mut self, now: SimTime) -> usize {
         let mut removed = 0;
-        let still_valid = self.expiry.split_off(&SimTime::from_micros(now.as_micros() + 1));
+        let still_valid = self
+            .expiry
+            .split_off(&SimTime::from_micros(now.as_micros() + 1));
         for (_, ids) in std::mem::replace(&mut self.expiry, still_valid) {
             for id in ids {
                 if self.propagated.remove(&id).is_some() {
@@ -226,7 +241,11 @@ mod tests {
         assert_eq!(db.len(), 3);
         let keys = db.batch_keys();
         assert_eq!(keys.len(), 2);
-        let key1 = BatchKey { origin: AsId(1), group: InterfaceGroupId::DEFAULT, target: None };
+        let key1 = BatchKey {
+            origin: AsId(1),
+            group: InterfaceGroupId::DEFAULT,
+            target: None,
+        };
         assert_eq!(db.beacons_for(&key1, SimTime::ZERO).len(), 2);
     }
 
@@ -244,7 +263,12 @@ mod tests {
         let mut db = IngressDb::new();
         db.insert(pcb(1, 0, PcbExtensions::none(), 6), IfId(1), SimTime::ZERO);
         db.insert(
-            pcb(1, 1, PcbExtensions::none().with_interface_group(InterfaceGroupId(2)), 6),
+            pcb(
+                1,
+                1,
+                PcbExtensions::none().with_interface_group(InterfaceGroupId(2)),
+                6,
+            ),
             IfId(1),
             SimTime::ZERO,
         );
@@ -256,7 +280,11 @@ mod tests {
         assert_eq!(db.batch_keys().len(), 3);
         // Merged view across groups for a RAC without interface-group processing.
         assert_eq!(db.beacons_for_origin(AsId(1), None, SimTime::ZERO).len(), 2);
-        assert_eq!(db.beacons_for_origin(AsId(1), Some(AsId(9)), SimTime::ZERO).len(), 1);
+        assert_eq!(
+            db.beacons_for_origin(AsId(1), Some(AsId(9)), SimTime::ZERO)
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -264,7 +292,11 @@ mod tests {
         let mut db = IngressDb::new();
         db.insert(pcb(1, 0, PcbExtensions::none(), 1), IfId(1), SimTime::ZERO);
         db.insert(pcb(1, 1, PcbExtensions::none(), 10), IfId(1), SimTime::ZERO);
-        let key = BatchKey { origin: AsId(1), group: InterfaceGroupId::DEFAULT, target: None };
+        let key = BatchKey {
+            origin: AsId(1),
+            group: InterfaceGroupId::DEFAULT,
+            target: None,
+        };
         let later = SimTime::ZERO + SimDuration::from_hours(2);
         assert_eq!(db.beacons_for(&key, later).len(), 1);
         let evicted = db.evict_expired(later, SimDuration::ZERO);

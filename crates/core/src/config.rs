@@ -192,7 +192,12 @@ mod tests {
     #[test]
     fn static_rac_defaults() {
         let c = RacConfig::static_rac("DO", "DO");
-        assert_eq!(c.kind, RacKind::Static { algorithm: "DO".into() });
+        assert_eq!(
+            c.kind,
+            RacKind::Static {
+                algorithm: "DO".into()
+            }
+        );
         assert!(!c.extend_paths);
         assert_eq!(c.max_selected, 20);
     }

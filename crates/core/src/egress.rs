@@ -295,7 +295,9 @@ impl EgressGateway {
         let link = self.topology.link_at(self.local_as, egress)?;
         let interface = self.topology.interface(self.local_as, egress)?;
         let node = self.topology.as_node(self.local_as)?;
-        let intra = node.intra_latency(beacon.ingress, egress).unwrap_or_default();
+        let intra = node
+            .intra_latency(beacon.ingress, egress)
+            .unwrap_or_default();
 
         let mut pcb = beacon.pcb.clone();
         let info = StaticInfo {
@@ -350,7 +352,12 @@ mod tests {
         )
     }
 
-    fn received_beacon(registry: &KeyRegistry, origin: u64, via_egress: u32, local_ingress: u32) -> StoredBeacon {
+    fn received_beacon(
+        registry: &KeyRegistry,
+        origin: u64,
+        via_egress: u32,
+        local_ingress: u32,
+    ) -> StoredBeacon {
         let signer = Signer::new(AsId(origin), registry.clone());
         let mut pcb = Pcb::originate(
             AsId(origin),
@@ -387,8 +394,17 @@ mod tests {
     fn origination_creates_signed_beacons_per_interface() {
         let (mut gw, registry, topo) = gateway(PropagationPolicy::All);
         // AS2's interfaces: if1 (to AS1), if2 (to AS3), if3 (to AS4).
-        let spec = OriginationSpec::plain(topo.as_node(AsId(2)).unwrap().interfaces.keys().copied().collect());
-        let messages = gw.originate(&spec, SimTime::ZERO, SimDuration::from_hours(6)).unwrap();
+        let spec = OriginationSpec::plain(
+            topo.as_node(AsId(2))
+                .unwrap()
+                .interfaces
+                .keys()
+                .copied()
+                .collect(),
+        );
+        let messages = gw
+            .originate(&spec, SimTime::ZERO, SimDuration::from_hours(6))
+            .unwrap();
         assert_eq!(messages.len(), 3);
         let verifier = Verifier::new(registry);
         for m in &messages {
@@ -410,7 +426,9 @@ mod tests {
         groups.insert(InterfaceGroupId(1), vec![IfId(1)]);
         groups.insert(InterfaceGroupId(2), vec![IfId(2), IfId(3)]);
         let spec = OriginationSpec::grouped(groups);
-        let messages = gw.originate(&spec, SimTime::ZERO, SimDuration::from_hours(1)).unwrap();
+        let messages = gw
+            .originate(&spec, SimTime::ZERO, SimDuration::from_hours(1))
+            .unwrap();
         assert_eq!(messages.len(), 3);
         for m in &messages {
             let group = m.pcb.extensions.interface_group.unwrap();
@@ -510,7 +528,11 @@ mod tests {
             &signer,
         )
         .unwrap();
-        let beacon = StoredBeacon { pcb, ingress: IfId(1), received_at: SimTime::ZERO };
+        let beacon = StoredBeacon {
+            pcb,
+            ingress: IfId(1),
+            received_at: SimTime::ZERO,
+        };
         let outputs = vec![output("od", beacon, vec![IfId(2), IfId(3)])];
         let (messages, returns) = gw.process_outputs(outputs, SimTime::ZERO).unwrap();
         assert!(messages.is_empty());
@@ -523,10 +545,19 @@ mod tests {
     #[test]
     fn sent_counters_can_be_drained_per_period() {
         let (mut gw, registry, topo) = gateway(PropagationPolicy::All);
-        let spec = OriginationSpec::plain(topo.as_node(AsId(2)).unwrap().interfaces.keys().copied().collect());
-        gw.originate(&spec, SimTime::ZERO, SimDuration::from_hours(1)).unwrap();
+        let spec = OriginationSpec::plain(
+            topo.as_node(AsId(2))
+                .unwrap()
+                .interfaces
+                .keys()
+                .copied()
+                .collect(),
+        );
+        gw.originate(&spec, SimTime::ZERO, SimDuration::from_hours(1))
+            .unwrap();
         let beacon = received_beacon(&registry, 1, 1, 1);
-        gw.process_outputs(vec![output("1SP", beacon, vec![IfId(2)])], SimTime::ZERO).unwrap();
+        gw.process_outputs(vec![output("1SP", beacon, vec![IfId(2)])], SimTime::ZERO)
+            .unwrap();
         let counters = gw.take_sent_counters();
         assert_eq!(counters.values().sum::<u64>(), 4);
         // Drained: the next period starts from zero.

@@ -125,9 +125,21 @@ mod tests {
             PcbExtensions::none(),
         );
         let info = StaticInfo::origin(Latency::from_millis(10), Bandwidth::from_mbps(100), None);
-        pcb.extend(IfId::NONE, IfId(1), info, &Signer::new(AsId(origin), reg.clone())).unwrap();
+        pcb.extend(
+            IfId::NONE,
+            IfId(1),
+            info,
+            &Signer::new(AsId(origin), reg.clone()),
+        )
+        .unwrap();
         for asn in through {
-            pcb.extend(IfId(2), IfId(3), info, &Signer::new(AsId(*asn), reg.clone())).unwrap();
+            pcb.extend(
+                IfId(2),
+                IfId(3),
+                info,
+                &Signer::new(AsId(*asn), reg.clone()),
+            )
+            .unwrap();
         }
         pcb
     }
@@ -136,7 +148,8 @@ mod tests {
     fn accepts_valid_beacon() {
         let reg = registry();
         let mut gw = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
-        gw.receive(beacon(&reg, 1, &[2, 3], 6), IfId(7), SimTime::ZERO).unwrap();
+        gw.receive(beacon(&reg, 1, &[2, 3], 6), IfId(7), SimTime::ZERO)
+            .unwrap();
         assert_eq!(gw.stats().accepted, 1);
         assert_eq!(gw.db().len(), 1);
     }

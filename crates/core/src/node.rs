@@ -195,15 +195,19 @@ impl IrecNode {
             }
             _ => OriginationSpec::plain(all_interfaces.clone()),
         };
-        output
-            .messages
-            .extend(self.egress.originate(&base_spec, now, self.config.beacon_validity)?);
+        output.messages.extend(self.egress.originate(
+            &base_spec,
+            now,
+            self.config.beacon_validity,
+        )?);
         if self.config.irec_enabled {
             let extra = self.extra_originations.clone();
             for spec in &extra {
-                output
-                    .messages
-                    .extend(self.egress.originate(spec, now, self.config.beacon_validity)?);
+                output.messages.extend(self.egress.originate(
+                    spec,
+                    now,
+                    self.config.beacon_validity,
+                )?);
             }
         }
 
@@ -211,7 +215,8 @@ impl IrecNode {
         let local_as = self.topology.as_node(self.asn)?;
         let mut all_outputs = Vec::new();
         for rac in &mut self.racs {
-            let (outputs, timing) = rac.process(self.ingress.db(), local_as, &all_interfaces, now)?;
+            let (outputs, timing) =
+                rac.process(self.ingress.db(), local_as, &all_interfaces, now)?;
             output.timing.accumulate(&timing);
             all_outputs.extend(outputs);
         }
@@ -239,7 +244,10 @@ mod tests {
     use irec_topology::builder::figure1_topology;
     use irec_types::SimDuration;
 
-    fn setup(asn: u64, config: NodeConfig) -> (IrecNode, Arc<Topology>, KeyRegistry, SharedAlgorithmStore) {
+    fn setup(
+        asn: u64,
+        config: NodeConfig,
+    ) -> (IrecNode, Arc<Topology>, KeyRegistry, SharedAlgorithmStore) {
         let topology = Arc::new(figure1_topology());
         let registry = KeyRegistry::with_ases(1, 16);
         let store = SharedAlgorithmStore::new();
@@ -260,7 +268,10 @@ mod tests {
         let out = node.beaconing_round(SimTime::ZERO).unwrap();
         let degree = topology.as_node(AsId(3)).unwrap().degree();
         assert_eq!(out.messages.len(), degree);
-        assert_eq!(out.sent_per_interface.values().sum::<u64>() as usize, degree);
+        assert_eq!(
+            out.sent_per_interface.values().sum::<u64>() as usize,
+            degree
+        );
         assert_eq!(node.rounds(), 1);
     }
 

@@ -189,7 +189,11 @@ mod tests {
         ps.register(path(1, "HD", 2, 10));
         ps.register(path(1, "HD", 3, 20));
         assert_eq!(ps.len(), 2);
-        let ids: Vec<u8> = ps.paths_to(AsId(1)).iter().map(|p| p.pcb_id.0 .0[0]).collect();
+        let ids: Vec<u8> = ps
+            .paths_to(AsId(1))
+            .iter()
+            .map(|p| p.pcb_id.0 .0[0])
+            .collect();
         assert!(!ids.contains(&1), "stalest registration must be evicted");
         assert!(ids.contains(&2) && ids.contains(&3));
     }

@@ -18,8 +18,7 @@
 use crate::beacon_db::{BatchKey, IngressDb, StoredBeacon};
 use crate::config::{RacConfig, RacKind};
 use irec_algorithms::{
-    catalog, ondemand::IrvmAlgorithm, AlgorithmContext, Candidate, CandidateBatch,
-    RoutingAlgorithm,
+    catalog, ondemand::IrvmAlgorithm, AlgorithmContext, Candidate, CandidateBatch, RoutingAlgorithm,
 };
 use irec_pcb::AlgorithmRef;
 use irec_topology::AsNode;
@@ -49,8 +48,11 @@ pub trait AlgorithmFetcher: Send + Sync {
 /// here, on-demand RACs fetch from it.
 #[derive(Debug, Clone, Default)]
 pub struct SharedAlgorithmStore {
-    inner: Arc<RwLock<HashMap<(AsId, AlgorithmId), Vec<u8>>>>,
+    inner: Arc<RwLock<AlgorithmModules>>,
 }
+
+/// Published on-demand algorithm modules, keyed by (origin AS, algorithm id).
+type AlgorithmModules = HashMap<(AsId, AlgorithmId), Vec<u8>>;
 
 impl SharedAlgorithmStore {
     /// Creates an empty store.
@@ -215,7 +217,9 @@ impl Rac {
     /// Creates an on-demand RAC fetching executables through `fetcher`.
     pub fn new_on_demand(config: RacConfig, fetcher: Arc<dyn AlgorithmFetcher>) -> Result<Self> {
         if config.kind != RacKind::OnDemand {
-            return Err(IrecError::config("new_on_demand requires an on-demand RacConfig"));
+            return Err(IrecError::config(
+                "new_on_demand requires an on-demand RacConfig",
+            ));
         }
         Ok(Rac {
             config,
@@ -291,7 +295,9 @@ impl Rac {
         let mut keys: Vec<BatchKey> = db
             .batch_keys()
             .into_iter()
-            .filter(|k| self.config.process_pull_based || k.target.is_none() || self.ignore_extensions)
+            .filter(|k| {
+                self.config.process_pull_based || k.target.is_none() || self.ignore_extensions
+            })
             .collect();
         if !self.config.use_interface_groups && !self.ignore_extensions {
             // Collapse groups: keep one representative key per (origin, target).
@@ -349,9 +355,7 @@ impl Rac {
                 // All candidates of an on-demand batch carry the same origin; the algorithm
                 // reference must be present and identical (the ingress DB already groups by
                 // origin, and an origin uses one algorithm per PCB).
-                let Some(reference) = candidates
-                    .iter()
-                    .find_map(|c| c.pcb.extensions.algorithm)
+                let Some(reference) = candidates.iter().find_map(|c| c.pcb.extensions.algorithm)
                 else {
                     // Nothing to do for plain beacons — an on-demand RAC only runs algorithms
                     // shipped in PCBs.
@@ -413,7 +417,10 @@ impl Rac {
                 beacon: StoredBeacon {
                     pcb: candidate.pcb.clone(),
                     ingress: candidate.ingress,
-                    received_at: received_at.get(original_idx).copied().unwrap_or(SimTime::ZERO),
+                    received_at: received_at
+                        .get(original_idx)
+                        .copied()
+                        .unwrap_or(SimTime::ZERO),
                 },
                 egress_ifs,
             });
@@ -450,7 +457,8 @@ impl Rac {
             &bytes,
             irec_irvm::ExecutionLimits::ON_DEMAND_RAC,
         )?);
-        self.cache.insert((origin, reference.id), Arc::clone(&algorithm));
+        self.cache
+            .insert((origin, reference.id), Arc::clone(&algorithm));
         Ok(algorithm)
     }
 }
@@ -497,7 +505,11 @@ mod tests {
             extensions,
         );
         for (i, (lat, bw)) in hops.iter().enumerate() {
-            let asn = if i == 0 { AsId(origin) } else { AsId(origin + i as u64 * 10) };
+            let asn = if i == 0 {
+                AsId(origin)
+            } else {
+                AsId(origin + i as u64 * 10)
+            };
             let info = StaticInfo {
                 link_latency: Latency::from_millis(*lat),
                 link_bandwidth: Bandwidth::from_mbps(*bw),
@@ -505,7 +517,8 @@ mod tests {
                 egress_location: None,
             };
             let ingress = if i == 0 { IfId::NONE } else { IfId(1) };
-            pcb.extend(ingress, IfId(2), info, &Signer::new(asn, reg.clone())).unwrap();
+            pcb.extend(ingress, IfId(2), info, &Signer::new(asn, reg.clone()))
+                .unwrap();
         }
         pcb
     }
@@ -528,7 +541,10 @@ mod tests {
     fn static_rac_selects_per_egress() {
         let reg = registry();
         let db = ingress_db_with(vec![
-            (beacon(&reg, 1, &[(10, 10), (10, 10)], PcbExtensions::none()), 1),
+            (
+                beacon(&reg, 1, &[(10, 10), (10, 10)], PcbExtensions::none()),
+                1,
+            ),
             (beacon(&reg, 1, &[(5, 100)], PcbExtensions::none()), 2),
         ]);
         let mut rac = Rac::new_static(RacConfig::static_rac("1SP", "1SP")).unwrap();
@@ -558,17 +574,26 @@ mod tests {
     #[test]
     fn static_rac_skips_pull_based_batches_unless_enabled() {
         let reg = registry();
-        let pull = beacon(&reg, 1, &[(10, 10)], PcbExtensions::none().with_target(AsId(50)));
+        let pull = beacon(
+            &reg,
+            1,
+            &[(10, 10)],
+            PcbExtensions::none().with_target(AsId(50)),
+        );
         let db = ingress_db_with(vec![(pull, 1)]);
         let node = local_as();
 
         let mut plain = Rac::new_static(RacConfig::static_rac("1SP", "1SP")).unwrap();
-        let (outputs, _) = plain.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap();
+        let (outputs, _) = plain
+            .process(&db, &node, &[IfId(2)], SimTime::ZERO)
+            .unwrap();
         assert!(outputs.is_empty());
 
         let mut pull_enabled =
             Rac::new_static(RacConfig::static_rac("1SP", "1SP").with_pull_based(true)).unwrap();
-        let (outputs, _) = pull_enabled.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap();
+        let (outputs, _) = pull_enabled
+            .process(&db, &node, &[IfId(2)], SimTime::ZERO)
+            .unwrap();
         assert_eq!(outputs.len(), 1);
     }
 
@@ -591,16 +616,19 @@ mod tests {
         let node = local_as();
 
         // Group-aware RAC: one selection per group => both beacons selected by 1SP.
-        let mut grouped = Rac::new_static(
-            RacConfig::static_rac("1SP", "1SP").with_interface_groups(true),
-        )
-        .unwrap();
-        let (outputs, _) = grouped.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap();
+        let mut grouped =
+            Rac::new_static(RacConfig::static_rac("1SP", "1SP").with_interface_groups(true))
+                .unwrap();
+        let (outputs, _) = grouped
+            .process(&db, &node, &[IfId(2)], SimTime::ZERO)
+            .unwrap();
         assert_eq!(outputs.len(), 2);
 
         // Group-oblivious RAC: groups merged, 1SP keeps only the single shortest beacon.
         let mut merged = Rac::new_static(RacConfig::static_rac("1SP", "1SP")).unwrap();
-        let (outputs, _) = merged.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap();
+        let (outputs, _) = merged
+            .process(&db, &node, &[IfId(2)], SimTime::ZERO)
+            .unwrap();
         assert_eq!(outputs.len(), 1);
     }
 
@@ -627,11 +655,8 @@ mod tests {
         let db = ingress_db_with(vec![(thin, 1), (wide, 1), (plain, 1)]);
         let node = local_as();
 
-        let mut rac = Rac::new_on_demand(
-            RacConfig::on_demand_rac("od"),
-            Arc::new(store.clone()),
-        )
-        .unwrap();
+        let mut rac =
+            Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store.clone())).unwrap();
         let (outputs, timing) = rac.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap();
         // Both algorithm-carrying beacons are selectable; the widest ranks first, and the
         // plain beacon is never processed by the on-demand RAC.
@@ -655,12 +680,18 @@ mod tests {
         // Publish one module but reference a different hash in the PCB.
         store.publish(AsId(1), AlgorithmId(7), program.to_module_bytes());
         let bogus_ref = AlgorithmRef::new(AlgorithmId(7), irec_crypto::sha256(b"something else"));
-        let pcb = beacon(&reg, 1, &[(10, 10)], PcbExtensions::none().with_algorithm(bogus_ref));
+        let pcb = beacon(
+            &reg,
+            1,
+            &[(10, 10)],
+            PcbExtensions::none().with_algorithm(bogus_ref),
+        );
         let db = ingress_db_with(vec![(pcb, 1)]);
         let node = local_as();
-        let mut rac =
-            Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store)).unwrap();
-        let err = rac.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap_err();
+        let mut rac = Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store)).unwrap();
+        let err = rac
+            .process(&db, &node, &[IfId(2)], SimTime::ZERO)
+            .unwrap_err();
         assert_eq!(err.category(), "verification");
         assert_eq!(rac.cached_algorithms(), 0);
     }
@@ -675,12 +706,19 @@ mod tests {
         }
         let reg = registry();
         let reference = AlgorithmRef::new(AlgorithmId(1), irec_crypto::sha256(b"x"));
-        let pcb = beacon(&reg, 1, &[(10, 10)], PcbExtensions::none().with_algorithm(reference));
+        let pcb = beacon(
+            &reg,
+            1,
+            &[(10, 10)],
+            PcbExtensions::none().with_algorithm(reference),
+        );
         let db = ingress_db_with(vec![(pcb, 1)]);
         let node = local_as();
         let mut rac =
             Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(HugeFetcher)).unwrap();
-        let err = rac.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap_err();
+        let err = rac
+            .process(&db, &node, &[IfId(2)], SimTime::ZERO)
+            .unwrap_err();
         assert_eq!(err.category(), "resource-limit");
     }
 
@@ -689,12 +727,18 @@ mod tests {
         let reg = registry();
         let store = SharedAlgorithmStore::new();
         let reference = AlgorithmRef::new(AlgorithmId(99), irec_crypto::sha256(b"y"));
-        let pcb = beacon(&reg, 1, &[(10, 10)], PcbExtensions::none().with_algorithm(reference));
+        let pcb = beacon(
+            &reg,
+            1,
+            &[(10, 10)],
+            PcbExtensions::none().with_algorithm(reference),
+        );
         let db = ingress_db_with(vec![(pcb, 1)]);
         let node = local_as();
-        let mut rac =
-            Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store)).unwrap();
-        let err = rac.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap_err();
+        let mut rac = Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store)).unwrap();
+        let err = rac
+            .process(&db, &node, &[IfId(2)], SimTime::ZERO)
+            .unwrap_err();
         assert_eq!(err.category(), "not-found");
     }
 

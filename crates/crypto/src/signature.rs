@@ -35,7 +35,12 @@ impl Signature {
 
 impl fmt::Debug for Signature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Signature({}, {})", self.signer, &self.tag.to_hex()[..12])
+        write!(
+            f,
+            "Signature({}, {})",
+            self.signer,
+            &self.tag.to_hex()[..12]
+        )
     }
 }
 
@@ -94,7 +99,12 @@ impl Verifier {
     }
 
     /// Verifies and additionally checks the claimed signer.
-    pub fn verify_from(&self, expected_signer: AsId, message: &[u8], signature: &Signature) -> Result<()> {
+    pub fn verify_from(
+        &self,
+        expected_signer: AsId,
+        message: &[u8],
+        signature: &Signature,
+    ) -> Result<()> {
         if signature.signer != expected_signer {
             return Err(IrecError::verification(format!(
                 "signature claims {} but hop belongs to {}",

@@ -78,7 +78,10 @@ pub fn assemble(source: &str) -> Result<Program> {
         if let Some(label) = line.strip_suffix(':') {
             let label = label.trim();
             if label.is_empty() || labels.insert(label.to_string(), instr_index).is_some() {
-                return Err(err(lineno, &format!("invalid or duplicate label '{label}'")));
+                return Err(err(
+                    lineno,
+                    &format!("invalid or duplicate label '{label}'"),
+                ));
             }
             continue;
         }
@@ -119,9 +122,12 @@ fn parse_target(lineno: usize, token: &str, labels: &HashMap<String, u32>) -> Re
     if let Some(&target) = labels.get(token) {
         return Ok(target);
     }
-    token
-        .parse()
-        .map_err(|_| err(lineno, &format!("unknown label or invalid target '{token}'")))
+    token.parse().map_err(|_| {
+        err(
+            lineno,
+            &format!("unknown label or invalid target '{token}'"),
+        )
+    })
 }
 
 fn parse_instruction(
@@ -135,7 +141,7 @@ fn parse_instruction(
     if parts.next().is_some() {
         return Err(err(lineno, "too many operands"));
     }
-    fn need<'a>(lineno: usize, op: Option<&'a str>) -> Result<&'a str> {
+    fn need(lineno: usize, op: Option<&str>) -> Result<&str> {
         op.ok_or_else(|| err(lineno, "missing operand"))
     }
 
@@ -256,10 +262,9 @@ mod tests {
 
     #[test]
     fn assemble_simple_program() {
-        let p = assemble(
-            "; lowest latency\n.name latency\n.select 5\npush_metric latency\naccept\n",
-        )
-        .unwrap();
+        let p =
+            assemble("; lowest latency\n.name latency\n.select 5\npush_metric latency\naccept\n")
+                .unwrap();
         assert_eq!(p.meta.name, "latency");
         assert_eq!(p.meta.max_selected, 5);
         assert_eq!(p.code.len(), 2);
@@ -365,14 +370,42 @@ mod tests {
     fn all_mnemonics_disassemble_and_reassemble() {
         use crate::bytecode::Instruction as I;
         let p = Program {
-            meta: ProgramMeta { name: "all".into(), max_selected: 3 },
+            meta: ProgramMeta {
+                name: "all".into(),
+                max_selected: 3,
+            },
             avoid_links: vec![(AsId(1), IfId(2))],
             code: vec![
-                I::Push(-5), I::PushMetric(MetricKind::Latency), I::PushMetric(MetricKind::Bandwidth),
-                I::PushMetric(MetricKind::HopCount), I::PushMetric(MetricKind::LinkCount),
-                I::PushAvoidHit, I::PushIndex, I::Dup, I::Swap, I::Drop, I::Add, I::Sub, I::Mul,
-                I::Div, I::Neg, I::Min, I::Max, I::Lt, I::Le, I::Gt, I::Ge, I::Eq, I::Ne, I::And,
-                I::Or, I::Not, I::Jump(27), I::JumpIfZero(27), I::Reject, I::Accept,
+                I::Push(-5),
+                I::PushMetric(MetricKind::Latency),
+                I::PushMetric(MetricKind::Bandwidth),
+                I::PushMetric(MetricKind::HopCount),
+                I::PushMetric(MetricKind::LinkCount),
+                I::PushAvoidHit,
+                I::PushIndex,
+                I::Dup,
+                I::Swap,
+                I::Drop,
+                I::Add,
+                I::Sub,
+                I::Mul,
+                I::Div,
+                I::Neg,
+                I::Min,
+                I::Max,
+                I::Lt,
+                I::Le,
+                I::Gt,
+                I::Ge,
+                I::Eq,
+                I::Ne,
+                I::And,
+                I::Or,
+                I::Not,
+                I::Jump(27),
+                I::JumpIfZero(27),
+                I::Reject,
+                I::Accept,
             ],
         };
         let text = disassemble(&p);

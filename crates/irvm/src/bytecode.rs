@@ -124,9 +124,7 @@ impl Encode for Instruction {
                 writer.put_varint(zigzag_encode(*v));
             }
             Instruction::PushMetric(kind) => writer.put_u8(kind.tag()),
-            Instruction::Jump(target) | Instruction::JumpIfZero(target) => {
-                writer.put_u32v(*target)
-            }
+            Instruction::Jump(target) | Instruction::JumpIfZero(target) => writer.put_u32v(*target),
             _ => {}
         }
     }
@@ -380,17 +378,17 @@ mod tests {
 
     #[test]
     fn validation_rejects_out_of_range_jump() {
-        let p = Program::new("bad-jump", 20, vec![Instruction::Jump(5), Instruction::Accept]);
+        let p = Program::new(
+            "bad-jump",
+            20,
+            vec![Instruction::Jump(5), Instruction::Accept],
+        );
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn validation_rejects_oversized_code() {
-        let p = Program::new(
-            "huge",
-            20,
-            vec![Instruction::Push(0); MAX_CODE_LEN + 1],
-        );
+        let p = Program::new("huge", 20, vec![Instruction::Push(0); MAX_CODE_LEN + 1]);
         assert!(p.validate().is_err());
     }
 

@@ -404,7 +404,14 @@ mod tests {
     #[test]
     fn infinite_loop_exhausts_fuel() {
         let p = Program::new("spin", 20, vec![Instruction::Jump(0)]);
-        let interp = Interpreter::new(p, ExecutionLimits { fuel: 1000, max_stack: 16 }).unwrap();
+        let interp = Interpreter::new(
+            p,
+            ExecutionLimits {
+                fuel: 1000,
+                max_stack: 16,
+            },
+        )
+        .unwrap();
         let err = interp.evaluate(&candidate(0, 1, 1, 1)).unwrap_err();
         assert_eq!(err.category(), "resource-limit");
     }
@@ -417,7 +424,14 @@ mod tests {
             20,
             vec![Instruction::Push(1), Instruction::Jump(0)],
         );
-        let interp = Interpreter::new(p, ExecutionLimits { fuel: 100_000, max_stack: 32 }).unwrap();
+        let interp = Interpreter::new(
+            p,
+            ExecutionLimits {
+                fuel: 100_000,
+                max_stack: 32,
+            },
+        )
+        .unwrap();
         let err = interp.evaluate(&candidate(0, 1, 1, 1)).unwrap_err();
         assert_eq!(err.category(), "resource-limit");
     }
@@ -469,7 +483,11 @@ mod tests {
             ],
         );
         let interp = Interpreter::new(p, ExecutionLimits::default()).unwrap();
-        let candidates = vec![candidate(0, 1, 1, 3), candidate(1, 1, 1, 2), candidate(2, 1, 1, 4)];
+        let candidates = vec![
+            candidate(0, 1, 1, 3),
+            candidate(1, 1, 1, 2),
+            candidate(2, 1, 1, 4),
+        ];
         let verdicts = interp.evaluate_batch(&candidates);
         assert!(verdicts[0].is_accepted());
         assert_eq!(verdicts[1], Verdict::Rejected);

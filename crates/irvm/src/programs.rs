@@ -122,7 +122,13 @@ mod tests {
     use crate::exec::{CandidateView, ExecutionLimits, Interpreter, Verdict};
     use irec_types::{Bandwidth, PathMetrics};
 
-    fn candidate(index: u64, latency_ms: u64, bw_mbps: u64, hops: u32, links: Vec<(AsId, IfId)>) -> CandidateView {
+    fn candidate(
+        index: u64,
+        latency_ms: u64,
+        bw_mbps: u64,
+        hops: u32,
+        links: Vec<(AsId, IfId)>,
+    ) -> CandidateView {
         CandidateView::new(
             index,
             PathMetrics {
@@ -140,7 +146,13 @@ mod tests {
         vec![
             candidate(0, 20, 10, 2, vec![(AsId(1), IfId(1)), (AsId(2), IfId(2))]),
             candidate(1, 30, 100, 3, vec![(AsId(1), IfId(2)), (AsId(4), IfId(3))]),
-            candidate(2, 40, 1000, 3, vec![(AsId(1), IfId(2)), (AsId(4), IfId(2)), (AsId(5), IfId(2))]),
+            candidate(
+                2,
+                40,
+                1000,
+                3,
+                vec![(AsId(1), IfId(2)), (AsId(4), IfId(2)), (AsId(5), IfId(2))],
+            ),
         ]
     }
 
@@ -165,13 +177,19 @@ mod tests {
     #[test]
     fn bounded_latency_widest_picks_the_live_video_path() {
         // Highest bandwidth with latency <= 30 ms is the medium path — Example #2.
-        let selected = select(bounded_latency_widest(Latency::from_millis(30), 1), &figure1_candidates());
+        let selected = select(
+            bounded_latency_widest(Latency::from_millis(30), 1),
+            &figure1_candidates(),
+        );
         assert_eq!(selected, vec![1]);
     }
 
     #[test]
     fn bounded_latency_rejects_everything_when_bound_too_tight() {
-        let selected = select(bounded_latency_widest(Latency::from_millis(5), 20), &figure1_candidates());
+        let selected = select(
+            bounded_latency_widest(Latency::from_millis(5), 20),
+            &figure1_candidates(),
+        );
         assert!(selected.is_empty());
     }
 

@@ -39,10 +39,18 @@ pub fn pop_pair_delays(
 
     let mut out: PopPairDelays = BTreeMap::new();
     for path in paths {
-        let Some(holder_pops) = pops.get(&path.holder) else { continue };
-        let Some(origin_pops) = pops.get(&path.origin) else { continue };
-        let Some(&holder_end) = if_to_pop.get(&(path.holder, path.holder_interface)) else { continue };
-        let Some(&origin_end) = if_to_pop.get(&(path.origin, path.origin_interface)) else { continue };
+        let Some(holder_pops) = pops.get(&path.holder) else {
+            continue;
+        };
+        let Some(origin_pops) = pops.get(&path.origin) else {
+            continue;
+        };
+        let Some(&holder_end) = if_to_pop.get(&(path.holder, path.holder_interface)) else {
+            continue;
+        };
+        let Some(&origin_end) = if_to_pop.get(&(path.origin, path.origin_interface)) else {
+            continue;
+        };
         // Interface locations of the path endpoints (for the intra-AS correction).
         let holder_end_loc = holder_pops[holder_end].location;
         let origin_end_loc = origin_pops[origin_end].location;
@@ -119,19 +127,37 @@ mod tests {
         t.add_as(AsNode::new(AsId(1), Tier::Tier2)).unwrap();
         t.add_as(AsNode::new(AsId(2), Tier::Tier2)).unwrap();
         t.add_link(
-            AsId(1), IfId(1), GeoCoord::new(47.37, 8.54),
-            AsId(2), IfId(1), GeoCoord::new(50.11, 8.68),
-            Bandwidth::from_gbps(10), Relationship::PeerToPeer,
-        ).unwrap();
+            AsId(1),
+            IfId(1),
+            GeoCoord::new(47.37, 8.54),
+            AsId(2),
+            IfId(1),
+            GeoCoord::new(50.11, 8.68),
+            Bandwidth::from_gbps(10),
+            Relationship::PeerToPeer,
+        )
+        .unwrap();
         t.add_link(
-            AsId(1), IfId(2), GeoCoord::new(40.71, -74.0),
-            AsId(2), IfId(2), GeoCoord::new(50.11, 8.68),
-            Bandwidth::from_gbps(10), Relationship::PeerToPeer,
-        ).unwrap();
+            AsId(1),
+            IfId(2),
+            GeoCoord::new(40.71, -74.0),
+            AsId(2),
+            IfId(2),
+            GeoCoord::new(50.11, 8.68),
+            Bandwidth::from_gbps(10),
+            Relationship::PeerToPeer,
+        )
+        .unwrap();
         t
     }
 
-    fn path(holder: u64, holder_if: u32, origin: u64, origin_if: u32, latency_ms: u64) -> RegisteredPath {
+    fn path(
+        holder: u64,
+        holder_if: u32,
+        origin: u64,
+        origin_if: u32,
+        latency_ms: u64,
+    ) -> RegisteredPath {
         RegisteredPath {
             holder: AsId(holder),
             origin: AsId(origin),
@@ -160,8 +186,16 @@ mod tests {
         let delays = pop_pair_delays(&t, &pops, &paths);
 
         // Zurich PoP of AS1 (index of the PoP containing if1) -> direct, no correction.
-        let zurich_pop = pops[&AsId(1)].iter().find(|p| p.interfaces.contains(&IfId(1))).unwrap().index;
-        let ny_pop = pops[&AsId(1)].iter().find(|p| p.interfaces.contains(&IfId(2))).unwrap().index;
+        let zurich_pop = pops[&AsId(1)]
+            .iter()
+            .find(|p| p.interfaces.contains(&IfId(1)))
+            .unwrap()
+            .index;
+        let ny_pop = pops[&AsId(1)]
+            .iter()
+            .find(|p| p.interfaces.contains(&IfId(2)))
+            .unwrap()
+            .index;
         let frankfurt_pop = pops[&AsId(2)][0].index;
 
         let direct = delays[&((AsId(1), zurich_pop), (AsId(2), frankfurt_pop))];
@@ -178,7 +212,11 @@ mod tests {
         let pops = points_of_presence(&t, 50.0);
         let paths = vec![path(1, 1, 2, 1, 30), path(1, 1, 2, 1, 10)];
         let delays = pop_pair_delays(&t, &pops, &paths);
-        let zurich_pop = pops[&AsId(1)].iter().find(|p| p.interfaces.contains(&IfId(1))).unwrap().index;
+        let zurich_pop = pops[&AsId(1)]
+            .iter()
+            .find(|p| p.interfaces.contains(&IfId(1)))
+            .unwrap()
+            .index;
         let frankfurt_pop = pops[&AsId(2)][0].index;
         assert_eq!(
             delays[&((AsId(1), zurich_pop), (AsId(2), frankfurt_pop))],

@@ -11,6 +11,9 @@ use crate::paths::RegisteredPath;
 use irec_types::{AsId, IfId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
+/// One path expressed as its sequence of inter-domain links.
+type LinkPath = Vec<(AsId, IfId)>;
+
 /// Maximum number of branch-and-bound nodes explored before falling back to the greedy bound.
 const SEARCH_BUDGET: usize = 200_000;
 
@@ -23,10 +26,8 @@ pub fn min_links_to_disconnect(paths: &[Vec<(AsId, IfId)>]) -> usize {
     if paths.is_empty() {
         return 0;
     }
-    let sets: Vec<HashSet<(AsId, IfId)>> = paths
-        .iter()
-        .map(|p| p.iter().copied().collect())
-        .collect();
+    let sets: Vec<HashSet<(AsId, IfId)>> =
+        paths.iter().map(|p| p.iter().copied().collect()).collect();
     if sets.iter().any(|s| s.is_empty()) {
         return usize::MAX;
     }
@@ -88,7 +89,7 @@ fn branch(
 
 /// Computes the TLF per (holder AS, origin AS) pair from registered paths.
 pub fn tlf_per_as_pair(paths: &[RegisteredPath]) -> BTreeMap<(AsId, AsId), usize> {
-    let mut grouped: BTreeMap<(AsId, AsId), Vec<Vec<(AsId, IfId)>>> = BTreeMap::new();
+    let mut grouped: BTreeMap<(AsId, AsId), Vec<LinkPath>> = BTreeMap::new();
     for p in paths {
         grouped
             .entry((p.holder, p.origin))
@@ -119,7 +120,10 @@ mod tests {
 
     #[test]
     fn single_path_needs_one_link() {
-        assert_eq!(min_links_to_disconnect(&[links(&[(1, 1), (2, 1), (3, 1)])]), 1);
+        assert_eq!(
+            min_links_to_disconnect(&[links(&[(1, 1), (2, 1), (3, 1)])]),
+            1
+        );
     }
 
     #[test]
@@ -166,7 +170,13 @@ mod tests {
         let a2 = (AsId(2), IfId(1));
         let b1 = (AsId(3), IfId(1));
         let b2 = (AsId(4), IfId(1));
-        let paths = vec![vec![x, a1], vec![x, a2], vec![y, b1], vec![y, b2], vec![x, y]];
+        let paths = vec![
+            vec![x, a1],
+            vec![x, a2],
+            vec![y, b1],
+            vec![y, b2],
+            vec![x, y],
+        ];
         assert_eq!(min_links_to_disconnect(&paths), 2);
     }
 

@@ -77,7 +77,10 @@ impl Pcb {
     /// The AS that appended the last entry (the AS "closest" to the holder), or the origin if
     /// no entry exists yet.
     pub fn last_as(&self) -> AsId {
-        self.entries.last().map(|e| e.hop.asn).unwrap_or(self.origin)
+        self.entries
+            .last()
+            .map(|e| e.hop.asn)
+            .unwrap_or(self.origin)
     }
 
     /// The egress interface of the last entry (the interface over which the beacon was sent
@@ -134,7 +137,10 @@ impl Pcb {
     /// identifies links and is the basis of the disjointness metrics (TLF) and of the
     /// pull-based disjointness algorithm's link-avoidance sets.
     pub fn link_keys(&self) -> Vec<(AsId, IfId)> {
-        self.entries.iter().map(|e| (e.hop.asn, e.hop.egress)).collect()
+        self.entries
+            .iter()
+            .map(|e| (e.hop.asn, e.hop.egress))
+            .collect()
     }
 
     /// Canonical encoding of the beacon header (everything the origin signs besides its own
@@ -187,10 +193,14 @@ impl Pcb {
                 )));
             }
             if !ingress.is_none() {
-                return Err(IrecError::policy("origin entry must not have an ingress interface"));
+                return Err(IrecError::policy(
+                    "origin entry must not have an ingress interface",
+                ));
             }
         } else if ingress.is_none() {
-            return Err(IrecError::policy("transit entry requires an ingress interface"));
+            return Err(IrecError::policy(
+                "transit entry requires an ingress interface",
+            ));
         }
         if egress.is_none() {
             return Err(IrecError::policy("an entry requires an egress interface"));
@@ -224,7 +234,9 @@ impl Pcb {
         for (i, entry) in self.entries.iter().enumerate() {
             if i == 0 {
                 if entry.hop.asn != self.origin || !entry.hop.is_origin() {
-                    return Err(IrecError::verification("first entry is not a valid origin entry"));
+                    return Err(IrecError::verification(
+                        "first entry is not a valid origin entry",
+                    ));
                 }
             } else if entry.hop.is_origin() {
                 return Err(IrecError::verification(format!(
@@ -267,7 +279,9 @@ impl Decode for Pcb {
         let extensions = PcbExtensions::decode(reader)?;
         let count = reader.get_varint()? as usize;
         if count > 1024 {
-            return Err(IrecError::decode(format!("implausible entry count {count}")));
+            return Err(IrecError::decode(format!(
+                "implausible entry count {count}"
+            )));
         }
         let mut entries = Vec::with_capacity(count);
         for _ in 0..count {
@@ -316,8 +330,10 @@ mod tests {
         );
         let s1 = Signer::new(AsId(1), reg.clone());
         let s2 = Signer::new(AsId(2), reg.clone());
-        pcb.extend(IfId::NONE, IfId(1), static_info(10, 100, 0), &s1).unwrap();
-        pcb.extend(IfId(4), IfId(5), static_info(5, 40, 2), &s2).unwrap();
+        pcb.extend(IfId::NONE, IfId(1), static_info(10, 100, 0), &s1)
+            .unwrap();
+        pcb.extend(IfId(4), IfId(5), static_info(5, 40, 2), &s2)
+            .unwrap();
         pcb
     }
 
@@ -400,16 +416,26 @@ mod tests {
             PcbExtensions::none(),
         );
         let s2 = Signer::new(AsId(2), reg.clone());
-        assert!(pcb.extend(IfId::NONE, IfId(1), StaticInfo::empty(), &s2).is_err());
+        assert!(pcb
+            .extend(IfId::NONE, IfId(1), StaticInfo::empty(), &s2)
+            .is_err());
         // Origin with an ingress interface is also invalid.
         let s1 = Signer::new(AsId(1), reg.clone());
-        assert!(pcb.extend(IfId(3), IfId(1), StaticInfo::empty(), &s1).is_err());
+        assert!(pcb
+            .extend(IfId(3), IfId(1), StaticInfo::empty(), &s1)
+            .is_err());
         // Missing egress is invalid.
-        assert!(pcb.extend(IfId::NONE, IfId::NONE, StaticInfo::empty(), &s1).is_err());
+        assert!(pcb
+            .extend(IfId::NONE, IfId::NONE, StaticInfo::empty(), &s1)
+            .is_err());
         // Correct origin entry works.
-        assert!(pcb.extend(IfId::NONE, IfId(1), StaticInfo::empty(), &s1).is_ok());
+        assert!(pcb
+            .extend(IfId::NONE, IfId(1), StaticInfo::empty(), &s1)
+            .is_ok());
         // Transit entry without ingress is invalid.
-        assert!(pcb.extend(IfId::NONE, IfId(1), StaticInfo::empty(), &s2).is_err());
+        assert!(pcb
+            .extend(IfId::NONE, IfId(1), StaticInfo::empty(), &s2)
+            .is_err());
     }
 
     #[test]
@@ -455,7 +481,10 @@ mod tests {
     fn link_keys_identify_traversed_links() {
         let reg = registry();
         let pcb = sample_pcb(&reg);
-        assert_eq!(pcb.link_keys(), vec![(AsId(1), IfId(1)), (AsId(2), IfId(5))]);
+        assert_eq!(
+            pcb.link_keys(),
+            vec![(AsId(1), IfId(1)), (AsId(2), IfId(5))]
+        );
     }
 
     #[test]

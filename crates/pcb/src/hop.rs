@@ -81,7 +81,11 @@ pub struct StaticInfo {
 
 impl StaticInfo {
     /// Static info for an origin hop: no intra-AS crossing.
-    pub fn origin(link_latency: Latency, link_bandwidth: Bandwidth, location: Option<GeoCoord>) -> Self {
+    pub fn origin(
+        link_latency: Latency,
+        link_bandwidth: Bandwidth,
+        location: Option<GeoCoord>,
+    ) -> Self {
         StaticInfo {
             link_latency,
             link_bandwidth,
@@ -295,8 +299,14 @@ mod tests {
         let decoded: AsEntry = from_bytes(&to_bytes(&entry)).unwrap();
         assert_eq!(decoded.hop, entry.hop);
         assert_eq!(decoded.signature, entry.signature);
-        assert_eq!(decoded.static_info.link_latency, entry.static_info.link_latency);
-        assert_eq!(decoded.static_info.link_bandwidth, entry.static_info.link_bandwidth);
+        assert_eq!(
+            decoded.static_info.link_latency,
+            entry.static_info.link_latency
+        );
+        assert_eq!(
+            decoded.static_info.link_bandwidth,
+            entry.static_info.link_bandwidth
+        );
         // Geolocation survives with micro-degree precision (the codec is fixed-point).
         let (d, o) = (
             decoded.static_info.egress_location.unwrap(),

@@ -92,8 +92,7 @@ impl PdWorkflow {
         }
 
         let mut consecutive_empty = 0usize;
-        while result.paths.len() < self.max_paths && consecutive_empty < self.max_empty_iterations
-        {
+        while result.paths.len() < self.max_paths && consecutive_empty < self.max_empty_iterations {
             result.iterations += 1;
             let discovered_before = self.pd_paths_at_origin(sim).len();
 
@@ -188,16 +187,27 @@ mod tests {
         // Warm up so HD has seeded paths from Src to Dst.
         sim.run_rounds(6).unwrap();
 
-        let mut workflow = PdWorkflow::new(figure1::SRC, figure1::DST, 3).with_rounds_per_iteration(4);
+        let mut workflow =
+            PdWorkflow::new(figure1::SRC, figure1::DST, 3).with_rounds_per_iteration(4);
         let result = workflow.run(&mut sim).unwrap();
 
-        assert!(!result.paths.is_empty(), "PD must at least keep the HD seeds");
+        assert!(
+            !result.paths.is_empty(),
+            "PD must at least keep the HD seeds"
+        );
         // Figure 1 has two fully link-disjoint Src->Dst routes (via X and via Y); PD should
         // find at least two mutually disjoint paths.
         let tlf = irec_metrics::tlf::min_links_to_disconnect(
-            &result.paths.iter().map(|p| p.links.clone()).collect::<Vec<_>>(),
+            &result
+                .paths
+                .iter()
+                .map(|p| p.links.clone())
+                .collect::<Vec<_>>(),
         );
-        assert!(tlf >= 2, "expected at least 2 disjoint paths, TLF was {tlf}");
+        assert!(
+            tlf >= 2,
+            "expected at least 2 disjoint paths, TLF was {tlf}"
+        );
     }
 
     #[test]
@@ -251,10 +261,14 @@ mod tests {
         let mut sim = sim_with_hd_and_on_demand();
         sim.run_rounds(6).unwrap();
         // Ask for far more paths than the topology can provide.
-        let mut workflow = PdWorkflow::new(figure1::SRC, figure1::DST, 20).with_rounds_per_iteration(3);
+        let mut workflow =
+            PdWorkflow::new(figure1::SRC, figure1::DST, 20).with_rounds_per_iteration(3);
         let result = workflow.run(&mut sim).unwrap();
         assert!(result.paths.len() < 20);
-        assert!(result.empty_iterations >= 1, "must stop via empty iterations");
+        assert!(
+            result.empty_iterations >= 1,
+            "must stop via empty iterations"
+        );
         // All discovered paths connect the right pair.
         for p in &result.paths {
             assert_eq!(p.holder, figure1::SRC);

@@ -378,12 +378,11 @@ mod tests {
 
     #[test]
     fn interface_groups_can_be_enabled_globally() {
-        let mut sim = figure1_sim(vec![
-            RacConfig::static_rac("DOB", "DO")
-                .with_extended_paths(true)
-                .with_interface_groups(true),
-        ]);
-        sim.set_geographic_interface_groups(GroupingConfig::KM_300).unwrap();
+        let mut sim = figure1_sim(vec![RacConfig::static_rac("DOB", "DO")
+            .with_extended_paths(true)
+            .with_interface_groups(true)]);
+        sim.set_geographic_interface_groups(GroupingConfig::KM_300)
+            .unwrap();
         sim.run_rounds(5).unwrap();
         assert!(sim.connectivity() > 0.9);
         sim.clear_interface_groups();

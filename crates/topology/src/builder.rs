@@ -59,15 +59,17 @@ impl TopologyBuilder {
     }
 
     /// Adds a symmetric peering link with an explicit latency and bandwidth.
-    pub fn link(
-        mut self,
-        a: u64,
-        b: u64,
-        latency: Latency,
-        bandwidth: Bandwidth,
-    ) -> Self {
-        self.add_link_internal(a, b, latency, bandwidth, Relationship::PeerToPeer, None, None)
-            .expect("builder: link failed");
+    pub fn link(mut self, a: u64, b: u64, latency: Latency, bandwidth: Bandwidth) -> Self {
+        self.add_link_internal(
+            a,
+            b,
+            latency,
+            bandwidth,
+            Relationship::PeerToPeer,
+            None,
+            None,
+        )
+        .expect("builder: link failed");
         self
     }
 
@@ -104,11 +106,23 @@ impl TopologyBuilder {
         let if_a = self.alloc_if(AsId(a));
         let if_b = self.alloc_if(AsId(b));
         self.topology
-            .add_link(AsId(a), if_a, loc_a, AsId(b), if_b, loc_b, bandwidth, Relationship::PeerToPeer)
+            .add_link(
+                AsId(a),
+                if_a,
+                loc_a,
+                AsId(b),
+                if_b,
+                loc_b,
+                bandwidth,
+                Relationship::PeerToPeer,
+            )
             .expect("builder: geo link failed");
         self
     }
 
+    // Private aggregation point for every public link-adding method; a parameter
+    // struct here would just restate the builder's own fields.
+    #[allow(clippy::too_many_arguments)]
     fn add_link_internal(
         &mut self,
         a: u64,
@@ -234,8 +248,14 @@ mod tests {
             .provider_link(1, 2, Latency::from_millis(1), Bandwidth::from_gbps(1))
             .build();
         let link = t.link(irec_types::LinkId(0)).unwrap();
-        assert_eq!(link.relationship_from(AsId(1)), Some(Relationship::ProviderToCustomer));
-        assert_eq!(link.relationship_from(AsId(2)), Some(Relationship::CustomerToProvider));
+        assert_eq!(
+            link.relationship_from(AsId(1)),
+            Some(Relationship::ProviderToCustomer)
+        );
+        assert_eq!(
+            link.relationship_from(AsId(2)),
+            Some(Relationship::CustomerToProvider)
+        );
     }
 
     #[test]

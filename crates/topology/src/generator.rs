@@ -141,7 +141,6 @@ impl GeneratorConfig {
             tier3_providers: (1, 3),
             tier2_peers: (2, 6),
             parallel_links: (2, 5),
-            ..Default::default()
         }
     }
 }
@@ -176,14 +175,16 @@ impl TopologyGenerator {
         let mut tier_of: HashMap<AsId, Tier> = HashMap::new();
 
         let add_as = |topology: &mut Topology,
-                          rng: &mut StdRng,
-                          id: u64,
-                          tier: Tier,
-                          pop_range: (usize, usize),
-                          pops: &mut HashMap<AsId, Vec<GeoCoord>>,
-                          tier_of: &mut HashMap<AsId, Tier>| {
+                      rng: &mut StdRng,
+                      id: u64,
+                      tier: Tier,
+                      pop_range: (usize, usize),
+                      pops: &mut HashMap<AsId, Vec<GeoCoord>>,
+                      tier_of: &mut HashMap<AsId, Tier>| {
             let asn = AsId(id);
-            topology.add_as(AsNode::new(asn, tier)).expect("unique AS id");
+            topology
+                .add_as(AsNode::new(asn, tier))
+                .expect("unique AS id");
             let n_pops = rng.gen_range(pop_range.0..=pop_range.1).min(CITIES.len());
             let mut cities: Vec<usize> = (0..CITIES.len()).collect();
             cities.shuffle(rng);
@@ -193,7 +194,10 @@ impl TopologyGenerator {
                     let (_, lat, lon) = CITIES[ci];
                     // Jitter within the metro area so interfaces of different ASes in the
                     // same city are not exactly co-located.
-                    GeoCoord::new(lat + rng.gen_range(-0.2..0.2), lon + rng.gen_range(-0.2..0.2))
+                    GeoCoord::new(
+                        lat + rng.gen_range(-0.2..0.2),
+                        lon + rng.gen_range(-0.2..0.2),
+                    )
                 })
                 .collect();
             pops.insert(asn, locations);
@@ -203,31 +207,57 @@ impl TopologyGenerator {
         let mut id = 0u64;
         let mut tier1 = Vec::new();
         for _ in 0..num_t1 {
-            add_as(&mut topology, &mut rng, id, Tier::Tier1, cfg.tier1_pops, &mut pops, &mut tier_of);
+            add_as(
+                &mut topology,
+                &mut rng,
+                id,
+                Tier::Tier1,
+                cfg.tier1_pops,
+                &mut pops,
+                &mut tier_of,
+            );
             tier1.push(AsId(id));
             id += 1;
         }
         let mut tier2 = Vec::new();
         for _ in 0..num_t2 {
-            add_as(&mut topology, &mut rng, id, Tier::Tier2, cfg.tier2_pops, &mut pops, &mut tier_of);
+            add_as(
+                &mut topology,
+                &mut rng,
+                id,
+                Tier::Tier2,
+                cfg.tier2_pops,
+                &mut pops,
+                &mut tier_of,
+            );
             tier2.push(AsId(id));
             id += 1;
         }
         let mut tier3 = Vec::new();
         for _ in 0..num_t3 {
-            add_as(&mut topology, &mut rng, id, Tier::Tier3, cfg.tier3_pops, &mut pops, &mut tier_of);
+            add_as(
+                &mut topology,
+                &mut rng,
+                id,
+                Tier::Tier3,
+                cfg.tier3_pops,
+                &mut pops,
+                &mut tier_of,
+            );
             tier3.push(AsId(id));
             id += 1;
         }
 
         let connect = |topology: &mut Topology,
-                           rng: &mut StdRng,
-                           a: AsId,
-                           b: AsId,
-                           rel: Relationship,
-                           pops: &HashMap<AsId, Vec<GeoCoord>>,
-                           next_if: &mut HashMap<AsId, u32>| {
-            let n_parallel = rng.gen_range(cfg.parallel_links.0..=cfg.parallel_links.1).max(1);
+                       rng: &mut StdRng,
+                       a: AsId,
+                       b: AsId,
+                       rel: Relationship,
+                       pops: &HashMap<AsId, Vec<GeoCoord>>,
+                       next_if: &mut HashMap<AsId, u32>| {
+            let n_parallel = rng
+                .gen_range(cfg.parallel_links.0..=cfg.parallel_links.1)
+                .max(1);
             let pops_a = &pops[&a];
             let pops_b = &pops[&b];
             for _ in 0..n_parallel {
@@ -255,17 +285,35 @@ impl TopologyGenerator {
         // Tier-1 full mesh (the transit-free core).
         for i in 0..tier1.len() {
             for j in (i + 1)..tier1.len() {
-                connect(&mut topology, &mut rng, tier1[i], tier1[j], Relationship::Core, &pops, &mut next_if);
+                connect(
+                    &mut topology,
+                    &mut rng,
+                    tier1[i],
+                    tier1[j],
+                    Relationship::Core,
+                    &pops,
+                    &mut next_if,
+                );
             }
         }
 
         // Tier-2: providers among tier-1 (preferential to low ids ~ high degree), peers among tier-2.
         for &asn in &tier2 {
-            let n_prov = rng.gen_range(cfg.tier2_providers.0..=cfg.tier2_providers.1).max(1);
+            let n_prov = rng
+                .gen_range(cfg.tier2_providers.0..=cfg.tier2_providers.1)
+                .max(1);
             let mut providers = tier1.clone();
             providers.shuffle(&mut rng);
             for &p in providers.iter().take(n_prov) {
-                connect(&mut topology, &mut rng, p, asn, Relationship::ProviderToCustomer, &pops, &mut next_if);
+                connect(
+                    &mut topology,
+                    &mut rng,
+                    p,
+                    asn,
+                    Relationship::ProviderToCustomer,
+                    &pops,
+                    &mut next_if,
+                );
             }
         }
         for (idx, &asn) in tier2.iter().enumerate() {
@@ -276,19 +324,37 @@ impl TopologyGenerator {
                 }
                 let other = tier2[rng.gen_range(0..tier2.len())];
                 if other != asn && idx < tier2.len() {
-                    connect(&mut topology, &mut rng, asn, other, Relationship::PeerToPeer, &pops, &mut next_if);
+                    connect(
+                        &mut topology,
+                        &mut rng,
+                        asn,
+                        other,
+                        Relationship::PeerToPeer,
+                        &pops,
+                        &mut next_if,
+                    );
                 }
             }
         }
 
         // Tier-3 stubs: providers among tier-2 (or tier-1 as a fallback).
         for &asn in &tier3 {
-            let n_prov = rng.gen_range(cfg.tier3_providers.0..=cfg.tier3_providers.1).max(1);
+            let n_prov = rng
+                .gen_range(cfg.tier3_providers.0..=cfg.tier3_providers.1)
+                .max(1);
             let pool = if tier2.is_empty() { &tier1 } else { &tier2 };
             let mut providers = pool.clone();
             providers.shuffle(&mut rng);
             for &p in providers.iter().take(n_prov) {
-                connect(&mut topology, &mut rng, p, asn, Relationship::ProviderToCustomer, &pops, &mut next_if);
+                connect(
+                    &mut topology,
+                    &mut rng,
+                    p,
+                    asn,
+                    Relationship::ProviderToCustomer,
+                    &pops,
+                    &mut next_if,
+                );
             }
         }
 
@@ -324,7 +390,10 @@ mod tests {
     fn generated_topology_is_connected() {
         for seed in [1, 2, 3] {
             let t = TopologyGenerator::new(GeneratorConfig::tiny(seed)).generate();
-            assert!(t.is_connected(), "seed {seed} produced a disconnected topology");
+            assert!(
+                t.is_connected(),
+                "seed {seed} produced a disconnected topology"
+            );
         }
     }
 

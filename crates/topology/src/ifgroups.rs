@@ -24,9 +24,13 @@ pub struct GroupingConfig {
 
 impl GroupingConfig {
     /// The 300 km configuration of the paper (DOB300).
-    pub const KM_300: GroupingConfig = GroupingConfig { max_diameter_km: 300.0 };
+    pub const KM_300: GroupingConfig = GroupingConfig {
+        max_diameter_km: 300.0,
+    };
     /// The 2000 km configuration of the paper (DOB2000).
-    pub const KM_2000: GroupingConfig = GroupingConfig { max_diameter_km: 2000.0 };
+    pub const KM_2000: GroupingConfig = GroupingConfig {
+        max_diameter_km: 2000.0,
+    };
 }
 
 /// The interface-group assignment of a single AS.
@@ -297,7 +301,14 @@ mod tests {
         assert_eq!(per_as.len(), t.num_ases());
         let single = single_groups_for_topology(&t);
         for (asn, g) in &single {
-            assert_eq!(g.num_groups(), if t.as_node(*asn).unwrap().degree() > 0 { 1 } else { 0 });
+            assert_eq!(
+                g.num_groups(),
+                if t.as_node(*asn).unwrap().degree() > 0 {
+                    1
+                } else {
+                    0
+                }
+            );
         }
     }
 

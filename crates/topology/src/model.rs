@@ -190,7 +190,10 @@ impl AsNode {
     /// Intra-AS crossing metrics between two interfaces (latency as above; the internal
     /// network is assumed not to be the bandwidth bottleneck).
     pub fn intra_metrics(&self, from: IfId, to: IfId) -> Result<LinkMetrics> {
-        Ok(LinkMetrics::new(self.intra_latency(from, to)?, Bandwidth::MAX))
+        Ok(LinkMetrics::new(
+            self.intra_latency(from, to)?,
+            Bandwidth::MAX,
+        ))
     }
 }
 
@@ -313,10 +316,14 @@ impl Topology {
             return Err(IrecError::not_found("both link ends must be existing ASes"));
         }
         if self.ases[&a].interfaces.contains_key(&if_a) {
-            return Err(IrecError::config(format!("{a} already has interface {if_a}")));
+            return Err(IrecError::config(format!(
+                "{a} already has interface {if_a}"
+            )));
         }
         if self.ases[&b].interfaces.contains_key(&if_b) {
-            return Err(IrecError::config(format!("{b} already has interface {if_b}")));
+            return Err(IrecError::config(format!(
+                "{b} already has interface {if_b}"
+            )));
         }
         if if_a.is_none() || if_b.is_none() {
             return Err(IrecError::config("interface id 0 is reserved"));
@@ -332,24 +339,32 @@ impl Topology {
             relationship,
         };
 
-        self.ases.get_mut(&a).expect("checked above").interfaces.insert(
-            if_a,
-            Interface {
-                id: if_a,
-                owner: a,
-                location: loc_a,
-                link: id,
-            },
-        );
-        self.ases.get_mut(&b).expect("checked above").interfaces.insert(
-            if_b,
-            Interface {
-                id: if_b,
-                owner: b,
-                location: loc_b,
-                link: id,
-            },
-        );
+        self.ases
+            .get_mut(&a)
+            .expect("checked above")
+            .interfaces
+            .insert(
+                if_a,
+                Interface {
+                    id: if_a,
+                    owner: a,
+                    location: loc_a,
+                    link: id,
+                },
+            );
+        self.ases
+            .get_mut(&b)
+            .expect("checked above")
+            .interfaces
+            .insert(
+                if_b,
+                Interface {
+                    id: if_b,
+                    owner: b,
+                    location: loc_b,
+                    link: id,
+                },
+            );
         self.adjacency.entry(a).or_default().push(id);
         self.adjacency.entry(b).or_default().push(id);
         self.links.insert(id, link);
@@ -561,7 +576,10 @@ mod tests {
         assert_eq!(link.relationship_from(AsId(3)), None);
         assert!(Relationship::ProviderToCustomer.neighbor_is_customer());
         assert!(Relationship::CustomerToProvider.neighbor_is_provider());
-        assert_eq!(Relationship::PeerToPeer.reversed(), Relationship::PeerToPeer);
+        assert_eq!(
+            Relationship::PeerToPeer.reversed(),
+            Relationship::PeerToPeer
+        );
         assert_eq!(Relationship::Core.reversed(), Relationship::Core);
     }
 

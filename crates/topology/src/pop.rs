@@ -26,7 +26,10 @@ pub struct PointOfPresence {
 ///
 /// Two interfaces belong to the same PoP when they are within `radius_km` of the PoP's
 /// first (seed) interface. The default radius of 50 km treats a metro area as one PoP.
-pub fn points_of_presence(topology: &Topology, radius_km: f64) -> BTreeMap<AsId, Vec<PointOfPresence>> {
+pub fn points_of_presence(
+    topology: &Topology,
+    radius_km: f64,
+) -> BTreeMap<AsId, Vec<PointOfPresence>> {
     let mut out = BTreeMap::new();
     for (asn, node) in &topology.ases {
         let mut pops: Vec<PointOfPresence> = Vec::new();
@@ -82,20 +85,38 @@ mod tests {
         t.add_as(AsNode::new(AsId(4), Tier::Tier2)).unwrap();
         // AS1 interfaces: two in Zurich (same PoP), one in New York.
         t.add_link(
-            AsId(1), IfId(1), GeoCoord::new(47.37, 8.54),
-            AsId(2), IfId(1), GeoCoord::new(47.40, 8.60),
-            Bandwidth::from_gbps(10), Relationship::ProviderToCustomer,
-        ).unwrap();
+            AsId(1),
+            IfId(1),
+            GeoCoord::new(47.37, 8.54),
+            AsId(2),
+            IfId(1),
+            GeoCoord::new(47.40, 8.60),
+            Bandwidth::from_gbps(10),
+            Relationship::ProviderToCustomer,
+        )
+        .unwrap();
         t.add_link(
-            AsId(1), IfId(2), GeoCoord::new(47.39, 8.50),
-            AsId(3), IfId(1), GeoCoord::new(47.45, 8.70),
-            Bandwidth::from_gbps(10), Relationship::ProviderToCustomer,
-        ).unwrap();
+            AsId(1),
+            IfId(2),
+            GeoCoord::new(47.39, 8.50),
+            AsId(3),
+            IfId(1),
+            GeoCoord::new(47.45, 8.70),
+            Bandwidth::from_gbps(10),
+            Relationship::ProviderToCustomer,
+        )
+        .unwrap();
         t.add_link(
-            AsId(1), IfId(3), GeoCoord::new(40.71, -74.00),
-            AsId(4), IfId(1), GeoCoord::new(40.75, -73.95),
-            Bandwidth::from_gbps(10), Relationship::ProviderToCustomer,
-        ).unwrap();
+            AsId(1),
+            IfId(3),
+            GeoCoord::new(40.71, -74.00),
+            AsId(4),
+            IfId(1),
+            GeoCoord::new(40.75, -73.95),
+            Bandwidth::from_gbps(10),
+            Relationship::ProviderToCustomer,
+        )
+        .unwrap();
         t
     }
 

@@ -64,10 +64,7 @@ impl IsdAsId {
 
     /// Convenience constructor placing the AS in the default ISD `1`.
     pub const fn in_default_isd(asn: AsId) -> Self {
-        Self {
-            isd: IsdId(1),
-            asn,
-        }
+        Self { isd: IsdId(1), asn }
     }
 }
 

@@ -198,6 +198,9 @@ mod tests {
             SimDuration::from_secs(2).saturating_mul(3),
             SimDuration::from_secs(6)
         );
-        assert_eq!(SimDuration(u64::MAX).saturating_mul(2), SimDuration(u64::MAX));
+        assert_eq!(
+            SimDuration(u64::MAX).saturating_mul(2),
+            SimDuration(u64::MAX)
+        );
     }
 }

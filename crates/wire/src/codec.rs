@@ -258,7 +258,9 @@ impl<T: Decode> Decode for Vec<T> {
         let len = reader.get_varint()? as usize;
         // A non-empty element occupies at least one byte; reject absurd counts early.
         if len > reader.remaining().max(1) * 2 && len > 1_000_000 {
-            return Err(IrecError::decode(format!("implausible collection length {len}")));
+            return Err(IrecError::decode(format!(
+                "implausible collection length {len}"
+            )));
         }
         let mut out = Vec::with_capacity(len.min(4096));
         for _ in 0..len {
@@ -368,8 +370,14 @@ mod tests {
 
         let some: Option<String> = Some("abc".to_string());
         let none: Option<String> = None;
-        assert_eq!(from_bytes::<Option<String>>(&to_bytes(&some)).unwrap(), some);
-        assert_eq!(from_bytes::<Option<String>>(&to_bytes(&none)).unwrap(), none);
+        assert_eq!(
+            from_bytes::<Option<String>>(&to_bytes(&some)).unwrap(),
+            some
+        );
+        assert_eq!(
+            from_bytes::<Option<String>>(&to_bytes(&none)).unwrap(),
+            none
+        );
     }
 
     #[test]

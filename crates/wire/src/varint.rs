@@ -116,7 +116,17 @@ mod tests {
 
     #[test]
     fn varint_len_matches_encoding() {
-        for v in [0u64, 1, 127, 128, 16384, 1 << 21, 1 << 28, 1 << 35, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16384,
+            1 << 21,
+            1 << 28,
+            1 << 35,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             encode_varint(v, &mut buf);
             assert_eq!(varint_len(v), buf.len(), "value {v}");

@@ -21,9 +21,11 @@ fn main() {
     let num_ases: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60);
     let rounds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
 
-    let mut config = GeneratorConfig::default();
-    config.num_ases = num_ases;
-    config.seed = 7;
+    let config = GeneratorConfig {
+        num_ases,
+        seed: 7,
+        ..Default::default()
+    };
     let topology = Arc::new(TopologyGenerator::new(config).generate());
     println!(
         "generated topology: {} ASes, {} inter-domain links",

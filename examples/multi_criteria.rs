@@ -37,8 +37,12 @@ fn main() {
                 RacConfig::on_demand_rac("on-demand"),
             ])
     };
-    let mut sim = Simulation::new(Arc::clone(&topology), SimulationConfig::default(), node_config)
-        .expect("simulation setup");
+    let mut sim = Simulation::new(
+        Arc::clone(&topology),
+        SimulationConfig::default(),
+        node_config,
+    )
+    .expect("simulation setup");
 
     // ------------------------------------------------------------------ Example #1
     sim.run_rounds(6).expect("beaconing rounds");

@@ -37,7 +37,11 @@ fn main() {
         .path_service()
         .paths_to_by(figure1::DST, "HD")
         .len();
-    println!("HD seeded {seeds} path(s) from {} to {}", figure1::SRC, figure1::DST);
+    println!(
+        "HD seeded {seeds} path(s) from {} to {}",
+        figure1::SRC,
+        figure1::DST
+    );
 
     // Run the PD workflow: up to 5 disjoint paths.
     let mut workflow = PdWorkflow::new(figure1::SRC, figure1::DST, 5).with_rounds_per_iteration(4);
@@ -59,7 +63,11 @@ fn main() {
     }
 
     let tlf = min_links_to_disconnect(
-        &result.paths.iter().map(|p| p.links.clone()).collect::<Vec<_>>(),
+        &result
+            .paths
+            .iter()
+            .map(|p| p.links.clone())
+            .collect::<Vec<_>>(),
     );
     println!(
         "\ntolerable link failures of the discovered set: {tlf} \

@@ -49,7 +49,11 @@ fn main() {
 
     // 4. Query the source's path service for paths towards the destination.
     let src = sim.node(figure1::SRC).expect("source node");
-    println!("\npaths registered at {} towards {}:", figure1::SRC, figure1::DST);
+    println!(
+        "\npaths registered at {} towards {}:",
+        figure1::SRC,
+        figure1::DST
+    );
     let mut paths = src.path_service().paths_to(figure1::DST);
     paths.sort_by_key(|p| (p.algorithm.clone(), p.metrics.latency));
     for path in paths {
@@ -72,5 +76,8 @@ fn main() {
         .into_iter()
         .max_by_key(|p| p.metrics.bandwidth)
         .expect("bandwidth-optimized path exists");
-    println!("\nVoIP picks the {} path; file transfer picks the {} path.", voip.metrics.latency, bulk.metrics.bandwidth);
+    println!(
+        "\nVoIP picks the {} path; file transfer picks the {} path.",
+        voip.metrics.latency, bulk.metrics.bandwidth
+    );
 }

@@ -36,8 +36,16 @@ fn mixed_irec_and_legacy_deployment_preserves_connectivity() {
     );
 
     // Legacy ASes still learned paths to IREC ASes and vice versa.
-    let legacy_as = topology.as_ids().into_iter().find(|a| a.value() % 2 == 1).unwrap();
-    let irec_as = topology.as_ids().into_iter().find(|a| a.value() % 2 == 0).unwrap();
+    let legacy_as = topology
+        .as_ids()
+        .into_iter()
+        .find(|a| a.value() % 2 == 1)
+        .unwrap();
+    let irec_as = topology
+        .as_ids()
+        .into_iter()
+        .find(|a| a.value() % 2 == 0)
+        .unwrap();
     let legacy_node = sim.node(legacy_as).unwrap();
     let irec_node = sim.node(irec_as).unwrap();
     assert!(

@@ -83,7 +83,8 @@ fn hash_mismatched_on_demand_algorithm_is_refused_then_recovery_works() {
     let bogus = AlgorithmRef::new(AlgorithmId(1), irec_crypto::sha256(b"not the module"));
     let bad_beacon = beacon(&registry, 1, PcbExtensions::none().with_algorithm(bogus));
 
-    let mut rac = Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store.clone())).unwrap();
+    let mut rac =
+        Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store.clone())).unwrap();
     let key = BatchKey {
         origin: AsId(1),
         group: InterfaceGroupId::DEFAULT,
@@ -158,13 +159,20 @@ fn non_terminating_on_demand_algorithm_is_sandboxed_and_does_not_break_beaconing
             .with_extensions(PcbExtensions::none().with_algorithm(reference)),
     );
 
-    sim.run_rounds(6).expect("rounds survive the hostile algorithm");
+    sim.run_rounds(6)
+        .expect("rounds survive the hostile algorithm");
 
     // The hostile algorithm selected nothing (every candidate evaluation hits the fuel
     // limit and is treated as rejected), but ordinary criteria are unaffected.
     let src = sim.node(figure1::SRC).unwrap();
-    assert!(src.path_service().paths_to_by(figure1::DST, "on-demand").is_empty());
-    assert!(!src.path_service().paths_to_by(figure1::DST, "1SP").is_empty());
+    assert!(src
+        .path_service()
+        .paths_to_by(figure1::DST, "on-demand")
+        .is_empty());
+    assert!(!src
+        .path_service()
+        .paths_to_by(figure1::DST, "1SP")
+        .is_empty());
     assert!((sim.connectivity() - 1.0).abs() < f64::EPSILON);
 }
 

@@ -89,7 +89,10 @@ fn example2_live_video_needs_the_on_demand_bounded_criterion() {
         .into_iter()
         .filter(|p| p.metrics.latency <= bound)
         .collect();
-    assert!(!live.is_empty(), "the on-demand criterion must discover a bounded-latency path");
+    assert!(
+        !live.is_empty(),
+        "the on-demand criterion must discover a bounded-latency path"
+    );
     let best = live.iter().max_by_key(|p| p.metrics.bandwidth).unwrap();
     assert_eq!(best.metrics.latency, Latency::from_millis(30));
     assert!(best.metrics.bandwidth >= Bandwidth::from_mbps(100));
@@ -122,7 +125,10 @@ fn shortest_widest_on_demand_algorithm_runs_across_the_network() {
 
     let src = sim.node(figure1::SRC).unwrap();
     let paths = src.path_service().paths_to_by(figure1::DST, "on-demand");
-    assert!(!paths.is_empty(), "shortest-widest must discover paths at the source");
+    assert!(
+        !paths.is_empty(),
+        "shortest-widest must discover paths at the source"
+    );
     // Among the discovered paths, the best by (bandwidth desc, latency asc) is the
     // 100 Mbps / 30 ms path via Y (the Src-Y link caps the gigabit detour at 100 Mbps).
     let best = paths
@@ -146,8 +152,14 @@ fn all_three_figure1_paths_are_discoverable_in_parallel() {
     let src = sim.node(figure1::SRC).unwrap();
     let all = src.path_service().paths_to(figure1::DST);
     let latencies: Vec<u64> = all.iter().map(|p| p.metrics.latency.as_millis()).collect();
-    assert!(latencies.contains(&20), "shortest 20 ms path missing: {latencies:?}");
-    assert!(latencies.contains(&30), "30 ms detour missing: {latencies:?}");
+    assert!(
+        latencies.contains(&20),
+        "shortest 20 ms path missing: {latencies:?}"
+    );
+    assert!(
+        latencies.contains(&30),
+        "30 ms detour missing: {latencies:?}"
+    );
     // The wide 40 ms detour via Y and Z appears once bandwidth-aware selection runs.
     let has_wide_detour = all.iter().any(|p| p.metrics.hops == 3);
     assert!(has_wide_detour, "3-hop detour missing");

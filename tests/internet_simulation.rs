@@ -56,7 +56,10 @@ fn multipath_algorithms_beat_single_path_on_disjointness() {
     );
     // 1SP registers a single path per (origin, interface-group) pair, so its typical TLF
     // stays near 1.
-    assert!(avg_1sp < 3.0, "1SP average TLF unexpectedly high: {avg_1sp:.2}");
+    assert!(
+        avg_1sp < 3.0,
+        "1SP average TLF unexpectedly high: {avg_1sp:.2}"
+    );
 }
 
 #[test]
@@ -110,15 +113,25 @@ fn registered_paths_respect_structural_invariants() {
         // No AS appears twice among the link keys (loop freedom of registered paths).
         let mut seen = std::collections::HashSet::new();
         for (asn, _) in &path.links {
-            assert!(seen.insert(*asn), "AS {asn} appears twice on a registered path");
+            assert!(
+                seen.insert(*asn),
+                "AS {asn} appears twice on a registered path"
+            );
         }
         // The paper's limit: at most 20 paths per (RAC, origin, interface group) —
         // checked globally per holder below.
     }
 
     // Per-key registration limit of 20.
-    let mut per_key: BTreeMap<(irec_types::AsId, String, irec_types::AsId, irec_types::InterfaceGroupId), usize> =
-        BTreeMap::new();
+    let mut per_key: BTreeMap<
+        (
+            irec_types::AsId,
+            String,
+            irec_types::AsId,
+            irec_types::InterfaceGroupId,
+        ),
+        usize,
+    > = BTreeMap::new();
     for path in sim.registered_paths() {
         *per_key
             .entry((path.holder, path.algorithm.clone(), path.origin, path.group))

@@ -1,0 +1,72 @@
+//! Workspace wiring smoke test.
+//!
+//! Asserts that every crate re-exported from the root `irec` facade resolves and that a
+//! representative symbol from each is usable. This catches broken workspace manifests,
+//! missing re-exports, and renamed public items at `cargo test` time, before anything
+//! deeper runs.
+
+use irec::{
+    irec_algorithms, irec_core, irec_crypto, irec_irvm, irec_metrics, irec_pcb, irec_sim,
+    irec_topology, irec_types, irec_wire,
+};
+
+#[test]
+fn every_facade_crate_resolves_to_a_usable_symbol() {
+    // types: identifier and geo primitives.
+    let origin = irec_types::AsId(42);
+    assert_eq!(origin.0, 42);
+    let zero = irec_types::GeoCoord::new(0.0, 0.0);
+    let one = irec_types::GeoCoord::new(1.0, 1.0);
+    assert!(zero.distance_km(&one) > 0.0);
+
+    // wire: varint round-trip via the public codec entry points.
+    let mut buf = Vec::new();
+    irec_wire::encode_varint(300, &mut buf);
+    let (decoded, used) = irec_wire::decode_varint(&buf).expect("valid varint");
+    assert_eq!((decoded, used), (300, buf.len()));
+
+    // crypto: hashing is pure and deterministic.
+    assert_eq!(
+        irec_crypto::sha256(b"irec"),
+        irec_crypto::sha256(b"irec"),
+        "sha256 must be deterministic"
+    );
+
+    // pcb / core / sim / irvm / algorithms / metrics / topology: compile-time
+    // resolution of one representative item each, plus cheap runtime checks where
+    // construction is free.
+    let _beacon_ty: Option<irec_pcb::Pcb> = None;
+    let _node_ty: Option<irec_core::IrecNode> = None;
+    let _sim_ty: Option<irec_sim::Simulation> = None;
+    let limits = [irec_wire::MAX_FIELD_LEN, irec_irvm::MAX_CODE_LEN];
+    assert!(limits.iter().all(|&l| l > 0));
+    assert!(irec_algorithms::catalog::BUILTIN_NAMES.contains(&"5SP"));
+    let cdf = irec_metrics::Cdf::new(vec![1.0, 2.0, 3.0]);
+    assert_eq!(cdf.len(), 3);
+
+    let topo = irec_topology::TopologyBuilder::new()
+        .with_as(1, irec_topology::model::Tier::Tier1)
+        .build();
+    assert_eq!(topo.num_ases(), 1);
+}
+
+#[test]
+fn varint_round_trips_across_the_u64_range() {
+    for v in [
+        0u64,
+        1,
+        127,
+        128,
+        16_383,
+        16_384,
+        u32::MAX as u64,
+        u64::MAX - 1,
+        u64::MAX,
+    ] {
+        let mut buf = Vec::new();
+        irec_wire::encode_varint(v, &mut buf);
+        assert_eq!(buf.len(), irec_wire::varint_len(v));
+        let (decoded, used) = irec_wire::decode_varint(&buf).expect("round-trip");
+        assert_eq!((decoded, used), (v, buf.len()));
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline vendored shim for the `serde` facade crate.
+//!
+//! See `vendor/serde_derive` for the rationale. This crate provides the trait names and
+//! re-exports the no-op derive macros so `use serde::{Serialize, Deserialize}` and
+//! `#[derive(Serialize, Deserialize)]` both compile unchanged. The traits carry no
+//! methods because nothing in the workspace serializes through serde at runtime.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

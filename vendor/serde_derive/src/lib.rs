@@ -1,0 +1,21 @@
+//! Offline vendored shim for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward-looking
+//! annotations on plain data types — nothing actually serializes through serde at
+//! runtime (the wire format is the hand-rolled `irec_wire` codec). With no access to
+//! crates.io these derives expand to nothing, keeping the annotations compiling until
+//! the real dependency can be restored.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
