@@ -20,13 +20,12 @@ fn bench_irec_pipeline(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for phi in SIZES {
         let local_as = workload_local_as();
-        let (mut rac, _, store) = on_demand_rac();
+        let (rac, _, store) = on_demand_rac();
         let tagged = tag_candidates(&candidate_set(phi, 7), &store);
         group.throughput(Throughput::Elements(phi as u64));
         group.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, _| {
             b.iter(|| {
-                rac_processing_latency(&mut rac, tagged.clone(), &local_as)
-                    .expect("processing succeeds")
+                rac_processing_latency(&rac, &tagged, &local_as).expect("processing succeeds")
             });
         });
     }

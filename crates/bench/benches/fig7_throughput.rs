@@ -35,9 +35,9 @@ fn bench_parallel_racs(c: &mut Criterion) {
                     for worker in 0..racs {
                         handles.push(scope.spawn(move || {
                             let local_as = workload_local_as();
-                            let (mut rac, _, store) = on_demand_rac();
+                            let (rac, _, store) = on_demand_rac();
                             let tagged = tag_candidates(&candidate_set(phi, worker as u64), &store);
-                            rac_processing_latency(&mut rac, tagged, &local_as)
+                            rac_processing_latency(&rac, &tagged, &local_as)
                                 .expect("processing succeeds")
                         }));
                     }
@@ -58,13 +58,12 @@ fn bench_phi_scaling(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for phi in [16usize, 64, 256, 1024] {
         let local_as = workload_local_as();
-        let (mut rac, _, store) = on_demand_rac();
+        let (rac, _, store) = on_demand_rac();
         let tagged = tag_candidates(&candidate_set(phi, 3), &store);
         group.throughput(Throughput::Elements(phi as u64));
         group.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, _| {
             b.iter(|| {
-                rac_processing_latency(&mut rac, tagged.clone(), &local_as)
-                    .expect("processing succeeds")
+                rac_processing_latency(&rac, &tagged, &local_as).expect("processing succeeds")
             });
         });
     }

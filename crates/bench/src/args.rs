@@ -20,6 +20,10 @@ pub struct BenchArgs {
     /// Maximum number of parallel RACs for the throughput scan (`--max-racs`,
     /// default = available parallelism capped at 16).
     pub max_racs: usize,
+    /// Worker threads of the parallel execution engines (`--parallelism`, default 1 =
+    /// sequential). Threaded into the simulation's node phase, each node's RAC engine, and
+    /// the Fig. 6 engine-scaling section.
+    pub parallelism: usize,
 }
 
 impl Default for BenchArgs {
@@ -34,6 +38,7 @@ impl Default for BenchArgs {
             pd_pairs: 10,
             reps: 5,
             max_racs: cores.min(16),
+            parallelism: 1,
         }
     }
 }
@@ -78,6 +83,9 @@ impl BenchArgs {
         if let Some(v) = get(&map, "max-racs") {
             parsed.max_racs = v.clamp(1, 64);
         }
+        if let Some(v) = get(&map, "parallelism") {
+            parsed.parallelism = v.clamp(1, 64);
+        }
         parsed
     }
 
@@ -101,6 +109,7 @@ mod tests {
         assert_eq!(a.ases, 60);
         assert_eq!(a.rounds, 8);
         assert!(a.max_racs >= 1);
+        assert_eq!(a.parallelism, 1);
     }
 
     #[test]
@@ -118,6 +127,8 @@ mod tests {
             "2",
             "--max-racs",
             "4",
+            "--parallelism",
+            "6",
         ]);
         assert_eq!(a.ases, 120);
         assert_eq!(a.rounds, 12);
@@ -125,6 +136,7 @@ mod tests {
         assert_eq!(a.pd_pairs, 3);
         assert_eq!(a.reps, 2);
         assert_eq!(a.max_racs, 4);
+        assert_eq!(a.parallelism, 6);
     }
 
     #[test]
@@ -132,6 +144,8 @@ mod tests {
         let a = parse(&["--bogus", "x", "--ases", "1", "--max-racs", "1000"]);
         assert_eq!(a.ases, 5);
         assert_eq!(a.max_racs, 64);
+        let p = parse(&["--parallelism", "0"]);
+        assert_eq!(p.parallelism, 1);
     }
 
     #[test]

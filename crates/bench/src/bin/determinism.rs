@@ -1,0 +1,97 @@
+//! Determinism probe: runs two fixed simulation scenarios and prints every registered path
+//! and every overhead counter in full.
+//!
+//! ```text
+//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--ases 12] [--rounds 3] [--seed 5]
+//! ```
+//!
+//! The output is **byte-identical for every `--parallelism` value** — that is the parallel
+//! execution engine's determinism guarantee, and the CI determinism job enforces it by
+//! diffing a sequential run against a `--parallelism 4` run. The `--parallelism` argument is
+//! deliberately excluded from the output for exactly that reason.
+
+use irec_bench::BenchArgs;
+use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
+use irec_sim::{Simulation, SimulationConfig};
+use irec_topology::builder::figure1_topology;
+use irec_topology::{GeneratorConfig, TopologyGenerator};
+use std::sync::Arc;
+
+fn main() {
+    let args = BenchArgs::from_env();
+
+    // Scenario 1: the quickstart setup on the paper's Fig. 1 topology.
+    let figure1 = Simulation::new(
+        Arc::new(figure1_topology()),
+        SimulationConfig::default().with_parallelism(args.parallelism),
+        |_| {
+            NodeConfig::default()
+                .with_policy(PropagationPolicy::All)
+                .with_racs(vec![
+                    RacConfig::static_rac("DO", "DO"),
+                    RacConfig::static_rac("widest", "widest"),
+                ])
+                .with_parallelism(args.parallelism)
+        },
+    )
+    .expect("figure-1 simulation setup");
+    dump("figure1", figure1, 6);
+
+    // Scenario 2: a generated internet topology with the paper's static RAC set.
+    let config = GeneratorConfig {
+        num_ases: args.ases,
+        seed: args.seed,
+        ..Default::default()
+    };
+    let generated = Simulation::new(
+        Arc::new(TopologyGenerator::new(config).generate()),
+        SimulationConfig::default().with_parallelism(args.parallelism),
+        |_| {
+            NodeConfig::default()
+                .with_racs(vec![
+                    RacConfig::static_rac("1SP", "1SP"),
+                    RacConfig::static_rac("5SP", "5SP"),
+                    RacConfig::static_rac("HD", "HD"),
+                    RacConfig::static_rac("DON", "DO"),
+                ])
+                .with_parallelism(args.parallelism)
+        },
+    )
+    .expect("generated simulation setup");
+    dump("generated", generated, args.rounds);
+}
+
+/// Runs `rounds` beaconing rounds and prints every observable output of the simulation in
+/// its natural (deterministic) order — registration order included, so any scheduling
+/// nondeterminism shows up as a diff.
+fn dump(label: &str, mut sim: Simulation, rounds: usize) {
+    sim.run_rounds(rounds).expect("beaconing rounds");
+    println!("## scenario: {label}");
+    println!(
+        "counters\tdelivered={}\tdropped={}\toccupancy={}\tconnectivity={:.6}",
+        sim.delivered_messages(),
+        sim.dropped_messages(),
+        sim.ingress_occupancy(),
+        sim.connectivity()
+    );
+    println!(
+        "overhead\ttotal={}\tsamples={:?}",
+        sim.overhead().total(),
+        sim.overhead().nonzero_samples()
+    );
+    for p in sim.registered_paths() {
+        println!(
+            "path\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:?}",
+            p.holder,
+            p.origin,
+            p.algorithm,
+            p.group,
+            p.origin_interface,
+            p.holder_interface,
+            p.metrics.latency,
+            p.metrics.bandwidth,
+            p.metrics.hops,
+            p.links
+        );
+    }
+}

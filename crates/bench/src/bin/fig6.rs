@@ -13,7 +13,7 @@
 //! what this binary reproduces.
 
 use irec_bench::report::{fmt_ms, header};
-use irec_bench::workload::measure_phi;
+use irec_bench::workload::{measure_engine_point, measure_phi};
 use irec_bench::BenchArgs;
 
 fn main() {
@@ -42,6 +42,50 @@ fn main() {
             fmt_ms(m.irec_total()),
             fmt_ms(m.legacy),
             m.ratio()
+        );
+    }
+
+    // Second table (`--parallelism N`): the same setup/marshal/execute breakdown measured
+    // through the parallel RAC execution engine against worker count. CPU columns stay
+    // roughly constant (same work) while wall-clock drops as workers are added.
+    let engine_phi = 256usize;
+    let mut worker_counts: Vec<usize> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .filter(|&w| w <= args.parallelism)
+        .collect();
+    if !worker_counts.contains(&args.parallelism) {
+        worker_counts.push(args.parallelism);
+    }
+    println!();
+    println!(
+        "# Engine scaling — RAC phase breakdown vs worker count (|Phi|={engine_phi}, 4 RACs x 4 batches)"
+    );
+    header(&[
+        "workers",
+        "wasm_setup_ms",
+        "marshal_ms",
+        "execution_ms",
+        "cpu_total_ms",
+        "wall_ms",
+        "speedup",
+    ]);
+    // `worker_counts` always starts with 1; that first row doubles as the speedup baseline
+    // (so the workers=1 row prints speedup 1.00 by construction and the point is not
+    // measured twice).
+    let mut base_wall = None;
+    for workers in worker_counts {
+        let (timing, wall) = measure_engine_point(engine_phi, workers, args.reps, args.seed);
+        let base = *base_wall.get_or_insert(wall);
+        let speedup = base.as_secs_f64() / wall.as_secs_f64().max(f64::EPSILON);
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.2}",
+            workers,
+            fmt_ms(timing.setup),
+            fmt_ms(timing.marshal),
+            fmt_ms(timing.execute),
+            fmt_ms(timing.total()),
+            fmt_ms(wall),
+            speedup
         );
     }
 }

@@ -24,9 +24,16 @@ const MEASURE_WINDOW: Duration = Duration::from_millis(400);
 fn main() {
     let args = BenchArgs::from_env();
     let sizes: [usize; 5] = [16, 64, 256, 1024, 4096];
+    // The preset scan covers worker counts up to `--max-racs`; `--parallelism N` keeps its
+    // global meaning ("I want N workers") by guaranteeing N itself is one of the measured
+    // points, without widening the preset sweep.
     let rac_counts: Vec<usize> = {
         let mut v = vec![1usize, 2, 4, 8, 16, 24, 32];
         v.retain(|&n| n <= args.max_racs.max(1));
+        if args.parallelism > 1 && !v.contains(&args.parallelism) {
+            v.push(args.parallelism);
+            v.sort_unstable();
+        }
         if v.is_empty() {
             v.push(1);
         }
@@ -52,13 +59,13 @@ fn measure_point(phi: usize, racs: usize, seed: u64) -> String {
         for worker in 0..racs {
             handles.push(scope.spawn(move || {
                 let local_as = workload_local_as();
-                let (mut rac, _, store) = on_demand_rac();
+                let (rac, _, store) = on_demand_rac();
                 let base = candidate_set(phi, seed + worker as u64);
                 let tagged = tag_candidates(&base, &store);
                 let mut processed: u64 = 0;
                 let begin = Instant::now();
                 while begin.elapsed() < MEASURE_WINDOW {
-                    rac_processing_latency(&mut rac, tagged.clone(), &local_as)
+                    rac_processing_latency(&rac, &tagged, &local_as)
                         .expect("benchmark processing succeeds");
                     processed += phi as u64;
                 }

@@ -122,9 +122,13 @@ impl Fig8Campaign {
         grouping: Option<GroupingConfig>,
     ) -> Result<(Vec<RegisteredPath>, Vec<u64>)> {
         let name = rac.name.clone();
+        // Apply the worker budget at the node phase only: with hundreds of nodes per round
+        // that is where the parallelism is, and also enabling each node's RAC engine would
+        // oversubscribe the machine with up to parallelism^2 threads and distort the very
+        // wall-clock numbers the campaign measures.
         let mut sim = Simulation::new(
             Arc::clone(&self.topology),
-            SimulationConfig::default(),
+            SimulationConfig::default().with_parallelism(self.args.parallelism),
             move |_| NodeConfig::default().with_racs(vec![rac.clone()]),
         )?;
         if let Some(grouping) = grouping {
@@ -137,10 +141,11 @@ impl Fig8Campaign {
     }
 
     fn run_pd(&self, data: &mut Fig8Data) -> Result<Vec<u64>> {
+        // Node-phase parallelism only, as in `run_series`.
         let mut sim = Simulation::new(
             Arc::clone(&self.topology),
-            SimulationConfig::default(),
-            |_| {
+            SimulationConfig::default().with_parallelism(self.args.parallelism),
+            move |_| {
                 NodeConfig::default().with_racs(vec![
                     RacConfig::static_rac("HD", "HD"),
                     RacConfig::on_demand_rac("on-demand"),
@@ -249,6 +254,7 @@ pub fn test_campaign(seed: u64) -> Fig8Campaign {
         pd_pairs: 2,
         reps: 1,
         max_racs: 2,
+        parallelism: 1,
     })
 }
 

@@ -4,7 +4,7 @@
 use irec_algorithms::score::KShortestPaths;
 use irec_algorithms::{AlgorithmContext, Candidate, CandidateBatch, RoutingAlgorithm};
 use irec_core::beacon_db::{BatchKey, StoredBeacon};
-use irec_core::{Rac, RacConfig, RacTiming, SharedAlgorithmStore};
+use irec_core::{execute_racs, IngressDb, Rac, RacConfig, RacTiming, SharedAlgorithmStore};
 use irec_crypto::{KeyRegistry, Signer};
 use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
 use irec_topology::{AsNode, Interface, Tier};
@@ -14,7 +14,8 @@ use irec_types::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The origin AS all synthetic candidates come from.
 pub const WORKLOAD_ORIGIN: AsId = AsId(1);
@@ -51,14 +52,20 @@ impl Measurement {
 
 /// Generates a synthetic candidate set of size `phi`: beacons from one origin with 2–6 AS
 /// hops and randomized latency/bandwidth metadata, all received by the benchmarked AS.
-pub fn candidate_set(phi: usize, seed: u64) -> Vec<StoredBeacon> {
+pub fn candidate_set(phi: usize, seed: u64) -> Vec<Arc<StoredBeacon>> {
+    candidate_set_for(WORKLOAD_ORIGIN, phi, seed)
+}
+
+/// Like [`candidate_set`], for an arbitrary origin AS — the multi-batch engine workload
+/// needs candidate batches from several distinct origins.
+pub fn candidate_set_for(origin: AsId, phi: usize, seed: u64) -> Vec<Arc<StoredBeacon>> {
     let registry = KeyRegistry::with_ases(7, 64);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(phi);
     for i in 0..phi {
         let hops = rng.gen_range(2..=6usize);
         let mut pcb = Pcb::originate(
-            WORKLOAD_ORIGIN,
+            origin,
             i as u64,
             SimTime::ZERO,
             SimTime::ZERO + SimDuration::from_hours(6),
@@ -66,7 +73,7 @@ pub fn candidate_set(phi: usize, seed: u64) -> Vec<StoredBeacon> {
         );
         for h in 0..hops {
             let asn = if h == 0 {
-                WORKLOAD_ORIGIN
+                origin
             } else {
                 AsId(1 + h as u64 * 3 + (i as u64 % 3))
             };
@@ -85,11 +92,11 @@ pub fn candidate_set(phi: usize, seed: u64) -> Vec<StoredBeacon> {
             pcb.extend(ingress, egress, info, &signer)
                 .expect("synthetic beacon extension is valid");
         }
-        out.push(StoredBeacon {
+        out.push(Arc::new(StoredBeacon {
             pcb,
             ingress: IfId(1 + (i % 2) as u32),
             received_at: SimTime::ZERO,
-        });
+        }));
     }
     out
 }
@@ -120,7 +127,7 @@ pub fn workload_local_as() -> AsNode {
 /// the one with higher overhead)".
 pub fn on_demand_rac() -> (
     Rac,
-    Vec<StoredBeacon>, /* template tagging */
+    Vec<Arc<StoredBeacon>>, /* template tagging */
     SharedAlgorithmStore,
 ) {
     let store = SharedAlgorithmStore::new();
@@ -141,9 +148,9 @@ pub fn on_demand_rac() -> (
 /// it (origins embed the reference when originating). Signatures are recomputed because the
 /// extension is part of the signed header.
 pub fn tag_candidates(
-    candidates: &[StoredBeacon],
+    candidates: &[Arc<StoredBeacon>],
     store: &SharedAlgorithmStore,
-) -> Vec<StoredBeacon> {
+) -> Vec<Arc<StoredBeacon>> {
     let registry = KeyRegistry::with_ases(7, 64);
     let program = irec_irvm::programs::shortest_path(20);
     let reference = store.publish(WORKLOAD_ORIGIN, AlgorithmId(1), program.to_module_bytes());
@@ -167,19 +174,20 @@ pub fn tag_candidates(
                 )
                 .expect("re-tagging preserves validity");
             }
-            StoredBeacon {
+            Arc::new(StoredBeacon {
                 pcb,
                 ingress: stored.ingress,
                 received_at: stored.received_at,
-            }
+            })
         })
         .collect()
 }
 
 /// Measures one IREC RAC processing pass over `candidates` (setup + marshal + execute).
+/// The candidate set is shared, not consumed — repeated passes reuse the same snapshot.
 pub fn rac_processing_latency(
-    rac: &mut Rac,
-    candidates: Vec<StoredBeacon>,
+    rac: &Rac,
+    candidates: &[Arc<StoredBeacon>],
     local_as: &AsNode,
 ) -> Result<RacTiming> {
     let key = BatchKey {
@@ -194,7 +202,7 @@ pub fn rac_processing_latency(
 
 /// Measures the legacy control service on the same candidate set: the native 20-shortest
 /// selection with no sandbox and no marshalling boundary.
-pub fn legacy_selection_latency(candidates: &[StoredBeacon], local_as: &AsNode) -> Duration {
+pub fn legacy_selection_latency(candidates: &[Arc<StoredBeacon>], local_as: &AsNode) -> Duration {
     let algorithm = KShortestPaths::legacy_scion();
     let batch = CandidateBatch {
         origin: WORKLOAD_ORIGIN,
@@ -214,10 +222,58 @@ pub fn legacy_selection_latency(candidates: &[StoredBeacon], local_as: &AsNode) 
     start.elapsed()
 }
 
+/// A multi-batch, multi-RAC workload for the parallel execution engine: `origins` candidate
+/// batches of `phi` beacons each in one ingress database, processed by four static RACs
+/// (1SP, 5SP, DO, widest) — the ≥4-RAC workload the engine-scaling measurements run on.
+pub fn engine_workload(phi: usize, origins: u64, seed: u64) -> (Vec<Rac>, IngressDb) {
+    let racs: Vec<Rac> = ["1SP", "5SP", "DO", "widest"]
+        .iter()
+        .map(|name| Rac::new_static(RacConfig::static_rac(*name, *name)).expect("catalog name"))
+        .collect();
+    let mut db = IngressDb::new();
+    for index in 0..origins.max(1) {
+        let origin = AsId(WORKLOAD_ORIGIN.value() + index * 100);
+        for stored in candidate_set_for(origin, phi, seed.wrapping_add(index)) {
+            db.insert(stored.pcb.clone(), stored.ingress, stored.received_at);
+        }
+    }
+    (racs, db)
+}
+
+/// One engine-scaling measurement point: the **mean per-pass** setup/marshal/execute
+/// breakdown and the mean per-pass wall-clock time, averaged over `repetitions` engine
+/// passes with `workers` worker threads over the [`engine_workload`] (4 RACs × 4 candidate
+/// batches). Both figures are per pass, so CPU-vs-wall comparisons are rep-independent.
+pub fn measure_engine_point(
+    phi: usize,
+    workers: usize,
+    repetitions: usize,
+    seed: u64,
+) -> (RacTiming, Duration) {
+    let local_as = workload_local_as();
+    let (racs, db) = engine_workload(phi, 4, seed);
+    let egress: Vec<IfId> = local_as.interfaces.keys().copied().collect();
+    let reps = repetitions.max(1);
+    let mut timing = RacTiming::default();
+    let start = Instant::now();
+    for _ in 0..reps {
+        let (_, pass) = execute_racs(&racs, &db, &local_as, &egress, SimTime::ZERO, workers)
+            .expect("engine workload processes cleanly");
+        timing.accumulate(&pass);
+    }
+    let mean = RacTiming {
+        setup: timing.setup / reps as u32,
+        marshal: timing.marshal / reps as u32,
+        execute: timing.execute / reps as u32,
+        candidates: timing.candidates / reps,
+    };
+    (mean, start.elapsed() / reps as u32)
+}
+
 /// Runs the complete Fig. 6 measurement for one |Φ| value, averaging over `repetitions`.
 pub fn measure_phi(phi: usize, repetitions: usize, seed: u64) -> Measurement {
     let local_as = workload_local_as();
-    let (mut rac, _, store) = on_demand_rac();
+    let (rac, _, store) = on_demand_rac();
     let base = candidate_set(phi, seed);
     let tagged = tag_candidates(&base, &store);
 
@@ -226,7 +282,7 @@ pub fn measure_phi(phi: usize, repetitions: usize, seed: u64) -> Measurement {
         ..Measurement::default()
     };
     for _ in 0..repetitions.max(1) {
-        let timing = rac_processing_latency(&mut rac, tagged.clone(), &local_as)
+        let timing = rac_processing_latency(&rac, &tagged, &local_as)
             .expect("benchmark RAC processing succeeds");
         total.setup += timing.setup;
         total.marshal += timing.marshal;
@@ -271,11 +327,23 @@ mod tests {
     }
 
     #[test]
+    fn engine_workload_scales_and_stays_deterministic() {
+        let (racs, db) = engine_workload(8, 4, 11);
+        assert_eq!(racs.len(), 4);
+        assert_eq!(db.batch_keys().len(), 4);
+        let (timing_seq, _) = measure_engine_point(8, 1, 1, 11);
+        let (timing_par, _) = measure_engine_point(8, 4, 1, 11);
+        // 4 RACs x 4 batches x 8 candidates, identical under any worker count.
+        assert_eq!(timing_seq.candidates, 4 * 4 * 8);
+        assert_eq!(timing_par.candidates, timing_seq.candidates);
+    }
+
+    #[test]
     fn on_demand_rac_processes_tagged_candidates() {
         let local_as = workload_local_as();
-        let (mut rac, _, store) = on_demand_rac();
+        let (rac, _, store) = on_demand_rac();
         let tagged = tag_candidates(&candidate_set(8, 5), &store);
-        let timing = rac_processing_latency(&mut rac, tagged, &local_as).unwrap();
+        let timing = rac_processing_latency(&rac, &tagged, &local_as).unwrap();
         assert_eq!(timing.candidates, 8);
         assert_eq!(rac.cached_algorithms(), 1);
     }

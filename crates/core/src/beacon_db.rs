@@ -10,6 +10,7 @@
 use irec_pcb::{Pcb, PcbId};
 use irec_types::{AsId, IfId, InterfaceGroupId, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// A received beacon as stored in the ingress database.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,10 +36,36 @@ pub struct BatchKey {
     pub target: Option<AsId>,
 }
 
+/// An immutable, `Arc`-shared snapshot of one candidate batch, handed to RACs.
+///
+/// Snapshotting replaces the per-call deep `Vec<StoredBeacon>` clones the ingress database
+/// used to hand out: the beacons themselves are shared (`Arc<StoredBeacon>`), and the batch
+/// as a whole is an `Arc` slice, so cloning a view — e.g. to move it onto a worker thread of
+/// the parallel RAC execution engine — is a pair of reference-count bumps.
+#[derive(Debug, Clone)]
+pub struct BatchView {
+    /// The batch parameters the beacons were collected for.
+    pub key: BatchKey,
+    /// The candidate beacons, unexpired at snapshot time.
+    pub beacons: Arc<[Arc<StoredBeacon>]>,
+}
+
+impl BatchView {
+    /// Number of candidate beacons in the view.
+    pub fn len(&self) -> usize {
+        self.beacons.len()
+    }
+
+    /// Whether the view holds no beacons.
+    pub fn is_empty(&self) -> bool {
+        self.beacons.is_empty()
+    }
+}
+
 /// The ingress database: received beacons indexed for RAC consumption.
 #[derive(Debug, Default)]
 pub struct IngressDb {
-    by_key: BTreeMap<BatchKey, Vec<StoredBeacon>>,
+    by_key: BTreeMap<BatchKey, Vec<Arc<StoredBeacon>>>,
     seen: HashSet<PcbId>,
 }
 
@@ -63,11 +90,14 @@ impl IngressDb {
                 .unwrap_or(InterfaceGroupId::DEFAULT),
             target: pcb.extensions.target,
         };
-        self.by_key.entry(key).or_default().push(StoredBeacon {
-            pcb,
-            ingress,
-            received_at,
-        });
+        self.by_key
+            .entry(key)
+            .or_default()
+            .push(Arc::new(StoredBeacon {
+                pcb,
+                ingress,
+                received_at,
+            }));
         true
     }
 
@@ -76,8 +106,9 @@ impl IngressDb {
         self.by_key.keys().copied().collect()
     }
 
-    /// The stored beacons for one batch key (unexpired at `now`).
-    pub fn beacons_for(&self, key: &BatchKey, now: SimTime) -> Vec<StoredBeacon> {
+    /// The stored beacons for one batch key (unexpired at `now`). Returned beacons are
+    /// shared, not cloned.
+    pub fn beacons_for(&self, key: &BatchKey, now: SimTime) -> Vec<Arc<StoredBeacon>> {
         self.by_key
             .get(key)
             .map(|v| {
@@ -90,13 +121,14 @@ impl IngressDb {
     }
 
     /// The stored beacons for one origin across all its interface groups, merged into one
-    /// list — what a RAC with `use_interface_groups` disabled processes.
+    /// list — what a RAC with `use_interface_groups` disabled processes. Returned beacons
+    /// are shared, not cloned.
     pub fn beacons_for_origin(
         &self,
         origin: AsId,
         target: Option<AsId>,
         now: SimTime,
-    ) -> Vec<StoredBeacon> {
+    ) -> Vec<Arc<StoredBeacon>> {
         self.by_key
             .iter()
             .filter(|(k, _)| k.origin == origin && k.target == target)
@@ -106,9 +138,55 @@ impl IngressDb {
             .collect()
     }
 
-    /// Total number of stored beacons (including expired ones not yet evicted).
+    /// Snapshots the batch for `key` into an immutable view, or `None` when no unexpired
+    /// beacon is stored under it.
+    pub fn batch_view(&self, key: &BatchKey, now: SimTime) -> Option<BatchView> {
+        let beacons = self.beacons_for(key, now);
+        if beacons.is_empty() {
+            return None;
+        }
+        Some(BatchView {
+            key: *key,
+            beacons: beacons.into(),
+        })
+    }
+
+    /// Snapshots the group-merged batch of one origin (under the default group id), or
+    /// `None` when no unexpired beacon matches.
+    pub fn origin_view(
+        &self,
+        origin: AsId,
+        target: Option<AsId>,
+        now: SimTime,
+    ) -> Option<BatchView> {
+        let beacons = self.beacons_for_origin(origin, target, now);
+        if beacons.is_empty() {
+            return None;
+        }
+        Some(BatchView {
+            key: BatchKey {
+                origin,
+                group: InterfaceGroupId::DEFAULT,
+                target,
+            },
+            beacons: beacons.into(),
+        })
+    }
+
+    /// Total number of stored beacons **including expired ones not yet evicted**. Use
+    /// [`IngressDb::live_len`] for occupancy/overhead metrics.
     pub fn len(&self) -> usize {
         self.by_key.values().map(Vec::len).sum()
+    }
+
+    /// Number of stored beacons that are still valid at `now`. Unlike [`IngressDb::len`],
+    /// this does not overcount expired-but-unevicted beacons between eviction sweeps.
+    pub fn live_len(&self, now: SimTime) -> usize {
+        self.by_key
+            .values()
+            .flat_map(|v| v.iter())
+            .filter(|b| !b.pcb.is_expired(now))
+            .count()
     }
 
     /// Whether the database is empty.
@@ -137,12 +215,28 @@ impl IngressDb {
     }
 }
 
+/// One tracked PCB hash in the egress database: the interfaces it was propagated on and the
+/// expiry time it was recorded under (so eviction can tell live entries from stale expiry-
+/// index rows).
+#[derive(Debug, Default)]
+struct EgressEntry {
+    egresses: HashSet<IfId>,
+    expires_at: SimTime,
+}
+
 /// The egress database: remembers, per PCB hash, the egress interfaces the beacon has already
 /// been propagated on, so duplicate selections by multiple RACs are propagated only once per
 /// interface.
+///
+/// Invariant (pinned by the proptest suite in `crates/core/tests/proptests.rs`): the
+/// `removed` count returned by [`EgressDb::evict_expired`] equals the number of hashes
+/// actually deleted from the database, i.e. `len()` always drops by exactly `removed`.
 #[derive(Debug, Default)]
 pub struct EgressDb {
-    propagated: HashMap<PcbId, HashSet<IfId>>,
+    propagated: HashMap<PcbId, EgressEntry>,
+    /// Expiry index. May contain stale rows for a digest that was evicted and later
+    /// re-recorded under a different expiry time; eviction validates each row against the
+    /// expiry time stored in the live entry before deleting.
     expiry: BTreeMap<SimTime, Vec<PcbId>>,
 }
 
@@ -159,12 +253,25 @@ impl EgressDb {
         let id = pcb.digest();
         let entry = self.propagated.entry(id).or_insert_with(|| {
             self.expiry.entry(pcb.expires_at).or_default().push(id);
-            HashSet::new()
+            EgressEntry {
+                egresses: HashSet::new(),
+                expires_at: pcb.expires_at,
+            }
         });
+        if entry.expires_at != pcb.expires_at {
+            // Defensive: a digest re-recorded under a different expiry (cannot happen while
+            // the digest covers the expiry field, but the bookkeeping must not silently
+            // drift if that ever changes). Track the later expiry and index it; the old
+            // index row becomes stale and is skipped at eviction.
+            if pcb.expires_at > entry.expires_at {
+                entry.expires_at = pcb.expires_at;
+                self.expiry.entry(pcb.expires_at).or_default().push(id);
+            }
+        }
         egress_ifs
             .iter()
             .copied()
-            .filter(|ifid| entry.insert(*ifid))
+            .filter(|ifid| entry.egresses.insert(*ifid))
             .collect()
     }
 
@@ -172,7 +279,7 @@ impl EgressDb {
     pub fn contains(&self, pcb: &Pcb, egress: IfId) -> bool {
         self.propagated
             .get(&pcb.digest())
-            .map(|s| s.contains(&egress))
+            .map(|e| e.egresses.contains(&egress))
             .unwrap_or(false)
     }
 
@@ -187,15 +294,30 @@ impl EgressDb {
     }
 
     /// Evicts entries whose beacons expired at or before `now`. Returns how many hashes were
-    /// removed.
+    /// removed; the count is exact — stale expiry-index rows (a digest evicted earlier and
+    /// re-recorded since) are skipped, never double-counted.
     pub fn evict_expired(&mut self, now: SimTime) -> usize {
         let mut removed = 0;
-        let still_valid = self
-            .expiry
-            .split_off(&SimTime::from_micros(now.as_micros() + 1));
-        for (_, ids) in std::mem::replace(&mut self.expiry, still_valid) {
+        // A sweep at `SimTime::MAX` drains every bucket (including one at exactly `MAX`,
+        // which `split_off(MAX + 1)` could neither express nor reach without overflowing).
+        let drained = if now == SimTime::MAX {
+            std::mem::take(&mut self.expiry)
+        } else {
+            let still_valid = self
+                .expiry
+                .split_off(&SimTime::from_micros(now.as_micros() + 1));
+            std::mem::replace(&mut self.expiry, still_valid)
+        };
+        for (_, ids) in drained {
             for id in ids {
-                if self.propagated.remove(&id).is_some() {
+                // Only delete when the live entry is recorded under an expiry that has
+                // actually passed; a later-expiring re-record keeps the entry alive (it has
+                // its own index row in a future bucket).
+                let expired = self
+                    .propagated
+                    .get(&id)
+                    .is_some_and(|e| e.expires_at <= now);
+                if expired && self.propagated.remove(&id).is_some() {
                     removed += 1;
                 }
             }
@@ -343,6 +465,74 @@ mod tests {
         assert_eq!(db.len(), 1);
         // After eviction the short beacon would be propagated again if re-selected.
         assert!(!db.contains(&short, IfId(1)));
+    }
+
+    #[test]
+    fn ingress_live_len_excludes_expired_but_unevicted_beacons() {
+        let mut db = IngressDb::new();
+        db.insert(pcb(1, 0, PcbExtensions::none(), 1), IfId(1), SimTime::ZERO);
+        db.insert(pcb(1, 1, PcbExtensions::none(), 10), IfId(1), SimTime::ZERO);
+        let later = SimTime::ZERO + SimDuration::from_hours(2);
+        // No eviction has run: len() still counts the expired beacon, live_len() does not.
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.live_len(later), 1);
+        assert_eq!(db.live_len(SimTime::ZERO), 2);
+        db.evict_expired(later, SimDuration::ZERO);
+        assert_eq!(db.len(), db.live_len(later));
+    }
+
+    #[test]
+    fn ingress_batch_views_share_beacons() {
+        let mut db = IngressDb::new();
+        db.insert(pcb(1, 0, PcbExtensions::none(), 6), IfId(1), SimTime::ZERO);
+        db.insert(pcb(1, 1, PcbExtensions::none(), 1), IfId(1), SimTime::ZERO);
+        let key = BatchKey {
+            origin: AsId(1),
+            group: InterfaceGroupId::DEFAULT,
+            target: None,
+        };
+        let view = db.batch_view(&key, SimTime::ZERO).unwrap();
+        assert_eq!(view.len(), 2);
+        assert!(!view.is_empty());
+        // The view holds the same allocations as the database — no deep copies.
+        let stored = db.beacons_for(&key, SimTime::ZERO);
+        assert!(Arc::ptr_eq(&view.beacons[0], &stored[0]));
+        // A clone of the view is another handle onto the same slice.
+        let cloned = view.clone();
+        assert!(Arc::ptr_eq(&cloned.beacons[0], &view.beacons[0]));
+        // Expired beacons are excluded at snapshot time.
+        let later = SimTime::ZERO + SimDuration::from_hours(2);
+        assert_eq!(db.batch_view(&key, later).unwrap().len(), 1);
+        // A key with only expired beacons yields no view.
+        let far = SimTime::ZERO + SimDuration::from_hours(20);
+        assert!(db.batch_view(&key, far).is_none());
+        assert!(db.origin_view(AsId(1), None, far).is_none());
+    }
+
+    #[test]
+    fn egress_eviction_count_matches_deletions_when_digest_reappears() {
+        let mut db = EgressDb::new();
+        let p = pcb(1, 0, PcbExtensions::none(), 1);
+        let expiry = SimTime::ZERO + SimDuration::from_hours(2);
+
+        db.filter_new_egresses(&p, &[IfId(1)]);
+        assert_eq!(db.len(), 1);
+        let removed = db.evict_expired(expiry);
+        assert_eq!(removed, 1);
+        assert_eq!(db.len(), 0);
+
+        // The same digest reappears after eviction (a RAC re-selects a re-received beacon):
+        // it must be tracked again and the next eviction must count exactly one deletion —
+        // `len()` always drops by exactly `removed`.
+        let again = db.filter_new_egresses(&p, &[IfId(1), IfId(2)]);
+        assert_eq!(again, vec![IfId(1), IfId(2)]);
+        assert_eq!(db.len(), 1);
+        let before = db.len();
+        let removed = db.evict_expired(expiry);
+        assert_eq!(removed, 1);
+        assert_eq!(before - removed, db.len());
+        // A second sweep finds nothing left to delete.
+        assert_eq!(db.evict_expired(expiry), 0);
     }
 
     #[test]

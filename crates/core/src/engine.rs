@@ -1,0 +1,292 @@
+//! The parallel RAC execution engine.
+//!
+//! The paper's central architectural claim is that routing algorithm containers execute
+//! *independently*: each RAC processes immutable candidate batches snapshotted out of the
+//! ingress database, and no RAC observes another RAC's state. This module exploits that
+//! independence. It materializes every `(RAC, candidate batch)` pair as one work item,
+//! fans the items out over `std::thread::scope` workers, and merges the results
+//! deterministically, so a run with `parallelism = N` is **byte-identical** to a sequential
+//! run:
+//!
+//! * work items are built in a fixed order (RAC configuration order, batch keys in
+//!   `BTreeMap` order) before any worker starts;
+//! * candidate batches are `Arc`-shared immutable [`BatchView`] snapshots — workers never
+//!   touch the ingress database;
+//! * per-item results are written into pre-allocated slots indexed by item, so the merge
+//!   walks items in their build order regardless of completion order — the merged output
+//!   order (RAC configuration order, batch keys ascending, candidate index within a batch)
+//!   is therefore identical for the sequential and the parallel path, and identical to what
+//!   a plain sequential loop over the RACs produces.
+//!
+//! Errors are deterministic too: the first failing work item *in item order* wins, exactly
+//! as in a sequential loop.
+
+use crate::beacon_db::{BatchView, IngressDb};
+use crate::rac::{Rac, RacOutput, RacTiming};
+use irec_topology::AsNode;
+use irec_types::{IfId, Result, SimTime};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Hard cap on engine workers; beyond this, coordination overhead dominates any workload
+/// this codebase produces.
+pub const MAX_WORKERS: usize = 64;
+
+/// One unit of parallel work: a RAC paired with a snapshot of one candidate batch.
+struct WorkItem {
+    /// Index into the RAC slice (stable identity for the deterministic merge).
+    rac_index: usize,
+    /// The immutable candidate batch to process.
+    view: BatchView,
+}
+
+type ItemResult = Result<(Vec<RacOutput>, RacTiming)>;
+
+/// Runs every RAC over its relevant candidate batches from `db` and returns the merged
+/// selections plus accumulated timing.
+///
+/// With `parallelism <= 1` the items run sequentially on the calling thread; with
+/// `parallelism > 1` they are distributed over that many scoped worker threads (capped at
+/// [`MAX_WORKERS`] and at the number of items). Both paths produce byte-identical results.
+pub fn execute_racs(
+    racs: &[Rac],
+    db: &IngressDb,
+    local_as: &AsNode,
+    egress_ifs: &[IfId],
+    now: SimTime,
+    parallelism: usize,
+) -> Result<(Vec<RacOutput>, RacTiming)> {
+    // Snapshot phase: materialize the work list in deterministic order.
+    let mut items = Vec::new();
+    for (rac_index, rac) in racs.iter().enumerate() {
+        for view in rac.relevant_batches(db, now) {
+            items.push(WorkItem { rac_index, view });
+        }
+    }
+
+    let workers = parallelism.min(MAX_WORKERS).min(items.len()).max(1);
+    let results: Vec<ItemResult> = if workers <= 1 {
+        items
+            .iter()
+            .map(|item| process_item(racs, item, local_as, egress_ifs))
+            .collect()
+    } else {
+        execute_parallel(racs, &items, local_as, egress_ifs, workers)
+    };
+
+    merge_results(results)
+}
+
+/// Processes one work item (on whatever thread it was claimed by).
+fn process_item(
+    racs: &[Rac],
+    item: &WorkItem,
+    local_as: &AsNode,
+    egress_ifs: &[IfId],
+) -> ItemResult {
+    racs[item.rac_index].process_candidates(
+        &item.view.key,
+        &item.view.beacons,
+        local_as,
+        egress_ifs,
+    )
+}
+
+/// Fans the work items out over `workers` scoped threads. Items are claimed through an
+/// atomic cursor (cheap dynamic load balancing — batch sizes are highly skewed) and results
+/// land in per-item slots, which keeps the merge order independent of scheduling.
+fn execute_parallel(
+    racs: &[Rac],
+    items: &[WorkItem],
+    local_as: &AsNode,
+    egress_ifs: &[IfId],
+    workers: usize,
+) -> Vec<ItemResult> {
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ItemResult>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
+                    break;
+                };
+                *slots[index].lock() = Some(process_item(racs, item, local_as, egress_ifs));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every work item slot is filled once the scope joins")
+        })
+        .collect()
+}
+
+/// Merges per-item results in item order: first error in item order wins and timings
+/// accumulate in item order, exactly as a sequential loop would.
+///
+/// No content-keyed re-sort is applied: item order — RAC configuration order, then batch
+/// keys ascending, then candidate index within a batch — already is the canonical
+/// deterministic ordering, and it is byte-identical to what the pre-engine sequential loop
+/// produced. Re-sorting by RAC *name* instead would silently change which RAC wins the
+/// egress gateway's first-selection dedup (and thereby path attribution) whenever operators
+/// configure RACs in non-alphabetical order.
+fn merge_results(results: Vec<ItemResult>) -> Result<(Vec<RacOutput>, RacTiming)> {
+    let mut outputs = Vec::new();
+    let mut timing = RacTiming::default();
+    for result in results {
+        let (mut item_outputs, item_timing) = result?;
+        timing.accumulate(&item_timing);
+        outputs.append(&mut item_outputs);
+    }
+    Ok((outputs, timing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RacConfig;
+    use irec_crypto::{KeyRegistry, Signer};
+    use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
+    use irec_topology::{Interface, Tier};
+    use irec_types::{AsId, Bandwidth, GeoCoord, Latency, LinkId, SimDuration};
+
+    fn local_as() -> AsNode {
+        let mut node = AsNode::new(AsId(50), Tier::Tier2);
+        for i in 1..=3u32 {
+            node.interfaces.insert(
+                IfId(i),
+                Interface {
+                    id: IfId(i),
+                    owner: node.id,
+                    location: GeoCoord::new(40.0 + f64::from(i), 8.0),
+                    link: LinkId(u64::from(i)),
+                },
+            );
+        }
+        node
+    }
+
+    fn db_with_origins(origins: u64, beacons_per_origin: u64) -> IngressDb {
+        let registry = KeyRegistry::with_ases(11, 512);
+        let mut db = IngressDb::new();
+        for origin in 1..=origins {
+            for seq in 0..beacons_per_origin {
+                let mut pcb = Pcb::originate(
+                    AsId(origin),
+                    seq,
+                    SimTime::ZERO,
+                    SimTime::ZERO + SimDuration::from_hours(6),
+                    PcbExtensions::none(),
+                );
+                pcb.extend(
+                    IfId::NONE,
+                    IfId(1),
+                    StaticInfo::origin(
+                        Latency::from_millis(5 + seq),
+                        Bandwidth::from_mbps(100 + 10 * seq),
+                        None,
+                    ),
+                    &Signer::new(AsId(origin), registry.clone()),
+                )
+                .unwrap();
+                db.insert(pcb, IfId(1), SimTime::ZERO);
+            }
+        }
+        db
+    }
+
+    fn rac_set() -> Vec<Rac> {
+        ["1SP", "5SP", "DO", "widest"]
+            .iter()
+            .map(|name| Rac::new_static(RacConfig::static_rac(*name, *name)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_sequential() {
+        let racs = rac_set();
+        let db = db_with_origins(6, 4);
+        let node = local_as();
+        let egress = [IfId(1), IfId(2), IfId(3)];
+
+        let (seq_outputs, seq_timing) =
+            execute_racs(&racs, &db, &node, &egress, SimTime::ZERO, 1).unwrap();
+        for parallelism in [2, 4, 8] {
+            let (par_outputs, par_timing) =
+                execute_racs(&racs, &db, &node, &egress, SimTime::ZERO, parallelism).unwrap();
+            assert_eq!(par_outputs.len(), seq_outputs.len());
+            for (a, b) in seq_outputs.iter().zip(&par_outputs) {
+                assert_eq!(a.rac_name, b.rac_name);
+                assert_eq!(a.origin, b.origin);
+                assert_eq!(a.group, b.group);
+                assert_eq!(a.egress_ifs, b.egress_ifs);
+                assert_eq!(a.beacon, b.beacon);
+            }
+            assert_eq!(par_timing.candidates, seq_timing.candidates);
+        }
+    }
+
+    #[test]
+    fn engine_handles_empty_database_and_no_racs() {
+        let node = local_as();
+        let db = IngressDb::new();
+        let racs = rac_set();
+        let (outputs, timing) =
+            execute_racs(&racs, &db, &node, &[IfId(1)], SimTime::ZERO, 4).unwrap();
+        assert!(outputs.is_empty());
+        assert_eq!(timing.candidates, 0);
+
+        let (outputs, _) = execute_racs(
+            &[],
+            &db_with_origins(2, 2),
+            &node,
+            &[IfId(1)],
+            SimTime::ZERO,
+            4,
+        )
+        .unwrap();
+        assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn errors_are_deterministic_across_parallelism() {
+        // An on-demand RAC with no published algorithm errors on fetch; the same error must
+        // surface regardless of worker count.
+        let store = crate::rac::SharedAlgorithmStore::new();
+        let reference = irec_pcb::AlgorithmRef::new(
+            irec_types::AlgorithmId(9),
+            irec_crypto::sha256(b"never published"),
+        );
+        let registry = KeyRegistry::with_ases(11, 512);
+        let mut db = IngressDb::new();
+        let mut pcb = Pcb::originate(
+            AsId(1),
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(6),
+            PcbExtensions::none().with_algorithm(reference),
+        );
+        pcb.extend(
+            IfId::NONE,
+            IfId(1),
+            StaticInfo::origin(Latency::from_millis(5), Bandwidth::from_mbps(100), None),
+            &Signer::new(AsId(1), registry.clone()),
+        )
+        .unwrap();
+        db.insert(pcb, IfId(1), SimTime::ZERO);
+
+        let racs =
+            vec![
+                Rac::new_on_demand(RacConfig::on_demand_rac("od"), std::sync::Arc::new(store))
+                    .unwrap(),
+            ];
+        let node = local_as();
+        let seq_err = execute_racs(&racs, &db, &node, &[IfId(2)], SimTime::ZERO, 1).unwrap_err();
+        let par_err = execute_racs(&racs, &db, &node, &[IfId(2)], SimTime::ZERO, 4).unwrap_err();
+        assert_eq!(seq_err.category(), par_err.category());
+        assert_eq!(seq_err.category(), "not-found");
+    }
+}

@@ -63,6 +63,13 @@ impl IngressGateway {
         self.stats
     }
 
+    /// Number of stored beacons still valid at `now` — the occupancy figure to report
+    /// between eviction sweeps (`db().len()` would overcount expired-but-unevicted
+    /// beacons).
+    pub fn live_beacons(&self, now: SimTime) -> usize {
+        self.db.live_len(now)
+    }
+
     /// Handles a PCB received on local interface `ingress` at time `now`.
     ///
     /// Verification failures and policy violations reject the beacon; duplicates are counted

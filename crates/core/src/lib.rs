@@ -40,15 +40,17 @@
 pub mod beacon_db;
 pub mod config;
 pub mod egress;
+pub mod engine;
 pub mod ingress;
 pub mod messages;
 pub mod node;
 pub mod path_service;
 pub mod rac;
 
-pub use beacon_db::{EgressDb, IngressDb, StoredBeacon};
+pub use beacon_db::{BatchView, EgressDb, IngressDb, StoredBeacon};
 pub use config::{NodeConfig, PropagationPolicy, RacConfig, RacKind};
 pub use egress::{EgressGateway, OriginationSpec};
+pub use engine::execute_racs;
 pub use ingress::IngressGateway;
 pub use messages::{PcbMessage, PullReturn};
 pub use node::{IrecNode, RoundOutput};

@@ -211,15 +211,19 @@ impl IrecNode {
             }
         }
 
-        // 2. RAC processing (§V-C).
+        // 2. RAC processing (§V-C): snapshot candidate batches and run every RAC through
+        // the execution engine — sequentially or fanned out over worker threads, with
+        // byte-identical results (see `crate::engine`).
         let local_as = self.topology.as_node(self.asn)?;
-        let mut all_outputs = Vec::new();
-        for rac in &mut self.racs {
-            let (outputs, timing) =
-                rac.process(self.ingress.db(), local_as, &all_interfaces, now)?;
-            output.timing.accumulate(&timing);
-            all_outputs.extend(outputs);
-        }
+        let (all_outputs, timing) = crate::engine::execute_racs(
+            &self.racs,
+            self.ingress.db(),
+            local_as,
+            &all_interfaces,
+            now,
+            self.config.parallelism,
+        )?;
+        output.timing.accumulate(&timing);
 
         // 3. Egress processing (§V-D).
         let (messages, returns) = self.egress.process_outputs(all_outputs, now)?;

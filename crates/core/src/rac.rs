@@ -15,7 +15,7 @@
 //! serialization boundary between gateway and RAC — gRPC/Protobuf in the paper, the
 //! `irec-wire` codec here), and **execute** (running the algorithm over the candidate set).
 
-use crate::beacon_db::{BatchKey, IngressDb, StoredBeacon};
+use crate::beacon_db::{BatchKey, BatchView, IngressDb, StoredBeacon};
 use crate::config::{RacConfig, RacKind};
 use irec_algorithms::{
     catalog, ondemand::IrvmAlgorithm, AlgorithmContext, Candidate, CandidateBatch, RoutingAlgorithm,
@@ -139,20 +139,50 @@ impl RacTiming {
     }
 }
 
+impl Encode for RacTiming {
+    fn encode(&self, writer: &mut WireWriter) {
+        // Nanosecond precision; a u64 holds ~584 years of wall-clock time, far beyond any
+        // measurable processing run.
+        writer.put_varint(self.setup.as_nanos() as u64);
+        writer.put_varint(self.marshal.as_nanos() as u64);
+        writer.put_varint(self.execute.as_nanos() as u64);
+        writer.put_varint(self.candidates as u64);
+    }
+}
+
+impl Decode for RacTiming {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self> {
+        let setup = Duration::from_nanos(reader.get_varint()?);
+        let marshal = Duration::from_nanos(reader.get_varint()?);
+        let execute = Duration::from_nanos(reader.get_varint()?);
+        let candidates = usize::try_from(reader.get_varint()?)
+            .map_err(|_| IrecError::decode("candidate count does not fit in usize"))?;
+        Ok(RacTiming {
+            setup,
+            marshal,
+            execute,
+            candidates,
+        })
+    }
+}
+
 /// Wire envelope used to marshal a candidate set across the gateway↔RAC boundary (the
 /// gRPC/Protobuf substitute measured as the "marshal" component).
 struct CandidateEnvelope {
     beacons: Vec<(irec_pcb::Pcb, IfId)>,
 }
 
-impl Encode for CandidateEnvelope {
-    fn encode(&self, writer: &mut WireWriter) {
-        writer.put_varint(self.beacons.len() as u64);
-        for (pcb, ingress) in &self.beacons {
-            pcb.encode(writer);
-            writer.put_u32v(ingress.value());
-        }
+/// Encodes a shared candidate set directly into wire bytes, without first deep-copying the
+/// beacons into an owned envelope (the decode side still materializes owned candidates — that
+/// is the unmarshalling cost the Fig. 6 "marshal" component measures).
+fn encode_candidates(beacons: &[Arc<StoredBeacon>]) -> Vec<u8> {
+    let mut writer = WireWriter::new();
+    writer.put_varint(beacons.len() as u64);
+    for beacon in beacons {
+        beacon.pcb.encode(&mut writer);
+        writer.put_u32v(beacon.ingress.value());
     }
+    writer.into_bytes()
 }
 
 impl Decode for CandidateEnvelope {
@@ -172,6 +202,11 @@ impl Decode for CandidateEnvelope {
 }
 
 /// A routing algorithm container.
+///
+/// A `Rac` is `Send + Sync`: processing takes `&self`, and the only mutable state — the
+/// on-demand algorithm cache — lives behind a [`parking_lot::RwLock`], so the parallel RAC
+/// execution engine ([`crate::engine`]) can fan `process_candidates` calls for independent
+/// candidate batches out over worker threads.
 pub struct Rac {
     config: RacConfig,
     /// The algorithm of a static RAC.
@@ -181,7 +216,7 @@ pub struct Rac {
     /// Cache of instantiated on-demand algorithms, keyed by (origin, algorithm id); the
     /// paper: "by caching the executable, the RAC only needs to do this once for all PCBs
     /// with the same origin AS and algorithm ID".
-    cache: HashMap<(AsId, AlgorithmId), Arc<IrvmAlgorithm>>,
+    cache: RwLock<HashMap<(AsId, AlgorithmId), Arc<IrvmAlgorithm>>>,
     /// When true, IREC extensions are ignored and every beacon is treated as plain (the
     /// behaviour of a legacy control service, used by the backward-compatibility setup).
     ignore_extensions: bool,
@@ -198,7 +233,7 @@ impl Rac {
             config,
             static_algorithm: Some(alg),
             fetcher: None,
-            cache: HashMap::new(),
+            cache: RwLock::new(HashMap::new()),
             ignore_extensions: false,
         })
     }
@@ -209,7 +244,7 @@ impl Rac {
             config,
             static_algorithm: Some(algorithm),
             fetcher: None,
-            cache: HashMap::new(),
+            cache: RwLock::new(HashMap::new()),
             ignore_extensions: false,
         }
     }
@@ -225,7 +260,7 @@ impl Rac {
             config,
             static_algorithm: None,
             fetcher: Some(fetcher),
-            cache: HashMap::new(),
+            cache: RwLock::new(HashMap::new()),
             ignore_extensions: false,
         })
     }
@@ -242,7 +277,7 @@ impl Rac {
 
     /// Number of cached on-demand algorithm instantiations.
     pub fn cached_algorithms(&self) -> usize {
-        self.cache.len()
+        self.cache.read().len()
     }
 
     /// Makes the RAC ignore IREC extensions (legacy control-service behaviour).
@@ -255,10 +290,14 @@ impl Rac {
         self.config.kind == RacKind::OnDemand
     }
 
-    /// One periodic processing run: pull every relevant candidate batch from the ingress
+    /// One periodic processing run: snapshot every relevant candidate batch from the ingress
     /// database, run the algorithm, and return the selected beacons plus accumulated timing.
+    ///
+    /// Outputs carry the same deterministic ordering as [`crate::engine::execute_racs`]
+    /// (which supersedes this entry point inside [`crate::node::IrecNode`]): batch keys in
+    /// ascending order, selections within a batch by candidate index.
     pub fn process(
-        &mut self,
+        &self,
         db: &IngressDb,
         local_as: &AsNode,
         egress_ifs: &[IfId],
@@ -266,27 +305,34 @@ impl Rac {
     ) -> Result<(Vec<RacOutput>, RacTiming)> {
         let mut outputs = Vec::new();
         let mut timing = RacTiming::default();
-
-        // Which batches does this RAC care about?
-        let keys = self.relevant_batch_keys(db);
-        for key in keys {
-            let beacons = if self.config.use_interface_groups || self.ignore_extensions {
-                db.beacons_for(&key, now)
-            } else {
-                // Interface groups disabled: merge all groups of the origin. The group-merged
-                // batch is processed once (when we encounter the default group key or, if the
-                // origin never uses the default group, the numerically first group).
-                db.beacons_for_origin(key.origin, key.target, now)
-            };
-            if beacons.is_empty() {
-                continue;
-            }
+        for view in self.relevant_batches(db, now) {
             let (mut batch_outputs, batch_timing) =
-                self.process_candidates(&key, beacons, local_as, egress_ifs)?;
+                self.process_candidates(&view.key, &view.beacons, local_as, egress_ifs)?;
             outputs.append(&mut batch_outputs);
             timing.accumulate(&batch_timing);
         }
         Ok((outputs, timing))
+    }
+
+    /// Snapshots the candidate batches this RAC processes, honouring its pull-based /
+    /// interface-group / on-demand configuration. The returned views share the stored
+    /// beacons (no deep copies) and are what the parallel execution engine distributes over
+    /// its workers.
+    pub fn relevant_batches(&self, db: &IngressDb, now: SimTime) -> Vec<BatchView> {
+        let keys = self.relevant_batch_keys(db);
+        let grouped = self.config.use_interface_groups || self.ignore_extensions;
+        keys.into_iter()
+            .filter_map(|key| {
+                if grouped {
+                    db.batch_view(&key, now)
+                } else {
+                    // Interface groups disabled: merge all groups of the origin. The
+                    // group-merged batch is snapshotted once per (origin, target) because
+                    // `relevant_batch_keys` collapsed the keys already.
+                    db.origin_view(key.origin, key.target, now)
+                }
+            })
+            .collect()
     }
 
     /// The batch keys this RAC processes, honouring its pull-based / interface-group /
@@ -300,8 +346,11 @@ impl Rac {
             })
             .collect();
         if !self.config.use_interface_groups && !self.ignore_extensions {
-            // Collapse groups: keep one representative key per (origin, target).
-            keys.sort();
+            // Collapse groups: keep one representative key per (origin, target). Sort by
+            // the dedup key itself — under `BatchKey`'s full ordering (origin, group,
+            // target), equal (origin, target) pairs from different groups are not adjacent
+            // and `dedup_by_key` would miss them.
+            keys.sort_by_key(|k| (k.origin, k.target));
             keys.dedup_by_key(|k| (k.origin, k.target));
             for k in &mut keys {
                 k.group = InterfaceGroupId::DEFAULT;
@@ -310,13 +359,14 @@ impl Rac {
         keys
     }
 
-    /// Processes one already-materialized candidate set. Exposed publicly because the Fig. 6
-    /// and Fig. 7 benchmarks drive a RAC directly with synthetic candidate sets of a given
-    /// size |Φ|.
+    /// Processes one already-materialized candidate set, shared by reference (taking `&self`
+    /// so the parallel execution engine can run batches of one RAC concurrently). Exposed
+    /// publicly because the Fig. 6 and Fig. 7 benchmarks drive a RAC directly with synthetic
+    /// candidate sets of a given size |Φ|.
     pub fn process_candidates(
-        &mut self,
+        &self,
         key: &BatchKey,
-        beacons: Vec<StoredBeacon>,
+        beacons: &[Arc<StoredBeacon>],
         local_as: &AsNode,
         egress_ifs: &[IfId],
     ) -> Result<(Vec<RacOutput>, RacTiming)> {
@@ -327,10 +377,7 @@ impl Rac {
 
         // -- Marshal: the candidate set crosses the gateway -> RAC process boundary. --
         let marshal_start = std::time::Instant::now();
-        let envelope = CandidateEnvelope {
-            beacons: beacons.iter().map(|b| (b.pcb.clone(), b.ingress)).collect(),
-        };
-        let wire_bytes = irec_wire::to_bytes(&envelope);
+        let wire_bytes = encode_candidates(beacons);
         let received: CandidateEnvelope = irec_wire::from_bytes(&wire_bytes)?;
         timing.marshal = marshal_start.elapsed();
 
@@ -429,12 +476,24 @@ impl Rac {
     }
 
     /// Fetch → size check → hash verify → validate → cache an on-demand algorithm.
+    ///
+    /// The cache lives behind an `RwLock` so concurrent batches of the same RAC can share
+    /// instantiations. The cold path holds the write lock across fetch + verify +
+    /// instantiation: that is what actually keeps the paper's "instantiate once per
+    /// (origin, algorithm ID)" property under contention — a worker racing past the
+    /// read-side check re-checks under the write lock and finds the winner's entry instead
+    /// of redoing the expensive sandbox setup. (Lock order is strictly `cache` →
+    /// fetcher-internal locks; nothing locks in the reverse direction.)
     fn instantiate_on_demand(
-        &mut self,
+        &self,
         origin: AsId,
         reference: &AlgorithmRef,
     ) -> Result<Arc<IrvmAlgorithm>> {
-        if let Some(cached) = self.cache.get(&(origin, reference.id)) {
+        if let Some(cached) = self.cache.read().get(&(origin, reference.id)) {
+            return Ok(Arc::clone(cached));
+        }
+        let mut cache = self.cache.write();
+        if let Some(cached) = cache.get(&(origin, reference.id)) {
             return Ok(Arc::clone(cached));
         }
         let fetcher = self
@@ -457,8 +516,7 @@ impl Rac {
             &bytes,
             irec_irvm::ExecutionLimits::ON_DEMAND_RAC,
         )?);
-        self.cache
-            .insert((origin, reference.id), Arc::clone(&algorithm));
+        cache.insert((origin, reference.id), Arc::clone(&algorithm));
         Ok(algorithm)
     }
 }
@@ -547,7 +605,7 @@ mod tests {
             ),
             (beacon(&reg, 1, &[(5, 100)], PcbExtensions::none()), 2),
         ]);
-        let mut rac = Rac::new_static(RacConfig::static_rac("1SP", "1SP")).unwrap();
+        let rac = Rac::new_static(RacConfig::static_rac("1SP", "1SP")).unwrap();
         let node = local_as();
         let (outputs, timing) = rac
             .process(&db, &node, &[IfId(1), IfId(2), IfId(3)], SimTime::ZERO)
@@ -583,13 +641,13 @@ mod tests {
         let db = ingress_db_with(vec![(pull, 1)]);
         let node = local_as();
 
-        let mut plain = Rac::new_static(RacConfig::static_rac("1SP", "1SP")).unwrap();
+        let plain = Rac::new_static(RacConfig::static_rac("1SP", "1SP")).unwrap();
         let (outputs, _) = plain
             .process(&db, &node, &[IfId(2)], SimTime::ZERO)
             .unwrap();
         assert!(outputs.is_empty());
 
-        let mut pull_enabled =
+        let pull_enabled =
             Rac::new_static(RacConfig::static_rac("1SP", "1SP").with_pull_based(true)).unwrap();
         let (outputs, _) = pull_enabled
             .process(&db, &node, &[IfId(2)], SimTime::ZERO)
@@ -616,7 +674,7 @@ mod tests {
         let node = local_as();
 
         // Group-aware RAC: one selection per group => both beacons selected by 1SP.
-        let mut grouped =
+        let grouped =
             Rac::new_static(RacConfig::static_rac("1SP", "1SP").with_interface_groups(true))
                 .unwrap();
         let (outputs, _) = grouped
@@ -625,11 +683,45 @@ mod tests {
         assert_eq!(outputs.len(), 2);
 
         // Group-oblivious RAC: groups merged, 1SP keeps only the single shortest beacon.
-        let mut merged = Rac::new_static(RacConfig::static_rac("1SP", "1SP")).unwrap();
+        let merged = Rac::new_static(RacConfig::static_rac("1SP", "1SP")).unwrap();
         let (outputs, _) = merged
             .process(&db, &node, &[IfId(2)], SimTime::ZERO)
             .unwrap();
         assert_eq!(outputs.len(), 1);
+    }
+
+    #[test]
+    fn group_collapse_processes_each_merged_batch_exactly_once() {
+        // Regression: with interface groups disabled, a pull-enabled RAC facing an origin
+        // whose beacons span several groups *and* both targeted/untargeted batches must
+        // merge down to one batch per (origin, target). The old collapse sorted by the full
+        // BatchKey ordering (origin, group, target), under which equal (origin, target)
+        // pairs from different groups are not adjacent, so dedup missed them and the merged
+        // batch was processed once per group.
+        let reg = registry();
+        let mk = |seq_latency: u64, group: u32, target: Option<u64>| {
+            let mut ext = PcbExtensions::none().with_interface_group(InterfaceGroupId(group));
+            if let Some(t) = target {
+                ext = ext.with_target(AsId(t));
+            }
+            beacon(&reg, 1, &[(seq_latency, 10)], ext)
+        };
+        let db = ingress_db_with(vec![
+            (mk(10, 1, None), 1),
+            (mk(20, 2, None), 1),
+            (mk(30, 1, Some(50)), 1),
+            (mk(40, 2, Some(50)), 1),
+        ]);
+        let rac =
+            Rac::new_static(RacConfig::static_rac("1SP", "1SP").with_pull_based(true)).unwrap();
+        let batches = rac.relevant_batches(&db, SimTime::ZERO);
+        assert_eq!(batches.len(), 2, "one merged batch per (origin, target)");
+        let node = local_as();
+        let (outputs, timing) = rac.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap();
+        // Each of the four beacons crosses the marshal boundary exactly once...
+        assert_eq!(timing.candidates, 4);
+        // ...and 1SP selects one shortest beacon per merged batch, with no duplicates.
+        assert_eq!(outputs.len(), 2);
     }
 
     #[test]
@@ -655,7 +747,7 @@ mod tests {
         let db = ingress_db_with(vec![(thin, 1), (wide, 1), (plain, 1)]);
         let node = local_as();
 
-        let mut rac =
+        let rac =
             Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store.clone())).unwrap();
         let (outputs, timing) = rac.process(&db, &node, &[IfId(2)], SimTime::ZERO).unwrap();
         // Both algorithm-carrying beacons are selectable; the widest ranks first, and the
@@ -688,7 +780,7 @@ mod tests {
         );
         let db = ingress_db_with(vec![(pcb, 1)]);
         let node = local_as();
-        let mut rac = Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store)).unwrap();
+        let rac = Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store)).unwrap();
         let err = rac
             .process(&db, &node, &[IfId(2)], SimTime::ZERO)
             .unwrap_err();
@@ -714,7 +806,7 @@ mod tests {
         );
         let db = ingress_db_with(vec![(pcb, 1)]);
         let node = local_as();
-        let mut rac =
+        let rac =
             Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(HugeFetcher)).unwrap();
         let err = rac
             .process(&db, &node, &[IfId(2)], SimTime::ZERO)
@@ -735,7 +827,7 @@ mod tests {
         );
         let db = ingress_db_with(vec![(pcb, 1)]);
         let node = local_as();
-        let mut rac = Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store)).unwrap();
+        let rac = Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store)).unwrap();
         let err = rac
             .process(&db, &node, &[IfId(2)], SimTime::ZERO)
             .unwrap_err();
@@ -753,14 +845,16 @@ mod tests {
     #[test]
     fn process_candidates_reports_timing_components() {
         let reg = registry();
-        let beacons: Vec<StoredBeacon> = (0..32)
-            .map(|i| StoredBeacon {
-                pcb: beacon(&reg, 1, &[(10 + i, 100)], PcbExtensions::none()),
-                ingress: IfId(1),
-                received_at: SimTime::ZERO,
+        let beacons: Vec<Arc<StoredBeacon>> = (0..32)
+            .map(|i| {
+                Arc::new(StoredBeacon {
+                    pcb: beacon(&reg, 1, &[(10 + i, 100)], PcbExtensions::none()),
+                    ingress: IfId(1),
+                    received_at: SimTime::ZERO,
+                })
             })
             .collect();
-        let mut rac = Rac::new_static(RacConfig::static_rac("legacy", "legacy-scion")).unwrap();
+        let rac = Rac::new_static(RacConfig::static_rac("legacy", "legacy-scion")).unwrap();
         let node = local_as();
         let key = BatchKey {
             origin: AsId(1),
@@ -768,7 +862,7 @@ mod tests {
             target: None,
         };
         let (outputs, timing) = rac
-            .process_candidates(&key, beacons, &node, &[IfId(2), IfId(3)])
+            .process_candidates(&key, &beacons, &node, &[IfId(2), IfId(3)])
             .unwrap();
         assert_eq!(timing.candidates, 32);
         assert!(timing.marshal > Duration::ZERO);

@@ -1,0 +1,192 @@
+//! Property-based suites pinning the core invariants this PR's bugfixes rely on:
+//!
+//! * `RacTiming` survives a wire encode/decode round-trip unchanged;
+//! * the ingress database never hands out an expired beacon, its dedup set (`seen`) always
+//!   matches the stored digests, and `live_len` agrees with what queries can observe;
+//! * the egress database's `evict_expired` count equals the number of hashes actually
+//!   deleted, for any interleaving of insertions and (even non-monotonic) eviction sweeps.
+
+use irec_core::beacon_db::BatchKey;
+use irec_core::{EgressDb, IngressDb, RacTiming};
+use irec_pcb::{Pcb, PcbExtensions};
+use irec_types::{AsId, IfId, InterfaceGroupId, SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+proptest! {
+    #[test]
+    fn rac_timing_wire_roundtrip(
+        components in (0u64..200_000_000_000, 0u64..200_000_000_000, 0u64..200_000_000_000),
+        candidates in 0usize..5_000_000,
+    ) {
+        let timing = RacTiming {
+            setup: Duration::from_nanos(components.0),
+            marshal: Duration::from_nanos(components.1),
+            execute: Duration::from_nanos(components.2),
+            candidates,
+        };
+        let bytes = irec_wire::to_bytes(&timing);
+        let decoded: RacTiming = irec_wire::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(decoded, timing);
+        prop_assert_eq!(decoded.total(), timing.total());
+    }
+
+    #[test]
+    fn rac_timing_decode_rejects_truncation(
+        components in (1u64..1_000_000, 1u64..1_000_000, 1u64..1_000_000),
+        cut in 1usize..4,
+    ) {
+        let timing = RacTiming {
+            setup: Duration::from_nanos(components.0),
+            marshal: Duration::from_nanos(components.1),
+            execute: Duration::from_nanos(components.2),
+            candidates: 7,
+        };
+        let mut bytes = irec_wire::to_bytes(&timing);
+        let len = bytes.len();
+        bytes.truncate(len - cut.min(len));
+        prop_assert!(irec_wire::from_bytes::<RacTiming>(&bytes).is_err());
+    }
+
+    /// Insert a batch of beacons, query and evict at random times: no expired beacon is
+    /// ever returned by any query path, and `live_len` matches what the queries observe.
+    #[test]
+    fn ingress_db_never_returns_expired_beacons(
+        beacons in proptest::collection::vec((1u64..5, 0u64..6, 1u64..10), 1..25),
+        probe_hours in 0u64..12,
+        evict_hours in 0u64..12,
+    ) {
+        let mut db = IngressDb::new();
+        for (origin, seq, validity) in &beacons {
+            db.insert(test_pcb(*origin, *seq, *validity), IfId(1), SimTime::ZERO);
+        }
+        let probe = SimTime::ZERO + SimDuration::from_hours(probe_hours);
+
+        let mut observed = 0usize;
+        for key in db.batch_keys() {
+            for beacon in db.beacons_for(&key, probe) {
+                prop_assert!(!beacon.pcb.is_expired(probe));
+                observed += 1;
+            }
+            if let Some(view) = db.batch_view(&key, probe) {
+                prop_assert!(view.beacons.iter().all(|b| !b.pcb.is_expired(probe)));
+            }
+            for beacon in db.beacons_for_origin(key.origin, key.target, probe) {
+                prop_assert!(!beacon.pcb.is_expired(probe));
+            }
+        }
+        prop_assert_eq!(db.live_len(probe), observed);
+
+        // Eviction at an arbitrary time keeps the same guarantees for later probes.
+        let evict_at = SimTime::ZERO + SimDuration::from_hours(evict_hours);
+        let before = db.len();
+        let evicted = db.evict_expired(evict_at, SimDuration::ZERO);
+        prop_assert_eq!(db.len(), before - evicted);
+        let probe_after = if probe >= evict_at { probe } else { evict_at };
+        prop_assert_eq!(
+            db.live_len(probe_after),
+            db.batch_keys()
+                .iter()
+                .map(|k| db.beacons_for(k, probe_after).len())
+                .sum::<usize>()
+        );
+    }
+
+    /// The dedup set always matches the stored digests: while a beacon is stored its digest
+    /// is refused, and once evicted it can be inserted again.
+    #[test]
+    fn ingress_db_seen_matches_stored_digests(
+        beacons in proptest::collection::vec((1u64..4, 0u64..5, 1u64..8), 1..20),
+    ) {
+        let mut db = IngressDb::new();
+        let mut stored: Vec<Pcb> = Vec::new();
+        for (origin, seq, validity) in &beacons {
+            let pcb = test_pcb(*origin, *seq, *validity);
+            if db.insert(pcb.clone(), IfId(1), SimTime::ZERO) {
+                stored.push(pcb);
+            }
+        }
+        prop_assert_eq!(db.len(), stored.len());
+        // Every stored digest is refused on re-insertion.
+        for pcb in &stored {
+            prop_assert!(!db.insert(pcb.clone(), IfId(2), SimTime::ZERO));
+        }
+        prop_assert_eq!(db.len(), stored.len());
+        // Evict everything: the dedup set must be cleared alongside the beacons.
+        let evicted = db.evict_expired(SimTime::MAX, SimDuration::ZERO);
+        prop_assert_eq!(evicted, stored.len());
+        prop_assert!(db.is_empty());
+        for pcb in &stored {
+            prop_assert!(db.insert(pcb.clone(), IfId(1), SimTime::ZERO));
+        }
+    }
+
+    /// Model-checked egress bookkeeping: for any interleaving of `filter_new_egresses` and
+    /// eviction sweeps (including re-appearing digests and non-monotonic sweep times), the
+    /// `removed` count equals the number of hashes actually deleted and `len()` tracks a
+    /// reference model exactly.
+    #[test]
+    fn egress_db_eviction_count_is_exact(
+        ops in proptest::collection::vec((0u8..3, 1u64..5, 0u64..4, 1u64..9), 1..40),
+    ) {
+        let mut db = EgressDb::new();
+        // Reference model: live digest -> expiry time.
+        let mut model: HashMap<irec_pcb::PcbId, SimTime> = HashMap::new();
+        for (kind, origin, seq, hours) in &ops {
+            if *kind == 2 {
+                // Eviction sweep at an arbitrary (not necessarily monotonic) time.
+                let now = SimTime::ZERO + SimDuration::from_hours(*hours);
+                let before = db.len();
+                let removed = db.evict_expired(now);
+                let expected: Vec<_> = model
+                    .iter()
+                    .filter(|(_, expiry)| **expiry <= now)
+                    .map(|(id, _)| *id)
+                    .collect();
+                prop_assert_eq!(removed, expected.len());
+                prop_assert_eq!(before - removed, db.len());
+                for id in expected {
+                    model.remove(&id);
+                }
+            } else {
+                let pcb = test_pcb(*origin, *seq, *hours);
+                let egress = IfId(*kind as u32 + 1);
+                db.filter_new_egresses(&pcb, &[egress]);
+                model.insert(pcb.digest(), pcb.expires_at);
+                prop_assert!(db.contains(&pcb, egress));
+            }
+            prop_assert_eq!(db.len(), model.len());
+        }
+        // Final drain: everything left must be deleted, counted exactly once.
+        let removed = db.evict_expired(SimTime::MAX);
+        prop_assert_eq!(removed, model.len());
+        prop_assert!(db.is_empty());
+    }
+}
+
+/// A minimal PCB (origination only — ingress/egress databases never verify signatures), with
+/// digest varying by `(origin, seq, validity)`.
+fn test_pcb(origin: u64, seq: u64, validity_hours: u64) -> Pcb {
+    Pcb::originate(
+        AsId(origin),
+        seq,
+        SimTime::ZERO,
+        SimTime::ZERO + SimDuration::from_hours(validity_hours),
+        PcbExtensions::none(),
+    )
+}
+
+/// Non-property smoke check that the default batch key layout used above matches the
+/// database's grouping (guards the proptests against silently querying empty keys).
+#[test]
+fn test_pcb_lands_in_default_batch_key() {
+    let mut db = IngressDb::new();
+    db.insert(test_pcb(1, 0, 6), IfId(1), SimTime::ZERO);
+    let key = BatchKey {
+        origin: AsId(1),
+        group: InterfaceGroupId::DEFAULT,
+        target: None,
+    };
+    assert_eq!(db.beacons_for(&key, SimTime::ZERO).len(), 1);
+}

@@ -2,7 +2,7 @@
 //! delivery.
 
 use crate::event::{Event, EventQueue};
-use irec_core::{IrecNode, NodeConfig, SharedAlgorithmStore};
+use irec_core::{IrecNode, NodeConfig, RoundOutput, SharedAlgorithmStore};
 use irec_crypto::KeyRegistry;
 use irec_metrics::overhead::OverheadCounter;
 use irec_metrics::RegisteredPath;
@@ -18,6 +18,11 @@ pub struct SimulationConfig {
     pub beacon_interval: SimDuration,
     /// Fixed per-message processing delay added on top of link propagation.
     pub processing_delay: SimDuration,
+    /// Worker threads for the node phase of each round. `1` (the default) runs every node's
+    /// beaconing round sequentially; `N > 1` runs them concurrently and merges the round
+    /// outputs in `AsId` order before scheduling deliveries, so registered paths, overhead
+    /// counters and event order are byte-identical to a sequential run.
+    pub parallelism: usize,
 }
 
 impl Default for SimulationConfig {
@@ -25,7 +30,17 @@ impl Default for SimulationConfig {
         SimulationConfig {
             beacon_interval: SimDuration::from_minutes(10),
             processing_delay: SimDuration::from_millis(5),
+            parallelism: 1,
         }
+    }
+}
+
+impl SimulationConfig {
+    /// Builder-style: set the node-phase worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
     }
 }
 
@@ -105,7 +120,8 @@ impl Simulation {
         self.delivered_messages
     }
 
-    /// Number of messages dropped (rejected by the receiving ingress gateway).
+    /// Number of messages dropped: rejected by the receiving ingress gateway, or addressed
+    /// to an AS that has no node (e.g. one removed by failure injection).
     pub fn dropped_messages(&self) -> u64 {
         self.dropped_messages
     }
@@ -168,65 +184,128 @@ impl Simulation {
         // Deliver everything that arrived before this round started.
         self.deliver_until(now);
 
-        let as_ids: Vec<AsId> = self.nodes.keys().copied().collect();
-        for asn in as_ids {
-            let output = {
-                let node = self.nodes.get_mut(&asn).expect("node exists");
-                node.beaconing_round(now)?
-            };
-            // Account overhead per interface for this period.
-            for message in &output.messages {
-                self.overhead
-                    .record(message.from_as, message.from_if, self.round, 1);
-                if message.pcb.extensions.target.is_some() {
-                    self.overhead_pull
-                        .record(message.from_as, message.from_if, self.round, 1);
-                }
+        // Node phase: every AS runs its beaconing round. Nodes only touch their own state
+        // here (messages are exchanged through the event queue afterwards), so the rounds
+        // are independent and can run concurrently; the outputs are accounted and scheduled
+        // in `AsId` order either way, which keeps the two modes byte-identical.
+        let workers = self.config.parallelism.min(self.nodes.len()).max(1);
+        if workers <= 1 {
+            // Stream node by node: a failing node aborts the round before any later node
+            // has run, so no node state mutates without its output being accounted.
+            let as_ids: Vec<AsId> = self.nodes.keys().copied().collect();
+            for asn in as_ids {
+                let output = {
+                    let node = self.nodes.get_mut(&asn).expect("node exists");
+                    node.beaconing_round(now)?
+                };
+                self.account_and_schedule(now, output);
             }
-            // Schedule deliveries.
-            for message in output.messages {
-                let delay = self
-                    .topology
-                    .link_at(message.from_as, message.from_if)
-                    .map(|l| l.metrics.latency)
-                    .unwrap_or_default();
-                let at = now
-                    + SimDuration::from_micros(delay.as_micros())
-                    + self.config.processing_delay;
-                self.queue.schedule(at, Event::DeliverPcb(message));
-            }
-            for ret in output.pull_returns {
-                // The return travels over the discovered path itself.
-                let delay = ret.pcb.path_metrics().latency;
-                let at = now
-                    + SimDuration::from_micros(delay.as_micros())
-                    + self.config.processing_delay;
-                self.queue.schedule(at, Event::DeliverPullReturn(ret));
+        } else {
+            // All nodes have necessarily executed by the time results are merged; surface
+            // the first error in AsId order and account every output before it (outputs of
+            // nodes after a failing one are discarded — an error aborts the run anyway).
+            for (_, result) in self.run_node_phase_parallel(now, workers) {
+                let output = result?;
+                self.account_and_schedule(now, output);
             }
         }
         self.round += 1;
         Ok(())
     }
 
+    /// Records one node's round output in the overhead counters and schedules its message
+    /// deliveries.
+    fn account_and_schedule(&mut self, now: SimTime, output: RoundOutput) {
+        for message in &output.messages {
+            self.overhead
+                .record(message.from_as, message.from_if, self.round, 1);
+            if message.pcb.extensions.target.is_some() {
+                self.overhead_pull
+                    .record(message.from_as, message.from_if, self.round, 1);
+            }
+        }
+        for message in output.messages {
+            let delay = self
+                .topology
+                .link_at(message.from_as, message.from_if)
+                .map(|l| l.metrics.latency)
+                .unwrap_or_default();
+            let at =
+                now + SimDuration::from_micros(delay.as_micros()) + self.config.processing_delay;
+            self.queue.schedule(at, Event::DeliverPcb(message));
+        }
+        for ret in output.pull_returns {
+            // The return travels over the discovered path itself.
+            let delay = ret.pcb.path_metrics().latency;
+            let at =
+                now + SimDuration::from_micros(delay.as_micros()) + self.config.processing_delay;
+            self.queue.schedule(at, Event::DeliverPullReturn(ret));
+        }
+    }
+
+    /// Runs every node's beaconing round over `workers` scoped worker threads and returns
+    /// the outputs in `AsId` order.
+    fn run_node_phase_parallel(
+        &mut self,
+        now: SimTime,
+        workers: usize,
+    ) -> Vec<(AsId, Result<RoundOutput>)> {
+        let mut entries: Vec<(AsId, &mut IrecNode)> = self
+            .nodes
+            .iter_mut()
+            .map(|(asn, node)| (*asn, node))
+            .collect();
+        let chunk_size = entries.len().div_ceil(workers);
+        let mut collected: Vec<(AsId, Result<RoundOutput>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for chunk in entries.chunks_mut(chunk_size) {
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .map(|(asn, node)| (*asn, node.beaconing_round(now)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("node-phase worker panicked"))
+                .collect()
+        });
+        // Chunks preserve the BTreeMap's AsId order, but make the merge order explicit
+        // rather than implied by chunk concatenation.
+        collected.sort_by_key(|(asn, _)| *asn);
+        collected
+    }
+
     fn deliver_until(&mut self, until: SimTime) {
         while let Some((at, event)) = self.queue.pop_until(until) {
             match event {
-                Event::DeliverPcb(message) => {
-                    if let Some(node) = self.nodes.get_mut(&message.to_as) {
-                        match node.handle_message(message, at) {
-                            Ok(()) => self.delivered_messages += 1,
-                            Err(_) => self.dropped_messages += 1,
-                        }
-                    }
-                }
-                Event::DeliverPullReturn(ret) => {
-                    if let Some(node) = self.nodes.get_mut(&ret.to_as) {
+                Event::DeliverPcb(message) => match self.nodes.get_mut(&message.to_as) {
+                    Some(node) => match node.handle_message(message, at) {
+                        Ok(()) => self.delivered_messages += 1,
+                        Err(_) => self.dropped_messages += 1,
+                    },
+                    // The addressed AS has no node (e.g. removed by failure injection):
+                    // the message is lost and must be accounted as dropped, not silently
+                    // discarded.
+                    None => self.dropped_messages += 1,
+                },
+                Event::DeliverPullReturn(ret) => match self.nodes.get_mut(&ret.to_as) {
+                    Some(node) => {
                         node.handle_pull_return(ret, at);
                         self.delivered_messages += 1;
                     }
-                }
+                    None => self.dropped_messages += 1,
+                },
             }
         }
+    }
+
+    /// Removes an AS's node from the simulation (failure injection: the AS goes offline).
+    /// In-flight events addressed to it are counted as dropped when their delivery time
+    /// comes. Returns the removed node, or `None` if the AS had no node.
+    pub fn remove_node(&mut self, asn: AsId) -> Option<IrecNode> {
+        self.nodes.remove(&asn)
     }
 
     /// All registered paths across every node, converted to the evaluation record type.
@@ -255,6 +334,16 @@ impl Simulation {
             .into_iter()
             .filter(|p| p.algorithm == algorithm)
             .collect()
+    }
+
+    /// Total ingress-database occupancy across all nodes: beacons stored **and still valid**
+    /// at the current simulated time. Built on [`irec_core::IngressDb::live_len`] so the
+    /// figure does not overcount expired-but-unevicted beacons between eviction sweeps.
+    pub fn ingress_occupancy(&self) -> usize {
+        self.nodes
+            .values()
+            .map(|node| node.ingress().live_beacons(self.clock))
+            .sum()
     }
 
     /// Fraction of ordered AS pairs `(a, b)` for which `a` has at least one registered path

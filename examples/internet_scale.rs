@@ -48,6 +48,11 @@ fn main() {
         sim.dropped_messages(),
         sim.connectivity() * 100.0
     );
+    println!(
+        "ingress databases hold {} live beacons across {} ASes",
+        sim.ingress_occupancy(),
+        sim.topology().num_ases()
+    );
 
     // Per-algorithm registered-path statistics.
     println!("\nregistered paths per algorithm:");

@@ -83,20 +83,19 @@ fn hash_mismatched_on_demand_algorithm_is_refused_then_recovery_works() {
     let bogus = AlgorithmRef::new(AlgorithmId(1), irec_crypto::sha256(b"not the module"));
     let bad_beacon = beacon(&registry, 1, PcbExtensions::none().with_algorithm(bogus));
 
-    let mut rac =
-        Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store.clone())).unwrap();
+    let rac = Rac::new_on_demand(RacConfig::on_demand_rac("od"), Arc::new(store.clone())).unwrap();
     let key = BatchKey {
         origin: AsId(1),
         group: InterfaceGroupId::DEFAULT,
         target: None,
     };
-    let stored = irec_core::StoredBeacon {
+    let stored = Arc::new(irec_core::StoredBeacon {
         pcb: bad_beacon,
         ingress: IfId(1),
         received_at: SimTime::ZERO,
-    };
+    });
     let err = rac
-        .process_candidates(&key, vec![stored], &node, &[IfId(1)])
+        .process_candidates(&key, &[stored], &node, &[IfId(1)])
         .unwrap_err();
     assert_eq!(err.category(), "verification");
     assert_eq!(rac.cached_algorithms(), 0);
@@ -113,13 +112,13 @@ fn hash_mismatched_on_demand_algorithm_is_refused_then_recovery_works() {
         group: InterfaceGroupId::DEFAULT,
         target: None,
     };
-    let stored = irec_core::StoredBeacon {
+    let stored = Arc::new(irec_core::StoredBeacon {
         pcb: good_beacon,
         ingress: IfId(2),
         received_at: SimTime::ZERO,
-    };
+    });
     let (outputs, _) = rac
-        .process_candidates(&key2, vec![stored], &node, &[IfId(1)])
+        .process_candidates(&key2, &[stored], &node, &[IfId(1)])
         .unwrap();
     assert_eq!(outputs.len(), 1);
     assert_eq!(rac.cached_algorithms(), 1);
@@ -174,6 +173,65 @@ fn non_terminating_on_demand_algorithm_is_sandboxed_and_does_not_break_beaconing
         .paths_to_by(figure1::DST, "1SP")
         .is_empty());
     assert!((sim.connectivity() - 1.0).abs() < f64::EPSILON);
+}
+
+/// Regression test: control-plane messages addressed to an AS that has no node (here: one
+/// taken offline by failure injection) must be accounted as **dropped**, for both PCB
+/// deliveries and pull-based returns. They used to be silently discarded, leaving
+/// `delivered + dropped` short of the messages actually sent.
+#[test]
+fn messages_to_an_offline_as_are_counted_as_dropped() {
+    // Both simulations are identical (and the simulator is deterministic); only the second
+    // takes Src offline before the last round.
+    let build = || {
+        let topology = Arc::new(figure1_topology());
+        let mut sim = Simulation::new(Arc::clone(&topology), SimulationConfig::default(), |_| {
+            NodeConfig::default()
+                .with_policy(PropagationPolicy::All)
+                .with_racs(vec![
+                    RacConfig::static_rac("1SP", "1SP").with_pull_based(true)
+                ])
+        })
+        .unwrap();
+        // Src originates a pull-based beacon towards Dst every round, so Dst keeps
+        // producing pull returns addressed to Src.
+        let src_interfaces: Vec<IfId> = topology
+            .as_node(figure1::SRC)
+            .unwrap()
+            .interfaces
+            .keys()
+            .copied()
+            .collect();
+        sim.node_mut(figure1::SRC).unwrap().add_origination(
+            OriginationSpec::plain(src_interfaces)
+                .with_extensions(irec_pcb::PcbExtensions::none().with_target(figure1::DST)),
+        );
+        sim
+    };
+
+    let mut control = build();
+    control.run_rounds(4).unwrap();
+
+    let mut injected = build();
+    injected.run_rounds(3).unwrap();
+    // Src goes offline. The next round's beacons addressed to it — and the pull return Dst
+    // keeps producing for the pull-based beacon still in its ingress database — have no
+    // receiver and must be accounted as dropped (they used to vanish without a trace; the
+    // control run even counts *more* drops at Src's gateway, which rejects looped-back
+    // beacons, so the strict inequality below fails without the accounting fix).
+    assert!(injected.remove_node(figure1::SRC).is_some());
+    assert!(injected.remove_node(figure1::SRC).is_none());
+    let delivered_before = injected.delivered_messages();
+    injected.run_rounds(1).unwrap();
+
+    assert!(
+        injected.dropped_messages() > control.dropped_messages(),
+        "missing-receiver drops must be accounted: injected {} vs control {}",
+        injected.dropped_messages(),
+        control.dropped_messages()
+    );
+    // The remaining nodes keep exchanging beacons normally.
+    assert!(injected.delivered_messages() > delivered_before);
 }
 
 /// Expired beacons are evicted from the databases and do not linger in path computation.

@@ -1,0 +1,117 @@
+//! Acceptance tests for the parallel RAC execution engine: a simulation run with
+//! `parallelism > 1` (node-phase workers and per-node RAC workers) must be byte-identical
+//! to a sequential run — same registered paths in the same order, same overhead counters,
+//! same delivery accounting.
+
+use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
+use irec_metrics::RegisteredPath;
+use irec_sim::{Simulation, SimulationConfig};
+use irec_topology::builder::figure1_topology;
+use irec_topology::{GeneratorConfig, TopologyGenerator};
+use std::sync::Arc;
+
+/// Everything observable about a finished run, for exact comparison.
+struct RunFingerprint {
+    paths: Vec<RegisteredPath>,
+    overhead_samples: Vec<u64>,
+    overhead_total: u64,
+    delivered: u64,
+    dropped: u64,
+    occupancy: usize,
+}
+
+fn run_figure1(parallelism: usize, rounds: usize) -> RunFingerprint {
+    let mut sim = Simulation::new(
+        Arc::new(figure1_topology()),
+        SimulationConfig::default().with_parallelism(parallelism),
+        move |_| {
+            NodeConfig::paper_simulation(false)
+                .with_policy(PropagationPolicy::All)
+                .with_parallelism(parallelism)
+        },
+    )
+    .expect("simulation setup");
+    sim.run_rounds(rounds).expect("beaconing rounds");
+    RunFingerprint {
+        paths: sim.registered_paths(),
+        overhead_samples: sim.overhead().samples(),
+        overhead_total: sim.overhead().total(),
+        delivered: sim.delivered_messages(),
+        dropped: sim.dropped_messages(),
+        occupancy: sim.ingress_occupancy(),
+    }
+}
+
+fn assert_identical(sequential: &RunFingerprint, parallel: &RunFingerprint, parallelism: usize) {
+    assert_eq!(
+        sequential.paths.len(),
+        parallel.paths.len(),
+        "path count diverged at parallelism {parallelism}"
+    );
+    // Order included: the deterministic merge must reproduce the sequential registration
+    // order exactly, not just the same set.
+    for (index, (a, b)) in sequential.paths.iter().zip(&parallel.paths).enumerate() {
+        assert_eq!(a, b, "path {index} diverged at parallelism {parallelism}");
+    }
+    assert_eq!(
+        sequential.overhead_samples, parallel.overhead_samples,
+        "overhead samples diverged at parallelism {parallelism}"
+    );
+    assert_eq!(sequential.overhead_total, parallel.overhead_total);
+    assert_eq!(sequential.delivered, parallel.delivered);
+    assert_eq!(sequential.dropped, parallel.dropped);
+    assert_eq!(sequential.occupancy, parallel.occupancy);
+}
+
+/// The headline acceptance criterion: on the Figure-1 topology with the paper's five-RAC
+/// deployment, every parallelism level produces byte-identical registered paths and
+/// overhead counters to the sequential run.
+#[test]
+fn parallel_figure1_run_is_byte_identical_to_sequential() {
+    let sequential = run_figure1(1, 5);
+    assert!(
+        !sequential.paths.is_empty(),
+        "the scenario must register paths"
+    );
+    for parallelism in [2, 4, 8] {
+        let parallel = run_figure1(parallelism, 5);
+        assert_identical(&sequential, &parallel, parallelism);
+    }
+}
+
+/// Same guarantee on a generated topology with valley-free policy (sparser selections,
+/// different propagation pattern).
+#[test]
+fn parallel_generated_topology_run_is_byte_identical_to_sequential() {
+    let run = |parallelism: usize| {
+        let topology = Arc::new(TopologyGenerator::new(GeneratorConfig::tiny(9)).generate());
+        let mut sim = Simulation::new(
+            topology,
+            SimulationConfig::default().with_parallelism(parallelism),
+            move |_| {
+                NodeConfig::default()
+                    .with_racs(vec![
+                        RacConfig::static_rac("1SP", "1SP"),
+                        RacConfig::static_rac("5SP", "5SP"),
+                        RacConfig::static_rac("HD", "HD"),
+                        RacConfig::static_rac("DON", "DO"),
+                    ])
+                    .with_parallelism(parallelism)
+            },
+        )
+        .expect("simulation setup");
+        sim.run_rounds(4).expect("beaconing rounds");
+        RunFingerprint {
+            paths: sim.registered_paths(),
+            overhead_samples: sim.overhead().samples(),
+            overhead_total: sim.overhead().total(),
+            delivered: sim.delivered_messages(),
+            dropped: sim.dropped_messages(),
+            occupancy: sim.ingress_occupancy(),
+        }
+    };
+    let sequential = run(1);
+    assert!(!sequential.paths.is_empty());
+    let parallel = run(4);
+    assert_identical(&sequential, &parallel, 4);
+}
