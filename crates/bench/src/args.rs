@@ -24,6 +24,10 @@ pub struct BenchArgs {
     /// sequential). Threaded into the simulation's node phase, each node's RAC engine, and
     /// the Fig. 6 engine-scaling section.
     pub parallelism: usize,
+    /// Worker threads of the message-delivery plane's verify stage
+    /// (`--delivery-parallelism`, default 1 = sequential). Threaded into every simulation
+    /// the binaries build and into the delivery-scaling sections of fig6/fig7.
+    pub delivery_parallelism: usize,
 }
 
 impl Default for BenchArgs {
@@ -39,6 +43,7 @@ impl Default for BenchArgs {
             reps: 5,
             max_racs: cores.min(16),
             parallelism: 1,
+            delivery_parallelism: 1,
         }
     }
 }
@@ -86,6 +91,9 @@ impl BenchArgs {
         if let Some(v) = get(&map, "parallelism") {
             parsed.parallelism = v.clamp(1, 64);
         }
+        if let Some(v) = get(&map, "delivery-parallelism") {
+            parsed.delivery_parallelism = v.clamp(1, 64);
+        }
         parsed
     }
 
@@ -110,6 +118,7 @@ mod tests {
         assert_eq!(a.rounds, 8);
         assert!(a.max_racs >= 1);
         assert_eq!(a.parallelism, 1);
+        assert_eq!(a.delivery_parallelism, 1);
     }
 
     #[test]
@@ -129,6 +138,8 @@ mod tests {
             "4",
             "--parallelism",
             "6",
+            "--delivery-parallelism",
+            "3",
         ]);
         assert_eq!(a.ases, 120);
         assert_eq!(a.rounds, 12);
@@ -137,6 +148,7 @@ mod tests {
         assert_eq!(a.reps, 2);
         assert_eq!(a.max_racs, 4);
         assert_eq!(a.parallelism, 6);
+        assert_eq!(a.delivery_parallelism, 3);
     }
 
     #[test]
@@ -146,6 +158,8 @@ mod tests {
         assert_eq!(a.max_racs, 64);
         let p = parse(&["--parallelism", "0"]);
         assert_eq!(p.parallelism, 1);
+        let d = parse(&["--delivery-parallelism", "500"]);
+        assert_eq!(d.delivery_parallelism, 64);
     }
 
     #[test]

@@ -2,12 +2,13 @@
 //! and every overhead counter in full.
 //!
 //! ```text
-//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--ases 12] [--rounds 3] [--seed 5]
+//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--delivery-parallelism N] [--ases 12] [--rounds 3] [--seed 5]
 //! ```
 //!
-//! The output is **byte-identical for every `--parallelism` value** — that is the parallel
-//! execution engine's determinism guarantee, and the CI determinism job enforces it by
-//! diffing a sequential run against a `--parallelism 4` run. The `--parallelism` argument is
+//! The output is **byte-identical for every `--parallelism` and `--delivery-parallelism`
+//! value** — that is the determinism guarantee of the parallel execution engine and of the
+//! message-delivery plane, and the CI determinism job enforces it by diffing a sequential
+//! run against `--parallelism 4` and `--delivery-parallelism 4` runs. Both arguments are
 //! deliberately excluded from the output for exactly that reason.
 
 use irec_bench::BenchArgs;
@@ -23,7 +24,9 @@ fn main() {
     // Scenario 1: the quickstart setup on the paper's Fig. 1 topology.
     let figure1 = Simulation::new(
         Arc::new(figure1_topology()),
-        SimulationConfig::default().with_parallelism(args.parallelism),
+        SimulationConfig::default()
+            .with_parallelism(args.parallelism)
+            .with_delivery_parallelism(args.delivery_parallelism),
         |_| {
             NodeConfig::default()
                 .with_policy(PropagationPolicy::All)
@@ -45,7 +48,9 @@ fn main() {
     };
     let generated = Simulation::new(
         Arc::new(TopologyGenerator::new(config).generate()),
-        SimulationConfig::default().with_parallelism(args.parallelism),
+        SimulationConfig::default()
+            .with_parallelism(args.parallelism)
+            .with_delivery_parallelism(args.delivery_parallelism),
         |_| {
             NodeConfig::default()
                 .with_racs(vec![
@@ -68,9 +73,10 @@ fn dump(label: &str, mut sim: Simulation, rounds: usize) {
     sim.run_rounds(rounds).expect("beaconing rounds");
     println!("## scenario: {label}");
     println!(
-        "counters\tdelivered={}\tdropped={}\toccupancy={}\tconnectivity={:.6}",
+        "counters\tdelivered={}\tdropped_no_node={}\trejected={}\toccupancy={}\tconnectivity={:.6}",
         sim.delivered_messages(),
-        sim.dropped_messages(),
+        sim.dropped_no_node(),
+        sim.rejected_messages(),
         sim.ingress_occupancy(),
         sim.connectivity()
     );

@@ -12,8 +12,8 @@
 //! growing roughly linearly with |Φ| while setup and marshalling grow much more slowly) is
 //! what this binary reproduces.
 
-use irec_bench::report::{fmt_ms, header};
-use irec_bench::workload::{measure_engine_point, measure_phi};
+use irec_bench::report::{fmt_ms, header, worker_ladder};
+use irec_bench::workload::{measure_delivery_point, measure_engine_point, measure_phi};
 use irec_bench::BenchArgs;
 
 fn main() {
@@ -49,13 +49,7 @@ fn main() {
     // through the parallel RAC execution engine against worker count. CPU columns stay
     // roughly constant (same work) while wall-clock drops as workers are added.
     let engine_phi = 256usize;
-    let mut worker_counts: Vec<usize> = [1usize, 2, 4, 8, 16, 32]
-        .into_iter()
-        .filter(|&w| w <= args.parallelism)
-        .collect();
-    if !worker_counts.contains(&args.parallelism) {
-        worker_counts.push(args.parallelism);
-    }
+    let worker_counts = worker_ladder(args.parallelism);
     println!();
     println!(
         "# Engine scaling — RAC phase breakdown vs worker count (|Phi|={engine_phi}, 4 RACs x 4 batches)"
@@ -84,6 +78,39 @@ fn main() {
             fmt_ms(timing.marshal),
             fmt_ms(timing.execute),
             fmt_ms(timing.total()),
+            fmt_ms(wall),
+            speedup
+        );
+    }
+
+    // Third table (`--delivery-parallelism N`): end-to-end simulation wall-clock against
+    // the delivery plane's verify-stage worker count. The delivery counters are identical
+    // for every row (the plane's determinism guarantee); only the wall-clock moves.
+    let delivery_counts = worker_ladder(args.delivery_parallelism);
+    println!();
+    println!(
+        "# Delivery-plane scaling — simulation wall-clock vs verify workers ({} ASes, {} rounds)",
+        args.ases, args.rounds
+    );
+    header(&[
+        "workers",
+        "delivered",
+        "rejected",
+        "dropped_no_node",
+        "wall_ms",
+        "speedup",
+    ]);
+    let mut delivery_base = None;
+    for workers in delivery_counts {
+        let (stats, wall) = measure_delivery_point(args.ases, args.rounds, workers, args.seed);
+        let base = *delivery_base.get_or_insert(wall);
+        let speedup = base.as_secs_f64() / wall.as_secs_f64().max(f64::EPSILON);
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{:.2}",
+            workers,
+            stats.delivered,
+            stats.rejected,
+            stats.dropped_no_node,
             fmt_ms(wall),
             speedup
         );

@@ -11,9 +11,10 @@
 //! linearly with the number of RACs and sub-linearly with |Φ| (larger sets amortize the
 //! per-batch setup and marshalling overhead, so per-PCB throughput is higher).
 
-use irec_bench::report::{fmt_pcbs_per_sec, header};
+use irec_bench::report::{fmt_pcbs_per_sec, header, worker_ladder};
 use irec_bench::workload::{
-    candidate_set, on_demand_rac, rac_processing_latency, tag_candidates, workload_local_as,
+    candidate_set, measure_delivery_point, on_demand_rac, rac_processing_latency, tag_candidates,
+    workload_local_as,
 };
 use irec_bench::BenchArgs;
 use std::time::{Duration, Instant};
@@ -49,6 +50,25 @@ fn main() {
             let throughput = measure_point(phi, racs, args.seed);
             println!("{racs}\t{phi}\t{throughput}");
         }
+    }
+
+    // Second table (`--delivery-parallelism N`): control-plane message throughput of the
+    // simulation's delivery plane against its verify-stage worker count.
+    let delivery_counts = worker_ladder(args.delivery_parallelism);
+    println!();
+    println!(
+        "# Delivery-plane throughput — delivered messages/s vs verify workers ({} ASes, {} rounds)",
+        args.ases, args.rounds
+    );
+    header(&["workers", "delivered", "messages_per_second"]);
+    for workers in delivery_counts {
+        let (stats, wall) = measure_delivery_point(args.ases, args.rounds, workers, args.seed);
+        println!(
+            "{}\t{}\t{}",
+            workers,
+            stats.delivered,
+            fmt_pcbs_per_sec(stats.delivered, wall)
+        );
     }
 }
 

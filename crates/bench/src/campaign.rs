@@ -122,13 +122,16 @@ impl Fig8Campaign {
         grouping: Option<GroupingConfig>,
     ) -> Result<(Vec<RegisteredPath>, Vec<u64>)> {
         let name = rac.name.clone();
-        // Apply the worker budget at the node phase only: with hundreds of nodes per round
-        // that is where the parallelism is, and also enabling each node's RAC engine would
-        // oversubscribe the machine with up to parallelism^2 threads and distort the very
-        // wall-clock numbers the campaign measures.
+        // Apply the worker budgets at the simulation level only (node phase + delivery
+        // plane): with hundreds of nodes per round that is where the parallelism is, and
+        // also enabling each node's RAC engine would oversubscribe the machine with up to
+        // parallelism^2 threads and distort the very wall-clock numbers the campaign
+        // measures.
         let mut sim = Simulation::new(
             Arc::clone(&self.topology),
-            SimulationConfig::default().with_parallelism(self.args.parallelism),
+            SimulationConfig::default()
+                .with_parallelism(self.args.parallelism)
+                .with_delivery_parallelism(self.args.delivery_parallelism),
             move |_| NodeConfig::default().with_racs(vec![rac.clone()]),
         )?;
         if let Some(grouping) = grouping {
@@ -141,10 +144,12 @@ impl Fig8Campaign {
     }
 
     fn run_pd(&self, data: &mut Fig8Data) -> Result<Vec<u64>> {
-        // Node-phase parallelism only, as in `run_series`.
+        // Simulation-level parallelism only, as in `run_series`.
         let mut sim = Simulation::new(
             Arc::clone(&self.topology),
-            SimulationConfig::default().with_parallelism(self.args.parallelism),
+            SimulationConfig::default()
+                .with_parallelism(self.args.parallelism)
+                .with_delivery_parallelism(self.args.delivery_parallelism),
             move |_| {
                 NodeConfig::default().with_racs(vec![
                     RacConfig::static_rac("HD", "HD"),
@@ -255,6 +260,7 @@ pub fn test_campaign(seed: u64) -> Fig8Campaign {
         reps: 1,
         max_racs: 2,
         parallelism: 1,
+        delivery_parallelism: 1,
     })
 }
 

@@ -4,10 +4,13 @@
 use irec_algorithms::score::KShortestPaths;
 use irec_algorithms::{AlgorithmContext, Candidate, CandidateBatch, RoutingAlgorithm};
 use irec_core::beacon_db::{BatchKey, StoredBeacon};
-use irec_core::{execute_racs, IngressDb, Rac, RacConfig, RacTiming, SharedAlgorithmStore};
+use irec_core::{
+    execute_racs, IngressDb, NodeConfig, Rac, RacConfig, RacTiming, SharedAlgorithmStore,
+};
 use irec_crypto::{KeyRegistry, Signer};
 use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
-use irec_topology::{AsNode, Interface, Tier};
+use irec_sim::{DeliveryStats, Simulation, SimulationConfig};
+use irec_topology::{AsNode, GeneratorConfig, Interface, Tier, TopologyGenerator};
 use irec_types::{
     AlgorithmId, AsId, Bandwidth, GeoCoord, IfId, InterfaceGroupId, Latency, LinkId, Result,
     SimDuration, SimTime,
@@ -270,6 +273,43 @@ pub fn measure_engine_point(
     (mean, start.elapsed() / reps as u32)
 }
 
+/// Builds the delivery-plane workload: a generated-topology simulation with the paper's
+/// 5SP deployment and the given delivery-plane worker count. Shared by the fig6/fig7
+/// delivery-scaling sections and the `delivery_scaling` criterion bench.
+pub fn delivery_workload(ases: usize, delivery_workers: usize, seed: u64) -> Simulation {
+    let config = GeneratorConfig {
+        num_ases: ases,
+        seed,
+        ..Default::default()
+    };
+    let topology = Arc::new(TopologyGenerator::new(config).generate());
+    Simulation::new(
+        topology,
+        SimulationConfig::default().with_delivery_parallelism(delivery_workers),
+        |_| NodeConfig::default().with_racs(vec![RacConfig::static_rac("5SP", "5SP")]),
+    )
+    .expect("delivery workload simulation setup")
+}
+
+/// One delivery-scaling measurement point: runs `rounds` beaconing rounds of the
+/// [`delivery_workload`] with `delivery_workers` verify-stage workers and returns the
+/// delivery accounting plus the wall-clock time of the whole run.
+///
+/// The counters are byte-identical across worker counts (the delivery plane's determinism
+/// guarantee); only the wall-clock changes.
+pub fn measure_delivery_point(
+    ases: usize,
+    rounds: usize,
+    delivery_workers: usize,
+    seed: u64,
+) -> (DeliveryStats, Duration) {
+    let mut sim = delivery_workload(ases, delivery_workers, seed);
+    let start = Instant::now();
+    sim.run_rounds(rounds.max(1))
+        .expect("delivery workload rounds succeed");
+    (sim.delivery_stats(), start.elapsed())
+}
+
 /// Runs the complete Fig. 6 measurement for one |Φ| value, averaging over `repetitions`.
 pub fn measure_phi(phi: usize, repetitions: usize, seed: u64) -> Measurement {
     let local_as = workload_local_as();
@@ -336,6 +376,14 @@ mod tests {
         // 4 RACs x 4 batches x 8 candidates, identical under any worker count.
         assert_eq!(timing_seq.candidates, 4 * 4 * 8);
         assert_eq!(timing_par.candidates, timing_seq.candidates);
+    }
+
+    #[test]
+    fn delivery_point_counters_are_worker_independent() {
+        let (sequential, _) = measure_delivery_point(8, 2, 1, 5);
+        assert!(sequential.delivered > 0);
+        let (parallel, _) = measure_delivery_point(8, 2, 4, 5);
+        assert_eq!(parallel, sequential);
     }
 
     #[test]

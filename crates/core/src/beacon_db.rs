@@ -60,6 +60,16 @@ impl BatchView {
     pub fn is_empty(&self) -> bool {
         self.beacons.is_empty()
     }
+
+    /// A view onto a sub-range of this batch, sharing the stored beacons (the new slice
+    /// holds `Arc` clones — reference-count bumps, no deep copies). The execution engine
+    /// splits oversized batches into sub-range work items this way.
+    pub fn subrange(&self, range: std::ops::Range<usize>) -> BatchView {
+        BatchView {
+            key: self.key,
+            beacons: self.beacons[range].to_vec().into(),
+        }
+    }
 }
 
 /// The ingress database: received beacons indexed for RAC consumption.

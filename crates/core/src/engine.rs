@@ -21,23 +21,40 @@
 //! Errors are deterministic too: the first failing work item *in item order* wins, exactly
 //! as in a sequential loop.
 
-use crate::beacon_db::{BatchView, IngressDb};
+use crate::beacon_db::{BatchKey, BatchView, IngressDb, StoredBeacon};
 use crate::rac::{Rac, RacOutput, RacTiming};
 use irec_topology::AsNode;
 use irec_types::{IfId, Result, SimTime};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Hard cap on engine workers; beyond this, coordination overhead dominates any workload
 /// this codebase produces.
 pub const MAX_WORKERS: usize = 64;
 
-/// One unit of parallel work: a RAC paired with a snapshot of one candidate batch.
+/// Candidate batches larger than this are split into sub-range work items so a single hot
+/// origin (one huge |Φ|) cannot serialize the RAC phase: each sub-range is processed as its
+/// own work item and the per-sub-range selections are reduced by one final selection pass
+/// over their union (see [`execute_racs_with`]).
+pub const BATCH_SPLIT_THRESHOLD: usize = 512;
+
+/// One unit of parallel work: a RAC paired with a snapshot of one candidate batch (or a
+/// sub-range of one, when the batch exceeded the split threshold).
 struct WorkItem {
     /// Index into the RAC slice (stable identity for the deterministic merge).
     rac_index: usize,
     /// The immutable candidate batch to process.
     view: BatchView,
+}
+
+/// One logical `(RAC, batch)` pair and the contiguous range of work items it was split
+/// into. Groups are built — and merged — in deterministic order: RAC configuration order,
+/// then batch keys ascending, then sub-ranges by ascending candidate offset.
+struct BatchGroup {
+    rac_index: usize,
+    key: BatchKey,
+    items: std::ops::Range<usize>,
 }
 
 type ItemResult = Result<(Vec<RacOutput>, RacTiming)>;
@@ -48,6 +65,8 @@ type ItemResult = Result<(Vec<RacOutput>, RacTiming)>;
 /// With `parallelism <= 1` the items run sequentially on the calling thread; with
 /// `parallelism > 1` they are distributed over that many scoped worker threads (capped at
 /// [`MAX_WORKERS`] and at the number of items). Both paths produce byte-identical results.
+/// Batches larger than [`BATCH_SPLIT_THRESHOLD`] candidates are split into sub-range work
+/// items with a deterministic sub-merge.
 pub fn execute_racs(
     racs: &[Rac],
     db: &IngressDb,
@@ -56,11 +75,64 @@ pub fn execute_racs(
     now: SimTime,
     parallelism: usize,
 ) -> Result<(Vec<RacOutput>, RacTiming)> {
+    execute_racs_with(
+        racs,
+        db,
+        local_as,
+        egress_ifs,
+        now,
+        parallelism,
+        BATCH_SPLIT_THRESHOLD,
+    )
+}
+
+/// [`execute_racs`] with an explicit batch-split threshold (exposed so tests and benchmarks
+/// can exercise the splitting machinery on small batches).
+///
+/// Splitting is part of the canonical work-item construction, **not** a function of the
+/// worker count: a batch of `n > threshold` candidates always becomes `ceil(n / threshold)`
+/// sub-range items plus one reduce pass, whether the items then run on one thread or many —
+/// which is what keeps parallel runs byte-identical to sequential ones. The reduce pass
+/// re-runs the RAC's selection over the union of the sub-range selections (in ascending
+/// candidate order); for selectors that rank candidates independently (shortest, widest,
+/// k-shortest) this two-level selection equals the single-pass selection, for set-valued
+/// selectors (e.g. high-disjointness) it is the standard hierarchical approximation.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_racs_with(
+    racs: &[Rac],
+    db: &IngressDb,
+    local_as: &AsNode,
+    egress_ifs: &[IfId],
+    now: SimTime,
+    parallelism: usize,
+    split_threshold: usize,
+) -> Result<(Vec<RacOutput>, RacTiming)> {
+    let threshold = split_threshold.max(1);
     // Snapshot phase: materialize the work list in deterministic order.
     let mut items = Vec::new();
+    let mut groups = Vec::new();
     for (rac_index, rac) in racs.iter().enumerate() {
         for view in rac.relevant_batches(db, now) {
-            items.push(WorkItem { rac_index, view });
+            let start = items.len();
+            let key = view.key;
+            if view.len() > threshold {
+                let mut offset = 0;
+                while offset < view.len() {
+                    let end = (offset + threshold).min(view.len());
+                    items.push(WorkItem {
+                        rac_index,
+                        view: view.subrange(offset..end),
+                    });
+                    offset = end;
+                }
+            } else {
+                items.push(WorkItem { rac_index, view });
+            }
+            groups.push(BatchGroup {
+                rac_index,
+                key,
+                items: start..items.len(),
+            });
         }
     }
 
@@ -74,7 +146,7 @@ pub fn execute_racs(
         execute_parallel(racs, &items, local_as, egress_ifs, workers)
     };
 
-    merge_results(results)
+    merge_results(racs, &groups, results, local_as, egress_ifs)
 }
 
 /// Processes one work item (on whatever thread it was claimed by).
@@ -124,8 +196,11 @@ fn execute_parallel(
         .collect()
 }
 
-/// Merges per-item results in item order: first error in item order wins and timings
-/// accumulate in item order, exactly as a sequential loop would.
+/// Merges per-item results in group order: first error in item order wins and timings
+/// accumulate in item order, exactly as a sequential loop would. Groups that were split
+/// into sub-range items additionally run the deterministic sub-merge: one reduce selection
+/// pass of the owning RAC over the union of the sub-range selections (whose timing also
+/// accumulates, at the group's position).
 ///
 /// No content-keyed re-sort is applied: item order — RAC configuration order, then batch
 /// keys ascending, then candidate index within a batch — already is the canonical
@@ -133,13 +208,44 @@ fn execute_parallel(
 /// produced. Re-sorting by RAC *name* instead would silently change which RAC wins the
 /// egress gateway's first-selection dedup (and thereby path attribution) whenever operators
 /// configure RACs in non-alphabetical order.
-fn merge_results(results: Vec<ItemResult>) -> Result<(Vec<RacOutput>, RacTiming)> {
+fn merge_results(
+    racs: &[Rac],
+    groups: &[BatchGroup],
+    results: Vec<ItemResult>,
+    local_as: &AsNode,
+    egress_ifs: &[IfId],
+) -> Result<(Vec<RacOutput>, RacTiming)> {
+    let mut results: Vec<Option<ItemResult>> = results.into_iter().map(Some).collect();
     let mut outputs = Vec::new();
     let mut timing = RacTiming::default();
-    for result in results {
-        let (mut item_outputs, item_timing) = result?;
-        timing.accumulate(&item_timing);
-        outputs.append(&mut item_outputs);
+    for group in groups {
+        if group.items.len() == 1 {
+            let (mut item_outputs, item_timing) = results[group.items.start]
+                .take()
+                .expect("each item is consumed by exactly one group")?;
+            timing.accumulate(&item_timing);
+            outputs.append(&mut item_outputs);
+            continue;
+        }
+        // Sub-merge: collect each sub-range's selections in item order (within a sub-range
+        // selections are already ordered by candidate index, and sub-ranges are ascending,
+        // so the union is in ascending original candidate order)...
+        let mut winners: Vec<Arc<StoredBeacon>> = Vec::new();
+        for index in group.items.clone() {
+            let (sub_outputs, sub_timing) = results[index]
+                .take()
+                .expect("each item is consumed by exactly one group")?;
+            timing.accumulate(&sub_timing);
+            winners.extend(sub_outputs.into_iter().map(|o| Arc::new(o.beacon)));
+        }
+        if winners.is_empty() {
+            continue;
+        }
+        // ...and reduce them with one final selection pass of the owning RAC.
+        let (mut reduced, reduce_timing) =
+            racs[group.rac_index].process_candidates(&group.key, &winners, local_as, egress_ifs)?;
+        timing.accumulate(&reduce_timing);
+        outputs.append(&mut reduced);
     }
     Ok((outputs, timing))
 }
@@ -249,6 +355,68 @@ mod tests {
         )
         .unwrap();
         assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn oversized_batches_split_deterministically() {
+        // One hot origin with 24 candidates, split threshold 4 => 6 sub-range items plus a
+        // reduce pass. The output must be identical across worker counts, and for
+        // rank-independent selectors identical to the unsplit single-pass selection.
+        let racs: Vec<Rac> = ["1SP", "widest"]
+            .iter()
+            .map(|name| Rac::new_static(RacConfig::static_rac(*name, *name)).unwrap())
+            .collect();
+        let db = db_with_origins(1, 24);
+        let node = local_as();
+        let egress = [IfId(1), IfId(2), IfId(3)];
+
+        let (unsplit, unsplit_timing) = execute_racs_with(
+            &racs,
+            &db,
+            &node,
+            &egress,
+            SimTime::ZERO,
+            1,
+            BATCH_SPLIT_THRESHOLD,
+        )
+        .unwrap();
+        assert!(!unsplit.is_empty());
+        let (split_seq, split_timing) =
+            execute_racs_with(&racs, &db, &node, &egress, SimTime::ZERO, 1, 4).unwrap();
+        // Every candidate crossed the marshal boundary once per sub-range pass, plus the
+        // winners once more in the reduce pass.
+        assert!(split_timing.candidates > unsplit_timing.candidates);
+        for parallelism in [2, 4, 8] {
+            let (split_par, _) =
+                execute_racs_with(&racs, &db, &node, &egress, SimTime::ZERO, parallelism, 4)
+                    .unwrap();
+            assert_eq!(split_par.len(), split_seq.len());
+            for (a, b) in split_seq.iter().zip(&split_par) {
+                assert_eq!(a.rac_name, b.rac_name);
+                assert_eq!(a.egress_ifs, b.egress_ifs);
+                assert_eq!(a.beacon, b.beacon);
+            }
+        }
+        // 1SP and widest rank candidates independently: hierarchical selection equals the
+        // single-pass selection.
+        assert_eq!(split_seq.len(), unsplit.len());
+        for (a, b) in unsplit.iter().zip(&split_seq) {
+            assert_eq!(a.rac_name, b.rac_name);
+            assert_eq!(a.egress_ifs, b.egress_ifs);
+            assert_eq!(a.beacon, b.beacon);
+        }
+    }
+
+    #[test]
+    fn split_threshold_boundary_does_not_split() {
+        // Exactly `threshold` candidates stay one work item (no reduce pass): the timing
+        // counts every candidate exactly once.
+        let racs = vec![Rac::new_static(RacConfig::static_rac("1SP", "1SP")).unwrap()];
+        let db = db_with_origins(1, 8);
+        let node = local_as();
+        let (_, timing) =
+            execute_racs_with(&racs, &db, &node, &[IfId(2)], SimTime::ZERO, 4, 8).unwrap();
+        assert_eq!(timing.candidates, 8);
     }
 
     #[test]

@@ -73,22 +73,46 @@ impl IngressGateway {
     /// Handles a PCB received on local interface `ingress` at time `now`.
     ///
     /// Verification failures and policy violations reject the beacon; duplicates are counted
-    /// but not an error.
+    /// but not an error. Equivalent to [`IngressGateway::verify`] followed by
+    /// [`IngressGateway::commit`] — the delivery plane runs the two stages separately so
+    /// verification can fan out over worker threads.
     pub fn receive(&mut self, pcb: Pcb, ingress: IfId, now: SimTime) -> Result<()> {
-        match self.check(&pcb, now) {
-            Ok(()) => {}
-            Err(e) => {
-                self.stats.rejected += 1;
-                return Err(e);
-            }
+        let verdict = self.verify(&pcb, now);
+        self.commit(pcb, ingress, now, verdict)
+    }
+
+    /// The pure verification stage: signature, expiry and policy checks, without touching
+    /// the database or the statistics.
+    ///
+    /// This is the expensive per-message work, and it is deliberately independent of all
+    /// mutable gateway state (the ingress database, dedup set and counters): the parallel
+    /// delivery plane verifies a whole epoch of messages concurrently against a `&self`
+    /// snapshot **before** any of them commits, so a verdict must not depend on the order
+    /// other messages of the same epoch are applied in.
+    pub fn verify(&self, pcb: &Pcb, now: SimTime) -> Result<()> {
+        self.check(pcb, now)
+    }
+
+    /// The serial apply stage: accounts a precomputed `verdict` and, on success, stores the
+    /// beacon (deduplicating by digest). Must be called in delivery order — this is where
+    /// the statistics and the dedup set mutate.
+    pub fn commit(
+        &mut self,
+        pcb: Pcb,
+        ingress: IfId,
+        now: SimTime,
+        verdict: Result<()>,
+    ) -> Result<()> {
+        if let Err(e) = verdict {
+            self.stats.rejected += 1;
+            return Err(e);
         }
         if self.db.insert(pcb, ingress, now) {
             self.stats.accepted += 1;
-            Ok(())
         } else {
             self.stats.duplicates += 1;
-            Ok(())
         }
+        Ok(())
     }
 
     fn check(&self, pcb: &Pcb, now: SimTime) -> Result<()> {
@@ -215,6 +239,44 @@ mod tests {
         assert_eq!(gw.stats().accepted, 1);
         assert_eq!(gw.stats().duplicates, 1);
         assert_eq!(gw.db().len(), 1);
+    }
+
+    #[test]
+    fn split_verify_commit_matches_receive() {
+        let reg = registry();
+        // Two gateways fed the same traffic: one through `receive`, one through the split
+        // verify/commit pipeline. Stats and database contents must be identical.
+        let mut whole = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
+        let mut split = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
+        let valid = beacon(&reg, 1, &[2, 3], 6);
+        let mut tampered = beacon(&reg, 2, &[3], 6);
+        tampered.entries[0].static_info.link_latency = Latency::from_millis(1);
+        let traffic = vec![valid.clone(), tampered, valid];
+
+        for pcb in traffic {
+            let a = whole.receive(pcb.clone(), IfId(7), SimTime::ZERO);
+            let verdict = split.verify(&pcb, SimTime::ZERO);
+            let b = split.commit(pcb, IfId(7), SimTime::ZERO, verdict);
+            assert_eq!(a.is_ok(), b.is_ok());
+        }
+        assert_eq!(whole.stats(), split.stats());
+        assert_eq!(whole.db().len(), split.db().len());
+        assert_eq!(split.stats().accepted, 1);
+        assert_eq!(split.stats().rejected, 1);
+        assert_eq!(split.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn verify_is_pure() {
+        let reg = registry();
+        let gw = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
+        let pcb = beacon(&reg, 1, &[2], 6);
+        // Verifying repeatedly mutates nothing: no stats, no storage.
+        for _ in 0..3 {
+            gw.verify(&pcb, SimTime::ZERO).unwrap();
+        }
+        assert_eq!(gw.stats(), IngressStats::default());
+        assert!(gw.db().is_empty());
     }
 
     #[test]

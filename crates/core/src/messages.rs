@@ -1,7 +1,8 @@
 //! Control-plane messages exchanged between ASes.
 
 use irec_pcb::Pcb;
-use irec_types::{AsId, IfId};
+use irec_types::{AsId, IfId, Result};
+use irec_wire::{Decode, Encode, WireReader, WireWriter};
 
 /// A PCB propagated from one AS's egress gateway to a neighbor's ingress gateway.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,6 +17,28 @@ pub struct PcbMessage {
     pub to_if: IfId,
     /// The beacon (already extended and signed by the sender).
     pub pcb: Pcb,
+}
+
+impl Encode for PcbMessage {
+    fn encode(&self, writer: &mut WireWriter) {
+        writer.put_varint(self.from_as.value());
+        writer.put_u32v(self.from_if.value());
+        writer.put_varint(self.to_as.value());
+        writer.put_u32v(self.to_if.value());
+        self.pcb.encode(writer);
+    }
+}
+
+impl Decode for PcbMessage {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self> {
+        Ok(PcbMessage {
+            from_as: AsId(reader.get_varint()?),
+            from_if: IfId(reader.get_u32v()?),
+            to_as: AsId(reader.get_varint()?),
+            to_if: IfId(reader.get_u32v()?),
+            pcb: Pcb::decode(reader)?,
+        })
+    }
 }
 
 /// A pull-based beacon returned by the target AS to the beacon's origin AS (§IV-B: "the
@@ -34,6 +57,26 @@ pub struct PullReturn {
     pub target_ingress: IfId,
     /// The beacon being returned.
     pub pcb: Pcb,
+}
+
+impl Encode for PullReturn {
+    fn encode(&self, writer: &mut WireWriter) {
+        writer.put_varint(self.from_as.value());
+        writer.put_varint(self.to_as.value());
+        writer.put_u32v(self.target_ingress.value());
+        self.pcb.encode(writer);
+    }
+}
+
+impl Decode for PullReturn {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self> {
+        Ok(PullReturn {
+            from_as: AsId(reader.get_varint()?),
+            to_as: AsId(reader.get_varint()?),
+            target_ingress: IfId(reader.get_u32v()?),
+            pcb: Pcb::decode(reader)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -66,5 +109,34 @@ mod tests {
             pcb,
         };
         assert_eq!(ret.to_as, AsId(1));
+    }
+
+    #[test]
+    fn wire_roundtrip_smoke() {
+        let pcb = Pcb::originate(
+            AsId(1),
+            3,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(1),
+            PcbExtensions::none(),
+        );
+        let msg = PcbMessage {
+            from_as: AsId(1),
+            from_if: IfId(2),
+            to_as: AsId(3),
+            to_if: IfId(4),
+            pcb: pcb.clone(),
+        };
+        let decoded: PcbMessage = irec_wire::from_bytes(&irec_wire::to_bytes(&msg)).unwrap();
+        assert_eq!(decoded, msg);
+
+        let ret = PullReturn {
+            from_as: AsId(3),
+            to_as: AsId(1),
+            target_ingress: IfId(4),
+            pcb,
+        };
+        let decoded: PullReturn = irec_wire::from_bytes(&irec_wire::to_bytes(&ret)).unwrap();
+        assert_eq!(decoded, ret);
     }
 }

@@ -142,8 +142,34 @@ impl IrecNode {
 
     /// Handles a PCB received from a neighbor. Verification/policy failures are reported but
     /// are not fatal to the node.
+    ///
+    /// Equivalent to [`IrecNode::verify_message`] followed by [`IrecNode::apply_message`];
+    /// the simulator's delivery plane runs the two stages separately so the expensive
+    /// verification fans out over worker threads while the commit stays serial.
     pub fn handle_message(&mut self, message: PcbMessage, now: SimTime) -> Result<()> {
-        self.ingress.receive(message.pcb, message.to_if, now)
+        let verdict = self.verify_message(&message, now);
+        self.apply_message(message, now, verdict)
+    }
+
+    /// The pure verification stage of message handling: signature, expiry and policy checks
+    /// against immutable node state. Safe to run concurrently for many messages — the
+    /// verdict must not depend on what other in-flight messages of the same delivery epoch
+    /// will commit (dedup and statistics live in [`IrecNode::apply_message`]).
+    pub fn verify_message(&self, message: &PcbMessage, now: SimTime) -> Result<()> {
+        self.ingress.verify(&message.pcb, now)
+    }
+
+    /// The serial apply stage of message handling: accounts the precomputed `verdict` and,
+    /// on success, commits the beacon to the ingress database. Must be called in delivery
+    /// order.
+    pub fn apply_message(
+        &mut self,
+        message: PcbMessage,
+        now: SimTime,
+        verdict: Result<()>,
+    ) -> Result<()> {
+        self.ingress
+            .commit(message.pcb, message.to_if, now, verdict)
     }
 
     /// Handles a pull-based beacon returned by its target (§IV-B): the completed path is

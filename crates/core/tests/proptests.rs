@@ -1,13 +1,14 @@
-//! Property-based suites pinning the core invariants this PR's bugfixes rely on:
+//! Property-based suites pinning the core invariants the simulator relies on:
 //!
-//! * `RacTiming` survives a wire encode/decode round-trip unchanged;
+//! * `RacTiming`, `PcbMessage` and `PullReturn` survive a wire encode/decode round-trip
+//!   unchanged (the delivery plane's message types are wire-clean);
 //! * the ingress database never hands out an expired beacon, its dedup set (`seen`) always
 //!   matches the stored digests, and `live_len` agrees with what queries can observe;
 //! * the egress database's `evict_expired` count equals the number of hashes actually
 //!   deleted, for any interleaving of insertions and (even non-monotonic) eviction sweeps.
 
 use irec_core::beacon_db::BatchKey;
-use irec_core::{EgressDb, IngressDb, RacTiming};
+use irec_core::{EgressDb, IngressDb, PcbMessage, PullReturn, RacTiming};
 use irec_pcb::{Pcb, PcbExtensions};
 use irec_types::{AsId, IfId, InterfaceGroupId, SimDuration, SimTime};
 use proptest::prelude::*;
@@ -47,6 +48,57 @@ proptest! {
         let len = bytes.len();
         bytes.truncate(len - cut.min(len));
         prop_assert!(irec_wire::from_bytes::<RacTiming>(&bytes).is_err());
+    }
+
+    /// A `PcbMessage` survives the wire round-trip unchanged for any addressing and any
+    /// beacon extension combination, and truncated encodings are rejected.
+    #[test]
+    fn pcb_message_wire_roundtrip(
+        from_as in 1u64..1_000_000, from_if in 0u32..1_000,
+        to_as in 1u64..1_000_000, to_if in 0u32..1_000,
+        origin in 1u64..50, seq in 0u64..100, validity in 1u64..12,
+        target in proptest::option::of(1u64..50),
+        group in proptest::option::of(1u32..8),
+        cut in 1usize..6,
+    ) {
+        let message = PcbMessage {
+            from_as: AsId(from_as),
+            from_if: IfId(from_if),
+            to_as: AsId(to_as),
+            to_if: IfId(to_if),
+            pcb: extended_pcb(origin, seq, validity, target, group),
+        };
+        let bytes = irec_wire::to_bytes(&message);
+        let decoded: PcbMessage = irec_wire::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &message);
+        let mut truncated = bytes.clone();
+        let len = truncated.len();
+        truncated.truncate(len - cut.min(len));
+        prop_assert!(irec_wire::from_bytes::<PcbMessage>(&truncated).is_err());
+    }
+
+    /// Same round-trip guarantee for `PullReturn`.
+    #[test]
+    fn pull_return_wire_roundtrip(
+        from_as in 1u64..1_000_000, to_as in 1u64..1_000_000,
+        target_ingress in 0u32..1_000,
+        origin in 1u64..50, seq in 0u64..100, validity in 1u64..12,
+        group in proptest::option::of(1u32..8),
+        cut in 1usize..6,
+    ) {
+        let ret = PullReturn {
+            from_as: AsId(from_as),
+            to_as: AsId(to_as),
+            target_ingress: IfId(target_ingress),
+            pcb: extended_pcb(origin, seq, validity, Some(to_as), group),
+        };
+        let bytes = irec_wire::to_bytes(&ret);
+        let decoded: PullReturn = irec_wire::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &ret);
+        let mut truncated = bytes.clone();
+        let len = truncated.len();
+        truncated.truncate(len - cut.min(len));
+        prop_assert!(irec_wire::from_bytes::<PullReturn>(&truncated).is_err());
     }
 
     /// Insert a batch of beacons, query and evict at random times: no expired beacon is
@@ -174,6 +226,31 @@ fn test_pcb(origin: u64, seq: u64, validity_hours: u64) -> Pcb {
         SimTime::ZERO,
         SimTime::ZERO + SimDuration::from_hours(validity_hours),
         PcbExtensions::none(),
+    )
+}
+
+/// Like [`test_pcb`] but with the optional pull-target / interface-group extensions the
+/// wire round-trip must preserve.
+fn extended_pcb(
+    origin: u64,
+    seq: u64,
+    validity_hours: u64,
+    target: Option<u64>,
+    group: Option<u32>,
+) -> Pcb {
+    let mut extensions = PcbExtensions::none();
+    if let Some(t) = target {
+        extensions = extensions.with_target(AsId(t));
+    }
+    if let Some(g) = group {
+        extensions = extensions.with_interface_group(InterfaceGroupId(g));
+    }
+    Pcb::originate(
+        AsId(origin),
+        seq,
+        SimTime::ZERO,
+        SimTime::ZERO + SimDuration::from_hours(validity_hours),
+        extensions,
     )
 }
 

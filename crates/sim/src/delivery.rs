@@ -1,0 +1,364 @@
+//! The parallel message-delivery plane.
+//!
+//! `Simulation::deliver_until` used to drain the whole event queue on one thread — the last
+//! big serial section on the round hot path after the RAC/node phase was parallelized. This
+//! module replaces that monolithic drain with **time-epoch scheduling** and a two-stage
+//! pipeline per epoch:
+//!
+//! 1. **Schedule.** Due events are popped from the deterministic [`EventQueue`] in
+//!    `(SimTime, seq)` order and collected into a bounded *epoch*. Within the epoch the PCB
+//!    messages are partitioned into **per-destination-AS inboxes** (one inbox per receiving
+//!    node, in `AsId` order).
+//! 2. **Verify (parallel).** The expensive per-message work — signature, expiry and policy
+//!    checks via [`IrecNode::verify_message`] — runs over `std::thread::scope` workers, one
+//!    inbox per work item, claimed through an atomic cursor exactly like the RAC execution
+//!    engine (`irec_core::engine`). Verdicts land in per-event slots indexed by the event's
+//!    epoch position, so the merge order is independent of scheduling.
+//! 3. **Apply (serial).** Verdicts are committed in `(SimTime, seq)` order through
+//!    [`IrecNode::apply_message`]: accepted beacons enter the receiving node's ingress
+//!    database, rejects and missing-destination drops are accounted.
+//!
+//! **Determinism.** The apply stage walks the epoch in exactly the order the sequential
+//! drain would have delivered, and the verify stage is pure: a verdict depends only on the
+//! message, its delivery time, and immutable node state (keys, policy) — never on what
+//! other in-flight messages of the same epoch commit. Dedup and statistics mutate only in
+//! the serial apply stage. A run with any `parallelism` value is therefore byte-identical
+//! to a sequential run, which `tests/delivery_determinism.rs` and the CI determinism job
+//! both enforce.
+
+use crate::event::{Event, EventQueue};
+use irec_core::IrecNode;
+use irec_types::{AsId, Result, SimTime};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Hard cap on delivery workers, matching the RAC engine's cap.
+pub const MAX_WORKERS: usize = 64;
+
+/// Upper bound on the number of events collected into one epoch, bounding the memory held
+/// outside the queue during a large drain (e.g. the final `deliver_until(SimTime::MAX)`
+/// flush). Delivery cannot schedule new events, so draining in bounded chunks is exact.
+pub const MAX_EPOCH_EVENTS: usize = 4096;
+
+/// Delivery accounting, split by outcome.
+///
+/// The pre-delivery-plane simulator lumped the last two counters into one `dropped` figure;
+/// they answer different questions (is the topology/failure model losing messages vs. is
+/// the ingress gateway refusing them), so the plane tracks them separately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Messages delivered to (and accepted or deduplicated by) their destination node.
+    pub delivered: u64,
+    /// Messages addressed to an AS that has no node (e.g. removed by failure injection).
+    pub dropped_no_node: u64,
+    /// PCB messages rejected by the receiving ingress gateway (signature, expiry or policy
+    /// failures).
+    pub rejected: u64,
+}
+
+impl DeliveryStats {
+    /// The legacy aggregate: everything that was not delivered.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_no_node + self.rejected
+    }
+}
+
+/// The message-delivery plane: the deterministic event queue plus the epoch pipeline that
+/// drains it.
+#[derive(Debug)]
+pub struct DeliveryPlane {
+    queue: EventQueue,
+    /// Worker threads for the verify stage; `<= 1` verifies inline during the apply walk.
+    parallelism: usize,
+    stats: DeliveryStats,
+}
+
+impl Default for DeliveryPlane {
+    /// A sequential plane (one verify worker), honouring the same clamp as
+    /// [`DeliveryPlane::new`].
+    fn default() -> Self {
+        DeliveryPlane::new(1)
+    }
+}
+
+impl DeliveryPlane {
+    /// Creates an empty plane with the given verify-stage worker count (clamped to
+    /// [`MAX_WORKERS`]).
+    pub fn new(parallelism: usize) -> Self {
+        DeliveryPlane {
+            queue: EventQueue::new(),
+            parallelism: parallelism.clamp(1, MAX_WORKERS),
+            stats: DeliveryStats::default(),
+        }
+    }
+
+    /// Schedules `event` for delivery at time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        self.queue.schedule(at, event);
+    }
+
+    /// Number of events still in flight.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The delivery accounting so far.
+    pub fn stats(&self) -> DeliveryStats {
+        self.stats
+    }
+
+    /// The configured verify-stage worker count.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Delivers every event due at or before `until` to `nodes`, in `(SimTime, seq)` order.
+    pub fn deliver_until(&mut self, nodes: &mut BTreeMap<AsId, IrecNode>, until: SimTime) {
+        loop {
+            // Epoch collection: due events in (at, seq) order, bounded per pass.
+            let mut epoch: Vec<(SimTime, Event)> = Vec::new();
+            while epoch.len() < MAX_EPOCH_EVENTS {
+                match self.queue.pop_until(until) {
+                    Some(entry) => epoch.push(entry),
+                    None => break,
+                }
+            }
+            if epoch.is_empty() {
+                return;
+            }
+
+            // Verify stage: fan the per-node inboxes out over workers. With one worker the
+            // apply walk below verifies inline instead (identical verdicts either way).
+            let mut verdicts = if self.parallelism > 1 {
+                verify_epoch(nodes, &epoch, self.parallelism)
+            } else {
+                Vec::new()
+            };
+
+            // Apply stage: commit in epoch (= delivery) order.
+            for (index, (at, event)) in epoch.into_iter().enumerate() {
+                match event {
+                    Event::DeliverPcb(message) => match nodes.get_mut(&message.to_as) {
+                        Some(node) => {
+                            let verdict = verdicts
+                                .get_mut(index)
+                                .and_then(Option::take)
+                                .unwrap_or_else(|| node.verify_message(&message, at));
+                            match node.apply_message(message, at, verdict) {
+                                Ok(()) => self.stats.delivered += 1,
+                                Err(_) => self.stats.rejected += 1,
+                            }
+                        }
+                        // The addressed AS has no node (e.g. removed by failure injection):
+                        // the message is lost and must be accounted, not silently discarded.
+                        None => self.stats.dropped_no_node += 1,
+                    },
+                    Event::DeliverPullReturn(ret) => match nodes.get_mut(&ret.to_as) {
+                        Some(node) => {
+                            node.handle_pull_return(ret, at);
+                            self.stats.delivered += 1;
+                        }
+                        None => self.stats.dropped_no_node += 1,
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Runs the parallel verify stage over one epoch: partitions the PCB messages into
+/// per-destination-AS inboxes and verifies each inbox on whatever worker claims it,
+/// writing verdicts into slots indexed by epoch position.
+///
+/// Returns one slot per epoch event; `None` for events that need no verification (pull
+/// returns, messages to missing nodes).
+fn verify_epoch(
+    nodes: &BTreeMap<AsId, IrecNode>,
+    epoch: &[(SimTime, Event)],
+    parallelism: usize,
+) -> Vec<Option<Result<()>>> {
+    // Inboxes in AsId order; each holds the epoch indices addressed to that node.
+    let mut by_destination: BTreeMap<AsId, Vec<usize>> = BTreeMap::new();
+    for (index, (_, event)) in epoch.iter().enumerate() {
+        if let Event::DeliverPcb(message) = event {
+            if nodes.contains_key(&message.to_as) {
+                by_destination.entry(message.to_as).or_default().push(index);
+            }
+        }
+    }
+    if by_destination.is_empty() {
+        // Nothing to verify (only pull returns / missing-node messages): skip the slot
+        // allocation and worker spawn; the apply walk verifies inline on empty slots.
+        return Vec::new();
+    }
+    let inboxes: Vec<(&IrecNode, Vec<usize>)> = by_destination
+        .into_iter()
+        .map(|(asn, indices)| (nodes.get(&asn).expect("destination checked above"), indices))
+        .collect();
+
+    let workers = parallelism.min(MAX_WORKERS).min(inboxes.len()).max(1);
+    let slots: Vec<Mutex<Option<Result<()>>>> = epoch.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let claimed = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some((node, indices)) = inboxes.get(claimed) else {
+                    break;
+                };
+                for &index in indices {
+                    let (at, event) = &epoch[index];
+                    let Event::DeliverPcb(message) = event else {
+                        unreachable!("inboxes hold only PCB deliveries");
+                    };
+                    *slots[index].lock() = Some(node.verify_message(message, *at));
+                }
+            });
+        }
+    });
+    slots.into_iter().map(Mutex::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irec_core::{NodeConfig, PcbMessage, SharedAlgorithmStore};
+    use irec_crypto::{KeyRegistry, Signer};
+    use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
+    use irec_topology::builder::figure1_topology;
+    use irec_types::{Bandwidth, IfId, Latency, SimDuration};
+    use std::sync::Arc;
+
+    fn nodes_with_registry() -> (BTreeMap<AsId, IrecNode>, KeyRegistry) {
+        let topology = Arc::new(figure1_topology());
+        let registry = KeyRegistry::with_ases(42, 64);
+        let store = SharedAlgorithmStore::new();
+        let mut nodes = BTreeMap::new();
+        for asn in topology.as_ids() {
+            registry.register(asn);
+            let node = IrecNode::new(
+                asn,
+                NodeConfig::default(),
+                Arc::clone(&topology),
+                registry.clone(),
+                store.clone(),
+            )
+            .unwrap();
+            nodes.insert(asn, node);
+        }
+        (nodes, registry)
+    }
+
+    fn message(registry: &KeyRegistry, origin: u64, seq: u64, to: u64, tampered: bool) -> Event {
+        let mut pcb = Pcb::originate(
+            AsId(origin),
+            seq,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(6),
+            PcbExtensions::none(),
+        );
+        pcb.extend(
+            IfId::NONE,
+            IfId(1),
+            StaticInfo::origin(Latency::from_millis(10), Bandwidth::from_mbps(100), None),
+            &Signer::new(AsId(origin), registry.clone()),
+        )
+        .unwrap();
+        if tampered {
+            pcb.entries[0].static_info.link_latency = Latency::from_millis(1);
+        }
+        Event::DeliverPcb(PcbMessage {
+            from_as: AsId(origin),
+            from_if: IfId(1),
+            to_as: AsId(to),
+            to_if: IfId(1),
+            pcb,
+        })
+    }
+
+    fn run_plane(parallelism: usize) -> (DeliveryStats, Vec<(AsId, usize)>) {
+        let (mut nodes, registry) = nodes_with_registry();
+        let mut plane = DeliveryPlane::new(parallelism);
+        // A mix of valid, tampered and undeliverable messages across several epochs'
+        // worth of timestamps. Origin AS5 never receives, so no loop rejections interfere
+        // with the tampered-count assertion.
+        for seq in 0..20u64 {
+            let to = 1 + (seq % 4); // delivered round-robin to AS1..AS4
+            let tampered = seq % 5 == 0;
+            plane.schedule(
+                SimTime::from_micros(100 + seq * 7),
+                message(&registry, 5, seq, to, tampered),
+            );
+        }
+        // A message to an AS that has no node.
+        plane.schedule(
+            SimTime::from_micros(130),
+            message(&registry, 5, 100, 99, false),
+        );
+        plane.deliver_until(&mut nodes, SimTime::MAX);
+        let occupancy: Vec<(AsId, usize)> = nodes
+            .iter()
+            .map(|(asn, node)| (*asn, node.ingress().db().len()))
+            .collect();
+        (plane.stats(), occupancy)
+    }
+
+    #[test]
+    fn plane_accounts_outcomes_separately() {
+        let (stats, _) = run_plane(1);
+        assert_eq!(stats.rejected, 4, "tampered messages rejected");
+        assert_eq!(stats.dropped_no_node, 1);
+        assert_eq!(stats.delivered, 16);
+        assert_eq!(stats.dropped_total(), 5);
+    }
+
+    #[test]
+    fn parallel_delivery_is_byte_identical_to_sequential() {
+        let (sequential_stats, sequential_occupancy) = run_plane(1);
+        for parallelism in [2, 4, 8] {
+            let (stats, occupancy) = run_plane(parallelism);
+            assert_eq!(
+                stats, sequential_stats,
+                "stats at parallelism {parallelism}"
+            );
+            assert_eq!(
+                occupancy, sequential_occupancy,
+                "ingress occupancy at parallelism {parallelism}"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_bound_does_not_lose_events() {
+        let (mut nodes, registry) = nodes_with_registry();
+        let mut plane = DeliveryPlane::new(2);
+        // More events than one epoch holds, all due at once; sequence numbers keep them
+        // distinct beacons (distinct digests), so everything must be delivered.
+        let count = (MAX_EPOCH_EVENTS + 100) as u64;
+        for seq in 0..count {
+            plane.schedule(
+                SimTime::from_micros(50),
+                message(&registry, 3, seq, 1, false),
+            );
+        }
+        plane.deliver_until(&mut nodes, SimTime::MAX);
+        assert_eq!(plane.pending(), 0);
+        assert_eq!(plane.stats().delivered, count);
+        assert_eq!(nodes[&AsId(1)].ingress().db().len() as u64, count);
+    }
+
+    #[test]
+    fn deliver_until_respects_horizon() {
+        let (mut nodes, registry) = nodes_with_registry();
+        let mut plane = DeliveryPlane::new(4);
+        plane.schedule(SimTime::from_micros(10), message(&registry, 3, 0, 1, false));
+        plane.schedule(
+            SimTime::from_micros(500),
+            message(&registry, 3, 1, 1, false),
+        );
+        plane.deliver_until(&mut nodes, SimTime::from_micros(100));
+        assert_eq!(plane.stats().delivered, 1);
+        assert_eq!(plane.pending(), 1);
+    }
+}

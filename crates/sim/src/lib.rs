@@ -8,9 +8,11 @@
 //! * every AS runs a **beaconing round** periodically (every 10 simulated minutes in the
 //!   paper's setup): it originates fresh PCBs, runs all its RACs over the ingress database,
 //!   and hands the selections to the egress gateway;
-//! * the resulting PCB messages are delivered to the neighboring ASes through a discrete
-//!   [`event::EventQueue`], delayed by the propagation latency of the traversed link (plus a
-//!   small processing delay);
+//! * the resulting PCB messages are delivered to the neighboring ASes through the
+//!   [`delivery::DeliveryPlane`] — a discrete [`event::EventQueue`] drained in time epochs
+//!   with per-destination-AS inboxes and a parallel-verify / serial-apply pipeline —
+//!   delayed by the propagation latency of the traversed link (plus a small processing
+//!   delay);
 //! * pull-based beacons reaching their target are returned to the origin AS as
 //!   [`irec_core::PullReturn`] events, delayed by the latency of the discovered path;
 //! * per-interface, per-period send counters feed the Fig. 8c overhead metric, and the
@@ -24,10 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delivery;
 pub mod event;
 pub mod pd;
 pub mod simulation;
 
+pub use delivery::{DeliveryPlane, DeliveryStats};
 pub use event::{Event, EventQueue};
 pub use pd::{PdResult, PdWorkflow};
 pub use simulation::{Simulation, SimulationConfig};

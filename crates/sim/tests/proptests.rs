@@ -1,0 +1,109 @@
+//! Property-based suite for the deterministic event queue the delivery plane drains:
+//! pop order is exactly `(at, seq)` lexicographic — earliest delivery time first, FIFO
+//! (insertion order) among equal times — for any schedule, and `pop_until` returns the
+//! same prefix a full drain would.
+
+use irec_core::PcbMessage;
+use irec_pcb::{Pcb, PcbExtensions};
+use irec_sim::{Event, EventQueue};
+use irec_types::{AsId, IfId, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Event whose payload carries its insertion index (as the origin AS id), so pop order can
+/// be checked against the schedule.
+fn tagged_event(index: u64) -> Event {
+    Event::DeliverPcb(PcbMessage {
+        from_as: AsId(index + 1),
+        from_if: IfId(1),
+        to_as: AsId(2),
+        to_if: IfId(1),
+        pcb: Pcb::originate(
+            AsId(index + 1),
+            index,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(1),
+            PcbExtensions::none(),
+        ),
+    })
+}
+
+fn index_of(event: &Event) -> u64 {
+    match event {
+        Event::DeliverPcb(m) => m.from_as.value() - 1,
+        Event::DeliverPullReturn(r) => r.from_as.value() - 1,
+    }
+}
+
+proptest! {
+    /// Popping everything yields the stable sort of the schedule by delivery time: `(at,
+    /// seq)` lexicographic, where `seq` is the insertion index.
+    #[test]
+    fn pop_order_is_at_seq_lexicographic(times in proptest::collection::vec(0u64..50, 1..64)) {
+        let mut queue = EventQueue::new();
+        for (index, at) in times.iter().enumerate() {
+            queue.schedule(SimTime::from_micros(*at), tagged_event(index as u64));
+        }
+        prop_assert_eq!(queue.len(), times.len());
+
+        let mut expected: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(index, at)| (*at, index as u64))
+            .collect();
+        expected.sort(); // lexicographic (at, seq) — a stable sort by `at`
+
+        let mut popped = Vec::new();
+        let mut last: Option<(SimTime, u64)> = None;
+        while let Some((at, event)) = queue.pop() {
+            let index = index_of(&event);
+            // Each popped entry is >= its predecessor in (at, seq) order.
+            if let Some((prev_at, prev_index)) = last {
+                prop_assert!((prev_at, prev_index) < (at, index));
+            }
+            last = Some((at, index));
+            popped.push((at.as_micros(), index));
+        }
+        prop_assert_eq!(popped, expected);
+        prop_assert!(queue.is_empty());
+    }
+
+    /// `pop_until(horizon)` returns exactly the events due at or before the horizon, in the
+    /// same order a full drain would, and leaves the rest intact.
+    #[test]
+    fn pop_until_is_an_order_preserving_prefix(
+        times in proptest::collection::vec(0u64..50, 1..64),
+        horizon in 0u64..60,
+    ) {
+        let schedule = |queue: &mut EventQueue| {
+            for (index, at) in times.iter().enumerate() {
+                queue.schedule(SimTime::from_micros(*at), tagged_event(index as u64));
+            }
+        };
+        let mut full = EventQueue::new();
+        schedule(&mut full);
+        let mut drained = Vec::new();
+        while let Some(entry) = full.pop() {
+            drained.push(entry);
+        }
+
+        let mut bounded = EventQueue::new();
+        schedule(&mut bounded);
+        let horizon = SimTime::from_micros(horizon);
+        let mut before = Vec::new();
+        while let Some(entry) = bounded.pop_until(horizon) {
+            prop_assert!(entry.0 <= horizon);
+            before.push(entry);
+        }
+        let due: Vec<_> = drained.iter().filter(|(at, _)| *at <= horizon).collect();
+        prop_assert_eq!(before.len(), due.len());
+        for (a, b) in before.iter().zip(due) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(index_of(&a.1), index_of(&b.1));
+        }
+        // What remains is everything after the horizon, still in order.
+        prop_assert_eq!(bounded.len(), times.len() - before.len());
+        if let Some(next) = bounded.next_time() {
+            prop_assert!(next > horizon);
+        }
+    }
+}

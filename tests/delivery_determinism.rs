@@ -1,0 +1,132 @@
+//! Acceptance tests for the parallel message-delivery plane: a simulation run with
+//! `--delivery-parallelism > 1` must be byte-identical to a sequential run — same
+//! registered paths in the same order, same delivered/dropped/rejected counters, same
+//! ingress occupancy — on the fig6-scale workload (generated topology, the paper's
+//! five-RAC deployment) and under failure injection.
+
+use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
+use irec_metrics::RegisteredPath;
+use irec_sim::{DeliveryStats, Simulation, SimulationConfig};
+use irec_topology::builder::{figure1, figure1_topology};
+use irec_topology::{GeneratorConfig, TopologyGenerator};
+use std::sync::Arc;
+
+/// Everything observable about a finished run, for exact comparison.
+#[derive(PartialEq, Debug)]
+struct RunFingerprint {
+    paths: Vec<RegisteredPath>,
+    overhead_samples: Vec<u64>,
+    stats: DeliveryStats,
+    occupancy: usize,
+}
+
+fn fingerprint(sim: &Simulation) -> RunFingerprint {
+    RunFingerprint {
+        paths: sim.registered_paths(),
+        overhead_samples: sim.overhead().samples(),
+        stats: sim.delivery_stats(),
+        occupancy: sim.ingress_occupancy(),
+    }
+}
+
+/// The fig6 smoke workload: a 12-AS generated topology beaconing for 3 rounds with the
+/// paper's static RAC set.
+fn run_fig6_workload(delivery_parallelism: usize) -> RunFingerprint {
+    let topology = Arc::new(
+        TopologyGenerator::new(GeneratorConfig {
+            num_ases: 12,
+            seed: 5,
+            ..Default::default()
+        })
+        .generate(),
+    );
+    let mut sim = Simulation::new(
+        topology,
+        SimulationConfig::default().with_delivery_parallelism(delivery_parallelism),
+        |_| {
+            NodeConfig::default().with_racs(vec![
+                RacConfig::static_rac("1SP", "1SP"),
+                RacConfig::static_rac("5SP", "5SP"),
+                RacConfig::static_rac("HD", "HD"),
+                RacConfig::static_rac("DON", "DO"),
+            ])
+        },
+    )
+    .expect("simulation setup");
+    sim.run_rounds(3).expect("beaconing rounds");
+    fingerprint(&sim)
+}
+
+/// The headline acceptance criterion: `--delivery-parallelism 4` is byte-identical to
+/// `--delivery-parallelism 1` on the fig6 workload.
+#[test]
+fn delivery_parallelism_is_byte_identical_on_fig6_workload() {
+    let sequential = run_fig6_workload(1);
+    assert!(
+        !sequential.paths.is_empty(),
+        "the scenario must register paths"
+    );
+    assert!(sequential.stats.delivered > 0);
+    for parallelism in [2, 4, 8] {
+        let parallel = run_fig6_workload(parallelism);
+        assert_eq!(
+            parallel, sequential,
+            "delivery-parallelism {parallelism} diverged from sequential"
+        );
+    }
+}
+
+/// Same guarantee with failure injection: a removed node exercises the `dropped_no_node`
+/// path, and the split counters stay identical across worker counts.
+#[test]
+fn delivery_parallelism_is_byte_identical_under_failure_injection() {
+    let run = |delivery_parallelism: usize| {
+        let mut sim = Simulation::new(
+            Arc::new(figure1_topology()),
+            SimulationConfig::default().with_delivery_parallelism(delivery_parallelism),
+            |_| {
+                NodeConfig::default()
+                    .with_policy(PropagationPolicy::All)
+                    .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
+            },
+        )
+        .expect("simulation setup");
+        sim.run_rounds(2).expect("beaconing rounds");
+        sim.remove_node(figure1::X);
+        sim.run_rounds(2).expect("beaconing rounds after failure");
+        fingerprint(&sim)
+    };
+    let sequential = run(1);
+    assert!(
+        sequential.stats.dropped_no_node > 0,
+        "the removed AS must lose in-flight messages"
+    );
+    let parallel = run(4);
+    assert_eq!(parallel, sequential);
+}
+
+/// Both delivery-plane and node-phase/RAC-engine parallelism stacked together still
+/// reproduce the sequential output.
+#[test]
+fn stacked_parallelism_is_byte_identical() {
+    let run = |parallelism: usize, delivery_parallelism: usize| {
+        let mut sim = Simulation::new(
+            Arc::new(figure1_topology()),
+            SimulationConfig::default()
+                .with_parallelism(parallelism)
+                .with_delivery_parallelism(delivery_parallelism),
+            move |_| {
+                NodeConfig::paper_simulation(false)
+                    .with_policy(PropagationPolicy::All)
+                    .with_parallelism(parallelism)
+            },
+        )
+        .expect("simulation setup");
+        sim.run_rounds(4).expect("beaconing rounds");
+        fingerprint(&sim)
+    };
+    let sequential = run(1, 1);
+    assert!(!sequential.paths.is_empty());
+    let parallel = run(4, 4);
+    assert_eq!(parallel, sequential);
+}

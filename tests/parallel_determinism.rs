@@ -5,7 +5,7 @@
 
 use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
 use irec_metrics::RegisteredPath;
-use irec_sim::{Simulation, SimulationConfig};
+use irec_sim::{DeliveryStats, Simulation, SimulationConfig};
 use irec_topology::builder::figure1_topology;
 use irec_topology::{GeneratorConfig, TopologyGenerator};
 use std::sync::Arc;
@@ -15,8 +15,7 @@ struct RunFingerprint {
     paths: Vec<RegisteredPath>,
     overhead_samples: Vec<u64>,
     overhead_total: u64,
-    delivered: u64,
-    dropped: u64,
+    stats: DeliveryStats,
     occupancy: usize,
 }
 
@@ -36,8 +35,7 @@ fn run_figure1(parallelism: usize, rounds: usize) -> RunFingerprint {
         paths: sim.registered_paths(),
         overhead_samples: sim.overhead().samples(),
         overhead_total: sim.overhead().total(),
-        delivered: sim.delivered_messages(),
-        dropped: sim.dropped_messages(),
+        stats: sim.delivery_stats(),
         occupancy: sim.ingress_occupancy(),
     }
 }
@@ -58,8 +56,7 @@ fn assert_identical(sequential: &RunFingerprint, parallel: &RunFingerprint, para
         "overhead samples diverged at parallelism {parallelism}"
     );
     assert_eq!(sequential.overhead_total, parallel.overhead_total);
-    assert_eq!(sequential.delivered, parallel.delivered);
-    assert_eq!(sequential.dropped, parallel.dropped);
+    assert_eq!(sequential.stats, parallel.stats);
     assert_eq!(sequential.occupancy, parallel.occupancy);
 }
 
@@ -105,8 +102,7 @@ fn parallel_generated_topology_run_is_byte_identical_to_sequential() {
             paths: sim.registered_paths(),
             overhead_samples: sim.overhead().samples(),
             overhead_total: sim.overhead().total(),
-            delivered: sim.delivered_messages(),
-            dropped: sim.dropped_messages(),
+            stats: sim.delivery_stats(),
             occupancy: sim.ingress_occupancy(),
         }
     };
