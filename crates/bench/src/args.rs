@@ -28,6 +28,11 @@ pub struct BenchArgs {
     /// (`--delivery-parallelism`, default 1 = sequential). Threaded into every simulation
     /// the binaries build and into the delivery-scaling sections of fig6/fig7.
     pub delivery_parallelism: usize,
+    /// Shard count of every node's ingress database (`--ingress-shards`, default 0 = auto:
+    /// the next power of two of `--parallelism`). Threaded into every simulation the
+    /// binaries build, the engine workloads and the `ingress_sharding` criterion bench;
+    /// the simulation output is byte-identical for every value.
+    pub ingress_shards: usize,
 }
 
 impl Default for BenchArgs {
@@ -44,6 +49,7 @@ impl Default for BenchArgs {
             max_racs: cores.min(16),
             parallelism: 1,
             delivery_parallelism: 1,
+            ingress_shards: 0,
         }
     }
 }
@@ -94,6 +100,9 @@ impl BenchArgs {
         if let Some(v) = get(&map, "delivery-parallelism") {
             parsed.delivery_parallelism = v.clamp(1, 64);
         }
+        if let Some(v) = get(&map, "ingress-shards") {
+            parsed.ingress_shards = v.min(256);
+        }
         parsed
     }
 
@@ -119,6 +128,7 @@ mod tests {
         assert!(a.max_racs >= 1);
         assert_eq!(a.parallelism, 1);
         assert_eq!(a.delivery_parallelism, 1);
+        assert_eq!(a.ingress_shards, 0);
     }
 
     #[test]
@@ -140,6 +150,8 @@ mod tests {
             "6",
             "--delivery-parallelism",
             "3",
+            "--ingress-shards",
+            "7",
         ]);
         assert_eq!(a.ases, 120);
         assert_eq!(a.rounds, 12);
@@ -149,6 +161,7 @@ mod tests {
         assert_eq!(a.max_racs, 4);
         assert_eq!(a.parallelism, 6);
         assert_eq!(a.delivery_parallelism, 3);
+        assert_eq!(a.ingress_shards, 7);
     }
 
     #[test]
@@ -160,6 +173,8 @@ mod tests {
         assert_eq!(p.parallelism, 1);
         let d = parse(&["--delivery-parallelism", "500"]);
         assert_eq!(d.delivery_parallelism, 64);
+        let i = parse(&["--ingress-shards", "9000"]);
+        assert_eq!(i.ingress_shards, 256);
     }
 
     #[test]

@@ -2,14 +2,16 @@
 //! and every overhead counter in full.
 //!
 //! ```text
-//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--delivery-parallelism N] [--ases 12] [--rounds 3] [--seed 5]
+//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--delivery-parallelism N] [--ingress-shards N] [--ases 12] [--rounds 3] [--seed 5]
 //! ```
 //!
-//! The output is **byte-identical for every `--parallelism` and `--delivery-parallelism`
-//! value** — that is the determinism guarantee of the parallel execution engine and of the
-//! message-delivery plane, and the CI determinism job enforces it by diffing a sequential
-//! run against `--parallelism 4` and `--delivery-parallelism 4` runs. Both arguments are
-//! deliberately excluded from the output for exactly that reason.
+//! The output is **byte-identical for every `--parallelism`, `--delivery-parallelism` and
+//! `--ingress-shards` value** — that is the determinism guarantee of the parallel execution
+//! engine, of the message-delivery plane and of the sharded ingress database, and the CI
+//! determinism job enforces it by diffing a sequential run against `--parallelism 4`,
+//! `--delivery-parallelism 4` and sharded (`--ingress-shards {2, 4, 7}` alone, plus shard
+//! count 4 stacked with both worker knobs) runs. All three arguments are deliberately
+//! excluded from the output for exactly that reason.
 
 use irec_bench::BenchArgs;
 use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
@@ -35,6 +37,7 @@ fn main() {
                     RacConfig::static_rac("widest", "widest"),
                 ])
                 .with_parallelism(args.parallelism)
+                .with_ingress_shards(args.ingress_shards)
         },
     )
     .expect("figure-1 simulation setup");
@@ -60,6 +63,7 @@ fn main() {
                     RacConfig::static_rac("DON", "DO"),
                 ])
                 .with_parallelism(args.parallelism)
+                .with_ingress_shards(args.ingress_shards)
         },
     )
     .expect("generated simulation setup");

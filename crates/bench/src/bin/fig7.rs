@@ -62,7 +62,13 @@ fn main() {
     );
     header(&["workers", "delivered", "messages_per_second"]);
     for workers in delivery_counts {
-        let (stats, wall) = measure_delivery_point(args.ases, args.rounds, workers, args.seed);
+        let (stats, wall) = measure_delivery_point(
+            args.ases,
+            args.rounds,
+            workers,
+            args.ingress_shards,
+            args.seed,
+        );
         println!(
             "{}\t{}\t{}",
             workers,

@@ -132,7 +132,14 @@ impl Fig8Campaign {
             SimulationConfig::default()
                 .with_parallelism(self.args.parallelism)
                 .with_delivery_parallelism(self.args.delivery_parallelism),
-            move |_| NodeConfig::default().with_racs(vec![rac.clone()]),
+            {
+                let ingress_shards = self.args.ingress_shards;
+                move |_| {
+                    NodeConfig::default()
+                        .with_racs(vec![rac.clone()])
+                        .with_ingress_shards(ingress_shards)
+                }
+            },
         )?;
         if let Some(grouping) = grouping {
             sim.set_geographic_interface_groups(grouping)?;
@@ -150,11 +157,16 @@ impl Fig8Campaign {
             SimulationConfig::default()
                 .with_parallelism(self.args.parallelism)
                 .with_delivery_parallelism(self.args.delivery_parallelism),
-            move |_| {
-                NodeConfig::default().with_racs(vec![
-                    RacConfig::static_rac("HD", "HD"),
-                    RacConfig::on_demand_rac("on-demand"),
-                ])
+            {
+                let ingress_shards = self.args.ingress_shards;
+                move |_| {
+                    NodeConfig::default()
+                        .with_racs(vec![
+                            RacConfig::static_rac("HD", "HD"),
+                            RacConfig::on_demand_rac("on-demand"),
+                        ])
+                        .with_ingress_shards(ingress_shards)
+                }
             },
         )?;
         sim.run_rounds(self.args.rounds)?;
@@ -261,6 +273,7 @@ pub fn test_campaign(seed: u64) -> Fig8Campaign {
         max_racs: 2,
         parallelism: 1,
         delivery_parallelism: 1,
+        ingress_shards: 0,
     })
 }
 

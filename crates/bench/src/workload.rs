@@ -5,7 +5,7 @@ use irec_algorithms::score::KShortestPaths;
 use irec_algorithms::{AlgorithmContext, Candidate, CandidateBatch, RoutingAlgorithm};
 use irec_core::beacon_db::{BatchKey, StoredBeacon};
 use irec_core::{
-    execute_racs, IngressDb, NodeConfig, Rac, RacConfig, RacTiming, SharedAlgorithmStore,
+    execute_racs, NodeConfig, Rac, RacConfig, RacTiming, ShardedIngressDb, SharedAlgorithmStore,
 };
 use irec_crypto::{KeyRegistry, Signer};
 use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
@@ -226,14 +226,20 @@ pub fn legacy_selection_latency(candidates: &[Arc<StoredBeacon>], local_as: &AsN
 }
 
 /// A multi-batch, multi-RAC workload for the parallel execution engine: `origins` candidate
-/// batches of `phi` beacons each in one ingress database, processed by four static RACs
-/// (1SP, 5SP, DO, widest) — the ≥4-RAC workload the engine-scaling measurements run on.
-pub fn engine_workload(phi: usize, origins: u64, seed: u64) -> (Vec<Rac>, IngressDb) {
+/// batches of `phi` beacons each in one ingress database of `ingress_shards` shards
+/// (`0` = single shard), processed by four static RACs (1SP, 5SP, DO, widest) — the ≥4-RAC
+/// workload the engine-scaling measurements run on.
+pub fn engine_workload(
+    phi: usize,
+    origins: u64,
+    seed: u64,
+    ingress_shards: usize,
+) -> (Vec<Rac>, ShardedIngressDb) {
     let racs: Vec<Rac> = ["1SP", "5SP", "DO", "widest"]
         .iter()
         .map(|name| Rac::new_static(RacConfig::static_rac(*name, *name)).expect("catalog name"))
         .collect();
-    let mut db = IngressDb::new();
+    let db = ShardedIngressDb::new(ingress_shards.max(1));
     for index in 0..origins.max(1) {
         let origin = AsId(WORKLOAD_ORIGIN.value() + index * 100);
         for stored in candidate_set_for(origin, phi, seed.wrapping_add(index)) {
@@ -241,6 +247,52 @@ pub fn engine_workload(phi: usize, origins: u64, seed: u64) -> (Vec<Rac>, Ingres
         }
     }
     (racs, db)
+}
+
+/// One insert + evict pass of the ingress-sharding workload: inserts every beacon into a
+/// fresh `shards`-shard database from `workers` scoped threads (each thread owns the
+/// origins that hash to its claimed shards, so per-shard insertion order stays
+/// deterministic), then runs one parallel eviction sweep at `evict_at`. Returns
+/// `(stored, evicted)` — both independent of the shard and worker counts, which the
+/// `ingress_sharding` criterion bench and the sharding stress test rely on.
+pub fn sharded_ingress_pass(
+    beacons: &[Arc<StoredBeacon>],
+    shards: usize,
+    workers: usize,
+    evict_at: SimTime,
+) -> (usize, usize) {
+    let db = ShardedIngressDb::new(shards);
+    let workers = workers.clamp(1, db.shard_count());
+    // Partition once, O(beacons): rescanning the whole slice per shard would add an
+    // O(shards × beacons) overhead term that grows with the very shard count the
+    // `ingress_sharding` bench is meant to show winning.
+    let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); db.shard_count()];
+    for (index, stored) in beacons.iter().enumerate() {
+        by_shard[db.shard_of(stored.pcb.origin)].push(index);
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let shard = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(indices) = by_shard.get(shard) else {
+                    break;
+                };
+                for &index in indices {
+                    let stored = &beacons[index];
+                    db.insert_in_shard(
+                        shard,
+                        stored.pcb.clone(),
+                        stored.ingress,
+                        stored.received_at,
+                    );
+                }
+            });
+        }
+    });
+    let stored = db.len();
+    let evicted = db.evict_expired_parallel(evict_at, SimDuration::ZERO, workers);
+    (stored, evicted)
 }
 
 /// One engine-scaling measurement point: the **mean per-pass** setup/marshal/execute
@@ -252,9 +304,10 @@ pub fn measure_engine_point(
     workers: usize,
     repetitions: usize,
     seed: u64,
+    ingress_shards: usize,
 ) -> (RacTiming, Duration) {
     let local_as = workload_local_as();
-    let (racs, db) = engine_workload(phi, 4, seed);
+    let (racs, db) = engine_workload(phi, 4, seed, ingress_shards);
     let egress: Vec<IfId> = local_as.interfaces.keys().copied().collect();
     let reps = repetitions.max(1);
     let mut timing = RacTiming::default();
@@ -276,7 +329,12 @@ pub fn measure_engine_point(
 /// Builds the delivery-plane workload: a generated-topology simulation with the paper's
 /// 5SP deployment and the given delivery-plane worker count. Shared by the fig6/fig7
 /// delivery-scaling sections and the `delivery_scaling` criterion bench.
-pub fn delivery_workload(ases: usize, delivery_workers: usize, seed: u64) -> Simulation {
+pub fn delivery_workload(
+    ases: usize,
+    delivery_workers: usize,
+    ingress_shards: usize,
+    seed: u64,
+) -> Simulation {
     let config = GeneratorConfig {
         num_ases: ases,
         seed,
@@ -286,7 +344,11 @@ pub fn delivery_workload(ases: usize, delivery_workers: usize, seed: u64) -> Sim
     Simulation::new(
         topology,
         SimulationConfig::default().with_delivery_parallelism(delivery_workers),
-        |_| NodeConfig::default().with_racs(vec![RacConfig::static_rac("5SP", "5SP")]),
+        move |_| {
+            NodeConfig::default()
+                .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
+                .with_ingress_shards(ingress_shards)
+        },
     )
     .expect("delivery workload simulation setup")
 }
@@ -301,9 +363,10 @@ pub fn measure_delivery_point(
     ases: usize,
     rounds: usize,
     delivery_workers: usize,
+    ingress_shards: usize,
     seed: u64,
 ) -> (DeliveryStats, Duration) {
-    let mut sim = delivery_workload(ases, delivery_workers, seed);
+    let mut sim = delivery_workload(ases, delivery_workers, ingress_shards, seed);
     let start = Instant::now();
     sim.run_rounds(rounds.max(1))
         .expect("delivery workload rounds succeed");
@@ -368,11 +431,11 @@ mod tests {
 
     #[test]
     fn engine_workload_scales_and_stays_deterministic() {
-        let (racs, db) = engine_workload(8, 4, 11);
+        let (racs, db) = engine_workload(8, 4, 11, 4);
         assert_eq!(racs.len(), 4);
         assert_eq!(db.batch_keys().len(), 4);
-        let (timing_seq, _) = measure_engine_point(8, 1, 1, 11);
-        let (timing_par, _) = measure_engine_point(8, 4, 1, 11);
+        let (timing_seq, _) = measure_engine_point(8, 1, 1, 11, 1);
+        let (timing_par, _) = measure_engine_point(8, 4, 1, 11, 4);
         // 4 RACs x 4 batches x 8 candidates, identical under any worker count.
         assert_eq!(timing_seq.candidates, 4 * 4 * 8);
         assert_eq!(timing_par.candidates, timing_seq.candidates);
@@ -380,10 +443,30 @@ mod tests {
 
     #[test]
     fn delivery_point_counters_are_worker_independent() {
-        let (sequential, _) = measure_delivery_point(8, 2, 1, 5);
+        let (sequential, _) = measure_delivery_point(8, 2, 1, 1, 5);
         assert!(sequential.delivered > 0);
-        let (parallel, _) = measure_delivery_point(8, 2, 4, 5);
+        let (parallel, _) = measure_delivery_point(8, 2, 4, 4, 5);
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn sharded_ingress_pass_is_shard_and_worker_invariant() {
+        // Beacons from several origins so the passes actually cross shard boundaries.
+        let beacons: Vec<_> = (0..6u64)
+            .flat_map(|index| {
+                // Origins spaced like `engine_workload` so the synthetic hop ASes of one
+                // origin never collide with another origin (which would be a loop).
+                candidate_set_for(AsId(1 + index * 100), 4, 9 + index)
+            })
+            .collect();
+        let far = SimTime::ZERO + SimDuration::from_hours(12);
+        let (stored_ref, evicted_ref) = sharded_ingress_pass(&beacons, 1, 1, far);
+        assert_eq!(stored_ref, 24);
+        assert_eq!(evicted_ref, 24, "every synthetic beacon expires within 6h");
+        for (shards, workers) in [(2, 2), (4, 4), (7, 3), (16, 8)] {
+            let (stored, evicted) = sharded_ingress_pass(&beacons, shards, workers, far);
+            assert_eq!((stored, evicted), (stored_ref, evicted_ref));
+        }
     }
 
     #[test]

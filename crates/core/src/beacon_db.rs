@@ -9,6 +9,7 @@
 
 use irec_pcb::{Pcb, PcbId};
 use irec_types::{AsId, IfId, InterfaceGroupId, SimTime};
+use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -222,6 +223,216 @@ impl IngressDb {
             !beacons.is_empty()
         });
         evicted
+    }
+}
+
+/// Hard cap on ingress shards; beyond this the per-shard maps are so small that the
+/// fan-out bookkeeping dominates any insert/evict win.
+pub const MAX_INGRESS_SHARDS: usize = 256;
+
+/// The finalizer of `splitmix64` — a fixed, platform-independent avalanche mix. Shard
+/// placement must be deterministic across runs and builds (the determinism probe diffs
+/// byte-identical output across shard counts), so the std `RandomState` hasher is not an
+/// option here.
+const fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A sharded ingress database: `N` independent [`IngressDb`] shards keyed by origin-AS
+/// hash, each behind its own `parking_lot::RwLock`.
+///
+/// Every beacon of one origin lands in the same shard (the batch key's origin determines
+/// placement), so inserts, evictions and dedup decisions for *different* shards are
+/// independent and can proceed concurrently — including concurrently with the engine's
+/// read-side batch snapshotting, which only takes short per-shard read locks. The facade
+/// preserves the single-map API with **deterministic, shard-merged iteration order**:
+/// [`ShardedIngressDb::batch_keys`] returns the global ascending `BatchKey` order (shards
+/// partition by origin, so sorting the merged keys reproduces exactly what one `BTreeMap`
+/// would iterate), counters reduce over shards in fixed index order, and a database with
+/// any shard count is observably byte-identical to the unsharded reference — pinned by the
+/// proptest suite in `crates/core/tests/proptests.rs`.
+#[derive(Debug)]
+pub struct ShardedIngressDb {
+    shards: Vec<RwLock<IngressDb>>,
+}
+
+impl Default for ShardedIngressDb {
+    /// A single-shard database — observably identical to a plain [`IngressDb`].
+    fn default() -> Self {
+        ShardedIngressDb::new(1)
+    }
+}
+
+impl ShardedIngressDb {
+    /// Creates an empty database with `shards` shards (clamped to
+    /// `1..=`[`MAX_INGRESS_SHARDS`]). Any shard count — powers of two or not — yields the
+    /// same observable contents; the count only changes how concurrent mutation can get.
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.clamp(1, MAX_INGRESS_SHARDS);
+        ShardedIngressDb {
+            shards: (0..shards).map(|_| RwLock::new(IngressDb::new())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `origin`'s beacons live in.
+    pub fn shard_of(&self, origin: AsId) -> usize {
+        (splitmix64(origin.value()) % self.shards.len() as u64) as usize
+    }
+
+    /// Inserts a received beacon into its origin's shard. Returns `false` when an identical
+    /// beacon (same digest) is already stored (duplicate suppression). Takes `&self`:
+    /// concurrent inserts into different shards do not contend.
+    pub fn insert(&self, pcb: Pcb, ingress: IfId, received_at: SimTime) -> bool {
+        let shard = self.shard_of(pcb.origin);
+        self.insert_in_shard(shard, pcb, ingress, received_at)
+    }
+
+    /// [`ShardedIngressDb::insert`] with the shard precomputed by the caller (the delivery
+    /// plane partitions a whole epoch by shard before fanning the commits out).
+    pub fn insert_in_shard(
+        &self,
+        shard: usize,
+        pcb: Pcb,
+        ingress: IfId,
+        received_at: SimTime,
+    ) -> bool {
+        debug_assert_eq!(
+            shard,
+            self.shard_of(pcb.origin),
+            "beacon committed to a foreign shard"
+        );
+        self.shards[shard].write().insert(pcb, ingress, received_at)
+    }
+
+    /// All batch keys currently present, in global ascending order — identical to what the
+    /// unsharded database iterates.
+    pub fn batch_keys(&self) -> Vec<BatchKey> {
+        let mut keys: Vec<BatchKey> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.read().batch_keys())
+            .collect();
+        // Shards partition keys by origin, so this sort is a pure merge (no ties across
+        // shards) reproducing the single-map BTreeMap order.
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The stored beacons for one batch key (unexpired at `now`). Returned beacons are
+    /// shared, not cloned.
+    pub fn beacons_for(&self, key: &BatchKey, now: SimTime) -> Vec<Arc<StoredBeacon>> {
+        self.shards[self.shard_of(key.origin)]
+            .read()
+            .beacons_for(key, now)
+    }
+
+    /// The stored beacons for one origin across all its interface groups, merged into one
+    /// list — entirely within the origin's shard.
+    pub fn beacons_for_origin(
+        &self,
+        origin: AsId,
+        target: Option<AsId>,
+        now: SimTime,
+    ) -> Vec<Arc<StoredBeacon>> {
+        self.shards[self.shard_of(origin)]
+            .read()
+            .beacons_for_origin(origin, target, now)
+    }
+
+    /// Snapshots the batch for `key` into an immutable view, or `None` when no unexpired
+    /// beacon is stored under it. The read lock is held only for the duration of the
+    /// snapshot; the returned view shares the stored beacons.
+    pub fn batch_view(&self, key: &BatchKey, now: SimTime) -> Option<BatchView> {
+        self.shards[self.shard_of(key.origin)]
+            .read()
+            .batch_view(key, now)
+    }
+
+    /// Snapshots the group-merged batch of one origin (under the default group id), or
+    /// `None` when no unexpired beacon matches.
+    pub fn origin_view(
+        &self,
+        origin: AsId,
+        target: Option<AsId>,
+        now: SimTime,
+    ) -> Option<BatchView> {
+        self.shards[self.shard_of(origin)]
+            .read()
+            .origin_view(origin, target, now)
+    }
+
+    /// Total number of stored beacons **including expired ones not yet evicted**, reduced
+    /// over shards in index order.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|shard| shard.read().len()).sum()
+    }
+
+    /// Number of stored beacons still valid at `now` (see [`IngressDb::live_len`]).
+    pub fn live_len(&self, now: SimTime) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.read().live_len(now))
+            .sum()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of beacons stored in one shard (occupancy introspection for tests and the
+    /// sharding benchmark).
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].read().len()
+    }
+
+    /// Removes beacons that are expired at `now` (or expire within `grace`), sweeping the
+    /// shards serially in index order. Returns how many were evicted in total; the count is
+    /// the shard-count-independent figure the unsharded database would report.
+    pub fn evict_expired(&self, now: SimTime, grace: irec_types::SimDuration) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.write().evict_expired(now, grace))
+            .sum()
+    }
+
+    /// [`ShardedIngressDb::evict_expired`] with the per-shard sweeps fanned out over up to
+    /// `workers` scoped threads. Eviction decisions are per-beacon and shards are disjoint,
+    /// so the total — a sum of per-shard counts — is identical to the serial sweep for any
+    /// worker count.
+    pub fn evict_expired_parallel(
+        &self,
+        now: SimTime,
+        grace: irec_types::SimDuration,
+        workers: usize,
+    ) -> usize {
+        if workers <= 1 || self.shards.len() <= 1 {
+            return self.evict_expired(now, grace);
+        }
+        let workers = workers.min(self.shards.len());
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let evicted = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(shard) = self.shards.get(index) else {
+                        break;
+                    };
+                    let count = shard.write().evict_expired(now, grace);
+                    evicted.fetch_add(count, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        evicted.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -551,5 +762,175 @@ mod tests {
         let p = pcb(1, 0, PcbExtensions::none(), 6);
         assert!(db.filter_new_egresses(&p, &[]).is_empty());
         assert_eq!(db.len(), 1); // the hash is tracked even with no interfaces yet
+    }
+
+    #[test]
+    fn sharded_db_clamps_shard_count_and_places_origins_stably() {
+        assert_eq!(ShardedIngressDb::new(0).shard_count(), 1);
+        assert_eq!(
+            ShardedIngressDb::new(100_000).shard_count(),
+            MAX_INGRESS_SHARDS
+        );
+        let db = ShardedIngressDb::new(7);
+        for origin in 1..200u64 {
+            let shard = db.shard_of(AsId(origin));
+            assert!(shard < 7);
+            // Placement is a pure function of the origin.
+            assert_eq!(db.shard_of(AsId(origin)), shard);
+        }
+        // The hash actually spreads origins (not everything in one shard).
+        let used: HashSet<usize> = (1..200u64).map(|o| db.shard_of(AsId(o))).collect();
+        assert!(used.len() > 1);
+    }
+
+    #[test]
+    fn sharded_db_matches_single_map_for_any_shard_count() {
+        for shards in [1usize, 2, 4, 7, 16] {
+            let mut reference = IngressDb::new();
+            let sharded = ShardedIngressDb::new(shards);
+            for origin in 1..=6u64 {
+                for seq in 0..4u64 {
+                    let p = pcb(origin, seq, PcbExtensions::none(), 1 + (seq % 3));
+                    assert_eq!(
+                        sharded.insert(p.clone(), IfId(1), SimTime::ZERO),
+                        reference.insert(p, IfId(1), SimTime::ZERO),
+                        "insert verdicts diverged at {shards} shards"
+                    );
+                }
+            }
+            assert_eq!(sharded.batch_keys(), reference.batch_keys());
+            assert_eq!(sharded.len(), reference.len());
+            let probe = SimTime::ZERO + SimDuration::from_hours(2);
+            assert_eq!(sharded.live_len(probe), reference.live_len(probe));
+            for key in reference.batch_keys() {
+                assert_eq!(
+                    sharded.beacons_for(&key, probe),
+                    reference.beacons_for(&key, probe)
+                );
+            }
+            assert_eq!(
+                sharded.evict_expired(probe, SimDuration::ZERO),
+                reference.evict_expired(probe, SimDuration::ZERO),
+                "eviction counts diverged at {shards} shards"
+            );
+            assert_eq!(sharded.len(), reference.len());
+        }
+    }
+
+    #[test]
+    fn sharded_db_parallel_eviction_matches_serial() {
+        let build = || {
+            let db = ShardedIngressDb::new(8);
+            for origin in 1..=16u64 {
+                for seq in 0..3u64 {
+                    db.insert(
+                        pcb(origin, seq, PcbExtensions::none(), 1 + seq),
+                        IfId(1),
+                        SimTime::ZERO,
+                    );
+                }
+            }
+            db
+        };
+        let probe = SimTime::ZERO + SimDuration::from_hours(2);
+        let serial_db = build();
+        let serial = serial_db.evict_expired(probe, SimDuration::ZERO);
+        assert!(serial > 0);
+        for workers in [2usize, 4, 16] {
+            let db = build();
+            assert_eq!(
+                db.evict_expired_parallel(probe, SimDuration::ZERO, workers),
+                serial
+            );
+            assert_eq!(db.len(), serial_db.len());
+        }
+    }
+
+    #[test]
+    fn ingress_eviction_at_exact_expiry_instant() {
+        // `is_expired` is inclusive: a beacon expiring exactly at `now` is expired at `now`,
+        // with no grace window needed — the eviction count must reflect that boundary.
+        let mut db = IngressDb::new();
+        db.insert(pcb(1, 0, PcbExtensions::none(), 1), IfId(1), SimTime::ZERO);
+        let exactly = SimTime::ZERO + SimDuration::from_hours(1);
+        let just_before = SimTime::from_micros(exactly.as_micros() - 1);
+        assert_eq!(db.evict_expired(just_before, SimDuration::ZERO), 0);
+        assert_eq!(db.live_len(just_before), 1);
+        assert_eq!(db.evict_expired(exactly, SimDuration::ZERO), 1);
+        assert!(db.is_empty());
+
+        // Same boundary through the sharded facade, and via a grace window that lands the
+        // horizon exactly on the expiry instant.
+        for shards in [1usize, 4] {
+            let sharded = ShardedIngressDb::new(shards);
+            sharded.insert(pcb(1, 0, PcbExtensions::none(), 2), IfId(1), SimTime::ZERO);
+            assert_eq!(
+                sharded.evict_expired(
+                    SimTime::ZERO + SimDuration::from_hours(1),
+                    SimDuration::ZERO
+                ),
+                0
+            );
+            assert_eq!(
+                sharded.evict_expired(
+                    SimTime::ZERO + SimDuration::from_hours(1),
+                    SimDuration::from_hours(1)
+                ),
+                1,
+                "grace horizon exactly at expiry must evict ({shards} shards)"
+            );
+        }
+    }
+
+    #[test]
+    fn ingress_eviction_grace_saturates_at_time_max() {
+        // A sweep near the end of time with a huge grace window must not overflow: the
+        // horizon saturates at `SimTime::MAX` and everything expiring at or before it goes.
+        let mut db = IngressDb::new();
+        db.insert(pcb(1, 0, PcbExtensions::none(), 6), IfId(1), SimTime::ZERO);
+        let evicted = db.evict_expired(SimTime::MAX, SimDuration::from_hours(u64::MAX));
+        assert_eq!(evicted, 1);
+        assert!(db.is_empty());
+
+        let sharded = ShardedIngressDb::new(7);
+        for origin in 1..=5u64 {
+            sharded.insert(
+                pcb(origin, 0, PcbExtensions::none(), 9),
+                IfId(1),
+                SimTime::ZERO,
+            );
+        }
+        assert_eq!(
+            sharded.evict_expired(SimTime::MAX, SimDuration(u64::MAX)),
+            5
+        );
+        assert!(sharded.is_empty());
+    }
+
+    #[test]
+    fn egress_eviction_at_exact_expiry_and_time_max() {
+        // Exactly-at-`now` boundary: `evict_expired(now)` drains the bucket at `now` itself
+        // (expiry is inclusive, matching `Pcb::is_expired`).
+        let mut db = EgressDb::new();
+        let p = pcb(1, 0, PcbExtensions::none(), 1);
+        db.filter_new_egresses(&p, &[IfId(1)]);
+        let just_before = SimTime::from_micros(p.expires_at.as_micros() - 1);
+        assert_eq!(db.evict_expired(just_before), 0);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.evict_expired(p.expires_at), 1);
+        assert!(db.is_empty());
+
+        // A hash recorded under expiry `SimTime::MAX` ("never expires") survives every
+        // finite sweep and is only drained by the explicit end-of-time sweep.
+        let mut db = EgressDb::new();
+        let mut eternal = pcb(1, 1, PcbExtensions::none(), 1);
+        eternal.expires_at = SimTime::MAX;
+        db.filter_new_egresses(&eternal, &[IfId(1)]);
+        assert_eq!(db.evict_expired(SimTime::from_micros(u64::MAX - 1)), 0);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.evict_expired(SimTime::MAX), 1);
+        assert!(db.is_empty());
+        // And the count stays exact on a repeated end-of-time sweep.
+        assert_eq!(db.evict_expired(SimTime::MAX), 0);
     }
 }

@@ -129,6 +129,13 @@ pub struct NodeConfig {
     /// scoped worker threads with a deterministic merge, so results are byte-identical
     /// either way.
     pub parallelism: usize,
+    /// Number of shards of the ingress database (see
+    /// [`crate::beacon_db::ShardedIngressDb`]). `0` (the default) derives the count from
+    /// the worker budget — the next power of two of `parallelism` — so parallel
+    /// deployments shard automatically and sequential ones keep a single map. Any value
+    /// produces byte-identical observable behaviour; the count only changes how much
+    /// insert/evict concurrency the database admits.
+    pub ingress_shards: usize,
 }
 
 impl Default for NodeConfig {
@@ -141,6 +148,7 @@ impl Default for NodeConfig {
             local_crossing_latency: Latency::from_micros(200),
             irec_enabled: true,
             parallelism: 1,
+            ingress_shards: 0,
         }
     }
 }
@@ -196,6 +204,27 @@ impl NodeConfig {
         self.parallelism = parallelism.max(1);
         self
     }
+
+    /// Builder-style: set the ingress-database shard count (`0` = derive from
+    /// `parallelism`).
+    #[must_use]
+    pub fn with_ingress_shards(mut self, shards: usize) -> Self {
+        self.ingress_shards = shards;
+        self
+    }
+
+    /// The effective ingress shard count: the configured value, or — when left at the `0`
+    /// auto default — the next power of two of the RAC engine's worker count. Clamped to
+    /// [`crate::beacon_db::MAX_INGRESS_SHARDS`], matching the database's own clamp, so the
+    /// figure always equals the shard count of the node this config builds.
+    pub fn ingress_shard_count(&self) -> usize {
+        let count = if self.ingress_shards == 0 {
+            self.parallelism.max(1).next_power_of_two()
+        } else {
+            self.ingress_shards
+        };
+        count.min(crate::beacon_db::MAX_INGRESS_SHARDS)
+    }
 }
 
 #[cfg(test)]
@@ -250,5 +279,39 @@ mod tests {
         let cfg = NodeConfig::legacy();
         assert!(!cfg.irec_enabled);
         assert_eq!(cfg.racs.len(), 1);
+    }
+
+    #[test]
+    fn ingress_shard_count_follows_parallelism_unless_pinned() {
+        // Auto default: next power of two of the worker budget.
+        assert_eq!(NodeConfig::default().ingress_shard_count(), 1);
+        assert_eq!(
+            NodeConfig::default()
+                .with_parallelism(4)
+                .ingress_shard_count(),
+            4
+        );
+        assert_eq!(
+            NodeConfig::default()
+                .with_parallelism(6)
+                .ingress_shard_count(),
+            8
+        );
+        // An explicit count wins, including non-powers of two.
+        assert_eq!(
+            NodeConfig::default()
+                .with_parallelism(4)
+                .with_ingress_shards(7)
+                .ingress_shard_count(),
+            7
+        );
+        // Oversized values clamp to the database's own shard cap, so the config-level
+        // count always matches the built node's actual shard count.
+        assert_eq!(
+            NodeConfig::default()
+                .with_ingress_shards(100_000)
+                .ingress_shard_count(),
+            crate::beacon_db::MAX_INGRESS_SHARDS
+        );
     }
 }

@@ -21,7 +21,7 @@
 //! Errors are deterministic too: the first failing work item *in item order* wins, exactly
 //! as in a sequential loop.
 
-use crate::beacon_db::{BatchKey, BatchView, IngressDb, StoredBeacon};
+use crate::beacon_db::{BatchKey, BatchView, ShardedIngressDb, StoredBeacon};
 use crate::rac::{Rac, RacOutput, RacTiming};
 use irec_topology::AsNode;
 use irec_types::{IfId, Result, SimTime};
@@ -69,7 +69,7 @@ type ItemResult = Result<(Vec<RacOutput>, RacTiming)>;
 /// items with a deterministic sub-merge.
 pub fn execute_racs(
     racs: &[Rac],
-    db: &IngressDb,
+    db: &ShardedIngressDb,
     local_as: &AsNode,
     egress_ifs: &[IfId],
     now: SimTime,
@@ -100,7 +100,7 @@ pub fn execute_racs(
 #[allow(clippy::too_many_arguments)]
 pub fn execute_racs_with(
     racs: &[Rac],
-    db: &IngressDb,
+    db: &ShardedIngressDb,
     local_as: &AsNode,
     egress_ifs: &[IfId],
     now: SimTime,
@@ -275,9 +275,10 @@ mod tests {
         node
     }
 
-    fn db_with_origins(origins: u64, beacons_per_origin: u64) -> IngressDb {
+    fn db_with_origins(origins: u64, beacons_per_origin: u64) -> ShardedIngressDb {
         let registry = KeyRegistry::with_ases(11, 512);
-        let mut db = IngressDb::new();
+        // Several shards so parallel runs actually cross shard boundaries.
+        let db = ShardedIngressDb::new(4);
         for origin in 1..=origins {
             for seq in 0..beacons_per_origin {
                 let mut pcb = Pcb::originate(
@@ -338,7 +339,7 @@ mod tests {
     #[test]
     fn engine_handles_empty_database_and_no_racs() {
         let node = local_as();
-        let db = IngressDb::new();
+        let db = ShardedIngressDb::new(4);
         let racs = rac_set();
         let (outputs, timing) =
             execute_racs(&racs, &db, &node, &[IfId(1)], SimTime::ZERO, 4).unwrap();
@@ -429,7 +430,7 @@ mod tests {
             irec_crypto::sha256(b"never published"),
         );
         let registry = KeyRegistry::with_ases(11, 512);
-        let mut db = IngressDb::new();
+        let db = ShardedIngressDb::new(2);
         let mut pcb = Pcb::originate(
             AsId(1),
             0,

@@ -1,9 +1,10 @@
 //! The ingress gateway: verification, policy checks and storage of received PCBs (§V-B).
 
-use crate::beacon_db::IngressDb;
+use crate::beacon_db::ShardedIngressDb;
 use irec_crypto::Verifier;
 use irec_pcb::Pcb;
 use irec_types::{AsId, IfId, IrecError, Result, SimTime};
+use parking_lot::Mutex;
 
 /// Statistics kept by the ingress gateway.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -16,30 +17,60 @@ pub struct IngressStats {
     pub duplicates: u64,
 }
 
+impl IngressStats {
+    /// Adds another stats record into this one (the per-shard reduction).
+    fn accumulate(&mut self, other: &IngressStats) {
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.duplicates += other.duplicates;
+    }
+}
+
 /// The ingress gateway of one AS.
 ///
 /// "When receiving a PCB from a neighboring AS, the ingress gateway verifies the included
 /// signatures and whether the path constructed by the PCB complies with the local AS'
 /// policies. The ingress gateway then stores the PCB in its ingress database."
+///
+/// The database is sharded by origin-AS hash ([`ShardedIngressDb`]) and the statistics are
+/// kept per shard, so commits targeting different shards can proceed concurrently through
+/// the `&self` [`IngressGateway::commit_in_shard`] entry point (the delivery plane's
+/// sharded apply stage). [`IngressGateway::stats`] reduces the per-shard counters in fixed
+/// shard order, which — with commutative `u64` sums — makes the aggregate independent of
+/// shard count and commit interleaving.
 pub struct IngressGateway {
     local_as: AsId,
-    db: IngressDb,
+    db: ShardedIngressDb,
     verifier: Verifier,
     /// Whether signature verification is enabled (disabled only in throughput benches that
     /// isolate algorithm cost, mirroring the paper's RAC-only measurements).
     verify_signatures: bool,
-    stats: IngressStats,
+    /// Per-shard statistics, indexed like the database's shards. A rejected beacon never
+    /// touches the database but is still attributed to its origin's shard so concurrent
+    /// shard commits account without contending.
+    stats: Vec<Mutex<IngressStats>>,
 }
 
 impl IngressGateway {
-    /// Creates an ingress gateway for `local_as` using `verifier` for signature checks.
+    /// Creates a single-shard ingress gateway for `local_as` using `verifier` for signature
+    /// checks — observably identical to the pre-sharding gateway.
     pub fn new(local_as: AsId, verifier: Verifier) -> Self {
+        Self::with_shards(local_as, verifier, 1)
+    }
+
+    /// Creates an ingress gateway whose database is split into `shards` shards (clamped to
+    /// `1..=`[`crate::beacon_db::MAX_INGRESS_SHARDS`]).
+    pub fn with_shards(local_as: AsId, verifier: Verifier, shards: usize) -> Self {
+        let db = ShardedIngressDb::new(shards);
+        let stats = (0..db.shard_count())
+            .map(|_| Mutex::new(IngressStats::default()))
+            .collect();
         IngressGateway {
             local_as,
-            db: IngressDb::new(),
+            db,
             verifier,
             verify_signatures: true,
-            stats: IngressStats::default(),
+            stats,
         }
     }
 
@@ -48,19 +79,19 @@ impl IngressGateway {
         self.verify_signatures = enabled;
     }
 
-    /// Access to the ingress database (RACs read candidate batches from here).
-    pub fn db(&self) -> &IngressDb {
+    /// Access to the ingress database (RACs read candidate batches from here; eviction and
+    /// insertion go through the shards' interior locks).
+    pub fn db(&self) -> &ShardedIngressDb {
         &self.db
     }
 
-    /// Mutable access to the ingress database (for expiry eviction).
-    pub fn db_mut(&mut self) -> &mut IngressDb {
-        &mut self.db
-    }
-
-    /// The gateway statistics.
+    /// The gateway statistics, reduced over the shards in fixed index order.
     pub fn stats(&self) -> IngressStats {
-        self.stats
+        let mut total = IngressStats::default();
+        for shard in &self.stats {
+            total.accumulate(&shard.lock());
+        }
+        total
     }
 
     /// Number of stored beacons still valid at `now` — the occupancy figure to report
@@ -76,7 +107,7 @@ impl IngressGateway {
     /// but not an error. Equivalent to [`IngressGateway::verify`] followed by
     /// [`IngressGateway::commit`] — the delivery plane runs the two stages separately so
     /// verification can fan out over worker threads.
-    pub fn receive(&mut self, pcb: Pcb, ingress: IfId, now: SimTime) -> Result<()> {
+    pub fn receive(&self, pcb: Pcb, ingress: IfId, now: SimTime) -> Result<()> {
         let verdict = self.verify(&pcb, now);
         self.commit(pcb, ingress, now, verdict)
     }
@@ -93,24 +124,34 @@ impl IngressGateway {
         self.check(pcb, now)
     }
 
-    /// The serial apply stage: accounts a precomputed `verdict` and, on success, stores the
-    /// beacon (deduplicating by digest). Must be called in delivery order — this is where
-    /// the statistics and the dedup set mutate.
-    pub fn commit(
-        &mut self,
+    /// The apply stage: accounts a precomputed `verdict` and, on success, stores the beacon
+    /// (deduplicating by digest). Messages of one origin must commit in delivery order —
+    /// this is where the dedup set and the statistics of the origin's shard mutate; commits
+    /// for *different* shards are independent and may interleave freely.
+    pub fn commit(&self, pcb: Pcb, ingress: IfId, now: SimTime, verdict: Result<()>) -> Result<()> {
+        let shard = self.db.shard_of(pcb.origin);
+        self.commit_in_shard(shard, pcb, ingress, now, verdict)
+    }
+
+    /// [`IngressGateway::commit`] with the shard precomputed by the caller (the delivery
+    /// plane partitions whole epochs into per-shard inboxes before fanning the commits out
+    /// over worker threads).
+    pub fn commit_in_shard(
+        &self,
+        shard: usize,
         pcb: Pcb,
         ingress: IfId,
         now: SimTime,
         verdict: Result<()>,
     ) -> Result<()> {
         if let Err(e) = verdict {
-            self.stats.rejected += 1;
+            self.stats[shard].lock().rejected += 1;
             return Err(e);
         }
-        if self.db.insert(pcb, ingress, now) {
-            self.stats.accepted += 1;
+        if self.db.insert_in_shard(shard, pcb, ingress, now) {
+            self.stats[shard].lock().accepted += 1;
         } else {
-            self.stats.duplicates += 1;
+            self.stats[shard].lock().duplicates += 1;
         }
         Ok(())
     }
@@ -178,7 +219,7 @@ mod tests {
     #[test]
     fn accepts_valid_beacon() {
         let reg = registry();
-        let mut gw = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
+        let gw = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
         gw.receive(beacon(&reg, 1, &[2, 3], 6), IfId(7), SimTime::ZERO)
             .unwrap();
         assert_eq!(gw.stats().accepted, 1);
@@ -188,7 +229,7 @@ mod tests {
     #[test]
     fn rejects_expired_beacon() {
         let reg = registry();
-        let mut gw = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
+        let gw = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
         let pcb = beacon(&reg, 1, &[], 1);
         let late = SimTime::ZERO + SimDuration::from_hours(2);
         assert!(gw.receive(pcb, IfId(7), late).is_err());
@@ -199,7 +240,7 @@ mod tests {
     #[test]
     fn rejects_loop_through_local_as() {
         let reg = registry();
-        let mut gw = IngressGateway::new(AsId(3), Verifier::new(reg.clone()));
+        let gw = IngressGateway::new(AsId(3), Verifier::new(reg.clone()));
         let pcb = beacon(&reg, 1, &[2, 3], 6);
         let err = gw.receive(pcb, IfId(7), SimTime::ZERO).unwrap_err();
         assert_eq!(err.category(), "policy");
@@ -208,7 +249,7 @@ mod tests {
     #[test]
     fn rejects_tampered_signature() {
         let reg = registry();
-        let mut gw = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
+        let gw = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
         let mut pcb = beacon(&reg, 1, &[2], 6);
         pcb.entries[1].static_info.link_latency = Latency::from_millis(1);
         let err = gw.receive(pcb, IfId(7), SimTime::ZERO).unwrap_err();
@@ -218,7 +259,7 @@ mod tests {
     #[test]
     fn rejects_empty_beacon() {
         let reg = registry();
-        let mut gw = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
+        let gw = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
         let pcb = Pcb::originate(
             AsId(1),
             0,
@@ -232,7 +273,7 @@ mod tests {
     #[test]
     fn duplicates_counted_not_errored() {
         let reg = registry();
-        let mut gw = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
+        let gw = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
         let pcb = beacon(&reg, 1, &[2], 6);
         gw.receive(pcb.clone(), IfId(7), SimTime::ZERO).unwrap();
         gw.receive(pcb, IfId(7), SimTime::ZERO).unwrap();
@@ -246,8 +287,8 @@ mod tests {
         let reg = registry();
         // Two gateways fed the same traffic: one through `receive`, one through the split
         // verify/commit pipeline. Stats and database contents must be identical.
-        let mut whole = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
-        let mut split = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
+        let whole = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
+        let split = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
         let valid = beacon(&reg, 1, &[2, 3], 6);
         let mut tampered = beacon(&reg, 2, &[3], 6);
         tampered.entries[0].static_info.link_latency = Latency::from_millis(1);
@@ -277,6 +318,42 @@ mod tests {
         }
         assert_eq!(gw.stats(), IngressStats::default());
         assert!(gw.db().is_empty());
+    }
+
+    #[test]
+    fn sharded_gateway_matches_single_shard_for_any_shard_count() {
+        let reg = registry();
+        // The same traffic — valid beacons from several origins, one tampered, one
+        // duplicate — through gateways with different shard counts: aggregate stats and
+        // database contents must be identical.
+        let mut traffic = Vec::new();
+        for origin in 1..=4u64 {
+            traffic.push(beacon(&reg, origin, &[], 6));
+        }
+        let mut tampered = beacon(&reg, 2, &[3], 6);
+        tampered.entries[0].static_info.link_latency = Latency::from_millis(1);
+        traffic.push(tampered);
+        traffic.push(traffic[0].clone());
+
+        let reference = IngressGateway::new(AsId(10), Verifier::new(reg.clone()));
+        for pcb in &traffic {
+            let _ = reference.receive(pcb.clone(), IfId(7), SimTime::ZERO);
+        }
+        for shards in [2usize, 4, 7, 16] {
+            let gw = IngressGateway::with_shards(AsId(10), Verifier::new(reg.clone()), shards);
+            assert_eq!(gw.db().shard_count(), shards);
+            for pcb in &traffic {
+                let shard = gw.db().shard_of(pcb.origin);
+                let verdict = gw.verify(pcb, SimTime::ZERO);
+                let _ = gw.commit_in_shard(shard, pcb.clone(), IfId(7), SimTime::ZERO, verdict);
+            }
+            assert_eq!(gw.stats(), reference.stats(), "stats at {shards} shards");
+            assert_eq!(gw.db().len(), reference.db().len());
+            assert_eq!(gw.db().batch_keys(), reference.db().batch_keys());
+        }
+        assert_eq!(reference.stats().accepted, 4);
+        assert_eq!(reference.stats().rejected, 1);
+        assert_eq!(reference.stats().duplicates, 1);
     }
 
     #[test]

@@ -15,6 +15,10 @@ use irec_types::{AlgorithmId, AsId, IfId, Result, SimTime};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Minimum ingress-database occupancy before the per-round eviction sweep fans out over
+/// shard worker threads; below this the serial sweep is faster than the thread spawns.
+const PARALLEL_EVICTION_MIN_OCCUPANCY: usize = 1024;
+
 /// Everything one beaconing round of a node produces, for the simulator to deliver and
 /// account.
 #[derive(Debug, Default)]
@@ -75,7 +79,7 @@ impl IrecNode {
             }
             racs.push(rac);
         }
-        let ingress = IngressGateway::new(asn, verifier);
+        let ingress = IngressGateway::with_shards(asn, verifier, config.ingress_shard_count());
         let egress = EgressGateway::new(asn, Arc::clone(&topology), signer, config.policy);
         Ok(IrecNode {
             asn,
@@ -159,9 +163,10 @@ impl IrecNode {
         self.ingress.verify(&message.pcb, now)
     }
 
-    /// The serial apply stage of message handling: accounts the precomputed `verdict` and,
-    /// on success, commits the beacon to the ingress database. Must be called in delivery
-    /// order.
+    /// The apply stage of message handling: accounts the precomputed `verdict` and, on
+    /// success, commits the beacon to the ingress database. Messages of one origin must be
+    /// applied in delivery order; messages whose origins hash to different ingress shards
+    /// are independent.
     pub fn apply_message(
         &mut self,
         message: PcbMessage,
@@ -170,6 +175,31 @@ impl IrecNode {
     ) -> Result<()> {
         self.ingress
             .commit(message.pcb, message.to_if, now, verdict)
+    }
+
+    /// Number of shards of this node's ingress database.
+    pub fn ingress_shard_count(&self) -> usize {
+        self.ingress.db().shard_count()
+    }
+
+    /// The ingress shard a beacon from `origin` commits to.
+    pub fn ingress_shard_of(&self, origin: irec_types::AsId) -> usize {
+        self.ingress.db().shard_of(origin)
+    }
+
+    /// [`IrecNode::apply_message`] with the shard precomputed by the caller, through
+    /// `&self`: the delivery plane's sharded apply stage commits per-shard inboxes of a
+    /// whole epoch concurrently — different `(node, shard)` pairs never contend, and the
+    /// per-shard delivery order is preserved by the caller.
+    pub fn apply_message_in_shard(
+        &self,
+        shard: usize,
+        message: PcbMessage,
+        now: SimTime,
+        verdict: Result<()>,
+    ) -> Result<()> {
+        self.ingress
+            .commit_in_shard(shard, message.pcb, message.to_if, now, verdict)
     }
 
     /// Handles a pull-based beacon returned by its target (§IV-B): the completed path is
@@ -256,10 +286,22 @@ impl IrecNode {
         output.messages.extend(messages);
         output.pull_returns = returns;
 
-        // 4. Housekeeping: expiry eviction and per-round counters.
-        self.ingress
-            .db_mut()
-            .evict_expired(now, irec_types::SimDuration::ZERO);
+        // 4. Housekeeping: expiry eviction and per-round counters. The sweep fans out over
+        // the ingress shards with the same worker budget as the RAC engine — but only when
+        // the database is large enough for per-shard threads to beat their spawn cost:
+        // this runs once per node per round, possibly already inside a node-phase worker,
+        // and a near-empty sweep is a cheap map walk. The eviction outcome is shard- and
+        // worker-count independent either way.
+        let eviction_workers = if self.ingress.db().len() >= PARALLEL_EVICTION_MIN_OCCUPANCY {
+            self.config.parallelism
+        } else {
+            1
+        };
+        self.ingress.db().evict_expired_parallel(
+            now,
+            irec_types::SimDuration::ZERO,
+            eviction_workers,
+        );
         self.egress.evict_expired(now);
         output.sent_per_interface = self.egress.take_sent_counters();
         Ok(output)

@@ -15,7 +15,7 @@
 //! serialization boundary between gateway and RAC — gRPC/Protobuf in the paper, the
 //! `irec-wire` codec here), and **execute** (running the algorithm over the candidate set).
 
-use crate::beacon_db::{BatchKey, BatchView, IngressDb, StoredBeacon};
+use crate::beacon_db::{BatchKey, BatchView, ShardedIngressDb, StoredBeacon};
 use crate::config::{RacConfig, RacKind};
 use irec_algorithms::{
     catalog, ondemand::IrvmAlgorithm, AlgorithmContext, Candidate, CandidateBatch, RoutingAlgorithm,
@@ -298,7 +298,7 @@ impl Rac {
     /// ascending order, selections within a batch by candidate index.
     pub fn process(
         &self,
-        db: &IngressDb,
+        db: &ShardedIngressDb,
         local_as: &AsNode,
         egress_ifs: &[IfId],
         now: SimTime,
@@ -318,7 +318,7 @@ impl Rac {
     /// interface-group / on-demand configuration. The returned views share the stored
     /// beacons (no deep copies) and are what the parallel execution engine distributes over
     /// its workers.
-    pub fn relevant_batches(&self, db: &IngressDb, now: SimTime) -> Vec<BatchView> {
+    pub fn relevant_batches(&self, db: &ShardedIngressDb, now: SimTime) -> Vec<BatchView> {
         let keys = self.relevant_batch_keys(db);
         let grouped = self.config.use_interface_groups || self.ignore_extensions;
         keys.into_iter()
@@ -337,7 +337,7 @@ impl Rac {
 
     /// The batch keys this RAC processes, honouring its pull-based / interface-group /
     /// on-demand configuration.
-    fn relevant_batch_keys(&self, db: &IngressDb) -> Vec<BatchKey> {
+    fn relevant_batch_keys(&self, db: &ShardedIngressDb) -> Vec<BatchKey> {
         let mut keys: Vec<BatchKey> = db
             .batch_keys()
             .into_iter()
@@ -587,8 +587,8 @@ mod tests {
             .wrapping_add(hops.iter().map(|(a, b)| a * 7 + b).sum::<u64>())
     }
 
-    fn ingress_db_with(beacons: Vec<(Pcb, u32)>) -> IngressDb {
-        let mut db = IngressDb::new();
+    fn ingress_db_with(beacons: Vec<(Pcb, u32)>) -> ShardedIngressDb {
+        let db = ShardedIngressDb::new(3);
         for (pcb, ingress) in beacons {
             db.insert(pcb, IfId(ingress), SimTime::ZERO);
         }

@@ -8,7 +8,7 @@
 //!   deleted, for any interleaving of insertions and (even non-monotonic) eviction sweeps.
 
 use irec_core::beacon_db::BatchKey;
-use irec_core::{EgressDb, IngressDb, PcbMessage, PullReturn, RacTiming};
+use irec_core::{EgressDb, IngressDb, PcbMessage, PullReturn, RacTiming, ShardedIngressDb};
 use irec_pcb::{Pcb, PcbExtensions};
 use irec_types::{AsId, IfId, InterfaceGroupId, SimDuration, SimTime};
 use proptest::prelude::*;
@@ -171,6 +171,79 @@ proptest! {
         prop_assert!(db.is_empty());
         for pcb in &stored {
             prop_assert!(db.insert(pcb.clone(), IfId(1), SimTime::ZERO));
+        }
+    }
+
+    /// The sharded ingress database is observably byte-identical to the single-map
+    /// reference for **any** shard count: for a random sequence of inserts, evictions and
+    /// queries, shard counts 1, 2, 4, 7 and 16 all produce the same insert verdicts, the
+    /// same `batch_keys()` *order*, the same `len`/`live_len`, the same per-key query
+    /// results and the same eviction counts as one `IngressDb`.
+    #[test]
+    fn sharded_ingress_db_matches_single_map_reference(
+        ops in proptest::collection::vec(
+            // kind 0/1 = insert (different ingress interfaces), 2 = eviction sweep.
+            (0u8..3, 1u64..9, 0u64..6, 1u64..10, 0u64..12),
+            1..40,
+        ),
+        probe_hours in 0u64..12,
+    ) {
+        for shards in [1usize, 2, 4, 7, 16] {
+            let mut reference = IngressDb::new();
+            let sharded = ShardedIngressDb::new(shards);
+            prop_assert_eq!(sharded.shard_count(), shards);
+            for (kind, origin, seq, validity, hours) in &ops {
+                if *kind == 2 {
+                    // Eviction sweep at an arbitrary (not necessarily monotonic) time,
+                    // with the hours doubling as a grace window every other sweep.
+                    let now = SimTime::ZERO + SimDuration::from_hours(*hours);
+                    let grace = if hours % 2 == 0 {
+                        SimDuration::ZERO
+                    } else {
+                        SimDuration::from_hours(*validity)
+                    };
+                    prop_assert_eq!(
+                        sharded.evict_expired(now, grace),
+                        reference.evict_expired(now, grace),
+                        "eviction counts diverged at {} shards", shards
+                    );
+                } else {
+                    let pcb = test_pcb(*origin, *seq, *validity);
+                    let ingress = IfId(*kind as u32 + 1);
+                    let received = SimTime::ZERO + SimDuration::from_hours(*hours);
+                    prop_assert_eq!(
+                        sharded.insert(pcb.clone(), ingress, received),
+                        reference.insert(pcb, ingress, received),
+                        "insert verdicts diverged at {} shards", shards
+                    );
+                }
+                prop_assert_eq!(sharded.len(), reference.len());
+            }
+            // Deterministic, shard-merged iteration order: the exact key sequence of the
+            // single map, not just the same set.
+            prop_assert_eq!(sharded.batch_keys(), reference.batch_keys());
+            let probe = SimTime::ZERO + SimDuration::from_hours(probe_hours);
+            prop_assert_eq!(sharded.live_len(probe), reference.live_len(probe));
+            for key in reference.batch_keys() {
+                prop_assert_eq!(
+                    sharded.beacons_for(&key, probe),
+                    reference.beacons_for(&key, probe)
+                );
+                prop_assert_eq!(
+                    sharded.beacons_for_origin(key.origin, key.target, probe),
+                    reference.beacons_for_origin(key.origin, key.target, probe)
+                );
+                prop_assert_eq!(
+                    sharded.batch_view(&key, probe).map(|v| v.beacons),
+                    reference.batch_view(&key, probe).map(|v| v.beacons)
+                );
+            }
+            // Final drain: the counts agree all the way to empty.
+            prop_assert_eq!(
+                sharded.evict_expired(SimTime::MAX, SimDuration::ZERO),
+                reference.evict_expired(SimTime::MAX, SimDuration::ZERO)
+            );
+            prop_assert!(sharded.is_empty());
         }
     }
 

@@ -14,20 +14,26 @@
 //!    inbox per work item, claimed through an atomic cursor exactly like the RAC execution
 //!    engine (`irec_core::engine`). Verdicts land in per-event slots indexed by the event's
 //!    epoch position, so the merge order is independent of scheduling.
-//! 3. **Apply (serial).** Verdicts are committed in `(SimTime, seq)` order through
-//!    [`IrecNode::apply_message`]: accepted beacons enter the receiving node's ingress
-//!    database, rejects and missing-destination drops are accounted.
+//! 3. **Apply (sharded).** Verdicts are committed through the receiving nodes' ingress
+//!    gateways: accepted beacons enter the destination's ingress database, rejects and
+//!    missing-destination drops are accounted. With one worker the walk is fully serial in
+//!    `(SimTime, seq)` order; with more, a serial accounting pass partitions the epoch's
+//!    commits into per-`(destination AS, ingress shard)` inboxes — the ingress database is
+//!    sharded by origin-AS hash (`irec_core::ShardedIngressDb`) — and the inboxes commit
+//!    concurrently over scoped workers via [`IrecNode::apply_message_in_shard`].
 //!
-//! **Determinism.** The apply stage walks the epoch in exactly the order the sequential
-//! drain would have delivered, and the verify stage is pure: a verdict depends only on the
+//! **Determinism.** The apply stage preserves `(SimTime, seq)` order *within* each
+//! `(node, shard)` inbox, and commits across different inboxes touch disjoint state: the
+//! dedup set and the statistics both live in the origin's shard, and every beacon of one
+//! origin lands in the same shard. The verify stage is pure: a verdict depends only on the
 //! message, its delivery time, and immutable node state (keys, policy) — never on what
-//! other in-flight messages of the same epoch commit. Dedup and statistics mutate only in
-//! the serial apply stage. A run with any `parallelism` value is therefore byte-identical
-//! to a sequential run, which `tests/delivery_determinism.rs` and the CI determinism job
-//! both enforce.
+//! other in-flight messages of the same epoch commit. Delivery counters are accounted in
+//! the serial pass in epoch order. A run with any `parallelism` value — and any ingress
+//! shard count — is therefore byte-identical to a sequential run, which
+//! `tests/delivery_determinism.rs` and the CI determinism job both enforce.
 
 use crate::event::{Event, EventQueue};
-use irec_core::IrecNode;
+use irec_core::{IrecNode, PcbMessage};
 use irec_types::{AsId, Result, SimTime};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -136,7 +142,12 @@ impl DeliveryPlane {
                 Vec::new()
             };
 
-            // Apply stage: commit in epoch (= delivery) order.
+            if self.parallelism > 1 {
+                self.apply_epoch_sharded(nodes, epoch, verdicts);
+                continue;
+            }
+
+            // Sequential apply stage: commit in epoch (= delivery) order.
             for (index, (at, event)) in epoch.into_iter().enumerate() {
                 match event {
                     Event::DeliverPcb(message) => match nodes.get_mut(&message.to_as) {
@@ -164,6 +175,95 @@ impl DeliveryPlane {
                 }
             }
         }
+    }
+
+    /// The sharded apply stage: one serial pass over the epoch in `(SimTime, seq)` order
+    /// accounts every outcome (exactly as the sequential walk would), handles pull returns,
+    /// and partitions PCB commits into per-`(destination AS, ingress shard)` inboxes; the
+    /// inboxes then commit concurrently over scoped workers. Each inbox preserves epoch
+    /// order internally, and different inboxes touch disjoint node state (the origin's
+    /// shard owns both the dedup set and the stats), so the result is byte-identical to the
+    /// sequential walk for any worker count and any shard count.
+    ///
+    /// Outcome accounting needs no commit result: `IrecNode::apply_message` fails exactly
+    /// when the precomputed verdict is an error (duplicates commit as `Ok`), so
+    /// delivered/rejected are known in the serial pass.
+    fn apply_epoch_sharded(
+        &mut self,
+        nodes: &mut BTreeMap<AsId, IrecNode>,
+        epoch: Vec<(SimTime, Event)>,
+        mut verdicts: Vec<Option<Result<()>>>,
+    ) {
+        /// One pending commit: delivery time, message, precomputed verdict.
+        type Commit = (SimTime, PcbMessage, Result<()>);
+        struct ShardInbox {
+            asn: AsId,
+            shard: usize,
+            items: Mutex<Vec<Commit>>,
+        }
+        let mut inboxes: BTreeMap<(AsId, usize), Vec<Commit>> = BTreeMap::new();
+        for (index, (at, event)) in epoch.into_iter().enumerate() {
+            match event {
+                Event::DeliverPcb(message) => match nodes.get(&message.to_as) {
+                    Some(node) => {
+                        let verdict = verdicts
+                            .get_mut(index)
+                            .and_then(Option::take)
+                            .unwrap_or_else(|| node.verify_message(&message, at));
+                        match verdict {
+                            Ok(()) => self.stats.delivered += 1,
+                            Err(_) => self.stats.rejected += 1,
+                        }
+                        let shard = node.ingress_shard_of(message.pcb.origin);
+                        inboxes
+                            .entry((message.to_as, shard))
+                            .or_default()
+                            .push((at, message, verdict));
+                    }
+                    None => self.stats.dropped_no_node += 1,
+                },
+                Event::DeliverPullReturn(ret) => match nodes.get_mut(&ret.to_as) {
+                    Some(node) => {
+                        node.handle_pull_return(ret, at);
+                        self.stats.delivered += 1;
+                    }
+                    None => self.stats.dropped_no_node += 1,
+                },
+            }
+        }
+        if inboxes.is_empty() {
+            return;
+        }
+        let inboxes: Vec<ShardInbox> = inboxes
+            .into_iter()
+            .map(|((asn, shard), items)| ShardInbox {
+                asn,
+                shard,
+                items: Mutex::new(items),
+            })
+            .collect();
+        let workers = self.parallelism.min(MAX_WORKERS).min(inboxes.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        let nodes = &*nodes;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let claimed = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(inbox) = inboxes.get(claimed) else {
+                        break;
+                    };
+                    let node = nodes
+                        .get(&inbox.asn)
+                        .expect("inbox destinations checked in the accounting pass");
+                    let items = std::mem::take(&mut *inbox.items.lock());
+                    for (at, message, verdict) in items {
+                        // The outcome was already accounted; the commit mutates only the
+                        // shard's dedup set, storage and gateway counters.
+                        let _ = node.apply_message_in_shard(inbox.shard, message, at, verdict);
+                    }
+                });
+            }
+        });
     }
 }
 

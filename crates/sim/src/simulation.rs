@@ -346,8 +346,8 @@ impl Simulation {
     }
 
     /// Total ingress-database occupancy across all nodes: beacons stored **and still valid**
-    /// at the current simulated time. Built on [`irec_core::IngressDb::live_len`] so the
-    /// figure does not overcount expired-but-unevicted beacons between eviction sweeps.
+    /// at the current simulated time. Built on [`irec_core::ShardedIngressDb::live_len`] so
+    /// the figure does not overcount expired-but-unevicted beacons between eviction sweeps.
     pub fn ingress_occupancy(&self) -> usize {
         self.nodes
             .values()

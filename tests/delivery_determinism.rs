@@ -31,7 +31,7 @@ fn fingerprint(sim: &Simulation) -> RunFingerprint {
 
 /// The fig6 smoke workload: a 12-AS generated topology beaconing for 3 rounds with the
 /// paper's static RAC set.
-fn run_fig6_workload(delivery_parallelism: usize) -> RunFingerprint {
+fn run_fig6_workload(delivery_parallelism: usize, ingress_shards: usize) -> RunFingerprint {
     let topology = Arc::new(
         TopologyGenerator::new(GeneratorConfig {
             num_ases: 12,
@@ -43,13 +43,15 @@ fn run_fig6_workload(delivery_parallelism: usize) -> RunFingerprint {
     let mut sim = Simulation::new(
         topology,
         SimulationConfig::default().with_delivery_parallelism(delivery_parallelism),
-        |_| {
-            NodeConfig::default().with_racs(vec![
-                RacConfig::static_rac("1SP", "1SP"),
-                RacConfig::static_rac("5SP", "5SP"),
-                RacConfig::static_rac("HD", "HD"),
-                RacConfig::static_rac("DON", "DO"),
-            ])
+        move |_| {
+            NodeConfig::default()
+                .with_racs(vec![
+                    RacConfig::static_rac("1SP", "1SP"),
+                    RacConfig::static_rac("5SP", "5SP"),
+                    RacConfig::static_rac("HD", "HD"),
+                    RacConfig::static_rac("DON", "DO"),
+                ])
+                .with_ingress_shards(ingress_shards)
         },
     )
     .expect("simulation setup");
@@ -58,21 +60,25 @@ fn run_fig6_workload(delivery_parallelism: usize) -> RunFingerprint {
 }
 
 /// The headline acceptance criterion: `--delivery-parallelism 4` is byte-identical to
-/// `--delivery-parallelism 1` on the fig6 workload.
+/// `--delivery-parallelism 1` on the fig6 workload — for ingress shard counts 1 and 4
+/// alike (the parallel case drives the sharded apply stage across real shard boundaries).
 #[test]
 fn delivery_parallelism_is_byte_identical_on_fig6_workload() {
-    let sequential = run_fig6_workload(1);
+    let sequential = run_fig6_workload(1, 1);
     assert!(
         !sequential.paths.is_empty(),
         "the scenario must register paths"
     );
     assert!(sequential.stats.delivered > 0);
-    for parallelism in [2, 4, 8] {
-        let parallel = run_fig6_workload(parallelism);
-        assert_eq!(
-            parallel, sequential,
-            "delivery-parallelism {parallelism} diverged from sequential"
-        );
+    for ingress_shards in [1usize, 4] {
+        for parallelism in [2, 4, 8] {
+            let parallel = run_fig6_workload(parallelism, ingress_shards);
+            assert_eq!(
+                parallel, sequential,
+                "delivery-parallelism {parallelism} with {ingress_shards} ingress shards \
+                 diverged from sequential"
+            );
+        }
     }
 }
 
@@ -106,10 +112,13 @@ fn delivery_parallelism_is_byte_identical_under_failure_injection() {
 }
 
 /// Both delivery-plane and node-phase/RAC-engine parallelism stacked together still
-/// reproduce the sequential output.
+/// reproduce the sequential output — for any ingress shard count. With
+/// `delivery_parallelism > 1` this exercises the delivery plane's *sharded apply stage*
+/// (per-`(node, shard)` commit inboxes over scoped workers), which must be byte-identical
+/// to the serial apply walk.
 #[test]
 fn stacked_parallelism_is_byte_identical() {
-    let run = |parallelism: usize, delivery_parallelism: usize| {
+    let run = |parallelism: usize, delivery_parallelism: usize, ingress_shards: usize| {
         let mut sim = Simulation::new(
             Arc::new(figure1_topology()),
             SimulationConfig::default()
@@ -119,14 +128,24 @@ fn stacked_parallelism_is_byte_identical() {
                 NodeConfig::paper_simulation(false)
                     .with_policy(PropagationPolicy::All)
                     .with_parallelism(parallelism)
+                    .with_ingress_shards(ingress_shards)
             },
         )
         .expect("simulation setup");
         sim.run_rounds(4).expect("beaconing rounds");
         fingerprint(&sim)
     };
-    let sequential = run(1, 1);
+    let sequential = run(1, 1, 1);
     assert!(!sequential.paths.is_empty());
-    let parallel = run(4, 4);
+    let parallel = run(4, 4, 1);
     assert_eq!(parallel, sequential);
+    // The headline stacked-shards criterion: `--ingress-shards {1, 4}` (plus a
+    // non-power-of-two) stacked with `--parallelism 4 --delivery-parallelism 4`.
+    for ingress_shards in [4usize, 7] {
+        let sharded = run(4, 4, ingress_shards);
+        assert_eq!(
+            sharded, sequential,
+            "ingress-shards {ingress_shards} diverged under stacked parallelism"
+        );
+    }
 }

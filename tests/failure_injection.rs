@@ -56,7 +56,7 @@ fn local_as() -> AsNode {
 #[test]
 fn corrupted_beacons_are_dropped_without_poisoning_the_database() {
     let registry = KeyRegistry::with_ases(3, 16);
-    let mut gateway = IngressGateway::new(AsId(99), Verifier::new(registry.clone()));
+    let gateway = IngressGateway::new(AsId(99), Verifier::new(registry.clone()));
 
     let good = beacon(&registry, 1, PcbExtensions::none());
     let mut corrupted = beacon(&registry, 2, PcbExtensions::none());
@@ -238,14 +238,14 @@ fn messages_to_an_offline_as_are_counted_as_dropped() {
 #[test]
 fn expired_beacons_are_evicted_from_the_control_plane() {
     let registry = KeyRegistry::with_ases(3, 16);
-    let mut gateway = IngressGateway::new(AsId(99), Verifier::new(registry.clone()));
+    let gateway = IngressGateway::new(AsId(99), Verifier::new(registry.clone()));
     // Valid for 6 hours.
     let pcb = beacon(&registry, 1, PcbExtensions::none());
     gateway.receive(pcb, IfId(1), SimTime::ZERO).unwrap();
     assert_eq!(gateway.db().len(), 1);
     // After 7 simulated hours the eviction pass removes it.
     let later = SimTime::ZERO + SimDuration::from_hours(7);
-    let evicted = gateway.db_mut().evict_expired(later, SimDuration::ZERO);
+    let evicted = gateway.db().evict_expired(later, SimDuration::ZERO);
     assert_eq!(evicted, 1);
     assert_eq!(gateway.db().len(), 0);
 }

@@ -123,7 +123,14 @@ pub mod strategy {
         )+};
     }
 
-    impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D));
+    impl_tuple_strategy!(
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F)
+    );
 }
 
 pub mod arbitrary {
