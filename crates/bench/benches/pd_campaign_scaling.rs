@@ -1,0 +1,60 @@
+//! Criterion benchmark for the parallel PD campaign engine: wall-clock time of a full
+//! campaign — N independent `(origin, target)` pull workflows, each on its own snapshot of
+//! one warmed-up base simulation — against the campaign's worker count.
+//!
+//! The expected shape mirrors the other scaling benches: per-campaign wall-clock drops as
+//! workers are added (pairs are embarrassingly parallel), flattening once the worker count
+//! approaches the pair count or the machine's core count. The per-pair results are
+//! byte-identical for every worker count — the campaign determinism guarantee — which
+//! every iteration re-asserts against a sequential reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use irec_bench::workload::{pd_campaign_pairs, pd_campaign_pass, pd_campaign_workload};
+use std::time::Duration;
+
+const ASES: usize = 14;
+const WARM_ROUNDS: usize = 4;
+const PAIRS: usize = 6;
+const SEED: u64 = 7;
+
+fn bench_pd_campaign_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pd_campaign_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    // The base simulation is warmed once; every pass snapshots it per pair.
+    let base = pd_campaign_workload(ASES, WARM_ROUNDS, SEED);
+    let pairs = pd_campaign_pairs(&base, PAIRS, SEED);
+
+    // One throwaway sequential pass pins the fingerprint every row must reproduce.
+    let reference = pd_campaign_pass(&base, &pairs, 1);
+
+    let max_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    let worker_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&w| w == 1 || w <= max_workers)
+        .collect();
+
+    for workers in worker_counts {
+        group.throughput(Throughput::Elements(pairs.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let pass = pd_campaign_pass(&base, &pairs, workers);
+                    assert_eq!(pass, reference, "campaign diverged at {workers} workers");
+                    pass
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(pd_campaign, bench_pd_campaign_scaling);
+criterion_main!(pd_campaign);

@@ -33,6 +33,14 @@ pub struct BenchArgs {
     /// binaries build, the engine workloads and the `ingress_sharding` criterion bench;
     /// the simulation output is byte-identical for every value.
     pub ingress_shards: usize,
+    /// Worker threads of the PD campaign (`--pd-parallelism`, default 1 = sequential):
+    /// how many `(origin, target)` pull workflows run concurrently, each on its own
+    /// simulation snapshot. Campaign results are byte-identical for every value.
+    pub pd_parallelism: usize,
+    /// Shard count of every node's path service (`--path-shards`, default 0 = auto: the
+    /// next power of two of `--parallelism`). Threaded into every simulation the binaries
+    /// build; the simulation output is byte-identical for every value.
+    pub path_shards: usize,
 }
 
 impl Default for BenchArgs {
@@ -50,6 +58,8 @@ impl Default for BenchArgs {
             parallelism: 1,
             delivery_parallelism: 1,
             ingress_shards: 0,
+            pd_parallelism: 1,
+            path_shards: 0,
         }
     }
 }
@@ -103,6 +113,12 @@ impl BenchArgs {
         if let Some(v) = get(&map, "ingress-shards") {
             parsed.ingress_shards = v.min(256);
         }
+        if let Some(v) = get(&map, "pd-parallelism") {
+            parsed.pd_parallelism = v.clamp(1, 64);
+        }
+        if let Some(v) = get(&map, "path-shards") {
+            parsed.path_shards = v.min(256);
+        }
         parsed
     }
 
@@ -129,6 +145,8 @@ mod tests {
         assert_eq!(a.parallelism, 1);
         assert_eq!(a.delivery_parallelism, 1);
         assert_eq!(a.ingress_shards, 0);
+        assert_eq!(a.pd_parallelism, 1);
+        assert_eq!(a.path_shards, 0);
     }
 
     #[test]
@@ -152,6 +170,10 @@ mod tests {
             "3",
             "--ingress-shards",
             "7",
+            "--pd-parallelism",
+            "5",
+            "--path-shards",
+            "9",
         ]);
         assert_eq!(a.ases, 120);
         assert_eq!(a.rounds, 12);
@@ -162,6 +184,8 @@ mod tests {
         assert_eq!(a.parallelism, 6);
         assert_eq!(a.delivery_parallelism, 3);
         assert_eq!(a.ingress_shards, 7);
+        assert_eq!(a.pd_parallelism, 5);
+        assert_eq!(a.path_shards, 9);
     }
 
     #[test]
@@ -175,6 +199,9 @@ mod tests {
         assert_eq!(d.delivery_parallelism, 64);
         let i = parse(&["--ingress-shards", "9000"]);
         assert_eq!(i.ingress_shards, 256);
+        let p = parse(&["--pd-parallelism", "0", "--path-shards", "9000"]);
+        assert_eq!(p.pd_parallelism, 1);
+        assert_eq!(p.path_shards, 256);
     }
 
     #[test]

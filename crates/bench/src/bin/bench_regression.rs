@@ -1,0 +1,137 @@
+//! CI bench-regression gate: compares a quick criterion run (JSON lines produced by the
+//! vendored shim under `IREC_CRITERION_JSON`) against the checked-in baseline and fails —
+//! exit code 1 — when any kernel's machine-normalized score regressed by more than the
+//! threshold. See `irec_bench::regression` for the mechanics.
+//!
+//! ```text
+//! # gate (CI): compare against the checked-in baseline, write the summary artifact
+//! cargo run --release -p irec_bench --bin bench_regression -- \
+//!     --input bench-raw.jsonl --baseline crates/bench/baselines/bench_baseline.json \
+//!     --output BENCH_ci.json [--threshold 0.25]
+//!
+//! # refresh the baseline after an intentional perf change
+//! cargo run --release -p irec_bench --bin bench_regression -- \
+//!     --input bench-raw.jsonl --write-baseline crates/bench/baselines/bench_baseline.json
+//! ```
+
+use irec_bench::regression::{
+    baseline_from_samples, compare, format_baseline, measure_calibration_ns, parse_baseline,
+    parse_samples, Status,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut options: HashMap<String, String> = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            eprintln!("unexpected argument: {arg}");
+            return ExitCode::FAILURE;
+        };
+        let Some(value) = args.next() else {
+            eprintln!("--{key} requires a value");
+            return ExitCode::FAILURE;
+        };
+        options.insert(key.to_string(), value);
+    }
+
+    let Some(input) = options.get("input") else {
+        eprintln!("--input <bench-raw.jsonl> is required");
+        return ExitCode::FAILURE;
+    };
+    let raw = match std::fs::read_to_string(input) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let samples = parse_samples(&raw);
+    if samples.is_empty() {
+        eprintln!(
+            "{input} contains no bench records — did the benches run with IREC_CRITERION_JSON set?"
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("measuring calibration kernel...");
+    let calibration_ns = measure_calibration_ns();
+    eprintln!(
+        "calibration: {calibration_ns:.0} ns, {} bench records",
+        samples.len()
+    );
+
+    // Refresh mode: record the run as the new baseline and exit.
+    if let Some(path) = options.get("write-baseline") {
+        let baseline = baseline_from_samples(&samples, calibration_ns);
+        if let Err(e) = std::fs::write(path, format_baseline(&baseline)) {
+            eprintln!("cannot write baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "baseline written to {path} ({} kernels)",
+            baseline.scores.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Gate mode.
+    let Some(baseline_path) = options.get("baseline") else {
+        eprintln!("--baseline <bench_baseline.json> is required (or use --write-baseline)");
+        return ExitCode::FAILURE;
+    };
+    let baseline = match std::fs::read_to_string(baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| parse_baseline(&text))
+    {
+        Ok(baseline) => baseline,
+        Err(e) => {
+            eprintln!("cannot load baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let threshold: f64 = options
+        .get("threshold")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(0.25);
+
+    let report = compare(&samples, &baseline, calibration_ns, threshold);
+    for row in &report.rows {
+        let detail = match (row.baseline_score, row.ratio) {
+            (Some(base), Some(ratio)) => {
+                format!("score {:.4} vs baseline {base:.4} (x{ratio:.3})", row.score)
+            }
+            _ => format!("score {:.4} (no baseline)", row.score),
+        };
+        let marker = match row.status {
+            Status::Ok => "ok       ",
+            Status::Regressed => "REGRESSED",
+            Status::New => "new      ",
+        };
+        println!("{marker} {:<28} {detail}", row.bench);
+    }
+    for bench in &report.missing {
+        println!("skipped   {bench:<28} (in baseline, not measured on this machine)");
+    }
+
+    if let Some(output) = options.get("output") {
+        if let Err(e) = std::fs::write(output, report.to_json()) {
+            eprintln!("cannot write {output}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("summary artifact written to {output}");
+    }
+
+    if report.regressed() {
+        eprintln!(
+            "FAIL: at least one kernel regressed more than {:.0}% against {baseline_path}",
+            threshold * 100.0
+        );
+        eprintln!(
+            "if the slowdown is intentional, refresh with: cargo run --release -p irec_bench --bin bench_regression -- --input {input} --write-baseline {baseline_path}"
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("all kernels within {:.0}% of baseline", threshold * 100.0);
+    ExitCode::SUCCESS
+}

@@ -1,22 +1,23 @@
-//! Determinism probe: runs two fixed simulation scenarios and prints every registered path
-//! and every overhead counter in full.
+//! Determinism probe: runs three fixed simulation scenarios — two beaconing scenarios plus
+//! a PD campaign — and prints every registered path, every overhead counter and every
+//! per-pair PD result in full.
 //!
 //! ```text
-//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--delivery-parallelism N] [--ingress-shards N] [--ases 12] [--rounds 3] [--seed 5]
+//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--delivery-parallelism N] [--ingress-shards N] [--pd-parallelism N] [--path-shards N] [--ases 12] [--rounds 3] [--seed 5]
 //! ```
 //!
-//! The output is **byte-identical for every `--parallelism`, `--delivery-parallelism` and
-//! `--ingress-shards` value** — that is the determinism guarantee of the parallel execution
-//! engine, of the message-delivery plane and of the sharded ingress database, and the CI
-//! determinism job enforces it by diffing a sequential run against `--parallelism 4`,
-//! `--delivery-parallelism 4` and sharded (`--ingress-shards {2, 4, 7}` alone, plus shard
-//! count 4 stacked with both worker knobs) runs. All three arguments are deliberately
-//! excluded from the output for exactly that reason.
+//! The output is **byte-identical for every `--parallelism`, `--delivery-parallelism`,
+//! `--ingress-shards`, `--pd-parallelism` and `--path-shards` value** — that is the
+//! determinism guarantee of the parallel execution engine, of the message-delivery plane,
+//! of the sharded ingress database, of the sharded path service and of the PD campaign
+//! engine, and the CI determinism job enforces it by diffing a sequential run against each
+//! knob alone and all of them stacked. All five arguments are deliberately excluded from
+//! the output for exactly that reason.
 
 use irec_bench::BenchArgs;
 use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
-use irec_sim::{Simulation, SimulationConfig};
-use irec_topology::builder::figure1_topology;
+use irec_sim::{PdCampaign, Simulation, SimulationConfig};
+use irec_topology::builder::{figure1, figure1_topology};
 use irec_topology::{GeneratorConfig, TopologyGenerator};
 use std::sync::Arc;
 
@@ -24,7 +25,7 @@ fn main() {
     let args = BenchArgs::from_env();
 
     // Scenario 1: the quickstart setup on the paper's Fig. 1 topology.
-    let figure1 = Simulation::new(
+    let figure1_sim = Simulation::new(
         Arc::new(figure1_topology()),
         SimulationConfig::default()
             .with_parallelism(args.parallelism)
@@ -38,10 +39,11 @@ fn main() {
                 ])
                 .with_parallelism(args.parallelism)
                 .with_ingress_shards(args.ingress_shards)
+                .with_path_shards(args.path_shards)
         },
     )
     .expect("figure-1 simulation setup");
-    dump("figure1", figure1, 6);
+    dump("figure1", figure1_sim, 6);
 
     // Scenario 2: a generated internet topology with the paper's static RAC set.
     let config = GeneratorConfig {
@@ -64,10 +66,71 @@ fn main() {
                 ])
                 .with_parallelism(args.parallelism)
                 .with_ingress_shards(args.ingress_shards)
+                .with_path_shards(args.path_shards)
         },
     )
     .expect("generated simulation setup");
     dump("generated", generated, args.rounds);
+
+    // Scenario 3: the PD campaign on Fig. 1 — exercises the `--pd-parallelism` worker
+    // pool and the sharded path service's concurrent pull-return commits end to end.
+    let mut base = Simulation::new(
+        Arc::new(figure1_topology()),
+        SimulationConfig::default()
+            .with_parallelism(args.parallelism)
+            .with_delivery_parallelism(args.delivery_parallelism),
+        |_| {
+            NodeConfig::default()
+                .with_policy(PropagationPolicy::All)
+                .with_racs(vec![
+                    RacConfig::static_rac("HD", "HD"),
+                    RacConfig::on_demand_rac("on-demand"),
+                ])
+                .with_parallelism(args.parallelism)
+                .with_ingress_shards(args.ingress_shards)
+                .with_path_shards(args.path_shards)
+        },
+    )
+    .expect("PD base simulation setup");
+    base.run_rounds(6).expect("PD warm-up rounds");
+    // `max_paths` must exceed the HD seed count of the warmed base, or every workflow
+    // finishes on its seeds alone and the probe never originates a single pull beacon —
+    // the assertion below keeps the scenario honest.
+    let results = PdCampaign::new(
+        vec![
+            (figure1::SRC, figure1::DST),
+            (figure1::DST, figure1::SRC),
+            (figure1::SRC, figure1::DST),
+        ],
+        6,
+    )
+    .with_rounds_per_iteration(3)
+    .with_parallelism(args.pd_parallelism)
+    .run(&base)
+    .expect("PD campaign run");
+    assert!(
+        results
+            .iter()
+            .any(|pair| pair.result.iterations > 0 && !pair.pull_overhead.is_empty()),
+        "PD scenario ran zero pull iterations — the probe no longer exercises the pull pipeline"
+    );
+    println!("## scenario: pd-campaign");
+    for (index, pair) in results.iter().enumerate() {
+        println!(
+            "pd-pair\t{index}\t{}\t{}\titerations={}\tempty={}\tpull_overhead={:?}",
+            pair.origin,
+            pair.target,
+            pair.result.iterations,
+            pair.result.empty_iterations,
+            pair.pull_overhead
+        );
+        for p in &pair.result.paths {
+            println!(
+                "pd-path\t{index}\t{}\t{}\t{}\t{}\t{:?}",
+                p.algorithm, p.metrics.latency, p.metrics.bandwidth, p.metrics.hops, p.links
+            );
+        }
+    }
 }
 
 /// Runs `rounds` beaconing rounds and prints every observable output of the simulation in

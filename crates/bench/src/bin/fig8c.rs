@@ -1,8 +1,10 @@
 //! Regenerates **Fig. 8c** of the paper: the CDF of PCBs sent per interface per beaconing
-//! period, for 1SP, 5SP, HD, PD, DON, DOB2000 and DOB300.
+//! period, for 1SP, 5SP, HD, PD, DON, DOB2000 and DOB300 — plus the PD campaign's
+//! per-pair throughput table.
 //!
 //! ```text
-//! cargo run -p irec-bench --bin fig8c --release -- [--ases 60] [--rounds 8]
+//! cargo run -p irec_bench --bin fig8c --release -- [--ases 60] [--rounds 8] \
+//!     [--pd-pairs 10] [--pd-parallelism N] [--path-shards N]
 //! ```
 //!
 //! The counts are per egress interface and per 10-simulated-minute period (non-zero cells,
@@ -10,15 +12,21 @@
 //! (1SP/5SP/DON/DOB) have uniform per-interface overhead — 5SP above 1SP, the DOB variants
 //! growing with the number of interface groups — while HD and PD send far fewer beacons in
 //! most periods, with occasional PD spikes from per-pair pull rounds.
+//!
+//! The PD campaign fans its `(origin, target)` pairs out over `--pd-parallelism` workers
+//! (each pair on its own simulation snapshot); the CDF data is byte-identical for every
+//! worker and `--path-shards` value — only the per-pair wall-clock column moves.
 
 use irec_bench::campaign::{print_cdf, print_summary, Fig8Campaign};
+use irec_bench::report::{fmt_ms, fmt_pcbs_per_sec};
 use irec_bench::BenchArgs;
 
 fn main() {
     let args = BenchArgs::from_env();
     eprintln!(
-        "# Fig. 8c — building topology with {} ASes (seed {}), {} rounds",
-        args.ases, args.seed, args.rounds
+        "# Fig. 8c — building topology with {} ASes (seed {}), {} rounds, \
+         pd-parallelism {}, path-shards {}",
+        args.ases, args.seed, args.rounds, args.pd_parallelism, args.path_shards
     );
     let campaign = Fig8Campaign::new(args);
     let data = campaign.run().expect("campaign run succeeds");
@@ -38,4 +46,34 @@ fn main() {
         print!("# ");
         print_summary(series, cdf);
     }
+
+    // The PD campaign's per-pair throughput table. Wall-clock times go to comment rows:
+    // they vary run to run, while everything above is deterministic.
+    println!("#\n# PD campaign — per-pair throughput:");
+    println!(
+        "# pair\torigin\ttarget\tpaths\titerations\tempty\tpull_pcbs\telapsed_ms\tpaths_per_s"
+    );
+    let mut total_paths = 0usize;
+    for (index, pair) in data.pd_pairs.iter().enumerate() {
+        let paths = pair.result.paths.len();
+        total_paths += paths;
+        println!(
+            "# {index}\t{}\t{}\t{paths}\t{}\t{}\t{}\t{}\t{}",
+            pair.origin,
+            pair.target,
+            pair.result.iterations,
+            pair.result.empty_iterations,
+            pair.pull_overhead.iter().sum::<u64>(),
+            fmt_ms(pair.elapsed),
+            fmt_pcbs_per_sec(paths as u64, pair.elapsed),
+        );
+    }
+    // The campaign row uses the campaign's wall-clock, not the sum of the per-pair
+    // times: with `--pd-parallelism N` the pairs overlap, and this is the row where the
+    // fan-out's speedup shows up.
+    println!(
+        "# campaign\t-\t-\t{total_paths}\t-\t-\t-\t{}\t{}",
+        fmt_ms(data.pd_campaign_elapsed),
+        fmt_pcbs_per_sec(total_paths as u64, data.pd_campaign_elapsed),
+    );
 }

@@ -6,7 +6,7 @@ use irec_core::{NodeConfig, RacConfig};
 use irec_metrics::delay::{pop_pair_delays, relative_to_baseline, PopPairDelays};
 use irec_metrics::tlf::tlf_per_as_pair;
 use irec_metrics::{Cdf, RegisteredPath};
-use irec_sim::{PdWorkflow, Simulation, SimulationConfig};
+use irec_sim::{PdCampaign, PdPairResult, Simulation, SimulationConfig};
 use irec_topology::pop::{points_of_presence, DEFAULT_POP_RADIUS_KM};
 use irec_topology::{
     GeneratorConfig, GroupingConfig, PointOfPresence, Topology, TopologyGenerator,
@@ -23,8 +23,13 @@ use std::sync::Arc;
 pub struct Fig8Data {
     /// Registered paths per algorithm series (1SP, 5SP, HD, DON, DOB2000, DOB300).
     pub paths_by_series: BTreeMap<String, Vec<RegisteredPath>>,
-    /// PD path sets per sampled (origin, target) pair.
-    pub pd_paths: Vec<Vec<RegisteredPath>>,
+    /// Full per-pair PD campaign results in pair order (paths, iteration counts, pull
+    /// overhead and per-pair wall-clock — the fig8b PD series and the fig8c throughput
+    /// table both derive from here).
+    pub pd_pairs: Vec<PdPairResult>,
+    /// Wall-clock time of the whole PD campaign (warm-up excluded). Unlike the sum of the
+    /// per-pair times, this reflects the `--pd-parallelism` fan-out.
+    pub pd_campaign_elapsed: std::time::Duration,
     /// Per-interface-per-period overhead per series.
     pub overhead_by_series: BTreeMap<String, Vec<u64>>,
     /// The per-AS points of presence of the campaign topology.
@@ -66,12 +71,19 @@ impl Fig8Data {
         Cdf::new(tlf.values().map(|&v| v.min(1_000) as f64).collect())
     }
 
+    /// The discovered PD path sets, one per pair that found anything (the Fig. 8b
+    /// samples).
+    pub fn pd_paths(&self) -> impl Iterator<Item = &Vec<RegisteredPath>> {
+        self.pd_pairs
+            .iter()
+            .map(|pair| &pair.result.paths)
+            .filter(|set| !set.is_empty())
+    }
+
     /// The Fig. 8b CDF for the PD series (per sampled AS pair).
     pub fn pd_tlf_cdf(&self) -> Cdf {
         let samples: Vec<f64> = self
-            .pd_paths
-            .iter()
-            .filter(|set| !set.is_empty())
+            .pd_paths()
             .map(|set| {
                 let links: Vec<Vec<_>> = set.iter().map(|p| p.links.clone()).collect();
                 irec_metrics::tlf::min_links_to_disconnect(&links).min(1_000) as f64
@@ -134,10 +146,12 @@ impl Fig8Campaign {
                 .with_delivery_parallelism(self.args.delivery_parallelism),
             {
                 let ingress_shards = self.args.ingress_shards;
+                let path_shards = self.args.path_shards;
                 move |_| {
                     NodeConfig::default()
                         .with_racs(vec![rac.clone()])
                         .with_ingress_shards(ingress_shards)
+                        .with_path_shards(path_shards)
                 }
             },
         )?;
@@ -150,8 +164,22 @@ impl Fig8Campaign {
         Ok((paths, overhead))
     }
 
+    /// The `(origin, target)` pairs the PD campaign runs, sampled deterministically from
+    /// the seed; the paper runs PD for all AS pairs, which is not laptop-feasible — the
+    /// sampled distribution preserves the CDF shape.
+    pub fn pd_pairs(&self) -> Vec<(AsId, AsId)> {
+        sample_pd_pairs(
+            &self.topology.as_ids(),
+            self.args.pd_pairs.max(1),
+            self.args.seed,
+        )
+    }
+
     fn run_pd(&self, data: &mut Fig8Data) -> Result<Vec<u64>> {
-        // Simulation-level parallelism only, as in `run_series`.
+        // Warm up one base simulation (simulation-level parallelism only, as in
+        // `run_series`), then fan the independent per-pair workflows out over the PD
+        // campaign engine — each pair on its own snapshot of the warm base, results
+        // merged in pair order regardless of `--pd-parallelism`.
         let mut sim = Simulation::new(
             Arc::clone(&self.topology),
             SimulationConfig::default()
@@ -159,6 +187,7 @@ impl Fig8Campaign {
                 .with_delivery_parallelism(self.args.delivery_parallelism),
             {
                 let ingress_shards = self.args.ingress_shards;
+                let path_shards = self.args.path_shards;
                 move |_| {
                     NodeConfig::default()
                         .with_racs(vec![
@@ -166,31 +195,26 @@ impl Fig8Campaign {
                             RacConfig::on_demand_rac("on-demand"),
                         ])
                         .with_ingress_shards(ingress_shards)
+                        .with_path_shards(path_shards)
                 }
             },
         )?;
         sim.run_rounds(self.args.rounds)?;
 
-        // Sample (origin, target) pairs; the paper runs PD for all AS pairs, which is not
-        // laptop-feasible — the sampled distribution preserves the CDF shape.
-        let mut rng = StdRng::seed_from_u64(self.args.seed ^ 0x5044);
-        let as_ids = self.topology.as_ids();
-        let mut pairs = Vec::new();
-        for _ in 0..self.args.pd_pairs.max(1) {
-            let a = *as_ids.choose(&mut rng).expect("topology is non-empty");
-            let b = *as_ids.choose(&mut rng).expect("topology is non-empty");
-            if a != b {
-                pairs.push((a, b));
-            }
+        let campaign_start = std::time::Instant::now();
+        let results = PdCampaign::new(self.pd_pairs(), 20)
+            .with_rounds_per_iteration(3)
+            .with_parallelism(self.args.pd_parallelism)
+            .run(&sim)?;
+        data.pd_campaign_elapsed = campaign_start.elapsed();
+        // The PD series of Fig. 8c: the pairs' pull-overhead samples, concatenated in
+        // pair order (each pair's run owns its snapshot's counters).
+        let mut overhead = Vec::new();
+        for pair in &results {
+            overhead.extend(pair.pull_overhead.iter().copied());
         }
-        for (origin, target) in pairs {
-            let mut workflow = PdWorkflow::new(origin, target, 20).with_rounds_per_iteration(3);
-            let result = workflow.run(&mut sim)?;
-            if !result.paths.is_empty() {
-                data.pd_paths.push(result.paths);
-            }
-        }
-        Ok(sim.overhead_pull().nonzero_samples())
+        data.pd_pairs = results;
+        Ok(overhead)
     }
 
     /// Runs the whole campaign.
@@ -231,6 +255,23 @@ impl Fig8Campaign {
             .insert("PD".to_string(), pd_overhead);
         Ok(data)
     }
+}
+
+/// Deterministically samples `(origin, target)` pairs from `as_ids`: `attempts` seeded
+/// draws, self-pairs skipped (so the result may hold fewer than `attempts` pairs). The
+/// single sampling recipe behind [`Fig8Campaign::pd_pairs`] and the bench workload's
+/// `pd_campaign_pairs` — one place to change if the sampling ever needs to get smarter.
+pub fn sample_pd_pairs(as_ids: &[AsId], attempts: usize, seed: u64) -> Vec<(AsId, AsId)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5044);
+    let mut pairs = Vec::new();
+    for _ in 0..attempts {
+        let a = *as_ids.choose(&mut rng).expect("topology is non-empty");
+        let b = *as_ids.choose(&mut rng).expect("topology is non-empty");
+        if a != b {
+            pairs.push((a, b));
+        }
+    }
+    pairs
 }
 
 /// Helper used by the binaries: prints one CDF series as tab-separated `value fraction` rows.
@@ -274,6 +315,8 @@ pub fn test_campaign(seed: u64) -> Fig8Campaign {
         parallelism: 1,
         delivery_parallelism: 1,
         ingress_shards: 0,
+        pd_parallelism: 1,
+        path_shards: 0,
     })
 }
 
@@ -300,6 +343,11 @@ mod tests {
         }
         assert!(data.overhead_by_series.contains_key("PD"));
         assert_eq!(data.topology_size.0, 12);
+        // The PD campaign reports one result per sampled pair, in pair order.
+        assert_eq!(data.pd_pairs.len(), campaign.pd_pairs().len());
+        for (pair, sampled) in data.pd_pairs.iter().zip(campaign.pd_pairs()) {
+            assert_eq!((pair.origin, pair.target), sampled);
+        }
 
         // Fig. 8a pipeline: relative delays are computable and the baseline is exactly 1.0.
         let cdf = data.relative_delay_cdf(campaign.topology(), "5SP", 1.5);

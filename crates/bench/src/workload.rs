@@ -9,7 +9,7 @@ use irec_core::{
 };
 use irec_crypto::{KeyRegistry, Signer};
 use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
-use irec_sim::{DeliveryStats, Simulation, SimulationConfig};
+use irec_sim::{DeliveryStats, PdCampaign, Simulation, SimulationConfig};
 use irec_topology::{AsNode, GeneratorConfig, Interface, Tier, TopologyGenerator};
 use irec_types::{
     AlgorithmId, AsId, Bandwidth, GeoCoord, IfId, InterfaceGroupId, Latency, LinkId, Result,
@@ -373,6 +373,73 @@ pub fn measure_delivery_point(
     (sim.delivery_stats(), start.elapsed())
 }
 
+/// Builds the PD campaign workload: a generated-topology simulation with the paper's
+/// HD + on-demand deployment, warmed for `rounds` beaconing rounds — the base every
+/// campaign pass snapshots per `(origin, target)` pair. Shared by the
+/// `pd_campaign_scaling` criterion bench and the CI bench-regression harness.
+pub fn pd_campaign_workload(ases: usize, rounds: usize, seed: u64) -> Simulation {
+    let config = GeneratorConfig {
+        num_ases: ases,
+        seed,
+        ..Default::default()
+    };
+    let topology = Arc::new(TopologyGenerator::new(config).generate());
+    let mut sim = Simulation::new(topology, SimulationConfig::default(), |_| {
+        NodeConfig::default().with_racs(vec![
+            RacConfig::static_rac("HD", "HD"),
+            RacConfig::on_demand_rac("on-demand"),
+        ])
+    })
+    .expect("PD campaign workload simulation setup");
+    sim.run_rounds(rounds.max(1))
+        .expect("PD campaign warm-up rounds succeed");
+    sim
+}
+
+/// Deterministically samples up to `count` `(origin, target)` pairs from the workload's
+/// topology, through the same seeded recipe as the Fig. 8 campaign
+/// ([`crate::campaign::sample_pd_pairs`]) with extra draw attempts so small topologies
+/// still fill the requested count.
+pub fn pd_campaign_pairs(base: &Simulation, count: usize, seed: u64) -> Vec<(AsId, AsId)> {
+    let count = count.max(1);
+    let mut pairs = crate::campaign::sample_pd_pairs(&base.topology().as_ids(), count * 4, seed);
+    pairs.truncate(count);
+    pairs
+}
+
+/// The deterministic fingerprint of one campaign pair: origin, target, discovered-path
+/// count, iteration count, empty-iteration count, total pull-beacon overhead.
+pub type PdPairFingerprint = (AsId, AsId, usize, usize, usize, u64);
+
+/// One PD campaign pass over `pairs` with `workers` campaign workers: every pair runs its
+/// pull workflow on a fresh snapshot of `base`. Returns the per-pair fingerprints in pair
+/// order — byte-identical for every worker count (the campaign determinism guarantee the
+/// `pd_campaign_scaling` bench re-asserts each iteration).
+pub fn pd_campaign_pass(
+    base: &Simulation,
+    pairs: &[(AsId, AsId)],
+    workers: usize,
+) -> Vec<PdPairFingerprint> {
+    let results = PdCampaign::new(pairs.to_vec(), 5)
+        .with_rounds_per_iteration(2)
+        .with_parallelism(workers)
+        .run(base)
+        .expect("campaign pass succeeds");
+    results
+        .iter()
+        .map(|pair| {
+            (
+                pair.origin,
+                pair.target,
+                pair.result.paths.len(),
+                pair.result.iterations,
+                pair.result.empty_iterations,
+                pair.pull_overhead.iter().sum(),
+            )
+        })
+        .collect()
+}
+
 /// Runs the complete Fig. 6 measurement for one |Φ| value, averaging over `repetitions`.
 pub fn measure_phi(phi: usize, repetitions: usize, seed: u64) -> Measurement {
     let local_as = workload_local_as();
@@ -466,6 +533,25 @@ mod tests {
         for (shards, workers) in [(2, 2), (4, 4), (7, 3), (16, 8)] {
             let (stored, evicted) = sharded_ingress_pass(&beacons, shards, workers, far);
             assert_eq!((stored, evicted), (stored_ref, evicted_ref));
+        }
+    }
+
+    #[test]
+    fn pd_campaign_pass_is_worker_invariant() {
+        let base = pd_campaign_workload(10, 2, 5);
+        let pairs = pd_campaign_pairs(&base, 3, 5);
+        assert!(!pairs.is_empty());
+        assert!(pairs.iter().all(|(a, b)| a != b));
+        let sequential = pd_campaign_pass(&base, &pairs, 1);
+        assert_eq!(sequential.len(), pairs.len());
+        assert!(
+            sequential
+                .iter()
+                .any(|(_, _, _, iterations, _, pull)| *iterations > 0 && *pull > 0),
+            "no pair ran a pull iteration — the bench would measure snapshot cloning only"
+        );
+        for workers in [2usize, 4] {
+            assert_eq!(pd_campaign_pass(&base, &pairs, workers), sequential);
         }
     }
 

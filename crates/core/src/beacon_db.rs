@@ -74,7 +74,7 @@ impl BatchView {
 }
 
 /// The ingress database: received beacons indexed for RAC consumption.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct IngressDb {
     by_key: BTreeMap<BatchKey, Vec<Arc<StoredBeacon>>>,
     seen: HashSet<PcbId>,
@@ -233,8 +233,8 @@ pub const MAX_INGRESS_SHARDS: usize = 256;
 /// The finalizer of `splitmix64` — a fixed, platform-independent avalanche mix. Shard
 /// placement must be deterministic across runs and builds (the determinism probe diffs
 /// byte-identical output across shard counts), so the std `RandomState` hasher is not an
-/// option here.
-const fn splitmix64(mut x: u64) -> u64 {
+/// option here. Shared with the path service's destination-AS sharding.
+pub(crate) const fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -263,6 +263,21 @@ impl Default for ShardedIngressDb {
     /// A single-shard database — observably identical to a plain [`IngressDb`].
     fn default() -> Self {
         ShardedIngressDb::new(1)
+    }
+}
+
+impl Clone for ShardedIngressDb {
+    /// Deep-clones every shard's contents (used by `Simulation`'s snapshot clone for the
+    /// parallel PD campaign). Stored beacons stay `Arc`-shared with the original — they are
+    /// immutable — but the maps, dedup sets and locks are fresh.
+    fn clone(&self) -> Self {
+        ShardedIngressDb {
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| RwLock::new(shard.read().clone()))
+                .collect(),
+        }
     }
 }
 
@@ -439,7 +454,7 @@ impl ShardedIngressDb {
 /// One tracked PCB hash in the egress database: the interfaces it was propagated on and the
 /// expiry time it was recorded under (so eviction can tell live entries from stale expiry-
 /// index rows).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct EgressEntry {
     egresses: HashSet<IfId>,
     expires_at: SimTime,
@@ -452,7 +467,7 @@ struct EgressEntry {
 /// Invariant (pinned by the proptest suite in `crates/core/tests/proptests.rs`): the
 /// `removed` count returned by [`EgressDb::evict_expired`] equals the number of hashes
 /// actually deleted from the database, i.e. `len()` always drops by exactly `removed`.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EgressDb {
     propagated: HashMap<PcbId, EgressEntry>,
     /// Expiry index. May contain stale rows for a digest that was evicted and later

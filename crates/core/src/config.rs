@@ -136,6 +136,13 @@ pub struct NodeConfig {
     /// produces byte-identical observable behaviour; the count only changes how much
     /// insert/evict concurrency the database admits.
     pub ingress_shards: usize,
+    /// Number of shards of the path service (see
+    /// [`crate::path_service::ShardedPathService`]), keyed by destination AS. `0` (the
+    /// default) derives the count from the worker budget like `ingress_shards` does. Any
+    /// value produces byte-identical observable behaviour; the count only changes how much
+    /// registration concurrency — RAC selections and pull-return commits — the service
+    /// admits.
+    pub path_shards: usize,
 }
 
 impl Default for NodeConfig {
@@ -149,6 +156,7 @@ impl Default for NodeConfig {
             irec_enabled: true,
             parallelism: 1,
             ingress_shards: 0,
+            path_shards: 0,
         }
     }
 }
@@ -213,6 +221,13 @@ impl NodeConfig {
         self
     }
 
+    /// Builder-style: set the path-service shard count (`0` = derive from `parallelism`).
+    #[must_use]
+    pub fn with_path_shards(mut self, shards: usize) -> Self {
+        self.path_shards = shards;
+        self
+    }
+
     /// The effective ingress shard count: the configured value, or — when left at the `0`
     /// auto default — the next power of two of the RAC engine's worker count. Clamped to
     /// [`crate::beacon_db::MAX_INGRESS_SHARDS`], matching the database's own clamp, so the
@@ -224,6 +239,18 @@ impl NodeConfig {
             self.ingress_shards
         };
         count.min(crate::beacon_db::MAX_INGRESS_SHARDS)
+    }
+
+    /// The effective path-service shard count, derived exactly like
+    /// [`NodeConfig::ingress_shard_count`] (auto default: next power of two of
+    /// `parallelism`) and clamped to [`crate::path_service::MAX_PATH_SHARDS`].
+    pub fn path_shard_count(&self) -> usize {
+        let count = if self.path_shards == 0 {
+            self.parallelism.max(1).next_power_of_two()
+        } else {
+            self.path_shards
+        };
+        count.min(crate::path_service::MAX_PATH_SHARDS)
     }
 }
 
@@ -312,6 +339,28 @@ mod tests {
                 .with_ingress_shards(100_000)
                 .ingress_shard_count(),
             crate::beacon_db::MAX_INGRESS_SHARDS
+        );
+    }
+
+    #[test]
+    fn path_shard_count_follows_parallelism_unless_pinned() {
+        assert_eq!(NodeConfig::default().path_shard_count(), 1);
+        assert_eq!(
+            NodeConfig::default().with_parallelism(6).path_shard_count(),
+            8
+        );
+        assert_eq!(
+            NodeConfig::default()
+                .with_parallelism(4)
+                .with_path_shards(7)
+                .path_shard_count(),
+            7
+        );
+        assert_eq!(
+            NodeConfig::default()
+                .with_path_shards(100_000)
+                .path_shard_count(),
+            crate::path_service::MAX_PATH_SHARDS
         );
     }
 }

@@ -4,7 +4,7 @@
 use crate::beacon_db::EgressDb;
 use crate::config::PropagationPolicy;
 use crate::messages::{PcbMessage, PullReturn};
-use crate::path_service::{PathService, RegisteredPath};
+use crate::path_service::{RegisteredPath, ShardedPathService};
 use crate::rac::RacOutput;
 use irec_crypto::Signer;
 use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
@@ -78,24 +78,39 @@ impl EgressStats {
 }
 
 /// The egress gateway of one AS.
+#[derive(Clone)]
 pub struct EgressGateway {
     local_as: AsId,
     topology: Arc<Topology>,
     signer: Signer,
     policy: PropagationPolicy,
     db: EgressDb,
-    path_service: PathService,
+    path_service: ShardedPathService,
     stats: EgressStats,
     sequence: u64,
 }
 
 impl EgressGateway {
-    /// Creates an egress gateway.
+    /// Creates an egress gateway with a single-shard path service — observably identical
+    /// to the pre-sharding gateway.
     pub fn new(
         local_as: AsId,
         topology: Arc<Topology>,
         signer: Signer,
         policy: PropagationPolicy,
+    ) -> Self {
+        Self::with_path_shards(local_as, topology, signer, policy, 1)
+    }
+
+    /// Creates an egress gateway whose path service is split into `path_shards`
+    /// destination-keyed shards (clamped to `1..=`
+    /// [`crate::path_service::MAX_PATH_SHARDS`]).
+    pub fn with_path_shards(
+        local_as: AsId,
+        topology: Arc<Topology>,
+        signer: Signer,
+        policy: PropagationPolicy,
+        path_shards: usize,
     ) -> Self {
         EgressGateway {
             local_as,
@@ -103,20 +118,17 @@ impl EgressGateway {
             signer,
             policy,
             db: EgressDb::new(),
-            path_service: PathService::new(),
+            path_service: ShardedPathService::new(path_shards),
             stats: EgressStats::default(),
             sequence: 0,
         }
     }
 
-    /// The local path service.
-    pub fn path_service(&self) -> &PathService {
+    /// The local path service. Registration goes through `&self` (the service is sharded
+    /// per destination behind interior locks), so pull-return commits no longer need
+    /// mutable gateway access.
+    pub fn path_service(&self) -> &ShardedPathService {
         &self.path_service
-    }
-
-    /// Mutable access to the local path service (for pull-return registration by the node).
-    pub fn path_service_mut(&mut self) -> &mut PathService {
-        &mut self.path_service
     }
 
     /// The gateway counters.

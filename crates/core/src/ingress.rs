@@ -51,6 +51,24 @@ pub struct IngressGateway {
     stats: Vec<Mutex<IngressStats>>,
 }
 
+impl Clone for IngressGateway {
+    /// Deep-clones the gateway: database shards and per-shard statistics are copied, so
+    /// the clone evolves independently (used by `Simulation`'s snapshot clone).
+    fn clone(&self) -> Self {
+        IngressGateway {
+            local_as: self.local_as,
+            db: self.db.clone(),
+            verifier: self.verifier.clone(),
+            verify_signatures: self.verify_signatures,
+            stats: self
+                .stats
+                .iter()
+                .map(|shard| Mutex::new(*shard.lock()))
+                .collect(),
+        }
+    }
+}
+
 impl IngressGateway {
     /// Creates a single-shard ingress gateway for `local_as` using `verifier` for signature
     /// checks — observably identical to the pre-sharding gateway.

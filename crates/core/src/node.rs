@@ -5,7 +5,7 @@ use crate::config::{NodeConfig, RacKind};
 use crate::egress::{EgressGateway, OriginationSpec};
 use crate::ingress::IngressGateway;
 use crate::messages::{PcbMessage, PullReturn};
-use crate::path_service::{PathService, RegisteredPath};
+use crate::path_service::{RegisteredPath, ShardedPathService};
 use crate::rac::{AlgorithmFetcher, Rac, RacTiming, SharedAlgorithmStore};
 use irec_crypto::{KeyRegistry, Signer, Verifier};
 use irec_irvm::Program;
@@ -51,6 +51,31 @@ pub struct IrecNode {
     round: u64,
 }
 
+impl Clone for IrecNode {
+    /// Deep-clones the node's mutable state — ingress/egress databases, path service, RAC
+    /// caches, counters — so a cloned simulation snapshot evolves independently of the
+    /// original (the parallel PD campaign runs one clone per `(origin, target)` pair).
+    ///
+    /// Two pieces stay **shared** by design: the topology (immutable) and the on-demand
+    /// algorithm store (a shared publish/fetch registry keyed by `(origin, algorithm id)`;
+    /// publishers must use distinct ids across concurrently-running clones, which the PD
+    /// campaign guarantees via per-pair id bases).
+    fn clone(&self) -> Self {
+        IrecNode {
+            asn: self.asn,
+            config: self.config.clone(),
+            topology: Arc::clone(&self.topology),
+            ingress: self.ingress.clone(),
+            egress: self.egress.clone(),
+            racs: self.racs.clone(),
+            interface_groups: self.interface_groups.clone(),
+            extra_originations: self.extra_originations.clone(),
+            algorithm_store: self.algorithm_store.clone(),
+            round: self.round,
+        }
+    }
+}
+
 impl IrecNode {
     /// Creates a node for `asn` with the given configuration.
     ///
@@ -80,7 +105,13 @@ impl IrecNode {
             racs.push(rac);
         }
         let ingress = IngressGateway::with_shards(asn, verifier, config.ingress_shard_count());
-        let egress = EgressGateway::new(asn, Arc::clone(&topology), signer, config.policy);
+        let egress = EgressGateway::with_path_shards(
+            asn,
+            Arc::clone(&topology),
+            signer,
+            config.policy,
+            config.path_shard_count(),
+        );
         Ok(IrecNode {
             asn,
             config,
@@ -106,7 +137,7 @@ impl IrecNode {
     }
 
     /// The node's path service (registered paths available to endpoints).
-    pub fn path_service(&self) -> &PathService {
+    pub fn path_service(&self) -> &ShardedPathService {
         self.egress.path_service()
     }
 
@@ -203,28 +234,49 @@ impl IrecNode {
     }
 
     /// Handles a pull-based beacon returned by its target (§IV-B): the completed path is
-    /// registered at the local path service, tagged as pull-based.
-    pub fn handle_pull_return(&mut self, ret: PullReturn, now: SimTime) {
+    /// registered at the local path service, tagged as pull-based. Takes `&self` — the
+    /// path service is sharded per destination behind interior locks, so pull-return
+    /// commits for different destinations can run concurrently (the delivery plane's
+    /// sharded apply stage relies on this).
+    pub fn handle_pull_return(&self, ret: PullReturn, now: SimTime) {
+        let shard = self.path_shard_of(ret.from_as);
+        self.handle_pull_return_in_shard(shard, ret, now);
+    }
+
+    /// [`IrecNode::handle_pull_return`] with the path-service shard precomputed by the
+    /// caller (the delivery plane partitions a whole epoch's pull returns into
+    /// per-`(destination AS, path shard)` inboxes before fanning the commits out).
+    /// Registrations for the same shard must be applied in delivery order; different
+    /// shards never contend.
+    pub fn handle_pull_return_in_shard(&self, shard: usize, ret: PullReturn, now: SimTime) {
         let pcb = &ret.pcb;
         let Some(origin_interface) = pcb.origin_interface() else {
             return;
         };
         // The returned beacon describes a path from this AS (the beacon origin) to the
         // target; register it with the target as the destination.
-        self.egress.path_service_mut().register(RegisteredPath {
-            pcb_id: pcb.digest(),
-            destination: ret.from_as,
-            destination_interface: ret.target_ingress,
-            local_interface: origin_interface,
-            algorithm: "PD".to_string(),
-            group: pcb
-                .extensions
-                .interface_group
-                .unwrap_or(irec_types::InterfaceGroupId::DEFAULT),
-            metrics: pcb.path_metrics(),
-            links: pcb.link_keys(),
-            registered_at: now,
-        });
+        self.egress.path_service().register_in_shard(
+            shard,
+            RegisteredPath {
+                pcb_id: pcb.digest(),
+                destination: ret.from_as,
+                destination_interface: ret.target_ingress,
+                local_interface: origin_interface,
+                algorithm: "PD".to_string(),
+                group: pcb
+                    .extensions
+                    .interface_group
+                    .unwrap_or(irec_types::InterfaceGroupId::DEFAULT),
+                metrics: pcb.path_metrics(),
+                links: pcb.link_keys(),
+                registered_at: now,
+            },
+        );
+    }
+
+    /// The path-service shard a path towards `destination` registers in.
+    pub fn path_shard_of(&self, destination: irec_types::AsId) -> usize {
+        self.egress.path_service().shard_of(destination)
     }
 
     /// Runs one beaconing round: originate fresh beacons, run every RAC over the ingress
@@ -386,7 +438,7 @@ mod tests {
 
     #[test]
     fn pull_return_registers_a_pd_path() {
-        let (mut node, _, registry, _) = setup(1, NodeConfig::default());
+        let (node, _, registry, _) = setup(1, NodeConfig::default());
         // Build a pull-based beacon originated by AS1 that reached its target AS3.
         let signer = Signer::new(AsId(1), registry.clone());
         let mut pcb = irec_pcb::Pcb::originate(

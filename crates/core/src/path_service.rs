@@ -1,8 +1,18 @@
 //! The path service: where the egress gateway registers discovered paths so that endpoints
 //! can query them (§III "Endpoint Path Selection", §V-D "Path Registration").
+//!
+//! The service is sharded **per destination AS** behind the [`ShardedPathService`] facade —
+//! the same recipe as [`crate::beacon_db::ShardedIngressDb`], which shards per origin AS.
+//! Every registration for one destination lands in the same shard (deterministic
+//! `splitmix64` placement), so pull returns and RAC registrations targeting *different*
+//! destinations commit concurrently through `&self`, while the facade preserves the
+//! single-map API with iteration order byte-identical to an unsharded [`PathService`] for
+//! any shard count.
 
+use crate::beacon_db::splitmix64;
 use irec_pcb::PcbId;
 use irec_types::{AsId, IfId, InterfaceGroupId, PathMetrics, SimTime};
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
 /// A path registered at the local path service, tagged with the criteria (RAC) it was
@@ -33,18 +43,24 @@ pub struct RegisteredPath {
 /// interface group" (20 in the evaluation).
 type RegistrationKey = (String, AsId, InterfaceGroupId);
 
-/// The path service of one AS.
-#[derive(Debug, Default)]
+/// The default per-key registration limit of the paper's evaluation.
+const DEFAULT_LIMIT_PER_KEY: usize = 20;
+
+/// The path service of one AS (one shard of a [`ShardedPathService`], or a standalone
+/// unsharded reference).
+#[derive(Debug, Clone, Default)]
 pub struct PathService {
     limit_per_key: usize,
     paths: BTreeMap<RegistrationKey, Vec<RegisteredPath>>,
+    /// Registrations evicted because their key hit the per-key limit.
+    evicted: u64,
 }
 
 impl PathService {
     /// Creates a path service with the paper's default limit of 20 paths per
     /// (RAC, destination, interface group).
     pub fn new() -> Self {
-        Self::with_limit(20)
+        Self::with_limit(DEFAULT_LIMIT_PER_KEY)
     }
 
     /// Creates a path service with a custom per-key limit.
@@ -52,6 +68,7 @@ impl PathService {
         PathService {
             limit_per_key: limit_per_key.max(1),
             paths: BTreeMap::new(),
+            evicted: 0,
         }
     }
 
@@ -84,6 +101,7 @@ impl PathService {
                 .min_by_key(|(_, p)| p.registered_at)
             {
                 entry.remove(idx);
+                self.evicted += 1;
             }
         }
         entry.push(path);
@@ -128,6 +146,187 @@ impl PathService {
         v.sort_unstable();
         v.dedup();
         v
+    }
+
+    /// Number of registrations evicted so far because their key hit the per-key limit.
+    pub fn evictions(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Owned snapshots of every `(key, registrations)` entry, in key order (the sharded
+    /// facade merges these across shards).
+    fn entries(&self) -> Vec<(RegistrationKey, Vec<RegisteredPath>)> {
+        self.paths
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// Hard cap on path-service shards, matching the ingress database's cap: beyond this the
+/// per-shard maps are so small that the fan-out bookkeeping dominates any concurrency win.
+pub const MAX_PATH_SHARDS: usize = 256;
+
+/// A sharded path service: `N` independent [`PathService`] shards keyed by
+/// **destination-AS** hash, each behind its own `parking_lot::RwLock`.
+///
+/// Every registration towards one destination lands in the same shard (the registered
+/// path's `destination` determines placement via the same deterministic `splitmix64`
+/// finalizer the ingress database uses), so registrations — RAC selections and pull
+/// returns alike — for *different* destinations are independent and can commit
+/// concurrently through `&self`. The facade preserves the single-map API with
+/// **deterministic, shard-merged iteration order**: [`ShardedPathService::all`] returns
+/// the global ascending `(algorithm, destination, group)` key order (keys are globally
+/// unique and each lives in exactly one shard, so sorting the merged entries reproduces
+/// exactly what one `BTreeMap` would iterate), per-destination queries stay entirely
+/// within the destination's shard (whose relative key order already matches the single
+/// map), and counters reduce over shards in fixed index order. A service with any shard
+/// count is observably byte-identical to the unsharded reference — pinned by the proptest
+/// suite in `crates/core/tests/proptests.rs`.
+#[derive(Debug)]
+pub struct ShardedPathService {
+    shards: Vec<RwLock<PathService>>,
+}
+
+impl Default for ShardedPathService {
+    /// A single-shard service — observably identical to a plain [`PathService`].
+    fn default() -> Self {
+        ShardedPathService::new(1)
+    }
+}
+
+impl Clone for ShardedPathService {
+    /// Deep-clones every shard's contents (used by `Simulation`'s snapshot clone for the
+    /// parallel PD campaign). The clone shares nothing with the original.
+    fn clone(&self) -> Self {
+        ShardedPathService {
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| RwLock::new(shard.read().clone()))
+                .collect(),
+        }
+    }
+}
+
+impl ShardedPathService {
+    /// Creates an empty service with `shards` shards (clamped to `1..=`
+    /// [`MAX_PATH_SHARDS`]) and the paper's default per-key limit. Any shard count —
+    /// powers of two or not — yields the same observable contents; the count only changes
+    /// how concurrent registration can get.
+    pub fn new(shards: usize) -> Self {
+        Self::with_limit(DEFAULT_LIMIT_PER_KEY, shards)
+    }
+
+    /// Creates an empty service with a custom per-key limit and shard count.
+    pub fn with_limit(limit_per_key: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, MAX_PATH_SHARDS);
+        ShardedPathService {
+            shards: (0..shards)
+                .map(|_| RwLock::new(PathService::with_limit(limit_per_key)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index paths towards `destination` live in.
+    pub fn shard_of(&self, destination: AsId) -> usize {
+        (splitmix64(destination.value()) % self.shards.len() as u64) as usize
+    }
+
+    /// Registers (or refreshes) a path in its destination's shard. Takes `&self`:
+    /// concurrent registrations for different destinations' shards do not contend.
+    pub fn register(&self, path: RegisteredPath) {
+        let shard = self.shard_of(path.destination);
+        self.register_in_shard(shard, path);
+    }
+
+    /// [`ShardedPathService::register`] with the shard precomputed by the caller (the
+    /// delivery plane partitions a whole epoch's pull returns by shard before fanning the
+    /// commits out).
+    pub fn register_in_shard(&self, shard: usize, path: RegisteredPath) {
+        debug_assert_eq!(
+            shard,
+            self.shard_of(path.destination),
+            "path registered in a foreign shard"
+        );
+        self.shards[shard].write().register(path);
+    }
+
+    /// All paths towards `destination`, across all RACs and groups — entirely within the
+    /// destination's shard, in the same `(algorithm, group)` order as the unsharded map.
+    pub fn paths_to(&self, destination: AsId) -> Vec<RegisteredPath> {
+        self.shards[self.shard_of(destination)]
+            .read()
+            .paths_to(destination)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// All paths towards `destination` registered by a specific RAC.
+    pub fn paths_to_by(&self, destination: AsId, algorithm: &str) -> Vec<RegisteredPath> {
+        self.shards[self.shard_of(destination)]
+            .read()
+            .paths_to_by(destination, algorithm)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Every registered path, in the global ascending `(algorithm, destination, group)`
+    /// key order — byte-identical to what the unsharded map iterates, for any shard count.
+    pub fn all(&self) -> Vec<RegisteredPath> {
+        let mut entries: Vec<(RegistrationKey, Vec<RegisteredPath>)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.read().entries())
+            .collect();
+        // Keys are globally unique (each destination lives in exactly one shard), so this
+        // sort is a pure merge reproducing the single-map BTreeMap order.
+        entries.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        entries.into_iter().flat_map(|(_, paths)| paths).collect()
+    }
+
+    /// Total number of registered paths, reduced over shards in index order.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|shard| shard.read().len()).sum()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of paths registered in one shard (occupancy introspection for tests and the
+    /// sharding stress suite).
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].read().len()
+    }
+
+    /// The distinct destination ASes reachable through registered paths, ascending.
+    pub fn destinations(&self) -> Vec<AsId> {
+        let mut v: Vec<AsId> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.read().destinations())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Total number of limit evictions, reduced over shards in index order — the
+    /// shard-count-independent figure the unsharded service would report.
+    pub fn evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.read().evictions())
+            .sum()
     }
 }
 
@@ -213,5 +412,89 @@ mod tests {
         assert!(ps.is_empty());
         assert!(ps.paths_to(AsId(1)).is_empty());
         assert!(ps.destinations().is_empty());
+    }
+
+    #[test]
+    fn eviction_counter_tracks_limit_evictions_only() {
+        let mut ps = PathService::with_limit(2);
+        ps.register(path(1, "HD", 1, 0));
+        ps.register(path(1, "HD", 2, 10));
+        assert_eq!(ps.evictions(), 0);
+        ps.register(path(1, "HD", 3, 20));
+        assert_eq!(ps.evictions(), 1);
+        // A refresh never evicts.
+        ps.register(path(1, "HD", 3, 30));
+        assert_eq!(ps.evictions(), 1);
+    }
+
+    #[test]
+    fn sharded_service_clamps_shard_count_and_places_destinations_stably() {
+        assert_eq!(ShardedPathService::new(0).shard_count(), 1);
+        assert_eq!(
+            ShardedPathService::new(100_000).shard_count(),
+            MAX_PATH_SHARDS
+        );
+        let ps = ShardedPathService::new(7);
+        for destination in 1..200u64 {
+            let shard = ps.shard_of(AsId(destination));
+            assert!(shard < 7);
+            // Placement is a pure function of the destination.
+            assert_eq!(ps.shard_of(AsId(destination)), shard);
+        }
+        // The hash actually spreads destinations (not everything in one shard).
+        let used: std::collections::HashSet<usize> =
+            (1..200u64).map(|d| ps.shard_of(AsId(d))).collect();
+        assert!(used.len() > 1);
+    }
+
+    #[test]
+    fn sharded_service_matches_single_map_for_any_shard_count() {
+        for shards in [1usize, 2, 4, 7, 16] {
+            let mut reference = PathService::with_limit(2);
+            let sharded = ShardedPathService::with_limit(2, shards);
+            for destination in 1..=6u64 {
+                for (id_byte, alg) in [(1u8, "1SP"), (2, "HD"), (3, "HD"), (4, "HD"), (2, "PD")] {
+                    let p = path(destination, alg, id_byte, u64::from(id_byte));
+                    reference.register(p.clone());
+                    sharded.register(p);
+                }
+            }
+            assert_eq!(sharded.len(), reference.len(), "len at {shards} shards");
+            assert_eq!(
+                sharded.all(),
+                reference.all().into_iter().cloned().collect::<Vec<_>>()
+            );
+            assert_eq!(sharded.destinations(), reference.destinations());
+            assert_eq!(sharded.evictions(), reference.evictions());
+            for destination in 1..=6u64 {
+                assert_eq!(
+                    sharded.paths_to(AsId(destination)),
+                    reference
+                        .paths_to(AsId(destination))
+                        .into_iter()
+                        .cloned()
+                        .collect::<Vec<_>>()
+                );
+                assert_eq!(
+                    sharded.paths_to_by(AsId(destination), "HD"),
+                    reference
+                        .paths_to_by(AsId(destination), "HD")
+                        .into_iter()
+                        .cloned()
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_service_clone_shares_nothing() {
+        let ps = ShardedPathService::new(4);
+        ps.register(path(1, "1SP", 1, 0));
+        let cloned = ps.clone();
+        assert_eq!(cloned.len(), 1);
+        cloned.register(path(2, "1SP", 2, 0));
+        assert_eq!(cloned.len(), 2);
+        assert_eq!(ps.len(), 1, "clone mutations must not leak back");
     }
 }

@@ -222,6 +222,23 @@ pub struct Rac {
     ignore_extensions: bool,
 }
 
+impl Clone for Rac {
+    /// Clones the container for an independent simulation snapshot: the immutable pieces —
+    /// configuration, static algorithm, fetcher — are shared (`Arc` bumps), and the
+    /// on-demand instantiation cache is copied entry-wise (cached `IrvmAlgorithm`s are
+    /// themselves immutable and shared), so warm caches carry over without coupling the
+    /// clone's future instantiations to the original.
+    fn clone(&self) -> Self {
+        Rac {
+            config: self.config.clone(),
+            static_algorithm: self.static_algorithm.clone(),
+            fetcher: self.fetcher.clone(),
+            cache: RwLock::new(self.cache.read().clone()),
+            ignore_extensions: self.ignore_extensions,
+        }
+    }
+}
+
 impl Rac {
     /// Creates a static RAC, resolving the configured algorithm through the catalog.
     pub fn new_static(config: RacConfig) -> Result<Self> {

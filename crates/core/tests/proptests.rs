@@ -8,9 +8,14 @@
 //!   deleted, for any interleaving of insertions and (even non-monotonic) eviction sweeps.
 
 use irec_core::beacon_db::BatchKey;
-use irec_core::{EgressDb, IngressDb, PcbMessage, PullReturn, RacTiming, ShardedIngressDb};
-use irec_pcb::{Pcb, PcbExtensions};
-use irec_types::{AsId, IfId, InterfaceGroupId, SimDuration, SimTime};
+use irec_core::{
+    EgressDb, IngressDb, PathService, PcbMessage, PullReturn, RacTiming, RegisteredPath,
+    ShardedIngressDb, ShardedPathService,
+};
+use irec_pcb::{Pcb, PcbExtensions, PcbId};
+use irec_types::{
+    AsId, Bandwidth, IfId, InterfaceGroupId, Latency, PathMetrics, SimDuration, SimTime,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -247,6 +252,67 @@ proptest! {
         }
     }
 
+    /// The destination-sharded path service is observably byte-identical to the
+    /// single-map reference for **any** shard count: for a random registration sequence —
+    /// fresh paths, refreshes and limit evictions included — shard counts 1, 2, 4, 7 and
+    /// 16 all produce the same `all()` *order*, the same per-destination lookups, the
+    /// same destination list and the same limit-eviction counts as one `PathService`.
+    #[test]
+    fn sharded_path_service_matches_single_map_reference(
+        ops in proptest::collection::vec(
+            // (destination, algorithm index, path id, registration hour)
+            (1u64..8, 0usize..4, 0u64..24, 0u64..10),
+            1..60,
+        ),
+        limit in 1usize..5,
+    ) {
+        for shards in [1usize, 2, 4, 7, 16] {
+            let mut reference = PathService::with_limit(limit);
+            let sharded = ShardedPathService::with_limit(limit, shards);
+            prop_assert_eq!(sharded.shard_count(), shards);
+            for (destination, alg, id, hour) in &ops {
+                let path = test_path(*destination, *alg, *id, *hour);
+                reference.register(path.clone());
+                sharded.register(path);
+                prop_assert_eq!(sharded.len(), reference.len());
+                prop_assert_eq!(
+                    sharded.evictions(),
+                    reference.evictions(),
+                    "eviction counts diverged at {} shards", shards
+                );
+            }
+            // Deterministic, shard-merged iteration order: the exact registration
+            // sequence of the single map, not just the same set.
+            prop_assert_eq!(
+                sharded.all(),
+                reference.all().into_iter().cloned().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(sharded.destinations(), reference.destinations());
+            prop_assert_eq!(sharded.is_empty(), reference.is_empty());
+            for destination in 1u64..8 {
+                prop_assert_eq!(
+                    sharded.paths_to(AsId(destination)),
+                    reference
+                        .paths_to(AsId(destination))
+                        .into_iter()
+                        .cloned()
+                        .collect::<Vec<_>>(),
+                    "paths_to({}) diverged at {} shards", destination, shards
+                );
+                for algorithm in PATH_ALGORITHMS {
+                    prop_assert_eq!(
+                        sharded.paths_to_by(AsId(destination), algorithm),
+                        reference
+                            .paths_to_by(AsId(destination), algorithm)
+                            .into_iter()
+                            .cloned()
+                            .collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+    }
+
     /// Model-checked egress bookkeeping: for any interleaving of `filter_new_egresses` and
     /// eviction sweeps (including re-appearing digests and non-monotonic sweep times), the
     /// `removed` count equals the number of hashes actually deleted and `len()` tracks a
@@ -287,6 +353,38 @@ proptest! {
         let removed = db.evict_expired(SimTime::MAX);
         prop_assert_eq!(removed, model.len());
         prop_assert!(db.is_empty());
+    }
+}
+
+/// The algorithm names the path-service proptest registers under (a fixed palette keeps
+/// refreshes likely while still spreading registrations over several keys).
+const PATH_ALGORITHMS: [&str; 4] = ["1SP", "5SP", "HD", "PD"];
+
+/// A registered path whose identity (digest and link sequence) varies by
+/// `(destination, algorithm, id)`: re-registering the same triple refreshes, different
+/// triples never collide.
+fn test_path(destination: u64, alg: usize, id: u64, at_hours: u64) -> RegisteredPath {
+    let mut digest = [0u8; 32];
+    digest[..8].copy_from_slice(&destination.to_le_bytes());
+    digest[8..16].copy_from_slice(&id.to_le_bytes());
+    digest[16] = alg as u8;
+    RegisteredPath {
+        pcb_id: PcbId(irec_crypto::Digest(digest)),
+        destination: AsId(destination),
+        destination_interface: IfId(1),
+        local_interface: IfId(2),
+        algorithm: PATH_ALGORITHMS[alg].to_string(),
+        group: InterfaceGroupId::DEFAULT,
+        metrics: PathMetrics {
+            latency: Latency::from_millis(5 + id),
+            bandwidth: Bandwidth::from_mbps(100),
+            hops: 2,
+        },
+        links: vec![
+            (AsId(destination), IfId(id as u32)),
+            (AsId(500 + alg as u64), IfId(1)),
+        ],
+        registered_at: SimTime::ZERO + SimDuration::from_hours(at_hours),
     }
 }
 

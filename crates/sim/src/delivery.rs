@@ -20,20 +20,28 @@
 //!    `(SimTime, seq)` order; with more, a serial accounting pass partitions the epoch's
 //!    commits into per-`(destination AS, ingress shard)` inboxes — the ingress database is
 //!    sharded by origin-AS hash (`irec_core::ShardedIngressDb`) — and the inboxes commit
-//!    concurrently over scoped workers via [`IrecNode::apply_message_in_shard`].
+//!    concurrently over scoped workers via [`IrecNode::apply_message_in_shard`]. Pull
+//!    returns commit the same way: the path service is sharded by **destination-AS** hash
+//!    (`irec_core::ShardedPathService`), so the accounting pass partitions them into
+//!    per-`(destination AS, path shard)` inboxes committed concurrently via
+//!    [`IrecNode::handle_pull_return_in_shard`] instead of serializing in the accounting
+//!    pass.
 //!
 //! **Determinism.** The apply stage preserves `(SimTime, seq)` order *within* each
 //! `(node, shard)` inbox, and commits across different inboxes touch disjoint state: the
-//! dedup set and the statistics both live in the origin's shard, and every beacon of one
-//! origin lands in the same shard. The verify stage is pure: a verdict depends only on the
-//! message, its delivery time, and immutable node state (keys, policy) — never on what
-//! other in-flight messages of the same epoch commit. Delivery counters are accounted in
-//! the serial pass in epoch order. A run with any `parallelism` value — and any ingress
-//! shard count — is therefore byte-identical to a sequential run, which
-//! `tests/delivery_determinism.rs` and the CI determinism job both enforce.
+//! dedup set and the statistics both live in the origin's shard, every beacon of one
+//! origin lands in the same shard, and every pull return for one destination lands in the
+//! same path shard (registrations for different path-service keys commute observably —
+//! the map is key-sorted — and same-key registrations keep epoch order). The verify stage
+//! is pure: a verdict depends only on the message, its delivery time, and immutable node
+//! state (keys, policy) — never on what other in-flight messages of the same epoch
+//! commit. Delivery counters are accounted in the serial pass in epoch order. A run with
+//! any `parallelism` value — and any ingress/path shard count — is therefore
+//! byte-identical to a sequential run, which `tests/delivery_determinism.rs`,
+//! `tests/pd_determinism.rs` and the CI determinism job all enforce.
 
 use crate::event::{Event, EventQueue};
-use irec_core::{IrecNode, PcbMessage};
+use irec_core::{IrecNode, PcbMessage, PullReturn};
 use irec_types::{AsId, Result, SimTime};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -71,8 +79,9 @@ impl DeliveryStats {
 }
 
 /// The message-delivery plane: the deterministic event queue plus the epoch pipeline that
-/// drains it.
-#[derive(Debug)]
+/// drains it. Cloning copies the pending events and accounting, so a cloned simulation
+/// snapshot delivers identically.
+#[derive(Debug, Clone)]
 pub struct DeliveryPlane {
     queue: EventQueue,
     /// Worker threads for the verify stage; `<= 1` verifies inline during the apply walk.
@@ -178,15 +187,18 @@ impl DeliveryPlane {
     }
 
     /// The sharded apply stage: one serial pass over the epoch in `(SimTime, seq)` order
-    /// accounts every outcome (exactly as the sequential walk would), handles pull returns,
-    /// and partitions PCB commits into per-`(destination AS, ingress shard)` inboxes; the
-    /// inboxes then commit concurrently over scoped workers. Each inbox preserves epoch
+    /// accounts every outcome (exactly as the sequential walk would) and partitions the
+    /// commits into shard inboxes — PCB commits into per-`(destination AS, ingress shard)`
+    /// inboxes, pull returns into per-`(destination AS, path shard)` inboxes; all inboxes
+    /// then commit concurrently over one scoped worker pool. Each inbox preserves epoch
     /// order internally, and different inboxes touch disjoint node state (the origin's
-    /// shard owns both the dedup set and the stats), so the result is byte-identical to the
-    /// sequential walk for any worker count and any shard count.
+    /// ingress shard owns the dedup set and stats; the destination's path shard owns the
+    /// registrations), so the result is byte-identical to the sequential walk for any
+    /// worker count and any shard count.
     ///
     /// Outcome accounting needs no commit result: `IrecNode::apply_message` fails exactly
-    /// when the precomputed verdict is an error (duplicates commit as `Ok`), so
+    /// when the precomputed verdict is an error (duplicates commit as `Ok`), and pull
+    /// returns count as delivered whether or not the beacon yields a registrable path, so
     /// delivered/rejected are known in the serial pass.
     fn apply_epoch_sharded(
         &mut self,
@@ -194,14 +206,26 @@ impl DeliveryPlane {
         epoch: Vec<(SimTime, Event)>,
         mut verdicts: Vec<Option<Result<()>>>,
     ) {
-        /// One pending commit: delivery time, message, precomputed verdict.
+        /// One pending PCB commit: delivery time, message, precomputed verdict.
         type Commit = (SimTime, PcbMessage, Result<()>);
-        struct ShardInbox {
+        /// One pending pull-return registration.
+        type ReturnCommit = (SimTime, PullReturn);
+        struct ShardInbox<T> {
             asn: AsId,
             shard: usize,
-            items: Mutex<Vec<Commit>>,
+            items: Mutex<Vec<T>>,
         }
-        let mut inboxes: BTreeMap<(AsId, usize), Vec<Commit>> = BTreeMap::new();
+        fn into_inboxes<T>(map: BTreeMap<(AsId, usize), Vec<T>>) -> Vec<ShardInbox<T>> {
+            map.into_iter()
+                .map(|((asn, shard), items)| ShardInbox {
+                    asn,
+                    shard,
+                    items: Mutex::new(items),
+                })
+                .collect()
+        }
+        let mut commits: BTreeMap<(AsId, usize), Vec<Commit>> = BTreeMap::new();
+        let mut returns: BTreeMap<(AsId, usize), Vec<ReturnCommit>> = BTreeMap::new();
         for (index, (at, event)) in epoch.into_iter().enumerate() {
             match event {
                 Event::DeliverPcb(message) => match nodes.get(&message.to_as) {
@@ -215,51 +239,63 @@ impl DeliveryPlane {
                             Err(_) => self.stats.rejected += 1,
                         }
                         let shard = node.ingress_shard_of(message.pcb.origin);
-                        inboxes
+                        commits
                             .entry((message.to_as, shard))
                             .or_default()
                             .push((at, message, verdict));
                     }
                     None => self.stats.dropped_no_node += 1,
                 },
-                Event::DeliverPullReturn(ret) => match nodes.get_mut(&ret.to_as) {
+                Event::DeliverPullReturn(ret) => match nodes.get(&ret.to_as) {
                     Some(node) => {
-                        node.handle_pull_return(ret, at);
                         self.stats.delivered += 1;
+                        // The registered path's destination is the AS the return came
+                        // from; that AS determines the path-service shard.
+                        let shard = node.path_shard_of(ret.from_as);
+                        returns
+                            .entry((ret.to_as, shard))
+                            .or_default()
+                            .push((at, ret));
                     }
                     None => self.stats.dropped_no_node += 1,
                 },
             }
         }
-        if inboxes.is_empty() {
+        if commits.is_empty() && returns.is_empty() {
             return;
         }
-        let inboxes: Vec<ShardInbox> = inboxes
-            .into_iter()
-            .map(|((asn, shard), items)| ShardInbox {
-                asn,
-                shard,
-                items: Mutex::new(items),
-            })
-            .collect();
-        let workers = self.parallelism.min(MAX_WORKERS).min(inboxes.len()).max(1);
+        let commits = into_inboxes(commits);
+        let returns = into_inboxes(returns);
+        let total_inboxes = commits.len() + returns.len();
+        let workers = self.parallelism.min(MAX_WORKERS).min(total_inboxes).max(1);
         let cursor = AtomicUsize::new(0);
         let nodes = &*nodes;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // One claim space over both inbox kinds: PCB-commit inboxes first,
+                    // then pull-return inboxes.
                     let claimed = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(inbox) = inboxes.get(claimed) else {
+                    if let Some(inbox) = commits.get(claimed) {
+                        let node = nodes
+                            .get(&inbox.asn)
+                            .expect("inbox destinations checked in the accounting pass");
+                        let items = std::mem::take(&mut *inbox.items.lock());
+                        for (at, message, verdict) in items {
+                            // The outcome was already accounted; the commit mutates only
+                            // the shard's dedup set, storage and gateway counters.
+                            let _ = node.apply_message_in_shard(inbox.shard, message, at, verdict);
+                        }
+                    } else if let Some(inbox) = returns.get(claimed - commits.len()) {
+                        let node = nodes
+                            .get(&inbox.asn)
+                            .expect("inbox destinations checked in the accounting pass");
+                        let items = std::mem::take(&mut *inbox.items.lock());
+                        for (at, ret) in items {
+                            node.handle_pull_return_in_shard(inbox.shard, ret, at);
+                        }
+                    } else {
                         break;
-                    };
-                    let node = nodes
-                        .get(&inbox.asn)
-                        .expect("inbox destinations checked in the accounting pass");
-                    let items = std::mem::take(&mut *inbox.items.lock());
-                    for (at, message, verdict) in items {
-                        // The outcome was already accounted; the commit mutates only the
-                        // shard's dedup set, storage and gateway counters.
-                        let _ = node.apply_message_in_shard(inbox.shard, message, at, verdict);
                     }
                 });
             }

@@ -16,7 +16,7 @@ pub enum Event {
 
 /// Internal heap entry; the sequence number makes ordering total and FIFO for equal times,
 /// which keeps the simulation deterministic.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Scheduled {
     at: SimTime,
     seq: u64,
@@ -44,8 +44,10 @@ impl Ord for Scheduled {
     }
 }
 
-/// A deterministic discrete-event queue.
-#[derive(Debug, Default)]
+/// A deterministic discrete-event queue. Cloning copies the pending events and the
+/// sequence counter, so a cloned simulation snapshot replays in-flight deliveries
+/// identically.
+#[derive(Debug, Clone, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     next_seq: u64,

@@ -21,7 +21,9 @@
 //! [`pd::PdWorkflow`] implements the iterative pull-based disjointness (PD) workflow of
 //! §VIII-B on top of the simulator: seed with HD paths, then repeatedly originate on-demand +
 //! pull-based beacons that avoid all links discovered so far, adding one new disjoint path
-//! per iteration.
+//! per iteration. [`pd::PdCampaign`] fans N independent `(origin, target)` workflows out
+//! over a scoped worker pool — each on its own [`Simulation`] clone — with results merged
+//! in pair order, byte-identical to the sequential loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,5 +35,5 @@ pub mod simulation;
 
 pub use delivery::{DeliveryPlane, DeliveryStats};
 pub use event::{Event, EventQueue};
-pub use pd::{PdResult, PdWorkflow};
+pub use pd::{PdCampaign, PdPairResult, PdResult, PdWorkflow};
 pub use simulation::{Simulation, SimulationConfig};

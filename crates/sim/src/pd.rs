@@ -14,17 +14,22 @@ use irec_core::OriginationSpec;
 use irec_metrics::RegisteredPath;
 use irec_pcb::PcbExtensions;
 use irec_types::{AlgorithmId, AsId, IfId, Result};
+use parking_lot::Mutex;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// The outcome of a PD workflow run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PdResult {
     /// The accumulated set of (approximately link-disjoint) paths from the origin to the
     /// target, in discovery order. Seed paths (from HD) come first.
     pub paths: Vec<RegisteredPath>,
     /// Number of pull iterations executed.
     pub iterations: usize,
-    /// Iterations that discovered no new path (the avoid set exhausted the topology).
+    /// Iterations that discovered no new path — because no returns arrived at all, or
+    /// because every return duplicated an already-known path (the avoid set exhausted the
+    /// topology either way).
     pub empty_iterations: usize,
 }
 
@@ -47,7 +52,8 @@ pub struct PdWorkflow {
     /// Beaconing rounds to run per iteration (enough for the pull beacons to reach the target
     /// and return).
     rounds_per_iteration: usize,
-    /// Stop after this many iterations without progress.
+    /// Stop after this many consecutive iterations without progress — iterations whose
+    /// only returns duplicate already-known paths count just like zero-return iterations.
     max_empty_iterations: usize,
     next_algorithm_id: u64,
 }
@@ -73,6 +79,17 @@ impl PdWorkflow {
         self
     }
 
+    /// Overrides the first algorithm id this workflow publishes its per-iteration
+    /// avoidance programs under. Workflows that may run concurrently — the PD campaign
+    /// runs one per `(origin, target)` pair on cloned simulation snapshots that **share**
+    /// the on-demand algorithm store — must use disjoint id ranges, or two workflows with
+    /// the same origin would overwrite each other's published modules mid-flight.
+    #[must_use]
+    pub fn with_algorithm_id_base(mut self, base: u64) -> Self {
+        self.next_algorithm_id = base;
+        self
+    }
+
     /// Runs the workflow: seeds from the origin's HD paths to the target, then iterates
     /// on-demand + pull-based rounds that avoid all links discovered so far.
     pub fn run(&mut self, sim: &mut Simulation) -> Result<PdResult> {
@@ -91,10 +108,20 @@ impl PdWorkflow {
             result.paths.push(seed);
         }
 
+        // Paths already known by link sequence: the seeds plus everything a previous PD
+        // run (or an overlapping campaign pair) already registered at the origin. An
+        // iteration only makes progress when it yields a path *not* in this set — a
+        // return that merely duplicates a known path counts as empty, exactly like a
+        // zero-return iteration.
+        let mut known: HashSet<Vec<(AsId, IfId)>> =
+            result.paths.iter().map(|p| p.links.clone()).collect();
+        for p in self.pd_paths_at_origin(sim)? {
+            known.insert(p.links);
+        }
+
         let mut consecutive_empty = 0usize;
         while result.paths.len() < self.max_paths && consecutive_empty < self.max_empty_iterations {
             result.iterations += 1;
-            let discovered_before = self.pd_paths_at_origin(sim).len();
 
             // Publish the per-iteration avoidance algorithm and originate on-demand,
             // pull-based beacons on every interface of the origin.
@@ -126,18 +153,19 @@ impl PdWorkflow {
 
             sim.run_rounds(self.rounds_per_iteration)?;
 
-            // Collect the pull returns registered during this iteration; keep only the first
-            // (lowest-latency among the new ones, deterministically) as the iteration's
-            // contribution.
-            let mut new_paths: Vec<RegisteredPath> = self
-                .pd_paths_at_origin(sim)
-                .into_iter()
-                .skip(discovered_before)
-                .filter(|p| !p.links.iter().any(|l| avoid.contains(l)))
-                .collect();
-            new_paths.sort_by_key(|p| p.metrics.latency);
+            // Harvest: among the paths now registered at the origin, keep the first
+            // genuinely new one (lowest latency, deterministically) as the iteration's
+            // contribution. Known link sequences — including re-registrations that only
+            // refreshed an existing path — never count as progress.
+            let candidates = self.pd_paths_at_origin(sim)?;
+            let candidate_links: Vec<Vec<(AsId, IfId)>> =
+                candidates.iter().map(|p| p.links.clone()).collect();
+            let selected = first_new_path(candidates, &known, &avoid);
+            // Everything observed this iteration is known from now on; a later iteration
+            // re-delivering one of these paths must not be able to claim it as progress.
+            known.extend(candidate_links);
 
-            if let Some(first) = new_paths.into_iter().next() {
+            if let Some(first) = selected {
                 avoid.extend(first.links.iter().copied());
                 result.paths.push(first);
                 consecutive_empty = 0;
@@ -152,10 +180,179 @@ impl PdWorkflow {
         Ok(result)
     }
 
-    fn pd_paths_at_origin(&self, sim: &Simulation) -> Vec<RegisteredPath> {
-        sim.registered_paths_by("PD")
+    /// The PD paths currently registered at the origin towards the target: a targeted
+    /// single-shard query on the origin node's path service — not a sim-wide
+    /// `registered_paths()` walk, which would clone every path of every node once per
+    /// pull iteration. The per-group order matches what the sim-wide walk filtered down
+    /// to, so the harvest sees candidates in the identical sequence.
+    fn pd_paths_at_origin(&self, sim: &Simulation) -> Result<Vec<RegisteredPath>> {
+        Ok(sim
+            .node(self.origin)?
+            .path_service()
+            .paths_to_by(self.target, "PD")
             .into_iter()
-            .filter(|p| p.holder == self.origin && p.origin == self.target)
+            .map(|p| RegisteredPath {
+                holder: self.origin,
+                origin: p.destination,
+                algorithm: p.algorithm,
+                group: p.group,
+                origin_interface: p.destination_interface,
+                holder_interface: p.local_interface,
+                metrics: p.metrics,
+                links: p.links,
+            })
+            .collect())
+    }
+}
+
+/// The harvest decision of one PD iteration: the lowest-latency candidate whose link
+/// sequence is neither already known nor touching the avoid set. `None` means the
+/// iteration made no progress — including when returns arrived but all of them duplicated
+/// already-known paths, which the old positional (`skip(count)`) harvest miscounted as
+/// progress whenever a duplicate registration shifted the registration order.
+fn first_new_path(
+    candidates: Vec<RegisteredPath>,
+    known: &HashSet<Vec<(AsId, IfId)>>,
+    avoid: &HashSet<(AsId, IfId)>,
+) -> Option<RegisteredPath> {
+    let mut fresh: Vec<RegisteredPath> = candidates
+        .into_iter()
+        .filter(|p| !known.contains(&p.links))
+        .filter(|p| !p.links.iter().any(|l| avoid.contains(l)))
+        .collect();
+    fresh.sort_by_key(|p| p.metrics.latency);
+    fresh.into_iter().next()
+}
+
+/// Hard cap on campaign workers, matching the other execution engines' caps.
+pub const MAX_CAMPAIGN_WORKERS: usize = 64;
+
+/// Everything one `(origin, target)` pair of a campaign produced.
+#[derive(Debug, Clone)]
+pub struct PdPairResult {
+    /// The AS that ran the pull workflow.
+    pub origin: AsId,
+    /// The target AS disjoint paths were discovered towards.
+    pub target: AsId,
+    /// The workflow outcome (paths, iteration counts).
+    pub result: PdResult,
+    /// Non-zero per-interface-per-period pull-beacon overhead samples of the pair's run
+    /// (the PD series of Fig. 8c).
+    pub pull_overhead: Vec<u64>,
+    /// Wall-clock time of the pair's run, snapshot clone included (feeds the fig8c
+    /// per-pair throughput table; **not** part of the deterministic fingerprint).
+    pub elapsed: Duration,
+}
+
+/// The Fig. 8 disjointness campaign: N independent `(origin, target)` pull workflows,
+/// each on its own clone of a warmed-up base simulation, fanned out over an engine-style
+/// scoped worker pool.
+///
+/// **Determinism.** Pairs never share mutable state: each workflow owns a full
+/// [`Simulation`] snapshot, and the only shared structure — the on-demand algorithm
+/// store — is partitioned by giving every pair a disjoint algorithm-id range
+/// ([`PdWorkflow::with_algorithm_id_base`]). Results land in per-pair slots and are
+/// merged in pair order, so a run with any `parallelism` value is byte-identical to the
+/// sequential pair-by-pair loop; errors surface deterministically (first failing pair in
+/// pair order wins). `tests/pd_determinism.rs` and the CI determinism job enforce this
+/// for `--pd-parallelism {1,4}` stacked with every other parallelism knob.
+pub struct PdCampaign {
+    pairs: Vec<(AsId, AsId)>,
+    max_paths: usize,
+    rounds_per_iteration: usize,
+    parallelism: usize,
+}
+
+impl PdCampaign {
+    /// Creates a campaign discovering up to `max_paths` disjoint paths for every pair.
+    pub fn new(pairs: Vec<(AsId, AsId)>, max_paths: usize) -> Self {
+        PdCampaign {
+            pairs,
+            max_paths,
+            rounds_per_iteration: 6,
+            parallelism: 1,
+        }
+    }
+
+    /// Overrides the number of beaconing rounds each workflow runs per pull iteration.
+    #[must_use]
+    pub fn with_rounds_per_iteration(mut self, rounds: usize) -> Self {
+        self.rounds_per_iteration = rounds.max(1);
+        self
+    }
+
+    /// Sets the campaign's worker count (clamped to `1..=`[`MAX_CAMPAIGN_WORKERS`]).
+    /// `1` runs the pairs sequentially; the output is byte-identical either way.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.clamp(1, MAX_CAMPAIGN_WORKERS);
+        self
+    }
+
+    /// The campaign's `(origin, target)` pairs, in run order.
+    pub fn pairs(&self) -> &[(AsId, AsId)] {
+        &self.pairs
+    }
+
+    /// The algorithm-id range pair `index` publishes its per-iteration programs under.
+    /// Ranges are disjoint across pairs (1M ids apiece — orders of magnitude beyond any
+    /// plausible iteration count), which keeps concurrently-running workflows of the same
+    /// origin from overwriting each other in the shared algorithm store.
+    fn algorithm_id_base(index: usize) -> u64 {
+        1_000 + index as u64 * 1_000_000
+    }
+
+    /// Runs every pair's workflow against its own clone of `base` and returns the results
+    /// in pair order. `base` itself is never mutated.
+    pub fn run(&self, base: &Simulation) -> Result<Vec<PdPairResult>> {
+        let run_pair = |index: usize, origin: AsId, target: AsId| -> Result<PdPairResult> {
+            let start = Instant::now();
+            let mut sim = base.clone();
+            let mut workflow = PdWorkflow::new(origin, target, self.max_paths)
+                .with_rounds_per_iteration(self.rounds_per_iteration)
+                .with_algorithm_id_base(Self::algorithm_id_base(index));
+            let result = workflow.run(&mut sim)?;
+            Ok(PdPairResult {
+                origin,
+                target,
+                result,
+                pull_overhead: sim.overhead_pull().nonzero_samples(),
+                elapsed: start.elapsed(),
+            })
+        };
+
+        let workers = self.parallelism.min(self.pairs.len()).max(1);
+        if workers <= 1 {
+            return self
+                .pairs
+                .iter()
+                .enumerate()
+                .map(|(index, &(origin, target))| run_pair(index, origin, target))
+                .collect();
+        }
+
+        // Engine-style fan-out: pairs are claimed through an atomic cursor and results
+        // land in slots indexed by pair, so the merge order is independent of scheduling.
+        let slots: Vec<Mutex<Option<Result<PdPairResult>>>> =
+            self.pairs.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(origin, target)) = self.pairs.get(index) else {
+                        break;
+                    };
+                    *slots[index].lock() = Some(run_pair(index, origin, target));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every pair slot is filled once the scope joins")
+            })
             .collect()
     }
 }
@@ -284,5 +481,146 @@ mod tests {
             empty_iterations: 0,
         };
         assert!(result.covered_links().is_empty());
+    }
+
+    fn harvest_path(latency_ms: u64, links: &[(u64, u32)]) -> RegisteredPath {
+        RegisteredPath {
+            holder: AsId(1),
+            origin: AsId(9),
+            algorithm: "PD".to_string(),
+            group: irec_types::InterfaceGroupId::DEFAULT,
+            origin_interface: IfId(1),
+            holder_interface: IfId(2),
+            metrics: irec_types::PathMetrics {
+                latency: irec_types::Latency::from_millis(latency_ms),
+                bandwidth: irec_types::Bandwidth::from_mbps(100),
+                hops: links.len() as u32,
+            },
+            links: links.iter().map(|&(a, i)| (AsId(a), IfId(i))).collect(),
+        }
+    }
+
+    /// Regression for the empty-iteration accounting edge: an iteration whose only
+    /// returns duplicate already-known paths yields no progress — `first_new_path` must
+    /// return `None` so the iteration counts toward `max_empty_iterations`.
+    #[test]
+    fn duplicate_only_returns_are_not_progress() {
+        let known_path = harvest_path(10, &[(2, 1), (9, 3)]);
+        let known: HashSet<Vec<(AsId, IfId)>> = [known_path.links.clone()].into();
+        let avoid = HashSet::new();
+        assert_eq!(
+            first_new_path(vec![known_path.clone(), known_path], &known, &avoid),
+            None
+        );
+    }
+
+    /// Regression for the positional-skip bug the set-based harvest replaces: a fresh
+    /// path must be found even when a duplicate registration shifted the registration
+    /// order so that the fresh path sorts *before* the already-known ones (the old
+    /// `skip(count)` harvest would skip the fresh path and resurrect a known one).
+    #[test]
+    fn fresh_path_is_found_regardless_of_registration_order() {
+        let known_path = harvest_path(5, &[(2, 1), (9, 3)]);
+        let fresh = harvest_path(20, &[(4, 2), (5, 1), (9, 7)]);
+        let known: HashSet<Vec<(AsId, IfId)>> = [known_path.links.clone()].into();
+        let avoid = HashSet::new();
+        for candidates in [
+            vec![fresh.clone(), known_path.clone()],
+            vec![known_path.clone(), fresh.clone()],
+        ] {
+            assert_eq!(
+                first_new_path(candidates, &known, &avoid),
+                Some(fresh.clone())
+            );
+        }
+        // A fresh link sequence touching the avoid set is still rejected.
+        let avoid: HashSet<(AsId, IfId)> = [(AsId(4), IfId(2))].into();
+        assert_eq!(first_new_path(vec![fresh], &known, &avoid), None);
+    }
+
+    /// End-to-end: a second workflow over an already-exhausted pair receives only
+    /// duplicate returns, and every such iteration counts as empty.
+    #[test]
+    fn duplicate_only_iterations_count_toward_termination() {
+        let mut sim = sim_with_hd_and_on_demand();
+        sim.run_rounds(6).unwrap();
+        let mut first =
+            PdWorkflow::new(figure1::SRC, figure1::DST, 20).with_rounds_per_iteration(3);
+        first.run(&mut sim).unwrap();
+
+        // The topology is exhausted: the second workflow's pulls can only re-deliver
+        // paths the first one already registered (a disjoint id range keeps its published
+        // programs from clobbering the first workflow's modules in the shared store).
+        let mut second = PdWorkflow::new(figure1::SRC, figure1::DST, 20)
+            .with_rounds_per_iteration(3)
+            .with_algorithm_id_base(500_000);
+        let result = second.run(&mut sim).unwrap();
+        assert!(
+            result.empty_iterations >= 1,
+            "duplicate-only iterations must count as empty"
+        );
+        assert_eq!(
+            result.iterations, result.empty_iterations,
+            "every iteration of the exhausted pair must be empty, got {result:?}"
+        );
+    }
+
+    fn pair_fingerprint(results: &[PdPairResult]) -> Vec<(AsId, AsId, PdResult, Vec<u64>)> {
+        results
+            .iter()
+            .map(|r| {
+                (
+                    r.origin,
+                    r.target,
+                    r.result.clone(),
+                    r.pull_overhead.clone(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn campaign_is_byte_identical_across_worker_counts_and_leaves_base_untouched() {
+        let mut base = sim_with_hd_and_on_demand();
+        base.run_rounds(6).unwrap();
+        let base_paths = base.registered_paths();
+        let base_rounds = base.rounds_run();
+
+        let pairs = vec![
+            (figure1::SRC, figure1::DST),
+            (figure1::DST, figure1::SRC),
+            (figure1::SRC, figure1::DST), // a duplicate pair must also be safe
+        ];
+        // `max_paths` above the HD seed count, so the workflows actually iterate and the
+        // comparison covers the pull pipeline, not just snapshot cloning.
+        let sequential = PdCampaign::new(pairs.clone(), 6)
+            .with_rounds_per_iteration(3)
+            .run(&base)
+            .unwrap();
+        assert_eq!(sequential.len(), pairs.len());
+        assert!(sequential.iter().any(|r| !r.result.paths.is_empty()));
+        assert!(
+            sequential
+                .iter()
+                .any(|r| r.result.iterations > 0 && !r.pull_overhead.is_empty()),
+            "no pair ran a pull iteration — the campaign comparison would be vacuous"
+        );
+
+        for parallelism in [2usize, 4, 8] {
+            let parallel = PdCampaign::new(pairs.clone(), 6)
+                .with_rounds_per_iteration(3)
+                .with_parallelism(parallelism)
+                .run(&base)
+                .unwrap();
+            assert_eq!(
+                pair_fingerprint(&parallel),
+                pair_fingerprint(&sequential),
+                "campaign diverged at parallelism {parallelism}"
+            );
+        }
+
+        // The base simulation is a read-only template: no clock movement, no new paths.
+        assert_eq!(base.rounds_run(), base_rounds);
+        assert_eq!(base.registered_paths(), base_paths);
     }
 }

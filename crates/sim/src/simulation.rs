@@ -71,6 +71,31 @@ pub struct Simulation {
     overhead_pull: OverheadCounter,
 }
 
+impl Clone for Simulation {
+    /// Snapshots the whole simulation: every node's databases, path services, RAC caches
+    /// and counters, the in-flight event queue, the clock and the overhead accounting are
+    /// deep-copied, so the clone evolves independently and deterministically from the
+    /// moment of the snapshot. The topology, the control-plane PKI and the on-demand
+    /// algorithm store stay shared (the first two are immutable after setup; the store is
+    /// an append-only registry whose publishers must use distinct algorithm ids across
+    /// concurrently-running clones — see [`crate::pd::PdCampaign`]).
+    ///
+    /// This is what powers the parallel PD campaign: each `(origin, target)` pair runs its
+    /// pull workflow on its own clone of the warmed-up base simulation.
+    fn clone(&self) -> Self {
+        Simulation {
+            topology: Arc::clone(&self.topology),
+            config: self.config,
+            nodes: self.nodes.clone(),
+            plane: self.plane.clone(),
+            clock: self.clock,
+            round: self.round,
+            overhead: self.overhead.clone(),
+            overhead_pull: self.overhead_pull.clone(),
+        }
+    }
+}
+
 impl Simulation {
     /// Builds a simulation with one node per AS, configured by `node_config`.
     pub fn new(
@@ -325,12 +350,12 @@ impl Simulation {
                 out.push(RegisteredPath {
                     holder: *asn,
                     origin: p.destination,
-                    algorithm: p.algorithm.clone(),
+                    algorithm: p.algorithm,
                     group: p.group,
                     origin_interface: p.destination_interface,
                     holder_interface: p.local_interface,
                     metrics: p.metrics,
-                    links: p.links.clone(),
+                    links: p.links,
                 });
             }
         }

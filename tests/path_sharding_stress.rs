@@ -1,0 +1,242 @@
+//! Concurrency stress tests for the destination-sharded path service: a hot-destination
+//! workload (one destination receiving most pull-return registrations, next to a handful
+//! of background destinations) hammered from scoped threads. The service must lose no
+//! registration, refresh — not duplicate — under racing double-registrations, report
+//! exact occupancy and limit-eviction counts afterwards, and the node-level pull-return
+//! commit path must match a serial single-shard reference byte for byte.
+
+use irec_core::path_service::{RegisteredPath, ShardedPathService};
+use irec_core::{IrecNode, NodeConfig, PropagationPolicy, PullReturn, SharedAlgorithmStore};
+use irec_crypto::{Digest, KeyRegistry, Signer};
+use irec_pcb::{Pcb, PcbExtensions, PcbId, StaticInfo};
+use irec_topology::builder::figure1_topology;
+use irec_types::{
+    AsId, Bandwidth, IfId, InterfaceGroupId, Latency, PathMetrics, SimDuration, SimTime,
+};
+use std::sync::Arc;
+
+/// The hot destination: most of the workload registers paths towards it.
+const HOT_DEST: AsId = AsId(70);
+const HOT_PATHS: u64 = 600;
+/// Background destinations with small path sets, so the workload crosses shard boundaries.
+const BACKGROUND_DESTS: u64 = 7;
+const BACKGROUND_PATHS: u64 = 24;
+
+fn path(destination: AsId, id: u64) -> RegisteredPath {
+    let mut digest = [0u8; 32];
+    digest[..8].copy_from_slice(&id.to_le_bytes());
+    digest[8..16].copy_from_slice(&destination.value().to_le_bytes());
+    RegisteredPath {
+        pcb_id: PcbId(Digest(digest)),
+        destination,
+        destination_interface: IfId(1),
+        local_interface: IfId(2),
+        algorithm: "PD".to_string(),
+        group: InterfaceGroupId::DEFAULT,
+        metrics: PathMetrics {
+            latency: Latency::from_millis(10 + id),
+            bandwidth: Bandwidth::from_mbps(100),
+            hops: 2,
+        },
+        // Distinct link sequences per (destination, id): registrations never refresh each
+        // other, so the expected occupancy is exact.
+        links: vec![(destination, IfId(id as u32)), (AsId(900 + id), IfId(1))],
+        registered_at: SimTime::ZERO,
+    }
+}
+
+fn workload() -> Vec<RegisteredPath> {
+    let mut paths = Vec::new();
+    for id in 0..HOT_PATHS {
+        paths.push(path(HOT_DEST, id));
+    }
+    for dest in 1..=BACKGROUND_DESTS {
+        for id in 0..BACKGROUND_PATHS {
+            paths.push(path(AsId(dest), id));
+        }
+    }
+    paths
+}
+
+fn distinct_count() -> usize {
+    (HOT_PATHS + BACKGROUND_DESTS * BACKGROUND_PATHS) as usize
+}
+
+/// Scoped threads hammer `register` so that **two** threads race every path — the second
+/// registration must refresh, not duplicate — while the limit stays out of reach. No
+/// registration may be lost and the occupancy must be exact for any shard count.
+#[test]
+fn hot_destination_hammering_loses_no_registrations() {
+    for shards in [1usize, 4, 7, 16] {
+        let service = ShardedPathService::with_limit(2_000, shards);
+        let paths = workload();
+        let writers = 8usize;
+        std::thread::scope(|scope| {
+            for writer in 0..writers {
+                let service = &service;
+                let paths = &paths;
+                scope.spawn(move || {
+                    // Writers w and w+4 register the same half of the workload: every path
+                    // is attempted exactly twice, by two different threads.
+                    for (index, p) in paths.iter().enumerate() {
+                        if index % (writers / 2) != writer % (writers / 2) {
+                            continue;
+                        }
+                        service.register(p.clone());
+                    }
+                });
+            }
+        });
+
+        assert_eq!(
+            service.len(),
+            distinct_count(),
+            "occupancy at {shards} shards"
+        );
+        assert_eq!(
+            service.paths_to(HOT_DEST).len(),
+            HOT_PATHS as usize,
+            "hot destination paths at {shards} shards"
+        );
+        assert_eq!(
+            service.paths_to_by(HOT_DEST, "PD").len(),
+            HOT_PATHS as usize
+        );
+        assert_eq!(
+            service.destinations().len(),
+            1 + BACKGROUND_DESTS as usize,
+            "destinations at {shards} shards"
+        );
+        assert_eq!(service.evictions(), 0, "no limit evictions expected");
+        // Shards partition the workload completely.
+        let sharded_total: usize = (0..service.shard_count())
+            .map(|s| service.shard_len(s))
+            .sum();
+        assert_eq!(sharded_total, distinct_count());
+    }
+}
+
+/// The per-key limit under concurrent registration: inserting N distinct paths into one
+/// `(RAC, destination, group)` key evicts exactly `N - limit` registrations, no matter how
+/// the racing writers interleave — the eviction *count* is order-independent even though
+/// which registrations survive is not observable here.
+#[test]
+fn limit_eviction_count_is_exact_under_concurrency() {
+    const LIMIT: usize = 20;
+    for shards in [1usize, 4, 7] {
+        let service = ShardedPathService::with_limit(LIMIT, shards);
+        let paths: Vec<RegisteredPath> = (0..HOT_PATHS).map(|id| path(HOT_DEST, id)).collect();
+        let writers = 4usize;
+        std::thread::scope(|scope| {
+            for writer in 0..writers {
+                let service = &service;
+                let paths = &paths;
+                scope.spawn(move || {
+                    for (index, p) in paths.iter().enumerate() {
+                        if index % writers == writer {
+                            service.register(p.clone());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(service.paths_to(HOT_DEST).len(), LIMIT);
+        assert_eq!(service.len(), LIMIT);
+        assert_eq!(
+            service.evictions(),
+            HOT_PATHS - LIMIT as u64,
+            "eviction count at {shards} shards"
+        );
+    }
+}
+
+/// The node-level commit path the delivery plane drives: pull returns partitioned into
+/// per-shard inboxes and committed from scoped threads must leave the path service
+/// byte-identical to a serial single-shard reference — same paths, same order.
+#[test]
+fn concurrent_pull_returns_match_serial_reference() {
+    let topology = Arc::new(figure1_topology());
+    let registry = KeyRegistry::with_ases(1, 16);
+    let store = SharedAlgorithmStore::new();
+    let node_with_shards = |path_shards: usize| -> IrecNode {
+        IrecNode::new(
+            AsId(1),
+            NodeConfig::default()
+                .with_policy(PropagationPolicy::All)
+                .with_path_shards(path_shards),
+            Arc::clone(&topology),
+            registry.clone(),
+            store.clone(),
+        )
+        .expect("node setup")
+    };
+
+    // The returned beacons: for each of six target ASes, a fan of pull returns whose
+    // beacons traverse distinct egress interfaces (distinct link sequences, so every
+    // return registers its own path). The fan stays below the per-key registration limit
+    // (20) so no path is evicted and the expected occupancy is exact.
+    let signer = Signer::new(AsId(1), registry.clone());
+    let mut returns: Vec<PullReturn> = Vec::new();
+    for target in 60..66u64 {
+        for seq in 0..18u64 {
+            let mut pcb = Pcb::originate(
+                AsId(1),
+                target * 1_000 + seq,
+                SimTime::ZERO,
+                SimTime::ZERO + SimDuration::from_hours(6),
+                PcbExtensions::none().with_target(AsId(target)),
+            );
+            pcb.extend(
+                IfId::NONE,
+                IfId(1 + seq as u32),
+                StaticInfo::origin(
+                    Latency::from_millis(5 + seq),
+                    Bandwidth::from_mbps(100),
+                    None,
+                ),
+                &signer,
+            )
+            .expect("beacon extension");
+            returns.push(PullReturn {
+                from_as: AsId(target),
+                to_as: AsId(1),
+                target_ingress: IfId(2),
+                pcb,
+            });
+        }
+    }
+
+    // Serial single-shard reference.
+    let reference = node_with_shards(1);
+    for ret in &returns {
+        reference.handle_pull_return(ret.clone(), SimTime::ZERO);
+    }
+    let reference_paths = reference.path_service().all();
+    assert_eq!(reference_paths.len(), returns.len());
+
+    for path_shards in [2usize, 4, 7] {
+        let node = node_with_shards(path_shards);
+        // Partition into per-shard inboxes (delivery order preserved within a shard),
+        // then commit every inbox on its own thread — the delivery plane's apply shape.
+        let mut inboxes: Vec<Vec<&PullReturn>> =
+            vec![Vec::new(); node.path_service().shard_count()];
+        for ret in &returns {
+            inboxes[node.path_shard_of(ret.from_as)].push(ret);
+        }
+        std::thread::scope(|scope| {
+            for (shard, inbox) in inboxes.iter().enumerate() {
+                let node = &node;
+                scope.spawn(move || {
+                    for ret in inbox {
+                        node.handle_pull_return_in_shard(shard, (*ret).clone(), SimTime::ZERO);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            node.path_service().all(),
+            reference_paths,
+            "paths diverged at {path_shards} path shards"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Acceptance tests for the parallel PD campaign engine and the destination-sharded path
+//! service: campaign results for `--pd-parallelism {1,4}` × `--path-shards {1,4,7}` must
+//! be byte-identical to the sequential unsharded run — same per-pair paths in the same
+//! order, same iteration counts, same pull-overhead samples — and the campaign facade must
+//! equal a hand-rolled sequential workflow-per-snapshot loop.
+
+use irec_core::{NodeConfig, RacConfig};
+use irec_metrics::RegisteredPath;
+use irec_sim::{PdCampaign, PdWorkflow, Simulation, SimulationConfig};
+use irec_topology::{GeneratorConfig, TopologyGenerator};
+use irec_types::AsId;
+use std::sync::Arc;
+
+const WARM_ROUNDS: usize = 3;
+const ROUNDS_PER_ITERATION: usize = 2;
+/// Must exceed the HD seed count of the warmed pairs, or the workflows finish on their
+/// seeds alone and the pull pipeline is never exercised (the matrix test asserts this).
+const MAX_PATHS: usize = 8;
+
+/// The campaign workload: a 12-AS generated topology with the paper's HD + on-demand
+/// deployment, warmed so HD has seeded paths. `delivery_parallelism > 1` routes the
+/// per-pair simulations' pull returns through the delivery plane's concurrent
+/// per-`(destination, path shard)` commit inboxes.
+fn warm_base(path_shards: usize, delivery_parallelism: usize) -> Simulation {
+    let topology = Arc::new(
+        TopologyGenerator::new(GeneratorConfig {
+            num_ases: 12,
+            seed: 5,
+            ..Default::default()
+        })
+        .generate(),
+    );
+    let mut sim = Simulation::new(
+        topology,
+        SimulationConfig::default().with_delivery_parallelism(delivery_parallelism),
+        move |_| {
+            NodeConfig::default()
+                .with_racs(vec![
+                    RacConfig::static_rac("HD", "HD"),
+                    RacConfig::on_demand_rac("on-demand"),
+                ])
+                .with_path_shards(path_shards)
+        },
+    )
+    .expect("simulation setup");
+    sim.run_rounds(WARM_ROUNDS).expect("warm-up rounds");
+    sim
+}
+
+/// Fixed pairs spanning the topology (including a duplicated pair, which must be safe).
+fn pairs(base: &Simulation) -> Vec<(AsId, AsId)> {
+    let ids = base.topology().as_ids();
+    vec![
+        (ids[0], ids[ids.len() - 1]),
+        (ids[1], ids[ids.len() / 2]),
+        (ids[ids.len() - 1], ids[0]),
+        (ids[0], ids[ids.len() - 1]),
+    ]
+}
+
+/// Everything deterministic about a campaign run (per-pair wall-clock excluded).
+type CampaignFingerprint = Vec<(AsId, AsId, Vec<RegisteredPath>, usize, usize, Vec<u64>)>;
+
+fn run_campaign(
+    path_shards: usize,
+    pd_parallelism: usize,
+    delivery_parallelism: usize,
+) -> CampaignFingerprint {
+    let base = warm_base(path_shards, delivery_parallelism);
+    let results = PdCampaign::new(pairs(&base), MAX_PATHS)
+        .with_rounds_per_iteration(ROUNDS_PER_ITERATION)
+        .with_parallelism(pd_parallelism)
+        .run(&base)
+        .expect("campaign run");
+    results
+        .into_iter()
+        .map(|pair| {
+            (
+                pair.origin,
+                pair.target,
+                pair.result.paths,
+                pair.result.iterations,
+                pair.result.empty_iterations,
+                pair.pull_overhead,
+            )
+        })
+        .collect()
+}
+
+/// The headline acceptance criterion: every `--pd-parallelism {1,4}` × `--path-shards
+/// {1,4,7}` combination reproduces the sequential unsharded campaign byte for byte —
+/// including with the delivery plane's verify/apply pipeline parallel, which routes the
+/// pull returns through the concurrent per-`(destination, path shard)` commit inboxes.
+#[test]
+fn pd_campaign_matrix_is_byte_identical_to_sequential_unsharded() {
+    let sequential = run_campaign(1, 1, 1);
+    assert!(
+        sequential.iter().any(|(_, _, paths, ..)| !paths.is_empty()),
+        "the campaign must discover paths"
+    );
+    // The guarantee is only meaningful if the pull pipeline actually runs: at least one
+    // pair must iterate past its HD seeds and originate pull beacons.
+    assert!(
+        sequential
+            .iter()
+            .any(|(_, _, _, iterations, _, pull_overhead)| *iterations > 0
+                && !pull_overhead.is_empty()),
+        "no pair ran a pull iteration — raise MAX_PATHS above the HD seed count"
+    );
+    for path_shards in [1usize, 4, 7] {
+        for pd_parallelism in [1usize, 4] {
+            for delivery_parallelism in [1usize, 4] {
+                if (path_shards, pd_parallelism, delivery_parallelism) == (1, 1, 1) {
+                    continue;
+                }
+                let run = run_campaign(path_shards, pd_parallelism, delivery_parallelism);
+                assert_eq!(
+                    run, sequential,
+                    "campaign diverged at pd-parallelism {pd_parallelism}, \
+                     path-shards {path_shards}, delivery-parallelism {delivery_parallelism}"
+                );
+            }
+        }
+    }
+}
+
+/// The campaign facade equals the hand-rolled sequential loop it replaces: one
+/// `PdWorkflow` per pair, each on its own snapshot of the warm base, harvested in pair
+/// order. (Disjoint per-pair algorithm-id ranges mirror what the campaign does
+/// internally — concurrent publishers into the shared store must not collide, and the
+/// sequential reference must publish the same ids to fetch the same modules.)
+#[test]
+fn pd_campaign_equals_manual_sequential_snapshot_loop() {
+    let base = warm_base(1, 1);
+    let pairs = pairs(&base);
+
+    let manual: CampaignFingerprint = pairs
+        .iter()
+        .enumerate()
+        .map(|(index, &(origin, target))| {
+            let mut sim = base.clone();
+            let mut workflow = PdWorkflow::new(origin, target, MAX_PATHS)
+                .with_rounds_per_iteration(ROUNDS_PER_ITERATION)
+                .with_algorithm_id_base(1_000 + index as u64 * 1_000_000);
+            let result = workflow.run(&mut sim).expect("workflow run");
+            (
+                origin,
+                target,
+                result.paths,
+                result.iterations,
+                result.empty_iterations,
+                sim.overhead_pull().nonzero_samples(),
+            )
+        })
+        .collect();
+
+    let campaign: CampaignFingerprint = PdCampaign::new(pairs, MAX_PATHS)
+        .with_rounds_per_iteration(ROUNDS_PER_ITERATION)
+        .with_parallelism(4)
+        .run(&base)
+        .expect("campaign run")
+        .into_iter()
+        .map(|pair| {
+            (
+                pair.origin,
+                pair.target,
+                pair.result.paths,
+                pair.result.iterations,
+                pair.result.empty_iterations,
+                pair.pull_overhead,
+            )
+        })
+        .collect();
+    assert_eq!(campaign, manual);
+}
+
+/// Campaign runs never mutate the shared base: registered paths, clock and delivery
+/// accounting stay untouched, so one warm base can serve many campaigns (and many
+/// parallelism settings) in a row.
+#[test]
+fn pd_campaign_leaves_the_base_simulation_untouched() {
+    let base = warm_base(4, 4);
+    let before_paths = base.registered_paths();
+    let before_rounds = base.rounds_run();
+    let before_stats = base.delivery_stats();
+    for pd_parallelism in [1usize, 4] {
+        PdCampaign::new(pairs(&base), MAX_PATHS)
+            .with_rounds_per_iteration(ROUNDS_PER_ITERATION)
+            .with_parallelism(pd_parallelism)
+            .run(&base)
+            .expect("campaign run");
+    }
+    assert_eq!(base.registered_paths(), before_paths);
+    assert_eq!(base.rounds_run(), before_rounds);
+    assert_eq!(base.delivery_stats(), before_stats);
+}

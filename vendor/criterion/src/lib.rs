@@ -1,0 +1,324 @@
+//! Offline vendored shim for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace vendors the
+//! subset of the criterion 0.5 API its benches use: `Criterion::benchmark_group`,
+//! group configuration (`sample_size`, `measurement_time`, `warm_up_time`,
+//! `throughput`), `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros. Instead of
+//! criterion's statistical machinery it runs a plain warm-up + timed loop and prints
+//! mean wall-clock time per iteration (plus element throughput when annotated) — enough
+//! for CI smoke runs and coarse regressions, not for publication-grade numbers.
+//!
+//! Two environment hooks drive the CI bench-regression harness:
+//!
+//! * `IREC_CRITERION_QUICK=1` clamps every benchmark to a quick pass (≤5 samples, ≤100 ms
+//!   warm-up, ≤300 ms measurement window), so a whole bench suite finishes in seconds;
+//! * `IREC_CRITERION_JSON=<path>` appends one JSON line per finished benchmark
+//!   (`{"bench":"group/id","mean_ns":…,"iters":…}`) to `<path>`, which the
+//!   `bench_regression` binary of `irec_bench` consumes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Whether the quick-pass clamp is enabled via `IREC_CRITERION_QUICK`.
+fn quick_mode() -> bool {
+    std::env::var("IREC_CRITERION_QUICK")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
+}
+
+/// Escapes a string for embedding in a JSON string literal (bench ids are plain
+/// identifiers, but the writer must not be able to produce invalid JSON).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark (subset of `criterion::Throughput`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures (subset of `criterion::Bencher`).
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock cost per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+
+        // Measurement: run until the window elapses or we hit a generous cap,
+        // but always at least `samples` iterations.
+        let cap = (self.samples as u64).max(10) * 10_000;
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if (iters >= self.samples as u64 && start.elapsed() >= self.measurement) || iters >= cap
+            {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// One named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// The bencher for one run, honouring the quick-pass clamp.
+    fn bencher(&self) -> Bencher {
+        let quick = quick_mode();
+        Bencher {
+            samples: if quick {
+                self.samples.min(5)
+            } else {
+                self.samples
+            },
+            warm_up: if quick {
+                self.warm_up.min(Duration::from_millis(100))
+            } else {
+                self.warm_up
+            },
+            measurement: if quick {
+                self.measurement.min(Duration::from_millis(300))
+            } else {
+                self.measurement
+            },
+            mean_ns: f64::NAN,
+            iters: 0,
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = self.bencher();
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = self.bencher();
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let mut line = format!(
+            "{}/{}: mean {} over {} iters",
+            self.name,
+            id,
+            format_ns(b.mean_ns),
+            b.iters
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if b.mean_ns > 0.0 {
+                let per_sec = count as f64 * 1e9 / b.mean_ns;
+                line.push_str(&format!(" ({per_sec:.0} {unit}/s)"));
+            }
+        }
+        println!("{line}");
+
+        if let Ok(path) = std::env::var("IREC_CRITERION_JSON") {
+            if !path.is_empty() {
+                let record = format!(
+                    "{{\"bench\":\"{}/{}\",\"mean_ns\":{:.1},\"iters\":{}}}\n",
+                    json_escape(&self.name),
+                    json_escape(&id.to_string()),
+                    b.mean_ns,
+                    b.iters
+                );
+                let written = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut f| std::io::Write::write_all(&mut f, record.as_bytes()));
+                if let Err(e) = written {
+                    eprintln!("warning: could not append bench record to {path}: {e}");
+                }
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_string()
+    } else if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions (subset of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function (subset of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags such as `--bench`; ignore them.
+            $( $group(); )+
+        }
+    };
+}
