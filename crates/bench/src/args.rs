@@ -41,6 +41,11 @@ pub struct BenchArgs {
     /// next power of two of `--parallelism`). Threaded into every simulation the binaries
     /// build; the simulation output is byte-identical for every value.
     pub path_shards: usize,
+    /// Use the deep-`Clone` reference implementation for per-pair PD campaign snapshots
+    /// instead of the default copy-on-write snapshots (`--pd-deep-clone`, default false).
+    /// Campaign output is byte-identical either way — this knob exists for A/B-ing the
+    /// snapshot cost (see `docs/KNOBS.md`).
+    pub pd_deep_clone: bool,
 }
 
 impl Default for BenchArgs {
@@ -60,6 +65,7 @@ impl Default for BenchArgs {
             ingress_shards: 0,
             pd_parallelism: 1,
             path_shards: 0,
+            pd_deep_clone: false,
         }
     }
 }
@@ -119,12 +125,46 @@ impl BenchArgs {
         if let Some(v) = get(&map, "path-shards") {
             parsed.path_shards = v.min(256);
         }
+        if let Some(v) = map.get("pd-deep-clone") {
+            parsed.pd_deep_clone = matches!(v.as_str(), "true" | "1" | "yes");
+        }
         parsed
     }
 
+    /// One-screen summary of every `--key value` knob shared by the figure binaries.
+    ///
+    /// The full table — auto-default rules, determinism guarantees, and the
+    /// `IREC_CRITERION_*` environment hooks — lives in `docs/KNOBS.md`.
+    pub fn help_text() -> &'static str {
+        "Shared figure-binary knobs (all `--key value`; unknown keys are ignored):\n\
+         \n\
+         \x20 --ases N                  topology size in ASes (default 60, min 5)\n\
+         \x20 --rounds N                beaconing rounds to simulate (default 8)\n\
+         \x20 --seed N                  PRNG seed (default 7)\n\
+         \x20 --reps N                  repetitions per measurement point (default 5)\n\
+         \x20 --pd-pairs N              (origin, target) pairs of the PD campaign (default 10)\n\
+         \x20 --max-racs N              upper bound of the RAC-count scan (default cores, cap 16)\n\
+         \x20 --parallelism N           node-phase + RAC-engine workers (default 1 = sequential)\n\
+         \x20 --delivery-parallelism N  delivery-plane verify/apply workers (default 1)\n\
+         \x20 --pd-parallelism N        concurrent PD campaign pairs (default 1)\n\
+         \x20 --ingress-shards N        ingress-DB shards per node (default 0 = auto)\n\
+         \x20 --path-shards N           path-service shards per node (default 0 = auto)\n\
+         \x20 --pd-deep-clone           use deep-Clone PD snapshots instead of copy-on-write\n\
+         \n\
+         Every parallelism/shard value yields byte-identical simulation output.\n\
+         Full table with auto-default rules and IREC_CRITERION_* env hooks: docs/KNOBS.md\n"
+    }
+
     /// Parses the current process arguments (skipping the binary name).
+    ///
+    /// `--help`/`-h` print [`BenchArgs::help_text`] and exit.
     pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1))
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            print!("{}", Self::help_text());
+            std::process::exit(0);
+        }
+        Self::parse(args)
     }
 }
 
@@ -202,6 +242,38 @@ mod tests {
         let p = parse(&["--pd-parallelism", "0", "--path-shards", "9000"]);
         assert_eq!(p.pd_parallelism, 1);
         assert_eq!(p.path_shards, 256);
+    }
+
+    #[test]
+    fn pd_deep_clone_parses_as_bare_flag_and_with_value() {
+        assert!(!parse(&[]).pd_deep_clone);
+        // A bare `--pd-deep-clone` (no value) is recorded as "true" by the parser.
+        assert!(parse(&["--pd-deep-clone"]).pd_deep_clone);
+        assert!(parse(&["--pd-deep-clone", "1"]).pd_deep_clone);
+        assert!(!parse(&["--pd-deep-clone", "false"]).pd_deep_clone);
+    }
+
+    #[test]
+    fn help_text_covers_every_knob_and_points_at_the_docs_table() {
+        let help = BenchArgs::help_text();
+        for knob in [
+            "--ases",
+            "--rounds",
+            "--seed",
+            "--reps",
+            "--pd-pairs",
+            "--max-racs",
+            "--parallelism",
+            "--delivery-parallelism",
+            "--pd-parallelism",
+            "--ingress-shards",
+            "--path-shards",
+            "--pd-deep-clone",
+        ] {
+            assert!(help.contains(knob), "help text is missing {knob}");
+        }
+        assert!(help.contains("docs/KNOBS.md"));
+        assert!(help.contains("IREC_CRITERION_"));
     }
 
     #[test]

@@ -440,6 +440,39 @@ pub fn pd_campaign_pass(
         .collect()
 }
 
+/// One per-pair snapshot-setup operation of the PD campaign over `base`: the
+/// copy-on-write path ([`Simulation::snapshot_reachable_from`], the campaign default)
+/// when `deep` is false, or the deep-`Clone` reference implementation when `deep` is
+/// true. Returns the constructed simulation so callers (and `black_box`) keep the setup
+/// work observable. Shared by the `pd_snapshot_cost` criterion bench and the COW speedup
+/// regression test.
+pub fn pd_snapshot_setup(base: &Simulation, origin: AsId, deep: bool) -> Simulation {
+    if deep {
+        base.clone()
+    } else {
+        base.snapshot_reachable_from(origin).into_simulation()
+    }
+}
+
+/// Best-of-`reps` wall-clock of one [`pd_snapshot_setup`] operation. Teardown (dropping
+/// the snapshot) is excluded from the timed window, so the figure is the pure per-pair
+/// setup cost a campaign pays before its first pull iteration.
+pub fn measure_snapshot_setup(
+    base: &Simulation,
+    origin: AsId,
+    deep: bool,
+    reps: usize,
+) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let sim = std::hint::black_box(pd_snapshot_setup(base, origin, deep));
+        best = best.min(start.elapsed());
+        drop(sim);
+    }
+    best
+}
+
 /// Runs the complete Fig. 6 measurement for one |Φ| value, averaging over `repetitions`.
 pub fn measure_phi(phi: usize, repetitions: usize, seed: u64) -> Measurement {
     let local_as = workload_local_as();
@@ -553,6 +586,30 @@ mod tests {
         for workers in [2usize, 4] {
             assert_eq!(pd_campaign_pass(&base, &pairs, workers), sequential);
         }
+    }
+
+    #[test]
+    fn cow_snapshot_setup_is_an_order_of_magnitude_cheaper_than_deep_clone() {
+        // Warmed a little past the criterion bench's 4 rounds: the deep clone's cost
+        // grows with database content while the COW setup stays O(nodes x shards), so
+        // the extra warm-up widens the measured gap well clear of the 10x bar even on
+        // noisy debug-mode CI runners.
+        let base = pd_campaign_workload(14, 6, 7);
+        let origin = pd_campaign_pairs(&base, 1, 7)[0].0;
+        // Snapshots must behave like the deep clone they replace before their speed
+        // matters: same topology view, same registered paths.
+        let cow = pd_snapshot_setup(&base, origin, false);
+        let deep = pd_snapshot_setup(&base, origin, true);
+        assert_eq!(cow.rounds_run(), deep.rounds_run());
+        assert_eq!(cow.registered_paths().len(), deep.registered_paths().len());
+        let cow_cost = measure_snapshot_setup(&base, origin, false, 10);
+        let deep_cost = measure_snapshot_setup(&base, origin, true, 10);
+        let speedup = deep_cost.as_nanos() as f64 / cow_cost.as_nanos().max(1) as f64;
+        assert!(
+            speedup >= 10.0,
+            "COW snapshot setup must be ≥10× cheaper than a deep clone \
+             (deep {deep_cost:?} / cow {cow_cost:?} = {speedup:.1}×)"
+        );
     }
 
     #[test]

@@ -242,7 +242,7 @@ pub(crate) const fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// A sharded ingress database: `N` independent [`IngressDb`] shards keyed by origin-AS
-/// hash, each behind its own `parking_lot::RwLock`.
+/// hash, each an `Arc`-wrapped map behind its own `parking_lot::RwLock`.
 ///
 /// Every beacon of one origin lands in the same shard (the batch key's origin determines
 /// placement), so inserts, evictions and dedup decisions for *different* shards are
@@ -254,9 +254,51 @@ pub(crate) const fn splitmix64(mut x: u64) -> u64 {
 /// would iterate), counters reduce over shards in fixed index order, and a database with
 /// any shard count is observably byte-identical to the unsharded reference — pinned by the
 /// proptest suite in `crates/core/tests/proptests.rs`.
+///
+/// # Copy-on-write snapshots
+///
+/// Each shard is an `Arc<IngressDb>`: [`ShardedIngressDb::cow_clone`] produces a
+/// structurally shared snapshot in O(shards) reference-count bumps, and every write path
+/// goes through [`Arc::make_mut`] — a shard is deep-copied only the first time a database
+/// that still shares it mutates it (in either direction: a write to the *base* after a
+/// snapshot was taken copies too, leaving the snapshot untouched). This is what makes
+/// per-pair simulation snapshots in the PD campaign nearly free to set up.
+///
+/// ```
+/// use irec_core::ShardedIngressDb;
+/// use irec_crypto::{KeyRegistry, Signer};
+/// use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
+/// use irec_types::{AsId, Bandwidth, IfId, Latency, SimDuration, SimTime};
+///
+/// let signer = Signer::new(AsId(1), KeyRegistry::with_ases(1, 8));
+/// let mut pcb = Pcb::originate(
+///     AsId(1), 0, SimTime::ZERO, SimTime::ZERO + SimDuration::from_hours(6),
+///     PcbExtensions::none(),
+/// );
+/// pcb.extend(
+///     IfId::NONE, IfId(1),
+///     StaticInfo::origin(Latency::from_millis(5), Bandwidth::from_mbps(100), None),
+///     &signer,
+/// ).unwrap();
+///
+/// let base = ShardedIngressDb::new(4);
+/// assert!(base.insert(pcb.clone(), IfId(2), SimTime::ZERO));
+///
+/// // A COW snapshot shares every shard with the base: O(shards) pointer copies.
+/// let snapshot = base.cow_clone();
+/// assert_eq!(snapshot.len(), 1);
+/// assert!((0..4).all(|s| snapshot.shares_shard_with(&base, s)));
+///
+/// // The first write to a shard materializes a private copy; the base is untouched.
+/// let mut other = pcb;
+/// other.sequence = 1;
+/// snapshot.insert(other, IfId(2), SimTime::ZERO);
+/// assert_eq!((snapshot.len(), base.len()), (2, 1));
+/// assert!(!snapshot.shares_shard_with(&base, snapshot.shard_of(AsId(1))));
+/// ```
 #[derive(Debug)]
 pub struct ShardedIngressDb {
-    shards: Vec<RwLock<IngressDb>>,
+    shards: Vec<RwLock<Arc<IngressDb>>>,
 }
 
 impl Default for ShardedIngressDb {
@@ -267,15 +309,16 @@ impl Default for ShardedIngressDb {
 }
 
 impl Clone for ShardedIngressDb {
-    /// Deep-clones every shard's contents (used by `Simulation`'s snapshot clone for the
-    /// parallel PD campaign). Stored beacons stay `Arc`-shared with the original — they are
-    /// immutable — but the maps, dedup sets and locks are fresh.
+    /// Deep-clones every shard's contents (the pre-snapshot behaviour, kept as the
+    /// reference the COW path is benchmarked and tested against). Stored beacons stay
+    /// `Arc`-shared with the original — they are immutable — but the maps, dedup sets and
+    /// locks are fresh. Prefer [`ShardedIngressDb::cow_clone`] for snapshotting.
     fn clone(&self) -> Self {
         ShardedIngressDb {
             shards: self
                 .shards
                 .iter()
-                .map(|shard| RwLock::new(shard.read().clone()))
+                .map(|shard| RwLock::new(Arc::new(shard.read().as_ref().clone())))
                 .collect(),
         }
     }
@@ -288,8 +331,33 @@ impl ShardedIngressDb {
     pub fn new(shards: usize) -> Self {
         let shards = shards.clamp(1, MAX_INGRESS_SHARDS);
         ShardedIngressDb {
-            shards: (0..shards).map(|_| RwLock::new(IngressDb::new())).collect(),
+            shards: (0..shards)
+                .map(|_| RwLock::new(Arc::new(IngressDb::new())))
+                .collect(),
         }
+    }
+
+    /// A structurally shared copy-on-write snapshot: O(shards) reference-count bumps, no
+    /// map copies. Both databases keep full read access to the shared shards; whichever
+    /// side writes to a still-shared shard first materializes its own copy of just that
+    /// shard ([`Arc::make_mut`] semantics), so neither can observe the other's subsequent
+    /// writes.
+    pub fn cow_clone(&self) -> Self {
+        ShardedIngressDb {
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| RwLock::new(Arc::clone(&shard.read())))
+                .collect(),
+        }
+    }
+
+    /// Whether shard `shard` is still the same allocation in `self` and `other` —
+    /// i.e. neither side has written to it since a [`ShardedIngressDb::cow_clone`] tied
+    /// them together. Introspection for the COW isolation tests and the snapshot-cost
+    /// benchmark.
+    pub fn shares_shard_with(&self, other: &ShardedIngressDb, shard: usize) -> bool {
+        Arc::ptr_eq(&self.shards[shard].read(), &other.shards[shard].read())
     }
 
     /// Number of shards.
@@ -324,7 +392,7 @@ impl ShardedIngressDb {
             self.shard_of(pcb.origin),
             "beacon committed to a foreign shard"
         );
-        self.shards[shard].write().insert(pcb, ingress, received_at)
+        Arc::make_mut(&mut *self.shards[shard].write()).insert(pcb, ingress, received_at)
     }
 
     /// All batch keys currently present, in global ascending order — identical to what the
@@ -415,8 +483,26 @@ impl ShardedIngressDb {
     pub fn evict_expired(&self, now: SimTime, grace: irec_types::SimDuration) -> usize {
         self.shards
             .iter()
-            .map(|shard| shard.write().evict_expired(now, grace))
+            .map(|shard| Self::evict_shard(shard, now, grace))
             .sum()
+    }
+
+    /// Evicts one shard, skipping the copy-on-write materialization when a read-only probe
+    /// shows nothing would be evicted — routine housekeeping sweeps must not un-share the
+    /// shards of an otherwise read-only snapshot.
+    fn evict_shard(
+        shard: &RwLock<Arc<IngressDb>>,
+        now: SimTime,
+        grace: irec_types::SimDuration,
+    ) -> usize {
+        let horizon = now + grace;
+        {
+            let guard = shard.read();
+            if guard.len() == guard.live_len(horizon) {
+                return 0;
+            }
+        }
+        Arc::make_mut(&mut *shard.write()).evict_expired(now, grace)
     }
 
     /// [`ShardedIngressDb::evict_expired`] with the per-shard sweeps fanned out over up to
@@ -442,7 +528,7 @@ impl ShardedIngressDb {
                     let Some(shard) = self.shards.get(index) else {
                         break;
                     };
-                    let count = shard.write().evict_expired(now, grace);
+                    let count = Self::evict_shard(shard, now, grace);
                     evicted.fetch_add(count, std::sync::atomic::Ordering::Relaxed);
                 });
             }
@@ -527,6 +613,16 @@ impl EgressDb {
     /// Whether the database is empty.
     pub fn is_empty(&self) -> bool {
         self.propagated.is_empty()
+    }
+
+    /// Whether a sweep at `now` would remove anything: true when the earliest expiry-index
+    /// bucket is at or before `now`. A cheap read-only probe — the egress gateway checks it
+    /// before [`EgressDb::evict_expired`] so routine per-round sweeps don't materialize a
+    /// copy-on-write-shared database that has nothing to evict. May report true on a purely
+    /// stale bucket (digest re-recorded under a later expiry); the subsequent sweep then
+    /// removes zero entries, which is correct, just not free.
+    pub fn has_expired_entries(&self, now: SimTime) -> bool {
+        self.expiry.keys().next().is_some_and(|&t| t <= now)
     }
 
     /// Evicts entries whose beacons expired at or before `now`. Returns how many hashes were
@@ -920,6 +1016,73 @@ mod tests {
             5
         );
         assert!(sharded.is_empty());
+    }
+
+    #[test]
+    fn cow_clone_shares_shards_until_first_write_in_either_direction() {
+        let base = ShardedIngressDb::new(7);
+        for origin in 1..=10u64 {
+            base.insert(
+                pcb(origin, 0, PcbExtensions::none(), 6),
+                IfId(1),
+                SimTime::ZERO,
+            );
+        }
+        let snap = base.cow_clone();
+        assert!((0..7).all(|s| snap.shares_shard_with(&base, s)));
+        assert_eq!(snap.len(), base.len());
+
+        // Snapshot write: only the written origin's shard un-shares; base contents hold.
+        let before = base.len();
+        snap.insert(pcb(1, 9, PcbExtensions::none(), 6), IfId(2), SimTime::ZERO);
+        let touched = snap.shard_of(AsId(1));
+        for s in 0..7 {
+            assert_eq!(snap.shares_shard_with(&base, s), s != touched);
+        }
+        assert_eq!(base.len(), before);
+        assert_eq!(snap.len(), before + 1);
+
+        // Base write after the snapshot: copies on the base side, snapshot unaffected.
+        let other = base.shard_of(AsId(2));
+        assert_ne!(other, touched, "test topology must spread origins 1 and 2");
+        base.insert(pcb(2, 9, PcbExtensions::none(), 6), IfId(2), SimTime::ZERO);
+        assert!(!snap.shares_shard_with(&base, other));
+        assert_eq!(
+            snap.beacons_for_origin(AsId(2), None, SimTime::ZERO).len(),
+            1
+        );
+        assert_eq!(
+            base.beacons_for_origin(AsId(2), None, SimTime::ZERO).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn cow_clone_eviction_probe_keeps_untouched_shards_shared() {
+        let base = ShardedIngressDb::new(4);
+        for origin in 1..=8u64 {
+            base.insert(
+                pcb(origin, 0, PcbExtensions::none(), 6),
+                IfId(1),
+                SimTime::ZERO,
+            );
+        }
+        let snap = base.cow_clone();
+        // Nothing expires this early: the sweep must not materialize any shard.
+        assert_eq!(snap.evict_expired(SimTime::ZERO, SimDuration::ZERO), 0);
+        assert_eq!(
+            snap.evict_expired_parallel(SimTime::ZERO, SimDuration::ZERO, 4),
+            0
+        );
+        assert!((0..4).all(|s| snap.shares_shard_with(&base, s)));
+        // Once beacons actually expire, the sweep works and matches the deep-clone count.
+        let deep = base.clone();
+        let later = SimTime::ZERO + SimDuration::from_hours(7);
+        assert_eq!(
+            snap.evict_expired(later, SimDuration::ZERO),
+            deep.evict_expired(later, SimDuration::ZERO)
+        );
+        assert_eq!(snap.len(), deep.len());
     }
 
     #[test]

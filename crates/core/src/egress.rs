@@ -78,19 +78,59 @@ impl EgressStats {
 }
 
 /// The egress gateway of one AS.
-#[derive(Clone)]
 pub struct EgressGateway {
     local_as: AsId,
     topology: Arc<Topology>,
     signer: Signer,
     policy: PropagationPolicy,
-    db: EgressDb,
+    /// The propagation dedup database, behind an [`Arc`] so [`EgressGateway::cow_clone`]
+    /// can share it structurally; every write path goes through [`Arc::make_mut`], which
+    /// copies the database on the first mutation after a share.
+    db: Arc<EgressDb>,
     path_service: ShardedPathService,
     stats: EgressStats,
     sequence: u64,
 }
 
+impl Clone for EgressGateway {
+    /// A **deep** clone: the dedup database and path-service shards are fully copied, so
+    /// the clone shares no mutable state with the original. This is the reference
+    /// implementation the copy-on-write [`EgressGateway::cow_clone`] must stay
+    /// byte-equivalent to.
+    fn clone(&self) -> Self {
+        EgressGateway {
+            local_as: self.local_as,
+            topology: Arc::clone(&self.topology),
+            signer: self.signer.clone(),
+            policy: self.policy,
+            db: Arc::new(self.db.as_ref().clone()),
+            path_service: self.path_service.clone(),
+            stats: self.stats.clone(),
+            sequence: self.sequence,
+        }
+    }
+}
+
 impl EgressGateway {
+    /// A copy-on-write clone: the path-service shards are structurally shared via
+    /// [`ShardedPathService::cow_clone`] (O(shards) pointer copies; a shard is
+    /// materialized only when one side registers into it) and the propagation dedup
+    /// database is shared via one `Arc` bump (copied in whole by whichever side first
+    /// records a propagation or evicts an expired entry). The counters are copied
+    /// eagerly. Used by `Simulation::snapshot` for the PD campaign's per-pair snapshots.
+    pub fn cow_clone(&self) -> Self {
+        EgressGateway {
+            local_as: self.local_as,
+            topology: Arc::clone(&self.topology),
+            signer: self.signer.clone(),
+            policy: self.policy,
+            db: Arc::clone(&self.db),
+            path_service: self.path_service.cow_clone(),
+            stats: self.stats.clone(),
+            sequence: self.sequence,
+        }
+    }
+
     /// Creates an egress gateway with a single-shard path service — observably identical
     /// to the pre-sharding gateway.
     pub fn new(
@@ -117,7 +157,7 @@ impl EgressGateway {
             topology,
             signer,
             policy,
-            db: EgressDb::new(),
+            db: Arc::new(EgressDb::new()),
             path_service: ShardedPathService::new(path_shards),
             stats: EgressStats::default(),
             sequence: 0,
@@ -142,9 +182,15 @@ impl EgressGateway {
         std::mem::take(&mut self.stats.sent_per_interface)
     }
 
-    /// Evicts expired entries from the egress dedup database.
+    /// Evicts expired entries from the egress dedup database. Probes under a shared
+    /// reference first: a sweep with nothing to remove leaves a copy-on-write-shared
+    /// database untouched instead of materializing a private copy (the routine per-round
+    /// housekeeping case for fresh snapshots).
     pub fn evict_expired(&mut self, now: SimTime) -> usize {
-        self.db.evict_expired(now)
+        if !self.db.has_expired_entries(now) {
+            return 0;
+        }
+        Arc::make_mut(&mut self.db).evict_expired(now)
     }
 
     /// Originates fresh beacons according to `spec` ("PCB Initialization", §V-D): one beacon
@@ -231,7 +277,8 @@ impl EgressGateway {
                 .copied()
                 .filter(|&egress| self.export_allowed(beacon.ingress, egress))
                 .collect();
-            let new_egresses = self.db.filter_new_egresses(&beacon.pcb, &allowed);
+            let new_egresses =
+                Arc::make_mut(&mut self.db).filter_new_egresses(&beacon.pcb, &allowed);
 
             for egress in new_egresses {
                 match self.extend_and_send(beacon, egress, now) {

@@ -70,6 +70,24 @@ impl Clone for IngressGateway {
 }
 
 impl IngressGateway {
+    /// A copy-on-write clone: the database shards are structurally shared via
+    /// [`ShardedIngressDb::cow_clone`] (O(shards) pointer copies; a shard is materialized
+    /// only when one side writes to it), while the small per-shard statistics are copied
+    /// eagerly. Used by `Simulation::snapshot` for the PD campaign's per-pair snapshots.
+    pub fn cow_clone(&self) -> Self {
+        IngressGateway {
+            local_as: self.local_as,
+            db: self.db.cow_clone(),
+            verifier: self.verifier.clone(),
+            verify_signatures: self.verify_signatures,
+            stats: self
+                .stats
+                .iter()
+                .map(|shard| Mutex::new(*shard.lock()))
+                .collect(),
+        }
+    }
+
     /// Creates a single-shard ingress gateway for `local_as` using `verifier` for signature
     /// checks — observably identical to the pre-sharding gateway.
     pub fn new(local_as: AsId, verifier: Verifier) -> Self {

@@ -77,6 +77,28 @@ impl Clone for IrecNode {
 }
 
 impl IrecNode {
+    /// A copy-on-write clone of the node: the ingress database and path service share
+    /// their shards structurally with the original (O(shards) pointer copies each, via
+    /// [`IngressGateway::cow_clone`] / [`EgressGateway::cow_clone`]), and a shard is
+    /// materialized only when one side writes to it. The small remaining state — RAC
+    /// caches, counters, origination specs — is copied eagerly, and the topology and
+    /// algorithm store stay shared exactly as in [`Clone`]. This is the per-node building
+    /// block of `Simulation::snapshot`.
+    pub fn cow_clone(&self) -> Self {
+        IrecNode {
+            asn: self.asn,
+            config: self.config.clone(),
+            topology: Arc::clone(&self.topology),
+            ingress: self.ingress.cow_clone(),
+            egress: self.egress.cow_clone(),
+            racs: self.racs.clone(),
+            interface_groups: self.interface_groups.clone(),
+            extra_originations: self.extra_originations.clone(),
+            algorithm_store: self.algorithm_store.clone(),
+            round: self.round,
+        }
+    }
+
     /// Creates a node for `asn` with the given configuration.
     ///
     /// `registry` is the shared control-plane PKI; `store` the shared on-demand algorithm

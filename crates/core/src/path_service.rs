@@ -14,6 +14,7 @@ use irec_pcb::PcbId;
 use irec_types::{AsId, IfId, InterfaceGroupId, PathMetrics, SimTime};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A path registered at the local path service, tagged with the criteria (RAC) it was
 /// optimized for.
@@ -168,7 +169,7 @@ impl PathService {
 pub const MAX_PATH_SHARDS: usize = 256;
 
 /// A sharded path service: `N` independent [`PathService`] shards keyed by
-/// **destination-AS** hash, each behind its own `parking_lot::RwLock`.
+/// **destination-AS** hash, each an `Arc`-wrapped map behind its own `parking_lot::RwLock`.
 ///
 /// Every registration towards one destination lands in the same shard (the registered
 /// path's `destination` determines placement via the same deterministic `splitmix64`
@@ -183,9 +184,14 @@ pub const MAX_PATH_SHARDS: usize = 256;
 /// map), and counters reduce over shards in fixed index order. A service with any shard
 /// count is observably byte-identical to the unsharded reference — pinned by the proptest
 /// suite in `crates/core/tests/proptests.rs`.
+///
+/// Like the ingress database, each shard is an `Arc<PathService>` so
+/// [`ShardedPathService::cow_clone`] can hand out structurally shared copy-on-write
+/// snapshots in O(shards) reference-count bumps; a shard is deep-copied only when a
+/// service that still shares it registers a path into it ([`Arc::make_mut`] semantics).
 #[derive(Debug)]
 pub struct ShardedPathService {
-    shards: Vec<RwLock<PathService>>,
+    shards: Vec<RwLock<Arc<PathService>>>,
 }
 
 impl Default for ShardedPathService {
@@ -196,14 +202,15 @@ impl Default for ShardedPathService {
 }
 
 impl Clone for ShardedPathService {
-    /// Deep-clones every shard's contents (used by `Simulation`'s snapshot clone for the
-    /// parallel PD campaign). The clone shares nothing with the original.
+    /// Deep-clones every shard's contents (the pre-snapshot behaviour, kept as the
+    /// reference the COW path is benchmarked and tested against). The clone shares nothing
+    /// with the original. Prefer [`ShardedPathService::cow_clone`] for snapshotting.
     fn clone(&self) -> Self {
         ShardedPathService {
             shards: self
                 .shards
                 .iter()
-                .map(|shard| RwLock::new(shard.read().clone()))
+                .map(|shard| RwLock::new(Arc::new(shard.read().as_ref().clone())))
                 .collect(),
         }
     }
@@ -223,9 +230,31 @@ impl ShardedPathService {
         let shards = shards.clamp(1, MAX_PATH_SHARDS);
         ShardedPathService {
             shards: (0..shards)
-                .map(|_| RwLock::new(PathService::with_limit(limit_per_key)))
+                .map(|_| RwLock::new(Arc::new(PathService::with_limit(limit_per_key))))
                 .collect(),
         }
+    }
+
+    /// A structurally shared copy-on-write snapshot: O(shards) reference-count bumps, no
+    /// map copies. Both services keep full read access to the shared shards; whichever
+    /// side registers into a still-shared shard first materializes its own copy of just
+    /// that shard, so neither can observe the other's subsequent registrations.
+    pub fn cow_clone(&self) -> Self {
+        ShardedPathService {
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| RwLock::new(Arc::clone(&shard.read())))
+                .collect(),
+        }
+    }
+
+    /// Whether shard `shard` is still the same allocation in `self` and `other` —
+    /// i.e. neither side has registered into it since a [`ShardedPathService::cow_clone`]
+    /// tied them together. Introspection for the COW isolation tests and the
+    /// snapshot-cost benchmark.
+    pub fn shares_shard_with(&self, other: &ShardedPathService, shard: usize) -> bool {
+        Arc::ptr_eq(&self.shards[shard].read(), &other.shards[shard].read())
     }
 
     /// Number of shards.
@@ -254,7 +283,7 @@ impl ShardedPathService {
             self.shard_of(path.destination),
             "path registered in a foreign shard"
         );
-        self.shards[shard].write().register(path);
+        Arc::make_mut(&mut *self.shards[shard].write()).register(path);
     }
 
     /// All paths towards `destination`, across all RACs and groups — entirely within the
@@ -496,5 +525,36 @@ mod tests {
         cloned.register(path(2, "1SP", 2, 0));
         assert_eq!(cloned.len(), 2);
         assert_eq!(ps.len(), 1, "clone mutations must not leak back");
+        // A deep clone shares no shard allocation even before any write.
+        let fresh = ps.clone();
+        assert!((0..4).all(|s| !fresh.shares_shard_with(&ps, s)));
+    }
+
+    #[test]
+    fn cow_clone_shares_shards_until_first_registration_in_either_direction() {
+        let base = ShardedPathService::new(7);
+        for destination in 1..=10u64 {
+            base.register(path(destination, "1SP", 1, 0));
+        }
+        let snap = base.cow_clone();
+        assert!((0..7).all(|s| snap.shares_shard_with(&base, s)));
+        assert_eq!(snap.all(), base.all());
+
+        // Snapshot registration: only the destination's shard un-shares.
+        snap.register(path(1, "PD", 2, 5));
+        let touched = snap.shard_of(AsId(1));
+        for s in 0..7 {
+            assert_eq!(snap.shares_shard_with(&base, s), s != touched);
+        }
+        assert_eq!(base.paths_to(AsId(1)).len(), 1);
+        assert_eq!(snap.paths_to(AsId(1)).len(), 2);
+
+        // Base registration after the snapshot: copies on the base side only.
+        let other = base.shard_of(AsId(2));
+        assert_ne!(other, touched, "test destinations 1 and 2 must spread");
+        base.register(path(2, "PD", 3, 5));
+        assert!(!snap.shares_shard_with(&base, other));
+        assert_eq!(snap.paths_to(AsId(2)).len(), 1);
+        assert_eq!(base.paths_to(AsId(2)).len(), 2);
     }
 }

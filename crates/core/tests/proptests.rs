@@ -313,6 +313,89 @@ proptest! {
         }
     }
 
+    /// Copy-on-write isolation, model-checked: for any base contents and any per-snapshot
+    /// write sequences, a `cow_clone` mutated by one "campaign pair" never leaks writes
+    /// into the base database or into sibling snapshots — at every shard count the PD
+    /// campaign can run under. Each snapshot must end up observably identical to an
+    /// independently built deep copy that replayed the same writes.
+    #[test]
+    fn cow_snapshots_isolate_writes_from_base_and_siblings(
+        base_ops in proptest::collection::vec((1u64..9, 0u64..6, 1u64..10), 0..15),
+        snapshot_ops in proptest::collection::vec(
+            proptest::collection::vec((1u64..9, 0u64..6, 1u64..10), 1..10),
+            1..4,
+        ),
+    ) {
+        for shards in [1usize, 4, 7, 16] {
+            // --- Ingress side -------------------------------------------------------
+            let base = ShardedIngressDb::new(shards);
+            for (origin, seq, validity) in &base_ops {
+                base.insert(test_pcb(*origin, *seq, *validity), IfId(1), SimTime::ZERO);
+            }
+            let base_reference = base.clone(); // deep: pins the base's expected contents
+            let snapshots: Vec<ShardedIngressDb> =
+                snapshot_ops.iter().map(|_| base.cow_clone()).collect();
+            let mut references: Vec<ShardedIngressDb> =
+                snapshot_ops.iter().map(|_| base.clone()).collect();
+            for ((snapshot, reference), ops) in
+                snapshots.iter().zip(references.iter_mut()).zip(&snapshot_ops)
+            {
+                for (origin, seq, validity) in ops {
+                    // Distinct ingress interface per side, so a leaked write is visible
+                    // even when base and snapshot insert the same beacon.
+                    let pcb = test_pcb(*origin, *seq, *validity);
+                    snapshot.insert(pcb.clone(), IfId(7), SimTime::ZERO);
+                    reference.insert(pcb, IfId(7), SimTime::ZERO);
+                }
+            }
+            // The base saw nothing.
+            prop_assert_eq!(base.batch_keys(), base_reference.batch_keys());
+            prop_assert_eq!(base.len(), base_reference.len());
+            // Every snapshot equals its own deep-copy replay — writes of siblings (which
+            // may target the very same shards) are invisible to it.
+            for (snapshot, reference) in snapshots.iter().zip(&references) {
+                prop_assert_eq!(snapshot.len(), reference.len());
+                prop_assert_eq!(snapshot.batch_keys(), reference.batch_keys());
+                for key in reference.batch_keys() {
+                    prop_assert_eq!(
+                        snapshot.beacons_for(&key, SimTime::ZERO),
+                        reference.beacons_for(&key, SimTime::ZERO),
+                        "snapshot contents diverged at {} shards", shards
+                    );
+                }
+            }
+
+            // --- Path-service side --------------------------------------------------
+            let base = ShardedPathService::new(shards);
+            for (destination, alg, id) in &base_ops {
+                base.register(test_path(*destination, (*alg % 4) as usize, *id, 0));
+            }
+            let base_reference = base.clone();
+            let snapshots: Vec<ShardedPathService> =
+                snapshot_ops.iter().map(|_| base.cow_clone()).collect();
+            let mut references: Vec<ShardedPathService> =
+                snapshot_ops.iter().map(|_| base.clone()).collect();
+            for ((snapshot, reference), ops) in
+                snapshots.iter().zip(references.iter_mut()).zip(&snapshot_ops)
+            {
+                for (destination, alg, id) in ops {
+                    // Offset ids keep snapshot registrations distinct from base ones.
+                    let path = test_path(*destination, (*alg % 4) as usize, 1_000 + *id, 1);
+                    snapshot.register(path.clone());
+                    reference.register(path);
+                }
+            }
+            prop_assert_eq!(base.all(), base_reference.all());
+            for (snapshot, reference) in snapshots.iter().zip(&references) {
+                prop_assert_eq!(
+                    snapshot.all(),
+                    reference.all(),
+                    "snapshot registrations diverged at {} shards", shards
+                );
+            }
+        }
+    }
+
     /// Model-checked egress bookkeeping: for any interleaving of `filter_new_egresses` and
     /// eviction sweeps (including re-appearing digests and non-monotonic sweep times), the
     /// `removed` count equals the number of hashes actually deleted and `len()` tracks a
@@ -423,6 +506,70 @@ fn extended_pcb(
         SimTime::ZERO + SimDuration::from_hours(validity_hours),
         extensions,
     )
+}
+
+/// Hot-shard stress: many concurrent snapshots (one per "campaign pair") all write paths
+/// for the **same destination**, i.e. the same path-service shard, while the base keeps
+/// serving reads. Every snapshot must materialize its own copy of the contended shard
+/// exactly once and end up with base + its own registrations; the base must stay
+/// untouched throughout.
+#[test]
+fn hot_shard_snapshot_writes_stay_isolated_under_contention() {
+    const SNAPSHOTS: usize = 16;
+    const WRITES_PER_SNAPSHOT: u64 = 50;
+    let hot_destination = 3u64;
+
+    // Limit high enough that nothing is evicted: the test asserts exact contents, and
+    // per-key limit eviction would otherwise drop the stalest of the hot key's paths.
+    let base = ShardedPathService::with_limit(2_000, 4);
+    for id in 0..10 {
+        base.register(test_path(hot_destination, 0, id, 0));
+    }
+    let base_before = base.all();
+    let hot_shard = base.shard_of(AsId(hot_destination));
+
+    let results: Vec<(usize, Vec<RegisteredPath>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SNAPSHOTS)
+            .map(|index| {
+                let snapshot = base.cow_clone();
+                assert!(
+                    snapshot.shares_shard_with(&base, hot_shard),
+                    "fresh snapshots share the hot shard"
+                );
+                scope.spawn(move || {
+                    for id in 0..WRITES_PER_SNAPSHOT {
+                        // Every snapshot hammers the same destination — the same shard —
+                        // with ids disjoint from every sibling's.
+                        let id = 1_000 + index as u64 * WRITES_PER_SNAPSHOT + id;
+                        snapshot.register(test_path(hot_destination, 1, id, 1));
+                    }
+                    (index, snapshot.all())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // The base never saw a snapshot write.
+    assert_eq!(base.all(), base_before);
+    // Each snapshot holds exactly base + its own writes, in registration order.
+    for (index, paths) in results {
+        assert_eq!(
+            paths.len(),
+            base_before.len() + WRITES_PER_SNAPSHOT as usize,
+            "snapshot {index} lost or gained registrations"
+        );
+        assert_eq!(&paths[..base_before.len()], &base_before[..]);
+        for (offset, path) in paths[base_before.len()..].iter().enumerate() {
+            let expected = test_path(
+                hot_destination,
+                1,
+                1_000 + index as u64 * 50 + offset as u64,
+                1,
+            );
+            assert_eq!(path, &expected, "snapshot {index} write {offset} corrupted");
+        }
+    }
 }
 
 /// Non-property smoke check that the default batch key layout used above matches the

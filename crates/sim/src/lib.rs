@@ -22,8 +22,10 @@
 //! §VIII-B on top of the simulator: seed with HD paths, then repeatedly originate on-demand +
 //! pull-based beacons that avoid all links discovered so far, adding one new disjoint path
 //! per iteration. [`pd::PdCampaign`] fans N independent `(origin, target)` workflows out
-//! over a scoped worker pool — each on its own [`Simulation`] clone — with results merged
-//! in pair order, byte-identical to the sequential loop.
+//! over a scoped worker pool — each on its own copy-on-write [`SimSnapshot`] (restricted
+//! to the origin's reachable component; see [`Simulation::snapshot_reachable_from`]) —
+//! with results merged in pair order, byte-identical to the sequential loop and to the
+//! deep-clone reference implementation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,4 +38,4 @@ pub mod simulation;
 pub use delivery::{DeliveryPlane, DeliveryStats};
 pub use event::{Event, EventQueue};
 pub use pd::{PdCampaign, PdPairResult, PdResult, PdWorkflow};
-pub use simulation::{Simulation, SimulationConfig};
+pub use simulation::{SimSnapshot, Simulation, SimulationConfig};

@@ -239,14 +239,27 @@ pub struct PdPairResult {
     /// Non-zero per-interface-per-period pull-beacon overhead samples of the pair's run
     /// (the PD series of Fig. 8c).
     pub pull_overhead: Vec<u64>,
-    /// Wall-clock time of the pair's run, snapshot clone included (feeds the fig8c
+    /// Whether the pair was a self-pair (`origin == target`) and was short-circuited:
+    /// no snapshot was taken and no pull iteration ran — there are no paths from an AS to
+    /// itself to discover, and before the short-circuit such pairs burned a full snapshot
+    /// plus `max_empty_iterations` rounds of pull traffic to conclude exactly that.
+    pub self_pair: bool,
+    /// Wall-clock time of the pair's run, snapshot setup included (feeds the fig8c
     /// per-pair throughput table; **not** part of the deterministic fingerprint).
     pub elapsed: Duration,
 }
 
 /// The Fig. 8 disjointness campaign: N independent `(origin, target)` pull workflows,
-/// each on its own clone of a warmed-up base simulation, fanned out over an engine-style
-/// scoped worker pool.
+/// each on its own snapshot of a warmed-up base simulation, fanned out over an
+/// engine-style scoped worker pool.
+///
+/// **Snapshots.** By default each pair runs on a copy-on-write
+/// [`Simulation::snapshot_reachable_from`] of the base — O(shards) pointer copies at
+/// setup, restricted to the origin's connected component, with shards materialized only
+/// as the pair's own pull traffic touches them. [`PdCampaign::with_deep_clone`] switches
+/// back to the full per-pair `Simulation::clone`; the two modes produce byte-identical
+/// campaign output (pinned by `tests/pd_determinism.rs`), differing only in setup cost —
+/// the `pd_snapshot_cost` benchmark tracks the gap.
 ///
 /// **Determinism.** Pairs never share mutable state: each workflow owns a full
 /// [`Simulation`] snapshot, and the only shared structure — the on-demand algorithm
@@ -256,11 +269,50 @@ pub struct PdPairResult {
 /// sequential pair-by-pair loop; errors surface deterministically (first failing pair in
 /// pair order wins). `tests/pd_determinism.rs` and the CI determinism job enforce this
 /// for `--pd-parallelism {1,4}` stacked with every other parallelism knob.
+///
+/// Self-pairs (`origin == target`) are short-circuited without taking a snapshot — their
+/// [`PdPairResult::self_pair`] flag is set and their result is empty.
+///
+/// ```
+/// use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
+/// use irec_sim::{PdCampaign, Simulation, SimulationConfig};
+/// use irec_topology::builder::{figure1, figure1_topology};
+/// use std::sync::Arc;
+///
+/// // Warm a base simulation so HD has seeded paths for the workflows to start from.
+/// let mut base = Simulation::new(
+///     Arc::new(figure1_topology()),
+///     SimulationConfig::default(),
+///     |_| {
+///         NodeConfig::default()
+///             .with_policy(PropagationPolicy::All)
+///             .with_racs(vec![
+///                 RacConfig::static_rac("HD", "HD"),
+///                 RacConfig::on_demand_rac("on-demand"),
+///             ])
+///     },
+/// ).unwrap();
+/// base.run_rounds(4).unwrap();
+///
+/// // Two pairs, two workers, one COW snapshot per pair; the base is never mutated.
+/// let results = PdCampaign::new(
+///     vec![(figure1::SRC, figure1::DST), (figure1::DST, figure1::SRC)],
+///     4,
+/// )
+/// .with_rounds_per_iteration(3)
+/// .with_parallelism(2)
+/// .run(&base)
+/// .unwrap();
+/// assert_eq!(results.len(), 2);
+/// assert!(results.iter().all(|r| !r.result.paths.is_empty()));
+/// assert_eq!(base.rounds_run(), 4);
+/// ```
 pub struct PdCampaign {
     pairs: Vec<(AsId, AsId)>,
     max_paths: usize,
     rounds_per_iteration: usize,
     parallelism: usize,
+    deep_clone: bool,
 }
 
 impl PdCampaign {
@@ -271,7 +323,20 @@ impl PdCampaign {
             max_paths,
             rounds_per_iteration: 6,
             parallelism: 1,
+            deep_clone: false,
         }
+    }
+
+    /// Switches the per-pair snapshot strategy back to the deep `Simulation::clone`
+    /// (`true`) instead of the default copy-on-write
+    /// [`Simulation::snapshot_reachable_from`] (`false`). Campaign output is
+    /// byte-identical in both modes; deep cloning only costs more setup time per pair.
+    /// Kept as the reference implementation for the determinism suite and the
+    /// `pd_snapshot_cost` benchmark.
+    #[must_use]
+    pub fn with_deep_clone(mut self, deep_clone: bool) -> Self {
+        self.deep_clone = deep_clone;
+        self
     }
 
     /// Overrides the number of beaconing rounds each workflow runs per pull iteration.
@@ -302,12 +367,30 @@ impl PdCampaign {
         1_000 + index as u64 * 1_000_000
     }
 
-    /// Runs every pair's workflow against its own clone of `base` and returns the results
-    /// in pair order. `base` itself is never mutated.
+    /// Runs every pair's workflow against its own snapshot of `base` and returns the
+    /// results in pair order. `base` itself is never mutated.
     pub fn run(&self, base: &Simulation) -> Result<Vec<PdPairResult>> {
         let run_pair = |index: usize, origin: AsId, target: AsId| -> Result<PdPairResult> {
             let start = Instant::now();
-            let mut sim = base.clone();
+            if origin == target {
+                // There are no origin→origin paths to discover: without this
+                // short-circuit a self-pair paid for a full snapshot and
+                // `max_empty_iterations` iterations of pull traffic to itself before
+                // concluding exactly that.
+                return Ok(PdPairResult {
+                    origin,
+                    target,
+                    result: PdResult::default(),
+                    pull_overhead: Vec::new(),
+                    self_pair: true,
+                    elapsed: start.elapsed(),
+                });
+            }
+            let mut sim = if self.deep_clone {
+                base.clone()
+            } else {
+                base.snapshot_reachable_from(origin).into_simulation()
+            };
             let mut workflow = PdWorkflow::new(origin, target, self.max_paths)
                 .with_rounds_per_iteration(self.rounds_per_iteration)
                 .with_algorithm_id_base(Self::algorithm_id_base(index));
@@ -317,6 +400,7 @@ impl PdCampaign {
                 target,
                 result,
                 pull_overhead: sim.overhead_pull().nonzero_samples(),
+                self_pair: false,
                 elapsed: start.elapsed(),
             })
         };
@@ -622,5 +706,79 @@ mod tests {
         // The base simulation is a read-only template: no clock movement, no new paths.
         assert_eq!(base.rounds_run(), base_rounds);
         assert_eq!(base.registered_paths(), base_paths);
+    }
+
+    #[test]
+    fn cow_and_deep_clone_campaigns_are_byte_identical() {
+        let mut base = sim_with_hd_and_on_demand();
+        base.run_rounds(6).unwrap();
+        let pairs = vec![(figure1::SRC, figure1::DST), (figure1::DST, figure1::SRC)];
+        for parallelism in [1usize, 4] {
+            let cow = PdCampaign::new(pairs.clone(), 6)
+                .with_rounds_per_iteration(3)
+                .with_parallelism(parallelism)
+                .run(&base)
+                .unwrap();
+            let deep = PdCampaign::new(pairs.clone(), 6)
+                .with_rounds_per_iteration(3)
+                .with_parallelism(parallelism)
+                .with_deep_clone(true)
+                .run(&base)
+                .unwrap();
+            assert_eq!(
+                pair_fingerprint(&cow),
+                pair_fingerprint(&deep),
+                "COW and deep-clone campaigns diverged at parallelism {parallelism}"
+            );
+            assert!(cow.iter().any(|r| r.result.iterations > 0));
+        }
+    }
+
+    /// Regression: self-pairs must be short-circuited with explicit accounting instead of
+    /// burning a snapshot plus `max_empty_iterations` iterations of pull traffic.
+    #[test]
+    fn self_pairs_short_circuit_with_explicit_accounting() {
+        let mut base = sim_with_hd_and_on_demand();
+        base.run_rounds(6).unwrap();
+        let results = PdCampaign::new(
+            vec![
+                (figure1::SRC, figure1::SRC), // self-pair
+                (figure1::SRC, figure1::DST),
+                (figure1::DST, figure1::DST), // self-pair
+            ],
+            6,
+        )
+        .with_rounds_per_iteration(3)
+        .run(&base)
+        .unwrap();
+
+        assert_eq!(results.len(), 3);
+        for r in [&results[0], &results[2]] {
+            assert!(r.self_pair, "self-pair must be flagged");
+            assert_eq!(r.result, PdResult::default(), "no iterations may run");
+            assert!(r.pull_overhead.is_empty(), "no pull traffic may be sent");
+        }
+        // The real pair still runs normally, with the same disjoint id range it would get
+        // in a self-pair-free campaign (index-based, so accounting stays per-slot).
+        assert!(!results[1].self_pair);
+        assert!(!results[1].result.paths.is_empty());
+        // Parallel runs agree byte-for-byte on the mixed pair list too.
+        let parallel = PdCampaign::new(
+            vec![
+                (figure1::SRC, figure1::SRC),
+                (figure1::SRC, figure1::DST),
+                (figure1::DST, figure1::DST),
+            ],
+            6,
+        )
+        .with_rounds_per_iteration(3)
+        .with_parallelism(4)
+        .run(&base)
+        .unwrap();
+        assert_eq!(pair_fingerprint(&parallel), pair_fingerprint(&results));
+        assert_eq!(
+            parallel.iter().map(|r| r.self_pair).collect::<Vec<_>>(),
+            vec![true, false, true]
+        );
     }
 }

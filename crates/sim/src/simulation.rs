@@ -9,7 +9,7 @@ use irec_metrics::overhead::OverheadCounter;
 use irec_metrics::RegisteredPath;
 use irec_topology::{GroupingConfig, InterfaceGroups, Topology};
 use irec_types::{AsId, IrecError, Result, SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// Simulation parameters.
@@ -93,6 +93,45 @@ impl Clone for Simulation {
             overhead: self.overhead.clone(),
             overhead_pull: self.overhead_pull.clone(),
         }
+    }
+}
+
+/// A structurally shared copy-on-write snapshot of a [`Simulation`].
+///
+/// Produced by [`Simulation::snapshot`] / [`Simulation::snapshot_reachable_from`]: every
+/// node's ingress database and path service share their shards with the base simulation
+/// (O(total shards) reference-count bumps instead of deep map copies), and a shard is
+/// materialized lazily, only when the snapshot — or the base — first writes to it. The
+/// remaining per-pair state (event queue, counters, RAC caches) is copied eagerly; it is
+/// small compared to the beacon and path maps.
+///
+/// The snapshot wraps a full [`Simulation`] and dereferences to it, so everything that
+/// works on a simulation — `run_rounds`, `node_mut`, the PD workflow — works on a
+/// snapshot. The base simulation is never observably affected by anything the snapshot
+/// does (and vice versa): whichever side touches a shared shard first pays for its own
+/// private copy of just that shard. This is what makes the all-pairs PD campaign's
+/// per-pair setup nearly free (see [`crate::pd::PdCampaign`]).
+pub struct SimSnapshot {
+    sim: Simulation,
+}
+
+impl SimSnapshot {
+    /// Consumes the snapshot, yielding the underlying simulation.
+    pub fn into_simulation(self) -> Simulation {
+        self.sim
+    }
+}
+
+impl std::ops::Deref for SimSnapshot {
+    type Target = Simulation;
+    fn deref(&self) -> &Simulation {
+        &self.sim
+    }
+}
+
+impl std::ops::DerefMut for SimSnapshot {
+    fn deref_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
     }
 }
 
@@ -192,6 +231,105 @@ impl Simulation {
         self.nodes
             .get_mut(&asn)
             .ok_or_else(|| IrecError::not_found(format!("no node for {asn}")))
+    }
+
+    /// A structurally shared copy-on-write snapshot of the whole simulation: O(total
+    /// shards) pointer copies instead of the deep per-node map copies [`Clone`] performs.
+    /// Shards are materialized lazily on first write — by either side — so the base and
+    /// the snapshot can never observe each other's subsequent mutations (see
+    /// [`SimSnapshot`]).
+    ///
+    /// ```
+    /// use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
+    /// use irec_sim::{Simulation, SimulationConfig};
+    /// use irec_topology::builder::figure1_topology;
+    /// use std::sync::Arc;
+    ///
+    /// let mut base = Simulation::new(
+    ///     Arc::new(figure1_topology()),
+    ///     SimulationConfig::default(),
+    ///     |_| {
+    ///         NodeConfig::default()
+    ///             .with_policy(PropagationPolicy::All)
+    ///             .with_racs(vec![RacConfig::static_rac("1SP", "1SP")])
+    ///     },
+    /// ).unwrap();
+    /// base.run_rounds(3).unwrap();
+    ///
+    /// // Snapshot setup is O(shards) pointer copies; the snapshot then evolves
+    /// // independently — the base never observes its rounds.
+    /// let mut snap = base.snapshot();
+    /// snap.run_rounds(2).unwrap();
+    /// assert_eq!(snap.rounds_run(), base.rounds_run() + 2);
+    /// assert_eq!(base.rounds_run(), 3);
+    /// ```
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            sim: self.cow_snapshot(None),
+        }
+    }
+
+    /// Like [`Simulation::snapshot`], but restricted to the ASes in `origin`'s connected
+    /// component of the topology: nodes outside it are left out of the snapshot entirely,
+    /// so their beaconing rounds are never run and their databases never copied.
+    ///
+    /// Excluded ASes have no link path to the origin, so no beacon, pull return or path
+    /// registration can cross between them and the origin's component — the origin's
+    /// observable workflow output (discovered paths, iteration counts, pull overhead) is
+    /// identical to a full snapshot, as long as the base simulation carries no pull-based
+    /// originations outside the origin's component (delivery *statistics* may differ:
+    /// in-flight events addressed to excluded ASes count as dropped). The PD campaign
+    /// satisfies that precondition by construction — pull beacons are injected only by the
+    /// per-pair workflows themselves — and `tests/pd_determinism.rs` pins the equivalence
+    /// on a disconnected topology.
+    pub fn snapshot_reachable_from(&self, origin: AsId) -> SimSnapshot {
+        let component = self.reachable_component(origin);
+        SimSnapshot {
+            sim: self.cow_snapshot(Some(&component)),
+        }
+    }
+
+    /// The ASes in `origin`'s connected component of the (undirected) topology, origin
+    /// included — the node set a pull workflow rooted at `origin` can possibly traverse.
+    /// Export policies can only shrink what beacons actually reach, never extend it.
+    pub fn reachable_component(&self, origin: AsId) -> BTreeSet<AsId> {
+        let mut component = BTreeSet::new();
+        if !self.nodes.contains_key(&origin) {
+            return component;
+        }
+        component.insert(origin);
+        let mut frontier = VecDeque::from([origin]);
+        while let Some(asn) = frontier.pop_front() {
+            // `for_each_neighbor` may repeat a neighbor (parallel links); the visited set
+            // dedups. Only ASes that still have a live node participate (failure
+            // injection may have removed some); links to removed ASes dead-end.
+            self.topology.for_each_neighbor(asn, |neighbor| {
+                if self.nodes.contains_key(&neighbor) && component.insert(neighbor) {
+                    frontier.push_back(neighbor);
+                }
+            });
+        }
+        component
+    }
+
+    /// The shared COW-snapshot core: per-node [`IrecNode::cow_clone`] over the kept node
+    /// set, eager copies of the small simulation-level state.
+    fn cow_snapshot(&self, keep: Option<&BTreeSet<AsId>>) -> Simulation {
+        Simulation {
+            topology: Arc::clone(&self.topology),
+            config: self.config,
+            nodes: self
+                .nodes
+                .iter()
+                .filter(|(asn, _)| keep.is_none_or(|k| k.contains(asn)))
+                .map(|(asn, node)| (*asn, node.cow_clone()))
+                .collect(),
+            plane: self.plane.clone(),
+            clock: self.clock,
+            round: self.round,
+            overhead: self.overhead.clone(),
+            overhead_pull: self.overhead_pull.clone(),
+        }
     }
 
     /// Configures geographic interface groups (§IV-D) for every AS, as used by the DOB

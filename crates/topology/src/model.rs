@@ -270,6 +270,20 @@ impl Topology {
         self.adjacency.get(&asn).cloned().unwrap_or_default()
     }
 
+    /// Visits every neighbor AS of `asn` without allocating. Neighbors connected by
+    /// parallel links are visited once per link — callers that need uniqueness (e.g. the
+    /// simulation's reachability BFS, which dedups via its visited set) must tolerate
+    /// repeats; use [`Topology::neighbors`] for a deduplicated list.
+    pub fn for_each_neighbor(&self, asn: AsId, mut f: impl FnMut(AsId)) {
+        if let Some(links) = self.adjacency.get(&asn) {
+            for lid in links {
+                if let Some(end) = self.links.get(lid).and_then(|l| l.other_end(asn)) {
+                    f(end.asn);
+                }
+            }
+        }
+    }
+
     /// All neighbor ASes of `asn` (deduplicated, order unspecified).
     pub fn neighbors(&self, asn: AsId) -> Vec<AsId> {
         let mut out: Vec<AsId> = self

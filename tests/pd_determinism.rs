@@ -7,8 +7,8 @@
 use irec_core::{NodeConfig, RacConfig};
 use irec_metrics::RegisteredPath;
 use irec_sim::{PdCampaign, PdWorkflow, Simulation, SimulationConfig};
-use irec_topology::{GeneratorConfig, TopologyGenerator};
-use irec_types::AsId;
+use irec_topology::{GeneratorConfig, Tier, TopologyBuilder, TopologyGenerator};
+use irec_types::{AsId, Bandwidth, Latency};
 use std::sync::Arc;
 
 const WARM_ROUNDS: usize = 3;
@@ -66,12 +66,26 @@ fn run_campaign(
     pd_parallelism: usize,
     delivery_parallelism: usize,
 ) -> CampaignFingerprint {
+    run_campaign_mode(path_shards, pd_parallelism, delivery_parallelism, false)
+}
+
+fn run_campaign_mode(
+    path_shards: usize,
+    pd_parallelism: usize,
+    delivery_parallelism: usize,
+    deep_clone: bool,
+) -> CampaignFingerprint {
     let base = warm_base(path_shards, delivery_parallelism);
     let results = PdCampaign::new(pairs(&base), MAX_PATHS)
         .with_rounds_per_iteration(ROUNDS_PER_ITERATION)
         .with_parallelism(pd_parallelism)
+        .with_deep_clone(deep_clone)
         .run(&base)
         .expect("campaign run");
+    fingerprint(results)
+}
+
+fn fingerprint(results: Vec<irec_sim::PdPairResult>) -> CampaignFingerprint {
     results
         .into_iter()
         .map(|pair| {
@@ -193,4 +207,103 @@ fn pd_campaign_leaves_the_base_simulation_untouched() {
     assert_eq!(base.registered_paths(), before_paths);
     assert_eq!(base.rounds_run(), before_rounds);
     assert_eq!(base.delivery_stats(), before_stats);
+}
+
+/// The copy-on-write snapshot path (the campaign default) reproduces the deep-clone
+/// reference implementation byte for byte across the whole acceptance matrix:
+/// `--pd-parallelism {1,4}` × `--path-shards {1,4,7}`.
+#[test]
+fn cow_snapshots_match_deep_clone_across_the_matrix() {
+    for path_shards in [1usize, 4, 7] {
+        for pd_parallelism in [1usize, 4] {
+            let cow = run_campaign_mode(path_shards, pd_parallelism, 1, false);
+            let deep = run_campaign_mode(path_shards, pd_parallelism, 1, true);
+            assert_eq!(
+                cow, deep,
+                "COW and deep-clone campaigns diverged at pd-parallelism \
+                 {pd_parallelism}, path-shards {path_shards}"
+            );
+        }
+    }
+}
+
+/// On a disconnected topology, the reachability pre-pass restricts each pair's snapshot
+/// to the origin's connected component — and the campaign output still matches the
+/// deep-clone run, which keeps every node. The other component's ASes can never exchange
+/// a message with the origin's component, so leaving them out is unobservable in the
+/// campaign fingerprint.
+#[test]
+fn reachability_restricted_snapshots_match_deep_clone_on_disconnected_topology() {
+    // Component A: a diamond 1 — {2, 4} — 3 (two disjoint 1↔3 paths, so the pull
+    // workflow has something to discover); component B: 10 — 11. No links across.
+    let latency = Latency::from_millis(10);
+    let bandwidth = Bandwidth::from_mbps(100);
+    let topology = Arc::new(
+        TopologyBuilder::new()
+            .with_as(1, Tier::Tier2)
+            .with_as(2, Tier::Tier2)
+            .with_as(3, Tier::Tier2)
+            .with_as(4, Tier::Tier2)
+            .with_as(10, Tier::Tier2)
+            .with_as(11, Tier::Tier2)
+            .link(1, 2, latency, bandwidth)
+            .link(2, 3, latency, bandwidth)
+            .link(1, 4, latency, bandwidth)
+            .link(4, 3, latency, bandwidth)
+            .link(10, 11, latency, bandwidth)
+            .build(),
+    );
+    let mut base = Simulation::new(Arc::clone(&topology), SimulationConfig::default(), |_| {
+        NodeConfig::default()
+                .with_racs(vec![
+                    RacConfig::static_rac("HD", "HD"),
+                    RacConfig::on_demand_rac("on-demand"),
+                ])
+                // All links here are peer links; the default valley-free policy would
+                // block every peer→peer export and nothing would propagate.
+                .with_policy(irec_core::PropagationPolicy::All)
+    })
+    .expect("simulation setup");
+    base.run_rounds(WARM_ROUNDS).expect("warm-up rounds");
+
+    // The pre-pass sees exactly component A from AS 1, component B from AS 10.
+    let component_a: Vec<AsId> = base.reachable_component(AsId(1)).into_iter().collect();
+    assert_eq!(component_a, vec![AsId(1), AsId(2), AsId(3), AsId(4)]);
+    let component_b: Vec<AsId> = base.reachable_component(AsId(10)).into_iter().collect();
+    assert_eq!(component_b, vec![AsId(10), AsId(11)]);
+
+    // Pairs inside each component; cross-component pairs cannot discover anything, which
+    // both modes must agree on too.
+    let pairs = vec![
+        (AsId(1), AsId(3)),
+        (AsId(3), AsId(1)),
+        (AsId(10), AsId(11)),
+        (AsId(1), AsId(11)), // unreachable target: must converge empty in both modes
+    ];
+    for pd_parallelism in [1usize, 4] {
+        let cow = fingerprint(
+            PdCampaign::new(pairs.clone(), MAX_PATHS)
+                .with_rounds_per_iteration(ROUNDS_PER_ITERATION)
+                .with_parallelism(pd_parallelism)
+                .run(&base)
+                .expect("COW campaign run"),
+        );
+        let deep = fingerprint(
+            PdCampaign::new(pairs.clone(), MAX_PATHS)
+                .with_rounds_per_iteration(ROUNDS_PER_ITERATION)
+                .with_parallelism(pd_parallelism)
+                .with_deep_clone(true)
+                .run(&base)
+                .expect("deep-clone campaign run"),
+        );
+        assert_eq!(
+            cow, deep,
+            "restricted COW snapshot diverged from deep clone at pd-parallelism \
+             {pd_parallelism}"
+        );
+        assert!(
+            cow.iter().any(|(_, _, paths, ..)| !paths.is_empty()),
+            "in-component pairs must discover paths"
+        );
+    }
 }
