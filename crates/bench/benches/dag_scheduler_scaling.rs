@@ -1,0 +1,95 @@
+//! Criterion benchmark for the work-item DAG round scheduler: wall-clock time of a full
+//! beaconing run — node rounds, speculative verifies, sharded applies and housekeeping as
+//! one dependency graph per round — against the scheduler's pool width.
+//!
+//! The expected shape: per-run wall-clock drops as workers are added, and — the point of
+//! the DAG over the barrier scheduler — worker idle time drops too, because speculative
+//! verification of already-staged messages overlaps the node phase instead of waiting for
+//! the round barrier. Outside the timed loop this bench asserts both properties: the DAG
+//! fingerprint is byte-identical to the barrier reference at every width, and at pool
+//! width ≥ 4 on a ≥ 4-core machine the DAG's idle counter lands strictly below the
+//! barrier's.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use irec_bench::regression::calibration_pass;
+use irec_bench::workload::round_scheduler_pass;
+use irec_sim::RoundScheduler;
+use std::time::Duration;
+
+const ASES: usize = 14;
+const ROUNDS: usize = 4;
+const SEED: u64 = 9;
+
+fn bench_dag_scheduler_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_scheduler_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    // One throwaway sequential barrier pass pins the fingerprint every row must reproduce.
+    let (reference, _) = round_scheduler_pass(ASES, ROUNDS, RoundScheduler::Barrier, 1, SEED);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let worker_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&w| w == 1 || w <= cores.min(16))
+        .collect();
+
+    for workers in worker_counts {
+        // Outside the timed loop: the acceptance probes. Determinism — both schedulers
+        // reproduce the sequential reference at this width. Overlap — the DAG scheduler
+        // keeps its workers busier than the barrier, i.e. speculative verify really does
+        // run during the node phase (only meaningful with real parallelism, so gated on
+        // pool width and physical cores).
+        let (barrier_fp, barrier_stats) =
+            round_scheduler_pass(ASES, ROUNDS, RoundScheduler::Barrier, workers, SEED);
+        let (dag_fp, dag_stats) =
+            round_scheduler_pass(ASES, ROUNDS, RoundScheduler::Dag, workers, SEED);
+        assert_eq!(
+            barrier_fp, reference,
+            "barrier diverged at {workers} workers"
+        );
+        assert_eq!(dag_fp, reference, "dag diverged at {workers} workers");
+        if workers >= 4 && cores >= 4 {
+            assert!(
+                dag_stats.idle_nanos < barrier_stats.idle_nanos,
+                "DAG idle ({} ns) must be strictly below barrier idle ({} ns) at \
+                 {workers} workers — speculative verify no longer overlaps the node phase",
+                dag_stats.idle_nanos,
+                barrier_stats.idle_nanos
+            );
+        }
+
+        group.throughput(Throughput::Elements(ROUNDS as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let (fingerprint, stats) =
+                        round_scheduler_pass(ASES, ROUNDS, RoundScheduler::Dag, workers, SEED);
+                    assert_eq!(fingerprint, reference, "dag diverged at {workers} workers");
+                    stats
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The machine-speed normalizer for the bench-regression gate: every sweep interleaves
+/// one `calibration/mix` measurement with the workload kernels it normalizes.
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration");
+    group.bench_function("mix", |b| b.iter(calibration_pass));
+    group.finish();
+}
+
+criterion_group!(
+    dag_scheduler,
+    bench_dag_scheduler_scaling,
+    bench_calibration
+);
+criterion_main!(dag_scheduler);

@@ -65,5 +65,13 @@ fn bench_ingress_sharding(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(sharding, bench_ingress_sharding);
+/// The machine-speed normalizer for the bench-regression gate: every sweep interleaves
+/// one `calibration/mix` measurement with the workload kernels it normalizes.
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration");
+    group.bench_function("mix", |b| b.iter(irec_bench::regression::calibration_pass));
+    group.finish();
+}
+
+criterion_group!(sharding, bench_ingress_sharding, bench_calibration);
 criterion_main!(sharding);

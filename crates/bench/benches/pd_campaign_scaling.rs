@@ -56,5 +56,13 @@ fn bench_pd_campaign_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(pd_campaign, bench_pd_campaign_scaling);
+/// The machine-speed normalizer for the bench-regression gate: every sweep interleaves
+/// one `calibration/mix` measurement with the workload kernels it normalizes.
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration");
+    group.bench_function("mix", |b| b.iter(irec_bench::regression::calibration_pass));
+    group.finish();
+}
+
+criterion_group!(pd_campaign, bench_pd_campaign_scaling, bench_calibration);
 criterion_main!(pd_campaign);

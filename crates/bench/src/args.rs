@@ -1,6 +1,7 @@
 //! A tiny `--key value` argument parser shared by the figure binaries (no external
 //! dependencies).
 
+use irec_sim::RoundScheduler;
 use std::collections::HashMap;
 
 /// Parsed benchmark arguments with defaults suitable for a laptop-scale run.
@@ -46,6 +47,11 @@ pub struct BenchArgs {
     /// Campaign output is byte-identical either way — this knob exists for A/B-ing the
     /// snapshot cost (see `docs/KNOBS.md`).
     pub pd_deep_clone: bool,
+    /// Round scheduler of every simulation the binaries build (`--round-scheduler
+    /// {barrier,dag}`, default barrier). Under `dag` the rounds run as a work-item DAG on
+    /// one pool of `max(parallelism, delivery-parallelism)` workers; the simulation output
+    /// is byte-identical either way.
+    pub round_scheduler: RoundScheduler,
 }
 
 impl Default for BenchArgs {
@@ -66,6 +72,7 @@ impl Default for BenchArgs {
             pd_parallelism: 1,
             path_shards: 0,
             pd_deep_clone: false,
+            round_scheduler: RoundScheduler::Barrier,
         }
     }
 }
@@ -128,6 +135,9 @@ impl BenchArgs {
         if let Some(v) = map.get("pd-deep-clone") {
             parsed.pd_deep_clone = matches!(v.as_str(), "true" | "1" | "yes");
         }
+        if let Some(v) = map.get("round-scheduler").and_then(|v| v.parse().ok()) {
+            parsed.round_scheduler = v;
+        }
         parsed
     }
 
@@ -150,6 +160,7 @@ impl BenchArgs {
          \x20 --ingress-shards N        ingress-DB shards per node (default 0 = auto)\n\
          \x20 --path-shards N           path-service shards per node (default 0 = auto)\n\
          \x20 --pd-deep-clone           use deep-Clone PD snapshots instead of copy-on-write\n\
+         \x20 --round-scheduler S       round scheduler: barrier (default) or dag\n\
          \n\
          Every parallelism/shard value yields byte-identical simulation output.\n\
          Full table with auto-default rules and IREC_CRITERION_* env hooks: docs/KNOBS.md\n"
@@ -187,6 +198,24 @@ mod tests {
         assert_eq!(a.ingress_shards, 0);
         assert_eq!(a.pd_parallelism, 1);
         assert_eq!(a.path_shards, 0);
+    }
+
+    #[test]
+    fn round_scheduler_parses_and_defaults_to_barrier() {
+        assert_eq!(parse(&[]).round_scheduler, RoundScheduler::Barrier);
+        assert_eq!(
+            parse(&["--round-scheduler", "dag"]).round_scheduler,
+            RoundScheduler::Dag
+        );
+        assert_eq!(
+            parse(&["--round-scheduler", "barrier"]).round_scheduler,
+            RoundScheduler::Barrier
+        );
+        // Unparsable values fall back to the default, like every other knob.
+        assert_eq!(
+            parse(&["--round-scheduler", "eager"]).round_scheduler,
+            RoundScheduler::Barrier
+        );
     }
 
     #[test]
@@ -269,6 +298,7 @@ mod tests {
             "--ingress-shards",
             "--path-shards",
             "--pd-deep-clone",
+            "--round-scheduler",
         ] {
             assert!(help.contains(knob), "help text is missing {knob}");
         }

@@ -15,8 +15,8 @@
 //! ```
 
 use irec_bench::regression::{
-    baseline_from_samples, compare, format_baseline, measure_calibration_ns, parse_baseline,
-    parse_samples, Status,
+    baseline_from_samples, calibration_from_samples, compare, format_baseline,
+    measure_calibration_ns, parse_baseline, parse_samples, Status,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -54,12 +54,25 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    eprintln!("measuring calibration kernel...");
-    let calibration_ns = measure_calibration_ns();
-    eprintln!(
-        "calibration: {calibration_ns:.0} ns, {} bench records",
-        samples.len()
-    );
+    // Prefer the calibration rows the criterion sweeps interleaved with the workload
+    // kernels: they were measured under the same scheduler and cache conditions as the
+    // means they normalize. An in-process measurement is only a fallback for input files
+    // recorded without the calibration bench.
+    let calibration_ns = match calibration_from_samples(&samples) {
+        Some(ns) => {
+            eprintln!(
+                "calibration: {ns:.0} ns (interleaved calibration/mix), {} bench records",
+                samples.len()
+            );
+            ns
+        }
+        None => {
+            eprintln!("no calibration/mix rows in {input}; measuring calibration kernel...");
+            let ns = measure_calibration_ns();
+            eprintln!("calibration: {ns:.0} ns, {} bench records", samples.len());
+            ns
+        }
+    };
 
     // Refresh mode: record the run as the new baseline and exit.
     if let Some(path) = options.get("write-baseline") {

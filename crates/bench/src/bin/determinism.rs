@@ -3,16 +3,17 @@
 //! per-pair PD result in full.
 //!
 //! ```text
-//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--delivery-parallelism N] [--ingress-shards N] [--pd-parallelism N] [--path-shards N] [--ases 12] [--rounds 3] [--seed 5]
+//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--delivery-parallelism N] [--ingress-shards N] [--pd-parallelism N] [--path-shards N] [--round-scheduler S] [--ases 12] [--rounds 3] [--seed 5]
 //! ```
 //!
 //! The output is **byte-identical for every `--parallelism`, `--delivery-parallelism`,
-//! `--ingress-shards`, `--pd-parallelism` and `--path-shards` value** — that is the
-//! determinism guarantee of the parallel execution engine, of the message-delivery plane,
-//! of the sharded ingress database, of the sharded path service and of the PD campaign
-//! engine, and the CI determinism job enforces it by diffing a sequential run against each
-//! knob alone and all of them stacked. All five arguments are deliberately excluded from
-//! the output for exactly that reason.
+//! `--ingress-shards`, `--pd-parallelism`, `--path-shards` and `--round-scheduler`
+//! value** — that is the determinism guarantee of the parallel execution engine, of the
+//! message-delivery plane, of the sharded ingress database, of the sharded path service,
+//! of the PD campaign engine and of the work-item DAG round scheduler, and the CI
+//! determinism job enforces it by diffing a sequential run against each knob alone and
+//! all of them stacked. All six arguments are deliberately excluded from the output for
+//! exactly that reason.
 
 use irec_bench::BenchArgs;
 use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
@@ -29,7 +30,8 @@ fn main() {
         Arc::new(figure1_topology()),
         SimulationConfig::default()
             .with_parallelism(args.parallelism)
-            .with_delivery_parallelism(args.delivery_parallelism),
+            .with_delivery_parallelism(args.delivery_parallelism)
+            .with_round_scheduler(args.round_scheduler),
         |_| {
             NodeConfig::default()
                 .with_policy(PropagationPolicy::All)
@@ -55,7 +57,8 @@ fn main() {
         Arc::new(TopologyGenerator::new(config).generate()),
         SimulationConfig::default()
             .with_parallelism(args.parallelism)
-            .with_delivery_parallelism(args.delivery_parallelism),
+            .with_delivery_parallelism(args.delivery_parallelism)
+            .with_round_scheduler(args.round_scheduler),
         |_| {
             NodeConfig::default()
                 .with_racs(vec![
@@ -78,7 +81,8 @@ fn main() {
         Arc::new(figure1_topology()),
         SimulationConfig::default()
             .with_parallelism(args.parallelism)
-            .with_delivery_parallelism(args.delivery_parallelism),
+            .with_delivery_parallelism(args.delivery_parallelism)
+            .with_round_scheduler(args.round_scheduler),
         |_| {
             NodeConfig::default()
                 .with_policy(PropagationPolicy::All)

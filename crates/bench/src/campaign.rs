@@ -143,7 +143,8 @@ impl Fig8Campaign {
             Arc::clone(&self.topology),
             SimulationConfig::default()
                 .with_parallelism(self.args.parallelism)
-                .with_delivery_parallelism(self.args.delivery_parallelism),
+                .with_delivery_parallelism(self.args.delivery_parallelism)
+                .with_round_scheduler(self.args.round_scheduler),
             {
                 let ingress_shards = self.args.ingress_shards;
                 let path_shards = self.args.path_shards;
@@ -184,7 +185,8 @@ impl Fig8Campaign {
             Arc::clone(&self.topology),
             SimulationConfig::default()
                 .with_parallelism(self.args.parallelism)
-                .with_delivery_parallelism(self.args.delivery_parallelism),
+                .with_delivery_parallelism(self.args.delivery_parallelism)
+                .with_round_scheduler(self.args.round_scheduler),
             {
                 let ingress_shards = self.args.ingress_shards;
                 let path_shards = self.args.path_shards;
@@ -319,6 +321,7 @@ pub fn test_campaign(seed: u64) -> Fig8Campaign {
         pd_parallelism: 1,
         path_shards: 0,
         pd_deep_clone: false,
+        round_scheduler: irec_sim::RoundScheduler::Barrier,
     })
 }
 

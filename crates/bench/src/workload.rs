@@ -8,8 +8,11 @@ use irec_core::{
     execute_racs, NodeConfig, Rac, RacConfig, RacTiming, ShardedIngressDb, SharedAlgorithmStore,
 };
 use irec_crypto::{KeyRegistry, Signer};
+use irec_metrics::RegisteredPath;
 use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
-use irec_sim::{DeliveryStats, PdCampaign, Simulation, SimulationConfig};
+use irec_sim::{
+    DeliveryStats, PdCampaign, RoundScheduler, SchedulerStats, Simulation, SimulationConfig,
+};
 use irec_topology::{AsNode, GeneratorConfig, Interface, Tier, TopologyGenerator};
 use irec_types::{
     AlgorithmId, AsId, Bandwidth, GeoCoord, IfId, InterfaceGroupId, Latency, LinkId, Result,
@@ -373,6 +376,70 @@ pub fn measure_delivery_point(
     (sim.delivery_stats(), start.elapsed())
 }
 
+/// The deterministic fingerprint of one round-scheduler run: registered paths, delivery
+/// accounting, ingress occupancy and per-round overhead samples — everything the
+/// `--round-scheduler` knob must leave byte-identical.
+pub type RoundFingerprint = (Vec<RegisteredPath>, DeliveryStats, usize, Vec<u64>);
+
+/// Builds the round-scheduler workload: a generated-topology simulation with the paper's
+/// static RAC mix, running under `scheduler` with `width` workers on both the node phase
+/// and the delivery plane (so the round pool width `max(parallelism,
+/// delivery_parallelism)` equals `width`). Shared by the `dag_scheduler_scaling`
+/// criterion bench and the DAG determinism integration tests.
+pub fn round_scheduler_workload(
+    ases: usize,
+    scheduler: RoundScheduler,
+    width: usize,
+    seed: u64,
+) -> Simulation {
+    let config = GeneratorConfig {
+        num_ases: ases,
+        seed,
+        ..Default::default()
+    };
+    let topology = Arc::new(TopologyGenerator::new(config).generate());
+    Simulation::new(
+        topology,
+        SimulationConfig::default()
+            .with_round_scheduler(scheduler)
+            .with_parallelism(width)
+            .with_delivery_parallelism(width),
+        |_| {
+            NodeConfig::default().with_racs(vec![
+                RacConfig::static_rac("5SP", "5SP"),
+                RacConfig::static_rac("HD", "HD"),
+            ])
+        },
+    )
+    .expect("round-scheduler workload simulation setup")
+}
+
+/// One full run of the round-scheduler workload: `rounds` beaconing rounds from a fresh
+/// simulation. Returns the deterministic fingerprint plus the scheduler's timing stats —
+/// the stats are deliberately *not* part of the fingerprint (busy/idle wall-clock varies
+/// run to run), but their idle counter is what the `dag_scheduler_scaling` bench compares
+/// across schedulers to show speculative verify overlapping the node phase.
+pub fn round_scheduler_pass(
+    ases: usize,
+    rounds: usize,
+    scheduler: RoundScheduler,
+    width: usize,
+    seed: u64,
+) -> (RoundFingerprint, SchedulerStats) {
+    let mut sim = round_scheduler_workload(ases, scheduler, width, seed);
+    sim.run_rounds(rounds.max(1))
+        .expect("round-scheduler workload rounds succeed");
+    (
+        (
+            sim.registered_paths(),
+            sim.delivery_stats(),
+            sim.ingress_occupancy(),
+            sim.overhead().samples(),
+        ),
+        sim.scheduler_stats(),
+    )
+}
+
 /// Builds the PD campaign workload: a generated-topology simulation with the paper's
 /// HD + on-demand deployment, warmed for `rounds` beaconing rounds — the base every
 /// campaign pass snapshots per `(origin, target)` pair. Shared by the
@@ -566,6 +633,28 @@ mod tests {
         for (shards, workers) in [(2, 2), (4, 4), (7, 3), (16, 8)] {
             let (stored, evicted) = sharded_ingress_pass(&beacons, shards, workers, far);
             assert_eq!((stored, evicted), (stored_ref, evicted_ref));
+        }
+    }
+
+    #[test]
+    fn round_scheduler_pass_is_scheduler_and_width_invariant() {
+        let (reference, _) = round_scheduler_pass(8, 2, RoundScheduler::Barrier, 1, 5);
+        assert!(reference.1.delivered > 0);
+        assert!(!reference.0.is_empty());
+        for (scheduler, width) in [
+            (RoundScheduler::Barrier, 4),
+            (RoundScheduler::Dag, 1),
+            (RoundScheduler::Dag, 4),
+        ] {
+            let (fingerprint, stats) = round_scheduler_pass(8, 2, scheduler, width, 5);
+            assert_eq!(
+                fingerprint, reference,
+                "diverged under {scheduler} x{width}"
+            );
+            assert_eq!(stats.rounds, 2);
+            if scheduler == RoundScheduler::Dag {
+                assert!(stats.items > 0, "DAG runs must account executed items");
+            }
         }
     }
 

@@ -26,8 +26,9 @@ use crate::rac::{Rac, RacOutput, RacTiming};
 use irec_topology::AsNode;
 use irec_types::{IfId, Result, SimTime};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Hard cap on engine workers; beyond this, coordination overhead dominates any workload
 /// this codebase produces.
@@ -164,9 +165,52 @@ fn process_item(
     )
 }
 
-/// Fans the work items out over `workers` scoped threads. Items are claimed through an
-/// atomic cursor (cheap dynamic load balancing — batch sizes are highly skewed) and results
-/// land in per-item slots, which keeps the merge order independent of scheduling.
+/// The shared claim-cursor worker pool: calls `work(index)` exactly once for every index
+/// in `0..count`, fanned out over `workers` scoped threads (clamped to [`MAX_WORKERS`] and
+/// to `count`; `<= 1` runs inline on the calling thread). Indices are claimed through an
+/// atomic cursor — cheap dynamic load balancing for skewed unit sizes — so callers that
+/// need ordered results write them into pre-allocated slots indexed by unit, exactly as
+/// [`execute_racs`] does.
+///
+/// When `busy_nanos` is given, each unit's execution time accumulates into it; the
+/// simulator's barrier scheduler uses this to compute its per-round worker idle time with
+/// the same formula as the DAG executor (`idle = workers × wall − Σ busy`), which is what
+/// makes the two schedulers' idle counters comparable.
+pub fn run_claimed<F>(count: usize, workers: usize, busy_nanos: Option<&AtomicU64>, work: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let run_unit = |index: usize| match busy_nanos {
+        Some(busy) => {
+            let started = Instant::now();
+            work(index);
+            busy.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        None => work(index),
+    };
+    let workers = workers.min(MAX_WORKERS).min(count).max(1);
+    if workers <= 1 {
+        for index in 0..count {
+            run_unit(index);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                run_unit(index);
+            });
+        }
+    });
+}
+
+/// Fans the work items out over `workers` scoped threads via [`run_claimed`], with results
+/// landing in per-item slots, which keeps the merge order independent of scheduling.
 fn execute_parallel(
     racs: &[Rac],
     items: &[WorkItem],
@@ -174,18 +218,9 @@ fn execute_parallel(
     egress_ifs: &[IfId],
     workers: usize,
 ) -> Vec<ItemResult> {
-    let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<ItemResult>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(index) else {
-                    break;
-                };
-                *slots[index].lock() = Some(process_item(racs, item, local_as, egress_ifs));
-            });
-        }
+    run_claimed(items.len(), workers, None, |index| {
+        *slots[index].lock() = Some(process_item(racs, &items[index], local_as, egress_ifs));
     });
     slots
         .into_iter()
@@ -310,6 +345,20 @@ mod tests {
             .iter()
             .map(|name| Rac::new_static(RacConfig::static_rac(*name, *name)).unwrap())
             .collect()
+    }
+
+    #[test]
+    fn run_claimed_runs_every_unit_exactly_once() {
+        for workers in [1, 3, 8] {
+            let hits: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+            let busy = AtomicU64::new(0);
+            run_claimed(hits.len(), workers, Some(&busy), |index| {
+                hits[index].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+        // Zero units: no spawn, no calls.
+        run_claimed(0, 4, None, |_| panic!("no units to run"));
     }
 
     #[test]

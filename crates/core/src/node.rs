@@ -302,8 +302,23 @@ impl IrecNode {
     }
 
     /// Runs one beaconing round: originate fresh beacons, run every RAC over the ingress
-    /// database, and process the selections through the egress gateway.
+    /// database, process the selections through the egress gateway, then run the round's
+    /// housekeeping.
+    ///
+    /// Equivalent to [`IrecNode::beaconing_round_core`] followed by
+    /// [`IrecNode::round_housekeeping`]; the simulator's DAG scheduler runs the two halves
+    /// as separate work items so eviction sweeps overlap other nodes' work instead of
+    /// extending the round's critical path.
     pub fn beaconing_round(&mut self, now: SimTime) -> Result<RoundOutput> {
+        let mut output = self.beaconing_round_core(now)?;
+        output.sent_per_interface = self.round_housekeeping(now);
+        Ok(output)
+    }
+
+    /// The productive phases of one beaconing round — origination, RAC execution, egress
+    /// processing — without the trailing housekeeping. The returned output's
+    /// `sent_per_interface` is left empty; [`IrecNode::round_housekeeping`] yields it.
+    pub fn beaconing_round_core(&mut self, now: SimTime) -> Result<RoundOutput> {
         self.round += 1;
         let mut output = RoundOutput::default();
 
@@ -359,13 +374,20 @@ impl IrecNode {
         let (messages, returns) = self.egress.process_outputs(all_outputs, now)?;
         output.messages.extend(messages);
         output.pull_returns = returns;
+        Ok(output)
+    }
 
-        // 4. Housekeeping: expiry eviction and per-round counters. The sweep fans out over
-        // the ingress shards with the same worker budget as the RAC engine — but only when
-        // the database is large enough for per-shard threads to beat their spawn cost:
-        // this runs once per node per round, possibly already inside a node-phase worker,
-        // and a near-empty sweep is a cheap map walk. The eviction outcome is shard- and
-        // worker-count independent either way.
+    /// The round's housekeeping (phase 4 of [`IrecNode::beaconing_round`]): expiry
+    /// eviction and the per-round send counters. The eviction sweep fans out over the
+    /// ingress shards with the same worker budget as the RAC engine — but only when the
+    /// database is large enough for per-shard threads to beat their spawn cost: this runs
+    /// once per node per round, possibly already inside a node-phase worker, and a
+    /// near-empty sweep is a cheap map walk. The eviction outcome is shard- and
+    /// worker-count independent either way.
+    ///
+    /// Returns — and resets — the per-interface send counters accumulated since the last
+    /// call; skipped entirely (counters left accumulating) when the round core failed.
+    pub fn round_housekeeping(&mut self, now: SimTime) -> BTreeMap<IfId, u64> {
         let eviction_workers = if self.ingress.db().len() >= PARALLEL_EVICTION_MIN_OCCUPANCY {
             self.config.parallelism
         } else {
@@ -377,8 +399,7 @@ impl IrecNode {
             eviction_workers,
         );
         self.egress.evict_expired(now);
-        output.sent_per_interface = self.egress.take_sent_counters();
-        Ok(output)
+        self.egress.take_sent_counters()
     }
 }
 

@@ -1,0 +1,202 @@
+//! The work-item DAG store: nodes, directed edges, in-degree tracking and the ready set.
+//!
+//! A [`Dag`] is a plain adjacency structure over `usize` item ids — it knows nothing about
+//! what an item *does* (see [`crate::dag::dependency_builder`] for the round-specific item
+//! kinds and edge rules, and [`crate::dag::executor`] for running one). Ids are assigned
+//! densely in insertion order, which the round builder exploits: the canonical merge order
+//! of the barrier scheduler is exactly the id order of the corresponding DAG items.
+
+/// A directed acyclic graph of work items, stored as successor lists plus per-node
+/// in-degrees.
+///
+/// Edges express "must happen before": `add_edge(a, b)` means item `b` may only start once
+/// item `a` has finished. The structure itself does not forbid cycles at insertion time —
+/// [`Dag::topological_order`] / [`Dag::is_acyclic`] validate, and the executor refuses to
+/// run a cyclic graph.
+#[derive(Debug, Clone, Default)]
+pub struct Dag {
+    /// `successors[i]` = items that depend on item `i`, in edge-insertion order.
+    successors: Vec<Vec<usize>>,
+    /// `in_degrees[i]` = number of items that must finish before item `i` may start.
+    in_degrees: Vec<usize>,
+    /// Total number of edges.
+    edges: usize,
+}
+
+impl Dag {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    /// Creates an empty DAG with room for `nodes` items.
+    pub fn with_capacity(nodes: usize) -> Self {
+        Dag {
+            successors: Vec::with_capacity(nodes),
+            in_degrees: Vec::with_capacity(nodes),
+            edges: 0,
+        }
+    }
+
+    /// Adds a new item and returns its id (ids are dense, in insertion order).
+    pub fn add_node(&mut self) -> usize {
+        self.successors.push(Vec::new());
+        self.in_degrees.push(0);
+        self.successors.len() - 1
+    }
+
+    /// Adds the edge `from → to` ("`to` may only start once `from` has finished").
+    ///
+    /// # Panics
+    /// If either id is out of range or the edge is a self-loop.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(from < self.len() && to < self.len(), "edge id out of range");
+        assert_ne!(from, to, "self-edges are never satisfiable");
+        self.successors[from].push(to);
+        self.in_degrees[to] += 1;
+        self.edges += 1;
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// Whether the DAG has no items.
+    pub fn is_empty(&self) -> bool {
+        self.successors.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// The number of unfinished predecessors item `id` starts with.
+    pub fn in_degree(&self, id: usize) -> usize {
+        self.in_degrees[id]
+    }
+
+    /// The items that depend on item `id`.
+    pub fn successors(&self, id: usize) -> &[usize] {
+        &self.successors[id]
+    }
+
+    /// The initial ready set: every item with no in-edges, in id order. This is what the
+    /// executor seeds its worker queues with.
+    pub fn ready_set(&self) -> Vec<usize> {
+        self.in_degrees
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == 0)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Kahn's algorithm: a topological order of all items, or `None` if the graph has a
+    /// cycle (in which case no schedule can satisfy every edge and the executor would
+    /// stall).
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let mut in_degrees = self.in_degrees.clone();
+        let mut order = Vec::with_capacity(self.len());
+        let mut frontier: std::collections::VecDeque<usize> = self.ready_set().into();
+        while let Some(id) = frontier.pop_front() {
+            order.push(id);
+            for &succ in &self.successors[id] {
+                in_degrees[succ] -= 1;
+                if in_degrees[succ] == 0 {
+                    frontier.push_back(succ);
+                }
+            }
+        }
+        (order.len() == self.len()).then_some(order)
+    }
+
+    /// Whether every item is reachable through a valid schedule (no cycles).
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_dag_is_trivially_acyclic() {
+        let dag = Dag::new();
+        assert!(dag.is_empty());
+        assert_eq!(dag.edge_count(), 0);
+        assert!(dag.ready_set().is_empty());
+        assert_eq!(dag.topological_order(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn ready_set_tracks_in_degrees() {
+        let mut dag = Dag::new();
+        let a = dag.add_node();
+        let b = dag.add_node();
+        let c = dag.add_node();
+        let d = dag.add_node();
+        dag.add_edge(a, c);
+        dag.add_edge(b, c);
+        dag.add_edge(c, d);
+        assert_eq!(dag.ready_set(), vec![a, b]);
+        assert_eq!(dag.in_degree(c), 2);
+        assert_eq!(dag.in_degree(d), 1);
+        assert_eq!(dag.successors(c), &[d]);
+        assert_eq!(dag.edge_count(), 3);
+    }
+
+    #[test]
+    fn topological_order_respects_every_edge() {
+        let mut dag = Dag::new();
+        let ids: Vec<usize> = (0..6).map(|_| dag.add_node()).collect();
+        // A diamond plus a tail: 0 → {1, 2} → 3 → 4, and 5 independent.
+        dag.add_edge(ids[0], ids[1]);
+        dag.add_edge(ids[0], ids[2]);
+        dag.add_edge(ids[1], ids[3]);
+        dag.add_edge(ids[2], ids[3]);
+        dag.add_edge(ids[3], ids[4]);
+        let order = dag.topological_order().expect("acyclic");
+        assert_eq!(order.len(), dag.len());
+        let position = |id: usize| order.iter().position(|&x| x == id).unwrap();
+        for from in 0..dag.len() {
+            for &to in dag.successors(from) {
+                assert!(position(from) < position(to), "edge {from}->{to} violated");
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut dag = Dag::new();
+        let a = dag.add_node();
+        let b = dag.add_node();
+        let c = dag.add_node();
+        dag.add_edge(a, b);
+        dag.add_edge(b, c);
+        assert!(dag.is_acyclic());
+        dag.add_edge(c, a);
+        assert!(!dag.is_acyclic());
+        assert_eq!(dag.topological_order(), None);
+        // A cyclic graph can still report a (now empty) ready set.
+        assert!(dag.ready_set().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-edges")]
+    fn self_edges_panic() {
+        let mut dag = Dag::new();
+        let a = dag.add_node();
+        dag.add_edge(a, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edges_panic() {
+        let mut dag = Dag::new();
+        let a = dag.add_node();
+        dag.add_edge(a, 7);
+    }
+}

@@ -1,0 +1,395 @@
+//! Derives the edges of one round's work-item DAG from the simulator's existing
+//! determinism invariants.
+//!
+//! The barrier scheduler proves its determinism with three facts (see the
+//! [`crate::delivery`] module docs); the builder turns each fact into an edge rule
+//! instead of a barrier:
+//!
+//! 1. **A node's RAC work depends on its committed ingress shards.** Every apply item
+//!    targeting `(destination AS, shard)` precedes that destination's node-round item —
+//!    and nothing else does, so an AS with no due traffic starts its round immediately.
+//! 2. **Speculative verify of a scheduled message depends only on its sender's output.**
+//!    A sender's speculative-verify item follows its own accounting item (which assigns
+//!    the messages' delivery times and sequence numbers) — verification is pure, so it
+//!    needs no edge to the destination's state at all.
+//! 3. **A shard-level apply depends on all earlier verdicts targeting that
+//!    `(destination AS, shard)` in `(SimTime, seq)` order.** The round drains due events
+//!    as one epoch, so all of a destination's due verdicts come from the destination's
+//!    single verify item: one edge per apply inbox.
+//!
+//! Two serial chains keep the counters byte-identical to the barrier path: the delivery
+//! accounting item follows every verify item (outcome counters accumulate in epoch
+//! order), and the per-node accounting items form one chain in `AsId` order (overhead
+//! counters and event sequence numbers are assigned exactly as the barrier's `AsId`-order
+//! merge assigns them).
+
+use super::dag::Dag;
+use irec_types::AsId;
+use std::collections::BTreeMap;
+
+/// What one work item of a round DAG does. The driver in [`crate::simulation`] maps each
+/// kind back to the state it operates on (inboxes, node cells, counter slots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundItem {
+    /// Verify every due, not-yet-cached PCB addressed to `dest` (pure; writes verdict
+    /// slots).
+    Verify {
+        /// The destination AS whose inbox this item verifies.
+        dest: AsId,
+    },
+    /// Account delivered/rejected/dropped outcomes of the whole epoch, in epoch order.
+    Account,
+    /// Commit the due PCBs of one `(destination AS, ingress shard)` inbox, in
+    /// `(SimTime, seq)` order.
+    ApplyPcb {
+        /// The destination AS.
+        dest: AsId,
+        /// The destination's ingress-database shard.
+        shard: usize,
+    },
+    /// Commit the due pull returns of one `(destination AS, path shard)` inbox, in
+    /// `(SimTime, seq)` order.
+    ApplyReturn {
+        /// The destination AS.
+        dest: AsId,
+        /// The destination's path-service shard.
+        shard: usize,
+    },
+    /// One AS's beaconing round core: origination, RAC execution, egress processing.
+    NodeRound {
+        /// The AS running its round.
+        asn: AsId,
+    },
+    /// Account one AS's round output (overhead counters) and stage its outgoing messages
+    /// with delivery times and sequence numbers. Chained in `AsId` order.
+    AccountRound {
+        /// The AS whose output is accounted.
+        asn: AsId,
+    },
+    /// Speculatively verify the messages `asn` just scheduled, caching verdicts for the
+    /// round that will deliver them.
+    SpeculativeVerify {
+        /// The AS whose scheduled messages are verified.
+        asn: AsId,
+    },
+    /// One AS's round housekeeping: expiry eviction sweeps and send-counter reset.
+    Housekeeping {
+        /// The AS running housekeeping.
+        asn: AsId,
+    },
+}
+
+/// A built round plan: the DAG plus the item table mapping ids back to [`RoundItem`]s.
+#[derive(Debug, Clone, Default)]
+pub struct RoundPlan {
+    /// The dependency graph over `items` (ids index into `items`).
+    pub dag: Dag,
+    /// What each DAG node does, indexed by item id.
+    pub items: Vec<RoundItem>,
+}
+
+/// Builds one round's [`RoundPlan`], wiring the edge rules above as items are added.
+///
+/// The driver adds items in the canonical barrier order — verify inboxes (destination
+/// ascending), the epoch accounting item, apply inboxes (key ascending), node rounds,
+/// accounting chain, speculative verifies, housekeeping (each `AsId` ascending) — so item
+/// ids are a stable function of the round's inputs.
+#[derive(Debug, Default)]
+pub struct RoundDagBuilder {
+    dag: Dag,
+    items: Vec<RoundItem>,
+    verify_by_dest: BTreeMap<AsId, usize>,
+    applies_by_dest: BTreeMap<AsId, Vec<usize>>,
+    round_by_node: BTreeMap<AsId, usize>,
+    account_round_by_node: BTreeMap<AsId, usize>,
+    last_account_round: Option<usize>,
+}
+
+impl RoundDagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        RoundDagBuilder::default()
+    }
+
+    fn push(&mut self, item: RoundItem) -> usize {
+        let id = self.dag.add_node();
+        debug_assert_eq!(id, self.items.len());
+        self.items.push(item);
+        id
+    }
+
+    /// Adds the verify item for `dest`'s due PCB inbox. No in-edges: verification is pure,
+    /// so it is ready the moment the round starts.
+    pub fn add_verify(&mut self, dest: AsId) -> usize {
+        let id = self.push(RoundItem::Verify { dest });
+        self.verify_by_dest.insert(dest, id);
+        id
+    }
+
+    /// Adds the epoch's outcome-accounting item, depending on every verify item added so
+    /// far (counters accumulate in epoch order, over complete verdicts).
+    pub fn add_account(&mut self) -> usize {
+        let id = self.push(RoundItem::Account);
+        let edges: Vec<usize> = self.verify_by_dest.values().copied().collect();
+        for from in edges {
+            self.dag.add_edge(from, id);
+        }
+        id
+    }
+
+    /// Adds the apply item for one `(dest, ingress shard)` PCB inbox: edge rule 3 — it
+    /// depends on `dest`'s verify item (when one exists; an inbox whose verdicts were all
+    /// cached by speculative verification has no verify item and starts immediately).
+    pub fn add_apply_pcb(&mut self, dest: AsId, shard: usize) -> usize {
+        let id = self.push(RoundItem::ApplyPcb { dest, shard });
+        if let Some(&verify) = self.verify_by_dest.get(&dest) {
+            self.dag.add_edge(verify, id);
+        }
+        self.applies_by_dest.entry(dest).or_default().push(id);
+        id
+    }
+
+    /// Adds the apply item for one `(dest, path shard)` pull-return inbox. Pull returns
+    /// need no verification, so the item has no in-edges — only the destination's node
+    /// round waits for it.
+    pub fn add_apply_return(&mut self, dest: AsId, shard: usize) -> usize {
+        let id = self.push(RoundItem::ApplyReturn { dest, shard });
+        self.applies_by_dest.entry(dest).or_default().push(id);
+        id
+    }
+
+    /// Adds `asn`'s node-round item: edge rule 1 — it depends on every apply item
+    /// targeting `asn` (its committed ingress shards and path shards), and nothing else.
+    pub fn add_node_round(&mut self, asn: AsId) -> usize {
+        let id = self.push(RoundItem::NodeRound { asn });
+        if let Some(applies) = self.applies_by_dest.get(&asn) {
+            for from in applies.clone() {
+                self.dag.add_edge(from, id);
+            }
+        }
+        self.round_by_node.insert(asn, id);
+        id
+    }
+
+    /// Adds `asn`'s round-accounting item: depends on `asn`'s node round and on the
+    /// previously added accounting item, forming one chain in insertion (= `AsId`) order
+    /// so overhead counters and event sequence numbers are assigned exactly as the
+    /// barrier's `AsId`-order merge assigns them.
+    pub fn add_account_round(&mut self, asn: AsId) -> usize {
+        let id = self.push(RoundItem::AccountRound { asn });
+        if let Some(&round) = self.round_by_node.get(&asn) {
+            self.dag.add_edge(round, id);
+        }
+        if let Some(prev) = self.last_account_round {
+            self.dag.add_edge(prev, id);
+        }
+        self.last_account_round = Some(id);
+        self.account_round_by_node.insert(asn, id);
+        id
+    }
+
+    /// Adds `asn`'s speculative-verify item: edge rule 2 — it depends only on the sender's
+    /// own accounting item (which fixed the messages' delivery times and sequence
+    /// numbers), never on the destinations' state.
+    pub fn add_speculative_verify(&mut self, asn: AsId) -> usize {
+        let id = self.push(RoundItem::SpeculativeVerify { asn });
+        if let Some(&account) = self.account_round_by_node.get(&asn) {
+            self.dag.add_edge(account, id);
+        }
+        id
+    }
+
+    /// Adds `asn`'s housekeeping item, depending on `asn`'s node round (eviction sweeps
+    /// run on the post-round databases, exactly as the barrier's phase 4 does).
+    pub fn add_housekeeping(&mut self, asn: AsId) -> usize {
+        let id = self.push(RoundItem::Housekeeping { asn });
+        if let Some(&round) = self.round_by_node.get(&asn) {
+            self.dag.add_edge(round, id);
+        }
+        id
+    }
+
+    /// Finishes the plan.
+    ///
+    /// # Panics
+    /// If the edge rules produced a cycle — impossible for any input (every rule points
+    /// from an earlier stage to a later one), so a panic here means the builder itself is
+    /// broken.
+    pub fn build(self) -> RoundPlan {
+        assert!(self.dag.is_acyclic(), "round edge rules produced a cycle");
+        RoundPlan {
+            dag: self.dag,
+            items: self.items,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asid(n: u64) -> AsId {
+        AsId(n)
+    }
+
+    /// A representative round: two destinations with due PCB traffic (one across two
+    /// shards), one pull return, three nodes.
+    fn representative_plan() -> RoundPlan {
+        let mut b = RoundDagBuilder::new();
+        b.add_verify(asid(1));
+        b.add_verify(asid(2));
+        b.add_account();
+        b.add_apply_pcb(asid(1), 0);
+        b.add_apply_pcb(asid(1), 3);
+        b.add_apply_pcb(asid(2), 1);
+        b.add_apply_return(asid(2), 0);
+        for n in 1..=3 {
+            b.add_node_round(asid(n));
+        }
+        for n in 1..=3 {
+            b.add_account_round(asid(n));
+        }
+        for n in 1..=3 {
+            b.add_speculative_verify(asid(n));
+        }
+        for n in 1..=3 {
+            b.add_housekeeping(asid(n));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn representative_round_is_acyclic_with_expected_ready_set() {
+        let plan = representative_plan();
+        assert!(plan.dag.is_acyclic());
+        // Initially ready: both verify items, the pull-return apply, and node 3's round
+        // (no due traffic targets AS3).
+        let ready: Vec<RoundItem> = plan
+            .dag
+            .ready_set()
+            .into_iter()
+            .map(|id| plan.items[id])
+            .collect();
+        assert!(ready.contains(&RoundItem::Verify { dest: asid(1) }));
+        assert!(ready.contains(&RoundItem::Verify { dest: asid(2) }));
+        assert!(ready.contains(&RoundItem::ApplyReturn {
+            dest: asid(2),
+            shard: 0
+        }));
+        assert!(ready.contains(&RoundItem::NodeRound { asn: asid(3) }));
+        // Not ready: anything depending on verification or node rounds.
+        assert!(!ready.contains(&RoundItem::Account));
+        assert!(!ready.contains(&RoundItem::ApplyPcb {
+            dest: asid(1),
+            shard: 0
+        }));
+        assert!(!ready.contains(&RoundItem::NodeRound { asn: asid(1) }));
+        assert!(!ready.contains(&RoundItem::AccountRound { asn: asid(1) }));
+    }
+
+    #[test]
+    fn edge_rules_point_where_the_invariants_say() {
+        let plan = representative_plan();
+        let id_of = |item: RoundItem| plan.items.iter().position(|&i| i == item).unwrap();
+        let has_edge =
+            |from: RoundItem, to: RoundItem| plan.dag.successors(id_of(from)).contains(&id_of(to));
+        // Rule 3: each PCB apply inbox hangs off its destination's verify item.
+        assert!(has_edge(
+            RoundItem::Verify { dest: asid(1) },
+            RoundItem::ApplyPcb {
+                dest: asid(1),
+                shard: 0
+            }
+        ));
+        assert!(has_edge(
+            RoundItem::Verify { dest: asid(1) },
+            RoundItem::ApplyPcb {
+                dest: asid(1),
+                shard: 3
+            }
+        ));
+        assert!(!has_edge(
+            RoundItem::Verify { dest: asid(2) },
+            RoundItem::ApplyPcb {
+                dest: asid(1),
+                shard: 0
+            }
+        ));
+        // Rule 1: a node round waits for exactly its own applies (both kinds).
+        assert!(has_edge(
+            RoundItem::ApplyPcb {
+                dest: asid(2),
+                shard: 1
+            },
+            RoundItem::NodeRound { asn: asid(2) }
+        ));
+        assert!(has_edge(
+            RoundItem::ApplyReturn {
+                dest: asid(2),
+                shard: 0
+            },
+            RoundItem::NodeRound { asn: asid(2) }
+        ));
+        assert!(!has_edge(
+            RoundItem::ApplyPcb {
+                dest: asid(1),
+                shard: 0
+            },
+            RoundItem::NodeRound { asn: asid(2) }
+        ));
+        // Rule 2: speculative verify hangs off the sender's accounting item only.
+        assert!(has_edge(
+            RoundItem::AccountRound { asn: asid(2) },
+            RoundItem::SpeculativeVerify { asn: asid(2) }
+        ));
+        assert_eq!(
+            plan.dag
+                .in_degree(id_of(RoundItem::SpeculativeVerify { asn: asid(2) })),
+            1
+        );
+        // Epoch accounting follows every verify.
+        assert!(has_edge(
+            RoundItem::Verify { dest: asid(1) },
+            RoundItem::Account
+        ));
+        assert!(has_edge(
+            RoundItem::Verify { dest: asid(2) },
+            RoundItem::Account
+        ));
+        // The accounting chain is AsId-ordered.
+        assert!(has_edge(
+            RoundItem::AccountRound { asn: asid(1) },
+            RoundItem::AccountRound { asn: asid(2) }
+        ));
+        assert!(has_edge(
+            RoundItem::NodeRound { asn: asid(3) },
+            RoundItem::Housekeeping { asn: asid(3) }
+        ));
+    }
+
+    #[test]
+    fn cached_only_inbox_has_no_verify_edge() {
+        // All of AS1's verdicts were cached by speculative verification: no verify item
+        // exists, and the apply inbox is ready immediately.
+        let mut b = RoundDagBuilder::new();
+        let apply = b.add_apply_pcb(asid(1), 0);
+        b.add_node_round(asid(1));
+        let plan = b.build();
+        assert_eq!(plan.dag.in_degree(apply), 0);
+        assert!(plan.dag.ready_set().contains(&apply));
+    }
+
+    #[test]
+    fn delivery_only_plan_works_without_node_items() {
+        // The final `deliver_until(MAX)` flush builds verify/account/apply items only.
+        let mut b = RoundDagBuilder::new();
+        b.add_verify(asid(1));
+        b.add_account();
+        b.add_apply_pcb(asid(1), 0);
+        b.add_apply_return(asid(1), 0);
+        let plan = b.build();
+        assert!(plan.dag.is_acyclic());
+        assert_eq!(plan.dag.len(), 4);
+        assert_eq!(plan.dag.topological_order().unwrap().len(), 4);
+    }
+}

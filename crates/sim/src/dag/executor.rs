@@ -1,0 +1,268 @@
+//! The work-stealing DAG executor: runs items the moment their in-edges are satisfied.
+//!
+//! Each worker owns a deque of ready item ids. Finishing an item atomically decrements the
+//! in-degree of its successors; an item whose last in-edge was just satisfied is pushed
+//! onto the *finishing* worker's deque (locality: a node round unlocked by its last apply
+//! tends to stay on the worker that ran that apply). A worker whose own deque is empty
+//! steals from its neighbours. There is no barrier anywhere — the pool runs until every
+//! item has executed.
+//!
+//! **Determinism is the caller's job, by construction.** The executor makes no ordering
+//! promise beyond the DAG's edges, so callers must arrange (as the round builder does)
+//! that any two unordered items touch disjoint state — then the execution order is
+//! unobservable and a run is byte-identical to the barrier reference for any worker count.
+//!
+//! The report's [`ExecReport::idle_nanos`] is the scheduler-quality metric the
+//! `dag_scheduler_scaling` benchmark compares against the barrier path: worker-nanoseconds
+//! spent spinning for work while the DAG still had unfinished items.
+
+use super::dag::Dag;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Hard cap on executor workers, matching the engine's and the delivery plane's caps.
+pub const MAX_WORKERS: usize = 64;
+
+/// What one [`DagExecutor::run`] did, for scheduler-quality accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Items executed (always the DAG's full item count on return).
+    pub executed: u64,
+    /// Items a worker popped from another worker's deque.
+    pub steals: u64,
+    /// Total worker-nanoseconds spent executing items.
+    pub busy_nanos: u64,
+    /// Total worker-nanoseconds spent waiting for an item to become ready.
+    pub idle_nanos: u64,
+}
+
+/// A fixed-width work-stealing pool over one [`Dag`].
+///
+/// The pool is scoped: [`DagExecutor::run`] spawns its workers, drives the DAG to
+/// completion and joins them before returning, so the work closure may borrow from the
+/// caller's stack.
+#[derive(Debug, Clone, Copy)]
+pub struct DagExecutor {
+    workers: usize,
+}
+
+impl DagExecutor {
+    /// Creates an executor with `workers` threads (clamped to `1..=`[`MAX_WORKERS`]).
+    pub fn new(workers: usize) -> Self {
+        DagExecutor {
+            workers: workers.clamp(1, MAX_WORKERS),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every item of `dag`, calling `work(id)` exactly once per item, never before
+    /// all of the item's in-edges are satisfied.
+    ///
+    /// `work` is infallible by signature: callers route errors through result slots
+    /// indexed by item id (exactly like the barrier engine's slot merge), which keeps
+    /// error propagation deterministic and independent of execution order.
+    ///
+    /// # Panics
+    /// If `dag` has a cycle (no schedule could ever satisfy its edges).
+    pub fn run<F>(&self, dag: &Dag, work: F) -> ExecReport
+    where
+        F: Fn(usize) + Sync,
+    {
+        let total = dag.len();
+        if total == 0 {
+            return ExecReport::default();
+        }
+        assert!(dag.is_acyclic(), "cannot execute a cyclic work graph");
+
+        let workers = self.workers.min(total).max(1);
+        if workers == 1 {
+            return run_sequential(dag, &work);
+        }
+
+        let in_degrees: Vec<AtomicUsize> = (0..total)
+            .map(|id| AtomicUsize::new(dag.in_degree(id)))
+            .collect();
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        // Seed the initial ready set round-robin so every worker starts with work.
+        for (position, id) in dag.ready_set().into_iter().enumerate() {
+            queues[position % workers].lock().push_back(id);
+        }
+        let remaining = AtomicUsize::new(total);
+        let steals = AtomicU64::new(0);
+        let busy = AtomicU64::new(0);
+        let idle = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let queues = &queues;
+                let in_degrees = &in_degrees;
+                let remaining = &remaining;
+                let steals = &steals;
+                let busy = &busy;
+                let idle = &idle;
+                let work = &work;
+                scope.spawn(move || loop {
+                    // Own deque first (LIFO: freshly-unlocked successors are cache-hot),
+                    // then steal oldest items from the neighbours.
+                    let mut item = queues[me].lock().pop_back();
+                    if item.is_none() {
+                        for offset in 1..workers {
+                            let victim = (me + offset) % workers;
+                            item = queues[victim].lock().pop_front();
+                            if item.is_some() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    match item {
+                        Some(id) => {
+                            let started = Instant::now();
+                            work(id);
+                            busy.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            for &succ in dag.successors(id) {
+                                if in_degrees[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    queues[me].lock().push_back(succ);
+                                }
+                            }
+                            remaining.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        None => {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            // Every ready item is claimed and in flight on some other
+                            // worker; spin until one of them unlocks a successor.
+                            let waited = Instant::now();
+                            std::thread::yield_now();
+                            idle.fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+
+        ExecReport {
+            executed: total as u64,
+            steals: steals.into_inner(),
+            busy_nanos: busy.into_inner(),
+            idle_nanos: idle.into_inner(),
+        }
+    }
+}
+
+/// The single-worker path: a plain ready-queue walk on the calling thread — no spawns, no
+/// spinning, zero idle by definition.
+fn run_sequential<F: Fn(usize)>(dag: &Dag, work: &F) -> ExecReport {
+    let mut in_degrees: Vec<usize> = (0..dag.len()).map(|id| dag.in_degree(id)).collect();
+    let mut frontier: VecDeque<usize> = dag.ready_set().into();
+    let mut executed = 0u64;
+    let started = Instant::now();
+    while let Some(id) = frontier.pop_front() {
+        work(id);
+        executed += 1;
+        for &succ in dag.successors(id) {
+            in_degrees[succ] -= 1;
+            if in_degrees[succ] == 0 {
+                frontier.push_back(succ);
+            }
+        }
+    }
+    debug_assert_eq!(executed as usize, dag.len(), "acyclic DAG fully executed");
+    ExecReport {
+        executed,
+        steals: 0,
+        busy_nanos: started.elapsed().as_nanos() as u64,
+        idle_nanos: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    /// A linear chain plus a wide fan-in, executed at several widths: every item runs
+    /// exactly once, and no item runs before its predecessors.
+    fn check_execution(workers: usize) {
+        let mut dag = Dag::new();
+        let head = dag.add_node();
+        let mids: Vec<usize> = (0..10).map(|_| dag.add_node()).collect();
+        let tail = dag.add_node();
+        for &mid in &mids {
+            dag.add_edge(head, mid);
+            dag.add_edge(mid, tail);
+        }
+        let done: Vec<AtomicBool> = (0..dag.len()).map(|_| AtomicBool::new(false)).collect();
+        let order_ok = AtomicBool::new(true);
+        let report = DagExecutor::new(workers).run(&dag, |id| {
+            if id != head && !done[head].load(Ordering::Acquire) {
+                order_ok.store(false, Ordering::Release);
+            }
+            if id == tail && !mids.iter().all(|&m| done[m].load(Ordering::Acquire)) {
+                order_ok.store(false, Ordering::Release);
+            }
+            assert!(
+                !done[id].swap(true, Ordering::AcqRel),
+                "item {id} ran twice"
+            );
+        });
+        assert!(
+            order_ok.load(Ordering::Acquire),
+            "edge violated at {workers} workers"
+        );
+        assert_eq!(report.executed as usize, dag.len());
+        assert!(done.iter().all(|d| d.load(Ordering::Acquire)));
+    }
+
+    #[test]
+    fn executes_every_item_exactly_once_at_any_width() {
+        for workers in [1, 2, 4, 8] {
+            check_execution(workers);
+        }
+    }
+
+    #[test]
+    fn empty_dag_is_a_no_op() {
+        let report = DagExecutor::new(4).run(&Dag::new(), |_| panic!("no items to run"));
+        assert_eq!(report, ExecReport::default());
+    }
+
+    #[test]
+    fn independent_items_all_run() {
+        let mut dag = Dag::new();
+        for _ in 0..100 {
+            dag.add_node();
+        }
+        let count = AtomicUsize::new(0);
+        let report = DagExecutor::new(4).run(&dag, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 100);
+        assert_eq!(report.executed, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "cyclic")]
+    fn cyclic_graph_is_refused() {
+        let mut dag = Dag::new();
+        let a = dag.add_node();
+        let b = dag.add_node();
+        dag.add_edge(a, b);
+        dag.add_edge(b, a);
+        DagExecutor::new(2).run(&dag, |_| {});
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(DagExecutor::new(0).workers(), 1);
+        assert_eq!(DagExecutor::new(1_000).workers(), MAX_WORKERS);
+    }
+}

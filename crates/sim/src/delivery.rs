@@ -39,13 +39,24 @@
 //! any `parallelism` value — and any ingress/path shard count — is therefore
 //! byte-identical to a sequential run, which `tests/delivery_determinism.rs`,
 //! `tests/pd_determinism.rs` and the CI determinism job all enforce.
+//!
+//! **DAG scheduler mode.** Under `--round-scheduler dag` (see [`crate::dag`]) the plane is
+//! not drained by `deliver_until` at all: the round driver pops the due epoch via
+//! [`DeliveryPlane::drain_due`], turns the same verify/apply inboxes into work-DAG nodes
+//! executed by a shared work-stealing pool, and merges the outcome back through
+//! [`DeliveryPlane::add_stats`]. The plane additionally carries a speculative-verdict
+//! cache ([`DeliveryPlane::cache_verdicts`]): verdicts for *next* round's events, computed
+//! while the current round's node phase still runs (verify purity makes them valid early),
+//! keyed by event sequence number and consumed when the event is drained. Barrier-mode
+//! paths never populate or read the cache.
 
 use crate::event::{Event, EventQueue};
-use irec_core::{IrecNode, PcbMessage, PullReturn};
+use irec_core::{engine::run_claimed, IrecNode, PcbMessage, PullReturn};
 use irec_types::{AsId, Result, SimTime};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Hard cap on delivery workers, matching the RAC engine's cap.
 pub const MAX_WORKERS: usize = 64;
@@ -76,6 +87,13 @@ impl DeliveryStats {
     pub fn dropped_total(&self) -> u64 {
         self.dropped_no_node + self.rejected
     }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: DeliveryStats) {
+        self.delivered += other.delivered;
+        self.dropped_no_node += other.dropped_no_node;
+        self.rejected += other.rejected;
+    }
 }
 
 /// The message-delivery plane: the deterministic event queue plus the epoch pipeline that
@@ -87,6 +105,12 @@ pub struct DeliveryPlane {
     /// Worker threads for the verify stage; `<= 1` verifies inline during the apply walk.
     parallelism: usize,
     stats: DeliveryStats,
+    /// Verdicts precomputed by the DAG scheduler's speculative-verify items, keyed by the
+    /// event's queue sequence number (unique per plane lifetime, so a verdict can never be
+    /// applied to the wrong event). Entries are consumed when their event is drained.
+    /// Always empty under the barrier scheduler. Cloned with the plane: a snapshot's
+    /// in-flight events replay with the same precomputed verdicts.
+    verdict_cache: HashMap<u64, Result<()>>,
 }
 
 impl Default for DeliveryPlane {
@@ -105,12 +129,25 @@ impl DeliveryPlane {
             queue: EventQueue::new(),
             parallelism: parallelism.clamp(1, MAX_WORKERS),
             stats: DeliveryStats::default(),
+            verdict_cache: HashMap::new(),
         }
     }
 
     /// Schedules `event` for delivery at time `at`.
     pub fn schedule(&mut self, at: SimTime, event: Event) {
         self.queue.schedule(at, event);
+    }
+
+    /// Schedules `event` at `at` under a caller-assigned sequence number (see
+    /// [`EventQueue::schedule_preassigned`]); the DAG scheduler's post-round push of its
+    /// staged events.
+    pub fn schedule_preassigned(&mut self, at: SimTime, seq: u64, event: Event) {
+        self.queue.schedule_preassigned(at, seq, event);
+    }
+
+    /// The sequence number the next scheduled event will be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.queue.next_seq()
     }
 
     /// Number of events still in flight.
@@ -123,13 +160,66 @@ impl DeliveryPlane {
         self.stats
     }
 
+    /// Folds a delivery-outcome delta into the accounting — the DAG scheduler computes
+    /// each epoch's outcomes in its own work items and merges them here after the round's
+    /// scope joins.
+    pub fn add_stats(&mut self, delta: DeliveryStats) {
+        self.stats.merge(delta);
+    }
+
     /// The configured verify-stage worker count.
     pub fn parallelism(&self) -> usize {
         self.parallelism
     }
 
+    /// Pops every event due at or before `until` — at most `max_events` of them — in
+    /// `(SimTime, seq)` order, *without* delivering. The DAG scheduler drains the due
+    /// epoch through this, partitions it into work items, and merges the outcome back via
+    /// [`DeliveryPlane::add_stats`] / [`DeliveryPlane::schedule_preassigned`].
+    pub fn drain_due(&mut self, until: SimTime, max_events: usize) -> Vec<(SimTime, u64, Event)> {
+        let mut due = Vec::new();
+        while due.len() < max_events {
+            match self.queue.pop_entry_until(until) {
+                Some(entry) => due.push(entry),
+                None => break,
+            }
+        }
+        due
+    }
+
+    /// Removes and returns the speculatively-computed verdict for the event with queue
+    /// sequence number `seq`, if one was cached.
+    pub fn take_cached_verdict(&mut self, seq: u64) -> Option<Result<()>> {
+        self.verdict_cache.remove(&seq)
+    }
+
+    /// Caches speculatively-computed verdicts keyed by event sequence number, to be
+    /// consumed by the epoch that drains those events.
+    pub fn cache_verdicts(&mut self, verdicts: impl IntoIterator<Item = (u64, Result<()>)>) {
+        self.verdict_cache.extend(verdicts);
+    }
+
+    /// Number of speculative verdicts currently cached (diagnostics and tests).
+    pub fn cached_verdicts(&self) -> usize {
+        self.verdict_cache.len()
+    }
+
     /// Delivers every event due at or before `until` to `nodes`, in `(SimTime, seq)` order.
     pub fn deliver_until(&mut self, nodes: &mut BTreeMap<AsId, IrecNode>, until: SimTime) {
+        let busy = AtomicU64::new(0);
+        self.deliver_until_probed(nodes, until, &busy);
+    }
+
+    /// [`DeliveryPlane::deliver_until`] with a busy-time probe: every verify, apply and
+    /// serial-walk payload unit's execution time accumulates into `busy_nanos`, feeding
+    /// the barrier scheduler's per-round idle accounting (see
+    /// [`crate::dag::SchedulerStats`]).
+    pub fn deliver_until_probed(
+        &mut self,
+        nodes: &mut BTreeMap<AsId, IrecNode>,
+        until: SimTime,
+        busy_nanos: &AtomicU64,
+    ) {
         loop {
             // Epoch collection: due events in (at, seq) order, bounded per pass.
             let mut epoch: Vec<(SimTime, Event)> = Vec::new();
@@ -146,18 +236,19 @@ impl DeliveryPlane {
             // Verify stage: fan the per-node inboxes out over workers. With one worker the
             // apply walk below verifies inline instead (identical verdicts either way).
             let mut verdicts = if self.parallelism > 1 {
-                verify_epoch(nodes, &epoch, self.parallelism)
+                verify_epoch(nodes, &epoch, self.parallelism, busy_nanos)
             } else {
                 Vec::new()
             };
 
             if self.parallelism > 1 {
-                self.apply_epoch_sharded(nodes, epoch, verdicts);
+                self.apply_epoch_sharded(nodes, epoch, verdicts, busy_nanos);
                 continue;
             }
 
             // Sequential apply stage: commit in epoch (= delivery) order.
             for (index, (at, event)) in epoch.into_iter().enumerate() {
+                let started = Instant::now();
                 match event {
                     Event::DeliverPcb(message) => match nodes.get_mut(&message.to_as) {
                         Some(node) => {
@@ -182,6 +273,7 @@ impl DeliveryPlane {
                         None => self.stats.dropped_no_node += 1,
                     },
                 }
+                busy_nanos.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
         }
     }
@@ -205,6 +297,7 @@ impl DeliveryPlane {
         nodes: &mut BTreeMap<AsId, IrecNode>,
         epoch: Vec<(SimTime, Event)>,
         mut verdicts: Vec<Option<Result<()>>>,
+        busy_nanos: &AtomicU64,
     ) {
         /// One pending PCB commit: delivery time, message, precomputed verdict.
         type Commit = (SimTime, PcbMessage, Result<()>);
@@ -267,39 +360,36 @@ impl DeliveryPlane {
         let commits = into_inboxes(commits);
         let returns = into_inboxes(returns);
         let total_inboxes = commits.len() + returns.len();
-        let workers = self.parallelism.min(MAX_WORKERS).min(total_inboxes).max(1);
-        let cursor = AtomicUsize::new(0);
         let nodes = &*nodes;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    // One claim space over both inbox kinds: PCB-commit inboxes first,
-                    // then pull-return inboxes.
-                    let claimed = cursor.fetch_add(1, Ordering::Relaxed);
-                    if let Some(inbox) = commits.get(claimed) {
-                        let node = nodes
-                            .get(&inbox.asn)
-                            .expect("inbox destinations checked in the accounting pass");
-                        let items = std::mem::take(&mut *inbox.items.lock());
-                        for (at, message, verdict) in items {
-                            // The outcome was already accounted; the commit mutates only
-                            // the shard's dedup set, storage and gateway counters.
-                            let _ = node.apply_message_in_shard(inbox.shard, message, at, verdict);
-                        }
-                    } else if let Some(inbox) = returns.get(claimed - commits.len()) {
-                        let node = nodes
-                            .get(&inbox.asn)
-                            .expect("inbox destinations checked in the accounting pass");
-                        let items = std::mem::take(&mut *inbox.items.lock());
-                        for (at, ret) in items {
-                            node.handle_pull_return_in_shard(inbox.shard, ret, at);
-                        }
-                    } else {
-                        break;
+        // One claim space over both inbox kinds: PCB-commit inboxes first, then
+        // pull-return inboxes.
+        run_claimed(
+            total_inboxes,
+            self.parallelism,
+            Some(busy_nanos),
+            |claimed| {
+                if let Some(inbox) = commits.get(claimed) {
+                    let node = nodes
+                        .get(&inbox.asn)
+                        .expect("inbox destinations checked in the accounting pass");
+                    let items = std::mem::take(&mut *inbox.items.lock());
+                    for (at, message, verdict) in items {
+                        // The outcome was already accounted; the commit mutates only
+                        // the shard's dedup set, storage and gateway counters.
+                        let _ = node.apply_message_in_shard(inbox.shard, message, at, verdict);
                     }
-                });
-            }
-        });
+                } else {
+                    let inbox = &returns[claimed - commits.len()];
+                    let node = nodes
+                        .get(&inbox.asn)
+                        .expect("inbox destinations checked in the accounting pass");
+                    let items = std::mem::take(&mut *inbox.items.lock());
+                    for (at, ret) in items {
+                        node.handle_pull_return_in_shard(inbox.shard, ret, at);
+                    }
+                }
+            },
+        );
     }
 }
 
@@ -313,6 +403,7 @@ fn verify_epoch(
     nodes: &BTreeMap<AsId, IrecNode>,
     epoch: &[(SimTime, Event)],
     parallelism: usize,
+    busy_nanos: &AtomicU64,
 ) -> Vec<Option<Result<()>>> {
     // Inboxes in AsId order; each holds the epoch indices addressed to that node.
     let mut by_destination: BTreeMap<AsId, Vec<usize>> = BTreeMap::new();
@@ -333,24 +424,15 @@ fn verify_epoch(
         .map(|(asn, indices)| (nodes.get(&asn).expect("destination checked above"), indices))
         .collect();
 
-    let workers = parallelism.min(MAX_WORKERS).min(inboxes.len()).max(1);
     let slots: Vec<Mutex<Option<Result<()>>>> = epoch.iter().map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let claimed = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some((node, indices)) = inboxes.get(claimed) else {
-                    break;
-                };
-                for &index in indices {
-                    let (at, event) = &epoch[index];
-                    let Event::DeliverPcb(message) = event else {
-                        unreachable!("inboxes hold only PCB deliveries");
-                    };
-                    *slots[index].lock() = Some(node.verify_message(message, *at));
-                }
-            });
+    run_claimed(inboxes.len(), parallelism, Some(busy_nanos), |claimed| {
+        let (node, indices) = &inboxes[claimed];
+        for &index in indices {
+            let (at, event) = &epoch[index];
+            let Event::DeliverPcb(message) = event else {
+                unreachable!("inboxes hold only PCB deliveries");
+            };
+            *slots[index].lock() = Some(node.verify_message(message, *at));
         }
     });
     slots.into_iter().map(Mutex::into_inner).collect()

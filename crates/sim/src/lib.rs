@@ -26,16 +26,25 @@
 //! to the origin's reachable component; see [`Simulation::snapshot_reachable_from`]) —
 //! with results merged in pair order, byte-identical to the sequential loop and to the
 //! deep-clone reference implementation.
+//!
+//! Rounds execute under one of two schedulers ([`simulation::RoundScheduler`]): the
+//! **barrier** reference path (deliver → node phase → housekeeping, each a strict phase)
+//! or the **dependency-DAG** scheduler ([`dag`]), which dissolves the phase barriers into
+//! a work-item graph — verifies, shard applies, node rounds, accounting, speculative
+//! next-round verification and housekeeping all run the moment their inputs are ready on
+//! a work-stealing pool, with byte-identical output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dag;
 pub mod delivery;
 pub mod event;
 pub mod pd;
 pub mod simulation;
 
+pub use dag::{Dag, DagExecutor, ExecReport, RoundDagBuilder, RoundItem, SchedulerStats};
 pub use delivery::{DeliveryPlane, DeliveryStats};
 pub use event::{Event, EventQueue};
 pub use pd::{PdCampaign, PdPairResult, PdResult, PdWorkflow};
-pub use simulation::{SimSnapshot, Simulation, SimulationConfig};
+pub use simulation::{RoundScheduler, SimSnapshot, Simulation, SimulationConfig};

@@ -16,7 +16,6 @@ use irec_pcb::PcbExtensions;
 use irec_types::{AlgorithmId, AsId, IfId, Result};
 use parking_lot::Mutex;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// The outcome of a PD workflow run.
@@ -415,21 +414,20 @@ impl PdCampaign {
                 .collect();
         }
 
-        // Engine-style fan-out: pairs are claimed through an atomic cursor and results
+        // Fan the pairs out over the shared work-stealing executor: an edgeless DAG with
+        // one node per pair makes every pair immediately ready, and work stealing keeps
+        // all workers busy even when pair runtimes are skewed (a long pull workflow no
+        // longer starves the tail as the old strict claim-order cursor could). Results
         // land in slots indexed by pair, so the merge order is independent of scheduling.
+        let mut dag = crate::dag::Dag::with_capacity(self.pairs.len());
+        for _ in &self.pairs {
+            dag.add_node();
+        }
         let slots: Vec<Mutex<Option<Result<PdPairResult>>>> =
             self.pairs.iter().map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(origin, target)) = self.pairs.get(index) else {
-                        break;
-                    };
-                    *slots[index].lock() = Some(run_pair(index, origin, target));
-                });
-            }
+        crate::dag::DagExecutor::new(workers).run(&dag, |index| {
+            let (origin, target) = self.pairs[index];
+            *slots[index].lock() = Some(run_pair(index, origin, target));
         });
         slots
             .into_iter()

@@ -1,7 +1,8 @@
 //! The simulation driver: periodic beaconing over a topology with event-based message
 //! delivery.
 
-use crate::delivery::{DeliveryPlane, DeliveryStats};
+use crate::dag::{DagExecutor, RoundDagBuilder, RoundItem, RoundPlan, SchedulerStats};
+use crate::delivery::{DeliveryPlane, DeliveryStats, MAX_EPOCH_EVENTS};
 use crate::event::Event;
 use irec_core::{IrecNode, NodeConfig, RoundOutput, SharedAlgorithmStore};
 use irec_crypto::KeyRegistry;
@@ -9,8 +10,48 @@ use irec_metrics::overhead::OverheadCounter;
 use irec_metrics::RegisteredPath;
 use irec_topology::{GroupingConfig, InterfaceGroups, Topology};
 use irec_types::{AsId, IrecError, Result, SimDuration, SimTime};
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Which scheduler drives each beaconing round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RoundScheduler {
+    /// The reference implementation: strict deliver → node phase → housekeeping barriers.
+    /// Every worker joins at each phase boundary before the next phase starts.
+    #[default]
+    Barrier,
+    /// The work-item DAG scheduler (see [`crate::dag`]): the same work, decomposed into
+    /// items executed by one work-stealing pool the moment their dependency edges are
+    /// satisfied — a node with no due traffic starts its round while other inboxes still
+    /// verify, and freshly scheduled messages are verified speculatively while the node
+    /// phase is still running. Output is byte-identical to [`RoundScheduler::Barrier`].
+    Dag,
+}
+
+impl std::str::FromStr for RoundScheduler {
+    type Err = IrecError;
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "barrier" => Ok(RoundScheduler::Barrier),
+            "dag" => Ok(RoundScheduler::Dag),
+            other => Err(IrecError::config(format!(
+                "unknown round scheduler {other:?} (expected \"barrier\" or \"dag\")"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for RoundScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RoundScheduler::Barrier => "barrier",
+            RoundScheduler::Dag => "dag",
+        })
+    }
+}
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +70,11 @@ pub struct SimulationConfig {
     /// fans per-destination inboxes out over that many workers. Either way the apply order
     /// is `(SimTime, seq)` and the simulation output is byte-identical.
     pub delivery_parallelism: usize,
+    /// Which scheduler drives each round. Under [`RoundScheduler::Dag`] the two worker
+    /// counts above fold into one shared pool of width
+    /// `max(parallelism, delivery_parallelism)` — there are no phases left to give each
+    /// knob its own pool.
+    pub round_scheduler: RoundScheduler,
 }
 
 impl Default for SimulationConfig {
@@ -38,6 +84,7 @@ impl Default for SimulationConfig {
             processing_delay: SimDuration::from_millis(5),
             parallelism: 1,
             delivery_parallelism: 1,
+            round_scheduler: RoundScheduler::Barrier,
         }
     }
 }
@@ -57,6 +104,13 @@ impl SimulationConfig {
         self.delivery_parallelism = delivery_parallelism.max(1);
         self
     }
+
+    /// Builder-style: select the round scheduler.
+    #[must_use]
+    pub fn with_round_scheduler(mut self, round_scheduler: RoundScheduler) -> Self {
+        self.round_scheduler = round_scheduler;
+        self
+    }
 }
 
 /// The discrete-event simulation of an IREC deployment.
@@ -69,6 +123,9 @@ pub struct Simulation {
     round: u64,
     overhead: OverheadCounter,
     overhead_pull: OverheadCounter,
+    /// Scheduler-quality accounting (wall/busy/idle). Deliberately *not* part of the
+    /// simulation's deterministic output: it measures the host machine, not the model.
+    scheduler: SchedulerStats,
 }
 
 impl Clone for Simulation {
@@ -92,6 +149,7 @@ impl Clone for Simulation {
             round: self.round,
             overhead: self.overhead.clone(),
             overhead_pull: self.overhead_pull.clone(),
+            scheduler: self.scheduler,
         }
     }
 }
@@ -172,6 +230,7 @@ impl Simulation {
             round: 0,
             overhead,
             overhead_pull: OverheadCounter::new(),
+            scheduler: SchedulerStats::default(),
         })
     }
 
@@ -329,6 +388,7 @@ impl Simulation {
             round: self.round,
             overhead: self.overhead.clone(),
             overhead_pull: self.overhead_pull.clone(),
+            scheduler: self.scheduler,
         }
     }
 
@@ -359,6 +419,23 @@ impl Simulation {
         &self.overhead_pull
     }
 
+    /// The width of the shared round pool: the two phase-specific worker knobs folded into
+    /// one (the DAG scheduler has no phases to give each knob its own pool, and the
+    /// barrier's idle accounting uses the same width so the two numbers compare).
+    fn round_pool_width(&self) -> usize {
+        self.config
+            .parallelism
+            .max(self.config.delivery_parallelism)
+            .clamp(1, crate::dag::MAX_WORKERS)
+    }
+
+    /// Scheduler-quality accounting accumulated over the rounds run so far (see
+    /// [`SchedulerStats`]). Both schedulers use the same idle formula, so barrier and DAG
+    /// figures are directly comparable. Not part of the deterministic simulation output.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.scheduler
+    }
+
     /// Runs `n` beaconing rounds.
     pub fn run_rounds(&mut self, n: usize) -> Result<()> {
         for _ in 0..n {
@@ -366,15 +443,27 @@ impl Simulation {
         }
         // Deliver whatever is still in flight so the final round's beacons are visible in the
         // receivers' databases (and path services at the next query).
-        self.deliver_until(SimTime::MAX);
+        match self.config.round_scheduler {
+            RoundScheduler::Barrier => self.deliver_until(SimTime::MAX),
+            RoundScheduler::Dag => self.run_delivery_dag(SimTime::MAX),
+        }
         Ok(())
     }
 
     fn run_single_round(&mut self) -> Result<()> {
+        match self.config.round_scheduler {
+            RoundScheduler::Barrier => self.run_single_round_barrier(),
+            RoundScheduler::Dag => self.run_single_round_dag(),
+        }
+    }
+
+    fn run_single_round_barrier(&mut self) -> Result<()> {
+        let wall = Instant::now();
+        let busy = AtomicU64::new(0);
         let now = SimTime::from_micros(self.round * self.config.beacon_interval.as_micros());
         self.clock = now;
         // Deliver everything that arrived before this round started.
-        self.deliver_until(now);
+        self.plane.deliver_until_probed(&mut self.nodes, now, &busy);
 
         // Node phase: every AS runs its beaconing round. Nodes only touch their own state
         // here (messages are exchanged through the event queue afterwards), so the rounds
@@ -388,7 +477,10 @@ impl Simulation {
             for asn in as_ids {
                 let output = {
                     let node = self.nodes.get_mut(&asn).expect("node exists");
-                    node.beaconing_round(now)?
+                    let started = Instant::now();
+                    let output = node.beaconing_round(now);
+                    busy.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    output?
                 };
                 self.account_and_schedule(now, output);
             }
@@ -396,13 +488,353 @@ impl Simulation {
             // All nodes have necessarily executed by the time results are merged; surface
             // the first error in AsId order and account every output before it (outputs of
             // nodes after a failing one are discarded — an error aborts the run anyway).
-            for (_, result) in self.run_node_phase_parallel(now, workers) {
+            for (_, result) in self.run_node_phase_parallel(now, workers, &busy) {
                 let output = result?;
                 self.account_and_schedule(now, output);
             }
         }
         self.round += 1;
+        self.scheduler.record_round(
+            self.round_pool_width(),
+            wall.elapsed().as_nanos() as u64,
+            busy.into_inner(),
+        );
         Ok(())
+    }
+
+    /// One beaconing round under [`RoundScheduler::Dag`]: the round's due delivery epoch
+    /// and the node phase become one work-item DAG executed by a single work-stealing pool
+    /// (see [`crate::dag`]). On top of overlapping delivery with node rounds, each node's
+    /// freshly scheduled messages are **speculatively verified** the moment its accounting
+    /// item fixes their delivery times and sequence numbers — verification is pure, so the
+    /// verdicts are valid before the destination ever sees the message — and cached on the
+    /// plane for the round that drains them.
+    ///
+    /// Byte-identical to the barrier round for any pool width: apply order per
+    /// `(destination, shard)` inbox is `(SimTime, seq)` (edge rule 3), node rounds start
+    /// only after their ingress shards committed (edge rule 1), outcome counters accumulate
+    /// in epoch order inside the single accounting item, and the per-node accounting chain
+    /// reproduces the barrier's `AsId`-order merge — including its event sequence numbers,
+    /// via [`DeliveryPlane::schedule_preassigned`] — and its first-error semantics.
+    fn run_single_round_dag(&mut self) -> Result<()> {
+        let wall = Instant::now();
+        let now = SimTime::from_micros(self.round * self.config.beacon_interval.as_micros());
+        self.clock = now;
+        let round = self.round;
+        let width = self.round_pool_width();
+
+        // Drain the whole due epoch up front; delivery never schedules new events, so one
+        // pass is exact, and a round's due traffic bounds the drained set naturally.
+        let prep = self.prepare_delivery(now, usize::MAX);
+
+        // Build the round plan in canonical order: item ids are a stable function of the
+        // round's inputs, so error propagation and all merges are order-independent.
+        let mut builder = RoundDagBuilder::new();
+        for dest in prep.verify_inboxes.keys() {
+            builder.add_verify(*dest);
+        }
+        builder.add_account();
+        for (dest, shard) in prep.commit_inboxes.keys() {
+            builder.add_apply_pcb(*dest, *shard);
+        }
+        for (dest, shard) in prep.return_inboxes.keys() {
+            builder.add_apply_return(*dest, *shard);
+        }
+        let as_ids: Vec<AsId> = self.nodes.keys().copied().collect();
+        for &asn in &as_ids {
+            builder.add_node_round(asn);
+        }
+        for &asn in &as_ids {
+            builder.add_account_round(asn);
+        }
+        for &asn in &as_ids {
+            builder.add_speculative_verify(asn);
+        }
+        for &asn in &as_ids {
+            builder.add_housekeeping(asn);
+        }
+        let plan = builder.build();
+
+        // Move the nodes into per-AS cells so items can lock exactly the node they touch:
+        // verify/apply items read-lock (they use the `&self` shard entry points), node
+        // rounds and housekeeping write-lock. The cells are restored unconditionally after
+        // the pool joins.
+        let cells: Vec<(AsId, RwLock<IrecNode>)> = std::mem::take(&mut self.nodes)
+            .into_iter()
+            .map(|(asn, node)| (asn, RwLock::new(node)))
+            .collect();
+        let index_of: BTreeMap<AsId, usize> = cells
+            .iter()
+            .enumerate()
+            .map(|(position, (asn, _))| (*asn, position))
+            .collect();
+
+        let outputs: Vec<Mutex<Option<Result<RoundOutput>>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        let core_ok: Vec<AtomicBool> = cells.iter().map(|_| AtomicBool::new(false)).collect();
+        let staged: Vec<Mutex<Vec<(SimTime, u64, Event)>>> =
+            cells.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let spec_verdicts: Mutex<Vec<(u64, Result<()>)>> = Mutex::new(Vec::new());
+        let topology = &self.topology;
+        let processing_delay = self.config.processing_delay;
+        let acct = Mutex::new(RoundAccounting {
+            overhead: &mut self.overhead,
+            overhead_pull: &mut self.overhead_pull,
+            delta: prep.base_delta,
+            next_seq: self.plane.next_seq(),
+            error: None,
+        });
+
+        let prep = &prep;
+        let report = DagExecutor::new(width).run(&plan.dag, |id| match plan.items[id] {
+            RoundItem::Verify { dest } => {
+                let node = cells[index_of[&dest]].1.read();
+                verify_inbox(&node, prep, &prep.verify_inboxes[&dest]);
+            }
+            RoundItem::Account => {
+                let epoch_delta = account_epoch(prep);
+                acct.lock().delta.merge(epoch_delta);
+            }
+            RoundItem::ApplyPcb { dest, shard } => {
+                let node = cells[index_of[&dest]].1.read();
+                apply_pcb_inbox(&node, prep, shard, &prep.commit_inboxes[&(dest, shard)]);
+            }
+            RoundItem::ApplyReturn { dest, shard } => {
+                let node = cells[index_of[&dest]].1.read();
+                apply_return_inbox(&node, prep, shard, &prep.return_inboxes[&(dest, shard)]);
+            }
+            RoundItem::NodeRound { asn } => {
+                let position = index_of[&asn];
+                let result = cells[position].1.write().beaconing_round_core(now);
+                if result.is_ok() {
+                    core_ok[position].store(true, Ordering::Release);
+                }
+                *outputs[position].lock() = Some(result);
+            }
+            RoundItem::AccountRound { asn } => {
+                let position = index_of[&asn];
+                let output = outputs[position]
+                    .lock()
+                    .take()
+                    .expect("node round precedes its accounting item");
+                let mut acct = acct.lock();
+                if acct.error.is_some() {
+                    // A lower-AsId node already failed this round: discard this output,
+                    // exactly as the barrier's merge loop stops accounting at the first
+                    // error.
+                    return;
+                }
+                let output = match output {
+                    Ok(output) => output,
+                    Err(error) => {
+                        acct.error = Some((position, error));
+                        return;
+                    }
+                };
+                for message in &output.messages {
+                    acct.overhead
+                        .record(message.from_as, message.from_if, round, 1);
+                    if message.pcb.extensions.target.is_some() {
+                        acct.overhead_pull
+                            .record(message.from_as, message.from_if, round, 1);
+                    }
+                }
+                let mut events = staged[position].lock();
+                for message in output.messages {
+                    let delay = topology
+                        .link_at(message.from_as, message.from_if)
+                        .map(|l| l.metrics.latency)
+                        .unwrap_or_default();
+                    let at = now + SimDuration::from_micros(delay.as_micros()) + processing_delay;
+                    let seq = acct.next_seq;
+                    acct.next_seq += 1;
+                    events.push((at, seq, Event::DeliverPcb(message)));
+                }
+                for ret in output.pull_returns {
+                    // The return travels over the discovered path itself.
+                    let delay = ret.pcb.path_metrics().latency;
+                    let at = now + SimDuration::from_micros(delay.as_micros()) + processing_delay;
+                    let seq = acct.next_seq;
+                    acct.next_seq += 1;
+                    events.push((at, seq, Event::DeliverPullReturn(ret)));
+                }
+            }
+            RoundItem::SpeculativeVerify { asn } => {
+                let position = index_of[&asn];
+                let events = staged[position].lock();
+                let mut local: Vec<(u64, Result<()>)> = Vec::new();
+                for (at, seq, event) in events.iter() {
+                    if let Event::DeliverPcb(message) = event {
+                        // Verification is pure (verdict = f(message, delivery time,
+                        // immutable keys/policy)), so reading the destination's cell
+                        // concurrently with other rounds is safe — the verdict cannot
+                        // depend on any state those rounds mutate.
+                        if let Some(&target) = index_of.get(&message.to_as) {
+                            let verdict = cells[target].1.read().verify_message(message, *at);
+                            local.push((*seq, verdict));
+                        }
+                    }
+                }
+                drop(events);
+                if !local.is_empty() {
+                    spec_verdicts.lock().extend(local);
+                }
+            }
+            RoundItem::Housekeeping { asn } => {
+                let position = index_of[&asn];
+                // Housekeeping runs only for nodes whose round core succeeded, matching
+                // `IrecNode::beaconing_round` which never reaches it on error. The evicted
+                // send counters are discarded exactly as `account_and_schedule` does.
+                if core_ok[position].load(Ordering::Acquire) {
+                    let _ = cells[position].1.write().round_housekeeping(now);
+                }
+            }
+        });
+
+        // Restore the nodes unconditionally before surfacing any error.
+        self.nodes = cells
+            .into_iter()
+            .map(|(asn, cell)| (asn, cell.into_inner()))
+            .collect();
+
+        let acct = acct.into_inner();
+        self.plane.add_stats(acct.delta);
+        // Push the staged events in cell (= AsId) order: together with the preassigned
+        // sequence numbers this leaves the queue byte-identical to the barrier's inline
+        // scheduling. On error, only outputs before the failing node were accounted, so
+        // only their events exist — later accounting items staged nothing.
+        let error_position = acct
+            .error
+            .as_ref()
+            .map(|(position, _)| *position)
+            .unwrap_or(usize::MAX);
+        for (position, events) in staged.into_iter().enumerate() {
+            if position >= error_position {
+                break;
+            }
+            for (at, seq, event) in events.into_inner() {
+                self.plane.schedule_preassigned(at, seq, event);
+            }
+        }
+        self.plane.cache_verdicts(spec_verdicts.into_inner());
+        if let Some((_, error)) = acct.error {
+            return Err(error);
+        }
+        self.round += 1;
+        self.scheduler
+            .record_round(width, wall.elapsed().as_nanos() as u64, report.busy_nanos);
+        self.scheduler.record_items(report.executed, report.steals);
+        Ok(())
+    }
+
+    /// Drains and partitions the due epoch into [`DeliveryPrep`] work-item inboxes,
+    /// consuming cached speculative verdicts and accounting everything knowable at drain
+    /// time (missing-node drops, pull-return deliveries) into the base delta — the same
+    /// figures, in the same epoch order, as the barrier's serial accounting pass.
+    fn prepare_delivery(&mut self, until: SimTime, max_events: usize) -> DeliveryPrep {
+        let due = self.plane.drain_due(until, max_events);
+        let mut prep = DeliveryPrep {
+            ats: Vec::with_capacity(due.len()),
+            events: Vec::with_capacity(due.len()),
+            verdicts: Vec::with_capacity(due.len()),
+            verify_inboxes: BTreeMap::new(),
+            commit_inboxes: BTreeMap::new(),
+            return_inboxes: BTreeMap::new(),
+            pcb_outcomes: Vec::new(),
+            base_delta: DeliveryStats::default(),
+        };
+        for (at, seq, event) in due {
+            let index = prep.ats.len();
+            prep.ats.push(at);
+            let mut verdict = None;
+            match &event {
+                Event::DeliverPcb(message) => match self.nodes.get(&message.to_as) {
+                    Some(node) => {
+                        prep.pcb_outcomes.push(index);
+                        let shard = node.ingress_shard_of(message.pcb.origin);
+                        prep.commit_inboxes
+                            .entry((message.to_as, shard))
+                            .or_default()
+                            .push(index);
+                        verdict = self.plane.take_cached_verdict(seq);
+                        if verdict.is_none() {
+                            prep.verify_inboxes
+                                .entry(message.to_as)
+                                .or_default()
+                                .push(index);
+                        }
+                    }
+                    None => {
+                        // Consume any cached verdict so the cache never leaks entries for
+                        // events that will never be applied.
+                        let _ = self.plane.take_cached_verdict(seq);
+                        prep.base_delta.dropped_no_node += 1;
+                    }
+                },
+                Event::DeliverPullReturn(ret) => match self.nodes.get(&ret.to_as) {
+                    Some(node) => {
+                        prep.base_delta.delivered += 1;
+                        // The registered path's destination is the AS the return came
+                        // from; that AS determines the path-service shard.
+                        let shard = node.path_shard_of(ret.from_as);
+                        prep.return_inboxes
+                            .entry((ret.to_as, shard))
+                            .or_default()
+                            .push(index);
+                    }
+                    None => prep.base_delta.dropped_no_node += 1,
+                },
+            }
+            prep.verdicts.push(Mutex::new(verdict));
+            prep.events.push(Mutex::new(Some(event)));
+        }
+        prep
+    }
+
+    /// The DAG scheduler's replacement for [`Simulation::deliver_until`]: drains the due
+    /// events in bounded epochs and runs each epoch's verify/account/apply items — the
+    /// delivery-only subset of the round plan — over the shared pool. Used for the final
+    /// in-flight flush; in-round delivery goes through [`Simulation::run_single_round_dag`]
+    /// so it can overlap with the node phase.
+    fn run_delivery_dag(&mut self, until: SimTime) {
+        loop {
+            let prep = self.prepare_delivery(until, MAX_EPOCH_EVENTS);
+            if prep.ats.is_empty() {
+                return;
+            }
+            let mut builder = RoundDagBuilder::new();
+            for dest in prep.verify_inboxes.keys() {
+                builder.add_verify(*dest);
+            }
+            builder.add_account();
+            for (dest, shard) in prep.commit_inboxes.keys() {
+                builder.add_apply_pcb(*dest, *shard);
+            }
+            for (dest, shard) in prep.return_inboxes.keys() {
+                builder.add_apply_return(*dest, *shard);
+            }
+            let plan: RoundPlan = builder.build();
+            let delta = Mutex::new(prep.base_delta);
+            let nodes = &self.nodes;
+            let prep = &prep;
+            DagExecutor::new(self.round_pool_width()).run(&plan.dag, |id| match plan.items[id] {
+                RoundItem::Verify { dest } => {
+                    let node = nodes.get(&dest).expect("verify inboxes target live nodes");
+                    verify_inbox(node, prep, &prep.verify_inboxes[&dest]);
+                }
+                RoundItem::Account => delta.lock().merge(account_epoch(prep)),
+                RoundItem::ApplyPcb { dest, shard } => {
+                    let node = nodes.get(&dest).expect("commit inboxes target live nodes");
+                    apply_pcb_inbox(node, prep, shard, &prep.commit_inboxes[&(dest, shard)]);
+                }
+                RoundItem::ApplyReturn { dest, shard } => {
+                    let node = nodes.get(&dest).expect("return inboxes target live nodes");
+                    apply_return_inbox(node, prep, shard, &prep.return_inboxes[&(dest, shard)]);
+                }
+                other => unreachable!("delivery-only plan holds no {other:?}"),
+            });
+            self.plane.add_stats(delta.into_inner());
+        }
     }
 
     /// Records one node's round output in the overhead counters and schedules its message
@@ -436,11 +868,13 @@ impl Simulation {
     }
 
     /// Runs every node's beaconing round over `workers` scoped worker threads and returns
-    /// the outputs in `AsId` order.
+    /// the outputs in `AsId` order. Per-node execution time accumulates into `busy_nanos`
+    /// for the scheduler's idle accounting.
     fn run_node_phase_parallel(
         &mut self,
         now: SimTime,
         workers: usize,
+        busy_nanos: &AtomicU64,
     ) -> Vec<(AsId, Result<RoundOutput>)> {
         let mut entries: Vec<(AsId, &mut IrecNode)> = self
             .nodes
@@ -454,7 +888,13 @@ impl Simulation {
                 handles.push(scope.spawn(move || {
                     chunk
                         .iter_mut()
-                        .map(|(asn, node)| (*asn, node.beaconing_round(now)))
+                        .map(|(asn, node)| {
+                            let started = Instant::now();
+                            let result = node.beaconing_round(now);
+                            busy_nanos
+                                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            (*asn, result)
+                        })
                         .collect::<Vec<_>>()
                 }));
             }
@@ -531,6 +971,112 @@ impl Simulation {
             reachable += destinations.iter().filter(|d| *d != asn).count();
         }
         reachable as f64 / (n * (n - 1)) as f64
+    }
+}
+
+/// One drained delivery epoch, partitioned into the DAG round's work-item inboxes. All
+/// index vectors hold epoch positions (indices into `ats`/`events`/`verdicts`), in epoch
+/// (= `(SimTime, seq)`) order.
+struct DeliveryPrep {
+    /// Delivery time of each drained event, by epoch position.
+    ats: Vec<SimTime>,
+    /// The drained events; taken (once) by the apply item that commits them.
+    events: Vec<Mutex<Option<Event>>>,
+    /// Verdict slots, one per event, prefilled from the speculative-verdict cache. Apply
+    /// items clone (never take) so the epoch's accounting item can read every slot
+    /// regardless of execution order.
+    verdicts: Vec<Mutex<Option<Result<()>>>>,
+    /// Positions needing verification, grouped per destination AS.
+    verify_inboxes: BTreeMap<AsId, Vec<usize>>,
+    /// PCB commits, grouped per `(destination AS, ingress shard)`.
+    commit_inboxes: BTreeMap<(AsId, usize), Vec<usize>>,
+    /// Pull-return commits, grouped per `(destination AS, path shard)`.
+    return_inboxes: BTreeMap<(AsId, usize), Vec<usize>>,
+    /// Positions of PCBs with a live destination, whose delivered/rejected outcome the
+    /// accounting item reads off the verdict slots in epoch order.
+    pcb_outcomes: Vec<usize>,
+    /// Outcomes already known at drain time: missing-node drops and pull-return
+    /// deliveries.
+    base_delta: DeliveryStats,
+}
+
+/// The DAG round's serially-chained accounting state, guarded by one mutex and visited in
+/// `AsId` order by the accounting-chain items.
+struct RoundAccounting<'a> {
+    overhead: &'a mut OverheadCounter,
+    overhead_pull: &'a mut OverheadCounter,
+    /// Delivery outcomes of the round's epoch (base delta plus the accounting item's
+    /// verdict counts).
+    delta: DeliveryStats,
+    /// Next event sequence number to assign; starts at the plane's counter so the staged
+    /// events replicate the barrier's inline assignment exactly.
+    next_seq: u64,
+    /// First error in `AsId` order, with the failing node's cell position. Later
+    /// accounting items discard their outputs, as the barrier's merge loop does.
+    error: Option<(usize, IrecError)>,
+}
+
+/// Verifies one destination's due inbox, writing verdicts into the epoch's slots.
+fn verify_inbox(node: &IrecNode, prep: &DeliveryPrep, indices: &[usize]) {
+    for &index in indices {
+        let guard = prep.events[index].lock();
+        let Some(Event::DeliverPcb(message)) = guard.as_ref() else {
+            unreachable!("verify inboxes hold only undelivered PCB events");
+        };
+        let verdict = node.verify_message(message, prep.ats[index]);
+        drop(guard);
+        *prep.verdicts[index].lock() = Some(verdict);
+    }
+}
+
+/// Counts the epoch's delivered/rejected PCB outcomes off the (complete) verdict slots,
+/// in epoch order — the DAG equivalent of the barrier's serial accounting pass.
+fn account_epoch(prep: &DeliveryPrep) -> DeliveryStats {
+    let mut delta = DeliveryStats::default();
+    for &index in &prep.pcb_outcomes {
+        match prep.verdicts[index]
+            .lock()
+            .as_ref()
+            .expect("every verify item precedes the accounting item")
+        {
+            Ok(()) => delta.delivered += 1,
+            Err(_) => delta.rejected += 1,
+        }
+    }
+    delta
+}
+
+/// Commits one `(destination, ingress shard)` PCB inbox in epoch order.
+fn apply_pcb_inbox(node: &IrecNode, prep: &DeliveryPrep, shard: usize, indices: &[usize]) {
+    for &index in indices {
+        let event = prep.events[index]
+            .lock()
+            .take()
+            .expect("each event is committed exactly once");
+        let Event::DeliverPcb(message) = event else {
+            unreachable!("commit inboxes hold only PCB events");
+        };
+        let verdict = prep.verdicts[index]
+            .lock()
+            .clone()
+            .expect("the destination's verify item precedes its applies");
+        // The outcome is accounted by the accounting item; the commit mutates only the
+        // shard's dedup set, storage and gateway counters.
+        let _ = node.apply_message_in_shard(shard, message, prep.ats[index], verdict);
+    }
+}
+
+/// Commits one `(destination, path shard)` pull-return inbox in epoch order.
+fn apply_return_inbox(node: &IrecNode, prep: &DeliveryPrep, shard: usize, indices: &[usize]) {
+    for &index in indices {
+        let event = prep.events[index]
+            .lock()
+            .take()
+            .expect("each event is committed exactly once");
+        let Event::DeliverPullReturn(ret) = event else {
+            unreachable!("return inboxes hold only pull-return events");
+        };
+        node.handle_pull_return_in_shard(shard, ret, prep.ats[index]);
     }
 }
 
@@ -670,6 +1216,90 @@ mod tests {
             assert_eq!(p_stats, stats);
             assert_eq!(p_occupancy, occupancy);
         }
+    }
+
+    #[test]
+    fn dag_scheduler_matches_barrier_output() {
+        let run = |scheduler: RoundScheduler, parallelism: usize, delivery: usize| {
+            let topology = Arc::new(figure1_topology());
+            let mut sim = Simulation::new(
+                topology,
+                SimulationConfig::default()
+                    .with_round_scheduler(scheduler)
+                    .with_parallelism(parallelism)
+                    .with_delivery_parallelism(delivery),
+                |_| {
+                    NodeConfig::default()
+                        .with_policy(PropagationPolicy::All)
+                        .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
+                },
+            )
+            .unwrap();
+            sim.run_rounds(3).unwrap();
+            // Fail an AS mid-run: in-flight messages to it must drop identically, and the
+            // DAG plan must shrink cleanly to the surviving cells.
+            sim.remove_node(figure1::X);
+            sim.run_rounds(2).unwrap();
+            (
+                sim.registered_paths(),
+                sim.delivery_stats(),
+                sim.ingress_occupancy(),
+                sim.overhead().samples(),
+            )
+        };
+        let reference = run(RoundScheduler::Barrier, 1, 1);
+        assert!(reference.1.delivered > 0);
+        assert!(reference.1.dropped_no_node > 0);
+        for (parallelism, delivery) in [(1, 1), (2, 4), (4, 2), (8, 8)] {
+            let dag = run(RoundScheduler::Dag, parallelism, delivery);
+            assert_eq!(dag.0, reference.0, "paths at {parallelism}x{delivery}");
+            assert_eq!(dag.1, reference.1, "stats at {parallelism}x{delivery}");
+            assert_eq!(dag.2, reference.2, "occupancy at {parallelism}x{delivery}");
+            assert_eq!(dag.3, reference.3, "overhead at {parallelism}x{delivery}");
+        }
+    }
+
+    #[test]
+    fn dag_scheduler_caches_and_consumes_speculative_verdicts() {
+        let topology = Arc::new(figure1_topology());
+        let mut sim = Simulation::new(
+            topology,
+            SimulationConfig::default()
+                .with_round_scheduler(RoundScheduler::Dag)
+                .with_parallelism(2),
+            |_| {
+                NodeConfig::default()
+                    .with_policy(PropagationPolicy::All)
+                    .with_racs(vec![RacConfig::static_rac("1SP", "1SP")])
+            },
+        )
+        .unwrap();
+        sim.run_rounds(4).unwrap();
+        // Every cached verdict was keyed to a scheduled event; the final flush must have
+        // consumed them all (no leaks for events that were actually delivered or dropped).
+        assert_eq!(
+            sim.plane.cached_verdicts(),
+            0,
+            "verdict cache leaked entries"
+        );
+        assert!(sim.scheduler_stats().rounds >= 4);
+        assert!(sim.scheduler_stats().items > 0);
+        assert!((sim.connectivity() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn round_scheduler_parses_and_displays() {
+        assert_eq!(
+            "barrier".parse::<RoundScheduler>().unwrap(),
+            RoundScheduler::Barrier
+        );
+        assert_eq!(
+            "dag".parse::<RoundScheduler>().unwrap(),
+            RoundScheduler::Dag
+        );
+        assert!("eager".parse::<RoundScheduler>().is_err());
+        assert_eq!(RoundScheduler::Barrier.to_string(), "barrier");
+        assert_eq!(RoundScheduler::Dag.to_string(), "dag");
     }
 
     #[test]

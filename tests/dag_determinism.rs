@@ -1,0 +1,201 @@
+//! Acceptance tests for the work-item DAG round scheduler: a run with `--round-scheduler
+//! dag` must be byte-identical to the sequential barrier run — same registered paths in
+//! the same order, same overhead samples, same delivery accounting — for every pool width
+//! × shard mix × random topology, and the PD campaign must reproduce its barrier results
+//! when every per-pair simulation is DAG-scheduled.
+
+use irec_core::{NodeConfig, RacConfig};
+use irec_metrics::RegisteredPath;
+use irec_sim::{DeliveryStats, PdCampaign, RoundScheduler, Simulation, SimulationConfig};
+use irec_topology::{GeneratorConfig, TopologyGenerator};
+use irec_types::AsId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything observable about a finished run, for exact comparison.
+#[derive(Debug, Clone, PartialEq)]
+struct RunFingerprint {
+    paths: Vec<RegisteredPath>,
+    overhead_samples: Vec<u64>,
+    stats: DeliveryStats,
+    occupancy: usize,
+}
+
+const ROUNDS: usize = 2;
+
+fn run(
+    scheduler: RoundScheduler,
+    workers: usize,
+    ingress_shards: usize,
+    path_shards: usize,
+    ases: usize,
+    seed: u64,
+) -> RunFingerprint {
+    let topology = Arc::new(
+        TopologyGenerator::new(GeneratorConfig {
+            num_ases: ases,
+            seed,
+            ..Default::default()
+        })
+        .generate(),
+    );
+    let mut sim = Simulation::new(
+        topology,
+        SimulationConfig::default()
+            .with_round_scheduler(scheduler)
+            .with_parallelism(workers)
+            .with_delivery_parallelism(workers),
+        move |_| {
+            NodeConfig::default()
+                .with_racs(vec![
+                    RacConfig::static_rac("5SP", "5SP"),
+                    RacConfig::static_rac("HD", "HD"),
+                ])
+                .with_ingress_shards(ingress_shards)
+                .with_path_shards(path_shards)
+        },
+    )
+    .expect("simulation setup");
+    sim.run_rounds(ROUNDS).expect("beaconing rounds");
+    RunFingerprint {
+        paths: sim.registered_paths(),
+        overhead_samples: sim.overhead().samples(),
+        stats: sim.delivery_stats(),
+        occupancy: sim.ingress_occupancy(),
+    }
+}
+
+/// The sequential barrier run every DAG run must reproduce, memoized per topology — the
+/// property below revisits the same `(ases, seed)` points under many scheduler settings,
+/// and re-deriving the authoritative reference each time would dominate the suite's
+/// runtime.
+fn barrier_reference(ases: usize, seed: u64) -> RunFingerprint {
+    static CACHE: OnceLock<Mutex<HashMap<(usize, u64), RunFingerprint>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("reference cache lock");
+    cache
+        .entry((ases, seed))
+        .or_insert_with(|| run(RoundScheduler::Barrier, 1, 1, 1, ases, seed))
+        .clone()
+}
+
+proptest! {
+    /// The headline property: for any random topology, any pool width in {1, 2, 4, 8}
+    /// and any ingress/path shard mix over {1, 4, 7}, the DAG-scheduled run reproduces
+    /// the sequential barrier run byte for byte.
+    #[test]
+    fn dag_runs_are_byte_identical_to_the_sequential_barrier(
+        ases in 6usize..11,
+        seed in 0u64..5,
+        worker_index in 0usize..4,
+        ingress_index in 0usize..3,
+        path_index in 0usize..3,
+    ) {
+        let workers = [1usize, 2, 4, 8][worker_index];
+        let ingress_shards = [1usize, 4, 7][ingress_index];
+        let path_shards = [1usize, 4, 7][path_index];
+        let reference = barrier_reference(ases, seed);
+        prop_assert!(reference.stats.delivered > 0, "the scenario must deliver messages");
+        let dag = run(
+            RoundScheduler::Dag,
+            workers,
+            ingress_shards,
+            path_shards,
+            ases,
+            seed,
+        );
+        prop_assert_eq!(
+            &dag, &reference,
+            "dag diverged at {} workers, ingress-shards {}, path-shards {}, \
+             {} ASes, seed {}",
+            workers, ingress_shards, path_shards, ases, seed
+        );
+    }
+}
+
+/// Everything deterministic about a campaign run (per-pair wall-clock excluded).
+type CampaignFingerprint = Vec<(AsId, AsId, Vec<RegisteredPath>, usize, usize, Vec<u64>)>;
+
+/// The stacked case: the PD campaign over a DAG-scheduled base, with DAG-scheduled
+/// per-pair snapshots (snapshots inherit the base's scheduler config), parallel campaign
+/// workers and non-power-of-two shard counts — must reproduce the fully sequential
+/// barrier campaign byte for byte.
+#[test]
+fn pd_campaign_on_dag_scheduled_base_matches_barrier() {
+    let warm = |scheduler: RoundScheduler, width: usize| {
+        let topology = Arc::new(
+            TopologyGenerator::new(GeneratorConfig {
+                num_ases: 12,
+                seed: 5,
+                ..Default::default()
+            })
+            .generate(),
+        );
+        let mut sim = Simulation::new(
+            topology,
+            SimulationConfig::default()
+                .with_round_scheduler(scheduler)
+                .with_parallelism(width)
+                .with_delivery_parallelism(width),
+            |_| {
+                NodeConfig::default()
+                    .with_racs(vec![
+                        RacConfig::static_rac("HD", "HD"),
+                        RacConfig::on_demand_rac("on-demand"),
+                    ])
+                    .with_ingress_shards(7)
+                    .with_path_shards(7)
+            },
+        )
+        .expect("simulation setup");
+        sim.run_rounds(3).expect("warm-up rounds");
+        sim
+    };
+    let campaign = |base: &Simulation, pd_parallelism: usize| -> CampaignFingerprint {
+        let ids = base.topology().as_ids();
+        let pairs = vec![
+            (ids[0], ids[ids.len() - 1]),
+            (ids[1], ids[ids.len() / 2]),
+            (ids[ids.len() - 1], ids[0]),
+        ];
+        PdCampaign::new(pairs, 8)
+            .with_rounds_per_iteration(2)
+            .with_parallelism(pd_parallelism)
+            .run(base)
+            .expect("campaign run")
+            .into_iter()
+            .map(|pair| {
+                (
+                    pair.origin,
+                    pair.target,
+                    pair.result.paths,
+                    pair.result.iterations,
+                    pair.result.empty_iterations,
+                    pair.pull_overhead,
+                )
+            })
+            .collect()
+    };
+
+    let barrier_base = warm(RoundScheduler::Barrier, 1);
+    let reference = campaign(&barrier_base, 1);
+    assert!(
+        reference
+            .iter()
+            .any(|(_, _, _, iterations, _, pull)| *iterations > 0 && !pull.is_empty()),
+        "no pair ran a pull iteration — the stacked case no longer exercises the pull pipeline"
+    );
+
+    let dag_base = warm(RoundScheduler::Dag, 4);
+    // The warm-up itself must agree before any campaign runs on top of it.
+    assert_eq!(dag_base.registered_paths(), barrier_base.registered_paths());
+    assert_eq!(dag_base.delivery_stats(), barrier_base.delivery_stats());
+    for pd_parallelism in [1usize, 4] {
+        assert_eq!(
+            campaign(&dag_base, pd_parallelism),
+            reference,
+            "stacked DAG campaign diverged at pd-parallelism {pd_parallelism}"
+        );
+    }
+}
