@@ -1,7 +1,7 @@
 //! A tiny `--key value` argument parser shared by the figure binaries (no external
 //! dependencies).
 
-use irec_sim::RoundScheduler;
+use irec_sim::{ChurnKinds, RoundScheduler};
 use std::collections::HashMap;
 
 /// Parsed benchmark arguments with defaults suitable for a laptop-scale run.
@@ -52,6 +52,17 @@ pub struct BenchArgs {
     /// one pool of `max(parallelism, delivery-parallelism)` workers; the simulation output
     /// is byte-identical either way.
     pub round_scheduler: RoundScheduler,
+    /// Expected churn deltas per step of the churn engine (`--churn-rate`, default 0 =
+    /// churn disabled). A *workload* knob: it changes what is simulated — deterministically
+    /// for a fixed `--churn-seed` — unlike the parallelism/shard knobs, which never change
+    /// the output.
+    pub churn_rate: f64,
+    /// PRNG seed of the churn timeline (`--churn-seed`, default 11), deliberately separate
+    /// from `--seed` so the same topology can be churned with different timelines.
+    pub churn_seed: u64,
+    /// Enabled churn delta kinds with optional weights (`--churn-kinds`, default `all`;
+    /// e.g. `link-down,link-up` or `link-down=3,node-leave`).
+    pub churn_kinds: ChurnKinds,
 }
 
 impl Default for BenchArgs {
@@ -73,6 +84,9 @@ impl Default for BenchArgs {
             path_shards: 0,
             pd_deep_clone: false,
             round_scheduler: RoundScheduler::Barrier,
+            churn_rate: 0.0,
+            churn_seed: 11,
+            churn_kinds: ChurnKinds::default(),
         }
     }
 }
@@ -138,6 +152,15 @@ impl BenchArgs {
         if let Some(v) = map.get("round-scheduler").and_then(|v| v.parse().ok()) {
             parsed.round_scheduler = v;
         }
+        if let Some(v) = map.get("churn-rate").and_then(|v| v.parse::<f64>().ok()) {
+            parsed.churn_rate = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        }
+        if let Some(v) = map.get("churn-seed").and_then(|v| v.parse().ok()) {
+            parsed.churn_seed = v;
+        }
+        if let Some(v) = map.get("churn-kinds").and_then(|v| v.parse().ok()) {
+            parsed.churn_kinds = v;
+        }
         parsed
     }
 
@@ -161,8 +184,12 @@ impl BenchArgs {
          \x20 --path-shards N           path-service shards per node (default 0 = auto)\n\
          \x20 --pd-deep-clone           use deep-Clone PD snapshots instead of copy-on-write\n\
          \x20 --round-scheduler S       round scheduler: barrier (default) or dag\n\
+         \x20 --churn-rate R            expected churn deltas per step (default 0 = off)\n\
+         \x20 --churn-seed N            churn-timeline PRNG seed (default 11)\n\
+         \x20 --churn-kinds K           delta kinds, e.g. all or link-down=3,node-leave\n\
          \n\
          Every parallelism/shard value yields byte-identical simulation output.\n\
+         Churn knobs are workload knobs: they change the timeline, deterministically.\n\
          Full table with auto-default rules and IREC_CRITERION_* env hooks: docs/KNOBS.md\n"
     }
 
@@ -283,6 +310,34 @@ mod tests {
     }
 
     #[test]
+    fn churn_knobs_parse_clamp_and_default_to_off() {
+        let a = parse(&[]);
+        assert_eq!(a.churn_rate, 0.0);
+        assert_eq!(a.churn_seed, 11);
+        assert_eq!(a.churn_kinds, ChurnKinds::default());
+        let a = parse(&[
+            "--churn-rate",
+            "1.5",
+            "--churn-seed",
+            "42",
+            "--churn-kinds",
+            "link-down=3,link-up",
+        ]);
+        assert_eq!(a.churn_rate, 1.5);
+        assert_eq!(a.churn_seed, 42);
+        assert_eq!(a.churn_kinds.link_down, 3);
+        assert_eq!(a.churn_kinds.link_up, 1);
+        assert_eq!(a.churn_kinds.node_leave, 0);
+        // Negative, non-finite, and unparsable values fall back to off/default.
+        assert_eq!(parse(&["--churn-rate", "-2"]).churn_rate, 0.0);
+        assert_eq!(parse(&["--churn-rate", "inf"]).churn_rate, 0.0);
+        assert_eq!(
+            parse(&["--churn-kinds", "bogus-kind"]).churn_kinds,
+            ChurnKinds::default()
+        );
+    }
+
+    #[test]
     fn help_text_covers_every_knob_and_points_at_the_docs_table() {
         let help = BenchArgs::help_text();
         for knob in [
@@ -299,6 +354,9 @@ mod tests {
             "--path-shards",
             "--pd-deep-clone",
             "--round-scheduler",
+            "--churn-rate",
+            "--churn-seed",
+            "--churn-kinds",
         ] {
             assert!(help.contains(knob), "help text is missing {knob}");
         }

@@ -1,9 +1,10 @@
 //! Determinism probe: runs three fixed simulation scenarios — two beaconing scenarios plus
 //! a PD campaign — and prints every registered path, every overhead counter and every
-//! per-pair PD result in full.
+//! per-pair PD result in full. With `--churn-rate > 0` a fourth scenario appends a churn
+//! run (per-step deltas plus the final plane state).
 //!
 //! ```text
-//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--delivery-parallelism N] [--ingress-shards N] [--pd-parallelism N] [--path-shards N] [--round-scheduler S] [--ases 12] [--rounds 3] [--seed 5]
+//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--delivery-parallelism N] [--ingress-shards N] [--pd-parallelism N] [--path-shards N] [--round-scheduler S] [--churn-rate R] [--churn-seed N] [--churn-kinds K] [--ases 12] [--rounds 3] [--seed 5]
 //! ```
 //!
 //! The output is **byte-identical for every `--parallelism`, `--delivery-parallelism`,
@@ -13,11 +14,12 @@
 //! of the PD campaign engine and of the work-item DAG round scheduler, and the CI
 //! determinism job enforces it by diffing a sequential run against each knob alone and
 //! all of them stacked. All six arguments are deliberately excluded from the output for
-//! exactly that reason.
+//! exactly that reason. The churn knobs are different: they are *workload* knobs, so CI
+//! diffs runs with the same churn knobs across parallelism planes against each other.
 
 use irec_bench::BenchArgs;
 use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
-use irec_sim::{PdCampaign, Simulation, SimulationConfig};
+use irec_sim::{ChurnConfig, ChurnEngine, PdCampaign, Simulation, SimulationConfig};
 use irec_topology::builder::{figure1, figure1_topology};
 use irec_topology::{GeneratorConfig, TopologyGenerator};
 use std::sync::Arc;
@@ -135,6 +137,64 @@ fn main() {
             );
         }
     }
+
+    // Scenario 4 (only with `--churn-rate > 0`): the churn engine on a generated
+    // topology. Churn knobs are *workload* knobs — they change this scenario's output
+    // deliberately (and deterministically), unlike the parallelism/shard/scheduler knobs,
+    // which must leave it byte-identical. The CI churn rows therefore diff churn runs
+    // against each other (same churn knobs, different parallelism planes), never against
+    // a churn-free run. The scenario is appended after the three fixed ones so enabling
+    // churn leaves their bytes untouched.
+    if args.churn_rate > 0.0 {
+        let parallelism = args.parallelism;
+        let ingress_shards = args.ingress_shards;
+        let path_shards = args.path_shards;
+        let node_config = move |_| {
+            NodeConfig::default()
+                .with_policy(PropagationPolicy::All)
+                .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
+                .with_parallelism(parallelism)
+                .with_ingress_shards(ingress_shards)
+                .with_path_shards(path_shards)
+        };
+        let config = GeneratorConfig {
+            num_ases: args.ases,
+            seed: args.seed,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(
+            Arc::new(TopologyGenerator::new(config).generate()),
+            SimulationConfig::default()
+                .with_parallelism(args.parallelism)
+                .with_delivery_parallelism(args.delivery_parallelism)
+                .with_round_scheduler(args.round_scheduler),
+            node_config,
+        )
+        .expect("churn simulation setup");
+        let mut engine = ChurnEngine::new(
+            ChurnConfig::default()
+                .with_rate(args.churn_rate)
+                .with_seed(args.churn_seed)
+                .with_kinds(args.churn_kinds),
+            node_config,
+        );
+        let report = engine.run(&mut sim, 4).expect("churn scenario converges");
+        println!("## scenario: churn");
+        for step in &report.steps {
+            let deltas: Vec<String> = step.deltas.iter().map(|d| d.to_string()).collect();
+            println!(
+                "churn-step\t{}\tround={}\tdeltas=[{}]\tsettle={}\tdropped_no_node={}\tdropped_link_down={}\tdelivered={}",
+                step.step,
+                step.round,
+                deltas.join(","),
+                step.settle_rounds,
+                step.dropped_no_node,
+                step.dropped_link_down,
+                step.delivered
+            );
+        }
+        dump_state("churn-final", &sim);
+    }
 }
 
 /// Runs `rounds` beaconing rounds and prints every observable output of the simulation in
@@ -142,11 +202,17 @@ fn main() {
 /// nondeterminism shows up as a diff.
 fn dump(label: &str, mut sim: Simulation, rounds: usize) {
     sim.run_rounds(rounds).expect("beaconing rounds");
+    dump_state(label, &sim);
+}
+
+/// Prints every observable output of an already-run simulation.
+fn dump_state(label: &str, sim: &Simulation) {
     println!("## scenario: {label}");
     println!(
-        "counters\tdelivered={}\tdropped_no_node={}\trejected={}\toccupancy={}\tconnectivity={:.6}",
+        "counters\tdelivered={}\tdropped_no_node={}\tdropped_link_down={}\trejected={}\toccupancy={}\tconnectivity={:.6}",
         sim.delivered_messages(),
         sim.dropped_no_node(),
+        sim.dropped_link_down(),
         sim.rejected_messages(),
         sim.ingress_occupancy(),
         sim.connectivity()

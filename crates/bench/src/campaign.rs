@@ -322,6 +322,7 @@ pub fn test_campaign(seed: u64) -> Fig8Campaign {
         path_shards: 0,
         pd_deep_clone: false,
         round_scheduler: irec_sim::RoundScheduler::Barrier,
+        ..BenchArgs::default()
     })
 }
 

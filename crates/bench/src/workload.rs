@@ -4,6 +4,7 @@
 use irec_algorithms::score::KShortestPaths;
 use irec_algorithms::{AlgorithmContext, Candidate, CandidateBatch, RoutingAlgorithm};
 use irec_core::beacon_db::{BatchKey, StoredBeacon};
+use irec_core::PropagationPolicy;
 use irec_core::{
     execute_racs, NodeConfig, Rac, RacConfig, RacTiming, ShardedIngressDb, SharedAlgorithmStore,
 };
@@ -11,7 +12,8 @@ use irec_crypto::{KeyRegistry, Signer};
 use irec_metrics::RegisteredPath;
 use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
 use irec_sim::{
-    DeliveryStats, PdCampaign, RoundScheduler, SchedulerStats, Simulation, SimulationConfig,
+    ChurnConfig, ChurnEngine, ChurnStep, DeliveryStats, PdCampaign, RoundScheduler, SchedulerStats,
+    Simulation, SimulationConfig,
 };
 use irec_topology::{AsNode, GeneratorConfig, Interface, Tier, TopologyGenerator};
 use irec_types::{
@@ -440,6 +442,83 @@ pub fn round_scheduler_pass(
     )
 }
 
+/// The deterministic fingerprint of one churn run: the per-step churn report plus the
+/// final registered paths, delivery accounting and ingress occupancy — everything that
+/// must stay byte-identical across `--round-scheduler` and every parallelism/shard knob
+/// for a fixed churn config.
+pub type ChurnFingerprint = (Vec<ChurnStep>, Vec<RegisteredPath>, DeliveryStats, usize);
+
+/// The node config of the churn workload. Propagation is pinned to `All` (not the
+/// generated-topology default of valley-free) so a random link-down can only sever pairs
+/// *physically* — which the no-blackhole checker excuses — never policy-blackhole them;
+/// shipped churn scenarios therefore converge by construction, and the genuine
+/// valley-free blackhole case stays covered by the churn invariants unit tests.
+fn churn_node_config(ingress_shards: usize, path_shards: usize) -> NodeConfig {
+    NodeConfig::default()
+        .with_policy(PropagationPolicy::All)
+        .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
+        .with_ingress_shards(ingress_shards)
+        .with_path_shards(path_shards)
+}
+
+/// Builds the churn workload: a generated-topology simulation under `scheduler` with
+/// `width` workers on the node phase and delivery plane plus the given per-node shard
+/// counts. Shared by the `churn_round_overhead` criterion bench, the churn determinism
+/// integration tests and the `fig_churn` binary.
+pub fn churn_workload(
+    ases: usize,
+    scheduler: RoundScheduler,
+    width: usize,
+    ingress_shards: usize,
+    path_shards: usize,
+    seed: u64,
+) -> Simulation {
+    let config = GeneratorConfig {
+        num_ases: ases,
+        seed,
+        ..Default::default()
+    };
+    let topology = Arc::new(TopologyGenerator::new(config).generate());
+    Simulation::new(
+        topology,
+        SimulationConfig::default()
+            .with_round_scheduler(scheduler)
+            .with_parallelism(width)
+            .with_delivery_parallelism(width),
+        move |_| churn_node_config(ingress_shards, path_shards),
+    )
+    .expect("churn workload simulation setup")
+}
+
+/// One full churn run over the [`churn_workload`]: `steps` churn steps of the seeded
+/// timeline in `churn`, applied and settled by a [`ChurnEngine`]. Returns the
+/// deterministic fingerprint — byte-identical across schedulers and worker/shard counts
+/// for a fixed `(ases, steps, churn, seed)` tuple, which the `churn_round_overhead`
+/// bench and the churn determinism proptest matrix re-assert.
+#[allow(clippy::too_many_arguments)]
+pub fn churn_pass(
+    ases: usize,
+    steps: usize,
+    churn: ChurnConfig,
+    scheduler: RoundScheduler,
+    width: usize,
+    ingress_shards: usize,
+    path_shards: usize,
+    seed: u64,
+) -> ChurnFingerprint {
+    let mut sim = churn_workload(ases, scheduler, width, ingress_shards, path_shards, seed);
+    let mut engine = ChurnEngine::new(churn, move |_| {
+        churn_node_config(ingress_shards, path_shards)
+    });
+    let report = engine.run(&mut sim, steps).expect("churn pass converges");
+    (
+        report.steps,
+        sim.registered_paths(),
+        sim.delivery_stats(),
+        sim.ingress_occupancy(),
+    )
+}
+
 /// Builds the PD campaign workload: a generated-topology simulation with the paper's
 /// HD + on-demand deployment, warmed for `rounds` beaconing rounds — the base every
 /// campaign pass snapshots per `(origin, target)` pair. Shared by the
@@ -655,6 +734,34 @@ mod tests {
             if scheduler == RoundScheduler::Dag {
                 assert!(stats.items > 0, "DAG runs must account executed items");
             }
+        }
+    }
+
+    #[test]
+    fn churn_pass_is_scheduler_and_width_invariant() {
+        let churn = ChurnConfig::default()
+            .with_rate(1.0)
+            .with_seed(13)
+            .with_warmup_rounds(3);
+        let (steps, paths, stats, occupancy) =
+            churn_pass(10, 3, churn, RoundScheduler::Barrier, 1, 1, 1, 5);
+        assert_eq!(steps.len(), 3);
+        assert!(
+            steps.iter().any(|step| !step.deltas.is_empty()),
+            "a rate-1 timeline must apply deltas"
+        );
+        assert!(!paths.is_empty());
+        for (scheduler, width, ingress, path) in [
+            (RoundScheduler::Barrier, 4, 4, 7),
+            (RoundScheduler::Dag, 1, 7, 4),
+            (RoundScheduler::Dag, 4, 4, 4),
+        ] {
+            let fingerprint = churn_pass(10, 3, churn, scheduler, width, ingress, path, 5);
+            assert_eq!(
+                fingerprint,
+                (steps.clone(), paths.clone(), stats, occupancy),
+                "diverged under {scheduler} x{width} ingress={ingress} path={path}"
+            );
         }
     }
 

@@ -224,6 +224,32 @@ impl IngressDb {
         });
         evicted
     }
+
+    /// True when any stored beacon matches `predicate` — the read-only probe the sharded
+    /// facade uses to keep withdrawal sweeps from materializing untouched CoW shards.
+    pub fn any_where(&self, predicate: impl Fn(&StoredBeacon) -> bool) -> bool {
+        self.by_key.values().flatten().any(|b| predicate(b))
+    }
+
+    /// Removes every stored beacon matching `predicate` (a withdrawal sweep), returning
+    /// the count. Matched digests leave the dedup set — mirroring
+    /// [`IngressDb::evict_expired`] — so a withdrawn beacon could be re-learned if it were
+    /// ever re-sent.
+    pub fn purge_where(&mut self, predicate: impl Fn(&StoredBeacon) -> bool) -> usize {
+        let mut purged = 0;
+        self.by_key.retain(|_, beacons| {
+            beacons.retain(|b| {
+                let keep = !predicate(b);
+                if !keep {
+                    purged += 1;
+                    self.seen.remove(&b.pcb.digest());
+                }
+                keep
+            });
+            !beacons.is_empty()
+        });
+        purged
+    }
 }
 
 /// Hard cap on ingress shards; beyond this the per-shard maps are so small that the
@@ -505,6 +531,25 @@ impl ShardedIngressDb {
         Arc::make_mut(&mut *shard.write()).evict_expired(now, grace)
     }
 
+    /// [`IngressDb::purge_where`] across every shard (a withdrawal sweep), with a
+    /// read-only probe per shard so sweeps that match nothing leave CoW-shared shards
+    /// untouched. The count is a sum of per-shard counts in fixed index order, so it is
+    /// identical for any shard count.
+    pub fn purge_where(&self, predicate: impl Fn(&StoredBeacon) -> bool) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                {
+                    let guard = shard.read();
+                    if !guard.any_where(&predicate) {
+                        return 0;
+                    }
+                }
+                Arc::make_mut(&mut *shard.write()).purge_where(&predicate)
+            })
+            .sum()
+    }
+
     /// [`ShardedIngressDb::evict_expired`] with the per-shard sweeps fanned out over up to
     /// `workers` scoped threads. Eviction decisions are per-beacon and shards are disjoint,
     /// so the total — a sum of per-shard counts — is identical to the serial sweep for any
@@ -595,6 +640,28 @@ impl EgressDb {
             .copied()
             .filter(|ifid| entry.egresses.insert(*ifid))
             .collect()
+    }
+
+    /// Whether any beacon has been recorded as propagated over `egress`.
+    pub fn has_egress_records(&self, egress: IfId) -> bool {
+        self.propagated
+            .values()
+            .any(|entry| entry.egresses.contains(&egress))
+    }
+
+    /// Removes `egress` from every beacon's propagated-interface set, so each beacon's
+    /// next selection is re-sent on that interface. Entries (and their expiry-index rows)
+    /// stay in place — only the per-interface marks are dropped. Returns how many marks
+    /// were removed. This is the dedup half of node-rejoin hygiene (see
+    /// `Simulation::add_node`).
+    pub fn forget_egress(&mut self, egress: IfId) -> usize {
+        let mut removed = 0;
+        for entry in self.propagated.values_mut() {
+            if entry.egresses.remove(&egress) {
+                removed += 1;
+            }
+        }
+        removed
     }
 
     /// Whether the PCB has already been recorded for the given egress interface.

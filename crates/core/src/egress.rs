@@ -182,6 +182,22 @@ impl EgressGateway {
         std::mem::take(&mut self.stats.sent_per_interface)
     }
 
+    /// Forgets that anything was ever propagated over `egress`, so the next selection of
+    /// each beacon is re-sent on that interface. Called by `Simulation::add_node` on every
+    /// neighbor of a (re-)joining AS: the neighbors' dedup databases still remember sends
+    /// to the node that left, but the newcomer's databases are empty — without the reset,
+    /// steady-state selections (whose digests were recorded before the leave) would never
+    /// be re-propagated and the rejoined AS would stay partially blind until the old
+    /// beacons expire. Returns the number of per-beacon records dropped. Probes under a
+    /// shared reference first, like [`EgressGateway::evict_expired`], so a no-op reset
+    /// leaves a copy-on-write-shared database unmaterialized.
+    pub fn forget_egress(&mut self, egress: IfId) -> usize {
+        if !self.db.has_egress_records(egress) {
+            return 0;
+        }
+        Arc::make_mut(&mut self.db).forget_egress(egress)
+    }
+
     /// Evicts expired entries from the egress dedup database. Probes under a shared
     /// reference first: a sweep with nothing to remove leaves a copy-on-write-shared
     /// database untouched instead of materializing a private copy (the routine per-round

@@ -1,7 +1,7 @@
 //! The per-AS IREC node: ingress gateway + RACs + egress gateway + path service, driven in
 //! rounds by the simulator.
 
-use crate::config::{NodeConfig, RacKind};
+use crate::config::{NodeConfig, RacConfig, RacKind};
 use crate::egress::{EgressGateway, OriginationSpec};
 use crate::ingress::IngressGateway;
 use crate::messages::{PcbMessage, PullReturn};
@@ -112,20 +112,7 @@ impl IrecNode {
     ) -> Result<Self> {
         let signer = Signer::new(asn, registry.clone());
         let verifier = Verifier::new(registry);
-        let mut racs = Vec::with_capacity(config.racs.len());
-        for rac_config in &config.racs {
-            let mut rac = match &rac_config.kind {
-                RacKind::Static { .. } => Rac::new_static(rac_config.clone())?,
-                RacKind::OnDemand => Rac::new_on_demand(
-                    rac_config.clone(),
-                    Arc::new(store.clone()) as Arc<dyn AlgorithmFetcher>,
-                )?,
-            };
-            if !config.irec_enabled {
-                rac.set_ignore_extensions(true);
-            }
-            racs.push(rac);
-        }
+        let racs = build_racs(&config.racs, config.irec_enabled, &store)?;
         let ingress = IngressGateway::with_shards(asn, verifier, config.ingress_shard_count());
         let egress = EgressGateway::with_path_shards(
             asn,
@@ -401,6 +388,51 @@ impl IrecNode {
         self.egress.evict_expired(now);
         self.egress.take_sent_counters()
     }
+
+    /// Forgets the egress gateway's propagation-dedup marks for `egress` (see
+    /// [`EgressGateway::forget_egress`]): the next selection of each beacon is re-sent on
+    /// that interface. Part of node-rejoin hygiene.
+    pub fn forget_egress(&mut self, egress: IfId) -> usize {
+        self.egress.forget_egress(egress)
+    }
+
+    /// Replaces the node's RAC catalog live, mid-run — the building block of staged
+    /// configuration migrations (the churn engine's `CatalogSwap` delta). The new RACs are
+    /// built exactly as [`IrecNode::new`] builds the initial catalog (including the
+    /// `irec_enabled` gating) and start with fresh execution caches; the ingress database,
+    /// path service and counters are untouched, so previously registered paths survive the
+    /// swap and the next beaconing round re-selects from the stored beacons under the new
+    /// catalog. On error (e.g. an unknown static algorithm) the node is left unchanged.
+    pub fn swap_rac_catalog(&mut self, racs: Vec<RacConfig>) -> Result<()> {
+        self.racs = build_racs(&racs, self.config.irec_enabled, &self.algorithm_store)?;
+        self.config.racs = racs;
+        Ok(())
+    }
+}
+
+/// Builds the RAC catalog a node runs each round: one [`Rac`] per config entry, on-demand
+/// RACs wired to the shared algorithm store, extension processing gated on `irec_enabled`.
+/// Shared by [`IrecNode::new`] and [`IrecNode::swap_rac_catalog`].
+fn build_racs(
+    configs: &[RacConfig],
+    irec_enabled: bool,
+    store: &SharedAlgorithmStore,
+) -> Result<Vec<Rac>> {
+    let mut racs = Vec::with_capacity(configs.len());
+    for rac_config in configs {
+        let mut rac = match &rac_config.kind {
+            RacKind::Static { .. } => Rac::new_static(rac_config.clone())?,
+            RacKind::OnDemand => Rac::new_on_demand(
+                rac_config.clone(),
+                Arc::new(store.clone()) as Arc<dyn AlgorithmFetcher>,
+            )?,
+        };
+        if !irec_enabled {
+            rac.set_ignore_extensions(true);
+        }
+        racs.push(rac);
+    }
+    Ok(racs)
 }
 
 #[cfg(test)]

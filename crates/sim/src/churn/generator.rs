@@ -1,0 +1,263 @@
+//! The seeded churn generator: a deterministic delta timeline drawn from the live
+//! simulation state.
+
+use super::{ChurnConfig, ChurnDelta};
+use crate::simulation::Simulation;
+use irec_types::AsId;
+use std::collections::BTreeSet;
+
+/// Smallest number of live nodes a `NodeLeave` draw must preserve: with fewer than two
+/// nodes there is no control plane left to converge.
+pub const MIN_LIVE_NODES: usize = 2;
+
+/// A self-contained splitmix64 stream. The sim crate deliberately carries no `rand`
+/// dependency; splitmix64 is tiny, passes BigCrush as a 64-bit mixer, and — most
+/// importantly here — is trivially reproducible from a single `u64` seed forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// An unbiased-enough draw in `[0, bound)` for workload generation (`bound` is tiny
+    /// compared to 2^64, so the modulo bias is negligible and, crucially, deterministic).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Emits a deterministic timeline of [`ChurnDelta`]s from a [`ChurnConfig`].
+///
+/// The generator is driven by the [`super::ChurnEngine`] one delta at a time: each draw
+/// inspects the simulation's current observables (live ASes, downed links) so that every
+/// emitted delta is applicable — a `LinkUp` is only drawn when a link is down, a
+/// `NodeJoin` only when an AS is offline, and a `NodeLeave` never shrinks the plane below
+/// [`MIN_LIVE_NODES`]. When the drawn kind has no valid target, the generator falls back
+/// through the remaining kinds in their fixed order (see [`super::ChurnKinds::entries`])
+/// and emits nothing if none applies. All candidate lists are sorted (`AsId` / `LinkId`
+/// order), so draws depend only on the PRNG stream and deterministic simulation outputs.
+#[derive(Debug, Clone)]
+pub struct ChurnGenerator {
+    config: ChurnConfig,
+    rng: SplitMix64,
+    /// Fractional-rate accumulator: `rate` is added per step, the integer part is drawn.
+    carry: f64,
+}
+
+impl ChurnGenerator {
+    /// Creates a generator for `config`, seeding the stream from `config.seed`.
+    pub fn new(config: ChurnConfig) -> Self {
+        ChurnGenerator {
+            config,
+            rng: SplitMix64::new(config.seed),
+            carry: 0.0,
+        }
+    }
+
+    /// The config this generator draws from.
+    pub fn config(&self) -> &ChurnConfig {
+        &self.config
+    }
+
+    /// Advances the rate accumulator by one step and returns how many deltas the step
+    /// should apply. At rate 0.5 this yields `0, 1, 0, 1, …`; at 2.25 it yields `2` three
+    /// times out of four and `3` on the fourth.
+    pub fn step_delta_count(&mut self) -> usize {
+        self.carry += self.config.rate;
+        let n = self.carry.floor();
+        self.carry -= n;
+        n as usize
+    }
+
+    /// Draws one applicable delta against the simulation's current state, or `None` if no
+    /// enabled kind has a valid target. The engine applies the delta before the next draw,
+    /// so successive draws within a step see each other's effects (a link downed by this
+    /// step is a candidate for the step's next `LinkUp`).
+    pub fn draw_delta(&mut self, sim: &Simulation) -> Option<ChurnDelta> {
+        let entries = self.config.kinds.entries();
+        let total = self.config.kinds.total_weight();
+        if total == 0 {
+            return None;
+        }
+        let mut pick = self.rng.below(total);
+        let mut start = 0;
+        for (position, (_, weight)) in entries.iter().enumerate() {
+            let weight = *weight as u64;
+            if pick < weight {
+                start = position;
+                break;
+            }
+            pick -= weight;
+        }
+        // Fall back through the kinds in fixed order, starting at the drawn one, skipping
+        // disabled kinds. The stream stays deterministic either way: which kinds have
+        // targets is itself a deterministic function of the timeline so far.
+        for offset in 0..entries.len() {
+            let position = (start + offset) % entries.len();
+            if entries[position].1 == 0 {
+                continue;
+            }
+            let delta = match position {
+                0 => self.draw_link_down(sim),
+                1 => self.draw_link_up(sim),
+                2 => self.draw_node_leave(sim),
+                3 => self.draw_node_join(sim),
+                _ => self.draw_catalog_swap(sim),
+            };
+            if delta.is_some() {
+                return delta;
+            }
+        }
+        None
+    }
+
+    fn draw_link_down(&mut self, sim: &Simulation) -> Option<ChurnDelta> {
+        let downed: BTreeSet<_> = sim.downed_links().into_iter().collect();
+        let up: Vec<_> = sim
+            .topology()
+            .link_ids()
+            .into_iter()
+            .filter(|id| !downed.contains(id))
+            .collect();
+        self.pick(&up).map(ChurnDelta::LinkDown)
+    }
+
+    fn draw_link_up(&mut self, sim: &Simulation) -> Option<ChurnDelta> {
+        self.pick(&sim.downed_links()).map(ChurnDelta::LinkUp)
+    }
+
+    fn draw_node_leave(&mut self, sim: &Simulation) -> Option<ChurnDelta> {
+        let live = sim.live_ases();
+        if live.len() <= MIN_LIVE_NODES {
+            return None;
+        }
+        self.pick(&live).map(ChurnDelta::NodeLeave)
+    }
+
+    fn draw_node_join(&mut self, sim: &Simulation) -> Option<ChurnDelta> {
+        let offline: Vec<AsId> = sim
+            .topology()
+            .as_ids()
+            .into_iter()
+            .filter(|asn| !sim.has_node(*asn))
+            .collect();
+        self.pick(&offline).map(ChurnDelta::NodeJoin)
+    }
+
+    fn draw_catalog_swap(&mut self, sim: &Simulation) -> Option<ChurnDelta> {
+        self.pick(&sim.live_ases()).map(ChurnDelta::CatalogSwap)
+    }
+
+    fn pick<T: Copy>(&mut self, candidates: &[T]) -> Option<T> {
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(candidates[self.rng.below(candidates.len() as u64) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnKinds;
+    use crate::simulation::SimulationConfig;
+    use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
+    use irec_topology::builder::figure1_topology;
+    use std::sync::Arc;
+
+    fn sim() -> Simulation {
+        Simulation::new(
+            Arc::new(figure1_topology()),
+            SimulationConfig::default(),
+            |_| {
+                NodeConfig::default()
+                    .with_policy(PropagationPolicy::All)
+                    .with_racs(vec![RacConfig::static_rac("1SP", "1SP")])
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn splitmix_is_reproducible() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn rate_accumulator_carries_fractions() {
+        let mut generator = ChurnGenerator::new(ChurnConfig::default().with_rate(0.5));
+        let counts: Vec<usize> = (0..6).map(|_| generator.step_delta_count()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 3);
+        let mut generator = ChurnGenerator::new(ChurnConfig::default().with_rate(2.0));
+        assert_eq!(generator.step_delta_count(), 2);
+    }
+
+    #[test]
+    fn same_seed_same_timeline() {
+        let sim = sim();
+        let config = ChurnConfig::default().with_seed(7);
+        let draw = |mut generator: ChurnGenerator| -> Vec<ChurnDelta> {
+            (0..20).filter_map(|_| generator.draw_delta(&sim)).collect()
+        };
+        let a = draw(ChurnGenerator::new(config));
+        let b = draw(ChurnGenerator::new(config));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = draw(ChurnGenerator::new(config.with_seed(8)));
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn draws_respect_applicability() {
+        let sim = sim();
+        // Only link-up enabled, but nothing is down: every draw falls back to nothing.
+        let only_up = ChurnConfig::default().with_kinds("link-up".parse::<ChurnKinds>().unwrap());
+        let mut generator = ChurnGenerator::new(only_up);
+        assert_eq!(generator.draw_delta(&sim), None);
+        // Only node-join enabled, but every AS is live.
+        let only_join =
+            ChurnConfig::default().with_kinds("node-join".parse::<ChurnKinds>().unwrap());
+        let mut generator = ChurnGenerator::new(only_join);
+        assert_eq!(generator.draw_delta(&sim), None);
+        // All weights zero draws nothing.
+        let mut generator =
+            ChurnGenerator::new(ChurnConfig::default().with_kinds(ChurnKinds::NONE));
+        assert_eq!(generator.draw_delta(&sim), None);
+    }
+
+    #[test]
+    fn node_leave_preserves_a_minimum_plane() {
+        let mut sim = sim();
+        let only_leave =
+            ChurnConfig::default().with_kinds("node-leave".parse::<ChurnKinds>().unwrap());
+        let mut generator = ChurnGenerator::new(only_leave);
+        // Drain the topology down to the floor; every draw until then must name a live AS.
+        while sim.live_ases().len() > MIN_LIVE_NODES {
+            let Some(ChurnDelta::NodeLeave(asn)) = generator.draw_delta(&sim) else {
+                panic!("expected a node-leave draw");
+            };
+            assert!(sim.has_node(asn));
+            sim.remove_node(asn).unwrap();
+        }
+        assert_eq!(generator.draw_delta(&sim), None);
+        assert_eq!(sim.live_ases().len(), MIN_LIVE_NODES);
+    }
+}

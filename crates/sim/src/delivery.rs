@@ -52,9 +52,9 @@
 
 use crate::event::{Event, EventQueue};
 use irec_core::{engine::run_claimed, IrecNode, PcbMessage, PullReturn};
-use irec_types::{AsId, Result, SimTime};
+use irec_types::{AsId, IfId, LinkId, Result, SimTime};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -75,8 +75,14 @@ pub const MAX_EPOCH_EVENTS: usize = 4096;
 pub struct DeliveryStats {
     /// Messages delivered to (and accepted or deduplicated by) their destination node.
     pub delivered: u64,
-    /// Messages addressed to an AS that has no node (e.g. removed by failure injection).
+    /// Messages addressed to an AS that has no node (e.g. removed by failure injection),
+    /// including pending events purged when their destination node was removed or before
+    /// it was re-added (see `Simulation::remove_node` / `Simulation::add_node`).
     pub dropped_no_node: u64,
+    /// PCB messages lost because the link they were sent over went down (churn injection)
+    /// before their delivery time. Checked before the missing-node outcome, so a message
+    /// over a downed link towards a removed AS counts here, not in `dropped_no_node`.
+    pub dropped_link_down: u64,
     /// PCB messages rejected by the receiving ingress gateway (signature, expiry or policy
     /// failures).
     pub rejected: u64,
@@ -85,13 +91,14 @@ pub struct DeliveryStats {
 impl DeliveryStats {
     /// The legacy aggregate: everything that was not delivered.
     pub fn dropped_total(&self) -> u64 {
-        self.dropped_no_node + self.rejected
+        self.dropped_no_node + self.dropped_link_down + self.rejected
     }
 
     /// Adds `other`'s counters into `self`.
     pub fn merge(&mut self, other: DeliveryStats) {
         self.delivered += other.delivered;
         self.dropped_no_node += other.dropped_no_node;
+        self.dropped_link_down += other.dropped_link_down;
         self.rejected += other.rejected;
     }
 }
@@ -111,6 +118,16 @@ pub struct DeliveryPlane {
     /// Always empty under the barrier scheduler. Cloned with the plane: a snapshot's
     /// in-flight events replay with the same precomputed verdicts.
     verdict_cache: HashMap<u64, Result<()>>,
+    /// Links currently down (churn injection), with the two `(AS, interface)` endpoints
+    /// each was resolved to when it was taken down. A PCB whose `(from_as, from_if)`
+    /// endpoint belongs to a downed link is dropped at delivery time — evaluated against
+    /// the state at the drain, so in-flight messages scheduled before the flap drop too.
+    /// Cloned with the plane: a snapshot replays the same link state.
+    down_links: BTreeMap<LinkId, [(AsId, IfId); 2]>,
+    /// The endpoint set derived from [`DeliveryPlane::down_links`], for O(log n) per-event
+    /// checks. An `(AS, interface)` pair belongs to exactly one link, so membership is
+    /// equivalent to "the message's egress link is down".
+    down_endpoints: BTreeSet<(AsId, IfId)>,
 }
 
 impl Default for DeliveryPlane {
@@ -130,7 +147,65 @@ impl DeliveryPlane {
             parallelism: parallelism.clamp(1, MAX_WORKERS),
             stats: DeliveryStats::default(),
             verdict_cache: HashMap::new(),
+            down_links: BTreeMap::new(),
+            down_endpoints: BTreeSet::new(),
         }
+    }
+
+    /// Marks `link` down: from now until [`DeliveryPlane::set_link_up`], every PCB whose
+    /// `(from_as, from_if)` matches either endpoint drops at delivery time (counted in
+    /// [`DeliveryStats::dropped_link_down`]). Idempotent; the caller resolves the
+    /// endpoints from the topology (the plane deliberately has no topology access).
+    pub fn set_link_down(&mut self, link: LinkId, endpoints: [(AsId, IfId); 2]) {
+        if self.down_links.insert(link, endpoints).is_none() {
+            for endpoint in endpoints {
+                self.down_endpoints.insert(endpoint);
+            }
+        }
+    }
+
+    /// Brings `link` back up. Messages scheduled while it was down but delivered after
+    /// this call are delivered normally — the drop check reads the state at drain time.
+    /// Idempotent; unknown (or already-up) links are a no-op.
+    pub fn set_link_up(&mut self, link: LinkId) {
+        if let Some(endpoints) = self.down_links.remove(&link) {
+            for endpoint in endpoints {
+                self.down_endpoints.remove(&endpoint);
+            }
+        }
+    }
+
+    /// Whether `link` is currently down.
+    pub fn is_link_down(&self, link: LinkId) -> bool {
+        self.down_links.contains_key(&link)
+    }
+
+    /// Whether the `(AS, interface)` endpoint belongs to a currently-downed link.
+    pub fn is_endpoint_down(&self, asn: AsId, ifid: IfId) -> bool {
+        self.down_endpoints.contains(&(asn, ifid))
+    }
+
+    /// The currently-downed links, in `LinkId` order.
+    pub fn downed_links(&self) -> Vec<LinkId> {
+        self.down_links.keys().copied().collect()
+    }
+
+    /// Node-removal hygiene: purges every pending event addressed to `asn`, accounts each
+    /// as [`DeliveryStats::dropped_no_node`], and drops any speculative verdicts cached
+    /// for the purged events (they will never be drained, so the entries would leak).
+    /// Returns the number of events purged.
+    ///
+    /// Called by `Simulation::remove_node` (messages in flight towards the removed AS)
+    /// and by `Simulation::add_node` (messages sent while the AS had no node), so a node
+    /// re-added under the same `AsId` can never observe pre-removal traffic.
+    pub fn purge_addressed_to(&mut self, asn: AsId) -> u64 {
+        let purged = self.queue.purge_addressed_to(asn);
+        let count = purged.len() as u64;
+        for (_, seq, _) in &purged {
+            self.verdict_cache.remove(seq);
+        }
+        self.stats.dropped_no_node += count;
+        count
     }
 
     /// Schedules `event` for delivery at time `at`.
@@ -236,7 +311,13 @@ impl DeliveryPlane {
             // Verify stage: fan the per-node inboxes out over workers. With one worker the
             // apply walk below verifies inline instead (identical verdicts either way).
             let mut verdicts = if self.parallelism > 1 {
-                verify_epoch(nodes, &epoch, self.parallelism, busy_nanos)
+                verify_epoch(
+                    nodes,
+                    &epoch,
+                    &self.down_endpoints,
+                    self.parallelism,
+                    busy_nanos,
+                )
             } else {
                 Vec::new()
             };
@@ -250,6 +331,13 @@ impl DeliveryPlane {
             for (index, (at, event)) in epoch.into_iter().enumerate() {
                 let started = Instant::now();
                 match event {
+                    // The downed-link check precedes the missing-node check in every
+                    // delivery path, so the counter split is identical across them.
+                    Event::DeliverPcb(message)
+                        if self.is_endpoint_down(message.from_as, message.from_if) =>
+                    {
+                        self.stats.dropped_link_down += 1;
+                    }
                     Event::DeliverPcb(message) => match nodes.get_mut(&message.to_as) {
                         Some(node) => {
                             let verdict = verdicts
@@ -321,6 +409,13 @@ impl DeliveryPlane {
         let mut returns: BTreeMap<(AsId, usize), Vec<ReturnCommit>> = BTreeMap::new();
         for (index, (at, event)) in epoch.into_iter().enumerate() {
             match event {
+                // Same check order as the sequential walk: downed link before missing
+                // node, so the counter split matches byte for byte.
+                Event::DeliverPcb(message)
+                    if self.is_endpoint_down(message.from_as, message.from_if) =>
+                {
+                    self.stats.dropped_link_down += 1;
+                }
                 Event::DeliverPcb(message) => match nodes.get(&message.to_as) {
                     Some(node) => {
                         let verdict = verdicts
@@ -402,14 +497,18 @@ impl DeliveryPlane {
 fn verify_epoch(
     nodes: &BTreeMap<AsId, IrecNode>,
     epoch: &[(SimTime, Event)],
+    down_endpoints: &BTreeSet<(AsId, IfId)>,
     parallelism: usize,
     busy_nanos: &AtomicU64,
 ) -> Vec<Option<Result<()>>> {
     // Inboxes in AsId order; each holds the epoch indices addressed to that node.
+    // Messages over downed links are skipped: the apply pass drops them unverified.
     let mut by_destination: BTreeMap<AsId, Vec<usize>> = BTreeMap::new();
     for (index, (_, event)) in epoch.iter().enumerate() {
         if let Event::DeliverPcb(message) = event {
-            if nodes.contains_key(&message.to_as) {
+            if nodes.contains_key(&message.to_as)
+                && !down_endpoints.contains(&(message.from_as, message.from_if))
+            {
                 by_destination.entry(message.to_as).or_default().push(index);
             }
         }

@@ -27,6 +27,11 @@
 //! with results merged in pair order, byte-identical to the sequential loop and to the
 //! deep-clone reference implementation.
 //!
+//! [`churn::ChurnEngine`] layers live reconfiguration on top: a seeded generator emits a
+//! deterministic timeline of topology deltas (link flaps, AS leaves/joins, RAC-catalog
+//! swaps) applied between rounds, with convergence and no-blackhole invariants checked
+//! after every step (see [`churn`]).
+//!
 //! Rounds execute under one of two schedulers ([`simulation::RoundScheduler`]): the
 //! **barrier** reference path (deliver → node phase → housekeeping, each a strict phase)
 //! or the **dependency-DAG** scheduler ([`dag`]), which dissolves the phase barriers into
@@ -37,12 +42,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod dag;
 pub mod delivery;
 pub mod event;
 pub mod pd;
 pub mod simulation;
 
+pub use churn::{
+    ChurnConfig, ChurnDelta, ChurnEngine, ChurnGenerator, ChurnKinds, ChurnReport, ChurnStep,
+    InvariantChecker,
+};
 pub use dag::{Dag, DagExecutor, ExecReport, RoundDagBuilder, RoundItem, SchedulerStats};
 pub use delivery::{DeliveryPlane, DeliveryStats};
 pub use event::{Event, EventQueue};

@@ -9,7 +9,7 @@ use irec_crypto::KeyRegistry;
 use irec_metrics::overhead::OverheadCounter;
 use irec_metrics::RegisteredPath;
 use irec_topology::{GroupingConfig, InterfaceGroups, Topology};
-use irec_types::{AsId, IrecError, Result, SimDuration, SimTime};
+use irec_types::{AsId, IrecError, LinkId, Result, SimDuration, SimTime};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -126,6 +126,11 @@ pub struct Simulation {
     /// Scheduler-quality accounting (wall/busy/idle). Deliberately *not* part of the
     /// simulation's deterministic output: it measures the host machine, not the model.
     scheduler: SchedulerStats,
+    /// The shared control-plane PKI, retained so [`Simulation::add_node`] can build nodes
+    /// mid-run (the registry handle is a cheap `Arc` clone; registration is idempotent).
+    registry: KeyRegistry,
+    /// The shared on-demand algorithm store, retained for the same reason.
+    store: SharedAlgorithmStore,
 }
 
 impl Clone for Simulation {
@@ -150,6 +155,8 @@ impl Clone for Simulation {
             overhead: self.overhead.clone(),
             overhead_pull: self.overhead_pull.clone(),
             scheduler: self.scheduler,
+            registry: self.registry.clone(),
+            store: self.store.clone(),
         }
     }
 }
@@ -231,6 +238,8 @@ impl Simulation {
             overhead,
             overhead_pull: OverheadCounter::new(),
             scheduler: SchedulerStats::default(),
+            registry,
+            store,
         })
     }
 
@@ -389,6 +398,8 @@ impl Simulation {
             overhead: self.overhead.clone(),
             overhead_pull: self.overhead_pull.clone(),
             scheduler: self.scheduler,
+            registry: self.registry.clone(),
+            store: self.store.clone(),
         }
     }
 
@@ -748,6 +759,18 @@ impl Simulation {
             prep.ats.push(at);
             let mut verdict = None;
             match &event {
+                Event::DeliverPcb(message)
+                    if self
+                        .plane
+                        .is_endpoint_down(message.from_as, message.from_if) =>
+                {
+                    // The downed-link check precedes the missing-node check in every
+                    // delivery path, so the counter split is scheduler-independent.
+                    // Consume any cached verdict so the cache never leaks entries for
+                    // events that will never be applied.
+                    let _ = self.plane.take_cached_verdict(seq);
+                    prep.base_delta.dropped_link_down += 1;
+                }
                 Event::DeliverPcb(message) => match self.nodes.get(&message.to_as) {
                     Some(node) => {
                         prep.pcb_outcomes.push(index);
@@ -914,10 +937,159 @@ impl Simulation {
     }
 
     /// Removes an AS's node from the simulation (failure injection: the AS goes offline).
-    /// In-flight events addressed to it are counted as dropped when their delivery time
-    /// comes. Returns the removed node, or `None` if the AS had no node.
+    /// Every queued event addressed to it is purged immediately and counted as
+    /// `dropped_no_node` — so a later [`Simulation::add_node`] of the same `AsId` cannot
+    /// receive stale pre-removal messages, and the accounting totals are identical to
+    /// letting those events surface at their delivery times. Returns the removed node, or
+    /// `None` if the AS had no node.
     pub fn remove_node(&mut self, asn: AsId) -> Option<IrecNode> {
-        self.nodes.remove(&asn)
+        let node = self.nodes.remove(&asn)?;
+        self.plane.purge_addressed_to(asn);
+        Some(node)
+    }
+
+    /// Adds a node for `asn` mid-run — the dual of [`Simulation::remove_node`], used by
+    /// the churn engine's `NodeJoin` delta. The AS must exist in the topology (links are
+    /// immutable; a re-joining AS comes back with its original interfaces) and must not
+    /// currently have a node. The new node starts from an empty state: messages in flight
+    /// towards the AS while it was down are purged and counted as `dropped_no_node` (a
+    /// node cannot receive traffic sent before it existed), its control-plane key is
+    /// (re-)registered, and its interfaces are (re-)registered with the overhead counter —
+    /// both registrations are idempotent, so remove → add round-trips keep exact
+    /// accounting.
+    pub fn add_node(&mut self, asn: AsId, config: NodeConfig) -> Result<()> {
+        if self.nodes.contains_key(&asn) {
+            return Err(IrecError::config(format!("{asn} already has a node")));
+        }
+        let as_node = self.topology.as_node(asn)?;
+        self.registry.register(asn);
+        let node = IrecNode::new(
+            asn,
+            config,
+            Arc::clone(&self.topology),
+            self.registry.clone(),
+            self.store.clone(),
+        )?;
+        for ifid in as_node.interfaces.keys() {
+            self.overhead.register_interface(asn, *ifid);
+        }
+        // Purge anything addressed to the AS while it had no node: those messages were
+        // sent to a dead AS and must not materialize in the newcomer's ingress.
+        self.plane.purge_addressed_to(asn);
+        // Neighbor-side rewiring: the neighbors' egress-dedup databases still remember
+        // sends to the node that left, but the newcomer starts empty — reset their marks
+        // for the interfaces facing this AS so steady-state selections are re-propagated
+        // and the rejoined node relearns the control plane instead of staying blind until
+        // the pre-leave beacons expire.
+        for link_id in self.topology.links_of(asn) {
+            let link = self.topology.link(link_id)?;
+            let neighbor = if link.a.asn == asn { link.b } else { link.a };
+            if let Some(node) = self.nodes.get_mut(&neighbor.asn) {
+                node.forget_egress(neighbor.interface);
+            }
+        }
+        self.nodes.insert(asn, node);
+        Ok(())
+    }
+
+    /// Whether `asn` currently has a live node.
+    pub fn has_node(&self, asn: AsId) -> bool {
+        self.nodes.contains_key(&asn)
+    }
+
+    /// The ASes that currently have a live node, in `AsId` order.
+    pub fn live_ases(&self) -> Vec<AsId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Number of events still pending in the delivery plane's queue.
+    pub fn pending_events(&self) -> usize {
+        self.plane.pending()
+    }
+
+    /// Number of PCBs dropped at delivery time because their emitting link endpoint was
+    /// administratively down (see [`Simulation::set_link_down`]).
+    pub fn dropped_link_down(&self) -> u64 {
+        self.plane.stats().dropped_link_down
+    }
+
+    /// Marks a topology link as down: from now on, any PCB emitted over either of its
+    /// endpoints is dropped at delivery time and counted in
+    /// [`Simulation::dropped_link_down`]. The topology itself stays immutable — nodes keep
+    /// originating and propagating over the interface; the delivery plane absorbs the
+    /// traffic, which is exactly how a silently failed link behaves. Pull returns travel
+    /// the discovered path as one event and are not affected (path-level failure injection
+    /// is node removal). Idempotent.
+    pub fn set_link_down(&mut self, link: LinkId) -> Result<()> {
+        let l = self.topology.link(link)?;
+        self.plane
+            .set_link_down(link, [(l.a.asn, l.a.interface), (l.b.asn, l.b.interface)]);
+        Ok(())
+    }
+
+    /// Brings a downed link back up. A no-op for links that are not down.
+    pub fn set_link_up(&mut self, link: LinkId) -> Result<()> {
+        // Resolve the id even though the plane keeps the endpoints, so an unknown link id
+        // errors instead of silently doing nothing.
+        self.topology.link(link)?;
+        self.plane.set_link_up(link);
+        Ok(())
+    }
+
+    /// Whether `link` is currently marked down.
+    pub fn is_link_down(&self, link: LinkId) -> bool {
+        self.plane.is_link_down(link)
+    }
+
+    /// Withdraws from every node's ingress database the beacons whose recorded hops
+    /// traverse either endpoint of `link`, returning the withdrawn count. This is the
+    /// protocol reaction to a link going down (the churn engine runs it right after
+    /// [`Simulation::set_link_down`]): steady-state RAC selections re-pick the oldest
+    /// stored digests and the egress dedup suppresses their re-propagation, so without the
+    /// sweep a plane whose stale winners traverse the downed link can stay blackholed
+    /// forever — the sweep shifts selection to surviving detour candidates instead.
+    pub fn withdraw_traversing_link(&mut self, link: LinkId) -> Result<u64> {
+        let l = self.topology.link(link)?;
+        let endpoints = [(l.a.asn, l.a.interface), (l.b.asn, l.b.interface)];
+        let mut withdrawn = 0u64;
+        for node in self.nodes.values() {
+            withdrawn += node.ingress().db().purge_where(|stored| {
+                stored.pcb.entries.iter().any(|entry| {
+                    endpoints.iter().any(|&(asn, ifid)| {
+                        entry.hop.asn == asn
+                            && (entry.hop.ingress == ifid || entry.hop.egress == ifid)
+                    })
+                })
+            }) as u64;
+        }
+        Ok(withdrawn)
+    }
+
+    /// Withdraws from every node's ingress database the beacons whose recorded hops
+    /// traverse `asn`, returning the withdrawn count — the node-departure dual of
+    /// [`Simulation::withdraw_traversing_link`], run by the churn engine right after
+    /// [`Simulation::remove_node`].
+    pub fn withdraw_traversing_as(&mut self, asn: AsId) -> u64 {
+        self.nodes
+            .values()
+            .map(|node| {
+                node.ingress()
+                    .db()
+                    .purge_where(|stored| stored.pcb.entries.iter().any(|e| e.hop.asn == asn))
+                    as u64
+            })
+            .sum()
+    }
+
+    /// Whether `(asn, ifid)` is an endpoint of a downed link. Both endpoints of a downed
+    /// link are down, so testing whichever side a path record stores is sufficient.
+    pub fn is_endpoint_down(&self, asn: AsId, ifid: irec_types::IfId) -> bool {
+        self.plane.is_endpoint_down(asn, ifid)
+    }
+
+    /// The links currently marked down, in `LinkId` order.
+    pub fn downed_links(&self) -> Vec<LinkId> {
+        self.plane.downed_links()
     }
 
     /// All registered paths across every node, converted to the evaluation record type.
@@ -1208,7 +1380,7 @@ mod tests {
         assert!(stats.delivered > 0);
         assert_eq!(
             stats.dropped_total(),
-            stats.dropped_no_node + stats.rejected
+            stats.dropped_no_node + stats.dropped_link_down + stats.rejected
         );
         for parallelism in [2, 4] {
             let (p_paths, p_stats, p_occupancy) = run(parallelism);
@@ -1315,6 +1487,87 @@ mod tests {
             sim.dropped_messages(),
             sim.dropped_no_node() + sim.rejected_messages()
         );
+    }
+
+    #[test]
+    fn add_node_rejects_duplicates_and_unknown_ases() {
+        let mut sim = figure1_sim(vec![RacConfig::static_rac("1SP", "1SP")]);
+        let config = NodeConfig::default()
+            .with_policy(PropagationPolicy::All)
+            .with_racs(vec![RacConfig::static_rac("1SP", "1SP")]);
+        assert!(sim.add_node(figure1::X, config.clone()).is_err());
+        assert!(sim.add_node(AsId(999), config.clone()).is_err());
+        sim.remove_node(figure1::X).unwrap();
+        assert!(!sim.has_node(figure1::X));
+        sim.add_node(figure1::X, config).unwrap();
+        assert!(sim.has_node(figure1::X));
+        // The re-added node starts empty.
+        assert!(sim
+            .node(figure1::X)
+            .unwrap()
+            .path_service()
+            .all()
+            .is_empty());
+    }
+
+    #[test]
+    fn link_toggles_drop_and_restore_traffic() {
+        let mut sim = figure1_sim(vec![RacConfig::static_rac("5SP", "5SP")]);
+        sim.run_rounds(2).unwrap();
+        assert_eq!(sim.dropped_link_down(), 0);
+        let link = sim.topology().links_of(figure1::X)[0];
+        sim.set_link_down(link).unwrap();
+        assert!(sim.is_link_down(link));
+        assert_eq!(sim.downed_links(), vec![link]);
+        sim.run_rounds(2).unwrap();
+        let dropped = sim.dropped_link_down();
+        assert!(dropped > 0, "traffic over the downed link must drop");
+        sim.set_link_up(link).unwrap();
+        assert!(!sim.is_link_down(link));
+        sim.run_rounds(2).unwrap();
+        // Once the link is back up, its traffic flows again; the counter stays put.
+        assert_eq!(sim.dropped_link_down(), dropped);
+        assert!(sim.set_link_down(irec_types::LinkId(u64::MAX)).is_err());
+        assert!(sim.set_link_up(irec_types::LinkId(u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn link_down_drops_are_scheduler_independent() {
+        let run = |scheduler: RoundScheduler, parallelism: usize, delivery: usize| {
+            let topology = Arc::new(figure1_topology());
+            let mut sim = Simulation::new(
+                topology,
+                SimulationConfig::default()
+                    .with_round_scheduler(scheduler)
+                    .with_parallelism(parallelism)
+                    .with_delivery_parallelism(delivery),
+                |_| {
+                    NodeConfig::default()
+                        .with_policy(PropagationPolicy::All)
+                        .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
+                },
+            )
+            .unwrap();
+            sim.run_rounds(2).unwrap();
+            let link = sim.topology().links_of(figure1::X)[0];
+            sim.set_link_down(link).unwrap();
+            sim.run_rounds(3).unwrap();
+            (
+                sim.registered_paths(),
+                sim.delivery_stats(),
+                sim.ingress_occupancy(),
+            )
+        };
+        let reference = run(RoundScheduler::Barrier, 1, 1);
+        assert!(reference.1.dropped_link_down > 0);
+        for (parallelism, delivery) in [(1, 1), (2, 4), (4, 2)] {
+            let dag = run(RoundScheduler::Dag, parallelism, delivery);
+            assert_eq!(dag.0, reference.0, "paths at {parallelism}x{delivery}");
+            assert_eq!(dag.1, reference.1, "stats at {parallelism}x{delivery}");
+            assert_eq!(dag.2, reference.2, "occupancy at {parallelism}x{delivery}");
+        }
+        let barrier_parallel = run(RoundScheduler::Barrier, 1, 4);
+        assert_eq!(barrier_parallel.1, reference.1);
     }
 
     #[test]

@@ -237,6 +237,11 @@ impl Topology {
             .ok_or_else(|| IrecError::not_found(format!("unknown {asn}")))
     }
 
+    /// All link ids in ascending order.
+    pub fn link_ids(&self) -> Vec<LinkId> {
+        self.links.keys().copied().collect()
+    }
+
     /// Looks up a link.
     pub fn link(&self, id: LinkId) -> Result<&Link> {
         self.links

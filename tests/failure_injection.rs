@@ -234,6 +234,133 @@ fn messages_to_an_offline_as_are_counted_as_dropped() {
     assert!(injected.delivered_messages() > delivered_before);
 }
 
+/// Regression test for mid-run node re-addition: after remove → add → re-beacon, the
+/// rejoined AS must regain full reachability (its neighbors' propagation-dedup marks for
+/// the interfaces facing it are reset, or steady-state selections would never be re-sent
+/// to it), and the whole flap — paths, accounting, occupancy — must be byte-identical
+/// across the round schedulers and every parallelism/shard plane.
+#[test]
+fn node_flap_restores_reachability_with_exact_accounting() {
+    use irec_sim::RoundScheduler;
+    let run = |scheduler: RoundScheduler, width: usize, ingress: usize, path: usize| {
+        let node_config = move |_| {
+            NodeConfig::default()
+                .with_policy(PropagationPolicy::All)
+                .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
+                .with_ingress_shards(ingress)
+                .with_path_shards(path)
+        };
+        let mut sim = Simulation::new(
+            Arc::new(figure1_topology()),
+            SimulationConfig::default()
+                .with_round_scheduler(scheduler)
+                .with_parallelism(width)
+                .with_delivery_parallelism(width),
+            node_config,
+        )
+        .unwrap();
+        sim.run_rounds(4).unwrap();
+        assert!((sim.connectivity() - 1.0).abs() < f64::EPSILON);
+        assert!(sim.remove_node(figure1::X).is_some());
+        sim.run_rounds(2).unwrap();
+        assert_eq!(sim.live_ases().len(), 4, "X must be gone");
+        sim.add_node(figure1::X, node_config(figure1::X)).unwrap();
+        assert!(
+            sim.add_node(figure1::X, node_config(figure1::X)).is_err(),
+            "re-adding a live node must be rejected"
+        );
+        sim.run_rounds(4).unwrap();
+        assert_eq!(sim.pending_events(), 0, "rounds must drain the event queue");
+        (
+            sim.registered_paths(),
+            sim.delivery_stats(),
+            sim.ingress_occupancy(),
+            sim.connectivity(),
+        )
+    };
+
+    let reference = run(irec_sim::RoundScheduler::Barrier, 1, 1, 1);
+    assert!(
+        (reference.3 - 1.0).abs() < f64::EPSILON,
+        "re-beaconing must restore full reachability, got connectivity {}",
+        reference.3
+    );
+    assert!(
+        reference.1.dropped_no_node > 0,
+        "the offline window must drop messages"
+    );
+    for (scheduler, width, ingress, path) in [
+        (irec_sim::RoundScheduler::Barrier, 4, 4, 7),
+        (irec_sim::RoundScheduler::Dag, 1, 7, 4),
+        (irec_sim::RoundScheduler::Dag, 4, 4, 4),
+    ] {
+        assert_eq!(
+            run(scheduler, width, ingress, path),
+            reference,
+            "node flap diverged under {scheduler} x{width} ingress={ingress} path={path}"
+        );
+    }
+}
+
+/// Regression test pinning the drop-counter split: a message emitted over a downed link
+/// endpoint counts as `dropped_link_down` even when its addressee is *also* gone (the
+/// downed-link check precedes the missing-node check in every delivery path), while
+/// messages to the missing node over up links count as `dropped_no_node` — and the split
+/// is identical under both schedulers and all parallelism planes.
+#[test]
+fn link_down_and_node_removal_split_drop_counters_deterministically() {
+    use irec_sim::RoundScheduler;
+    let run = |scheduler: RoundScheduler, width: usize| {
+        let mut sim = Simulation::new(
+            Arc::new(figure1_topology()),
+            SimulationConfig::default()
+                .with_round_scheduler(scheduler)
+                .with_parallelism(width)
+                .with_delivery_parallelism(width),
+            |_| {
+                NodeConfig::default()
+                    .with_policy(PropagationPolicy::All)
+                    .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
+            },
+        )
+        .unwrap();
+        sim.run_rounds(3).unwrap();
+        // Down the Src–X link *and* remove X: Src's beacons over the downed link hit the
+        // link-down arm; beacons to X over its other (up) links hit the no-node arm.
+        let src_x = sim
+            .topology()
+            .link_at(figure1::SRC, IfId(1))
+            .expect("Src's first interface is the Src-X link")
+            .id;
+        sim.set_link_down(src_x).unwrap();
+        assert!(sim.remove_node(figure1::X).is_some());
+        sim.run_rounds(2).unwrap();
+        (sim.delivery_stats(), sim.registered_paths())
+    };
+
+    let (stats, paths) = run(RoundScheduler::Barrier, 1);
+    assert!(
+        stats.dropped_link_down > 0,
+        "the downed link must account drops"
+    );
+    assert!(
+        stats.dropped_no_node > 0,
+        "the removed node must account drops"
+    );
+    for (scheduler, width) in [
+        (RoundScheduler::Barrier, 4),
+        (RoundScheduler::Dag, 1),
+        (RoundScheduler::Dag, 4),
+    ] {
+        let (other_stats, other_paths) = run(scheduler, width);
+        assert_eq!(
+            (other_stats, other_paths.len()),
+            (stats, paths.len()),
+            "drop-counter split diverged under {scheduler} x{width}"
+        );
+    }
+}
+
 /// Expired beacons are evicted from the databases and do not linger in path computation.
 #[test]
 fn expired_beacons_are_evicted_from_the_control_plane() {
