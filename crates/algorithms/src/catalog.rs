@@ -1,8 +1,10 @@
 //! A name-based catalog of the built-in algorithms, used by RAC configuration files and the
 //! simulation setup to instantiate static RACs from strings.
 
+use crate::aco::{AntColony, DEFAULT_ACO_ITERATIONS, DEFAULT_ACO_SEED, MAX_ACO_ITERATIONS};
 use crate::disjoint::HeuristicDisjointness;
 use crate::score::{DelayOptimization, KShortestPaths, ShortestPath, ShortestWidest, WidestPath};
+use crate::yens::YensKShortest;
 use crate::RoutingAlgorithm;
 use irec_types::{IrecError, Result};
 use std::sync::Arc;
@@ -11,8 +13,16 @@ use std::sync::Arc;
 /// (20 registered paths per RAC, origin and interface group — the paper's setting).
 pub const DEFAULT_BUDGET: usize = 20;
 
+/// Upper bound on the `k` accepted by the `<k>SP` / `<k>YEN` name patterns.
+///
+/// The per-egress selection budget saturates at `ctx.max_selected` either way, but Yen's
+/// exact enumeration runs `k` spur rounds *before* truncation — an unbounded `k` (e.g. the
+/// `usize::MAX` that `"18446744073709551615SP"` used to produce) turns a config typo into an
+/// unbounded amount of work.
+pub const MAX_K: usize = 1024;
+
 /// The names of all built-in static algorithms, in the order the paper's evaluation lists
-/// them.
+/// them, followed by the stochastic/k-shortest family added on top of it.
 pub const BUILTIN_NAMES: &[&str] = &[
     "1SP",
     "5SP",
@@ -21,14 +31,18 @@ pub const BUILTIN_NAMES: &[&str] = &[
     "legacy-scion",
     "widest",
     "shortest-widest",
+    "5YEN",
+    "ACO",
 ];
 
 /// Instantiates a built-in algorithm by name.
 ///
-/// Recognized names (case-insensitive): `1SP`, `5SP`, `kSP` for any integer k, `HD`, `DO`,
-/// `DON`, `DOB`, `legacy-scion`, `widest`, `shortest-widest`. (`DON`/`DOB` share the DO
-/// implementation; the extended-path behaviour is a RAC configuration flag, not an algorithm
-/// property.)
+/// Recognized names (case-insensitive): `1SP`, `5SP`, `kSP` for any integer 0 < k ≤
+/// [`MAX_K`], `HD`, `DO`, `DON`, `DOB`, `legacy-scion` (alias `legacy`), `widest`,
+/// `shortest-widest`, `kYEN` for the exact Yen's k-shortest enumeration (same bounds on k),
+/// and `aco[:<seed>[:<iterations>]]` for the seeded ant-colony selector. (`DON`/`DOB` share
+/// the DO implementation; the extended-path behaviour is a RAC configuration flag, not an
+/// algorithm property.)
 pub fn by_name(name: &str) -> Result<Arc<dyn RoutingAlgorithm>> {
     let lower = name.to_ascii_lowercase();
     let alg: Arc<dyn RoutingAlgorithm> = match lower.as_str() {
@@ -40,21 +54,70 @@ pub fn by_name(name: &str) -> Result<Arc<dyn RoutingAlgorithm>> {
         "widest" => Arc::new(WidestPath::new(DEFAULT_BUDGET)),
         "shortest-widest" => Arc::new(ShortestWidest::new(DEFAULT_BUDGET)),
         _ => {
-            // kSP for arbitrary k.
-            if let Some(k) = lower
+            if let Some(spec) = lower.strip_prefix("aco") {
+                Arc::new(parse_aco(name, spec)?)
+            } else if let Some(k) = lower
                 .strip_suffix("sp")
                 .and_then(|p| p.parse::<usize>().ok())
             {
-                if k == 0 {
-                    return Err(IrecError::config("0SP is not a valid algorithm"));
-                }
-                Arc::new(KShortestPaths::new(k))
+                Arc::new(KShortestPaths::new(checked_k(k, "SP")?))
+            } else if let Some(k) = lower
+                .strip_suffix("yen")
+                .and_then(|p| p.parse::<usize>().ok())
+            {
+                Arc::new(YensKShortest::new(checked_k(k, "YEN")?))
             } else {
-                return Err(IrecError::config(format!("unknown algorithm '{name}'")));
+                return Err(IrecError::config(format!(
+                    "unknown algorithm '{name}' (recognized: {}, 'legacy', '<k>SP'/'<k>YEN' \
+                     with 0 < k <= {MAX_K}, 'DON'/'DOB', or 'aco[:<seed>[:<iterations>]]')",
+                    BUILTIN_NAMES.join(", ")
+                )));
             }
         }
     };
     Ok(alg)
+}
+
+/// Validates the `k` of a `<k>SP` / `<k>YEN` name.
+fn checked_k(k: usize, family: &str) -> Result<usize> {
+    if k == 0 {
+        return Err(IrecError::config(format!(
+            "0{family} is not a valid algorithm"
+        )));
+    }
+    if k > MAX_K {
+        return Err(IrecError::config(format!(
+            "{k}{family} exceeds the catalog's MAX_K = {MAX_K}"
+        )));
+    }
+    Ok(k)
+}
+
+/// Parses the part of an `aco[:<seed>[:<iterations>]]` name after the `aco` prefix.
+fn parse_aco(name: &str, spec: &str) -> Result<AntColony> {
+    let bad = || {
+        IrecError::config(format!(
+            "invalid ACO spec '{name}': expected 'aco[:<seed>[:<iterations>]]' with \
+             0 < iterations <= {MAX_ACO_ITERATIONS}"
+        ))
+    };
+    if spec.is_empty() {
+        return Ok(AntColony::new(
+            DEFAULT_ACO_SEED,
+            DEFAULT_ACO_ITERATIONS,
+            DEFAULT_BUDGET,
+        ));
+    }
+    let mut parts = spec.strip_prefix(':').ok_or_else(bad)?.split(':');
+    let seed: u64 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    let iterations: usize = match parts.next() {
+        Some(s) => s.parse().ok().filter(|&i| i > 0).ok_or_else(bad)?,
+        None => DEFAULT_ACO_ITERATIONS,
+    };
+    if iterations > MAX_ACO_ITERATIONS || parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(AntColony::new(seed, iterations, DEFAULT_BUDGET))
 }
 
 #[cfg(test)]
@@ -73,6 +136,8 @@ mod tests {
     fn names_are_case_insensitive() {
         assert_eq!(by_name("hd").unwrap().name(), "HD");
         assert_eq!(by_name("Do").unwrap().name(), "DO");
+        assert_eq!(by_name("7yen").unwrap().name(), "7YEN");
+        assert_eq!(by_name("Aco").unwrap().name(), "ACO");
     }
 
     #[test]
@@ -88,9 +153,57 @@ mod tests {
     }
 
     #[test]
+    fn kyen_parses_arbitrary_k() {
+        assert_eq!(by_name("3YEN").unwrap().name(), "3YEN");
+        assert_eq!(by_name("12yen").unwrap().name(), "12YEN");
+    }
+
+    #[test]
+    fn aco_specs_parse_with_seed_and_budget() {
+        assert_eq!(by_name("aco").unwrap().name(), "ACO");
+        assert_eq!(by_name("aco:42").unwrap().name(), "ACO");
+        assert_eq!(by_name("aco:42:8").unwrap().name(), "ACO");
+    }
+
+    #[test]
+    fn malformed_aco_specs_rejected() {
+        for spec in ["aco:", "aco:x", "aco:1:0", "aco:1:x", "aco:1:2:3", "aco42"] {
+            let err = by_name(spec).map(|_| ()).unwrap_err();
+            assert_eq!(err.category(), "config", "spec {spec:?}");
+        }
+        let over = format!("aco:1:{}", MAX_ACO_ITERATIONS + 1);
+        assert!(by_name(&over).is_err());
+    }
+
+    #[test]
+    fn oversized_k_is_rejected() {
+        // Regression: this used to build a KShortestPaths with k = usize::MAX.
+        assert!(by_name("18446744073709551615SP").is_err());
+        assert!(by_name(&format!("{}SP", MAX_K + 1)).is_err());
+        assert!(by_name(&format!("{}YEN", MAX_K + 1)).is_err());
+        // The bound itself is accepted.
+        assert_eq!(by_name(&format!("{MAX_K}SP")).unwrap().name(), "1024SP");
+    }
+
+    #[test]
     fn unknown_and_invalid_names_rejected() {
         assert!(by_name("frobnicate").is_err());
         assert!(by_name("0SP").is_err());
+        assert!(by_name("0YEN").is_err());
         assert!(by_name("").is_err());
+    }
+
+    #[test]
+    fn unknown_name_error_lists_recognized_names() {
+        let err = by_name("frobnicate").map(|_| ()).unwrap_err().to_string();
+        for name in BUILTIN_NAMES {
+            assert!(err.contains(name), "error should mention {name}: {err}");
+        }
+        assert!(
+            err.contains("legacy"),
+            "error should mention the bare alias"
+        );
+        assert!(err.contains("<k>SP"));
+        assert!(err.contains("aco["));
     }
 }

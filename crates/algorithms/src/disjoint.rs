@@ -87,6 +87,25 @@ impl RoutingAlgorithm for HeuristicDisjointness {
         }
         Ok(result)
     }
+
+    fn merges_partial(&self) -> bool {
+        true
+    }
+
+    /// HD's greedy objective is set-valued: the engine's generic reduce — greedy over the
+    /// concatenation of per-sub-range truncations — can discard the globally disjoint
+    /// candidate because its sub-range already had `k` locally better ones. Recomputing the
+    /// greedy over the full merged batch makes the `|Φ| > threshold` split lossless (the
+    /// partials carry no extra information for a global objective, so they are ignored),
+    /// trading the hierarchical reduce's speedup for exactness.
+    fn merge_partial(
+        &self,
+        batch: &CandidateBatch,
+        ctx: &AlgorithmContext<'_>,
+        _partials: &[SelectionResult],
+    ) -> Option<Result<SelectionResult>> {
+        Some(self.select(batch, ctx))
+    }
 }
 
 /// A native link-avoidance algorithm: reject every candidate whose path traverses a link in
@@ -155,40 +174,8 @@ pub fn pd_round_program(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{candidate, local_as};
-    use crate::Candidate;
-    use irec_crypto::{KeyRegistry, Signer};
-    use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
-    use irec_types::{AsId, Bandwidth, InterfaceGroupId, Latency, SimDuration, SimTime};
-
-    /// Builds a candidate whose path traverses exactly the given (asn, egress_if) links.
-    fn candidate_with_links(origin: u64, links: &[(u64, u32)], ingress: u32) -> Candidate {
-        let registry = KeyRegistry::with_ases(9, 8192);
-        let mut pcb = Pcb::originate(
-            AsId(origin),
-            0,
-            SimTime::ZERO,
-            SimTime::ZERO + SimDuration::from_hours(6),
-            PcbExtensions::none(),
-        );
-        for (i, (asn, egress)) in links.iter().enumerate() {
-            let signer = Signer::new(AsId(*asn), registry.clone());
-            let info = StaticInfo {
-                link_latency: Latency::from_millis(10),
-                link_bandwidth: Bandwidth::from_mbps(100),
-                intra_latency: Latency::ZERO,
-                egress_location: None,
-            };
-            let ingress_if = if i == 0 {
-                irec_types::IfId::NONE
-            } else {
-                irec_types::IfId(1)
-            };
-            pcb.extend(ingress_if, irec_types::IfId(*egress), info, &signer)
-                .unwrap();
-        }
-        Candidate::new(pcb, irec_types::IfId(ingress))
-    }
+    use crate::testutil::{candidate, candidate_with_links, local_as};
+    use irec_types::{AsId, InterfaceGroupId};
 
     fn ctx(node: &irec_topology::AsNode) -> AlgorithmContext<'_> {
         AlgorithmContext::new(node, vec![IfId(3)], 20)
@@ -261,6 +248,32 @@ mod tests {
             .select(&b, &ctx(&node))
             .unwrap();
         assert!(r.per_egress[&IfId(3)].is_empty());
+    }
+
+    #[test]
+    fn hd_merge_partial_equals_full_batch_selection() {
+        let node = local_as();
+        // Candidates 0/1 overlap heavily; candidate 2 is the globally disjoint one. Partials
+        // that truncated it away must not matter: the merge recomputes over the full batch.
+        let b = CandidateBatch::new(
+            AsId(1),
+            InterfaceGroupId::DEFAULT,
+            vec![
+                candidate_with_links(1, &[(1, 1), (2, 1)], 1),
+                candidate_with_links(1, &[(1, 1), (2, 2)], 1),
+                candidate_with_links(1, &[(1, 9), (3, 1), (4, 1)], 1),
+            ],
+        );
+        let hd = HeuristicDisjointness::new(2);
+        assert!(hd.merges_partial());
+        let mut truncated = SelectionResult::empty();
+        truncated.insert(IfId(3), vec![0, 1]);
+        let merged = hd
+            .merge_partial(&b, &ctx(&node), &[truncated])
+            .expect("HD is merge-aware")
+            .unwrap();
+        assert_eq!(merged, hd.select(&b, &ctx(&node)).unwrap());
+        assert_eq!(merged.per_egress[&IfId(3)], vec![0, 2]);
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Churn-incremental re-selection: the old/new-table pattern.
+//!
+//! A full RAC pass after a topology delta re-scores every `(origin, group)` candidate batch,
+//! although a single link flap only perturbs the batches whose hop chains cross that link.
+//! [`IncrementalSelection`] keeps a table of previous selections per `(origin, group)` (the
+//! "old table"); a churn delta — mapped by the simulator's churn engine into a neutral
+//! [`SelectionDelta`] — invalidates exactly the entries whose recorded link/AS footprint
+//! intersects the delta, and the next pass re-runs the wrapped algorithm only for
+//! invalidated or changed batches, reusing the stored result everywhere else. Entries
+//! re-validated or recomputed during a pass form the "new table";
+//! [`IncrementalSelection::commit_round`] swaps it in, aging out batches that disappeared.
+//!
+//! Correctness does not hinge on the invalidation being precise: every reuse is guarded by a
+//! fingerprint over the batch content and selection context, so a stale entry that somehow
+//! survives an imprecise delta is still discarded when the batch itself changed. The
+//! equality `incremental selection == full recompute` therefore holds per step by
+//! construction — the point of the table is to make the cheap path the common one, which
+//! the [`stats`](IncrementalSelection::stats) counters expose for tests and benches.
+
+use crate::{AlgorithmContext, CandidateBatch, RoutingAlgorithm, SelectionResult};
+use irec_types::{AsId, IfId, InterfaceGroupId, Result};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A topology delta in selection terms: which hop-chain footprints are stale. The simulator
+/// maps its churn deltas (`link-down`, `node-leave`, ...) into this neutral form so the
+/// algorithms crate stays independent of the simulation layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectionDelta {
+    /// A link changed state; the payload is its `(AS, interface)` endpoint keys as they
+    /// appear in PCB hop entries.
+    Link(Vec<(AsId, IfId)>),
+    /// An AS joined or left the topology.
+    As(AsId),
+    /// A change that can affect every batch (e.g. a RAC catalog swap).
+    All,
+}
+
+/// Counters exposing how the table behaved: how often the cached result was reused, how
+/// often the wrapped algorithm actually ran, and how many entries deltas invalidated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Selections served from the table.
+    pub reused: usize,
+    /// Selections that ran the wrapped algorithm.
+    pub recomputed: usize,
+    /// Table entries dropped by [`SelectionDelta`]s.
+    pub invalidated: usize,
+}
+
+/// One old-table entry: the stored selection plus the footprint and fingerprint guarding it.
+#[derive(Debug, Clone)]
+struct TableEntry {
+    fingerprint: u64,
+    links: BTreeSet<(AsId, IfId)>,
+    ases: BTreeSet<AsId>,
+    result: SelectionResult,
+}
+
+/// The incremental re-selection wrapper around a [`RoutingAlgorithm`]. See the module docs
+/// for the old/new-table flow.
+pub struct IncrementalSelection {
+    algorithm: Arc<dyn RoutingAlgorithm>,
+    table: BTreeMap<(AsId, InterfaceGroupId), TableEntry>,
+    fresh: BTreeSet<(AsId, InterfaceGroupId)>,
+    stats: IncrementalStats,
+}
+
+impl IncrementalSelection {
+    /// Wraps `algorithm` with an empty table.
+    pub fn new(algorithm: Arc<dyn RoutingAlgorithm>) -> Self {
+        IncrementalSelection {
+            algorithm,
+            table: BTreeMap::new(),
+            fresh: BTreeSet::new(),
+            stats: IncrementalStats::default(),
+        }
+    }
+
+    /// The wrapped algorithm.
+    pub fn algorithm(&self) -> &Arc<dyn RoutingAlgorithm> {
+        &self.algorithm
+    }
+
+    /// The table's behaviour counters.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Number of stored selections.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Drops every entry whose footprint intersects `delta`; returns how many were dropped.
+    pub fn apply_delta(&mut self, delta: &SelectionDelta) -> usize {
+        let before = self.table.len();
+        match delta {
+            SelectionDelta::All => self.table.clear(),
+            SelectionDelta::Link(endpoints) => self.table.retain(|_, entry| {
+                !endpoints
+                    .iter()
+                    .any(|e| entry.links.contains(e) || entry.ases.contains(&e.0))
+            }),
+            SelectionDelta::As(asn) => self
+                .table
+                .retain(|(origin, _), entry| origin != asn && !entry.ases.contains(asn)),
+        }
+        let dropped = before - self.table.len();
+        self.stats.invalidated += dropped;
+        dropped
+    }
+
+    /// Selects for one batch: the stored result when the entry survived all deltas and the
+    /// batch/context fingerprint still matches, a fresh run of the wrapped algorithm
+    /// otherwise. Either way the entry lands in the new table.
+    pub fn select(
+        &mut self,
+        batch: &CandidateBatch,
+        ctx: &AlgorithmContext<'_>,
+    ) -> Result<SelectionResult> {
+        let key = (batch.origin, batch.group);
+        let fingerprint = fingerprint(batch, ctx);
+        if let Some(entry) = self.table.get(&key) {
+            if entry.fingerprint == fingerprint {
+                self.stats.reused += 1;
+                self.fresh.insert(key);
+                return Ok(entry.result.clone());
+            }
+        }
+        let result = self.algorithm.select(batch, ctx)?;
+        let mut links = BTreeSet::new();
+        let mut ases = BTreeSet::new();
+        for c in &batch.candidates {
+            for (asn, ifid) in c.pcb.link_keys() {
+                links.insert((asn, ifid));
+                ases.insert(asn);
+            }
+        }
+        self.table.insert(
+            key,
+            TableEntry {
+                fingerprint,
+                links,
+                ases,
+                result: result.clone(),
+            },
+        );
+        self.fresh.insert(key);
+        self.stats.recomputed += 1;
+        Ok(result)
+    }
+
+    /// Ends one pass: entries not re-selected since the previous commit age out (their
+    /// batches no longer exist), and the new table becomes the old one.
+    pub fn commit_round(&mut self) {
+        let fresh = std::mem::take(&mut self.fresh);
+        self.table.retain(|key, _| fresh.contains(key));
+    }
+}
+
+/// Order-sensitive fingerprint over the batch content and the selection context: candidate
+/// digests and ingress interfaces, the egress list, and the budget/extension knobs.
+fn fingerprint(batch: &CandidateBatch, ctx: &AlgorithmContext<'_>) -> u64 {
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut fold = |word: u64| {
+        state = splitmix64(state ^ word);
+    };
+    fold(batch.origin.value());
+    fold(u64::from(batch.group.value()));
+    fold(batch.target.map_or(u64::MAX, |t| t.value()));
+    for c in &batch.candidates {
+        for chunk in c.pcb.digest().0 .0.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            fold(u64::from_le_bytes(word));
+        }
+        fold(u64::from(c.ingress.value()));
+    }
+    fold(ctx.local_as.id.value());
+    for egress in &ctx.egress_interfaces {
+        fold(u64::from(egress.value()));
+    }
+    fold(ctx.max_selected as u64);
+    fold(u64::from(ctx.extend_paths));
+    state
+}
+
+/// The splitmix64 finalizer (one-shot form of the repo's standard mixing recipe).
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::KShortestPaths;
+    use crate::testutil::{candidate_with_links, local_as};
+
+    fn ctx(node: &irec_topology::AsNode) -> AlgorithmContext<'_> {
+        AlgorithmContext::new(node, vec![IfId(3)], 20)
+    }
+
+    fn batch(origin: u64, shift: u64) -> CandidateBatch {
+        CandidateBatch::new(
+            AsId(origin),
+            InterfaceGroupId::DEFAULT,
+            (0..4)
+                .map(|i| {
+                    candidate_with_links(origin, &[(origin, (i + shift) as u32 + 1), (9 + i, 1)], 1)
+                })
+                .collect(),
+        )
+    }
+
+    fn incremental() -> IncrementalSelection {
+        IncrementalSelection::new(Arc::new(KShortestPaths::new(3)))
+    }
+
+    #[test]
+    fn second_pass_reuses_and_matches_full_recompute() {
+        let node = local_as();
+        let b = batch(1, 0);
+        let mut inc = incremental();
+        let first = inc.select(&b, &ctx(&node)).unwrap();
+        let again = inc.select(&b, &ctx(&node)).unwrap();
+        let full = inc.algorithm().clone().select(&b, &ctx(&node)).unwrap();
+        assert_eq!(first, again);
+        assert_eq!(again, full);
+        assert_eq!(inc.stats().recomputed, 1);
+        assert_eq!(inc.stats().reused, 1);
+        assert_eq!(inc.len(), 1);
+        assert!(!inc.is_empty());
+    }
+
+    #[test]
+    fn link_delta_invalidates_only_crossing_batches() {
+        let node = local_as();
+        let mut inc = incremental();
+        inc.select(&batch(1, 0), &ctx(&node)).unwrap();
+        inc.select(&batch(2, 0), &ctx(&node)).unwrap();
+        // Batch 1's chains cross (1, 1); batch 2's cross (2, 1) — only batch 1 drops.
+        let dropped = inc.apply_delta(&SelectionDelta::Link(vec![(AsId(1), IfId(1))]));
+        assert_eq!(dropped, 1);
+        assert_eq!(inc.len(), 1);
+        inc.select(&batch(1, 0), &ctx(&node)).unwrap();
+        inc.select(&batch(2, 0), &ctx(&node)).unwrap();
+        assert_eq!(inc.stats().recomputed, 3, "batch 1 recomputed once more");
+        assert_eq!(inc.stats().reused, 1, "batch 2 reused");
+        assert_eq!(inc.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn as_delta_invalidates_traversing_and_originating_batches() {
+        let node = local_as();
+        let mut inc = incremental();
+        inc.select(&batch(1, 0), &ctx(&node)).unwrap();
+        inc.select(&batch(2, 0), &ctx(&node)).unwrap();
+        // AS 9 sits on every chain (the second hop of candidate 0).
+        assert_eq!(inc.apply_delta(&SelectionDelta::As(AsId(9))), 2);
+        inc.select(&batch(1, 0), &ctx(&node)).unwrap();
+        assert_eq!(inc.apply_delta(&SelectionDelta::As(AsId(1))), 1);
+        assert_eq!(inc.apply_delta(&SelectionDelta::All), 0);
+    }
+
+    #[test]
+    fn changed_batch_content_defeats_stale_reuse() {
+        let node = local_as();
+        let mut inc = incremental();
+        inc.select(&batch(1, 0), &ctx(&node)).unwrap();
+        // Same (origin, group) key, different candidates, no delta applied: the fingerprint
+        // guard must force a recompute rather than serving the stale entry.
+        let changed = batch(1, 3);
+        let r = inc.select(&changed, &ctx(&node)).unwrap();
+        let full = inc
+            .algorithm()
+            .clone()
+            .select(&changed, &ctx(&node))
+            .unwrap();
+        assert_eq!(r, full);
+        assert_eq!(inc.stats().recomputed, 2);
+        assert_eq!(inc.stats().reused, 0);
+    }
+
+    #[test]
+    fn context_change_defeats_stale_reuse() {
+        let node = local_as();
+        let mut inc = incremental();
+        let b = batch(1, 0);
+        inc.select(&b, &ctx(&node)).unwrap();
+        let mut tight = ctx(&node);
+        tight.max_selected = 1;
+        let r = inc.select(&b, &tight).unwrap();
+        assert_eq!(r.per_egress[&IfId(3)].len(), 1);
+        assert_eq!(inc.stats().recomputed, 2);
+    }
+
+    #[test]
+    fn commit_round_ages_out_vanished_batches() {
+        let node = local_as();
+        let mut inc = incremental();
+        inc.select(&batch(1, 0), &ctx(&node)).unwrap();
+        inc.select(&batch(2, 0), &ctx(&node)).unwrap();
+        inc.commit_round();
+        assert_eq!(inc.len(), 2);
+        // Next pass only sees origin 1; origin 2's entry ages out on commit.
+        inc.select(&batch(1, 0), &ctx(&node)).unwrap();
+        inc.commit_round();
+        assert_eq!(inc.len(), 1);
+    }
+}

@@ -21,15 +21,24 @@
 //! * [`disjoint::AvoidLinksAlgorithm`] + [`disjoint::pd_round_program`] — the building blocks
 //!   of **PD**, pull-based disjointness via on-demand routing,
 //! * [`ondemand::IrvmAlgorithm`] — the adapter that runs an arbitrary fetched IRVM module as
-//!   a routing algorithm (what an on-demand RAC instantiates).
+//!   a routing algorithm (what an on-demand RAC instantiates),
+//! * [`yens::YensKShortest`] — **kYEN**: exact loop-free k-shortest enumeration, the
+//!   reference baseline for the `KShortestPaths` truncation heuristic,
+//! * [`aco::AntColony`] — **ACO**: a seeded, deterministic ant-colony multi-criteria
+//!   selector,
+//! * [`incremental::IncrementalSelection`] — the churn-incremental old/new-table wrapper
+//!   re-scoring only batches whose hop chains cross a topology delta.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aco;
 pub mod catalog;
 pub mod disjoint;
+pub mod incremental;
 pub mod ondemand;
 pub mod score;
+pub mod yens;
 
 use irec_pcb::Pcb;
 use irec_topology::AsNode;
@@ -193,6 +202,32 @@ pub trait RoutingAlgorithm: Send + Sync {
     /// batch (indices into `batch.candidates`, best first, at most `ctx.max_selected` each).
     fn select(&self, batch: &CandidateBatch, ctx: &AlgorithmContext<'_>)
         -> Result<SelectionResult>;
+
+    /// Whether this algorithm implements [`RoutingAlgorithm::merge_partial`]. The engine
+    /// probes this before marshalling a full oversized batch for the merge-aware reduce, so
+    /// it must return `true` exactly when `merge_partial` returns `Some`.
+    fn merges_partial(&self) -> bool {
+        false
+    }
+
+    /// Merge-aware reduce for batches the execution engine split into sub-ranges: given the
+    /// *full* batch and the per-sub-range selections (`partials`, indices into the full
+    /// batch, ascending within each partial), produce the final selection.
+    ///
+    /// The default (`None`) keeps the engine's generic reduce — one more `select` pass over
+    /// the union of the partials' winners — which is exact for selectors that rank
+    /// candidates independently but a hierarchical approximation for set-valued ones.
+    /// Set-valued selectors override this to compute their objective over the merged view
+    /// instead of concatenated truncations (HD recomputes disjointness over the full batch,
+    /// making the split lossless).
+    fn merge_partial(
+        &self,
+        _batch: &CandidateBatch,
+        _ctx: &AlgorithmContext<'_>,
+        _partials: &[SelectionResult],
+    ) -> Option<Result<SelectionResult>> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +265,32 @@ pub(crate) mod testutil {
             };
             let ingress_if = if i == 0 { IfId::NONE } else { IfId(1) };
             pcb.extend(ingress_if, IfId(2), info, &signer).unwrap();
+        }
+        Candidate::new(pcb, IfId(ingress))
+    }
+
+    /// Builds a candidate whose path traverses exactly the given (asn, egress_if) links,
+    /// received locally on `ingress`.
+    pub fn candidate_with_links(origin: u64, links: &[(u64, u32)], ingress: u32) -> Candidate {
+        let registry = KeyRegistry::with_ases(9, 8192);
+        let mut pcb = Pcb::originate(
+            AsId(origin),
+            0,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(6),
+            PcbExtensions::none(),
+        );
+        for (i, (asn, egress)) in links.iter().enumerate() {
+            let signer = Signer::new(AsId(*asn), registry.clone());
+            let info = StaticInfo {
+                link_latency: Latency::from_millis(10),
+                link_bandwidth: Bandwidth::from_mbps(100),
+                intra_latency: Latency::ZERO,
+                egress_location: None,
+            };
+            let ingress_if = if i == 0 { IfId::NONE } else { IfId(1) };
+            pcb.extend(ingress_if, IfId(*egress), info, &signer)
+                .unwrap();
         }
         Candidate::new(pcb, IfId(ingress))
     }

@@ -63,6 +63,18 @@ pub struct BenchArgs {
     /// Enabled churn delta kinds with optional weights (`--churn-kinds`, default `all`;
     /// e.g. `link-down,link-up` or `link-down=3,node-leave`).
     pub churn_kinds: ChurnKinds,
+    /// Selection algorithm of every RAC the binaries deploy (`--algorithm`, default none =
+    /// each binary's built-in mix). Any catalog spec: `5SP`, `5YEN`, `HD`,
+    /// `aco[:<seed>[:<iterations>]]`, ... A *workload* knob, like the churn family: it
+    /// changes what is computed, deterministically for a fixed spec.
+    pub algorithm: Option<String>,
+    /// PRNG seed of the ant-colony algorithm family (`--aco-seed`, default 1). Only
+    /// consulted when `--algorithm aco` is given without an explicit `:<seed>` suffix.
+    pub aco_seed: u64,
+    /// Iteration budget of the ant-colony algorithm family (`--aco-budget`, default 16,
+    /// cap 1024). Only consulted when `--algorithm aco` is given without an explicit
+    /// iteration suffix.
+    pub aco_budget: usize,
 }
 
 impl Default for BenchArgs {
@@ -87,6 +99,9 @@ impl Default for BenchArgs {
             churn_rate: 0.0,
             churn_seed: 11,
             churn_kinds: ChurnKinds::default(),
+            algorithm: None,
+            aco_seed: 1,
+            aco_budget: 16,
         }
     }
 }
@@ -161,7 +176,31 @@ impl BenchArgs {
         if let Some(v) = map.get("churn-kinds").and_then(|v| v.parse().ok()) {
             parsed.churn_kinds = v;
         }
+        if let Some(v) = map.get("algorithm") {
+            if v != "true" && !v.is_empty() {
+                parsed.algorithm = Some(v.clone());
+            }
+        }
+        if let Some(v) = map.get("aco-seed").and_then(|v| v.parse().ok()) {
+            parsed.aco_seed = v;
+        }
+        if let Some(v) = get(&map, "aco-budget") {
+            parsed.aco_budget = v.clamp(1, 1024);
+        }
         parsed
+    }
+
+    /// The effective `--algorithm` catalog spec, with the bare `aco` family name expanded
+    /// to `aco:<--aco-seed>:<--aco-budget>`. Explicit suffixes (`aco:9`, `aco:9:4`) win
+    /// over the dedicated knobs, like every other spec.
+    pub fn algorithm_spec(&self) -> Option<String> {
+        self.algorithm.as_deref().map(|name| {
+            if name.eq_ignore_ascii_case("aco") {
+                format!("aco:{}:{}", self.aco_seed, self.aco_budget)
+            } else {
+                name.to_string()
+            }
+        })
     }
 
     /// One-screen summary of every `--key value` knob shared by the figure binaries.
@@ -187,9 +226,16 @@ impl BenchArgs {
          \x20 --churn-rate R            expected churn deltas per step (default 0 = off)\n\
          \x20 --churn-seed N            churn-timeline PRNG seed (default 11)\n\
          \x20 --churn-kinds K           delta kinds, e.g. all or link-down=3,node-leave\n\
+         \x20 --algorithm A             RAC selection algorithm spec, e.g. 5SP, 5YEN, HD,\n\
+         \x20                           aco[:<seed>[:<iters>]] (default: binary's own mix)\n\
+         \x20 --aco-seed N              ant-colony PRNG seed for a bare --algorithm aco\n\
+         \x20                           (default 1)\n\
+         \x20 --aco-budget N            ant-colony iteration budget for a bare\n\
+         \x20                           --algorithm aco (default 16, cap 1024)\n\
          \n\
          Every parallelism/shard value yields byte-identical simulation output.\n\
          Churn knobs are workload knobs: they change the timeline, deterministically.\n\
+         So is --algorithm: it changes the selection plane, deterministically per spec.\n\
          Full table with auto-default rules and IREC_CRITERION_* env hooks: docs/KNOBS.md\n"
     }
 
@@ -338,6 +384,40 @@ mod tests {
     }
 
     #[test]
+    fn algorithm_knobs_parse_and_compose_specs() {
+        let a = parse(&[]);
+        assert_eq!(a.algorithm, None);
+        assert_eq!(a.aco_seed, 1);
+        assert_eq!(a.aco_budget, 16);
+        assert_eq!(a.algorithm_spec(), None);
+
+        let a = parse(&["--algorithm", "5YEN"]);
+        assert_eq!(a.algorithm.as_deref(), Some("5YEN"));
+        assert_eq!(a.algorithm_spec().as_deref(), Some("5YEN"));
+
+        // A bare `aco` composes the dedicated seed/budget knobs into the spec.
+        let a = parse(&[
+            "--algorithm",
+            "aco",
+            "--aco-seed",
+            "42",
+            "--aco-budget",
+            "8",
+        ]);
+        assert_eq!(a.algorithm_spec().as_deref(), Some("aco:42:8"));
+
+        // An explicit spec suffix wins over the dedicated knobs.
+        let a = parse(&["--algorithm", "aco:9:4", "--aco-seed", "42"]);
+        assert_eq!(a.algorithm_spec().as_deref(), Some("aco:9:4"));
+
+        // The budget clamps to the catalog's iteration cap; a value-less `--algorithm`
+        // stays off instead of deploying a RAC literally named "true".
+        assert_eq!(parse(&["--aco-budget", "0"]).aco_budget, 1);
+        assert_eq!(parse(&["--aco-budget", "90000"]).aco_budget, 1024);
+        assert_eq!(parse(&["--algorithm"]).algorithm, None);
+    }
+
+    #[test]
     fn help_text_covers_every_knob_and_points_at_the_docs_table() {
         let help = BenchArgs::help_text();
         for knob in [
@@ -357,6 +437,9 @@ mod tests {
             "--churn-rate",
             "--churn-seed",
             "--churn-kinds",
+            "--algorithm",
+            "--aco-seed",
+            "--aco-budget",
         ] {
             assert!(help.contains(knob), "help text is missing {knob}");
         }

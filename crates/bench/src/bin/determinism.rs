@@ -1,10 +1,12 @@
 //! Determinism probe: runs three fixed simulation scenarios — two beaconing scenarios plus
 //! a PD campaign — and prints every registered path, every overhead counter and every
 //! per-pair PD result in full. With `--churn-rate > 0` a fourth scenario appends a churn
-//! run (per-step deltas plus the final plane state).
+//! run (per-step deltas plus the final plane state); with `--algorithm` a fifth appends
+//! a run where every AS deploys the requested catalog spec (e.g. `5YEN` or a seeded
+//! `aco` family).
 //!
 //! ```text
-//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--delivery-parallelism N] [--ingress-shards N] [--pd-parallelism N] [--path-shards N] [--round-scheduler S] [--churn-rate R] [--churn-seed N] [--churn-kinds K] [--ases 12] [--rounds 3] [--seed 5]
+//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--delivery-parallelism N] [--ingress-shards N] [--pd-parallelism N] [--path-shards N] [--round-scheduler S] [--churn-rate R] [--churn-seed N] [--churn-kinds K] [--algorithm A] [--aco-seed N] [--aco-budget N] [--ases 12] [--rounds 3] [--seed 5]
 //! ```
 //!
 //! The output is **byte-identical for every `--parallelism`, `--delivery-parallelism`,
@@ -194,6 +196,44 @@ fn main() {
             );
         }
         dump_state("churn-final", &sim);
+    }
+
+    // Scenario 5 (only with `--algorithm`): every AS runs a single RAC with the requested
+    // catalog spec on the generated topology. Like the churn knobs this is a *workload*
+    // knob — `--algorithm 5YEN` or `--algorithm aco` (seeded via `--aco-seed`/
+    // `--aco-budget`) changes the selection plane deliberately, but for a fixed spec the
+    // output must stay byte-identical across every parallelism/shard/scheduler knob: ACO's
+    // randomness comes entirely from seeded per-(origin, group, egress, iteration, ant)
+    // streams, never from execution order. The CI algorithm rows diff runs with the same
+    // spec across parallelism planes. Appended last so enabling it leaves every other
+    // scenario's bytes untouched.
+    if let Some(spec) = args.algorithm_spec() {
+        let parallelism = args.parallelism;
+        let ingress_shards = args.ingress_shards;
+        let path_shards = args.path_shards;
+        let rac_spec = spec.clone();
+        let config = GeneratorConfig {
+            num_ases: args.ases,
+            seed: args.seed,
+            ..Default::default()
+        };
+        let sim = Simulation::new(
+            Arc::new(TopologyGenerator::new(config).generate()),
+            SimulationConfig::default()
+                .with_parallelism(args.parallelism)
+                .with_delivery_parallelism(args.delivery_parallelism)
+                .with_round_scheduler(args.round_scheduler),
+            move |_| {
+                NodeConfig::default()
+                    .with_policy(PropagationPolicy::All)
+                    .with_racs(vec![RacConfig::static_rac(&rac_spec, &rac_spec)])
+                    .with_parallelism(parallelism)
+                    .with_ingress_shards(ingress_shards)
+                    .with_path_shards(path_shards)
+            },
+        )
+        .expect("algorithm scenario setup");
+        dump(&format!("algorithm {spec}"), sim, args.rounds);
     }
 }
 

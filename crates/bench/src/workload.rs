@@ -442,6 +442,85 @@ pub fn round_scheduler_pass(
     )
 }
 
+/// The node config of the algorithm-catalog workload: every AS runs one static RAC
+/// instantiated from a catalog name (`5YEN`, `aco:7:8`, …) with the given per-node shard
+/// counts. Propagation is pinned to `All` so the catalog algorithm — not the propagation
+/// policy — decides what gets registered.
+fn algorithm_node_config(algorithm: &str, ingress_shards: usize, path_shards: usize) -> NodeConfig {
+    NodeConfig::default()
+        .with_policy(PropagationPolicy::All)
+        .with_racs(vec![RacConfig::static_rac(algorithm, algorithm)])
+        .with_ingress_shards(ingress_shards)
+        .with_path_shards(path_shards)
+}
+
+/// Builds the algorithm-catalog workload: a generated-topology simulation where every AS
+/// runs the named catalog algorithm, under `scheduler` with `width` workers and the given
+/// per-node shard counts. Shared by the `alg_catalog_scaling` criterion bench, the
+/// algorithm determinism integration tests and the `fig_alg` binary.
+#[allow(clippy::too_many_arguments)]
+pub fn algorithm_workload(
+    algorithm: &str,
+    ases: usize,
+    scheduler: RoundScheduler,
+    width: usize,
+    ingress_shards: usize,
+    path_shards: usize,
+    seed: u64,
+) -> Simulation {
+    let config = GeneratorConfig {
+        num_ases: ases,
+        seed,
+        ..Default::default()
+    };
+    let topology = Arc::new(TopologyGenerator::new(config).generate());
+    let algorithm = algorithm.to_string();
+    Simulation::new(
+        topology,
+        SimulationConfig::default()
+            .with_round_scheduler(scheduler)
+            .with_parallelism(width)
+            .with_delivery_parallelism(width),
+        move |_| algorithm_node_config(&algorithm, ingress_shards, path_shards),
+    )
+    .expect("algorithm workload simulation setup")
+}
+
+/// One full run of the algorithm-catalog workload: `rounds` beaconing rounds from a fresh
+/// simulation. The fingerprint must be byte-identical across schedulers and worker/shard
+/// counts for a fixed `(algorithm, ases, rounds, seed)` tuple — stochastic algorithms
+/// (ACO) included, because their randomness comes from seeded per-batch streams, never
+/// from execution order.
+#[allow(clippy::too_many_arguments)]
+pub fn algorithm_pass(
+    algorithm: &str,
+    ases: usize,
+    rounds: usize,
+    scheduler: RoundScheduler,
+    width: usize,
+    ingress_shards: usize,
+    path_shards: usize,
+    seed: u64,
+) -> RoundFingerprint {
+    let mut sim = algorithm_workload(
+        algorithm,
+        ases,
+        scheduler,
+        width,
+        ingress_shards,
+        path_shards,
+        seed,
+    );
+    sim.run_rounds(rounds.max(1))
+        .expect("algorithm workload rounds succeed");
+    (
+        sim.registered_paths(),
+        sim.delivery_stats(),
+        sim.ingress_occupancy(),
+        sim.overhead().samples(),
+    )
+}
+
 /// The deterministic fingerprint of one churn run: the per-step churn report plus the
 /// final registered paths, delivery accounting and ingress occupancy — everything that
 /// must stay byte-identical across `--round-scheduler` and every parallelism/shard knob

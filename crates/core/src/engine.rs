@@ -56,6 +56,9 @@ struct BatchGroup {
     rac_index: usize,
     key: BatchKey,
     items: std::ops::Range<usize>,
+    /// The full unsplit view, retained (an `Arc` bump, no copy) only for split groups so
+    /// the merge can hand merge-aware algorithms the complete batch.
+    view: Option<BatchView>,
 }
 
 type ItemResult = Result<(Vec<RacOutput>, RacTiming)>;
@@ -116,7 +119,7 @@ pub fn execute_racs_with(
         for view in rac.relevant_batches(db, now) {
             let start = items.len();
             let key = view.key;
-            if view.len() > threshold {
+            let full_view = if view.len() > threshold {
                 let mut offset = 0;
                 while offset < view.len() {
                     let end = (offset + threshold).min(view.len());
@@ -126,13 +129,16 @@ pub fn execute_racs_with(
                     });
                     offset = end;
                 }
+                Some(view)
             } else {
                 items.push(WorkItem { rac_index, view });
-            }
+                None
+            };
             groups.push(BatchGroup {
                 rac_index,
                 key,
                 items: start..items.len(),
+                view: full_view,
             });
         }
     }
@@ -265,24 +271,78 @@ fn merge_results(
         // Sub-merge: collect each sub-range's selections in item order (within a sub-range
         // selections are already ordered by candidate index, and sub-ranges are ascending,
         // so the union is in ascending original candidate order)...
-        let mut winners: Vec<Arc<StoredBeacon>> = Vec::new();
+        let mut sub_selections: Vec<Vec<RacOutput>> = Vec::new();
         for index in group.items.clone() {
             let (sub_outputs, sub_timing) = results[index]
                 .take()
                 .expect("each item is consumed by exactly one group")?;
             timing.accumulate(&sub_timing);
-            winners.extend(sub_outputs.into_iter().map(|o| Arc::new(o.beacon)));
+            sub_selections.push(sub_outputs);
         }
+        // ...then try the merge-aware reduce: algorithms overriding `merge_partial` get the
+        // full batch plus the per-sub-range selections (reconstructed as full-batch
+        // indices), making the split lossless for set-valued objectives...
+        if let Some(view) = &group.view {
+            let partials = reconstruct_partials(view, &sub_selections);
+            if let Some(merged) = racs[group.rac_index].merge_split_candidates(
+                &group.key,
+                &view.beacons,
+                &partials,
+                local_as,
+                egress_ifs,
+            ) {
+                let (mut reduced, merge_timing) = merged?;
+                timing.accumulate(&merge_timing);
+                outputs.append(&mut reduced);
+                continue;
+            }
+        }
+        let winners: Vec<Arc<StoredBeacon>> = sub_selections
+            .into_iter()
+            .flatten()
+            .map(|o| Arc::new(o.beacon))
+            .collect();
         if winners.is_empty() {
             continue;
         }
-        // ...and reduce them with one final selection pass of the owning RAC.
+        // ...or fall back to the generic reduce: one final selection pass of the owning RAC
+        // over the union of the sub-range winners.
         let (mut reduced, reduce_timing) =
             racs[group.rac_index].process_candidates(&group.key, &winners, local_as, egress_ifs)?;
         timing.accumulate(&reduce_timing);
         outputs.append(&mut reduced);
     }
     Ok((outputs, timing))
+}
+
+/// Rebuilds each sub-range's selection as indices into the full batch view. Sub-range
+/// outputs carry beacons, not indices, so beacons are matched back by content digest; the
+/// per-egress index lists come out ascending because sub-ranges are walked in offset order
+/// and outputs within a sub-range are ordered by candidate index.
+fn reconstruct_partials(
+    view: &BatchView,
+    sub_selections: &[Vec<RacOutput>],
+) -> Vec<irec_algorithms::SelectionResult> {
+    let index_of: std::collections::HashMap<irec_pcb::PcbId, usize> = view
+        .beacons
+        .iter()
+        .enumerate()
+        .map(|(index, beacon)| (beacon.pcb.digest(), index))
+        .collect();
+    sub_selections
+        .iter()
+        .map(|sub_outputs| {
+            let mut partial = irec_algorithms::SelectionResult::empty();
+            for output in sub_outputs {
+                if let Some(&index) = index_of.get(&output.beacon.pcb.digest()) {
+                    for &egress in &output.egress_ifs {
+                        partial.per_egress.entry(egress).or_default().push(index);
+                    }
+                }
+            }
+            partial
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -454,6 +514,78 @@ mod tests {
             assert_eq!(a.rac_name, b.rac_name);
             assert_eq!(a.egress_ifs, b.egress_ifs);
             assert_eq!(a.beacon, b.beacon);
+        }
+    }
+
+    /// Beacons of one origin with link-diverse two-hop chains, so HD's disjointness
+    /// objective actually discriminates between them.
+    fn db_link_diverse(count: u64) -> ShardedIngressDb {
+        let registry = KeyRegistry::with_ases(11, 512);
+        let db = ShardedIngressDb::new(4);
+        for seq in 0..count {
+            let mut pcb = Pcb::originate(
+                AsId(1),
+                seq,
+                SimTime::ZERO,
+                SimTime::ZERO + SimDuration::from_hours(6),
+                PcbExtensions::none(),
+            );
+            pcb.extend(
+                IfId::NONE,
+                IfId(1 + (seq % 3) as u32),
+                StaticInfo::origin(
+                    Latency::from_millis(5 + seq % 7),
+                    Bandwidth::from_mbps(100),
+                    None,
+                ),
+                &Signer::new(AsId(1), registry.clone()),
+            )
+            .unwrap();
+            pcb.extend(
+                IfId(1),
+                IfId(1 + (seq % 5) as u32),
+                StaticInfo::origin(Latency::from_millis(5), Bandwidth::from_mbps(100), None),
+                &Signer::new(AsId(100 + seq % 4), registry.clone()),
+            )
+            .unwrap();
+            db.insert(pcb, IfId(1), SimTime::ZERO);
+        }
+        db
+    }
+
+    #[test]
+    fn merge_aware_reduce_makes_hd_split_lossless() {
+        // HD with a tight budget over link-diverse candidates: the per-sub-range
+        // truncations at threshold 4 discard globally disjoint candidates, so without the
+        // merge-aware reduce the split selection could diverge from the full-batch one.
+        // With `merge_partial` the two must be byte-identical, across worker counts.
+        let racs =
+            vec![Rac::new_static(RacConfig::static_rac("HD", "HD").with_max_selected(3)).unwrap()];
+        let db = db_link_diverse(24);
+        let node = local_as();
+        let egress = [IfId(2), IfId(3)];
+
+        let (unsplit, _) = execute_racs_with(
+            &racs,
+            &db,
+            &node,
+            &egress,
+            SimTime::ZERO,
+            1,
+            BATCH_SPLIT_THRESHOLD,
+        )
+        .unwrap();
+        assert!(!unsplit.is_empty());
+        for parallelism in [1, 4] {
+            let (split, _) =
+                execute_racs_with(&racs, &db, &node, &egress, SimTime::ZERO, parallelism, 4)
+                    .unwrap();
+            assert_eq!(split.len(), unsplit.len());
+            for (a, b) in unsplit.iter().zip(&split) {
+                assert_eq!(a.rac_name, b.rac_name);
+                assert_eq!(a.egress_ifs, b.egress_ifs);
+                assert_eq!(a.beacon, b.beacon);
+            }
         }
     }
 

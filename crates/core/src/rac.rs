@@ -459,7 +459,21 @@ impl Rac {
         let selection = algorithm.select(&batch, &ctx)?;
         timing.execute = execute_start.elapsed();
 
-        // Invert the per-egress selection into per-beacon egress lists.
+        let outputs = self.outputs_from_selection(key, &batch, &index_map, &received_at, selection);
+        Ok((outputs, timing))
+    }
+
+    /// Inverts a per-egress selection into per-beacon [`RacOutput`]s, ordered by candidate
+    /// index. `index_map` maps the batch's (possibly filtered) candidate indices back to
+    /// positions in `received_at`.
+    fn outputs_from_selection(
+        &self,
+        key: &BatchKey,
+        batch: &CandidateBatch,
+        index_map: &[usize],
+        received_at: &[SimTime],
+        selection: irec_algorithms::SelectionResult,
+    ) -> Vec<RacOutput> {
         let mut per_candidate: HashMap<usize, Vec<IfId>> = HashMap::new();
         for (egress, selected) in &selection.per_egress {
             for &local_idx in selected {
@@ -489,7 +503,63 @@ impl Rac {
                 egress_ifs,
             });
         }
-        Ok((outputs, timing))
+        outputs
+    }
+
+    /// Merge-aware reduce for a batch the execution engine split into sub-ranges: when this
+    /// RAC is static and its algorithm overrides [`RoutingAlgorithm::merge_partial`], the
+    /// full batch is marshalled once more (the reduce pays the same gateway↔RAC boundary
+    /// cost as any pass) and the algorithm merges the sub-range selections over it.
+    ///
+    /// Returns `None` when the algorithm keeps the default hierarchical reduce — and always
+    /// for on-demand RACs, whose algorithm identity is per-batch.
+    pub fn merge_split_candidates(
+        &self,
+        key: &BatchKey,
+        beacons: &[Arc<StoredBeacon>],
+        partials: &[irec_algorithms::SelectionResult],
+        local_as: &AsNode,
+        egress_ifs: &[IfId],
+    ) -> Option<Result<(Vec<RacOutput>, RacTiming)>> {
+        let algorithm = self.static_algorithm.as_ref()?;
+        if !algorithm.merges_partial() {
+            return None;
+        }
+        let algorithm = Arc::clone(algorithm);
+        Some((|| {
+            let mut timing = RacTiming {
+                candidates: beacons.len(),
+                ..RacTiming::default()
+            };
+            let marshal_start = std::time::Instant::now();
+            let wire_bytes = encode_candidates(beacons);
+            let received: CandidateEnvelope = irec_wire::from_bytes(&wire_bytes)?;
+            timing.marshal = marshal_start.elapsed();
+
+            let received_at: Vec<SimTime> = beacons.iter().map(|b| b.received_at).collect();
+            let batch = CandidateBatch {
+                origin: key.origin,
+                group: key.group,
+                target: key.target,
+                candidates: received
+                    .beacons
+                    .into_iter()
+                    .map(|(pcb, ingress)| Candidate::new(pcb, ingress))
+                    .collect(),
+            };
+            let index_map: Vec<usize> = (0..batch.candidates.len()).collect();
+            let ctx =
+                AlgorithmContext::new(local_as, egress_ifs.to_vec(), self.config.max_selected)
+                    .with_extended_paths(self.config.extend_paths);
+            let execute_start = std::time::Instant::now();
+            let selection = algorithm
+                .merge_partial(&batch, &ctx, partials)
+                .unwrap_or_else(|| algorithm.select(&batch, &ctx))?;
+            timing.execute = execute_start.elapsed();
+            let outputs =
+                self.outputs_from_selection(key, &batch, &index_map, &received_at, selection);
+            Ok((outputs, timing))
+        })())
     }
 
     /// Fetch → size check → hash verify → validate → cache an on-demand algorithm.

@@ -4,6 +4,7 @@ use super::generator::MIN_LIVE_NODES;
 use super::invariants::InvariantChecker;
 use super::{ChurnConfig, ChurnDelta, ChurnGenerator};
 use crate::simulation::Simulation;
+use irec_algorithms::incremental::SelectionDelta;
 use irec_core::{NodeConfig, RacConfig};
 use irec_types::{AsId, IrecError, Result};
 
@@ -138,14 +139,26 @@ where
     /// Executes one delta against the simulation. Generated deltas are applicable by
     /// construction; this also accepts hand-built timelines (the staged-migration tests)
     /// and surfaces their errors.
-    pub fn apply_delta(&mut self, sim: &mut Simulation, delta: ChurnDelta) -> Result<()> {
+    ///
+    /// Returns the [`SelectionDelta`] describing the delta's blast radius on cached
+    /// selections, for feeding an
+    /// [`IncrementalSelection`](irec_algorithms::incremental::IncrementalSelection) table
+    /// so only candidate batches crossing the change get re-scored.
+    pub fn apply_delta(
+        &mut self,
+        sim: &mut Simulation,
+        delta: ChurnDelta,
+    ) -> Result<SelectionDelta> {
         match delta {
             ChurnDelta::LinkDown(link) => {
+                let l = sim.topology().link(link)?;
+                let endpoints = vec![(l.a.asn, l.a.interface), (l.b.asn, l.b.interface)];
                 sim.set_link_down(link)?;
                 // Withdraw the stale beacons, or selection keeps re-picking them and the
                 // plane stays blackholed past any budget (see
                 // `Simulation::withdraw_traversing_link`).
-                sim.withdraw_traversing_link(link).map(|_| ())
+                sim.withdraw_traversing_link(link)?;
+                Ok(SelectionDelta::Link(endpoints))
             }
             ChurnDelta::LinkUp(link) => {
                 sim.set_link_up(link)?;
@@ -160,7 +173,7 @@ where
                         node.forget_egress(ifid);
                     }
                 }
-                Ok(())
+                Ok(SelectionDelta::Link(endpoints.to_vec()))
             }
             ChurnDelta::NodeLeave(asn) => {
                 if sim.live_ases().len() <= MIN_LIVE_NODES {
@@ -172,9 +185,12 @@ where
                     .map(|_| ())
                     .ok_or_else(|| IrecError::not_found(format!("no node to remove for {asn}")))?;
                 sim.withdraw_traversing_as(asn);
-                Ok(())
+                Ok(SelectionDelta::As(asn))
             }
-            ChurnDelta::NodeJoin(asn) => sim.add_node(asn, (self.node_config)(asn)),
+            ChurnDelta::NodeJoin(asn) => {
+                sim.add_node(asn, (self.node_config)(asn))?;
+                Ok(SelectionDelta::As(asn))
+            }
             ChurnDelta::CatalogSwap(asn) => {
                 let catalog = if self.catalogs.is_empty() {
                     sim.node(asn)?.config().racs.clone()
@@ -183,7 +199,8 @@ where
                     self.catalog_cursor += 1;
                     catalog
                 };
-                sim.node_mut(asn)?.swap_rac_catalog(catalog)
+                sim.node_mut(asn)?.swap_rac_catalog(catalog)?;
+                Ok(SelectionDelta::All)
             }
         }
     }

@@ -39,6 +39,7 @@ pub mod invariants;
 pub use engine::{ChurnEngine, ChurnReport, ChurnStep};
 pub use generator::ChurnGenerator;
 pub use invariants::InvariantChecker;
+pub use irec_algorithms::incremental::SelectionDelta;
 
 use irec_types::{AsId, IrecError, LinkId, Result};
 

@@ -1,0 +1,177 @@
+//! Acceptance tests for churn-incremental re-selection: a seeded [`ChurnGenerator`]
+//! timeline is applied to a live simulation via [`ChurnEngine::apply_delta`], whose
+//! returned [`SelectionDelta`]s drive one [`IncrementalSelection`] old/new-table per AS.
+//! After every churn step, the incremental selection over every (node, batch) must equal
+//! a from-scratch run of the wrapped algorithm — while the stats counters prove that
+//! batches untouched by the step's deltas were *reused*, not recomputed. That pairing
+//! (equality + reuse) is the whole point of the table: a link flap re-scores only the
+//! hop chains that cross it.
+
+use irec_algorithms::incremental::{IncrementalSelection, SelectionDelta};
+use irec_algorithms::{catalog, AlgorithmContext, Candidate, CandidateBatch};
+use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
+use irec_sim::{ChurnConfig, ChurnEngine, ChurnGenerator, Simulation, SimulationConfig};
+use irec_topology::{GeneratorConfig, TopologyGenerator};
+use irec_types::{AsId, IfId, Result};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const ASES: usize = 10;
+const STEPS: usize = 4;
+const MAX_SELECTED: usize = 5;
+
+fn node_config(_: AsId) -> NodeConfig {
+    NodeConfig::default()
+        .with_policy(PropagationPolicy::All)
+        .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
+}
+
+fn simulation(seed: u64) -> Simulation {
+    let config = GeneratorConfig {
+        num_ases: ASES,
+        seed,
+        ..Default::default()
+    };
+    Simulation::new(
+        Arc::new(TopologyGenerator::new(config).generate()),
+        SimulationConfig::default(),
+        node_config,
+    )
+    .expect("simulation setup")
+}
+
+/// Snapshots every (origin, group) candidate batch of one node's ingress db, in
+/// deterministic key order.
+fn node_batches(sim: &Simulation, asn: AsId) -> Vec<CandidateBatch> {
+    let node = sim.node(asn).expect("live node");
+    let db = node.ingress().db();
+    db.batch_keys()
+        .into_iter()
+        .filter_map(|key| db.batch_view(&key, sim.now()))
+        .map(|view| {
+            let mut batch = CandidateBatch::new(
+                view.key.origin,
+                view.key.group,
+                view.beacons
+                    .iter()
+                    .map(|b| Candidate::new(b.pcb.clone(), b.ingress))
+                    .collect(),
+            );
+            batch.target = view.key.target;
+            batch
+        })
+        .collect()
+}
+
+/// One incremental-vs-full comparison pass over every live node: every batch selected
+/// through the node's incremental table must match a direct run of the wrapped
+/// algorithm. Ends each node's pass with a `commit_round`, aging out vanished batches.
+fn assert_incremental_matches_full(
+    sim: &Simulation,
+    tables: &mut BTreeMap<AsId, IncrementalSelection>,
+) -> Result<()> {
+    for asn in sim.live_ases() {
+        let inc = tables
+            .entry(asn)
+            .or_insert_with(|| IncrementalSelection::new(catalog::by_name("5SP").unwrap()));
+        let local_as = sim.topology().as_node(asn)?;
+        let egress: Vec<IfId> = local_as.interfaces.keys().copied().collect();
+        for batch in node_batches(sim, asn) {
+            let ctx = AlgorithmContext::new(local_as, egress.clone(), MAX_SELECTED);
+            let incremental = inc.select(&batch, &ctx)?;
+            let full = inc.algorithm().clone().select(&batch, &ctx)?;
+            assert_eq!(
+                incremental, full,
+                "incremental selection diverged from full recompute at AS {asn} \
+                 for origin {} group {:?}",
+                batch.origin, batch.group
+            );
+        }
+        inc.commit_round();
+    }
+    Ok(())
+}
+
+/// The headline property over three seeded timelines: per churn step, incremental
+/// equals full recompute everywhere; a second pass over the unchanged plane is pure
+/// reuse (zero recomputes); and the timeline's deltas actually invalidate entries.
+#[test]
+fn incremental_reselection_matches_full_recompute_over_churn_timeline() {
+    let mut total_invalidated = 0usize;
+    for seed in 0..3u64 {
+        let mut sim = simulation(seed);
+        sim.run_rounds(3).expect("warmup rounds");
+        let config = ChurnConfig::default().with_rate(1.0).with_seed(seed);
+        let mut generator = ChurnGenerator::new(config);
+        let mut engine = ChurnEngine::new(config, node_config);
+        let mut tables: BTreeMap<AsId, IncrementalSelection> = BTreeMap::new();
+
+        // Baseline pass: populates every table, all recomputes.
+        assert_incremental_matches_full(&sim, &mut tables).unwrap();
+        let baseline: usize = tables.values().map(|t| t.stats().recomputed).sum();
+        assert!(baseline > 0, "warmup must produce candidate batches");
+
+        let mut applied = 0usize;
+        for _ in 0..STEPS {
+            let count = generator.step_delta_count();
+            for _ in 0..count {
+                let Some(delta) = generator.draw_delta(&sim) else {
+                    break;
+                };
+                let selection_delta: SelectionDelta =
+                    engine.apply_delta(&mut sim, delta).expect("delta applies");
+                for table in tables.values_mut() {
+                    table.apply_delta(&selection_delta);
+                }
+                applied += 1;
+            }
+            sim.run_rounds(2).expect("settle rounds");
+            // First pass after the step: re-scores whatever the deltas (and the round's
+            // fresh beacons) touched, equal to full recompute everywhere.
+            assert_incremental_matches_full(&sim, &mut tables).unwrap();
+            let recomputed_after_step: usize = tables.values().map(|t| t.stats().recomputed).sum();
+            // Second pass over the unchanged plane: the old table answers everything.
+            assert_incremental_matches_full(&sim, &mut tables).unwrap();
+            let recomputed_after_repeat: usize =
+                tables.values().map(|t| t.stats().recomputed).sum();
+            assert_eq!(
+                recomputed_after_repeat, recomputed_after_step,
+                "an unchanged plane must be served entirely from the table (seed {seed})"
+            );
+        }
+        assert!(applied > 0, "a rate-1.0 timeline must draw deltas");
+
+        let reused: usize = tables.values().map(|t| t.stats().reused).sum();
+        assert!(
+            reused > 0,
+            "repeat passes must be served from the table (seed {seed})"
+        );
+        total_invalidated += tables
+            .values()
+            .map(|t| t.stats().invalidated)
+            .sum::<usize>();
+    }
+    assert!(
+        total_invalidated > 0,
+        "rate-1.0 timelines must invalidate table entries somewhere across the seeds"
+    );
+}
+
+/// Catalog-swap churn maps to `SelectionDelta::All`: everything invalidates, and the
+/// next pass recomputes every batch — still equal to the full recompute.
+#[test]
+fn catalog_swap_invalidates_everything() {
+    let mut sim = simulation(9);
+    sim.run_rounds(3).expect("warmup rounds");
+    let mut tables: BTreeMap<AsId, IncrementalSelection> = BTreeMap::new();
+    assert_incremental_matches_full(&sim, &mut tables).unwrap();
+    let invalidated: usize = tables
+        .values_mut()
+        .map(|t| t.apply_delta(&SelectionDelta::All))
+        .sum();
+    assert!(invalidated > 0, "populated tables must drop entries");
+    for table in tables.values() {
+        assert!(table.is_empty());
+    }
+    assert_incremental_matches_full(&sim, &mut tables).unwrap();
+}
