@@ -2,20 +2,25 @@
 //!
 //! A full RAC pass after a topology delta re-scores every `(origin, group)` candidate batch,
 //! although a single link flap only perturbs the batches whose hop chains cross that link.
-//! [`IncrementalSelection`] keeps a table of previous selections per `(origin, group)` (the
+//! [`IncrementalTable`] keeps a table of previous results per `(origin, group, target)` (the
 //! "old table"); a churn delta — mapped by the simulator's churn engine into a neutral
 //! [`SelectionDelta`] — invalidates exactly the entries whose recorded link/AS footprint
-//! intersects the delta, and the next pass re-runs the wrapped algorithm only for
+//! intersects the delta, and the next pass re-runs the wrapped computation only for
 //! invalidated or changed batches, reusing the stored result everywhere else. Entries
 //! re-validated or recomputed during a pass form the "new table";
-//! [`IncrementalSelection::commit_round`] swaps it in, aging out batches that disappeared.
+//! [`IncrementalTable::commit_round`] swaps it in, aging out batches that disappeared.
 //!
 //! Correctness does not hinge on the invalidation being precise: every reuse is guarded by a
 //! fingerprint over the batch content and selection context, so a stale entry that somehow
 //! survives an imprecise delta is still discarded when the batch itself changed. The
 //! equality `incremental selection == full recompute` therefore holds per step by
 //! construction — the point of the table is to make the cheap path the common one, which
-//! the [`stats`](IncrementalSelection::stats) counters expose for tests and benches.
+//! the [`stats`](IncrementalTable::stats) counters expose for tests and benches.
+//!
+//! Two layers use the table: [`IncrementalSelection`] caches raw
+//! [`SelectionResult`]s for direct algorithm invocations (the PR-9 acceptance harness), and
+//! the core engine caches whole per-RAC output vectors keyed by the same footprint logic
+//! (the live round path).
 
 use crate::{AlgorithmContext, CandidateBatch, RoutingAlgorithm, SelectionResult};
 use irec_types::{AsId, IfId, InterfaceGroupId, Result};
@@ -37,49 +42,63 @@ pub enum SelectionDelta {
 }
 
 /// Counters exposing how the table behaved: how often the cached result was reused, how
-/// often the wrapped algorithm actually ran, and how many entries deltas invalidated.
+/// often the wrapped computation actually ran, and how many entries deltas invalidated.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IncrementalStats {
     /// Selections served from the table.
     pub reused: usize,
-    /// Selections that ran the wrapped algorithm.
+    /// Selections that ran the wrapped computation.
     pub recomputed: usize,
     /// Table entries dropped by [`SelectionDelta`]s.
     pub invalidated: usize,
 }
 
-/// One old-table entry: the stored selection plus the footprint and fingerprint guarding it.
+impl IncrementalStats {
+    /// Adds `other`'s counters into `self` — for summing per-table stats into one report.
+    pub fn accumulate(&mut self, other: IncrementalStats) {
+        self.reused += other.reused;
+        self.recomputed += other.recomputed;
+        self.invalidated += other.invalidated;
+    }
+}
+
+/// The table key: one candidate batch identity — origin AS, interface group, and target AS
+/// for pull-based batches (`None` for push-based ones, so targeted and untargeted batches of
+/// the same origin never thrash one entry).
+pub type TableKey = (AsId, InterfaceGroupId, Option<AsId>);
+
+/// One old-table entry: the stored value plus the footprint and fingerprint guarding it.
 #[derive(Debug, Clone)]
-struct TableEntry {
+struct TableEntry<V> {
     fingerprint: u64,
     links: BTreeSet<(AsId, IfId)>,
     ases: BTreeSet<AsId>,
-    result: SelectionResult,
+    value: V,
 }
 
-/// The incremental re-selection wrapper around a [`RoutingAlgorithm`]. See the module docs
-/// for the old/new-table flow.
-pub struct IncrementalSelection {
-    algorithm: Arc<dyn RoutingAlgorithm>,
-    table: BTreeMap<(AsId, InterfaceGroupId), TableEntry>,
-    fresh: BTreeSet<(AsId, InterfaceGroupId)>,
+/// The generic old/new table behind incremental re-selection: values keyed by batch
+/// identity, guarded by a content fingerprint, invalidated by footprint-intersecting
+/// [`SelectionDelta`]s, and aged out by [`commit_round`](IncrementalTable::commit_round)
+/// when their batches vanish.
+///
+/// The caller owns the fingerprint recipe (see [`FingerprintBuilder`]) and the footprint
+/// extraction; the table owns reuse bookkeeping. [`IncrementalSelection`] instantiates it
+/// with `V = SelectionResult`; the core engine instantiates it with a per-RAC output vector.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalTable<V> {
+    table: BTreeMap<TableKey, TableEntry<V>>,
+    fresh: BTreeSet<TableKey>,
     stats: IncrementalStats,
 }
 
-impl IncrementalSelection {
-    /// Wraps `algorithm` with an empty table.
-    pub fn new(algorithm: Arc<dyn RoutingAlgorithm>) -> Self {
-        IncrementalSelection {
-            algorithm,
+impl<V: Clone> IncrementalTable<V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        IncrementalTable {
             table: BTreeMap::new(),
             fresh: BTreeSet::new(),
             stats: IncrementalStats::default(),
         }
-    }
-
-    /// The wrapped algorithm.
-    pub fn algorithm(&self) -> &Arc<dyn RoutingAlgorithm> {
-        &self.algorithm
     }
 
     /// The table's behaviour counters.
@@ -87,7 +106,7 @@ impl IncrementalSelection {
         self.stats
     }
 
-    /// Number of stored selections.
+    /// Number of stored entries.
     pub fn len(&self) -> usize {
         self.table.len()
     }
@@ -95,6 +114,48 @@ impl IncrementalSelection {
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
         self.table.is_empty()
+    }
+
+    /// Looks up `key`: the stored value when the entry survived all deltas and
+    /// `fingerprint` still matches, `None` otherwise. A hit counts as a reuse and marks the
+    /// entry fresh for the current round.
+    pub fn probe(&mut self, key: TableKey, fingerprint: u64) -> Option<V> {
+        let entry = self.table.get(&key)?;
+        if entry.fingerprint != fingerprint {
+            return None;
+        }
+        self.stats.reused += 1;
+        self.fresh.insert(key);
+        Some(entry.value.clone())
+    }
+
+    /// Stores a freshly computed `value` for `key`, guarded by `fingerprint`, recording
+    /// the hop-chain footprint from `links` (each `(AS, egress interface)` key as it appears
+    /// in PCB hop entries). Counts as a recompute and marks the entry fresh.
+    pub fn store(
+        &mut self,
+        key: TableKey,
+        fingerprint: u64,
+        links: impl IntoIterator<Item = (AsId, IfId)>,
+        value: V,
+    ) {
+        let mut link_set = BTreeSet::new();
+        let mut ases = BTreeSet::new();
+        for (asn, ifid) in links {
+            link_set.insert((asn, ifid));
+            ases.insert(asn);
+        }
+        self.table.insert(
+            key,
+            TableEntry {
+                fingerprint,
+                links: link_set,
+                ases,
+                value,
+            },
+        );
+        self.fresh.insert(key);
+        self.stats.recomputed += 1;
     }
 
     /// Drops every entry whose footprint intersects `delta`; returns how many were dropped.
@@ -109,11 +170,61 @@ impl IncrementalSelection {
             }),
             SelectionDelta::As(asn) => self
                 .table
-                .retain(|(origin, _), entry| origin != asn && !entry.ases.contains(asn)),
+                .retain(|(origin, _, _), entry| origin != asn && !entry.ases.contains(asn)),
         }
         let dropped = before - self.table.len();
         self.stats.invalidated += dropped;
         dropped
+    }
+
+    /// Ends one pass: entries not probed or stored since the previous commit age out (their
+    /// batches no longer exist), and the new table becomes the old one.
+    pub fn commit_round(&mut self) {
+        let fresh = std::mem::take(&mut self.fresh);
+        self.table.retain(|key, _| fresh.contains(key));
+    }
+}
+
+/// The incremental re-selection wrapper around a [`RoutingAlgorithm`]: an
+/// [`IncrementalTable`] of raw [`SelectionResult`]s keyed by batch identity. See the module
+/// docs for the old/new-table flow.
+pub struct IncrementalSelection {
+    algorithm: Arc<dyn RoutingAlgorithm>,
+    table: IncrementalTable<SelectionResult>,
+}
+
+impl IncrementalSelection {
+    /// Wraps `algorithm` with an empty table.
+    pub fn new(algorithm: Arc<dyn RoutingAlgorithm>) -> Self {
+        IncrementalSelection {
+            algorithm,
+            table: IncrementalTable::new(),
+        }
+    }
+
+    /// The wrapped algorithm.
+    pub fn algorithm(&self) -> &Arc<dyn RoutingAlgorithm> {
+        &self.algorithm
+    }
+
+    /// The table's behaviour counters.
+    pub fn stats(&self) -> IncrementalStats {
+        self.table.stats()
+    }
+
+    /// Number of stored selections.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Drops every entry whose footprint intersects `delta`; returns how many were dropped.
+    pub fn apply_delta(&mut self, delta: &SelectionDelta) -> usize {
+        self.table.apply_delta(delta)
     }
 
     /// Selects for one batch: the stored result when the entry survived all deltas and the
@@ -124,71 +235,88 @@ impl IncrementalSelection {
         batch: &CandidateBatch,
         ctx: &AlgorithmContext<'_>,
     ) -> Result<SelectionResult> {
-        let key = (batch.origin, batch.group);
+        let key = (batch.origin, batch.group, batch.target);
         let fingerprint = fingerprint(batch, ctx);
-        if let Some(entry) = self.table.get(&key) {
-            if entry.fingerprint == fingerprint {
-                self.stats.reused += 1;
-                self.fresh.insert(key);
-                return Ok(entry.result.clone());
-            }
+        if let Some(result) = self.table.probe(key, fingerprint) {
+            return Ok(result);
         }
         let result = self.algorithm.select(batch, ctx)?;
-        let mut links = BTreeSet::new();
-        let mut ases = BTreeSet::new();
-        for c in &batch.candidates {
-            for (asn, ifid) in c.pcb.link_keys() {
-                links.insert((asn, ifid));
-                ases.insert(asn);
-            }
-        }
-        self.table.insert(
-            key,
-            TableEntry {
-                fingerprint,
-                links,
-                ases,
-                result: result.clone(),
-            },
-        );
-        self.fresh.insert(key);
-        self.stats.recomputed += 1;
+        let links = batch
+            .candidates
+            .iter()
+            .flat_map(|c| c.pcb.link_keys())
+            .collect::<Vec<_>>();
+        self.table.store(key, fingerprint, links, result.clone());
         Ok(result)
     }
 
     /// Ends one pass: entries not re-selected since the previous commit age out (their
     /// batches no longer exist), and the new table becomes the old one.
     pub fn commit_round(&mut self) {
-        let fresh = std::mem::take(&mut self.fresh);
-        self.table.retain(|key, _| fresh.contains(key));
+        self.table.commit_round();
+    }
+}
+
+/// Incremental fingerprint accumulator: a splitmix64 chain over 64-bit words, seeded with
+/// the repo's standard constant. Both the algorithm-level fingerprint here and the core
+/// engine's batch-view fingerprint fold through this builder so the recipes stay aligned.
+#[derive(Debug, Clone, Copy)]
+pub struct FingerprintBuilder {
+    state: u64,
+}
+
+impl FingerprintBuilder {
+    /// Starts a chain from the standard seed.
+    pub fn new() -> Self {
+        FingerprintBuilder {
+            state: 0x243f_6a88_85a3_08d3,
+        }
+    }
+
+    /// Folds one word into the chain.
+    pub fn fold(&mut self, word: u64) {
+        self.state = splitmix64(self.state ^ word);
+    }
+
+    /// Folds a little-endian byte slice, 8 bytes per word (shorter tails zero-padded).
+    pub fn fold_bytes(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    /// The chain's current value.
+    pub fn finish(self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for FingerprintBuilder {
+    fn default() -> Self {
+        FingerprintBuilder::new()
     }
 }
 
 /// Order-sensitive fingerprint over the batch content and the selection context: candidate
 /// digests and ingress interfaces, the egress list, and the budget/extension knobs.
 fn fingerprint(batch: &CandidateBatch, ctx: &AlgorithmContext<'_>) -> u64 {
-    let mut state = 0x243f_6a88_85a3_08d3u64;
-    let mut fold = |word: u64| {
-        state = splitmix64(state ^ word);
-    };
-    fold(batch.origin.value());
-    fold(u64::from(batch.group.value()));
-    fold(batch.target.map_or(u64::MAX, |t| t.value()));
+    let mut fp = FingerprintBuilder::new();
+    fp.fold(batch.origin.value());
+    fp.fold(u64::from(batch.group.value()));
+    fp.fold(batch.target.map_or(u64::MAX, |t| t.value()));
     for c in &batch.candidates {
-        for chunk in c.pcb.digest().0 .0.chunks(8) {
-            let mut word = [0u8; 8];
-            word[..chunk.len()].copy_from_slice(chunk);
-            fold(u64::from_le_bytes(word));
-        }
-        fold(u64::from(c.ingress.value()));
+        fp.fold_bytes(&c.pcb.digest().0 .0);
+        fp.fold(u64::from(c.ingress.value()));
     }
-    fold(ctx.local_as.id.value());
+    fp.fold(ctx.local_as.id.value());
     for egress in &ctx.egress_interfaces {
-        fold(u64::from(egress.value()));
+        fp.fold(u64::from(egress.value()));
     }
-    fold(ctx.max_selected as u64);
-    fold(u64::from(ctx.extend_paths));
-    state
+    fp.fold(ctx.max_selected as u64);
+    fp.fold(u64::from(ctx.extend_paths));
+    fp.finish()
 }
 
 /// The splitmix64 finalizer (one-shot form of the repo's standard mixing recipe).
@@ -315,5 +443,61 @@ mod tests {
         inc.select(&batch(1, 0), &ctx(&node)).unwrap();
         inc.commit_round();
         assert_eq!(inc.len(), 1);
+    }
+
+    #[test]
+    fn generic_table_probe_store_and_ageing() {
+        let mut table: IncrementalTable<Vec<u32>> = IncrementalTable::new();
+        let key = (AsId(1), InterfaceGroupId::DEFAULT, None);
+        assert!(table.probe(key, 7).is_none());
+        table.store(key, 7, vec![(AsId(1), IfId(1))], vec![10, 20]);
+        assert_eq!(table.probe(key, 7), Some(vec![10, 20]));
+        assert!(table.probe(key, 8).is_none(), "fingerprint mismatch misses");
+        assert_eq!(table.stats().recomputed, 1);
+        assert_eq!(table.stats().reused, 1);
+        table.commit_round();
+        assert_eq!(table.len(), 1);
+        // Not touched this round: ages out on the next commit.
+        table.commit_round();
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn targeted_and_untargeted_batches_keep_separate_entries() {
+        let node = local_as();
+        let mut inc = incremental();
+        let b = batch(1, 0);
+        let mut targeted = batch(1, 0);
+        targeted.target = Some(AsId(77));
+        inc.select(&b, &ctx(&node)).unwrap();
+        inc.select(&targeted, &ctx(&node)).unwrap();
+        assert_eq!(inc.len(), 2, "target is part of the table key");
+        assert_eq!(inc.stats().recomputed, 2);
+        inc.select(&b, &ctx(&node)).unwrap();
+        inc.select(&targeted, &ctx(&node)).unwrap();
+        assert_eq!(inc.stats().reused, 2);
+    }
+
+    #[test]
+    fn stats_accumulate_sums_counters() {
+        let mut total = IncrementalStats::default();
+        total.accumulate(IncrementalStats {
+            reused: 1,
+            recomputed: 2,
+            invalidated: 3,
+        });
+        total.accumulate(IncrementalStats {
+            reused: 10,
+            recomputed: 20,
+            invalidated: 30,
+        });
+        assert_eq!(
+            total,
+            IncrementalStats {
+                reused: 11,
+                recomputed: 22,
+                invalidated: 33,
+            }
+        );
     }
 }

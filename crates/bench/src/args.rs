@@ -1,7 +1,7 @@
 //! A tiny `--key value` argument parser shared by the figure binaries (no external
 //! dependencies).
 
-use irec_sim::{ChurnKinds, RoundScheduler};
+use irec_sim::{ChurnKinds, IncrementalSelectionMode, RoundScheduler, SimulationConfig};
 use std::collections::HashMap;
 
 /// Parsed benchmark arguments with defaults suitable for a laptop-scale run.
@@ -52,6 +52,11 @@ pub struct BenchArgs {
     /// one pool of `max(parallelism, delivery-parallelism)` workers; the simulation output
     /// is byte-identical either way.
     pub round_scheduler: RoundScheduler,
+    /// Incremental re-selection mode of every node the binaries build
+    /// (`--incremental-selection {off,on}`, default off). Under `on` static RACs reuse
+    /// the previous round's selections for batches whose content is unchanged; the
+    /// simulation output is byte-identical either way.
+    pub incremental_selection: IncrementalSelectionMode,
     /// Expected churn deltas per step of the churn engine (`--churn-rate`, default 0 =
     /// churn disabled). A *workload* knob: it changes what is simulated — deterministically
     /// for a fixed `--churn-seed` — unlike the parallelism/shard knobs, which never change
@@ -96,6 +101,7 @@ impl Default for BenchArgs {
             path_shards: 0,
             pd_deep_clone: false,
             round_scheduler: RoundScheduler::Barrier,
+            incremental_selection: IncrementalSelectionMode::Off,
             churn_rate: 0.0,
             churn_seed: 11,
             churn_kinds: ChurnKinds::default(),
@@ -167,6 +173,12 @@ impl BenchArgs {
         if let Some(v) = map.get("round-scheduler").and_then(|v| v.parse().ok()) {
             parsed.round_scheduler = v;
         }
+        if let Some(v) = map
+            .get("incremental-selection")
+            .and_then(|v| v.parse().ok())
+        {
+            parsed.incremental_selection = v;
+        }
         if let Some(v) = map.get("churn-rate").and_then(|v| v.parse::<f64>().ok()) {
             parsed.churn_rate = if v.is_finite() { v.max(0.0) } else { 0.0 };
         }
@@ -203,6 +215,22 @@ impl BenchArgs {
         })
     }
 
+    /// The [`SimulationConfig`] these arguments describe: the one place the figure
+    /// binaries and campaign runner translate knobs into a simulation, so no caller
+    /// hand-rolls the plumbing (or misses a knob added later). Node-level shard counts
+    /// ride along — [`SimulationConfig::with_ingress_shards`] /
+    /// [`SimulationConfig::with_path_shards`] push them into every node the simulation
+    /// builds, including mid-run churn joins.
+    pub fn to_sim_config(&self) -> SimulationConfig {
+        SimulationConfig::default()
+            .with_parallelism(self.parallelism)
+            .with_delivery_parallelism(self.delivery_parallelism)
+            .with_round_scheduler(self.round_scheduler)
+            .with_ingress_shards(self.ingress_shards)
+            .with_path_shards(self.path_shards)
+            .with_incremental_selection(self.incremental_selection)
+    }
+
     /// One-screen summary of every `--key value` knob shared by the figure binaries.
     ///
     /// The full table — auto-default rules, determinism guarantees, and the
@@ -223,6 +251,8 @@ impl BenchArgs {
          \x20 --path-shards N           path-service shards per node (default 0 = auto)\n\
          \x20 --pd-deep-clone           use deep-Clone PD snapshots instead of copy-on-write\n\
          \x20 --round-scheduler S       round scheduler: barrier (default) or dag\n\
+         \x20 --incremental-selection M reuse unchanged RAC selections across rounds:\n\
+         \x20                           off (default) or on\n\
          \x20 --churn-rate R            expected churn deltas per step (default 0 = off)\n\
          \x20 --churn-seed N            churn-timeline PRNG seed (default 11)\n\
          \x20 --churn-kinds K           delta kinds, e.g. all or link-down=3,node-leave\n\
@@ -289,6 +319,54 @@ mod tests {
             parse(&["--round-scheduler", "eager"]).round_scheduler,
             RoundScheduler::Barrier
         );
+    }
+
+    #[test]
+    fn incremental_selection_parses_and_defaults_to_off() {
+        assert_eq!(
+            parse(&[]).incremental_selection,
+            IncrementalSelectionMode::Off
+        );
+        assert_eq!(
+            parse(&["--incremental-selection", "on"]).incremental_selection,
+            IncrementalSelectionMode::On
+        );
+        assert_eq!(
+            parse(&["--incremental-selection", "off"]).incremental_selection,
+            IncrementalSelectionMode::Off
+        );
+        // Unparsable values fall back to the default, like every other knob.
+        assert_eq!(
+            parse(&["--incremental-selection", "maybe"]).incremental_selection,
+            IncrementalSelectionMode::Off
+        );
+    }
+
+    #[test]
+    fn to_sim_config_carries_every_simulation_knob() {
+        let a = parse(&[
+            "--parallelism",
+            "4",
+            "--delivery-parallelism",
+            "3",
+            "--round-scheduler",
+            "dag",
+            "--ingress-shards",
+            "7",
+            "--path-shards",
+            "5",
+            "--incremental-selection",
+            "on",
+        ]);
+        let config = a.to_sim_config();
+        assert_eq!(config.parallelism, 4);
+        assert_eq!(config.delivery_parallelism, 3);
+        assert_eq!(config.round_scheduler, RoundScheduler::Dag);
+        assert_eq!(config.ingress_shards, 7);
+        assert_eq!(config.path_shards, 5);
+        assert_eq!(config.incremental_selection, IncrementalSelectionMode::On);
+        // Defaults translate to the default simulation config.
+        assert_eq!(parse(&[]).to_sim_config(), SimulationConfig::default());
     }
 
     #[test]
@@ -434,6 +512,7 @@ mod tests {
             "--path-shards",
             "--pd-deep-clone",
             "--round-scheduler",
+            "--incremental-selection",
             "--churn-rate",
             "--churn-seed",
             "--churn-kinds",

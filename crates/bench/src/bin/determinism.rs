@@ -6,22 +6,25 @@
 //! `aco` family).
 //!
 //! ```text
-//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--delivery-parallelism N] [--ingress-shards N] [--pd-parallelism N] [--path-shards N] [--round-scheduler S] [--churn-rate R] [--churn-seed N] [--churn-kinds K] [--algorithm A] [--aco-seed N] [--aco-budget N] [--ases 12] [--rounds 3] [--seed 5]
+//! cargo run -p irec_bench --bin determinism --release -- [--parallelism N] [--delivery-parallelism N] [--ingress-shards N] [--pd-parallelism N] [--path-shards N] [--round-scheduler S] [--incremental-selection M] [--churn-rate R] [--churn-seed N] [--churn-kinds K] [--algorithm A] [--aco-seed N] [--aco-budget N] [--ases 12] [--rounds 3] [--seed 5]
 //! ```
 //!
 //! The output is **byte-identical for every `--parallelism`, `--delivery-parallelism`,
-//! `--ingress-shards`, `--pd-parallelism`, `--path-shards` and `--round-scheduler`
-//! value** — that is the determinism guarantee of the parallel execution engine, of the
-//! message-delivery plane, of the sharded ingress database, of the sharded path service,
-//! of the PD campaign engine and of the work-item DAG round scheduler, and the CI
-//! determinism job enforces it by diffing a sequential run against each knob alone and
-//! all of them stacked. All six arguments are deliberately excluded from the output for
-//! exactly that reason. The churn knobs are different: they are *workload* knobs, so CI
-//! diffs runs with the same churn knobs across parallelism planes against each other.
+//! `--ingress-shards`, `--pd-parallelism`, `--path-shards`, `--round-scheduler` and
+//! `--incremental-selection` value** — that is the determinism guarantee of the parallel
+//! execution engine, of the message-delivery plane, of the sharded ingress database, of
+//! the sharded path service, of the PD campaign engine, of the work-item DAG round
+//! scheduler and of the incremental selection tables, and the CI determinism job enforces
+//! it by diffing a sequential run against each knob alone and all of them stacked. All
+//! seven arguments are deliberately excluded from the output for exactly that reason.
+//! Incremental-selection counters (reused/recomputed/invalidated) go to **stderr**, like
+//! every piece of how-it-ran reporting, so they never pollute the diffed stdout. The
+//! churn knobs are different: they are *workload* knobs, so CI diffs runs with the same
+//! churn knobs across parallelism planes against each other.
 
 use irec_bench::BenchArgs;
 use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
-use irec_sim::{ChurnConfig, ChurnEngine, PdCampaign, Simulation, SimulationConfig};
+use irec_sim::{ChurnConfig, ChurnEngine, PdCampaign, Simulation};
 use irec_topology::builder::{figure1, figure1_topology};
 use irec_topology::{GeneratorConfig, TopologyGenerator};
 use std::sync::Arc;
@@ -30,24 +33,15 @@ fn main() {
     let args = BenchArgs::from_env();
 
     // Scenario 1: the quickstart setup on the paper's Fig. 1 topology.
-    let figure1_sim = Simulation::new(
-        Arc::new(figure1_topology()),
-        SimulationConfig::default()
+    let figure1_sim = Simulation::new(Arc::new(figure1_topology()), args.to_sim_config(), |_| {
+        NodeConfig::default()
+            .with_policy(PropagationPolicy::All)
+            .with_racs(vec![
+                RacConfig::static_rac("DO", "DO"),
+                RacConfig::static_rac("widest", "widest"),
+            ])
             .with_parallelism(args.parallelism)
-            .with_delivery_parallelism(args.delivery_parallelism)
-            .with_round_scheduler(args.round_scheduler),
-        |_| {
-            NodeConfig::default()
-                .with_policy(PropagationPolicy::All)
-                .with_racs(vec![
-                    RacConfig::static_rac("DO", "DO"),
-                    RacConfig::static_rac("widest", "widest"),
-                ])
-                .with_parallelism(args.parallelism)
-                .with_ingress_shards(args.ingress_shards)
-                .with_path_shards(args.path_shards)
-        },
-    )
+    })
     .expect("figure-1 simulation setup");
     dump("figure1", figure1_sim, 6);
 
@@ -59,10 +53,7 @@ fn main() {
     };
     let generated = Simulation::new(
         Arc::new(TopologyGenerator::new(config).generate()),
-        SimulationConfig::default()
-            .with_parallelism(args.parallelism)
-            .with_delivery_parallelism(args.delivery_parallelism)
-            .with_round_scheduler(args.round_scheduler),
+        args.to_sim_config(),
         |_| {
             NodeConfig::default()
                 .with_racs(vec![
@@ -72,8 +63,6 @@ fn main() {
                     RacConfig::static_rac("DON", "DO"),
                 ])
                 .with_parallelism(args.parallelism)
-                .with_ingress_shards(args.ingress_shards)
-                .with_path_shards(args.path_shards)
         },
     )
     .expect("generated simulation setup");
@@ -81,24 +70,15 @@ fn main() {
 
     // Scenario 3: the PD campaign on Fig. 1 — exercises the `--pd-parallelism` worker
     // pool and the sharded path service's concurrent pull-return commits end to end.
-    let mut base = Simulation::new(
-        Arc::new(figure1_topology()),
-        SimulationConfig::default()
+    let mut base = Simulation::new(Arc::new(figure1_topology()), args.to_sim_config(), |_| {
+        NodeConfig::default()
+            .with_policy(PropagationPolicy::All)
+            .with_racs(vec![
+                RacConfig::static_rac("HD", "HD"),
+                RacConfig::on_demand_rac("on-demand"),
+            ])
             .with_parallelism(args.parallelism)
-            .with_delivery_parallelism(args.delivery_parallelism)
-            .with_round_scheduler(args.round_scheduler),
-        |_| {
-            NodeConfig::default()
-                .with_policy(PropagationPolicy::All)
-                .with_racs(vec![
-                    RacConfig::static_rac("HD", "HD"),
-                    RacConfig::on_demand_rac("on-demand"),
-                ])
-                .with_parallelism(args.parallelism)
-                .with_ingress_shards(args.ingress_shards)
-                .with_path_shards(args.path_shards)
-        },
-    )
+    })
     .expect("PD base simulation setup");
     base.run_rounds(6).expect("PD warm-up rounds");
     // `max_paths` must exceed the HD seed count of the warmed base, or every workflow
@@ -149,15 +129,11 @@ fn main() {
     // churn leaves their bytes untouched.
     if args.churn_rate > 0.0 {
         let parallelism = args.parallelism;
-        let ingress_shards = args.ingress_shards;
-        let path_shards = args.path_shards;
         let node_config = move |_| {
             NodeConfig::default()
                 .with_policy(PropagationPolicy::All)
                 .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
                 .with_parallelism(parallelism)
-                .with_ingress_shards(ingress_shards)
-                .with_path_shards(path_shards)
         };
         let config = GeneratorConfig {
             num_ases: args.ases,
@@ -166,10 +142,7 @@ fn main() {
         };
         let mut sim = Simulation::new(
             Arc::new(TopologyGenerator::new(config).generate()),
-            SimulationConfig::default()
-                .with_parallelism(args.parallelism)
-                .with_delivery_parallelism(args.delivery_parallelism)
-                .with_round_scheduler(args.round_scheduler),
+            args.to_sim_config(),
             node_config,
         )
         .expect("churn simulation setup");
@@ -209,8 +182,6 @@ fn main() {
     // scenario's bytes untouched.
     if let Some(spec) = args.algorithm_spec() {
         let parallelism = args.parallelism;
-        let ingress_shards = args.ingress_shards;
-        let path_shards = args.path_shards;
         let rac_spec = spec.clone();
         let config = GeneratorConfig {
             num_ases: args.ases,
@@ -219,17 +190,12 @@ fn main() {
         };
         let sim = Simulation::new(
             Arc::new(TopologyGenerator::new(config).generate()),
-            SimulationConfig::default()
-                .with_parallelism(args.parallelism)
-                .with_delivery_parallelism(args.delivery_parallelism)
-                .with_round_scheduler(args.round_scheduler),
+            args.to_sim_config(),
             move |_| {
                 NodeConfig::default()
                     .with_policy(PropagationPolicy::All)
                     .with_racs(vec![RacConfig::static_rac(&rac_spec, &rac_spec)])
                     .with_parallelism(parallelism)
-                    .with_ingress_shards(ingress_shards)
-                    .with_path_shards(path_shards)
             },
         )
         .expect("algorithm scenario setup");
@@ -277,4 +243,11 @@ fn dump_state(label: &str, sim: &Simulation) {
             p.links
         );
     }
+    // How-it-ran reporting, like `SchedulerStats`: stderr only, so the diffed stdout
+    // stays byte-identical between `--incremental-selection on` and `off`.
+    let inc = sim.incremental_stats();
+    eprintln!(
+        "incremental\tscenario={label}\treused={}\trecomputed={}\tinvalidated={}",
+        inc.reused, inc.recomputed, inc.invalidated
+    );
 }

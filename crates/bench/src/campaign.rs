@@ -6,7 +6,7 @@ use irec_core::{NodeConfig, RacConfig};
 use irec_metrics::delay::{pop_pair_delays, relative_to_baseline, PopPairDelays};
 use irec_metrics::tlf::tlf_per_as_pair;
 use irec_metrics::{Cdf, RegisteredPath};
-use irec_sim::{PdCampaign, PdPairResult, Simulation, SimulationConfig};
+use irec_sim::{PdCampaign, PdPairResult, Simulation};
 use irec_topology::pop::{points_of_presence, DEFAULT_POP_RADIUS_KM};
 use irec_topology::{
     GeneratorConfig, GroupingConfig, PointOfPresence, Topology, TopologyGenerator,
@@ -141,20 +141,8 @@ impl Fig8Campaign {
         // measures.
         let mut sim = Simulation::new(
             Arc::clone(&self.topology),
-            SimulationConfig::default()
-                .with_parallelism(self.args.parallelism)
-                .with_delivery_parallelism(self.args.delivery_parallelism)
-                .with_round_scheduler(self.args.round_scheduler),
-            {
-                let ingress_shards = self.args.ingress_shards;
-                let path_shards = self.args.path_shards;
-                move |_| {
-                    NodeConfig::default()
-                        .with_racs(vec![rac.clone()])
-                        .with_ingress_shards(ingress_shards)
-                        .with_path_shards(path_shards)
-                }
-            },
+            self.args.to_sim_config(),
+            move |_| NodeConfig::default().with_racs(vec![rac.clone()]),
         )?;
         if let Some(grouping) = grouping {
             sim.set_geographic_interface_groups(grouping)?;
@@ -183,22 +171,12 @@ impl Fig8Campaign {
         // merged in pair order regardless of `--pd-parallelism`.
         let mut sim = Simulation::new(
             Arc::clone(&self.topology),
-            SimulationConfig::default()
-                .with_parallelism(self.args.parallelism)
-                .with_delivery_parallelism(self.args.delivery_parallelism)
-                .with_round_scheduler(self.args.round_scheduler),
-            {
-                let ingress_shards = self.args.ingress_shards;
-                let path_shards = self.args.path_shards;
-                move |_| {
-                    NodeConfig::default()
-                        .with_racs(vec![
-                            RacConfig::static_rac("HD", "HD"),
-                            RacConfig::on_demand_rac("on-demand"),
-                        ])
-                        .with_ingress_shards(ingress_shards)
-                        .with_path_shards(path_shards)
-                }
+            self.args.to_sim_config(),
+            move |_| {
+                NodeConfig::default().with_racs(vec![
+                    RacConfig::static_rac("HD", "HD"),
+                    RacConfig::on_demand_rac("on-demand"),
+                ])
             },
         )?;
         sim.run_rounds(self.args.rounds)?;

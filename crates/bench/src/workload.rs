@@ -1,6 +1,7 @@
 //! The |Φ| workload of §VII-B: synthetic candidate PCB sets and the measurement kernels for
 //! the Fig. 6 / Fig. 7 experiments.
 
+use irec_algorithms::incremental::IncrementalStats;
 use irec_algorithms::score::KShortestPaths;
 use irec_algorithms::{AlgorithmContext, Candidate, CandidateBatch, RoutingAlgorithm};
 use irec_core::beacon_db::{BatchKey, StoredBeacon};
@@ -12,8 +13,8 @@ use irec_crypto::{KeyRegistry, Signer};
 use irec_metrics::RegisteredPath;
 use irec_pcb::{Pcb, PcbExtensions, StaticInfo};
 use irec_sim::{
-    ChurnConfig, ChurnEngine, ChurnStep, DeliveryStats, PdCampaign, RoundScheduler, SchedulerStats,
-    Simulation, SimulationConfig,
+    ChurnConfig, ChurnEngine, ChurnStep, DeliveryStats, IncrementalSelectionMode, PdCampaign,
+    RoundScheduler, SchedulerStats, Simulation, SimulationConfig,
 };
 use irec_topology::{AsNode, GeneratorConfig, Interface, Tier, TopologyGenerator};
 use irec_types::{
@@ -348,12 +349,10 @@ pub fn delivery_workload(
     let topology = Arc::new(TopologyGenerator::new(config).generate());
     Simulation::new(
         topology,
-        SimulationConfig::default().with_delivery_parallelism(delivery_workers),
-        move |_| {
-            NodeConfig::default()
-                .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
-                .with_ingress_shards(ingress_shards)
-        },
+        SimulationConfig::default()
+            .with_delivery_parallelism(delivery_workers)
+            .with_ingress_shards(ingress_shards),
+        move |_| NodeConfig::default().with_racs(vec![RacConfig::static_rac("5SP", "5SP")]),
     )
     .expect("delivery workload simulation setup")
 }
@@ -443,15 +442,14 @@ pub fn round_scheduler_pass(
 }
 
 /// The node config of the algorithm-catalog workload: every AS runs one static RAC
-/// instantiated from a catalog name (`5YEN`, `aco:7:8`, …) with the given per-node shard
-/// counts. Propagation is pinned to `All` so the catalog algorithm — not the propagation
-/// policy — decides what gets registered.
-fn algorithm_node_config(algorithm: &str, ingress_shards: usize, path_shards: usize) -> NodeConfig {
+/// instantiated from a catalog name (`5YEN`, `aco:7:8`, …). Propagation is pinned to
+/// `All` so the catalog algorithm — not the propagation policy — decides what gets
+/// registered. Shard counts ride on the simulation config
+/// ([`SimulationConfig::with_ingress_shards`]), not here.
+fn algorithm_node_config(algorithm: &str) -> NodeConfig {
     NodeConfig::default()
         .with_policy(PropagationPolicy::All)
         .with_racs(vec![RacConfig::static_rac(algorithm, algorithm)])
-        .with_ingress_shards(ingress_shards)
-        .with_path_shards(path_shards)
 }
 
 /// Builds the algorithm-catalog workload: a generated-topology simulation where every AS
@@ -480,8 +478,10 @@ pub fn algorithm_workload(
         SimulationConfig::default()
             .with_round_scheduler(scheduler)
             .with_parallelism(width)
-            .with_delivery_parallelism(width),
-        move |_| algorithm_node_config(&algorithm, ingress_shards, path_shards),
+            .with_delivery_parallelism(width)
+            .with_ingress_shards(ingress_shards)
+            .with_path_shards(path_shards),
+        move |_| algorithm_node_config(&algorithm),
     )
     .expect("algorithm workload simulation setup")
 }
@@ -531,13 +531,13 @@ pub type ChurnFingerprint = (Vec<ChurnStep>, Vec<RegisteredPath>, DeliveryStats,
 /// generated-topology default of valley-free) so a random link-down can only sever pairs
 /// *physically* — which the no-blackhole checker excuses — never policy-blackhole them;
 /// shipped churn scenarios therefore converge by construction, and the genuine
-/// valley-free blackhole case stays covered by the churn invariants unit tests.
-fn churn_node_config(ingress_shards: usize, path_shards: usize) -> NodeConfig {
+/// valley-free blackhole case stays covered by the churn invariants unit tests. Shard
+/// counts and the incremental-selection flag ride on the simulation config — mid-run
+/// churn joins pick them up through [`Simulation::add_node`]'s knob injection.
+fn churn_node_config() -> NodeConfig {
     NodeConfig::default()
         .with_policy(PropagationPolicy::All)
         .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
-        .with_ingress_shards(ingress_shards)
-        .with_path_shards(path_shards)
 }
 
 /// Builds the churn workload: a generated-topology simulation under `scheduler` with
@@ -552,6 +552,30 @@ pub fn churn_workload(
     path_shards: usize,
     seed: u64,
 ) -> Simulation {
+    churn_workload_incremental(
+        ases,
+        scheduler,
+        width,
+        ingress_shards,
+        path_shards,
+        IncrementalSelectionMode::Off,
+        seed,
+    )
+}
+
+/// [`churn_workload`] with an explicit `--incremental-selection` mode — the variant the
+/// incremental rows of the `churn_round_overhead` bench and the live-round determinism
+/// matrix build on.
+#[allow(clippy::too_many_arguments)]
+pub fn churn_workload_incremental(
+    ases: usize,
+    scheduler: RoundScheduler,
+    width: usize,
+    ingress_shards: usize,
+    path_shards: usize,
+    incremental: IncrementalSelectionMode,
+    seed: u64,
+) -> Simulation {
     let config = GeneratorConfig {
         num_ases: ases,
         seed,
@@ -563,8 +587,11 @@ pub fn churn_workload(
         SimulationConfig::default()
             .with_round_scheduler(scheduler)
             .with_parallelism(width)
-            .with_delivery_parallelism(width),
-        move |_| churn_node_config(ingress_shards, path_shards),
+            .with_delivery_parallelism(width)
+            .with_ingress_shards(ingress_shards)
+            .with_path_shards(path_shards)
+            .with_incremental_selection(incremental),
+        move |_| churn_node_config(),
     )
     .expect("churn workload simulation setup")
 }
@@ -585,16 +612,56 @@ pub fn churn_pass(
     path_shards: usize,
     seed: u64,
 ) -> ChurnFingerprint {
-    let mut sim = churn_workload(ases, scheduler, width, ingress_shards, path_shards, seed);
-    let mut engine = ChurnEngine::new(churn, move |_| {
-        churn_node_config(ingress_shards, path_shards)
-    });
+    churn_pass_incremental(
+        ases,
+        steps,
+        churn,
+        scheduler,
+        width,
+        ingress_shards,
+        path_shards,
+        IncrementalSelectionMode::Off,
+        seed,
+    )
+    .0
+}
+
+/// [`churn_pass`] with an explicit incremental-selection mode, additionally returning the
+/// accumulated [`IncrementalStats`]. The fingerprint must be byte-identical across
+/// `IncrementalSelectionMode::{Off,On}` for every scheduler × worker × shard plane (the
+/// tentpole guarantee); the stats quantify how much recomputation `On` skipped — all
+/// zeros under `Off`.
+#[allow(clippy::too_many_arguments)]
+pub fn churn_pass_incremental(
+    ases: usize,
+    steps: usize,
+    churn: ChurnConfig,
+    scheduler: RoundScheduler,
+    width: usize,
+    ingress_shards: usize,
+    path_shards: usize,
+    incremental: IncrementalSelectionMode,
+    seed: u64,
+) -> (ChurnFingerprint, IncrementalStats) {
+    let mut sim = churn_workload_incremental(
+        ases,
+        scheduler,
+        width,
+        ingress_shards,
+        path_shards,
+        incremental,
+        seed,
+    );
+    let mut engine = ChurnEngine::new(churn, move |_| churn_node_config());
     let report = engine.run(&mut sim, steps).expect("churn pass converges");
     (
-        report.steps,
-        sim.registered_paths(),
-        sim.delivery_stats(),
-        sim.ingress_occupancy(),
+        (
+            report.steps,
+            sim.registered_paths(),
+            sim.delivery_stats(),
+            sim.ingress_occupancy(),
+        ),
+        sim.incremental_stats(),
     )
 }
 
@@ -842,6 +909,44 @@ mod tests {
                 "diverged under {scheduler} x{width} ingress={ingress} path={path}"
             );
         }
+    }
+
+    #[test]
+    fn churn_pass_incremental_matches_reference_and_reuses_selections() {
+        let churn = ChurnConfig::default()
+            .with_rate(1.0)
+            .with_seed(13)
+            .with_warmup_rounds(3);
+        let reference = churn_pass(10, 3, churn, RoundScheduler::Barrier, 1, 1, 1, 5);
+        // `on` must be byte-identical to the from-scratch reference, even stacked with
+        // the DAG scheduler, multiple workers and non-default shard counts.
+        let (fingerprint, stats) = churn_pass_incremental(
+            10,
+            3,
+            churn,
+            RoundScheduler::Dag,
+            4,
+            4,
+            4,
+            IncrementalSelectionMode::On,
+            5,
+        );
+        assert_eq!(fingerprint, reference);
+        assert!(stats.reused > 0, "warm rounds must hit the tables");
+        assert!(stats.recomputed > 0, "changed batches must recompute");
+        // Off is the retained reference path: tables never engage.
+        let (_, off) = churn_pass_incremental(
+            10,
+            3,
+            churn,
+            RoundScheduler::Barrier,
+            1,
+            1,
+            1,
+            IncrementalSelectionMode::Off,
+            5,
+        );
+        assert_eq!(off, IncrementalStats::default());
     }
 
     #[test]

@@ -143,6 +143,12 @@ pub struct NodeConfig {
     /// registration concurrency — RAC selections and pull-return commits — the service
     /// admits.
     pub path_shards: usize,
+    /// Whether the RAC execution engine keeps per-RAC incremental selection tables
+    /// (see [`crate::engine::SelectionTables`]): unchanged candidate batches are served
+    /// from the table instead of re-running the RAC, guarded by a content fingerprint so
+    /// the output stays byte-identical to a from-scratch run. `false` (the default) is the
+    /// retained from-scratch reference path.
+    pub incremental_selection: bool,
 }
 
 impl Default for NodeConfig {
@@ -157,6 +163,7 @@ impl Default for NodeConfig {
             parallelism: 1,
             ingress_shards: 0,
             path_shards: 0,
+            incremental_selection: false,
         }
     }
 }
@@ -215,6 +222,12 @@ impl NodeConfig {
 
     /// Builder-style: set the ingress-database shard count (`0` = derive from
     /// `parallelism`).
+    #[deprecated(
+        since = "0.10.0",
+        note = "set shard counts at the simulation level via \
+                `irec_sim::SimulationConfig::with_ingress_shards` (or set the \
+                `ingress_shards` field directly when building a bare node)"
+    )]
     #[must_use]
     pub fn with_ingress_shards(mut self, shards: usize) -> Self {
         self.ingress_shards = shards;
@@ -222,9 +235,22 @@ impl NodeConfig {
     }
 
     /// Builder-style: set the path-service shard count (`0` = derive from `parallelism`).
+    #[deprecated(
+        since = "0.10.0",
+        note = "set shard counts at the simulation level via \
+                `irec_sim::SimulationConfig::with_path_shards` (or set the `path_shards` \
+                field directly when building a bare node)"
+    )]
     #[must_use]
     pub fn with_path_shards(mut self, shards: usize) -> Self {
         self.path_shards = shards;
+        self
+    }
+
+    /// Builder-style: enable or disable incremental re-selection in the RAC engine.
+    #[must_use]
+    pub fn with_incremental_selection(mut self, enabled: bool) -> Self {
+        self.incremental_selection = enabled;
         self
     }
 
@@ -309,6 +335,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn ingress_shard_count_follows_parallelism_unless_pinned() {
         // Auto default: next power of two of the worker budget.
         assert_eq!(NodeConfig::default().ingress_shard_count(), 1);
@@ -343,6 +370,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn path_shard_count_follows_parallelism_unless_pinned() {
         assert_eq!(NodeConfig::default().path_shard_count(), 1);
         assert_eq!(

@@ -23,6 +23,9 @@
 
 use crate::beacon_db::{BatchKey, BatchView, ShardedIngressDb, StoredBeacon};
 use crate::rac::{Rac, RacOutput, RacTiming};
+use irec_algorithms::incremental::{
+    FingerprintBuilder, IncrementalStats, IncrementalTable, SelectionDelta,
+};
 use irec_topology::AsNode;
 use irec_types::{IfId, Result, SimTime};
 use parking_lot::Mutex;
@@ -56,9 +59,116 @@ struct BatchGroup {
     rac_index: usize,
     key: BatchKey,
     items: std::ops::Range<usize>,
-    /// The full unsplit view, retained (an `Arc` bump, no copy) only for split groups so
-    /// the merge can hand merge-aware algorithms the complete batch.
+    /// The full unsplit view, retained (an `Arc` bump, no copy) for split groups so the
+    /// merge can hand merge-aware algorithms the complete batch, and for every cacheable
+    /// group so the merge can record the batch's hop-chain footprint in the table.
     view: Option<BatchView>,
+    /// Table hit: the cached per-RAC outputs for this batch, found during the serial
+    /// snapshot phase. Such groups carry no work items and contribute no timing.
+    cached: Option<Vec<RacOutput>>,
+    /// The batch-view fingerprint, computed during the snapshot phase for every cacheable
+    /// group; the merge stores the freshly computed outputs under it.
+    fingerprint: Option<u64>,
+}
+
+/// The per-node incremental selection state: one [`IncrementalTable`] of cached per-batch
+/// output vectors per *cacheable* RAC (static RACs only — see
+/// [`Rac::is_cacheable`]), indexed by RAC configuration order.
+///
+/// Determinism: the engine probes the tables in the serial snapshot phase and stores into
+/// them in the serial merge phase, both on the coordinating thread in canonical group
+/// order — worker threads never touch the tables, so no locking is needed and a cached run
+/// is byte-identical to a from-scratch run on every scheduler × worker × shard plane.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionTables {
+    tables: Vec<Option<IncrementalTable<Vec<RacOutput>>>>,
+}
+
+impl SelectionTables {
+    /// Creates one table per cacheable RAC in `racs` (configuration order); on-demand RACs
+    /// get no table and always recompute.
+    pub fn for_racs(racs: &[Rac]) -> Self {
+        SelectionTables {
+            tables: racs
+                .iter()
+                .map(|rac| rac.is_cacheable().then(IncrementalTable::new))
+                .collect(),
+        }
+    }
+
+    /// Drops every cached entry whose footprint intersects `delta`; returns how many
+    /// entries were dropped across all tables.
+    pub fn apply_delta(&mut self, delta: &SelectionDelta) -> usize {
+        self.tables
+            .iter_mut()
+            .flatten()
+            .map(|table| table.apply_delta(delta))
+            .sum()
+    }
+
+    /// Ends one round: entries whose batches were neither probed nor stored this round age
+    /// out of every table.
+    pub fn commit_round(&mut self) {
+        for table in self.tables.iter_mut().flatten() {
+            table.commit_round();
+        }
+    }
+
+    /// The summed reuse/recompute/invalidation counters across all tables.
+    pub fn stats(&self) -> IncrementalStats {
+        let mut total = IncrementalStats::default();
+        for table in self.tables.iter().flatten() {
+            total.accumulate(table.stats());
+        }
+        total
+    }
+
+    /// Total cached entries across all tables.
+    pub fn len(&self) -> usize {
+        self.tables
+            .iter()
+            .flatten()
+            .map(IncrementalTable::len)
+            .sum()
+    }
+
+    /// Whether no table holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn table_mut(&mut self, rac_index: usize) -> Option<&mut IncrementalTable<Vec<RacOutput>>> {
+        self.tables.get_mut(rac_index)?.as_mut()
+    }
+}
+
+/// Content fingerprint of one candidate batch under one RAC's selection context: batch key,
+/// per-beacon content digest + ingress interface + receive time, the local AS, the egress
+/// list, and the RAC's selection knobs. Any batch mutation — a new beacon, an eviction, a
+/// withdrawal sweep — changes a beacon digest or the beacon list and thereby the
+/// fingerprint, forcing a recompute for exactly the affected `(origin, group)` batch.
+///
+/// `received_at` is folded per beacon because it is *not* covered by the PCB content
+/// digest, yet it flows into [`RacOutput::beacon`] — without it a re-received beacon could
+/// be served from the table with a stale receive time and diverge from the from-scratch
+/// reference.
+fn view_fingerprint(view: &BatchView, local_as: &AsNode, egress_ifs: &[IfId], rac: &Rac) -> u64 {
+    let mut fp = FingerprintBuilder::new();
+    fp.fold(view.key.origin.value());
+    fp.fold(u64::from(view.key.group.value()));
+    fp.fold(view.key.target.map_or(u64::MAX, |t| t.value()));
+    for beacon in view.beacons.iter() {
+        fp.fold_bytes(&beacon.pcb.digest().0 .0);
+        fp.fold(u64::from(beacon.ingress.value()));
+        fp.fold(beacon.received_at.0);
+    }
+    fp.fold(local_as.id.value());
+    for egress in egress_ifs {
+        fp.fold(u64::from(egress.value()));
+    }
+    fp.fold(rac.config().max_selected as u64);
+    fp.fold(u64::from(rac.config().extend_paths));
+    fp.finish()
 }
 
 type ItemResult = Result<(Vec<RacOutput>, RacTiming)>;
@@ -90,6 +200,36 @@ pub fn execute_racs(
     )
 }
 
+/// [`execute_racs`] consulting per-RAC incremental selection tables: batches whose
+/// fingerprint matches a table entry are served from the table (no work item, no
+/// algorithm run), everything else is computed as usual and stored back. With
+/// `tables = None` this is exactly [`execute_racs`] — the retained from-scratch reference.
+///
+/// Cached groups contribute **zero** timing, which is the measured round-cost win; no
+/// deterministic output (fingerprints, registered paths, counters) folds timing, so the
+/// byte-identity guarantee is unaffected.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_racs_cached(
+    racs: &[Rac],
+    db: &ShardedIngressDb,
+    local_as: &AsNode,
+    egress_ifs: &[IfId],
+    now: SimTime,
+    parallelism: usize,
+    tables: Option<&mut SelectionTables>,
+) -> Result<(Vec<RacOutput>, RacTiming)> {
+    execute_racs_inner(
+        racs,
+        db,
+        local_as,
+        egress_ifs,
+        now,
+        parallelism,
+        BATCH_SPLIT_THRESHOLD,
+        tables,
+    )
+}
+
 /// [`execute_racs`] with an explicit batch-split threshold (exposed so tests and benchmarks
 /// can exercise the splitting machinery on small batches).
 ///
@@ -111,14 +251,58 @@ pub fn execute_racs_with(
     parallelism: usize,
     split_threshold: usize,
 ) -> Result<(Vec<RacOutput>, RacTiming)> {
+    execute_racs_inner(
+        racs,
+        db,
+        local_as,
+        egress_ifs,
+        now,
+        parallelism,
+        split_threshold,
+        None,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_racs_inner(
+    racs: &[Rac],
+    db: &ShardedIngressDb,
+    local_as: &AsNode,
+    egress_ifs: &[IfId],
+    now: SimTime,
+    parallelism: usize,
+    split_threshold: usize,
+    mut tables: Option<&mut SelectionTables>,
+) -> Result<(Vec<RacOutput>, RacTiming)> {
     let threshold = split_threshold.max(1);
-    // Snapshot phase: materialize the work list in deterministic order.
+    // Snapshot phase: materialize the work list in deterministic order. Incremental tables
+    // are probed here, on the coordinating thread, so a table hit skips work-item creation
+    // entirely and table access stays serial and deterministic.
     let mut items = Vec::new();
     let mut groups = Vec::new();
     for (rac_index, rac) in racs.iter().enumerate() {
         for view in rac.relevant_batches(db, now) {
             let start = items.len();
             let key = view.key;
+            let fingerprint = tables
+                .as_deref_mut()
+                .and_then(|t| t.table_mut(rac_index))
+                .map(|table| {
+                    let fp = view_fingerprint(&view, local_as, egress_ifs, rac);
+                    (table.probe((key.origin, key.group, key.target), fp), fp)
+                });
+            if let Some((Some(cached), fp)) = fingerprint {
+                groups.push(BatchGroup {
+                    rac_index,
+                    key,
+                    items: start..start,
+                    view: None,
+                    cached: Some(cached),
+                    fingerprint: Some(fp),
+                });
+                continue;
+            }
+            let fingerprint = fingerprint.map(|(_, fp)| fp);
             let full_view = if view.len() > threshold {
                 let mut offset = 0;
                 while offset < view.len() {
@@ -130,6 +314,14 @@ pub fn execute_racs_with(
                     offset = end;
                 }
                 Some(view)
+            } else if fingerprint.is_some() {
+                // Retain the view (an `Arc` bump) so the merge can record the batch's
+                // footprint when storing the fresh outputs into the table.
+                items.push(WorkItem {
+                    rac_index,
+                    view: view.clone(),
+                });
+                Some(view)
             } else {
                 items.push(WorkItem { rac_index, view });
                 None
@@ -139,6 +331,8 @@ pub fn execute_racs_with(
                 key,
                 items: start..items.len(),
                 view: full_view,
+                cached: None,
+                fingerprint,
             });
         }
     }
@@ -153,7 +347,7 @@ pub fn execute_racs_with(
         execute_parallel(racs, &items, local_as, egress_ifs, workers)
     };
 
-    merge_results(racs, &groups, results, local_as, egress_ifs)
+    merge_results(racs, &groups, results, local_as, egress_ifs, tables)
 }
 
 /// Processes one work item (on whatever thread it was claimed by).
@@ -255,64 +449,106 @@ fn merge_results(
     results: Vec<ItemResult>,
     local_as: &AsNode,
     egress_ifs: &[IfId],
+    mut tables: Option<&mut SelectionTables>,
 ) -> Result<(Vec<RacOutput>, RacTiming)> {
     let mut results: Vec<Option<ItemResult>> = results.into_iter().map(Some).collect();
     let mut outputs = Vec::new();
     let mut timing = RacTiming::default();
     for group in groups {
-        if group.items.len() == 1 {
-            let (mut item_outputs, item_timing) = results[group.items.start]
-                .take()
-                .expect("each item is consumed by exactly one group")?;
-            timing.accumulate(&item_timing);
-            outputs.append(&mut item_outputs);
-            continue;
-        }
-        // Sub-merge: collect each sub-range's selections in item order (within a sub-range
-        // selections are already ordered by candidate index, and sub-ranges are ascending,
-        // so the union is in ascending original candidate order)...
-        let mut sub_selections: Vec<Vec<RacOutput>> = Vec::new();
-        for index in group.items.clone() {
-            let (sub_outputs, sub_timing) = results[index]
-                .take()
-                .expect("each item is consumed by exactly one group")?;
-            timing.accumulate(&sub_timing);
-            sub_selections.push(sub_outputs);
-        }
-        // ...then try the merge-aware reduce: algorithms overriding `merge_partial` get the
-        // full batch plus the per-sub-range selections (reconstructed as full-batch
-        // indices), making the split lossless for set-valued objectives...
-        if let Some(view) = &group.view {
-            let partials = reconstruct_partials(view, &sub_selections);
-            if let Some(merged) = racs[group.rac_index].merge_split_candidates(
-                &group.key,
-                &view.beacons,
-                &partials,
-                local_as,
-                egress_ifs,
-            ) {
-                let (mut reduced, merge_timing) = merged?;
-                timing.accumulate(&merge_timing);
-                outputs.append(&mut reduced);
-                continue;
+        let group_outputs =
+            merge_group(racs, group, &mut results, local_as, egress_ifs, &mut timing)?;
+        // Freshly computed cacheable group: store the outputs (and the batch's hop-chain
+        // footprint, extracted from the retained view) into the RAC's table. Table-hit
+        // groups were already marked fresh by the snapshot-phase probe.
+        if group.cached.is_none() {
+            if let (Some(fp), Some(view)) = (group.fingerprint, &group.view) {
+                if let Some(table) = tables
+                    .as_deref_mut()
+                    .and_then(|t| t.table_mut(group.rac_index))
+                {
+                    let links = view
+                        .beacons
+                        .iter()
+                        .flat_map(|beacon| beacon.pcb.link_keys())
+                        .collect::<Vec<_>>();
+                    table.store(
+                        (group.key.origin, group.key.group, group.key.target),
+                        fp,
+                        links,
+                        group_outputs.clone(),
+                    );
+                }
             }
         }
-        let winners: Vec<Arc<StoredBeacon>> = sub_selections
-            .into_iter()
-            .flatten()
-            .map(|o| Arc::new(o.beacon))
-            .collect();
-        if winners.is_empty() {
-            continue;
-        }
-        // ...or fall back to the generic reduce: one final selection pass of the owning RAC
-        // over the union of the sub-range winners.
-        let (mut reduced, reduce_timing) =
-            racs[group.rac_index].process_candidates(&group.key, &winners, local_as, egress_ifs)?;
-        timing.accumulate(&reduce_timing);
-        outputs.append(&mut reduced);
+        outputs.extend(group_outputs);
     }
     Ok((outputs, timing))
+}
+
+/// Produces one group's final output vector: the cached value for table hits (zero
+/// timing), the single item's outputs for unsplit groups, or the deterministic sub-merge
+/// for split ones. Timings accumulate into `timing` in item order, exactly as a sequential
+/// loop would.
+fn merge_group(
+    racs: &[Rac],
+    group: &BatchGroup,
+    results: &mut [Option<ItemResult>],
+    local_as: &AsNode,
+    egress_ifs: &[IfId],
+    timing: &mut RacTiming,
+) -> Result<Vec<RacOutput>> {
+    if let Some(cached) = &group.cached {
+        return Ok(cached.clone());
+    }
+    if group.items.len() == 1 {
+        let (item_outputs, item_timing) = results[group.items.start]
+            .take()
+            .expect("each item is consumed by exactly one group")?;
+        timing.accumulate(&item_timing);
+        return Ok(item_outputs);
+    }
+    // Sub-merge: collect each sub-range's selections in item order (within a sub-range
+    // selections are already ordered by candidate index, and sub-ranges are ascending,
+    // so the union is in ascending original candidate order)...
+    let mut sub_selections: Vec<Vec<RacOutput>> = Vec::new();
+    for index in group.items.clone() {
+        let (sub_outputs, sub_timing) = results[index]
+            .take()
+            .expect("each item is consumed by exactly one group")?;
+        timing.accumulate(&sub_timing);
+        sub_selections.push(sub_outputs);
+    }
+    // ...then try the merge-aware reduce: algorithms overriding `merge_partial` get the
+    // full batch plus the per-sub-range selections (reconstructed as full-batch
+    // indices), making the split lossless for set-valued objectives...
+    if let Some(view) = &group.view {
+        let partials = reconstruct_partials(view, &sub_selections);
+        if let Some(merged) = racs[group.rac_index].merge_split_candidates(
+            &group.key,
+            &view.beacons,
+            &partials,
+            local_as,
+            egress_ifs,
+        ) {
+            let (reduced, merge_timing) = merged?;
+            timing.accumulate(&merge_timing);
+            return Ok(reduced);
+        }
+    }
+    let winners: Vec<Arc<StoredBeacon>> = sub_selections
+        .into_iter()
+        .flatten()
+        .map(|o| Arc::new(o.beacon))
+        .collect();
+    if winners.is_empty() {
+        return Ok(Vec::new());
+    }
+    // ...or fall back to the generic reduce: one final selection pass of the owning RAC
+    // over the union of the sub-range winners.
+    let (reduced, reduce_timing) =
+        racs[group.rac_index].process_candidates(&group.key, &winners, local_as, egress_ifs)?;
+    timing.accumulate(&reduce_timing);
+    Ok(reduced)
 }
 
 /// Rebuilds each sub-range's selection as indices into the full batch view. Sub-range
@@ -638,5 +874,170 @@ mod tests {
         let par_err = execute_racs(&racs, &db, &node, &[IfId(2)], SimTime::ZERO, 4).unwrap_err();
         assert_eq!(seq_err.category(), par_err.category());
         assert_eq!(seq_err.category(), "not-found");
+    }
+
+    fn assert_same_outputs(a: &[RacOutput], b: &[RacOutput]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.rac_name, y.rac_name);
+            assert_eq!(x.origin, y.origin);
+            assert_eq!(x.group, y.group);
+            assert_eq!(x.egress_ifs, y.egress_ifs);
+            assert_eq!(x.beacon, y.beacon);
+        }
+    }
+
+    #[test]
+    fn cached_execution_is_byte_identical_and_reuses_unchanged_batches() {
+        let racs = rac_set();
+        let db = db_with_origins(6, 4);
+        let node = local_as();
+        let egress = [IfId(1), IfId(2), IfId(3)];
+        let (reference, _) = execute_racs(&racs, &db, &node, &egress, SimTime::ZERO, 1).unwrap();
+
+        let mut tables = SelectionTables::for_racs(&racs);
+        for parallelism in [1, 4] {
+            // First pass populates, second is served from the table — both identical to
+            // the from-scratch reference.
+            let (first, _) = execute_racs_cached(
+                &racs,
+                &db,
+                &node,
+                &egress,
+                SimTime::ZERO,
+                parallelism,
+                Some(&mut tables),
+            )
+            .unwrap();
+            assert_same_outputs(&reference, &first);
+            let before = tables.stats();
+            let (second, timing) = execute_racs_cached(
+                &racs,
+                &db,
+                &node,
+                &egress,
+                SimTime::ZERO,
+                parallelism,
+                Some(&mut tables),
+            )
+            .unwrap();
+            assert_same_outputs(&reference, &second);
+            let after = tables.stats();
+            assert_eq!(
+                after.recomputed, before.recomputed,
+                "an unchanged database is served entirely from the table"
+            );
+            assert!(after.reused > before.reused);
+            assert_eq!(timing.candidates, 0, "cached groups contribute zero timing");
+            tables.commit_round();
+        }
+
+        // A database mutation flips the fingerprint of the affected batch only.
+        let registry = KeyRegistry::with_ases(11, 512);
+        let mut pcb = Pcb::originate(
+            AsId(1),
+            99,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(6),
+            PcbExtensions::none(),
+        );
+        pcb.extend(
+            IfId::NONE,
+            IfId(1),
+            StaticInfo::origin(Latency::from_millis(1), Bandwidth::from_mbps(999), None),
+            &Signer::new(AsId(1), registry),
+        )
+        .unwrap();
+        db.insert(pcb, IfId(1), SimTime::ZERO);
+        let before = tables.stats();
+        let (reference, _) = execute_racs(&racs, &db, &node, &egress, SimTime::ZERO, 1).unwrap();
+        let (cached, _) = execute_racs_cached(
+            &racs,
+            &db,
+            &node,
+            &egress,
+            SimTime::ZERO,
+            1,
+            Some(&mut tables),
+        )
+        .unwrap();
+        assert_same_outputs(&reference, &cached);
+        let after = tables.stats();
+        // Four cacheable RACs, one mutated origin out of six: exactly one recompute per
+        // RAC, the other five origins reused.
+        assert_eq!(after.recomputed - before.recomputed, racs.len());
+        assert_eq!(after.reused - before.reused, racs.len() * 5);
+    }
+
+    #[test]
+    fn selection_delta_invalidates_affected_entries() {
+        let racs = rac_set();
+        let db = db_with_origins(3, 2);
+        let node = local_as();
+        let egress = [IfId(1), IfId(2)];
+        let mut tables = SelectionTables::for_racs(&racs);
+        execute_racs_cached(
+            &racs,
+            &db,
+            &node,
+            &egress,
+            SimTime::ZERO,
+            1,
+            Some(&mut tables),
+        )
+        .unwrap();
+        assert_eq!(tables.len(), racs.len() * 3);
+        // Origin 2 leaves: its batches drop from every RAC's table.
+        let dropped = tables.apply_delta(&SelectionDelta::As(AsId(2)));
+        assert_eq!(dropped, racs.len());
+        assert_eq!(tables.stats().invalidated, racs.len());
+        assert!(!tables.is_empty());
+        let dropped = tables.apply_delta(&SelectionDelta::All);
+        assert_eq!(dropped, racs.len() * 2);
+        assert!(tables.is_empty());
+    }
+
+    #[test]
+    fn on_demand_racs_are_never_cached() {
+        let store = crate::rac::SharedAlgorithmStore::new();
+        let od =
+            Rac::new_on_demand(RacConfig::on_demand_rac("od"), std::sync::Arc::new(store)).unwrap();
+        assert!(!od.is_cacheable());
+        let racs = vec![od];
+        let tables = SelectionTables::for_racs(&racs);
+        assert!(tables.is_empty());
+        assert_eq!(tables.stats(), IncrementalStats::default());
+    }
+
+    #[test]
+    fn cached_split_groups_match_reference() {
+        // Oversized batches go through the sub-merge; their reduced outputs are cached and
+        // served identically on the second pass.
+        let racs: Vec<Rac> = ["1SP", "widest"]
+            .iter()
+            .map(|name| Rac::new_static(RacConfig::static_rac(*name, *name)).unwrap())
+            .collect();
+        let db = db_with_origins(1, 24);
+        let node = local_as();
+        let egress = [IfId(1), IfId(2), IfId(3)];
+        let (reference, _) =
+            execute_racs_with(&racs, &db, &node, &egress, SimTime::ZERO, 1, 4).unwrap();
+        let mut tables = SelectionTables::for_racs(&racs);
+        for _ in 0..2 {
+            let (outputs, _) = execute_racs_inner(
+                &racs,
+                &db,
+                &node,
+                &egress,
+                SimTime::ZERO,
+                2,
+                4,
+                Some(&mut tables),
+            )
+            .unwrap();
+            assert_same_outputs(&reference, &outputs);
+        }
+        assert_eq!(tables.stats().recomputed, racs.len());
+        assert_eq!(tables.stats().reused, racs.len());
     }
 }

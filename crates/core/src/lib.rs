@@ -50,7 +50,10 @@ pub mod rac;
 pub use beacon_db::{BatchView, EgressDb, IngressDb, ShardedIngressDb, StoredBeacon};
 pub use config::{NodeConfig, PropagationPolicy, RacConfig, RacKind};
 pub use egress::{EgressGateway, OriginationSpec};
-pub use engine::{execute_racs, execute_racs_with, run_claimed, BATCH_SPLIT_THRESHOLD};
+pub use engine::{
+    execute_racs, execute_racs_cached, execute_racs_with, run_claimed, SelectionTables,
+    BATCH_SPLIT_THRESHOLD,
+};
 pub use ingress::{IngressGateway, IngressStats};
 pub use messages::{PcbMessage, PullReturn};
 pub use node::{IrecNode, RoundOutput};

@@ -3,10 +3,12 @@
 
 use crate::config::{NodeConfig, RacConfig, RacKind};
 use crate::egress::{EgressGateway, OriginationSpec};
+use crate::engine::SelectionTables;
 use crate::ingress::IngressGateway;
 use crate::messages::{PcbMessage, PullReturn};
 use crate::path_service::{RegisteredPath, ShardedPathService};
 use crate::rac::{AlgorithmFetcher, Rac, RacTiming, SharedAlgorithmStore};
+use irec_algorithms::incremental::{IncrementalStats, SelectionDelta};
 use irec_crypto::{KeyRegistry, Signer, Verifier};
 use irec_irvm::Program;
 use irec_pcb::AlgorithmRef;
@@ -48,6 +50,10 @@ pub struct IrecNode {
     extra_originations: Vec<OriginationSpec>,
     /// The store this node publishes its own on-demand algorithm modules to.
     algorithm_store: SharedAlgorithmStore,
+    /// Per-RAC incremental selection tables, present iff the config enables
+    /// `incremental_selection`. Probed and updated by the RAC engine's serial phases,
+    /// invalidated by [`IrecNode::apply_selection_delta`], aged by round housekeeping.
+    selection_tables: Option<SelectionTables>,
     round: u64,
 }
 
@@ -71,6 +77,7 @@ impl Clone for IrecNode {
             interface_groups: self.interface_groups.clone(),
             extra_originations: self.extra_originations.clone(),
             algorithm_store: self.algorithm_store.clone(),
+            selection_tables: self.selection_tables.clone(),
             round: self.round,
         }
     }
@@ -95,6 +102,7 @@ impl IrecNode {
             interface_groups: self.interface_groups.clone(),
             extra_originations: self.extra_originations.clone(),
             algorithm_store: self.algorithm_store.clone(),
+            selection_tables: self.selection_tables.clone(),
             round: self.round,
         }
     }
@@ -121,6 +129,9 @@ impl IrecNode {
             config.policy,
             config.path_shard_count(),
         );
+        let selection_tables = config
+            .incremental_selection
+            .then(|| SelectionTables::for_racs(&racs));
         Ok(IrecNode {
             asn,
             config,
@@ -131,6 +142,7 @@ impl IrecNode {
             interface_groups: None,
             extra_originations: Vec::new(),
             algorithm_store: store,
+            selection_tables,
             round: 0,
         })
     }
@@ -345,15 +357,17 @@ impl IrecNode {
 
         // 2. RAC processing (§V-C): snapshot candidate batches and run every RAC through
         // the execution engine — sequentially or fanned out over worker threads, with
-        // byte-identical results (see `crate::engine`).
+        // byte-identical results (see `crate::engine`). With incremental selection enabled
+        // the engine serves unchanged batches from the node's tables.
         let local_as = self.topology.as_node(self.asn)?;
-        let (all_outputs, timing) = crate::engine::execute_racs(
+        let (all_outputs, timing) = crate::engine::execute_racs_cached(
             &self.racs,
             self.ingress.db(),
             local_as,
             &all_interfaces,
             now,
             self.config.parallelism,
+            self.selection_tables.as_mut(),
         )?;
         output.timing.accumulate(&timing);
 
@@ -386,7 +400,31 @@ impl IrecNode {
             eviction_workers,
         );
         self.egress.evict_expired(now);
+        // Age the incremental selection tables: entries whose batches were neither probed
+        // nor stored this round vanish with the batches themselves. Housekeeping runs
+        // under both the barrier and the DAG round scheduler, so table ageing is
+        // scheduler-independent.
+        if let Some(tables) = &mut self.selection_tables {
+            tables.commit_round();
+        }
         self.egress.take_sent_counters()
+    }
+
+    /// Invalidates cached incremental selections whose footprint intersects `delta`;
+    /// returns how many entries were dropped (0 when incremental selection is off). The
+    /// simulation fans topology deltas out to every node through this hook.
+    pub fn apply_selection_delta(&mut self, delta: &SelectionDelta) -> usize {
+        self.selection_tables
+            .as_mut()
+            .map_or(0, |tables| tables.apply_delta(delta))
+    }
+
+    /// Snapshot of the node's incremental-selection counters
+    /// (zeroes when incremental selection is off).
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.selection_tables
+            .as_ref()
+            .map_or_else(IncrementalStats::default, SelectionTables::stats)
     }
 
     /// Forgets the egress gateway's propagation-dedup marks for `egress` (see
@@ -406,6 +444,11 @@ impl IrecNode {
     pub fn swap_rac_catalog(&mut self, racs: Vec<RacConfig>) -> Result<()> {
         self.racs = build_racs(&racs, self.config.irec_enabled, &self.algorithm_store)?;
         self.config.racs = racs;
+        // RAC indices (the tables' axis) change with the catalog: rebuild empty tables so
+        // no stale selection survives under a different RAC's index.
+        if self.selection_tables.is_some() {
+            self.selection_tables = Some(SelectionTables::for_racs(&self.racs));
+        }
         Ok(())
     }
 }

@@ -307,6 +307,14 @@ impl Rac {
         self.config.kind == RacKind::OnDemand
     }
 
+    /// Whether this RAC's selections may be cached by the incremental-selection tables
+    /// (see [`crate::engine::SelectionTables`]). Only static RACs qualify: an on-demand
+    /// RAC's algorithm identity varies per batch (it runs whatever module the PCBs
+    /// reference, including fetch-failure semantics), so its outputs are never cached.
+    pub fn is_cacheable(&self) -> bool {
+        self.static_algorithm.is_some()
+    }
+
     /// One periodic processing run: snapshot every relevant candidate batch from the ingress
     /// database, run the algorithm, and return the selected beacons plus accumulated timing.
     ///

@@ -143,7 +143,11 @@ where
     /// Returns the [`SelectionDelta`] describing the delta's blast radius on cached
     /// selections, for feeding an
     /// [`IncrementalSelection`](irec_algorithms::incremental::IncrementalSelection) table
-    /// so only candidate batches crossing the change get re-scored.
+    /// so only candidate batches crossing the change get re-scored. The live node round's
+    /// own tables no longer depend on this return: every structural hook the arms below
+    /// call ([`Simulation::set_link_down`], [`Simulation::remove_node`], ...) fans the
+    /// same delta out to node tables and [`crate::SelectionInvalidation`] observers
+    /// itself, making this engine one subscriber among any number.
     pub fn apply_delta(
         &mut self,
         sim: &mut Simulation,
@@ -199,7 +203,7 @@ where
                     self.catalog_cursor += 1;
                     catalog
                 };
-                sim.node_mut(asn)?.swap_rac_catalog(catalog)?;
+                sim.swap_rac_catalog(asn, catalog)?;
                 Ok(SelectionDelta::All)
             }
         }

@@ -4,7 +4,8 @@
 use crate::dag::{DagExecutor, RoundDagBuilder, RoundItem, RoundPlan, SchedulerStats};
 use crate::delivery::{DeliveryPlane, DeliveryStats, MAX_EPOCH_EVENTS};
 use crate::event::Event;
-use irec_core::{IrecNode, NodeConfig, RoundOutput, SharedAlgorithmStore};
+use irec_algorithms::incremental::{IncrementalStats, SelectionDelta};
+use irec_core::{IrecNode, NodeConfig, RacConfig, RoundOutput, SharedAlgorithmStore};
 use irec_crypto::KeyRegistry;
 use irec_metrics::overhead::OverheadCounter;
 use irec_metrics::RegisteredPath;
@@ -53,6 +54,41 @@ impl std::fmt::Display for RoundScheduler {
     }
 }
 
+/// Whether nodes reuse per-batch RAC selections across rounds (see
+/// [`irec_core::SelectionTables`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IncrementalSelectionMode {
+    /// The reference path: every RAC recomputes every batch from scratch each round.
+    #[default]
+    Off,
+    /// Static RACs keep a per-`(origin, group, target)` selection table and reuse the
+    /// previous round's outputs for batches whose content fingerprint is unchanged.
+    /// Output is byte-identical to [`IncrementalSelectionMode::Off`].
+    On,
+}
+
+impl std::str::FromStr for IncrementalSelectionMode {
+    type Err = IrecError;
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "off" => Ok(IncrementalSelectionMode::Off),
+            "on" => Ok(IncrementalSelectionMode::On),
+            other => Err(IrecError::config(format!(
+                "unknown incremental-selection mode {other:?} (expected \"off\" or \"on\")"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for IncrementalSelectionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IncrementalSelectionMode::Off => "off",
+            IncrementalSelectionMode::On => "on",
+        })
+    }
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimulationConfig {
@@ -75,6 +111,17 @@ pub struct SimulationConfig {
     /// `max(parallelism, delivery_parallelism)` — there are no phases left to give each
     /// knob its own pool.
     pub round_scheduler: RoundScheduler,
+    /// Ingress-database shard count applied to every node's
+    /// [`NodeConfig::ingress_shards`]. `0` (the default) leaves each node's own setting
+    /// alone, which normally means "follow the node's `parallelism`".
+    pub ingress_shards: usize,
+    /// Path-service shard count applied to every node's [`NodeConfig::path_shards`].
+    /// `0` (the default) leaves each node's own setting alone.
+    pub path_shards: usize,
+    /// Whether nodes reuse unchanged per-batch RAC selections across rounds.
+    /// [`IncrementalSelectionMode::On`] sets every node's
+    /// [`NodeConfig::incremental_selection`] flag; output stays byte-identical either way.
+    pub incremental_selection: IncrementalSelectionMode,
 }
 
 impl Default for SimulationConfig {
@@ -85,6 +132,9 @@ impl Default for SimulationConfig {
             parallelism: 1,
             delivery_parallelism: 1,
             round_scheduler: RoundScheduler::Barrier,
+            ingress_shards: 0,
+            path_shards: 0,
+            incremental_selection: IncrementalSelectionMode::Off,
         }
     }
 }
@@ -111,6 +161,91 @@ impl SimulationConfig {
         self.round_scheduler = round_scheduler;
         self
     }
+
+    /// Builder-style: pin every node's ingress-database shard count (`0` = leave each
+    /// node's own setting alone).
+    #[must_use]
+    pub fn with_ingress_shards(mut self, ingress_shards: usize) -> Self {
+        self.ingress_shards = ingress_shards;
+        self
+    }
+
+    /// Builder-style: pin every node's path-service shard count (`0` = leave each node's
+    /// own setting alone).
+    #[must_use]
+    pub fn with_path_shards(mut self, path_shards: usize) -> Self {
+        self.path_shards = path_shards;
+        self
+    }
+
+    /// Builder-style: select the incremental-selection mode.
+    #[must_use]
+    pub fn with_incremental_selection(mut self, mode: IncrementalSelectionMode) -> Self {
+        self.incremental_selection = mode;
+        self
+    }
+
+    /// Applies the simulation-level node knobs to one node's config: nonzero shard counts
+    /// override the node's own, and [`IncrementalSelectionMode::On`] switches the node's
+    /// selection tables on. Used wherever the simulation builds a node
+    /// ([`Simulation::new`] and [`Simulation::add_node`]), so mid-run joins get the same
+    /// knobs as the initial population.
+    fn apply_node_knobs(&self, mut config: NodeConfig) -> NodeConfig {
+        if self.ingress_shards != 0 {
+            config.ingress_shards = self.ingress_shards;
+        }
+        if self.path_shards != 0 {
+            config.path_shards = self.path_shards;
+        }
+        if self.incremental_selection == IncrementalSelectionMode::On {
+            config.incremental_selection = true;
+        }
+        config
+    }
+}
+
+/// Observer of selection-invalidation events: every structural mutation of the simulation
+/// (link state change, node churn, RAC catalog swap) is translated into a
+/// [`SelectionDelta`] and fanned out — first to every live node's
+/// [`irec_core::SelectionTables`], then to each subscribed observer, in subscription
+/// order. Subscribe with [`Simulation::subscribe_invalidations`].
+///
+/// Observers are deliberately *not* carried across [`Simulation::clone`] or
+/// [`Simulation::snapshot`]: a snapshot evolves independently and an observer boxed into
+/// the base cannot be duplicated (nor would routing one clone's events into another's
+/// observer make sense).
+///
+/// ```
+/// use irec_algorithms::incremental::SelectionDelta;
+/// use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
+/// use irec_sim::{SelectionInvalidation, Simulation, SimulationConfig};
+/// use irec_topology::builder::{figure1, figure1_topology};
+/// use std::sync::Arc;
+///
+/// #[derive(Default)]
+/// struct DeltaLog(Vec<SelectionDelta>);
+/// impl SelectionInvalidation for DeltaLog {
+///     fn on_invalidation(&mut self, delta: &SelectionDelta) {
+///         self.0.push(delta.clone());
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(
+///     Arc::new(figure1_topology()),
+///     SimulationConfig::default(),
+///     |_| {
+///         NodeConfig::default()
+///             .with_policy(PropagationPolicy::All)
+///             .with_racs(vec![RacConfig::static_rac("1SP", "1SP")])
+///     },
+/// ).unwrap();
+/// sim.subscribe_invalidations(Box::new(DeltaLog::default()));
+/// let link = sim.topology().links_of(figure1::SRC)[0];
+/// sim.set_link_down(link).unwrap();  // fans a SelectionDelta::Link to the observer
+/// ```
+pub trait SelectionInvalidation: Send + Sync {
+    /// Called once per structural mutation, after every node's tables saw `delta`.
+    fn on_invalidation(&mut self, delta: &SelectionDelta);
 }
 
 /// The discrete-event simulation of an IREC deployment.
@@ -131,6 +266,10 @@ pub struct Simulation {
     registry: KeyRegistry,
     /// The shared on-demand algorithm store, retained for the same reason.
     store: SharedAlgorithmStore,
+    /// Selection-invalidation observers (see [`SelectionInvalidation`]). Not part of the
+    /// simulation state proper: deliberately dropped by [`Clone`] and
+    /// [`Simulation::snapshot`], and never consulted by the deterministic round paths.
+    observers: Vec<Box<dyn SelectionInvalidation>>,
 }
 
 impl Clone for Simulation {
@@ -157,6 +296,9 @@ impl Clone for Simulation {
             scheduler: self.scheduler,
             registry: self.registry.clone(),
             store: self.store.clone(),
+            // Observers watch one simulation; a clone starts with none (see
+            // [`SelectionInvalidation`]).
+            observers: Vec::new(),
         }
     }
 }
@@ -218,7 +360,7 @@ impl Simulation {
         for asn in topology.as_ids() {
             let node = IrecNode::new(
                 asn,
-                node_config(asn),
+                config.apply_node_knobs(node_config(asn)),
                 Arc::clone(&topology),
                 registry.clone(),
                 store.clone(),
@@ -240,7 +382,44 @@ impl Simulation {
             scheduler: SchedulerStats::default(),
             registry,
             store,
+            observers: Vec::new(),
         })
+    }
+
+    /// Subscribes a [`SelectionInvalidation`] observer: from now on every structural
+    /// mutation's [`SelectionDelta`] is delivered to it, after the nodes' own tables.
+    pub fn subscribe_invalidations(&mut self, observer: Box<dyn SelectionInvalidation>) {
+        self.observers.push(observer);
+    }
+
+    /// Fans `delta` out to every live node's selection tables (in `AsId` order) and then
+    /// to every subscribed observer (in subscription order). Returns the total number of
+    /// table entries invalidated across nodes. The structural-mutation hooks
+    /// ([`Simulation::set_link_down`], [`Simulation::set_link_up`],
+    /// [`Simulation::remove_node`], [`Simulation::add_node`],
+    /// [`Simulation::swap_rac_catalog`]) call this themselves; call it directly only for
+    /// out-of-band mutations the simulation cannot see.
+    pub fn invalidate_selections(&mut self, delta: &SelectionDelta) -> usize {
+        let invalidated = self
+            .nodes
+            .values_mut()
+            .map(|node| node.apply_selection_delta(delta))
+            .sum();
+        for observer in &mut self.observers {
+            observer.on_invalidation(delta);
+        }
+        invalidated
+    }
+
+    /// Sum of every live node's [`irec_core::SelectionTables`] counters, in `AsId` order.
+    /// All zeros when incremental selection is off. Like [`SchedulerStats`], this is
+    /// reporting about how the run executed, not part of the deterministic output.
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        let mut stats = IncrementalStats::default();
+        for node in self.nodes.values() {
+            stats.accumulate(node.incremental_stats());
+        }
+        stats
     }
 
     /// The simulated topology.
@@ -400,6 +579,8 @@ impl Simulation {
             scheduler: self.scheduler,
             registry: self.registry.clone(),
             store: self.store.clone(),
+            // Snapshots evolve independently; the base's observers stay with the base.
+            observers: Vec::new(),
         }
     }
 
@@ -945,6 +1126,7 @@ impl Simulation {
     pub fn remove_node(&mut self, asn: AsId) -> Option<IrecNode> {
         let node = self.nodes.remove(&asn)?;
         self.plane.purge_addressed_to(asn);
+        self.invalidate_selections(&SelectionDelta::As(asn));
         Some(node)
     }
 
@@ -965,7 +1147,7 @@ impl Simulation {
         self.registry.register(asn);
         let node = IrecNode::new(
             asn,
-            config,
+            self.config.apply_node_knobs(config),
             Arc::clone(&self.topology),
             self.registry.clone(),
             self.store.clone(),
@@ -989,6 +1171,9 @@ impl Simulation {
             }
         }
         self.nodes.insert(asn, node);
+        // A (re-)joining AS changes which batches its neighbors will see; cached
+        // selections whose footprint touches it are stale the moment it starts beaconing.
+        self.invalidate_selections(&SelectionDelta::As(asn));
         Ok(())
     }
 
@@ -1022,8 +1207,9 @@ impl Simulation {
     /// is node removal). Idempotent.
     pub fn set_link_down(&mut self, link: LinkId) -> Result<()> {
         let l = self.topology.link(link)?;
-        self.plane
-            .set_link_down(link, [(l.a.asn, l.a.interface), (l.b.asn, l.b.interface)]);
+        let endpoints = [(l.a.asn, l.a.interface), (l.b.asn, l.b.interface)];
+        self.plane.set_link_down(link, endpoints);
+        self.invalidate_selections(&SelectionDelta::Link(endpoints.to_vec()));
         Ok(())
     }
 
@@ -1031,8 +1217,22 @@ impl Simulation {
     pub fn set_link_up(&mut self, link: LinkId) -> Result<()> {
         // Resolve the id even though the plane keeps the endpoints, so an unknown link id
         // errors instead of silently doing nothing.
-        self.topology.link(link)?;
+        let l = self.topology.link(link)?;
+        let endpoints = [(l.a.asn, l.a.interface), (l.b.asn, l.b.interface)];
         self.plane.set_link_up(link);
+        self.invalidate_selections(&SelectionDelta::Link(endpoints.to_vec()));
+        Ok(())
+    }
+
+    /// Replaces one node's RAC catalog live (see [`IrecNode::swap_rac_catalog`]) and fans
+    /// a [`SelectionDelta::All`] out to every node's selection tables and the subscribed
+    /// observers. The swapped node's own tables are rebuilt empty by the node first (RAC
+    /// indices change with the catalog), so the fan-out mainly informs observers and
+    /// clears the *other* nodes' tables — a catalog swap is the one churn event whose
+    /// blast radius the delta language cannot narrow.
+    pub fn swap_rac_catalog(&mut self, asn: AsId, catalog: Vec<RacConfig>) -> Result<()> {
+        self.node_mut(asn)?.swap_rac_catalog(catalog)?;
+        self.invalidate_selections(&SelectionDelta::All);
         Ok(())
     }
 
@@ -1472,6 +1672,95 @@ mod tests {
         assert!("eager".parse::<RoundScheduler>().is_err());
         assert_eq!(RoundScheduler::Barrier.to_string(), "barrier");
         assert_eq!(RoundScheduler::Dag.to_string(), "dag");
+    }
+
+    #[test]
+    fn incremental_selection_mode_parses_and_displays() {
+        assert_eq!(
+            "off".parse::<IncrementalSelectionMode>().unwrap(),
+            IncrementalSelectionMode::Off
+        );
+        assert_eq!(
+            "on".parse::<IncrementalSelectionMode>().unwrap(),
+            IncrementalSelectionMode::On
+        );
+        assert!("maybe".parse::<IncrementalSelectionMode>().is_err());
+        assert_eq!(IncrementalSelectionMode::Off.to_string(), "off");
+        assert_eq!(IncrementalSelectionMode::On.to_string(), "on");
+    }
+
+    #[test]
+    fn sim_level_knobs_reach_every_node_including_mid_run_joins() {
+        let topology = Arc::new(figure1_topology());
+        let config = SimulationConfig::default()
+            .with_ingress_shards(3)
+            .with_path_shards(2)
+            .with_incremental_selection(IncrementalSelectionMode::On);
+        let mut sim = Simulation::new(topology, config, |_| {
+            NodeConfig::default()
+                .with_policy(PropagationPolicy::All)
+                .with_racs(vec![RacConfig::static_rac("1SP", "1SP")])
+        })
+        .unwrap();
+        for asn in sim.live_ases() {
+            let node_config = sim.node(asn).unwrap().config();
+            assert_eq!(node_config.ingress_shards, 3);
+            assert_eq!(node_config.path_shards, 2);
+            assert!(node_config.incremental_selection);
+        }
+        // A node added mid-run gets the same knobs applied to its (plain) config.
+        sim.remove_node(figure1::X).unwrap();
+        sim.add_node(figure1::X, NodeConfig::default()).unwrap();
+        let rejoined = sim.node(figure1::X).unwrap().config();
+        assert_eq!(rejoined.ingress_shards, 3);
+        assert_eq!(rejoined.path_shards, 2);
+        assert!(rejoined.incremental_selection);
+        // And the tables actually engage: a couple of rounds produce nonzero counters.
+        sim.run_rounds(3).unwrap();
+        let stats = sim.incremental_stats();
+        assert!(stats.recomputed > 0);
+    }
+
+    #[test]
+    fn structural_hooks_fan_deltas_out_to_observers() {
+        use irec_algorithms::incremental::SelectionDelta;
+        use std::sync::Mutex as StdMutex;
+
+        #[derive(Default)]
+        struct DeltaLog(Arc<StdMutex<Vec<SelectionDelta>>>);
+        impl SelectionInvalidation for DeltaLog {
+            fn on_invalidation(&mut self, delta: &SelectionDelta) {
+                self.0.lock().unwrap().push(delta.clone());
+            }
+        }
+
+        let mut sim = figure1_sim(vec![RacConfig::static_rac("1SP", "1SP")]);
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        sim.subscribe_invalidations(Box::new(DeltaLog(Arc::clone(&log))));
+        sim.run_rounds(2).unwrap();
+
+        let link = sim.topology().links_of(figure1::X)[0];
+        sim.set_link_down(link).unwrap();
+        sim.set_link_up(link).unwrap();
+        sim.remove_node(figure1::X).unwrap();
+        sim.add_node(figure1::X, NodeConfig::default()).unwrap();
+        sim.swap_rac_catalog(figure1::X, vec![RacConfig::static_rac("5SP", "5SP")])
+            .unwrap();
+
+        let deltas = log.lock().unwrap().clone();
+        assert_eq!(deltas.len(), 5, "one delta per structural mutation");
+        assert!(matches!(deltas[0], SelectionDelta::Link(ref e) if e.len() == 2));
+        assert!(matches!(deltas[1], SelectionDelta::Link(_)));
+        assert_eq!(deltas[2], SelectionDelta::As(figure1::X));
+        assert_eq!(deltas[3], SelectionDelta::As(figure1::X));
+        assert_eq!(deltas[4], SelectionDelta::All);
+        // Observers watch one simulation: clones and snapshots start with none, so the
+        // base's log sees nothing from mutations on the copies.
+        let mut copy = sim.clone();
+        let mut snap = sim.snapshot().into_simulation();
+        copy.set_link_down(link).unwrap();
+        snap.set_link_down(link).unwrap();
+        assert_eq!(log.lock().unwrap().len(), 5);
     }
 
     #[test]

@@ -45,15 +45,14 @@ fn run(
         SimulationConfig::default()
             .with_round_scheduler(scheduler)
             .with_parallelism(workers)
-            .with_delivery_parallelism(workers),
+            .with_delivery_parallelism(workers)
+            .with_ingress_shards(ingress_shards)
+            .with_path_shards(path_shards),
         move |_| {
-            NodeConfig::default()
-                .with_racs(vec![
-                    RacConfig::static_rac("5SP", "5SP"),
-                    RacConfig::static_rac("HD", "HD"),
-                ])
-                .with_ingress_shards(ingress_shards)
-                .with_path_shards(path_shards)
+            NodeConfig::default().with_racs(vec![
+                RacConfig::static_rac("5SP", "5SP"),
+                RacConfig::static_rac("HD", "HD"),
+            ])
         },
     )
     .expect("simulation setup");
@@ -137,15 +136,14 @@ fn pd_campaign_on_dag_scheduled_base_matches_barrier() {
             SimulationConfig::default()
                 .with_round_scheduler(scheduler)
                 .with_parallelism(width)
-                .with_delivery_parallelism(width),
+                .with_delivery_parallelism(width)
+                .with_ingress_shards(7)
+                .with_path_shards(7),
             |_| {
-                NodeConfig::default()
-                    .with_racs(vec![
-                        RacConfig::static_rac("HD", "HD"),
-                        RacConfig::on_demand_rac("on-demand"),
-                    ])
-                    .with_ingress_shards(7)
-                    .with_path_shards(7)
+                NodeConfig::default().with_racs(vec![
+                    RacConfig::static_rac("HD", "HD"),
+                    RacConfig::on_demand_rac("on-demand"),
+                ])
             },
         )
         .expect("simulation setup");

@@ -42,16 +42,16 @@ fn run_fig6_workload(delivery_parallelism: usize, ingress_shards: usize) -> RunF
     );
     let mut sim = Simulation::new(
         topology,
-        SimulationConfig::default().with_delivery_parallelism(delivery_parallelism),
+        SimulationConfig::default()
+            .with_delivery_parallelism(delivery_parallelism)
+            .with_ingress_shards(ingress_shards),
         move |_| {
-            NodeConfig::default()
-                .with_racs(vec![
-                    RacConfig::static_rac("1SP", "1SP"),
-                    RacConfig::static_rac("5SP", "5SP"),
-                    RacConfig::static_rac("HD", "HD"),
-                    RacConfig::static_rac("DON", "DO"),
-                ])
-                .with_ingress_shards(ingress_shards)
+            NodeConfig::default().with_racs(vec![
+                RacConfig::static_rac("1SP", "1SP"),
+                RacConfig::static_rac("5SP", "5SP"),
+                RacConfig::static_rac("HD", "HD"),
+                RacConfig::static_rac("DON", "DO"),
+            ])
         },
     )
     .expect("simulation setup");
@@ -123,12 +123,12 @@ fn stacked_parallelism_is_byte_identical() {
             Arc::new(figure1_topology()),
             SimulationConfig::default()
                 .with_parallelism(parallelism)
-                .with_delivery_parallelism(delivery_parallelism),
+                .with_delivery_parallelism(delivery_parallelism)
+                .with_ingress_shards(ingress_shards),
             move |_| {
                 NodeConfig::paper_simulation(false)
                     .with_policy(PropagationPolicy::All)
                     .with_parallelism(parallelism)
-                    .with_ingress_shards(ingress_shards)
             },
         )
         .expect("simulation setup");

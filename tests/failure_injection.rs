@@ -247,15 +247,15 @@ fn node_flap_restores_reachability_with_exact_accounting() {
             NodeConfig::default()
                 .with_policy(PropagationPolicy::All)
                 .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
-                .with_ingress_shards(ingress)
-                .with_path_shards(path)
         };
         let mut sim = Simulation::new(
             Arc::new(figure1_topology()),
             SimulationConfig::default()
                 .with_round_scheduler(scheduler)
                 .with_parallelism(width)
-                .with_delivery_parallelism(width),
+                .with_delivery_parallelism(width)
+                .with_ingress_shards(ingress)
+                .with_path_shards(path),
             node_config,
         )
         .unwrap();

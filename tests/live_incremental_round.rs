@@ -1,0 +1,169 @@
+//! Acceptance tests for live incremental re-selection behind the simulation-config API:
+//! with `--incremental-selection on` the per-node selection tables must leave every
+//! observable output byte-identical to a from-scratch run — across both round schedulers,
+//! every worker count and every ingress/path shard mix, over a seeded churn timeline —
+//! while the [`IncrementalStats`] counters prove the tables actually reused work. A
+//! zero-churn run pins the steady state: after the origination pattern warms up, the
+//! per-round recompute count stays flat (fresh originations keep touching the
+//! origin-neighbor batches, so it never drops to zero — but it must stop growing).
+
+use irec_bench::workload::{churn_pass, churn_pass_incremental, ChurnFingerprint};
+use irec_core::{NodeConfig, PropagationPolicy, RacConfig};
+use irec_sim::{
+    ChurnConfig, IncrementalSelectionMode, RoundScheduler, Simulation, SimulationConfig,
+};
+use irec_topology::{GeneratorConfig, TopologyGenerator};
+use std::sync::{Arc, OnceLock};
+
+const ASES: usize = 10;
+const STEPS: usize = 2;
+const SEED: u64 = 5;
+const CHURN_SEED: u64 = 13;
+
+fn churn_config(rate: f64) -> ChurnConfig {
+    ChurnConfig::default()
+        .with_rate(rate)
+        .with_seed(CHURN_SEED)
+        .with_warmup_rounds(3)
+}
+
+/// The sequential, incremental-off barrier run every plane must reproduce, memoized per
+/// churn rate index (0 → rate 1.0, 1 → rate 2.0).
+fn reference(rate: f64) -> &'static ChurnFingerprint {
+    static REFERENCE: [OnceLock<ChurnFingerprint>; 2] = [OnceLock::new(), OnceLock::new()];
+    let slot = if rate == 1.0 { 0 } else { 1 };
+    REFERENCE[slot].get_or_init(|| {
+        churn_pass(
+            ASES,
+            STEPS,
+            churn_config(rate),
+            RoundScheduler::Barrier,
+            1,
+            1,
+            1,
+            SEED,
+        )
+    })
+}
+
+/// The full plane matrix: `on` must equal `off` byte for byte on every combination of
+/// scheduler, worker count and shard mix, and at a nonzero churn rate it must recompute
+/// strictly fewer selections than the from-scratch total (`reused + recomputed` is
+/// exactly what a from-scratch run computes, so `reused > 0` ⟺ strictly fewer).
+#[test]
+fn incremental_on_matches_off_across_scheduler_worker_shard_planes() {
+    for rate in [1.0, 2.0] {
+        let expected = reference(rate);
+        for scheduler in [RoundScheduler::Barrier, RoundScheduler::Dag] {
+            for workers in [1, 4] {
+                for shards in [1, 4, 7] {
+                    let (fingerprint, stats) = churn_pass_incremental(
+                        ASES,
+                        STEPS,
+                        churn_config(rate),
+                        scheduler,
+                        workers,
+                        shards,
+                        shards,
+                        IncrementalSelectionMode::On,
+                        SEED,
+                    );
+                    assert_eq!(
+                        &fingerprint, expected,
+                        "incremental run diverged at rate {rate} under {scheduler} \
+                         x{workers} shards={shards}"
+                    );
+                    let from_scratch = stats.reused + stats.recomputed;
+                    assert!(
+                        stats.recomputed < from_scratch,
+                        "incremental selection at rate {rate} under {scheduler} \
+                         x{workers} shards={shards} recomputed every selection \
+                         ({} of {from_scratch})",
+                        stats.recomputed
+                    );
+                    assert!(
+                        stats.invalidated > 0,
+                        "a rate-{rate} churn timeline applied structural deltas, so the \
+                         tables must have invalidated entries"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Asymmetric shard mixes — ingress and path shard counts that disagree — through both
+/// schedulers, pinned against the same reference.
+#[test]
+fn incremental_on_matches_off_under_asymmetric_shard_mixes() {
+    let expected = reference(1.0);
+    for (scheduler, ingress, path) in [(RoundScheduler::Barrier, 4, 7), (RoundScheduler::Dag, 7, 4)]
+    {
+        let (fingerprint, _) = churn_pass_incremental(
+            ASES,
+            STEPS,
+            churn_config(1.0),
+            scheduler,
+            4,
+            ingress,
+            path,
+            IncrementalSelectionMode::On,
+            SEED,
+        );
+        assert_eq!(
+            &fingerprint, expected,
+            "incremental run diverged under {scheduler} ingress={ingress} path={path}"
+        );
+    }
+}
+
+/// Zero churn: once the origination pattern has warmed up, the per-round recompute count
+/// must go flat. Fresh originations keep refreshing the origin-neighbor batches, so the
+/// steady-state recompute is nonzero — but a growing count would mean the
+/// content-fingerprint guard stopped recognizing unchanged batches.
+#[test]
+fn zero_churn_recompute_goes_flat_after_warmup() {
+    let config = GeneratorConfig {
+        num_ases: ASES,
+        seed: SEED,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(
+        Arc::new(TopologyGenerator::new(config).generate()),
+        SimulationConfig::default().with_incremental_selection(IncrementalSelectionMode::On),
+        |_| {
+            NodeConfig::default()
+                .with_policy(PropagationPolicy::All)
+                .with_racs(vec![RacConfig::static_rac("5SP", "5SP")])
+        },
+    )
+    .expect("simulation setup");
+
+    let mut per_round = Vec::new();
+    let mut previous = 0;
+    for _ in 0..14 {
+        sim.run_rounds(1).expect("beaconing round");
+        let total = sim.incremental_stats().recomputed;
+        per_round.push(total - previous);
+        previous = total;
+    }
+    // The recompute count climbs while beacons are still discovering paths, then decays
+    // monotonically as batches settle, and finally flattens at the origination floor.
+    let peak = per_round
+        .iter()
+        .position(|&r| r == *per_round.iter().max().expect("nonempty trace"))
+        .expect("peak exists");
+    assert!(
+        per_round[peak..].windows(2).all(|w| w[1] <= w[0]),
+        "per-round recompute grew again after its peak: {per_round:?}"
+    );
+    let steady = &per_round[per_round.len() - 3..];
+    assert!(
+        steady.iter().all(|&r| r == steady[0]) && steady[0] > 0,
+        "per-round recompute never flattened at a nonzero origination floor: {per_round:?}"
+    );
+    assert!(
+        sim.incremental_stats().reused > 0,
+        "a warmed zero-churn run must reuse the batches the round left untouched"
+    );
+}

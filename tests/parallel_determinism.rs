@@ -26,12 +26,13 @@ fn run_figure1(parallelism: usize, rounds: usize) -> RunFingerprint {
 fn run_figure1_sharded(parallelism: usize, rounds: usize, ingress_shards: usize) -> RunFingerprint {
     let mut sim = Simulation::new(
         Arc::new(figure1_topology()),
-        SimulationConfig::default().with_parallelism(parallelism),
+        SimulationConfig::default()
+            .with_parallelism(parallelism)
+            .with_ingress_shards(ingress_shards),
         move |_| {
             NodeConfig::paper_simulation(false)
                 .with_policy(PropagationPolicy::All)
                 .with_parallelism(parallelism)
-                .with_ingress_shards(ingress_shards)
         },
     )
     .expect("simulation setup");

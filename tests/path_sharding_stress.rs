@@ -159,11 +159,11 @@ fn concurrent_pull_returns_match_serial_reference() {
     let registry = KeyRegistry::with_ases(1, 16);
     let store = SharedAlgorithmStore::new();
     let node_with_shards = |path_shards: usize| -> IrecNode {
+        let mut config = NodeConfig::default().with_policy(PropagationPolicy::All);
+        config.path_shards = path_shards;
         IrecNode::new(
             AsId(1),
-            NodeConfig::default()
-                .with_policy(PropagationPolicy::All)
-                .with_path_shards(path_shards),
+            config,
             Arc::clone(&topology),
             registry.clone(),
             store.clone(),

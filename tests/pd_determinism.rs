@@ -32,14 +32,14 @@ fn warm_base(path_shards: usize, delivery_parallelism: usize) -> Simulation {
     );
     let mut sim = Simulation::new(
         topology,
-        SimulationConfig::default().with_delivery_parallelism(delivery_parallelism),
+        SimulationConfig::default()
+            .with_delivery_parallelism(delivery_parallelism)
+            .with_path_shards(path_shards),
         move |_| {
-            NodeConfig::default()
-                .with_racs(vec![
-                    RacConfig::static_rac("HD", "HD"),
-                    RacConfig::on_demand_rac("on-demand"),
-                ])
-                .with_path_shards(path_shards)
+            NodeConfig::default().with_racs(vec![
+                RacConfig::static_rac("HD", "HD"),
+                RacConfig::on_demand_rac("on-demand"),
+            ])
         },
     )
     .expect("simulation setup");
